@@ -1,0 +1,26 @@
+"""Extension bench: faults inside the ITR cache (paper Section 2.4).
+
+Quantifies the parity argument: without per-line parity, upsets on
+resident signatures become false machine checks; with parity they are
+repaired in place and the program completes correctly.
+"""
+
+from conftest import run_once
+
+from repro.experiments.cache_fault_study import (
+    render_cache_fault_study,
+    run_cache_fault_study,
+)
+
+
+def test_ablation_cache_faults(benchmark, trials, save_report):
+    result = run_once(benchmark, lambda: run_cache_fault_study(
+        trials=max(8, trials // 3)))
+    save_report("ablation_cache_faults", render_cache_fault_study(result))
+
+    # parity fully suppresses false machine checks...
+    assert result.false_mc_with_parity() == 0.0
+    # ...which otherwise occur for a substantial fraction of upsets
+    assert result.false_mc_without_parity() > 0.2
+    # and the suppressed cases are actively repaired, not just ignored
+    assert result.repaired_with_parity() > 0.2

@@ -1,0 +1,28 @@
+"""Ablation: checked-preferring eviction (paper Section 2.3, unstudied).
+
+The paper suggests preferring to evict *checked* lines so that unchecked
+(detection-critical) signatures survive longer, but does not evaluate it.
+This bench does: detection loss must never get worse, and should improve
+on the capacity-stressed benchmarks.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import (
+    render_checked_lru,
+    run_checked_lru_ablation,
+)
+
+
+def test_ablation_checked_lru(benchmark, instructions, save_report):
+    cells = run_once(benchmark, lambda: run_checked_lru_ablation(
+        instructions=instructions))
+    save_report("ablation_checked_lru", render_checked_lru(cells))
+
+    assert cells
+    total_improvement = sum(c.improvement_pct for c in cells)
+    assert total_improvement > 0.0  # helps overall
+    # and it should never make detection loss catastrophically worse
+    for cell in cells:
+        assert cell.detection_loss_checked_pct <= \
+            cell.detection_loss_plain_pct + 1.0

@@ -1,0 +1,26 @@
+"""Ablation: coarse-grain checkpointing (paper Section 2.3).
+
+Checkpoints taken whenever the ITR cache holds no unchecked lines convert
+would-be program aborts (missed-instance faults detected too late) into
+bounded rollbacks.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import (
+    render_checkpointing,
+    run_checkpointing_ablation,
+)
+
+
+def test_ablation_checkpointing(benchmark, instructions, save_report):
+    results = run_once(benchmark, lambda: run_checkpointing_ablation(
+        instructions=instructions))
+    save_report("ablation_checkpointing", render_checkpointing(results))
+
+    for result in results:
+        assert result.checkpoints_taken >= 1
+        assert 0.0 <= result.recovered_fraction <= 1.0
+        assert result.residual_recovery_loss_pct >= 0.0
+    # rollback recovery reclaims a meaningful share somewhere
+    assert any(r.recovered_fraction > 0.3 for r in results)

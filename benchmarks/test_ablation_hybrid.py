@@ -1,0 +1,24 @@
+"""Ablation: redundant fetch+decode on ITR miss (paper Section 3).
+
+The hybrid fallback removes all recovery-coverage loss at the cost of
+refetching exactly the missed traces — far less than the 100% refetch of
+pure time redundancy.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import render_hybrid, run_hybrid_ablation
+
+
+def test_ablation_hybrid(benchmark, instructions, save_report):
+    results = run_once(benchmark, lambda: run_hybrid_ablation(
+        instructions=instructions))
+    save_report("ablation_hybrid", render_hybrid(results))
+
+    for result in results:
+        assert result.residual_recovery_loss_pct == 0.0
+        # the whole point: refetch a small fraction, not 100%
+        assert result.redundant_fetch_fraction < 0.5
+        assert result.redundant_instructions >= result.misses  # >=1 each
+    worst = max(results, key=lambda r: r.baseline_recovery_loss_pct)
+    assert worst.benchmark in ("vortex", "perl")

@@ -1,0 +1,25 @@
+"""Extension bench: PC-fault study (paper Section 2.5, quantified).
+
+The paper argues PC faults mid-trace are detected by the ITR cache while
+natural-trace-boundary faults need the commit/sequential-PC check. This
+bench injects PC upsets and verifies the sequential-PC check never hurts
+and closes undetected-SDC cases.
+"""
+
+from conftest import run_once
+
+from repro.experiments.pc_fault_study import (
+    render_pc_fault_study,
+    run_pc_fault_study,
+)
+
+
+def test_ablation_pc_faults(benchmark, trials, save_report):
+    result = run_once(benchmark, lambda: run_pc_fault_study(
+        trials=max(10, trials // 2)))
+    save_report("ablation_pc_faults", render_pc_fault_study(result))
+
+    # the spc check can only add detection
+    assert result.detected_with_spc() >= result.detected_without_spc()
+    # and it must not leave more undetected SDCs than the spc-less machine
+    assert result.undet_sdc_with_spc() <= result.undet_sdc_without_spc()

@@ -1,0 +1,22 @@
+"""Ablation: true LRU vs tree-PLRU replacement in the ITR cache.
+
+Checks the paper's coverage results are not an artifact of exact LRU:
+pseudo-LRU must land in the same ballpark.
+"""
+
+from conftest import run_once
+
+from repro.experiments.ablations import render_policy, run_policy_ablation
+
+
+def test_ablation_policy(benchmark, instructions, save_report):
+    cells = run_once(benchmark, lambda: run_policy_ablation(
+        instructions=instructions))
+    save_report("ablation_policy", render_policy(cells))
+
+    for cell in cells:
+        slack = 1.0  # absolute percentage points
+        assert cell.detection_loss_plru_pct <= \
+            2.0 * cell.detection_loss_lru_pct + slack
+        assert cell.detection_loss_lru_pct <= \
+            2.0 * cell.detection_loss_plru_pct + slack

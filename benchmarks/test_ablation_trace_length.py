@@ -1,0 +1,31 @@
+"""Extension bench: maximum trace length ablation (paper fixes 16).
+
+Verifies the paper's implicit claim that 16 is a good operating point:
+branches terminate most traces first, so doubling the limit changes
+nothing, while shorter limits inflate checking bandwidth.
+"""
+
+from conftest import run_once
+
+from repro.experiments.trace_length import (
+    render_trace_length,
+    run_trace_length_ablation,
+)
+
+
+def test_ablation_trace_length(benchmark, save_report):
+    result = run_once(benchmark, run_trace_length_ablation)
+    save_report("ablation_trace_length", render_trace_length(result))
+
+    short = result.cell(4)
+    paper = result.cell(16)
+    double = result.cell(32)
+    # limit 32 is essentially identical to the paper's 16
+    assert abs(double.itr_reads_per_kinstr - paper.itr_reads_per_kinstr) \
+        < 0.05 * paper.itr_reads_per_kinstr
+    # limit 4 costs substantially more checking bandwidth
+    assert short.itr_reads_per_kinstr > 1.3 * paper.itr_reads_per_kinstr
+    # mean trace length is monotone in the limit
+    lengths = [result.cell(limit).mean_trace_length
+               for limit in (4, 8, 16, 32)]
+    assert lengths == sorted(lengths)

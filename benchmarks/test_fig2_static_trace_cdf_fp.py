@@ -1,0 +1,28 @@
+"""Figure 2: dynamic instructions vs number of static traces (SPECfp).
+
+Paper claim: floating-point benchmarks are even more repetitive — in
+wupwise, 50 static traces contribute 99% of dynamic instructions.
+"""
+
+from conftest import run_once
+
+from repro.experiments.characterization import (
+    render_fig1_fig2,
+    run_characterization,
+)
+
+
+def test_fig2(benchmark, instructions, save_report):
+    result = run_once(benchmark, lambda: run_characterization(
+        instructions=instructions, category="fp"))
+    save_report("fig2_static_trace_cdf_fp", render_fig1_fig2(result, "fp"))
+
+    wupwise = result.by_name("wupwise")
+    assert wupwise.contribution_at(50) > 99.0
+    art = result.by_name("art")
+    assert art.contribution_at(100) > 99.0
+    # apsi is the least concentrated FP benchmark in the paper's Figure 2.
+    apsi = result.by_name("apsi")
+    others = [b for b in result.category("fp") if b.name != "apsi"]
+    assert all(apsi.contribution_at(200) <= b.contribution_at(200) + 1.0
+               for b in others)

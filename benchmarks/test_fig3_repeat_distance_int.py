@@ -1,0 +1,32 @@
+"""Figure 3: distance between trace repetitions (SPECint).
+
+Paper claims: in all integer benchmarks except perl and vortex, 85% of
+dynamic instructions come from traces repeating within 5000 instructions;
+four of them reach that within 1000.
+"""
+
+from conftest import run_once
+
+from repro.experiments.characterization import (
+    render_fig3_fig4,
+    run_characterization,
+)
+
+
+def test_fig3(benchmark, instructions, save_report):
+    result = run_once(benchmark, lambda: run_characterization(
+        instructions=instructions, category="int"))
+    save_report("fig3_repeat_distance_int", render_fig3_fig4(result, "int"))
+
+    within_5000 = {b.name: b.within_distance(5000)
+                   for b in result.category("int")}
+    for name, value in within_5000.items():
+        if name not in ("perl", "vortex"):
+            assert value > 85.0, f"{name}: {value:.1f}% within 5000"
+    # perl and vortex are the paper's far-repeat outliers
+    assert within_5000["perl"] < 85.0
+    assert within_5000["vortex"] < 85.0
+    # at least four benchmarks hit 85% already within 1000 instructions
+    fast = [b for b in result.category("int")
+            if b.within_distance(1000) > 85.0]
+    assert len(fast) >= 4

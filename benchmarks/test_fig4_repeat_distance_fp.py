@@ -1,0 +1,27 @@
+"""Figure 4: distance between trace repetitions (SPECfp).
+
+Paper claim: in all floating-point benchmarks except apsi, nearly all
+dynamic instructions come from traces repeating within 1500 instructions.
+"""
+
+from conftest import run_once
+
+from repro.experiments.characterization import (
+    render_fig3_fig4,
+    run_characterization,
+)
+
+
+def test_fig4(benchmark, instructions, save_report):
+    result = run_once(benchmark, lambda: run_characterization(
+        instructions=instructions, category="fp"))
+    save_report("fig4_repeat_distance_fp", render_fig3_fig4(result, "fp"))
+
+    for bench in result.category("fp"):
+        value = bench.within_distance(1500)
+        if bench.name != "apsi":
+            assert value > 85.0, f"{bench.name}: {value:.1f}% within 1500"
+    apsi = result.by_name("apsi")
+    others = [b.within_distance(1500) for b in result.category("fp")
+              if b.name != "apsi"]
+    assert apsi.within_distance(1500) < min(others)

@@ -1,0 +1,27 @@
+"""Figure 7: loss in fault recovery coverage across the ITR cache grid.
+
+Paper claims reproduced: recovery loss always exceeds detection loss
+(every miss costs recovery; only unreferenced evictions cost detection);
+2-way/1024 averages ~2.5% with vortex worst (~15%).
+"""
+
+from conftest import run_once
+
+from repro.experiments.coverage_sweep import render_sweep, run_sweep
+
+
+def test_fig7(benchmark, instructions, sweep_cache, save_report):
+    def compute():
+        if sweep_cache.result is None:  # fig6 usually ran first
+            sweep_cache.result = run_sweep(instructions=instructions)
+        return sweep_cache.result
+
+    result = run_once(benchmark, compute)
+    save_report("fig7_recovery_coverage", render_sweep(result, "recovery"))
+
+    for cell in result.cells:
+        assert cell.detection_loss_pct <= cell.recovery_loss_pct + 1e-9
+    worst_name, worst = result.max_loss(1024, 2, "recovery")
+    assert worst_name in ("vortex", "perl")
+    assert 8.0 < worst < 35.0           # paper: 15%
+    assert result.average_loss(1024, 2, "recovery") < 8.0  # paper: 2.5%

@@ -1,0 +1,32 @@
+"""Extension bench: Figure 8 campaign on synthesized SPEC replicas.
+
+Bridges the documented workload substitution: the same fault-injection
+methodology, run on *SPEC-shaped executable code* (scaled replicas of the
+calibrated profiles) rather than hand-written kernels. The outcome
+structure must match the kernel campaign and the paper: ITR-dominated
+detection, masked > recoverable-SDC > everything else.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fault_injection import (
+    render_figure8,
+    run_fault_injection,
+)
+from repro.faults.outcomes import Outcome
+from repro.workloads.program_synth import mini_spec_kernel
+
+MINI_BENCHMARKS = ("bzip", "twolf", "vortex", "swim")
+
+
+def test_fig8_mini_spec(benchmark, trials, save_report):
+    kernels = [mini_spec_kernel(name, target_instructions=8_000)
+               for name in MINI_BENCHMARKS]
+    result = run_once(benchmark, lambda: run_fault_injection(
+        kernels=kernels, trials=max(10, trials // 2),
+        observation_cycles=50_000))
+    save_report("fig8_mini_spec", render_figure8(result))
+
+    assert result.average_detected_by_itr() > 0.7
+    assert result.average_fraction(Outcome.ITR_MASK) > 0.2
+    assert result.average_fraction(Outcome.UNDET_SDC) < 0.2

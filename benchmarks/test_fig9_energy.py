@@ -1,0 +1,26 @@
+"""Figure 9: energy of the ITR cache vs redundant I-cache fetches.
+
+Paper claim reproduced: the ITR approach is far cheaper than fetching
+every instruction a second time from the I-cache, for every benchmark,
+with the published CACTI anchors (0.58/0.84 nJ ITR, 0.87 nJ I-cache).
+"""
+
+from conftest import run_once
+
+from repro.experiments.energy_compare import (
+    render_figure9,
+    run_energy_comparison,
+)
+
+
+def test_fig9(benchmark, instructions, save_report):
+    result = run_once(benchmark, lambda: run_energy_comparison(
+        instructions=instructions))
+    save_report("fig9_energy", render_figure9(result))
+
+    assert len(result.comparisons) == 16
+    for comparison in result.comparisons:
+        assert comparison.itr_shared_port_mj < comparison.icache_refetch_mj
+        assert comparison.itr_split_ports_mj < comparison.icache_refetch_mj
+        assert comparison.itr_split_ports_mj > comparison.itr_shared_port_mj
+    assert result.average_advantage() > 2.0

@@ -1,0 +1,25 @@
+"""Extension bench: the paper's Figs 1/3 analysis on real kernels.
+
+Validates that real executable programs on this ISA exhibit the inherent
+time redundancy the paper relies on: tiny static footprints, repeats
+within 500 instructions, negligible coverage loss at 1024 signatures.
+"""
+
+from conftest import run_once
+
+from repro.experiments.kernel_characterization import (
+    render_kernel_characterization,
+    run_kernel_characterization,
+)
+
+
+def test_kernel_characterization(benchmark, save_report):
+    result = run_once(benchmark, run_kernel_characterization)
+    save_report("kernel_characterization",
+                render_kernel_characterization(result))
+
+    for kernel in result.kernels:
+        assert kernel.within_500_pct > 85.0
+        assert kernel.detection_loss_pct < 0.5
+        assert kernel.static_traces < 64
+        assert 1.0 <= kernel.mean_trace_length <= 16.0

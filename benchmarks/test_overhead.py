@@ -1,0 +1,24 @@
+"""Extension bench: ITR's performance overhead (the title claim).
+
+"Low-overhead fault tolerance": attaching the full ITR machinery must
+not measurably slow the pipeline — the commit-side protocol overlaps
+existing stalls.
+"""
+
+from conftest import run_once
+
+from repro.experiments.overhead import (
+    render_overhead,
+    run_overhead_measurement,
+)
+
+
+def test_overhead(benchmark, save_report):
+    result = run_once(benchmark, run_overhead_measurement)
+    save_report("overhead", render_overhead(result))
+
+    assert result.mean_overhead_pct() < 1.0
+    assert result.max_overhead_pct() < 3.0
+    for row in result.rows:
+        # the ITR ROB never comes close to its 48-entry default
+        assert row.itr_rob_high_water <= 48

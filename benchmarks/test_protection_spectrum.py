@@ -1,0 +1,39 @@
+"""Extension bench: the cost/coverage spectrum, measured.
+
+The paper's Section 5 conclusion — ITR and structural duplication are
+"two different design points in the cost/coverage spectrum" — run as an
+actual experiment: the same fault plan through an unprotected machine,
+the ITR machine (monitor and recovery), and a G5-style duplicated
+frontend.
+"""
+
+from conftest import run_once
+
+from repro.experiments.protection_compare import (
+    render_protection_spectrum,
+    run_protection_spectrum,
+)
+
+
+def test_protection_spectrum(benchmark, trials, save_report):
+    result = run_once(benchmark, lambda: run_protection_spectrum(
+        trials=max(8, trials // 3)))
+    save_report("protection_spectrum",
+                render_protection_spectrum(result))
+
+    none = result.mode("none")
+    itr = result.mode("itr")
+    recovery = result.mode("itr+recovery")
+    duplication = result.mode("duplication")
+
+    # duplication: perfect detection, zero SDC, max cost
+    assert duplication.detected_fraction() == 1.0
+    assert duplication.sdc_fraction() == 0.0
+    assert duplication.area_cm2 > 7 * itr.area_cm2
+    # ITR detects the overwhelming majority at a fraction of the cost
+    assert itr.detected_fraction() > 0.75
+    # recovery reclaims most of the raw SDC impact
+    assert recovery.sdc_fraction() < 0.5 * max(none.sdc_fraction(), 0.01) \
+        or none.sdc_fraction() == 0.0
+    # unprotected machine detects nothing
+    assert none.detected_fraction() == 0.0

@@ -1,0 +1,18 @@
+"""Section 5 area comparison: ITR cache vs duplicating the I-unit.
+
+Paper claim reproduced exactly (die-photo anchored): the G5 I-unit is
+2.1 cm^2; the ITR cache is ~0.3 cm^2 — about one seventh.
+"""
+
+from conftest import run_once
+
+from repro.experiments.energy_compare import render_area, run_area_comparison
+
+
+def test_sec5_area(benchmark, save_report):
+    comparison = run_once(benchmark, run_area_comparison)
+    save_report("sec5_area", render_area(comparison))
+
+    assert comparison.iunit_cm2 == 2.1
+    assert 0.2 < comparison.itr_cache_cm2 < 0.35
+    assert 6.0 < comparison.ratio < 8.5

@@ -1,0 +1,22 @@
+"""Table 1: number of static traces per SPEC benchmark.
+
+The synthetic models lay out exactly the paper's static trace counts;
+the regenerated table reports both the model footprint (must be exact)
+and the number actually observed in this (much shorter) run.
+"""
+
+from conftest import run_once
+
+from repro.experiments.characterization import render_table1
+from repro.workloads import PAPER_STATIC_TRACES
+
+
+def test_tab1(benchmark, characterization_result, save_report):
+    result = characterization_result
+    text = run_once(benchmark, lambda: render_table1(result))
+    save_report("tab1_static_traces", text)
+
+    for bench in result.benchmarks:
+        assert bench.static_traces_program == \
+            PAPER_STATIC_TRACES[bench.name]
+        assert bench.static_traces_observed <= bench.static_traces_program

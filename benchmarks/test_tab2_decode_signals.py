@@ -1,0 +1,23 @@
+"""Table 2: the decode-signal inventory.
+
+Regenerated from the live ISA definition; total width must be the 64 bits
+the paper's signature datapath assumes.
+"""
+
+from conftest import run_once
+
+from repro.experiments.characterization import render_table2
+from repro.isa.decode_signals import FIELDS, TOTAL_WIDTH
+
+
+def test_tab2(benchmark, save_report):
+    text = run_once(benchmark, render_table2)
+    save_report("tab2_decode_signals", text)
+
+    assert TOTAL_WIDTH == 64
+    widths = {f.name: f.width for f in FIELDS}
+    assert widths == {
+        "opcode": 8, "flags": 12, "shamt": 5, "rsrc1": 5, "rsrc2": 5,
+        "rdst": 5, "lat": 2, "imm": 16, "num_rsrc": 2, "num_rdst": 1,
+        "mem_size": 3,
+    }

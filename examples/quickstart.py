@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: protect a program's fetch/decode units with ITR.
+
+Assembles a small program, runs it on the out-of-order cycle simulator
+with the ITR machinery attached, then injects a single-event upset into
+the decode signals and watches ITR detect the fault and recover by
+flushing and restarting — the paper's headline mechanism, end to end.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.isa import assemble
+from repro.arch import FunctionalSimulator
+from repro.uarch import build_pipeline
+
+SOURCE = """
+.data
+greeting: .asciiz "checksum="
+.text
+main:
+    li   $t0, 0              # checksum
+    li   $t1, 0              # i
+    li   $t2, 1000           # iterations
+loop:
+    xor  $t3, $t1, $t0
+    sll  $t3, $t3, 1
+    add  $t0, $t3, $t1
+    addi $t1, $t1, 1
+    bne  $t1, $t2, loop
+    la   $a0, greeting
+    li   $v0, 4
+    syscall
+    move $a0, $t0
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE, name="quickstart")
+
+    # 1. Golden reference: the architectural answer.
+    golden = FunctionalSimulator(program)
+    golden.run_silently()
+    print(f"golden output         : {golden.output}")
+
+    # 2. Fault-free run on the ITR-protected superscalar pipeline.
+    pipeline = build_pipeline(program)
+    result = pipeline.run(max_cycles=200_000)
+    stats = pipeline.itr.stats
+    print(f"pipeline output       : {pipeline.output}  "
+          f"({result.instructions} instructions, "
+          f"IPC {pipeline.stats.ipc:.2f})")
+    print(f"ITR traces dispatched : {stats.traces_dispatched} "
+          f"(hits {stats.cache_hits}, misses {stats.cache_misses}, "
+          f"mismatches {stats.mismatches})")
+
+    # 3. Inject a single-event upset into one instruction's decode signals
+    #    mid-run: flip an immediate bit of the 300th decoded instruction.
+    def upset(decode_index, pc, signals):
+        if decode_index == 300:
+            return signals.with_bit_flipped(42), True  # bit 42 is in imm
+        return signals, False
+
+    faulty = build_pipeline(program, decode_tamper=upset)
+    result = faulty.run(max_cycles=400_000)
+    stats = faulty.itr.stats
+    print(f"faulty-run output     : {faulty.output}  ({result.reason})")
+    print(f"ITR detection/recovery: mismatches={stats.mismatches} "
+          f"retries={stats.retries} recoveries={stats.recoveries}")
+    assert faulty.output == golden.output, "recovery failed!"
+    print("the injected fault was detected by a trace-signature mismatch "
+          "and repaired by flush+restart — output matches golden.")
+
+
+if __name__ == "__main__":
+    main()

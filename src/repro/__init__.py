@@ -1,0 +1,23 @@
+"""repro — reproduction of Reddy & Rotenberg, "Inherent Time Redundancy
+(ITR): Using Program Repetition for Low-Overhead Fault Tolerance" (DSN'07).
+
+Layering (bottom up):
+
+* :mod:`repro.utils` — bit ops, LRU, deterministic RNG, stats, tables
+* :mod:`repro.isa` — PISA-like ISA, assembler, 64-bit decode signals
+* :mod:`repro.arch` — architectural state + golden functional simulator
+* :mod:`repro.uarch` — out-of-order superscalar cycle simulator
+* :mod:`repro.itr` — the paper's contribution: signatures, ITR cache,
+  ITR ROB, controller, coverage accounting, extensions
+* :mod:`repro.faults` — single-event-upset injection and classification
+* :mod:`repro.workloads` — assembly kernels + calibrated SPEC2K models
+* :mod:`repro.models` — cache area/energy models (CACTI-anchored)
+* :mod:`repro.experiments` — one driver per paper table/figure
+"""
+
+__version__ = "1.0.0"
+
+from . import errors, utils  # noqa: F401  (re-exported subpackages)
+from .regimen import ProtectedMachine, ProtectionReport  # noqa: F401
+
+__all__ = ["errors", "utils", "ProtectedMachine", "ProtectionReport"]

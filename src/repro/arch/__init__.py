@@ -1,0 +1,47 @@
+"""Architectural layer: state, signal-driven semantics, golden simulator."""
+
+from .functional import CommitEffect, FunctionalSimulator
+from .semantics import (
+    ExecResult,
+    branch_target,
+    direct_target,
+    effective_address,
+    execute,
+    memory_access_size,
+    operand_values,
+    perform_load,
+    perform_store,
+)
+from .state import (
+    NUM_ARCH_REGS,
+    ArchState,
+    Memory,
+    RegisterFile,
+    arch_reg,
+    bits_to_float,
+    float_to_bits,
+)
+from .syscalls import OsLayer, SyscallResult
+
+__all__ = [
+    "CommitEffect",
+    "FunctionalSimulator",
+    "ExecResult",
+    "branch_target",
+    "direct_target",
+    "effective_address",
+    "execute",
+    "memory_access_size",
+    "operand_values",
+    "perform_load",
+    "perform_store",
+    "NUM_ARCH_REGS",
+    "ArchState",
+    "Memory",
+    "RegisterFile",
+    "arch_reg",
+    "bits_to_float",
+    "float_to_bits",
+    "OsLayer",
+    "SyscallResult",
+]

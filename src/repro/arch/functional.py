@@ -1,0 +1,182 @@
+"""Functional (golden) simulator.
+
+Executes one architectural instruction per :meth:`FunctionalSimulator.step`
+through the same signal-driven semantics the cycle simulator uses, and
+emits a :class:`CommitEffect` per instruction. Fault-injection campaigns
+run this as the fault-free reference and compare effects in commit order
+(paper Section 4: a "golden" simulator runs in parallel with the faulty
+one and committed state is compared).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from ..errors import SimulationError
+from ..isa.decode_signals import DecodeSignals, decode
+from ..isa.encoding import INSTRUCTION_BYTES
+from ..isa.program import Program
+from .semantics import (
+    execute,
+    memory_access_size,
+    operand_values,
+    perform_load,
+    perform_store,
+)
+from .state import ArchState, arch_reg
+from .syscalls import OsLayer
+
+_V0 = 2
+
+
+@dataclass(frozen=True)
+class CommitEffect:
+    """The externally visible effect of committing one instruction.
+
+    Two simulators agree architecturally iff their commit-effect streams
+    are identical element by element. ``dest`` uses the unified 64-entry
+    register space (FP registers at 32..63).
+    """
+
+    pc: int
+    next_pc: int
+    dest: Optional[int] = None
+    value: Optional[int] = None
+    store_address: Optional[int] = None
+    store_size: int = 0
+    store_value: Optional[int] = None
+    output: Optional[str] = None
+    halted: bool = False
+
+    def same_architectural_effect(self, other: "CommitEffect") -> bool:
+        """Compare every architecturally visible field."""
+        return (self.pc == other.pc
+                and self.next_pc == other.next_pc
+                and self.dest == other.dest
+                and self.value == other.value
+                and self.store_address == other.store_address
+                and self.store_size == other.store_size
+                and self.store_value == other.store_value
+                and self.output == other.output
+                and self.halted == other.halted)
+
+
+class FunctionalSimulator:
+    """In-order, one-instruction-at-a-time architectural executor."""
+
+    def __init__(self, program: Program,
+                 inputs: Optional[Sequence[int]] = None,
+                 os_seed: int = 1):
+        self.program = program
+        self.state = ArchState.from_program(program)
+        self.os = OsLayer(inputs=inputs, seed=os_seed)
+        self.halted = False
+        self.instructions_retired = 0
+
+    def step(self) -> CommitEffect:
+        """Execute and commit exactly one instruction."""
+        if self.halted:
+            raise SimulationError("stepping a halted simulator")
+        state = self.state
+        pc = state.pc
+        instr = self.program.instruction_at(pc)
+        signals = decode(instr)
+        effect = self._execute_signals(signals, pc)
+        self._apply(effect, signals)
+        self.instructions_retired += 1
+        return effect
+
+    def _execute_signals(self, signals: DecodeSignals,
+                         pc: int) -> CommitEffect:
+        state = self.state
+        raw1 = state.regs.read(arch_reg(signals.rsrc1, signals.rsrc1_is_fp))
+        raw2 = state.regs.read(arch_reg(signals.rsrc2, signals.rsrc2_is_fp))
+        src1, src2 = operand_values(signals, raw1, raw2)
+        result = execute(signals, src1, src2, pc)
+        fallthrough = (pc + INSTRUCTION_BYTES) & 0xFFFFFFFF
+        next_pc = result.target if result.target is not None else fallthrough
+
+        dest: Optional[int] = None
+        value: Optional[int] = None
+        store_address: Optional[int] = None
+        store_size = 0
+        store_value: Optional[int] = None
+        output: Optional[str] = None
+        halted = False
+
+        if signals.is_ld:
+            loaded = perform_load(signals, state.memory, result.address)
+            if signals.num_rdst:
+                dest = arch_reg(signals.rdst, signals.rdst_is_fp)
+                value = loaded
+        elif signals.is_st:
+            store_address = result.address
+            store_size = memory_access_size(signals)
+            store_value = result.store_value
+        elif signals.is_trap:
+            outcome = self.os.syscall(state)
+            output = outcome.output
+            halted = outcome.halted
+            if outcome.v0 is not None:
+                dest = arch_reg(_V0, False)
+                value = outcome.v0
+        else:
+            if signals.num_rdst and result.value is not None:
+                dest = arch_reg(signals.rdst, signals.rdst_is_fp)
+                value = result.value
+
+        return CommitEffect(
+            pc=pc,
+            next_pc=next_pc,
+            dest=dest,
+            value=value,
+            store_address=store_address,
+            store_size=store_size,
+            store_value=store_value,
+            output=output,
+            halted=halted,
+        )
+
+    def _apply(self, effect: CommitEffect, signals: DecodeSignals) -> None:
+        state = self.state
+        if effect.dest is not None and effect.value is not None:
+            state.regs.write(effect.dest, effect.value)
+        if effect.store_address is not None and effect.store_size:
+            perform_store(signals, state.memory, effect.store_address,
+                          effect.store_value or 0)
+        state.pc = effect.next_pc
+        if effect.halted:
+            self.halted = True
+
+    def run(self, max_steps: int = 1_000_000) -> List[CommitEffect]:
+        """Run to halt or ``max_steps``; returns all commit effects."""
+        effects: List[CommitEffect] = []
+        for _ in range(max_steps):
+            effects.append(self.step())
+            if self.halted:
+                break
+        return effects
+
+    def run_silently(self, max_steps: int = 1_000_000) -> int:
+        """Run to halt or ``max_steps`` without keeping effects.
+
+        Returns the number of instructions retired. Used when only final
+        state / console output matters.
+        """
+        for count in range(1, max_steps + 1):
+            self.step()
+            if self.halted:
+                return count
+        return max_steps
+
+    def effects(self, max_steps: int = 10_000_000) -> Iterator[CommitEffect]:
+        """Lazy commit-effect stream (golden reference for lockstep runs)."""
+        for _ in range(max_steps):
+            if self.halted:
+                return
+            yield self.step()
+
+    @property
+    def output(self) -> str:
+        return self.os.output_text()

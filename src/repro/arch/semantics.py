@@ -1,0 +1,283 @@
+"""Signal-driven execution semantics.
+
+Both the golden functional simulator and the out-of-order cycle simulator
+execute instructions through the functions in this module, which consume
+**only** the 64-bit decode-signal vector plus operand values. This is the
+contract that makes decode-signal fault injection meaningful: a flipped bit
+changes downstream behaviour exactly the way it would in the modeled
+pipeline, and the two simulators cannot diverge in fault-free runs because
+they share one implementation of the semantics.
+
+Division of responsibility between signal fields (mirrors a real pipeline):
+
+* ``opcode`` selects the datapath computation (which ALU op, which branch
+  condition). An unassigned opcode — reachable only via a fault — computes
+  an undefined result, modeled as zero.
+* control ``flags`` steer the pipeline: ``is_ld``/``is_st`` route to the
+  LSQ, ``is_branch``/``is_uncond`` engage control-flow handling, ``is_fp``
+  selects the register file, ``is_trap`` raises a syscall at commit.
+* ``num_rsrc``/``num_rdst`` tell rename how many operands to map; sources
+  beyond ``num_rsrc`` read as zero and results are dropped when
+  ``num_rdst`` is zero.
+* ``lat`` is purely timing (so latency faults are architecturally masked,
+  as the paper observes).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..isa.decode_signals import DecodeSignals
+from ..isa.encoding import INSTRUCTION_BYTES
+from ..isa.program import TEXT_BASE
+from ..utils.bitops import sign_extend, to_unsigned
+from .state import Memory, bits_to_float, float_to_bits
+
+_WORD = 0xFFFFFFFF
+_INT32_MIN = -(1 << 31)
+_INT32_MAX = (1 << 31) - 1
+
+
+def _signed(value: int) -> int:
+    return sign_extend(value, 32)
+
+
+def _sext_imm(signals: DecodeSignals) -> int:
+    return sign_extend(signals.imm, 16)
+
+
+def _pack_float(value: float) -> int:
+    """Pack a Python float to single-precision bits, saturating overflow."""
+    try:
+        return struct.unpack("<I", struct.pack("<f", value))[0]
+    except OverflowError:
+        # Magnitude exceeds float32 range: hardware would produce +/-inf.
+        return float_to_bits(float("inf") if value > 0 else float("-inf"))
+
+
+def _fp_binary(op: Callable[[float, float], float],
+               src1: int, src2: int) -> int:
+    a = bits_to_float(src1)
+    b = bits_to_float(src2)
+    try:
+        result = op(a, b)
+    except ZeroDivisionError:
+        if a != a or a == 0.0:  # NaN/0 over 0
+            return float_to_bits(float("nan"))
+        return float_to_bits(float("inf") if a > 0 else float("-inf"))
+    return _pack_float(result)
+
+
+def _cvt_w_s(src1: int) -> int:
+    value = bits_to_float(src1)
+    if value != value:  # NaN
+        return 0
+    clamped = max(min(value, float(_INT32_MAX)), float(_INT32_MIN))
+    return to_unsigned(int(clamped), 32)
+
+
+# ---------------------------------------------------------------------------
+# ALU dispatch: opcode code -> computation over (signals, src1, src2).
+# Only non-memory, non-control computations live here; loads/stores and
+# branches are dispatched by their flags in the pipeline.
+# ---------------------------------------------------------------------------
+_AluFn = Callable[[DecodeSignals, int, int], int]
+
+_ALU: Dict[int, _AluFn] = {
+    0x00: lambda s, a, b: 0,                                        # nop
+    # integer register-register
+    0x10: lambda s, a, b: (a + b) & _WORD,                          # add
+    0x11: lambda s, a, b: (a + b) & _WORD,                          # addu
+    0x12: lambda s, a, b: (a - b) & _WORD,                          # sub
+    0x13: lambda s, a, b: (a - b) & _WORD,                          # subu
+    0x14: lambda s, a, b: a & b,                                    # and
+    0x15: lambda s, a, b: a | b,                                    # or
+    0x16: lambda s, a, b: a ^ b,                                    # xor
+    0x17: lambda s, a, b: ~(a | b) & _WORD,                         # nor
+    0x18: lambda s, a, b: int(_signed(a) < _signed(b)),             # slt
+    0x19: lambda s, a, b: int(a < b),                               # sltu
+    0x1A: lambda s, a, b: (_signed(a) * _signed(b)) & _WORD,        # mult
+    0x1B: lambda s, a, b: (a * b) & _WORD,                          # multu
+    0x1C: lambda s, a, b: (to_unsigned(int(_signed(a) / _signed(b)), 32)
+                           if _signed(b) else 0),                   # div
+    0x1D: lambda s, a, b: (a // b if b else 0),                     # divu
+    0x1E: lambda s, a, b: (a << (b & 31)) & _WORD,                  # sllv
+    0x1F: lambda s, a, b: a >> (b & 31),                            # srlv
+    0x20: lambda s, a, b: to_unsigned(_signed(a) >> (b & 31), 32),  # srav
+    # shifts by immediate amount
+    0x21: lambda s, a, b: (a << s.shamt) & _WORD,                   # sll
+    0x22: lambda s, a, b: a >> s.shamt,                             # srl
+    0x23: lambda s, a, b: to_unsigned(_signed(a) >> s.shamt, 32),   # sra
+    # integer immediates
+    0x28: lambda s, a, b: (a + _sext_imm(s)) & _WORD,               # addi
+    0x29: lambda s, a, b: (a + _sext_imm(s)) & _WORD,               # addiu
+    0x2A: lambda s, a, b: a & s.imm,                                # andi
+    0x2B: lambda s, a, b: a | s.imm,                                # ori
+    0x2C: lambda s, a, b: a ^ s.imm,                                # xori
+    0x2D: lambda s, a, b: int(_signed(a) < _sext_imm(s)),           # slti
+    0x2E: lambda s, a, b: int(a < to_unsigned(_sext_imm(s), 32)),   # sltiu
+    0x2F: lambda s, a, b: (s.imm << 16) & _WORD,                    # lui
+    # floating point
+    0x50: lambda s, a, b: _fp_binary(lambda x, y: x + y, a, b),     # add.s
+    0x51: lambda s, a, b: _fp_binary(lambda x, y: x - y, a, b),     # sub.s
+    0x52: lambda s, a, b: _fp_binary(lambda x, y: x * y, a, b),     # mul.s
+    0x53: lambda s, a, b: _fp_binary(lambda x, y: x / y, a, b),     # div.s
+    0x54: lambda s, a, b: _pack_float(abs(bits_to_float(a))),       # abs.s
+    0x55: lambda s, a, b: _pack_float(-bits_to_float(a)),           # neg.s
+    0x56: lambda s, a, b: a,                                        # mov.s
+    0x57: lambda s, a, b: _pack_float(float(_signed(a))),           # cvt.s.w
+    0x58: lambda s, a, b: _cvt_w_s(a),                              # cvt.w.s
+    0x59: lambda s, a, b: int(bits_to_float(a) < bits_to_float(b)),  # c.lt.s
+    0x5A: lambda s, a, b: int(bits_to_float(a) <= bits_to_float(b)),  # c.le.s
+    0x5B: lambda s, a, b: int(bits_to_float(a) == bits_to_float(b)),  # c.eq.s
+}
+
+# Branch condition dispatch: opcode -> predicate over (src1, src2).
+_BRANCH: Dict[int, Callable[[int, int], bool]] = {
+    0x40: lambda a, b: a == b,                  # beq
+    0x41: lambda a, b: a != b,                  # bne
+    0x42: lambda a, b: _signed(a) <= 0,         # blez
+    0x43: lambda a, b: _signed(a) > 0,          # bgtz
+    0x44: lambda a, b: _signed(a) < 0,          # bltz
+    0x45: lambda a, b: _signed(a) >= 0,         # bgez
+}
+
+@dataclass(frozen=True)
+class ExecResult:
+    """Outcome of executing one instruction's compute portion.
+
+    Memory is **not** touched here — the caller (functional step loop or
+    LSQ) performs the access using ``address``/``store_value``/``size``.
+    """
+
+    value: Optional[int] = None        # ALU result or link value (raw bits)
+    taken: bool = False                # conditional branch outcome
+    target: Optional[int] = None       # control-flow target when redirecting
+    address: Optional[int] = None      # memory effective address
+    store_value: Optional[int] = None  # raw bits to store (is_st only)
+
+    @property
+    def redirects(self) -> bool:
+        """True when control flow leaves the fall-through path."""
+        return self.target is not None
+
+
+def branch_target(signals: DecodeSignals, pc: int) -> int:
+    """PC-relative target of a conditional branch at ``pc``."""
+    return (pc + INSTRUCTION_BYTES
+            + _sext_imm(signals) * INSTRUCTION_BYTES) & _WORD
+
+
+def direct_target(signals: DecodeSignals) -> int:
+    """Absolute target of a direct jump (text-relative word index)."""
+    return TEXT_BASE + signals.imm * INSTRUCTION_BYTES
+
+
+def effective_address(signals: DecodeSignals, base: int) -> int:
+    """Base+displacement effective address for loads and stores."""
+    return (base + _sext_imm(signals)) & _WORD
+
+
+def memory_access_size(signals: DecodeSignals) -> int:
+    """Bytes accessed, clamped to the 0..4 the datapath supports.
+
+    Fault-free vectors carry 0/1/2/4; a fault can produce any 3-bit value,
+    which the hardware's byte-enable logic would clamp to the bus width.
+    """
+    return min(signals.mem_size, 4)
+
+
+def execute(signals: DecodeSignals, src1: int, src2: int,
+            pc: int) -> ExecResult:
+    """Execute the compute portion of one instruction.
+
+    ``src1``/``src2`` are the raw 32-bit values of ``rsrc1``/``rsrc2``;
+    callers must already have zeroed sources beyond ``num_rsrc`` (use
+    :func:`operand_values`). ``pc`` is the instruction's own PC.
+    """
+    if signals.is_ld:
+        return ExecResult(address=effective_address(signals, src1))
+    if signals.is_st:
+        return ExecResult(address=effective_address(signals, src1),
+                          store_value=src2 & _WORD)
+    if signals.is_branch:
+        predicate = _BRANCH.get(signals.opcode)
+        taken = bool(predicate(src1, src2)) if predicate else False
+        target = branch_target(signals, pc) if taken else None
+        return ExecResult(taken=taken, target=target)
+    if signals.is_uncond:
+        if signals.is_direct:
+            target = direct_target(signals)
+        else:
+            target = src1 & _WORD
+        link = (pc + INSTRUCTION_BYTES) & _WORD
+        return ExecResult(value=link if signals.num_rdst else None,
+                          target=target)
+    if signals.is_trap:
+        return ExecResult()
+    alu = _ALU.get(signals.opcode)
+    if alu is None:
+        # Unassigned opcode (reachable only through a fault): the datapath
+        # produces an undefined value, modeled as zero.
+        return ExecResult(value=0)
+    return ExecResult(value=alu(signals, src1, src2) & _WORD)
+
+
+def operand_values(signals: DecodeSignals, raw1: int, raw2: int):
+    """Apply the ``num_rsrc`` gating: unneeded sources read as zero.
+
+    In the modeled pipeline rename only maps as many sources as
+    ``num_rsrc`` claims; a faulted low count makes the datapath see zero
+    for the unmapped operand.
+    """
+    src1 = raw1 if signals.num_rsrc >= 1 else 0
+    src2 = raw2 if signals.num_rsrc >= 2 else 0
+    return src1, src2
+
+
+def perform_load(signals: DecodeSignals, memory: Memory,
+                 address: int) -> int:
+    """Perform a load access and return the raw 32-bit register value.
+
+    Implements sized loads with sign/zero extension plus the simplified
+    left/right partial-word accesses (``mem_lr``): ``lwl`` fills the
+    high-order bytes of the result from the aligned word start up to the
+    address, ``lwr`` fills the low-order bytes from the address to the
+    word end (both zero-fill the remainder).
+    """
+    size = memory_access_size(signals)
+    if size == 0:
+        return 0
+    if signals.mem_lr:
+        aligned = address & ~3
+        byte = address & 3
+        if signals.opcode == 0x36:  # lwr: address .. end of word, low bytes
+            raw = memory.load_bytes(address, 4 - byte)
+            return int.from_bytes(raw, "little")
+        # lwl (and any faulted mem_lr op): start of word .. address,
+        # placed in the high-order bytes.
+        raw = memory.load_bytes(aligned, byte + 1)
+        return (int.from_bytes(raw, "little") << (8 * (3 - byte))) & _WORD
+    value = memory.load(address, size, signed=False)
+    if signals.is_signed and size < 4:
+        value = to_unsigned(sign_extend(value, 8 * size), 32)
+    return value & _WORD
+
+
+def perform_store(signals: DecodeSignals, memory: Memory, address: int,
+                  value: int) -> None:
+    """Perform a store access (sized, with simplified swl/swr)."""
+    size = memory_access_size(signals)
+    if size == 0:
+        return
+    if signals.mem_lr:
+        aligned = address & ~3
+        byte = address & 3
+        if signals.opcode == 0x3C:  # swr: low bytes to address..word end
+            memory.store(address, 4 - byte, value)
+        else:                        # swl: high bytes to word start..address
+            memory.store(aligned, byte + 1, value >> (8 * (3 - byte)))
+        return
+    memory.store(address, size, value)

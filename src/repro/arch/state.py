@@ -1,0 +1,222 @@
+"""Architectural state: register files and byte-addressable memory.
+
+Values are stored uniformly as raw 32-bit unsigned integers; floating-point
+registers hold IEEE-754 single-precision bit patterns. This keeps the
+rename/bypass/commit datapaths of the cycle simulator type-free, exactly as
+hardware is, and makes golden-vs-faulty state comparison a plain integer
+compare.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import MemoryFault
+from ..isa.program import DATA_BASE, STACK_TOP, Program
+from ..isa.registers import NUM_FP_REGS, NUM_INT_REGS
+
+#: Number of architectural registers in the unified specifier space
+#: (integer file at indices 0..31, FP file at 32..63).
+NUM_ARCH_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+_PAGE_BITS = 12
+_PAGE_SIZE = 1 << _PAGE_BITS
+_ADDRESS_LIMIT = 1 << 32
+
+
+def arch_reg(index: int, is_fp: bool) -> int:
+    """Map a 5-bit specifier plus file-select into unified register space."""
+    if not 0 <= index < 32:
+        raise ValueError(f"register specifier {index} out of range")
+    return index + (NUM_INT_REGS if is_fp else 0)
+
+
+def float_to_bits(value: float) -> int:
+    """IEEE-754 single-precision bit pattern of ``value``."""
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Value of the IEEE-754 single-precision pattern ``bits``."""
+    return struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0]
+
+
+class RegisterFile:
+    """Unified 64-entry architectural register file (raw 32-bit values).
+
+    Integer register 0 is hardwired to zero, as in MIPS/PISA.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: List[int] = [0] * NUM_ARCH_REGS
+
+    def read(self, reg: int) -> int:
+        """Raw 32-bit value of unified register ``reg``."""
+        return self._values[reg]
+
+    def write(self, reg: int, value: int) -> None:
+        """Write ``value`` (masked to 32 bits); integer $zero is dropped."""
+        if reg == 0:
+            return  # $zero is hardwired
+        self._values[reg] = value & 0xFFFFFFFF
+
+    def read_int(self, index: int) -> int:
+        """Read integer register ``index``."""
+        return self._values[arch_reg(index, False)]
+
+    def write_int(self, index: int, value: int) -> None:
+        """Write integer register ``index``."""
+        self.write(arch_reg(index, False), value)
+
+    def read_fp(self, index: int) -> float:
+        """Read FP register ``index`` as a Python float."""
+        return bits_to_float(self._values[arch_reg(index, True)])
+
+    def write_fp(self, index: int, value: float) -> None:
+        """Write FP register ``index`` from a Python float."""
+        self.write(arch_reg(index, True), float_to_bits(value))
+
+    def snapshot(self) -> Tuple[int, ...]:
+        """Immutable copy of all 64 register values."""
+        return tuple(self._values)
+
+    def restore(self, snapshot: Tuple[int, ...]) -> None:
+        """Restore values from a prior :meth:`snapshot`."""
+        if len(snapshot) != NUM_ARCH_REGS:
+            raise ValueError("register snapshot has wrong length")
+        self._values = list(snapshot)
+
+    def copy(self) -> "RegisterFile":
+        """Independent deep copy of the register file."""
+        clone = RegisterFile()
+        clone._values = list(self._values)
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RegisterFile):
+            return self._values == other._values
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return hash(tuple(self._values))
+
+
+class Memory:
+    """Sparse paged little-endian byte-addressable memory (32-bit space)."""
+
+    __slots__ = ("_pages",)
+
+    def __init__(self) -> None:
+        self._pages: Dict[int, bytearray] = {}
+
+    def _page(self, address: int, create: bool) -> Optional[bytearray]:
+        number = address >> _PAGE_BITS
+        page = self._pages.get(number)
+        if page is None and create:
+            page = bytearray(_PAGE_SIZE)
+            self._pages[number] = page
+        return page
+
+    def _check(self, address: int, size: int) -> None:
+        if address < 0 or address + size > _ADDRESS_LIMIT:
+            raise MemoryFault(address, f"{size}-byte access out of range")
+
+    def load_bytes(self, address: int, size: int) -> bytes:
+        """Read ``size`` bytes; untouched memory reads as zero."""
+        self._check(address, size)
+        out = bytearray()
+        while size > 0:
+            offset = address & (_PAGE_SIZE - 1)
+            chunk = min(size, _PAGE_SIZE - offset)
+            page = self._page(address, create=False)
+            if page is None:
+                out += bytes(chunk)
+            else:
+                out += page[offset:offset + chunk]
+            address += chunk
+            size -= chunk
+        return bytes(out)
+
+    def store_bytes(self, address: int, data: bytes) -> None:
+        """Write raw ``data`` bytes starting at ``address``."""
+        self._check(address, len(data))
+        position = 0
+        while position < len(data):
+            offset = address & (_PAGE_SIZE - 1)
+            chunk = min(len(data) - position, _PAGE_SIZE - offset)
+            page = self._page(address, create=True)
+            page[offset:offset + chunk] = data[position:position + chunk]
+            address += chunk
+            position += chunk
+
+    def load(self, address: int, size: int, signed: bool = False) -> int:
+        """Load an integer of ``size`` bytes (1, 2 or 4), little-endian."""
+        raw = self.load_bytes(address, size)
+        return int.from_bytes(raw, "little", signed=signed)
+
+    def store(self, address: int, size: int, value: int) -> None:
+        """Store the low ``size`` bytes of ``value``, little-endian."""
+        self.store_bytes(address, (value & ((1 << (8 * size)) - 1))
+                         .to_bytes(size, "little"))
+
+    def load_cstring(self, address: int, limit: int = 4096) -> str:
+        """Read a NUL-terminated string (used by the print-string syscall)."""
+        chars = bytearray()
+        for index in range(limit):
+            byte = self.load_bytes(address + index, 1)[0]
+            if byte == 0:
+                break
+            chars.append(byte)
+        return chars.decode("latin-1")
+
+    def copy(self) -> "Memory":
+        """Independent deep copy of all touched pages."""
+        clone = Memory()
+        clone._pages = {num: bytearray(page)
+                        for num, page in self._pages.items()}
+        return clone
+
+    def touched_pages(self) -> Iterator[int]:
+        """Page numbers that have been written (for state comparison)."""
+        return iter(sorted(self._pages))
+
+    def page_digest(self) -> Tuple[Tuple[int, bytes], ...]:
+        """Stable digest of all touched pages (golden-vs-faulty compare)."""
+        return tuple((num, bytes(self._pages[num]))
+                     for num in sorted(self._pages))
+
+
+class ArchState:
+    """Complete architectural state: PC + registers + memory."""
+
+    __slots__ = ("pc", "regs", "memory")
+
+    def __init__(self, pc: int = 0):
+        self.pc = pc
+        self.regs = RegisterFile()
+        self.memory = Memory()
+
+    @classmethod
+    def from_program(cls, program: Program,
+                     stack_pointer: int = STACK_TOP) -> "ArchState":
+        """Build the initial state for ``program`` (ABI reset state).
+
+        Loads the data segment, points ``$sp`` at the stack top and ``$gp``
+        at the data base, and sets the PC to the program entry.
+        """
+        state = cls(pc=program.entry)
+        if program.data:
+            state.memory.store_bytes(DATA_BASE, program.data)
+        state.regs.write_int(29, stack_pointer)  # $sp
+        state.regs.write_int(28, DATA_BASE)      # $gp
+        return state
+
+    def copy(self) -> "ArchState":
+        """Independent deep copy of PC, registers and memory."""
+        clone = ArchState(pc=self.pc)
+        clone.regs = self.regs.copy()
+        clone.memory = self.memory.copy()
+        return clone

@@ -1,0 +1,117 @@
+"""Tiny OS layer: the syscall services benchmark kernels rely on.
+
+Convention (MIPS-SPIM-like): the service number is in ``$v0``, the argument
+in ``$a0``; results return in ``$v0``.
+
+=======  ==============  ============================================
+service  name            behaviour
+=======  ==============  ============================================
+1        print_int       append str(signed $a0) to output
+4        print_string    append the NUL-terminated string at $a0
+5        read_int        $v0 = next value from the input queue (0 when
+                         exhausted)
+10       exit            halt the program
+11       print_char      append chr($a0 & 0xFF)
+40       srand           seed the OS PRNG with $a0
+41       rand            $v0 = next PRNG value; modulo $a0 when $a0 > 0
+=======  ==============  ============================================
+
+Unknown services are no-ops: a fault can scribble on ``$v0`` before a trap
+commits, and the machine must not fall over when that happens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..utils.bitops import sign_extend
+from .state import ArchState
+
+#: Service numbers.
+PRINT_INT = 1
+PRINT_STRING = 4
+READ_INT = 5
+EXIT = 10
+PRINT_CHAR = 11
+SRAND = 40
+RAND = 41
+
+_V0 = 2
+_A0 = 4
+
+_LCG_MULT = 1103515245
+_LCG_INC = 12345
+_LCG_MASK = 0x7FFFFFFF
+
+
+@dataclass
+class SyscallResult:
+    """Outcome of one trap: output text, optional $v0 result, halt flag."""
+
+    output: Optional[str] = None
+    v0: Optional[int] = None
+    halted: bool = False
+
+
+class OsLayer:
+    """Deterministic OS model: console output, input queue, PRNG.
+
+    A fresh instance is created per simulation; golden and faulty runs each
+    get their own so their observable output streams can be compared.
+    """
+
+    def __init__(self, inputs: Optional[Sequence[int]] = None,
+                 seed: int = 1):
+        self.output: List[str] = []
+        self._inputs: List[int] = list(inputs or [])
+        self._input_pos = 0
+        self._lcg_state = seed & _LCG_MASK
+
+    def _next_rand(self) -> int:
+        self._lcg_state = (self._lcg_state * _LCG_MULT + _LCG_INC) & _LCG_MASK
+        return self._lcg_state
+
+    def syscall(self, state: ArchState) -> SyscallResult:
+        """Service the trap described by the architectural registers.
+
+        The caller applies ``v0`` (when present) to the register file and
+        honours ``halted``; this method itself never mutates ``state``.
+        """
+        service = state.regs.read_int(_V0)
+        arg = state.regs.read_int(_A0)
+        if service == PRINT_INT:
+            text = str(sign_extend(arg, 32))
+            self.output.append(text)
+            return SyscallResult(output=text)
+        if service == PRINT_STRING:
+            text = state.memory.load_cstring(arg)
+            self.output.append(text)
+            return SyscallResult(output=text)
+        if service == READ_INT:
+            if self._input_pos < len(self._inputs):
+                value = self._inputs[self._input_pos] & 0xFFFFFFFF
+                self._input_pos += 1
+            else:
+                value = 0
+            return SyscallResult(v0=value)
+        if service == EXIT:
+            return SyscallResult(halted=True)
+        if service == PRINT_CHAR:
+            text = chr(arg & 0xFF)
+            self.output.append(text)
+            return SyscallResult(output=text)
+        if service == SRAND:
+            self._lcg_state = arg & _LCG_MASK
+            return SyscallResult()
+        if service == RAND:
+            value = self._next_rand()
+            if arg:
+                value %= arg
+            return SyscallResult(v0=value)
+        # Unknown service (possible after a fault): architected no-op.
+        return SyscallResult()
+
+    def output_text(self) -> str:
+        """The full console output so far."""
+        return "".join(self.output)

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the ITR reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause, while still being able
+to distinguish assembler problems from simulator problems from experiment
+configuration problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` library."""
+
+
+class IsaError(ReproError):
+    """Base class for ISA-level problems (encoding, decoding, assembly)."""
+
+
+class AssemblerError(IsaError):
+    """Raised when assembly source cannot be translated into a program.
+
+    Carries the offending line number (1-based) when known, so tools can
+    point the user at the exact source location.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(IsaError):
+    """Raised when an instruction field does not fit its encoding slot."""
+
+
+class DecodingError(IsaError):
+    """Raised when a machine word cannot be decoded into an instruction."""
+
+
+class SimulationError(ReproError):
+    """Base class for runtime problems inside a simulator."""
+
+
+class MemoryFault(SimulationError):
+    """Raised on an out-of-range or misaligned memory access."""
+
+    def __init__(self, address: int, reason: str = "bad address"):
+        self.address = address
+        super().__init__(f"memory fault at 0x{address:08x}: {reason}")
+
+
+class InvalidInstruction(SimulationError):
+    """Raised when the functional simulator meets an unexecutable word."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when a cycle simulator makes no forward progress.
+
+    In fault-injection campaigns this is normally *caught* and classified as
+    a watchdog-detected outcome rather than propagated.
+    """
+
+    def __init__(self, cycle: int, message: str = "pipeline deadlock"):
+        self.cycle = cycle
+        super().__init__(f"{message} at cycle {cycle}")
+
+
+class MachineCheckException(SimulationError):
+    """Raised when the ITR machinery determines state is unrecoverable.
+
+    Mirrors the paper's "machine check exception": the previous instance of
+    a trace was faulty, architectural state may be corrupt, and the program
+    must be aborted (or rolled back to a coarse-grain checkpoint).
+    """
+
+    def __init__(self, pc: int, reason: str):
+        self.pc = pc
+        self.reason = reason
+        super().__init__(f"machine check at pc=0x{pc:08x}: {reason}")
+
+
+class ConfigError(ReproError):
+    """Raised for invalid simulator / cache / experiment configurations."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload cannot be constructed or located."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment driver is misconfigured or fails."""

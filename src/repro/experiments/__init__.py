@@ -1,0 +1,38 @@
+"""Experiment drivers: one per table/figure of the paper (see DESIGN.md)."""
+
+from . import (  # noqa: F401
+    ablations,
+    cache_fault_study,
+    characterization,
+    coverage_sweep,
+    energy_compare,
+    export,
+    fault_injection,
+    kernel_characterization,
+    overhead,
+    pc_fault_study,
+    protection_compare,
+    runner,
+    scorecard,
+    trace_length,
+)
+from .runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "ablations",
+    "cache_fault_study",
+    "characterization",
+    "coverage_sweep",
+    "energy_compare",
+    "export",
+    "fault_injection",
+    "kernel_characterization",
+    "overhead",
+    "pc_fault_study",
+    "protection_compare",
+    "runner",
+    "scorecard",
+    "trace_length",
+    "EXPERIMENTS",
+    "run_experiment",
+]

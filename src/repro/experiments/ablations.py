@@ -1,0 +1,224 @@
+"""Ablation experiments for the design choices DESIGN.md calls out.
+
+* **checked-LRU eviction** (paper Section 2.3, described but not studied):
+  prefer evicting lines that have already been checked, since losing an
+  unchecked line is a detection-coverage loss. We study it.
+* **hybrid redundant fetch on miss** (paper Section 3, future work):
+  quantify the redundant-fetch cost that buys zero recovery loss.
+* **coarse-grain checkpointing** (paper Section 2.3): how often do
+  zero-unchecked-line checkpoint opportunities arise, and how much of the
+  recovery loss do rollbacks reclaim?
+* **replacement policy**: true LRU vs tree-PLRU, checking the coverage
+  results are not an artifact of exact LRU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..itr.checkpointing import CheckpointingResult, simulate_checkpointing
+from ..itr.coverage import measure_coverage
+from ..itr.hybrid import HybridResult, simulate_hybrid
+from ..itr.itr_cache import ItrCacheConfig
+from ..utils.tables import render_table
+from ..workloads.suite import (
+    DEFAULT_SEED,
+    DEFAULT_SYNTHETIC_INSTRUCTIONS,
+    figure67_suite,
+)
+
+#: Ablations run on the loss-prone benchmarks where policy can matter.
+DEFAULT_ABLATION_BENCHMARKS = ("gcc", "parser", "perl", "twolf", "vortex",
+                               "apsi")
+
+#: Checkpointing is also interesting on well-behaved benchmarks, where
+#: the zero-unchecked-lines condition actually recurs; loss-prone ones
+#: keep unchecked lines resident almost permanently.
+CHECKPOINT_ABLATION_BENCHMARKS = ("gap", "equake", "parser", "twolf",
+                                  "perl", "vortex")
+
+
+def _workloads(names: Sequence[str], seed: int):
+    return [w for w in figure67_suite(seed=seed)
+            if w.profile.name in names]
+
+
+# ------------------------------------------------------- checked-LRU eviction
+@dataclass
+class CheckedLruCell:
+    benchmark: str
+    entries: int
+    assoc: int
+    detection_loss_plain_pct: float
+    detection_loss_checked_pct: float
+
+    @property
+    def improvement_pct(self) -> float:
+        """Absolute reduction in detection loss."""
+        return self.detection_loss_plain_pct - self.detection_loss_checked_pct
+
+
+def run_checked_lru_ablation(
+        instructions: int = DEFAULT_SYNTHETIC_INSTRUCTIONS,
+        seed: int = DEFAULT_SEED,
+        benchmarks: Sequence[str] = DEFAULT_ABLATION_BENCHMARKS,
+        entries: int = 1024,
+        assocs: Sequence[int] = (2, 4, 8)) -> List[CheckedLruCell]:
+    """Detection loss with vs without checked-preferring eviction."""
+    cells: List[CheckedLruCell] = []
+    for workload in _workloads(benchmarks, seed):
+        events = workload.event_list(instructions)
+        for assoc in assocs:
+            plain = measure_coverage(events, ItrCacheConfig(
+                entries=entries, assoc=assoc))
+            checked = measure_coverage(events, ItrCacheConfig(
+                entries=entries, assoc=assoc,
+                prefer_checked_eviction=True))
+            cells.append(CheckedLruCell(
+                benchmark=workload.profile.name,
+                entries=entries,
+                assoc=assoc,
+                detection_loss_plain_pct=plain.detection_loss_pct,
+                detection_loss_checked_pct=checked.detection_loss_pct,
+            ))
+    return cells
+
+
+def render_checked_lru(cells: Sequence[CheckedLruCell]) -> str:
+    """Render the checked-LRU ablation as an ASCII table."""
+    rows = [[c.benchmark, f"{c.assoc}-way/{c.entries}",
+             c.detection_loss_plain_pct, c.detection_loss_checked_pct,
+             c.improvement_pct] for c in cells]
+    return render_table(
+        ["benchmark", "config", "det loss LRU %", "det loss checked-LRU %",
+         "improvement"],
+        rows,
+        title=("Ablation: prefer evicting checked lines "
+               "(paper Sec 2.3, unstudied there)"),
+        float_digits=3,
+    )
+
+
+# ----------------------------------------------------------- hybrid fallback
+def run_hybrid_ablation(
+        instructions: int = DEFAULT_SYNTHETIC_INSTRUCTIONS,
+        seed: int = DEFAULT_SEED,
+        benchmarks: Sequence[str] = DEFAULT_ABLATION_BENCHMARKS,
+        config: Optional[ItrCacheConfig] = None) -> List[HybridResult]:
+    """Run the Section 3 hybrid fallback over the loss-prone benchmarks."""
+    config = config or ItrCacheConfig(entries=1024, assoc=2)
+    results: List[HybridResult] = []
+    for workload in _workloads(benchmarks, seed):
+        events = workload.event_list(instructions)
+        result = simulate_hybrid(events, config)
+        result.benchmark = workload.profile.name  # annotate
+        results.append(result)
+    return results
+
+
+def render_hybrid(results: Sequence[HybridResult]) -> str:
+    """Render the hybrid-fallback ablation as an ASCII table."""
+    rows = []
+    for result in results:
+        rows.append([
+            getattr(result, "benchmark", "?"),
+            result.baseline_recovery_loss_pct,
+            result.residual_recovery_loss_pct,
+            100.0 * result.redundant_fetch_fraction,
+            result.redundant_energy_mj,
+        ])
+    note = ("\n(pure time redundancy refetches 100% of instructions; the "
+            "hybrid refetches only ITR misses)")
+    return render_table(
+        ["benchmark", "recovery loss before %", "after %",
+         "refetched instr %", "refetch energy mJ"],
+        rows,
+        title="Ablation: redundant fetch+decode on ITR miss (paper Sec 3)",
+        float_digits=2,
+    ) + note
+
+
+# ------------------------------------------------------- coarse checkpointing
+def run_checkpointing_ablation(
+        instructions: int = DEFAULT_SYNTHETIC_INSTRUCTIONS,
+        seed: int = DEFAULT_SEED,
+        benchmarks: Sequence[str] = CHECKPOINT_ABLATION_BENCHMARKS,
+        config: Optional[ItrCacheConfig] = None
+) -> List[CheckpointingResult]:
+    """Run the Section 2.3 coarse-checkpointing model over benchmarks."""
+    config = config or ItrCacheConfig(entries=1024, assoc=2)
+    results: List[CheckpointingResult] = []
+    for workload in _workloads(benchmarks, seed):
+        events = workload.event_list(instructions)
+        result = simulate_checkpointing(events, config)
+        result.benchmark = workload.profile.name  # annotate
+        results.append(result)
+    return results
+
+
+def render_checkpointing(results: Sequence[CheckpointingResult]) -> str:
+    """Render the checkpointing ablation as an ASCII table."""
+    rows = []
+    for result in results:
+        rows.append([
+            getattr(result, "benchmark", "?"),
+            result.checkpoints_taken,
+            result.mean_checkpoint_interval,
+            100.0 * result.recovered_fraction,
+            result.residual_recovery_loss_pct,
+            result.mean_rollback_distance,
+        ])
+    return render_table(
+        ["benchmark", "#ckpts", "mean interval (instr)",
+         "abort->rollback %", "residual rec loss %",
+         "mean rollback dist"],
+        rows,
+        title="Ablation: coarse-grain checkpointing (paper Sec 2.3)",
+        float_digits=1,
+    )
+
+
+# --------------------------------------------------------- replacement policy
+@dataclass
+class PolicyCell:
+    benchmark: str
+    assoc: int
+    detection_loss_lru_pct: float
+    detection_loss_plru_pct: float
+
+
+def run_policy_ablation(
+        instructions: int = DEFAULT_SYNTHETIC_INSTRUCTIONS,
+        seed: int = DEFAULT_SEED,
+        benchmarks: Sequence[str] = DEFAULT_ABLATION_BENCHMARKS,
+        entries: int = 1024,
+        assocs: Sequence[int] = (2, 4)) -> List[PolicyCell]:
+    """True LRU vs tree-PLRU detection loss."""
+    cells: List[PolicyCell] = []
+    for workload in _workloads(benchmarks, seed):
+        events = workload.event_list(instructions)
+        for assoc in assocs:
+            lru = measure_coverage(events, ItrCacheConfig(
+                entries=entries, assoc=assoc, policy="lru"))
+            plru = measure_coverage(events, ItrCacheConfig(
+                entries=entries, assoc=assoc, policy="plru"))
+            cells.append(PolicyCell(
+                benchmark=workload.profile.name,
+                assoc=assoc,
+                detection_loss_lru_pct=lru.detection_loss_pct,
+                detection_loss_plru_pct=plru.detection_loss_pct,
+            ))
+    return cells
+
+
+def render_policy(cells: Sequence[PolicyCell]) -> str:
+    """Render the LRU-vs-PLRU ablation as an ASCII table."""
+    rows = [[c.benchmark, f"{c.assoc}-way", c.detection_loss_lru_pct,
+             c.detection_loss_plru_pct] for c in cells]
+    return render_table(
+        ["benchmark", "assoc", "det loss LRU %", "det loss PLRU %"],
+        rows,
+        title="Ablation: true LRU vs tree-PLRU replacement",
+        float_digits=3,
+    )

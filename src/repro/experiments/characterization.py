@@ -1,0 +1,170 @@
+"""Characterization experiments: paper Figures 1-4 and Tables 1-2.
+
+* Figure 1/2 — cumulative % of dynamic instructions vs number of static
+  traces (integer / floating-point benchmarks).
+* Figure 3/4 — cumulative % of dynamic instructions contributed by traces
+  repeating within a distance, 500-instruction bins up to 10,000.
+* Table 1 — static trace count per benchmark.
+* Table 2 — the decode-signal field inventory (a definition; regenerated
+  from the ISA layer so drift is impossible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..isa.decode_signals import TOTAL_WIDTH, signal_table_rows
+from ..itr.trace import TraceProfile
+from ..utils.tables import render_table
+from ..workloads.spec_profiles import PAPER_STATIC_TRACES
+from ..workloads.suite import (
+    DEFAULT_SEED,
+    DEFAULT_SYNTHETIC_INSTRUCTIONS,
+    synthetic_suite,
+)
+from ..workloads.synthetic import SyntheticWorkload
+
+#: Figure 3/4 binning: 500-instruction buckets out to 10,000.
+DISTANCE_BIN = 500
+DISTANCE_BINS = 20
+
+#: Figure 1 plots up to 1000 static traces; Figure 2 up to 500.
+FIG1_MAX_TRACES = 1000
+FIG2_MAX_TRACES = 500
+
+
+@dataclass
+class BenchmarkCharacterization:
+    """Everything Figures 1-4 / Table 1 need for one benchmark."""
+
+    name: str
+    category: str
+    dynamic_instructions: int
+    static_traces_program: int      # laid-out static footprint (Table 1)
+    static_traces_observed: int     # touched within this run
+    cumulative_contribution: List[float]
+    repeat_distance_cdf: List[float]
+
+    def contribution_at(self, num_traces: int) -> float:
+        """% of dynamic instructions covered by the top ``num_traces``."""
+        if not self.cumulative_contribution:
+            return 0.0
+        index = min(num_traces, len(self.cumulative_contribution)) - 1
+        if index < 0:
+            return 0.0
+        return 100.0 * self.cumulative_contribution[index]
+
+    def within_distance(self, distance: int) -> float:
+        """% of dynamic instructions repeating within ``distance``."""
+        index = min(distance // DISTANCE_BIN,
+                    len(self.repeat_distance_cdf)) - 1
+        if index < 0:
+            return 0.0
+        return 100.0 * self.repeat_distance_cdf[index]
+
+
+@dataclass
+class CharacterizationResult:
+    benchmarks: List[BenchmarkCharacterization] = field(default_factory=list)
+
+    def by_name(self, name: str) -> BenchmarkCharacterization:
+        """The characterization record for benchmark ``name``."""
+        for bench in self.benchmarks:
+            if bench.name == name:
+                return bench
+        raise KeyError(f"benchmark {name!r} not in result")
+
+    def category(self, category: str) -> List[BenchmarkCharacterization]:
+        """Records filtered to one category (int / fp)."""
+        return [b for b in self.benchmarks if b.category == category]
+
+
+def characterize_benchmark(workload: SyntheticWorkload,
+                           instructions: int) -> BenchmarkCharacterization:
+    """Characterize one synthetic workload over ``instructions``."""
+    profile: TraceProfile = workload.characterize(instructions)
+    return BenchmarkCharacterization(
+        name=workload.profile.name,
+        category=workload.profile.category,
+        dynamic_instructions=profile.dynamic_instructions,
+        static_traces_program=workload.static_trace_count,
+        static_traces_observed=profile.static_traces,
+        cumulative_contribution=profile.cumulative_contribution(),
+        repeat_distance_cdf=profile.repeat_distance_cdf(
+            bin_width=DISTANCE_BIN, num_bins=DISTANCE_BINS),
+    )
+
+
+def run_characterization(
+        instructions: int = DEFAULT_SYNTHETIC_INSTRUCTIONS,
+        seed: int = DEFAULT_SEED,
+        category: Optional[str] = None) -> CharacterizationResult:
+    """Characterize the whole synthetic suite (Figures 1-4, Table 1)."""
+    result = CharacterizationResult()
+    for workload in synthetic_suite(category=category, seed=seed):
+        result.benchmarks.append(
+            characterize_benchmark(workload, instructions))
+    return result
+
+
+# --------------------------------------------------------------- rendering
+def render_fig1_fig2(result: CharacterizationResult, category: str) -> str:
+    """Figure 1 (int) / Figure 2 (fp): coverage vs top-k static traces."""
+    figure = "Figure 1" if category == "int" else "Figure 2"
+    max_traces = FIG1_MAX_TRACES if category == "int" else FIG2_MAX_TRACES
+    checkpoints = [k for k in (10, 25, 50, 100, 200, 300, 500, 1000)
+                   if k <= max_traces]
+    headers = ["benchmark"] + [f"top{k}" for k in checkpoints]
+    rows = []
+    for bench in result.category(category):
+        rows.append([bench.name]
+                    + [bench.contribution_at(k) for k in checkpoints])
+    return render_table(
+        headers, rows,
+        title=(f"{figure}: cumulative % of dynamic instructions vs "
+               f"number of static traces ({category})"),
+        float_digits=1,
+    )
+
+
+def render_fig3_fig4(result: CharacterizationResult, category: str) -> str:
+    """Figure 3 (int) / Figure 4 (fp): repeat-distance CDF."""
+    figure = "Figure 3" if category == "int" else "Figure 4"
+    checkpoints = (500, 1000, 1500, 2000, 5000, 10000)
+    headers = ["benchmark"] + [f"<{d}" for d in checkpoints]
+    rows = []
+    for bench in result.category(category):
+        rows.append([bench.name]
+                    + [bench.within_distance(d) for d in checkpoints])
+    return render_table(
+        headers, rows,
+        title=(f"{figure}: % of dynamic instructions from traces "
+               f"repeating within distance ({category})"),
+        float_digits=1,
+    )
+
+
+def render_table1(result: CharacterizationResult) -> str:
+    """Table 1: static traces per benchmark, model vs paper."""
+    rows: List[Sequence] = []
+    for bench in result.benchmarks:
+        paper = PAPER_STATIC_TRACES.get(bench.name)
+        rows.append([bench.name, bench.category,
+                     bench.static_traces_program, paper,
+                     bench.static_traces_observed])
+    return render_table(
+        ["benchmark", "class", "#static (model)", "#static (paper)",
+         "#observed in run"],
+        rows,
+        title="Table 1: number of static traces for SPEC",
+    )
+
+
+def render_table2() -> str:
+    """Table 2: the decode-signal inventory, from the live ISA definition."""
+    rows = [[name, description, width]
+            for name, description, width in signal_table_rows()]
+    rows.append(["total", "", TOTAL_WIDTH])
+    return render_table(["field", "description", "width"], rows,
+                        title="Table 2: list of decode signals")

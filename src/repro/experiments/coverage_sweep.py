@@ -1,0 +1,172 @@
+"""ITR cache design-space sweep: paper Figures 6 and 7.
+
+For every benchmark plotted in the paper's Figures 6-7 and every cache
+configuration in the paper's grid — {256, 512, 1024} signatures x
+{dm, 2-way, 4-way, 8-way, 16-way, fa} — measure the loss in fault
+detection coverage (unchecked-eviction instructions) and the loss in
+fault recovery coverage (missed-instance instructions), as percentages of
+all dynamic instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..itr.coverage import (
+    PAPER_ASSOCIATIVITIES,
+    PAPER_CACHE_SIZES,
+    CoverageResult,
+    measure_coverage,
+)
+from ..itr.itr_cache import ItrCacheConfig
+from ..utils.tables import render_table
+from ..workloads.suite import (
+    DEFAULT_SEED,
+    DEFAULT_SYNTHETIC_INSTRUCTIONS,
+    figure67_suite,
+)
+from ..workloads.synthetic import SyntheticWorkload
+
+
+def _assoc_label(assoc: int) -> str:
+    if assoc == 0:
+        return "fa"
+    if assoc == 1:
+        return "dm"
+    return f"{assoc}-way"
+
+
+@dataclass
+class SweepCell:
+    """One (benchmark, size, assoc) point of Figures 6-7."""
+
+    benchmark: str
+    entries: int
+    assoc: int
+    detection_loss_pct: float
+    recovery_loss_pct: float
+    miss_rate: float
+
+    @property
+    def assoc_label(self) -> str:
+        return _assoc_label(self.assoc)
+
+
+@dataclass
+class SweepResult:
+    """The full Figures 6-7 grid."""
+
+    cells: List[SweepCell] = field(default_factory=list)
+    instructions: int = 0
+
+    def cell(self, benchmark: str, entries: int,
+             assoc: int) -> SweepCell:
+        """The cell for one (benchmark, size, associativity) point."""
+        for cell in self.cells:
+            if (cell.benchmark == benchmark and cell.entries == entries
+                    and cell.assoc == assoc):
+                return cell
+        raise KeyError((benchmark, entries, assoc))
+
+    def benchmarks(self) -> List[str]:
+        """Benchmark names in first-seen order."""
+        seen: List[str] = []
+        for cell in self.cells:
+            if cell.benchmark not in seen:
+                seen.append(cell.benchmark)
+        return seen
+
+    def average_loss(self, entries: int, assoc: int,
+                     kind: str = "detection") -> float:
+        """Across-benchmark average for one configuration.
+
+        The paper reports for 2-way/1024: 1.3% average detection loss
+        (max 8.2%, vortex) and 2.5% average recovery loss (max 15%).
+        """
+        values = [getattr(c, f"{kind}_loss_pct") for c in self.cells
+                  if c.entries == entries and c.assoc == assoc]
+        return sum(values) / len(values) if values else 0.0
+
+    def max_loss(self, entries: int, assoc: int,
+                 kind: str = "detection") -> Tuple[str, float]:
+        """Worst (benchmark, loss%) for a configuration and loss kind."""
+        cells = [c for c in self.cells
+                 if c.entries == entries and c.assoc == assoc]
+        worst = max(cells, key=lambda c: getattr(c, f"{kind}_loss_pct"))
+        return worst.benchmark, getattr(worst, f"{kind}_loss_pct")
+
+
+def sweep_workload(workload: SyntheticWorkload, instructions: int,
+                   sizes: Sequence[int] = PAPER_CACHE_SIZES,
+                   assocs: Sequence[int] = PAPER_ASSOCIATIVITIES,
+                   prefer_checked_eviction: bool = False,
+                   policy: str = "lru") -> List[SweepCell]:
+    """Sweep one benchmark's stream over the configuration grid.
+
+    The stream is materialized once and replayed against every
+    configuration, so all cells see the identical dynamic trace sequence.
+    """
+    events = workload.event_list(instructions)
+    cells: List[SweepCell] = []
+    for entries in sizes:
+        for assoc in assocs:
+            config = ItrCacheConfig(
+                entries=entries, assoc=assoc, policy=policy,
+                prefer_checked_eviction=prefer_checked_eviction)
+            result: CoverageResult = measure_coverage(events, config)
+            cells.append(SweepCell(
+                benchmark=workload.profile.name,
+                entries=entries,
+                assoc=assoc,
+                detection_loss_pct=result.detection_loss_pct,
+                recovery_loss_pct=result.recovery_loss_pct,
+                miss_rate=result.miss_rate,
+            ))
+    return cells
+
+
+def run_sweep(instructions: int = DEFAULT_SYNTHETIC_INSTRUCTIONS,
+              seed: int = DEFAULT_SEED,
+              sizes: Sequence[int] = PAPER_CACHE_SIZES,
+              assocs: Sequence[int] = PAPER_ASSOCIATIVITIES,
+              prefer_checked_eviction: bool = False,
+              policy: str = "lru") -> SweepResult:
+    """Figures 6-7 over the 11 benchmarks the paper plots."""
+    result = SweepResult(instructions=instructions)
+    for workload in figure67_suite(seed=seed):
+        result.cells.extend(sweep_workload(
+            workload, instructions, sizes=sizes, assocs=assocs,
+            prefer_checked_eviction=prefer_checked_eviction, policy=policy))
+    return result
+
+
+def render_sweep(result: SweepResult, kind: str = "detection",
+                 sizes: Sequence[int] = PAPER_CACHE_SIZES,
+                 assocs: Sequence[int] = PAPER_ASSOCIATIVITIES) -> str:
+    """Figure 6 (detection) / Figure 7 (recovery) as a per-benchmark table.
+
+    Rows are benchmark x associativity; columns are cache sizes, matching
+    the paper's stacked-by-size bars.
+    """
+    figure = "Figure 6: loss in fault detection coverage" \
+        if kind == "detection" else "Figure 7: loss in fault recovery coverage"
+    headers = ["benchmark", "assoc"] + [f"{s} sigs" for s in sizes]
+    rows = []
+    for benchmark in result.benchmarks():
+        for assoc in assocs:
+            row: List = [benchmark, _assoc_label(assoc)]
+            for entries in sizes:
+                cell = result.cell(benchmark, entries, assoc)
+                row.append(getattr(cell, f"{kind}_loss_pct"))
+            rows.append(row)
+    summary = (
+        f"\n2-way/1024 summary: avg {result.average_loss(1024, 2, kind):.2f}%"
+        f", max {result.max_loss(1024, 2, kind)[1]:.2f}%"
+        f" ({result.max_loss(1024, 2, kind)[0]})"
+        f"   [paper: avg {'1.3' if kind == 'detection' else '2.5'}%,"
+        f" max {'8.2' if kind == 'detection' else '15'}% (vortex)]"
+    )
+    return render_table(headers, rows,
+                        title=f"{figure} (% of all dynamic instructions)",
+                        float_digits=2) + summary

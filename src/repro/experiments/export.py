@@ -1,0 +1,58 @@
+"""Structured export of experiment results.
+
+Every experiment driver returns dataclasses; this module converts them to
+plain JSON-serializable dictionaries (enums become their values, nested
+dataclasses recurse) so results can be archived, diffed across runs, or
+fed to external plotting — the runner's ``--json`` flag uses it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+import pathlib
+from typing import Any, Dict, Optional
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert a result object to JSON-serializable data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: to_jsonable(getattr(value, field.name))
+                for field in dataclasses.fields(value)}
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, bytes):
+        return value.hex()
+    # Fall back to the object's public attribute dict (covers plain
+    # result classes without dataclass decoration).
+    public = {name: getattr(value, name) for name in dir(value)
+              if not name.startswith("_")
+              and not callable(getattr(value, name))}
+    if public:
+        return {name: to_jsonable(item) for name, item in public.items()}
+    return repr(value)
+
+
+def dumps(result: Any, indent: Optional[int] = 2) -> str:
+    """Serialize a result object to a JSON string."""
+    return json.dumps(to_jsonable(result), indent=indent, sort_keys=True)
+
+
+def save_json(result: Any, path) -> pathlib.Path:
+    """Serialize ``result`` to ``path``; returns the resolved path."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(dumps(result) + "\n")
+    return target.resolve()
+
+
+def load_json(path) -> Dict[str, Any]:
+    """Load a previously exported result (as plain data)."""
+    return json.loads(pathlib.Path(path).read_text())

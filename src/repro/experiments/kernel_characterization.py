@@ -1,0 +1,105 @@
+"""Characterization of the real kernel suite (extension experiment).
+
+Applies the paper's Figures 1/3 analysis to the 16 executable assembly
+kernels — validating that real programs on this ISA exhibit the same
+inherent time redundancy the synthetic SPEC2K models encode, and giving
+per-kernel coverage numbers at the paper's ITR cache design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..itr.coverage import measure_coverage
+from ..itr.itr_cache import ItrCacheConfig
+from ..utils.tables import render_table
+from ..workloads.kernel_traces import kernel_trace_events
+from ..workloads.kernels import Kernel, all_kernels
+from ..itr.trace import TraceProfile
+
+
+@dataclass
+class KernelCharacterization:
+    name: str
+    category: str
+    dynamic_instructions: int
+    dynamic_traces: int
+    static_traces: int
+    traces_for_99pct: int
+    within_500_pct: float
+    mean_trace_length: float
+    detection_loss_pct: float   # at the paper's 2-way/1024 point
+    recovery_loss_pct: float
+
+
+@dataclass
+class KernelCharacterizationResult:
+    kernels: List[KernelCharacterization] = field(default_factory=list)
+
+    def by_name(self, name: str) -> KernelCharacterization:
+        """The record for kernel ``name``."""
+        for kernel in self.kernels:
+            if kernel.name == name:
+                return kernel
+        raise KeyError(name)
+
+
+def characterize_kernel(kernel: Kernel,
+                        config: Optional[ItrCacheConfig] = None
+                        ) -> KernelCharacterization:
+    """Trace-characterize one kernel and measure its coverage loss."""
+    config = config or ItrCacheConfig(entries=1024, assoc=2)
+    events = kernel_trace_events(kernel)
+    profile = TraceProfile()
+    profile.record_stream(events)
+    coverage = measure_coverage(events, config)
+    return KernelCharacterization(
+        name=kernel.name,
+        category=kernel.category,
+        dynamic_instructions=profile.dynamic_instructions,
+        dynamic_traces=profile.dynamic_traces,
+        static_traces=profile.static_traces,
+        traces_for_99pct=profile.traces_for_coverage(0.99),
+        within_500_pct=100.0 * profile.fraction_repeating_within(500),
+        mean_trace_length=(profile.dynamic_instructions
+                           / max(profile.dynamic_traces, 1)),
+        detection_loss_pct=coverage.detection_loss_pct,
+        recovery_loss_pct=coverage.recovery_loss_pct,
+    )
+
+
+def run_kernel_characterization(
+        kernels: Optional[Sequence[Kernel]] = None
+) -> KernelCharacterizationResult:
+    """Characterize the whole kernel suite (or a subset)."""
+    kernels = list(kernels) if kernels is not None else all_kernels()
+    result = KernelCharacterizationResult()
+    for kernel in kernels:
+        result.kernels.append(characterize_kernel(kernel))
+    return result
+
+
+def render_kernel_characterization(
+        result: KernelCharacterizationResult) -> str:
+    """Render the kernel characterization as an ASCII table."""
+    rows = []
+    for kernel in result.kernels:
+        rows.append([
+            kernel.name, kernel.category, kernel.dynamic_instructions,
+            kernel.static_traces, kernel.traces_for_99pct,
+            kernel.within_500_pct, kernel.mean_trace_length,
+            kernel.detection_loss_pct, kernel.recovery_loss_pct,
+        ])
+    note = ("\n(real kernels show the same inherent time redundancy the "
+            "paper measures on SPEC2K: tiny static footprints, repeats "
+            "overwhelmingly within 500 instructions, negligible coverage "
+            "loss at the paper's 1024-signature design point)")
+    return render_table(
+        ["kernel", "class", "dyn instr", "static", "99% cover",
+         "<500 rep%", "mean len", "det loss%", "rec loss%"],
+        rows,
+        title="Kernel-suite characterization (paper Figs 1/3 analysis "
+              "applied to real programs)",
+        float_digits=2,
+    ) + note

@@ -1,0 +1,94 @@
+"""Performance overhead of ITR (the paper's "low-overhead" claim).
+
+ITR's only timing intrusion is the commit-side protocol: an instruction
+cannot retire until its trace's ITR cache access has resolved, which can
+stall commit when a trace is still unformed at decode (rare — only when
+fetch runs barely ahead of commit). This experiment measures IPC on every
+kernel with ITR absent vs. attached, plus the ITR ROB occupancy high-water
+mark (the paper sizes it "to match the number of branches in flight").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..uarch.pipeline import build_pipeline
+from ..utils.tables import render_table
+from ..workloads.kernels import Kernel, all_kernels
+
+
+@dataclass
+class OverheadRow:
+    kernel: str
+    baseline_ipc: float
+    itr_ipc: float
+    commit_stalls: int
+    itr_rob_high_water: int
+
+    @property
+    def overhead_pct(self) -> float:
+        """IPC loss caused by attaching ITR (positive = slower)."""
+        if self.baseline_ipc == 0:
+            return 0.0
+        return 100.0 * (1.0 - self.itr_ipc / self.baseline_ipc)
+
+
+@dataclass
+class OverheadResult:
+    rows: List[OverheadRow] = field(default_factory=list)
+
+    def mean_overhead_pct(self) -> float:
+        """Across-kernel mean IPC overhead (percent)."""
+        if not self.rows:
+            return 0.0
+        return sum(row.overhead_pct for row in self.rows) / len(self.rows)
+
+    def max_overhead_pct(self) -> float:
+        """Worst-kernel IPC overhead (percent)."""
+        if not self.rows:
+            return 0.0
+        return max(row.overhead_pct for row in self.rows)
+
+
+def run_overhead_measurement(
+        kernels: Optional[Sequence[Kernel]] = None,
+        max_cycles: int = 3_000_000) -> OverheadResult:
+    """Measure IPC with and without ITR across the kernel suite."""
+    kernels = list(kernels) if kernels is not None else all_kernels()
+    result = OverheadResult()
+    for kernel in kernels:
+        baseline = build_pipeline(kernel.program(), with_itr=False,
+                                  inputs=kernel.inputs)
+        baseline.run(max_cycles=max_cycles)
+        protected = build_pipeline(kernel.program(), with_itr=True,
+                                   inputs=kernel.inputs)
+        protected.run(max_cycles=max_cycles)
+        result.rows.append(OverheadRow(
+            kernel=kernel.name,
+            baseline_ipc=baseline.stats.ipc,
+            itr_ipc=protected.stats.ipc,
+            commit_stalls=protected.itr.stats.commit_stalls,
+            itr_rob_high_water=protected.itr.rob.high_water,
+        ))
+    return result
+
+
+def render_overhead(result: OverheadResult) -> str:
+    """Render the overhead measurement as an ASCII table."""
+    rows = []
+    for row in result.rows:
+        rows.append([row.kernel, row.baseline_ipc, row.itr_ipc,
+                     row.overhead_pct, row.commit_stalls,
+                     row.itr_rob_high_water])
+    rows.append(["Avg", None, None, result.mean_overhead_pct(), None, None])
+    note = ("\n(the paper's thesis: ITR checking rides along with normal "
+            "execution — the only possible slowdown is a commit stall on a "
+            "trace not yet formed at decode, which near-never happens)")
+    return render_table(
+        ["kernel", "IPC (no ITR)", "IPC (ITR)", "overhead %",
+         "commit stalls", "ITR ROB high-water"],
+        rows,
+        title="Performance overhead of ITR protection",
+        float_digits=3,
+    ) + note

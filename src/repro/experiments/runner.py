@@ -1,0 +1,236 @@
+"""Experiment registry and command-line entry point.
+
+Usage (module form, since offline installs may lack the console script)::
+
+    python -m repro.experiments.runner list
+    python -m repro.experiments.runner fig6 [--instructions N] [--seed S]
+    python -m repro.experiments.runner all
+
+Each experiment id matches DESIGN.md's per-experiment index and prints the
+same rows/series the paper's table or figure reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, Optional
+
+from ..workloads.suite import DEFAULT_SEED, DEFAULT_SYNTHETIC_INSTRUCTIONS
+from . import ablations, characterization, coverage_sweep, energy_compare
+from . import fault_injection
+
+
+def _run_fig1(args) -> str:
+    result = characterization.run_characterization(
+        instructions=args.instructions, seed=args.seed, category="int")
+    return characterization.render_fig1_fig2(result, "int")
+
+
+def _run_fig2(args) -> str:
+    result = characterization.run_characterization(
+        instructions=args.instructions, seed=args.seed, category="fp")
+    return characterization.render_fig1_fig2(result, "fp")
+
+
+def _run_fig3(args) -> str:
+    result = characterization.run_characterization(
+        instructions=args.instructions, seed=args.seed, category="int")
+    return characterization.render_fig3_fig4(result, "int")
+
+
+def _run_fig4(args) -> str:
+    result = characterization.run_characterization(
+        instructions=args.instructions, seed=args.seed, category="fp")
+    return characterization.render_fig3_fig4(result, "fp")
+
+
+def _run_tab1(args) -> str:
+    result = characterization.run_characterization(
+        instructions=args.instructions, seed=args.seed)
+    return characterization.render_table1(result)
+
+
+def _run_tab2(args) -> str:
+    return characterization.render_table2()
+
+
+def _run_fig6(args) -> str:
+    result = coverage_sweep.run_sweep(
+        instructions=args.instructions, seed=args.seed)
+    return coverage_sweep.render_sweep(result, kind="detection")
+
+
+def _run_fig7(args) -> str:
+    result = coverage_sweep.run_sweep(
+        instructions=args.instructions, seed=args.seed)
+    return coverage_sweep.render_sweep(result, kind="recovery")
+
+
+def _run_fig8(args) -> str:
+    result = fault_injection.run_fault_injection(
+        trials=args.trials, seed=args.seed)
+    return fault_injection.render_figure8(result)
+
+
+def _run_fig9(args) -> str:
+    result = energy_compare.run_energy_comparison(
+        instructions=args.instructions, seed=args.seed)
+    return energy_compare.render_figure9(result)
+
+
+def _run_area(args) -> str:
+    return energy_compare.render_area(
+        energy_compare.run_area_comparison())
+
+
+def _run_abl_checked(args) -> str:
+    cells = ablations.run_checked_lru_ablation(
+        instructions=args.instructions, seed=args.seed)
+    return ablations.render_checked_lru(cells)
+
+
+def _run_abl_hybrid(args) -> str:
+    results = ablations.run_hybrid_ablation(
+        instructions=args.instructions, seed=args.seed)
+    return ablations.render_hybrid(results)
+
+
+def _run_abl_ckpt(args) -> str:
+    results = ablations.run_checkpointing_ablation(
+        instructions=args.instructions, seed=args.seed)
+    return ablations.render_checkpointing(results)
+
+
+def _run_abl_policy(args) -> str:
+    cells = ablations.run_policy_ablation(
+        instructions=args.instructions, seed=args.seed)
+    return ablations.render_policy(cells)
+
+
+def _run_pc_faults(args) -> str:
+    from . import pc_fault_study
+    result = pc_fault_study.run_pc_fault_study(trials=args.trials)
+    return pc_fault_study.render_pc_fault_study(result)
+
+
+def _run_kernel_char(args) -> str:
+    from . import kernel_characterization
+    result = kernel_characterization.run_kernel_characterization()
+    return kernel_characterization.render_kernel_characterization(result)
+
+
+def _run_trace_length(args) -> str:
+    from . import trace_length
+    result = trace_length.run_trace_length_ablation()
+    return trace_length.render_trace_length(result)
+
+
+def _run_cache_faults(args) -> str:
+    from . import cache_fault_study
+    result = cache_fault_study.run_cache_fault_study(
+        trials=max(8, args.trials // 3))
+    return cache_fault_study.render_cache_fault_study(result)
+
+
+def _run_overhead(args) -> str:
+    from . import overhead
+    result = overhead.run_overhead_measurement()
+    return overhead.render_overhead(result)
+
+
+def _run_spectrum(args) -> str:
+    from . import protection_compare
+    result = protection_compare.run_protection_spectrum(
+        trials=max(8, args.trials // 3))
+    return protection_compare.render_protection_spectrum(result)
+
+
+def _run_scorecard(args) -> str:
+    from . import scorecard
+    card = scorecard.build_scorecard(
+        instructions=min(args.instructions, 150_000),
+        trials=min(args.trials, 15), seed=args.seed)
+    return scorecard.render_scorecard(card)
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "fig1": _run_fig1,
+    "fig2": _run_fig2,
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "tab1": _run_tab1,
+    "tab2": _run_tab2,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "sec5-area": _run_area,
+    "abl-checked-lru": _run_abl_checked,
+    "abl-hybrid": _run_abl_hybrid,
+    "abl-checkpoint": _run_abl_ckpt,
+    "abl-policy": _run_abl_policy,
+    "abl-pc-faults": _run_pc_faults,
+    "kernel-char": _run_kernel_char,
+    "abl-trace-length": _run_trace_length,
+    "abl-cache-faults": _run_cache_faults,
+    "spectrum": _run_spectrum,
+    "overhead": _run_overhead,
+    "scorecard": _run_scorecard,
+}
+
+
+def run_experiment(name: str, instructions: int =
+                   DEFAULT_SYNTHETIC_INSTRUCTIONS,
+                   seed: int = DEFAULT_SEED, trials: int = 60) -> str:
+    """Programmatic entry point: run one experiment, return its report."""
+    if name not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
+    namespace = argparse.Namespace(
+        instructions=instructions, seed=seed, trials=trials)
+    return EXPERIMENTS[name](namespace)
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="itr-repro",
+        description="Regenerate the tables and figures of the ITR paper "
+                    "(Reddy & Rotenberg, DSN 2007)")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["list", "all"],
+                        help="experiment id from DESIGN.md, or list/all")
+    parser.add_argument("--instructions", type=int,
+                        default=DEFAULT_SYNTHETIC_INSTRUCTIONS,
+                        help="dynamic instructions per synthetic benchmark")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--trials", type=int, default=60,
+                        help="fault injections per kernel (fig8)")
+    parser.add_argument("--out", type=str, default=None,
+                        help="also write each report to <out>/<exp>.txt")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        start = time.time()
+        report = EXPERIMENTS[name](args)
+        print(report)
+        if args.out:
+            import pathlib
+            directory = pathlib.Path(args.out)
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / f"{name}.txt").write_text(report + "\n")
+        print(f"\n[{name} completed in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Fault injection: SEU model, decode-signal injector, campaigns."""
+
+from .campaign import (
+    CampaignConfig,
+    CampaignResult,
+    FaultCampaign,
+)
+from .injector import DecodeInjector, FaultSpec, fault_plan, random_fault
+from .pc_faults import (
+    PcFaultCampaignResult,
+    PcFaultResult,
+    PcFaultSpec,
+    run_pc_campaign,
+    run_pc_trial,
+)
+from .outcomes import (
+    FIGURE8_ORDER,
+    Detection,
+    Effect,
+    Outcome,
+    TrialResult,
+    classify,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "FaultCampaign",
+    "DecodeInjector",
+    "FaultSpec",
+    "fault_plan",
+    "random_fault",
+    "PcFaultCampaignResult",
+    "PcFaultResult",
+    "PcFaultSpec",
+    "run_pc_campaign",
+    "run_pc_trial",
+    "FIGURE8_ORDER",
+    "Detection",
+    "Effect",
+    "Outcome",
+    "TrialResult",
+    "classify",
+]

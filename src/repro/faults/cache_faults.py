@@ -1,0 +1,154 @@
+"""Faults inside the ITR cache itself (paper Section 2.4).
+
+"Faults on the ITR cache will cause false machine check exceptions when
+they are detected [...] This can be avoided by parity-protecting each
+line in the ITR cache."
+
+This campaign injects single-bit upsets into *resident ITR cache lines*
+during otherwise fault-free kernel runs, with line parity enabled or
+disabled, and classifies what happens:
+
+* ``repaired``       — parity exposed the cache-internal fault on retry;
+  the line was rewritten and the program completed correctly;
+* ``false_machine_check`` — the corrupted line was detected but blamed on
+  the previous trace instance: the machine aborted a *correct* program
+  (exactly the failure parity prevents);
+* ``masked``         — the corrupted line was overwritten or evicted (or
+  never re-referenced) before causing any visible event;
+* ``wrong_output``   — the program completed with incorrect output
+  (must never happen: ITR-cache faults cannot corrupt dataflow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..errors import DeadlockError, MachineCheckException
+from ..itr.itr_cache import ItrCacheConfig
+from ..uarch.config import PipelineConfig
+from ..uarch.pipeline import build_pipeline
+from ..utils.rng import make_rng
+from ..utils.stats import Counter
+from ..workloads.kernels import Kernel
+
+
+@dataclass(frozen=True)
+class CacheFaultResult:
+    """One ITR-cache-fault trial."""
+
+    benchmark: str
+    cycle: int
+    bit: int
+    fired: bool
+    classification: str   # repaired / false_machine_check / masked /
+    #                       wrong_output / not_fired
+    run_reason: str
+
+
+@dataclass
+class CacheFaultCampaignResult:
+    benchmark: str
+    parity: bool
+    trials: List[CacheFaultResult] = field(default_factory=list)
+
+    def counts(self) -> Counter:
+        """Classification counts across all trials."""
+        counter = Counter()
+        for trial in self.trials:
+            counter.add(trial.classification)
+        return counter
+
+    def false_machine_check_fraction(self) -> float:
+        """False-machine-check fraction among fired trials."""
+        fired = [t for t in self.trials if t.fired]
+        if not fired:
+            return 0.0
+        return sum(t.classification == "false_machine_check"
+                   for t in fired) / len(fired)
+
+    def repaired_fraction(self) -> float:
+        """In-place-repair fraction among fired trials."""
+        fired = [t for t in self.trials if t.fired]
+        if not fired:
+            return 0.0
+        return sum(t.classification == "repaired" for t in fired) \
+            / len(fired)
+
+
+def run_cache_fault_trial(kernel: Kernel, cycle: int, bit: int,
+                          parity: bool = True,
+                          observation_cycles: int = 120_000,
+                          rng_token: int = 0) -> CacheFaultResult:
+    """Corrupt one resident ITR cache line at ``cycle`` and observe.
+
+    The victim line is the LRU-wise *most recently inserted valid* line
+    choice is made deterministic by ``rng_token``.
+    """
+    program = kernel.program()
+    config = PipelineConfig(itr_cache=ItrCacheConfig(
+        entries=64, assoc=2, parity=parity))
+    pipeline = build_pipeline(program, config=config,
+                              inputs=kernel.inputs)
+    rng = make_rng(rng_token, "cache-fault", kernel.name, cycle, bit)
+
+    fired = False
+    reason = "halted"
+    try:
+        while not pipeline.halted and pipeline.cycle < observation_cycles:
+            if pipeline.cycle == cycle and not fired:
+                lines = pipeline.itr.cache.valid_lines()
+                if lines:
+                    victim = lines[rng.randrange(len(lines))]
+                    pipeline.itr.cache.inject_fault(victim.tag, bit)
+                    fired = True
+            pipeline.step_cycle()
+        if not pipeline.halted:
+            reason = "max_cycles"
+    except MachineCheckException:
+        reason = "machine_check"
+    except DeadlockError:
+        reason = "deadlock"
+
+    if not fired:
+        classification = "not_fired"
+    elif reason == "machine_check":
+        # The program itself was fault-free; any machine check is false.
+        classification = "false_machine_check"
+    elif pipeline.itr.stats.cache_faults_repaired > 0:
+        classification = "repaired"
+    elif reason == "halted" \
+            and pipeline.output == kernel.expected_output:
+        classification = "masked"
+    else:
+        classification = "wrong_output"
+
+    return CacheFaultResult(
+        benchmark=kernel.name,
+        cycle=cycle,
+        bit=bit,
+        fired=fired,
+        classification=classification,
+        run_reason=reason,
+    )
+
+
+def run_cache_fault_campaign(kernel: Kernel, trials: int = 30,
+                             seed: int = 24, parity: bool = True,
+                             observation_cycles: int = 120_000
+                             ) -> CacheFaultCampaignResult:
+    """A deterministic ITR-cache-fault campaign over one kernel."""
+    program = kernel.program()
+    reference = build_pipeline(program, inputs=kernel.inputs)
+    run = reference.run(max_cycles=observation_cycles)
+    horizon = max(3, int(run.cycles * 0.7))
+
+    rng = make_rng(seed, "cache-fault-plan", kernel.name)
+    result = CacheFaultCampaignResult(benchmark=kernel.name, parity=parity)
+    for index in range(trials):
+        cycle = rng.randrange(2, horizon)
+        bit = rng.randrange(64)
+        result.trials.append(run_cache_fault_trial(
+            kernel, cycle, bit, parity=parity,
+            observation_cycles=observation_cycles, rng_token=index))
+    return result

@@ -1,0 +1,228 @@
+"""Fault-injection campaigns: golden-vs-faulty lockstep + classification.
+
+Reproduces the paper's Section 4 methodology:
+
+* a golden (fault-free) functional simulator runs in parallel with the
+  faulty cycle simulator; every committed instruction is compared, and
+  any divergence in committed state is a (potential) SDC;
+* the faulty machine runs ITR in **monitor mode** — mismatches are
+  recorded with ground-truth taint but recovery is not performed — which
+  yields the paper's counterfactual labels ("detected and recovered by
+  ITR that *would have otherwise* led to SDC") from a single faulty run;
+* the sequential-PC check and the watchdog timer provide the two
+  auxiliary detections of the paper's experiment;
+* optionally, each recoverable detection is re-verified by running the
+  recovery-enabled machine and checking it reconverges with golden.
+
+Scale note: the paper injects 1000 faults per benchmark with a 1M-cycle
+observation window over 200M-instruction SPEC runs. This harness defaults
+to smaller campaigns over the kernel suite (see EXPERIMENTS.md); all
+limits are parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..arch.functional import CommitEffect, FunctionalSimulator
+from ..isa.decode_signals import DecodeSignals
+from ..uarch.config import PipelineConfig
+from ..uarch.pipeline import build_pipeline
+from ..utils.stats import Counter
+from ..workloads.kernels import Kernel
+from .injector import DecodeInjector, FaultSpec, fault_plan
+from .outcomes import FIGURE8_ORDER, Effect, Outcome, TrialResult, classify
+
+
+@dataclass
+class CampaignConfig:
+    """Knobs of one fault-injection campaign."""
+
+    trials: int = 100
+    seed: int = 2007                 # DSN 2007
+    observation_cycles: int = 60_000  # window (paper: 1M cycles)
+    verify_recovery: bool = False    # re-run with recovery on for R labels
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+
+
+class _LockstepComparator:
+    """Compares faulty commits against the golden effect stream."""
+
+    def __init__(self, golden: FunctionalSimulator, max_steps: int):
+        self._golden_effects = golden.effects(max_steps)
+        self.diverged = False
+        self.divergence_pc: Optional[int] = None
+
+    def __call__(self, effect: CommitEffect,
+                 signals: DecodeSignals) -> None:
+        if self.diverged:
+            return
+        expected = next(self._golden_effects, None)
+        if expected is None \
+                or not expected.same_architectural_effect(effect):
+            self.diverged = True
+            self.divergence_pc = effect.pc
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated results of one benchmark's campaign."""
+
+    benchmark: str
+    trials: List[TrialResult] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.trials)
+
+    def counts(self) -> Counter:
+        """Outcome-label counts across all trials."""
+        counter = Counter()
+        for trial in self.trials:
+            counter.add(trial.outcome.value)
+        return counter
+
+    def fraction(self, outcome: Outcome) -> float:
+        """Fraction of trials with a given outcome."""
+        if not self.trials:
+            return 0.0
+        return sum(t.outcome is outcome for t in self.trials) / len(self.trials)
+
+    def fraction_interval(self, outcome: Outcome):
+        """95% Wilson interval for an outcome fraction (small campaigns
+        need error bars; the paper ran 1000 trials, we run far fewer)."""
+        from ..utils.stats import wilson_interval
+        hits = sum(t.outcome is outcome for t in self.trials)
+        return wilson_interval(hits, len(self.trials))
+
+    def detection_interval(self):
+        """95% Wilson interval for the ITR-detection fraction."""
+        from ..utils.stats import wilson_interval
+        hits = sum(t.detected_itr for t in self.trials)
+        return wilson_interval(hits, len(self.trials))
+
+    def detected_by_itr_fraction(self) -> float:
+        """The paper's headline: fraction of faults ITR detects."""
+        if not self.trials:
+            return 0.0
+        return sum(t.detected_itr for t in self.trials) / len(self.trials)
+
+    def figure8_row(self) -> Dict[str, float]:
+        """Percentages per Figure 8 category, in legend order."""
+        return {outcome.value: 100.0 * self.fraction(outcome)
+                for outcome in FIGURE8_ORDER}
+
+
+class FaultCampaign:
+    """Runs a full campaign for one kernel."""
+
+    def __init__(self, kernel: Kernel,
+                 config: Optional[CampaignConfig] = None):
+        self.kernel = kernel
+        self.config = config or CampaignConfig()
+        self._program = kernel.program()
+        # Fault sites are drawn over the fault-free run's decode count
+        # (wrong-path decodes included — hardware faults strike whatever is
+        # in the decode stage).
+        reference = build_pipeline(self._program, config=self.config.pipeline,
+                                   inputs=kernel.inputs)
+        reference.run(max_cycles=self.config.observation_cycles)
+        self.decode_count = max(1, reference.stats.instructions_decoded)
+        self.golden_instructions = reference.stats.instructions_committed
+
+    # ------------------------------------------------------------- one trial
+    def run_trial(self, trial_index: int, spec: FaultSpec) -> TrialResult:
+        """Run and classify one injection (see module docstring)."""
+        config = self.config
+        golden = FunctionalSimulator(self._program, inputs=self.kernel.inputs)
+        comparator = _LockstepComparator(
+            golden, max_steps=10 * config.observation_cycles)
+        injector = DecodeInjector(spec)
+        pipeline = build_pipeline(
+            self._program,
+            config=config.pipeline,
+            recovery_enabled=False,       # monitor mode: counterfactual run
+            inputs=self.kernel.inputs,
+            decode_tamper=injector,
+            commit_listener=comparator,
+        )
+        run = pipeline.run(max_cycles=config.observation_cycles)
+
+        mismatches = pipeline.itr.events
+        detected_itr = bool(mismatches)
+        itr_recoverable = mismatches[0].accessing_tainted if mismatches \
+            else False
+        spc_fired = pipeline.stats.spc_violations > 0
+        if run.reason == "deadlock":
+            effect = Effect.DEADLOCK
+        elif comparator.diverged:
+            effect = Effect.SDC
+        else:
+            effect = Effect.MASK
+        resident = pipeline.itr.pending_fault_resident()
+
+        outcome = classify(
+            detected_itr=detected_itr,
+            itr_recoverable=itr_recoverable,
+            spc_fired=spc_fired,
+            effect=effect,
+            faulty_signature_resident=resident,
+        )
+
+        recovery_verified: Optional[bool] = None
+        if config.verify_recovery and outcome in (Outcome.ITR_SDC_R,
+                                                  Outcome.ITR_WDOG_R):
+            recovery_verified = self._verify_recovery(spec)
+
+        return TrialResult(
+            benchmark=self.kernel.name,
+            trial=trial_index,
+            decode_index=spec.decode_index,
+            bit=spec.bit,
+            field=spec.field_name,
+            outcome=outcome,
+            detected_itr=detected_itr,
+            itr_recoverable=itr_recoverable,
+            spc_fired=spc_fired,
+            effect=effect,
+            faulty_signature_resident=resident,
+            run_reason=run.reason,
+            instructions_committed=run.instructions,
+            divergence_pc=comparator.divergence_pc,
+            recovery_verified=recovery_verified,
+        )
+
+    def _verify_recovery(self, spec: FaultSpec) -> bool:
+        """Re-run with recovery enabled: does the machine reconverge?"""
+        config = self.config
+        golden = FunctionalSimulator(self._program, inputs=self.kernel.inputs)
+        comparator = _LockstepComparator(
+            golden, max_steps=10 * config.observation_cycles)
+        pipeline = build_pipeline(
+            self._program,
+            config=config.pipeline,
+            recovery_enabled=True,
+            inputs=self.kernel.inputs,
+            decode_tamper=DecodeInjector(spec),
+            commit_listener=comparator,
+        )
+        run = pipeline.run(max_cycles=2 * config.observation_cycles)
+        return run.reason == "halted" and not comparator.diverged
+
+    # ------------------------------------------------------------- all trials
+    def run(self) -> CampaignResult:
+        """Run the full deterministic fault plan for this kernel."""
+        plan = fault_plan(self.config.seed, self.kernel.name,
+                          self.config.trials, self.decode_count)
+        result = CampaignResult(benchmark=self.kernel.name)
+        for index, spec in enumerate(plan):
+            result.trials.append(self.run_trial(index, spec))
+        return result
+
+    def iter_trials(self) -> Iterator[TrialResult]:
+        """Lazy trial stream (lets callers report progress)."""
+        plan = fault_plan(self.config.seed, self.kernel.name,
+                          self.config.trials, self.decode_count)
+        for index, spec in enumerate(plan):
+            yield self.run_trial(index, spec)

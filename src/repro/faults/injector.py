@@ -1,0 +1,80 @@
+"""Single-event-upset injection on decode signals.
+
+The paper's fault model (Section 4): flip one randomly selected bit of the
+decode-signal vector of one randomly selected dynamic instruction. The
+injector is a decode-stage hook for the cycle simulator — it sees every
+*decoded* instruction (wrong-path included, as real hardware would) and
+tampers with exactly one.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..isa.decode_signals import TOTAL_WIDTH, DecodeSignals, field_of_bit
+from ..utils.rng import make_rng
+
+
+@dataclass
+class FaultSpec:
+    """One planned single-event upset."""
+
+    decode_index: int    # which dynamic decode slot to hit
+    bit: int             # which of the 64 signal bits to flip
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bit < TOTAL_WIDTH:
+            raise ValueError(f"bit {self.bit} outside 0..{TOTAL_WIDTH - 1}")
+        if self.decode_index < 0:
+            raise ValueError("decode_index must be non-negative")
+
+    @property
+    def field_name(self) -> str:
+        """Table 2 field containing the flipped bit."""
+        return field_of_bit(self.bit).name
+
+
+class DecodeInjector:
+    """Stateful decode hook implementing one :class:`FaultSpec`.
+
+    Use one injector per simulation; ``fired`` records whether the target
+    decode slot was actually reached (a fault planned beyond the end of a
+    run never strikes).
+    """
+
+    def __init__(self, spec: FaultSpec):
+        self.spec = spec
+        self.fired = False
+        self.fault_pc: Optional[int] = None
+        self.original: Optional[DecodeSignals] = None
+        self.tampered: Optional[DecodeSignals] = None
+
+    def __call__(self, decode_index: int, pc: int,
+                 signals: DecodeSignals) -> Tuple[DecodeSignals, bool]:
+        """The pipeline's ``decode_tamper`` interface."""
+        if decode_index != self.spec.decode_index or self.fired:
+            return signals, False
+        self.fired = True
+        self.fault_pc = pc
+        self.original = signals
+        self.tampered = signals.with_bit_flipped(self.spec.bit)
+        return self.tampered, True
+
+
+def random_fault(rng: random.Random, decode_count: int) -> FaultSpec:
+    """Draw a uniformly random fault over a run of ``decode_count`` slots."""
+    if decode_count < 1:
+        raise ValueError("decode_count must be >= 1")
+    return FaultSpec(
+        decode_index=rng.randrange(decode_count),
+        bit=rng.randrange(TOTAL_WIDTH),
+    )
+
+
+def fault_plan(seed: int, benchmark: str, trials: int,
+               decode_count: int) -> list:
+    """Deterministic list of faults for one benchmark campaign."""
+    rng = make_rng(seed, "faults", benchmark)
+    return [random_fault(rng, decode_count) for _ in range(trials)]

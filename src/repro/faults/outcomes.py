@@ -1,0 +1,139 @@
+"""Fault-outcome taxonomy (paper Section 4, Figure 8).
+
+An injected fault is classified along two axes — how it was (or was not)
+detected, and what it would have done to architectural state — yielding
+the paper's categories:
+
+=================  ====================================================
+label              meaning
+=================  ====================================================
+ITR+Mask           detected by an ITR signature mismatch; architecturally
+                   masked (e.g. a flipped ``lat`` or an irrelevant field)
+ITR+SDC+R          detected by ITR *in the accessing instance* — flush
+                   and restart recovers what would otherwise be silent
+                   data corruption
+ITR+SDC+D          detected by ITR but only via the stored (previous)
+                   instance's signature: state already corrupt, detect
+                   only (machine check / program abort)
+ITR+wdog+R         detected and recoverable by ITR; without ITR the fault
+                   would have deadlocked the machine
+spc+SDC            missed by ITR, caught by the sequential-PC check
+spc+Mask           caught by the sequential-PC check, architecturally
+                   masked
+MayITR+SDC         undetected in the observation window, but the faulty
+MayITR+Mask        signature is still resident in the ITR cache — a
+                   future instance may still detect it
+Undet+wdog         undetected by ITR; the watchdog caught a deadlock
+Undet+SDC          undetected, silent data corruption
+Undet+Mask         undetected, architecturally masked
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class Detection(enum.Enum):
+    """How the fault was detected (if at all)."""
+
+    ITR = "ITR"
+    SPC = "spc"
+    WATCHDOG = "wdog"
+    NONE = "none"
+
+
+class Effect(enum.Enum):
+    """The fault's architectural consequence absent recovery."""
+
+    SDC = "SDC"          # committed state diverged from golden
+    DEADLOCK = "wdog"    # the machine stopped making progress
+    MASK = "Mask"        # no architecturally visible difference
+
+
+class Outcome(enum.Enum):
+    """The paper's Figure 8 categories."""
+
+    ITR_MASK = "ITR+Mask"
+    ITR_SDC_R = "ITR+SDC+R"
+    ITR_SDC_D = "ITR+SDC+D"
+    ITR_WDOG_R = "ITR+wdog+R"
+    SPC_SDC = "spc+SDC"
+    SPC_MASK = "spc+Mask"
+    MAYITR_SDC = "MayITR+SDC"
+    MAYITR_MASK = "MayITR+Mask"
+    UNDET_WDOG = "Undet+wdog"
+    UNDET_SDC = "Undet+SDC"
+    UNDET_MASK = "Undet+Mask"
+
+
+#: Plot/report order matching the paper's Figure 8 legend.
+FIGURE8_ORDER = (
+    Outcome.ITR_MASK,
+    Outcome.ITR_SDC_D,
+    Outcome.ITR_SDC_R,
+    Outcome.ITR_WDOG_R,
+    Outcome.MAYITR_MASK,
+    Outcome.MAYITR_SDC,
+    Outcome.SPC_SDC,
+    Outcome.SPC_MASK,
+    Outcome.UNDET_MASK,
+    Outcome.UNDET_WDOG,
+    Outcome.UNDET_SDC,
+)
+
+
+def classify(detected_itr: bool,
+             itr_recoverable: bool,
+             spc_fired: bool,
+             effect: Effect,
+             faulty_signature_resident: bool) -> Outcome:
+    """Combine detection, counterfactual effect and residency into a label.
+
+    ``itr_recoverable`` is ground truth from the mismatch event: True when
+    the *accessing* (still-in-pipeline) signature carried the fault, so a
+    flush-and-restart recovers; False when the fault was in the stored
+    signature — the faulty instance already committed.
+    """
+    if detected_itr:
+        if effect == Effect.DEADLOCK:
+            # Recovery flushes the faulty trace before it wedges the
+            # machine; a non-recoverable variant degenerates to detect-only.
+            return Outcome.ITR_WDOG_R if itr_recoverable \
+                else Outcome.ITR_SDC_D
+        if effect == Effect.SDC:
+            return Outcome.ITR_SDC_R if itr_recoverable \
+                else Outcome.ITR_SDC_D
+        return Outcome.ITR_MASK
+    if spc_fired:
+        return Outcome.SPC_SDC if effect == Effect.SDC else Outcome.SPC_MASK
+    if effect == Effect.DEADLOCK:
+        return Outcome.UNDET_WDOG
+    if effect == Effect.SDC:
+        return (Outcome.MAYITR_SDC if faulty_signature_resident
+                else Outcome.UNDET_SDC)
+    return (Outcome.MAYITR_MASK if faulty_signature_resident
+            else Outcome.UNDET_MASK)
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """Full record of one fault-injection trial."""
+
+    benchmark: str
+    trial: int
+    decode_index: int        # dynamic decode slot the fault hit
+    bit: int                 # which of the 64 decode-signal bits flipped
+    field: str               # Table 2 field containing that bit
+    outcome: Outcome
+    detected_itr: bool
+    itr_recoverable: bool
+    spc_fired: bool
+    effect: Effect
+    faulty_signature_resident: bool
+    run_reason: str          # halted / max_cycles / deadlock
+    instructions_committed: int
+    divergence_pc: Optional[int] = None
+    recovery_verified: Optional[bool] = None

@@ -1,0 +1,175 @@
+"""PC / next-PC fault study (paper Section 2.5).
+
+The paper analyses — but does not quantify — faults on the program
+counter: a disruption *mid-trace* mixes signals from correct and incorrect
+instructions into the signature and is caught by the ITR cache; a
+disruption at a *natural trace boundary* fetches a different-but-valid
+trace whose signature agrees with its own cache entry, which is the ITR
+cache's blind spot. The paper proposes the commit-PC (sequential-PC)
+check to close it.
+
+This campaign quantifies all of that: single-bit upsets on the fetch PC
+at random cycles, classified by which check detects them (ITR signature,
+sequential-PC check, watchdog, or nothing) and by their architectural
+effect, with the sequential-PC check toggleable so its contribution is
+measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..arch.functional import FunctionalSimulator
+from ..uarch.config import PipelineConfig
+from ..uarch.pipeline import build_pipeline
+from ..utils.rng import make_rng
+from ..utils.stats import Counter
+from ..workloads.kernels import Kernel
+from .campaign import _LockstepComparator
+
+
+@dataclass(frozen=True)
+class PcFaultSpec:
+    """One planned PC upset: flip ``bit`` of the fetch PC at ``cycle``."""
+
+    cycle: int
+    bit: int      # 3..25 by default: word-aligned, stays near the text
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ValueError("cycle must be non-negative")
+        if not 0 <= self.bit < 32:
+            raise ValueError("bit must be 0..31")
+
+
+@dataclass(frozen=True)
+class PcFaultResult:
+    """Outcome of one PC-fault trial."""
+
+    benchmark: str
+    spec: PcFaultSpec
+    fired: bool
+    detected_by: str      # "itr" / "spc" / "wdog" / "none"
+    effect: str           # "sdc" / "mask"
+    run_reason: str
+
+    @property
+    def label(self) -> str:
+        return f"{self.detected_by}+{self.effect}"
+
+
+@dataclass
+class PcFaultCampaignResult:
+    benchmark: str
+    spc_enabled: bool
+    trials: List[PcFaultResult] = field(default_factory=list)
+
+    def counts(self) -> Counter:
+        """Label counts across all trials (plus not_fired)."""
+        counter = Counter()
+        for trial in self.trials:
+            if trial.fired:
+                counter.add(trial.label)
+            else:
+                counter.add("not_fired")
+        return counter
+
+    def detected_fraction(self) -> float:
+        """Detection fraction among fired trials."""
+        fired = [t for t in self.trials if t.fired]
+        if not fired:
+            return 0.0
+        return sum(t.detected_by != "none" for t in fired) / len(fired)
+
+    def undetected_sdc_fraction(self) -> float:
+        """Undetected-SDC fraction among fired trials."""
+        fired = [t for t in self.trials if t.fired]
+        if not fired:
+            return 0.0
+        return sum(t.detected_by == "none" and t.effect == "sdc"
+                   for t in fired) / len(fired)
+
+
+class _PcInjector:
+    """Fetch-PC hook flipping one bit at one cycle."""
+
+    def __init__(self, spec: PcFaultSpec):
+        self.spec = spec
+        self.fired = False
+
+    def __call__(self, cycle: int, fetch_pc: int) -> int:
+        if cycle == self.spec.cycle and not self.fired:
+            self.fired = True
+            return fetch_pc ^ (1 << self.spec.bit)
+        return fetch_pc
+
+
+def run_pc_trial(kernel: Kernel, spec: PcFaultSpec,
+                 spc_enabled: bool = True,
+                 observation_cycles: int = 60_000,
+                 pipeline_config: Optional[PipelineConfig] = None
+                 ) -> PcFaultResult:
+    """Inject one PC fault into a monitor-mode run and classify it."""
+    program = kernel.program()
+    golden = FunctionalSimulator(program, inputs=kernel.inputs)
+    comparator = _LockstepComparator(golden,
+                                     max_steps=10 * observation_cycles)
+    injector = _PcInjector(spec)
+    pipeline = build_pipeline(
+        program,
+        config=pipeline_config or PipelineConfig(),
+        recovery_enabled=False,
+        inputs=kernel.inputs,
+        enable_spc=spc_enabled,
+        commit_listener=comparator,
+        fetch_tamper=injector,
+    )
+    run = pipeline.run(max_cycles=observation_cycles)
+
+    if pipeline.itr.events:
+        detected = "itr"
+    elif spc_enabled and pipeline.stats.spc_violations > 0:
+        detected = "spc"
+    elif run.reason == "deadlock":
+        detected = "wdog"
+    else:
+        detected = "none"
+    effect = "sdc" if comparator.diverged or run.reason == "deadlock" \
+        else "mask"
+    return PcFaultResult(
+        benchmark=kernel.name,
+        spec=spec,
+        fired=injector.fired,
+        detected_by=detected,
+        effect=effect,
+        run_reason=run.reason,
+    )
+
+
+def run_pc_campaign(kernel: Kernel, trials: int = 40, seed: int = 25,
+                    spc_enabled: bool = True,
+                    observation_cycles: int = 60_000,
+                    max_bit: int = 16) -> PcFaultCampaignResult:
+    """A deterministic PC-fault campaign over one kernel.
+
+    Fault cycles are drawn from the first ~60% of the fault-free run so
+    the upset lands while the program is still executing; bits 3..max_bit
+    keep the corrupted PC word-aligned and plausibly near the text
+    segment (high-bit flips trivially starve fetch and tell us little).
+    """
+    program = kernel.program()
+    reference = build_pipeline(program, inputs=kernel.inputs)
+    reference_run = reference.run(max_cycles=observation_cycles)
+    horizon = max(2, int(reference_run.cycles * 0.6))
+
+    rng = make_rng(seed, "pc-faults", kernel.name)
+    result = PcFaultCampaignResult(benchmark=kernel.name,
+                                   spc_enabled=spc_enabled)
+    for _ in range(trials):
+        spec = PcFaultSpec(cycle=rng.randrange(1, horizon),
+                           bit=rng.randrange(3, max_bit + 1))
+        result.trials.append(run_pc_trial(
+            kernel, spec, spc_enabled=spc_enabled,
+            observation_cycles=observation_cycles))
+    return result

@@ -1,0 +1,70 @@
+"""PISA-like instruction-set architecture: opcodes, encoding, assembler.
+
+The public surface mirrors what a user needs to write and inspect programs:
+
+>>> from repro.isa import assemble, decode
+>>> program = assemble('''
+... main:
+...     li   $t0, 5
+...     addi $t0, $t0, 1
+...     syscall
+... ''')
+>>> decode(program.instructions[0]).rdst
+8
+"""
+
+from .assembler import Assembler, assemble
+from .decode_signals import (
+    FIELD_BY_NAME,
+    FIELDS,
+    TOTAL_WIDTH,
+    DecodeSignals,
+    decode,
+    field_of_bit,
+    signal_table_rows,
+)
+from .disassembler import disassemble, disassemble_program, disassemble_word
+from .encoding import (
+    INSTRUCTION_BYTES,
+    decode_image,
+    decode_word,
+    encode,
+    encode_program,
+)
+from .instruction import NOP, Instruction, make
+from .opcodes import FLAG_NAMES, Format, LatencyClass, OpSpec
+from .program import DATA_BASE, STACK_TOP, TEXT_BASE, Program
+from . import opcodes, registers
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "FIELD_BY_NAME",
+    "FIELDS",
+    "TOTAL_WIDTH",
+    "DecodeSignals",
+    "decode",
+    "field_of_bit",
+    "signal_table_rows",
+    "disassemble",
+    "disassemble_program",
+    "disassemble_word",
+    "INSTRUCTION_BYTES",
+    "decode_image",
+    "decode_word",
+    "encode",
+    "encode_program",
+    "NOP",
+    "Instruction",
+    "make",
+    "FLAG_NAMES",
+    "Format",
+    "LatencyClass",
+    "OpSpec",
+    "DATA_BASE",
+    "STACK_TOP",
+    "TEXT_BASE",
+    "Program",
+    "opcodes",
+    "registers",
+]

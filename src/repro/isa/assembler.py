@@ -1,0 +1,481 @@
+"""Two-pass assembler for the PISA-like ISA.
+
+Supports the classic MIPS-style surface syntax used by the benchmark
+kernels in ``repro.workloads.kernels``:
+
+* ``#`` comments, ``label:`` definitions, ``.text`` / ``.data`` sections
+* data directives: ``.word``, ``.half``, ``.byte``, ``.float``, ``.space``,
+  ``.align``, ``.asciiz``
+* all native instructions (see ``repro.isa.opcodes``)
+* pseudo-instructions: ``li``, ``la``, ``move``, ``b``, ``beqz``, ``bnez``,
+  ``blt``, ``bgt``, ``ble``, ``bge``, ``not``, ``neg``, ``mul``, ``subi``
+
+Pass 1 expands pseudo-instructions and lays out both segments to learn
+label addresses; pass 2 patches branch displacements, jump targets and
+``la``/``li`` halves.
+"""
+
+from __future__ import annotations
+
+import re
+import struct
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import AssemblerError
+from . import opcodes, registers
+from .encoding import INSTRUCTION_BYTES
+from .instruction import Instruction, make
+from .opcodes import Format
+from .program import DATA_BASE, TEXT_BASE, Program
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+
+
+@dataclass
+class _PendingInstruction:
+    """An instruction awaiting label resolution in pass 2."""
+
+    mnemonic: str
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    shamt: int = 0
+    imm: int = 0
+    # Fixup: (kind, label) where kind is one of
+    # "branch" (pc-relative words), "jump" (direct word index),
+    # "hi16"/"lo16" (address halves), or None when already resolved.
+    fixup: Optional[Tuple[str, str]] = None
+    line: int = 0
+
+
+class Assembler:
+    """Stateful two-pass assembler. Use :func:`assemble` for the one-shot API."""
+
+    def __init__(self) -> None:
+        self._text: List[_PendingInstruction] = []
+        self._data = bytearray()
+        self._symbols: Dict[str, int] = {}
+        self._section = ".text"
+        self._line = 0
+
+    # ------------------------------------------------------------------ api
+    def assemble(self, source: str, name: str = "program") -> Program:
+        """Assemble complete source text into a :class:`Program`."""
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            self._line = lineno
+            self._process_line(raw)
+        if not self._text:
+            raise AssemblerError("no instructions in .text section")
+        instructions = [self._resolve(i, p)
+                        for i, p in enumerate(self._text)]
+        entry = self._symbols.get("main", TEXT_BASE)
+        return Program(
+            instructions=instructions,
+            data=bytes(self._data),
+            symbols=dict(self._symbols),
+            entry=entry,
+            name=name,
+        )
+
+    # ------------------------------------------------------------- pass one
+    def _process_line(self, raw: str) -> None:
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            return
+        # Consume any leading labels (several may share a line).
+        while True:
+            match = re.match(r"^([A-Za-z_.$][\w.$]*)\s*:\s*", line)
+            if not match:
+                break
+            self._define_label(match.group(1))
+            line = line[match.end():]
+        if not line:
+            return
+        if line.startswith("."):
+            self._directive(line)
+        else:
+            self._instruction(line)
+
+    def _error(self, message: str) -> AssemblerError:
+        return AssemblerError(message, line=self._line)
+
+    def _define_label(self, name: str) -> None:
+        if not _LABEL_RE.match(name):
+            raise self._error(f"invalid label name {name!r}")
+        if name in self._symbols:
+            raise self._error(f"duplicate label {name!r}")
+        if self._section == ".text":
+            address = TEXT_BASE + len(self._text) * INSTRUCTION_BYTES
+        else:
+            address = DATA_BASE + len(self._data)
+        self._symbols[name] = address
+
+    # ------------------------------------------------------------ directives
+    def _directive(self, line: str) -> None:
+        parts = line.split(None, 1)
+        name = parts[0]
+        rest = parts[1].strip() if len(parts) > 1 else ""
+        if name in (".text", ".data"):
+            self._section = name
+            return
+        if self._section != ".data":
+            raise self._error(f"{name} only allowed in .data section")
+        if name == ".word":
+            for value in self._parse_data_values(rest):
+                self._data += (value & 0xFFFFFFFF).to_bytes(4, "little")
+        elif name == ".half":
+            for value in self._parse_data_values(rest):
+                self._data += (value & 0xFFFF).to_bytes(2, "little")
+        elif name == ".byte":
+            for value in self._parse_data_values(rest):
+                self._data += (value & 0xFF).to_bytes(1, "little")
+        elif name == ".float":
+            for token in self._split_operands(rest):
+                self._data += struct.pack("<f", float(token))
+        elif name == ".space":
+            count = self._parse_int(rest)
+            if count < 0:
+                raise self._error(".space size must be non-negative")
+            self._data += bytes(count)
+        elif name == ".align":
+            power = self._parse_int(rest)
+            alignment = 1 << power
+            while len(self._data) % alignment:
+                self._data += b"\x00"
+        elif name == ".asciiz":
+            self._data += self._parse_string(rest) + b"\x00"
+        elif name == ".ascii":
+            self._data += self._parse_string(rest)
+        else:
+            raise self._error(f"unknown directive {name}")
+
+    def _parse_string(self, text: str) -> bytes:
+        text = text.strip()
+        if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+            raise self._error(f"expected quoted string, got {text!r}")
+        body = text[1:-1]
+        try:
+            return body.encode("utf-8").decode("unicode_escape").encode("latin-1")
+        except UnicodeError as exc:
+            raise self._error(f"bad string literal: {exc}") from exc
+
+    def _parse_data_values(self, rest: str) -> List[int]:
+        values: List[int] = []
+        for token in self._split_operands(rest):
+            if token in self._symbols or _LABEL_RE.match(token) and not \
+                    re.match(r"^-?(0[xX])?\d", token):
+                # Forward references in data are not supported; labels used
+                # in .word must already be defined.
+                if token not in self._symbols:
+                    raise self._error(
+                        f".word label {token!r} must be defined earlier"
+                    )
+                values.append(self._symbols[token])
+            else:
+                values.append(self._parse_int(token))
+        return values
+
+    def _parse_int(self, token: str) -> int:
+        token = token.strip()
+        try:
+            if len(token) == 3 and token[0] == "'" and token[-1] == "'":
+                return ord(token[1])
+            return int(token, 0)
+        except ValueError:
+            raise self._error(f"bad integer literal {token!r}") from None
+
+    @staticmethod
+    def _split_operands(rest: str) -> List[str]:
+        """Split on commas, except commas inside quoted character/string
+        literals (so ``li $t0, ','`` parses as two operands)."""
+        tokens: List[str] = []
+        current: List[str] = []
+        quote: Optional[str] = None
+        for char in rest:
+            if quote:
+                current.append(char)
+                if char == quote:
+                    quote = None
+            elif char in ("'", '"'):
+                quote = char
+                current.append(char)
+            elif char == ",":
+                tokens.append("".join(current).strip())
+                current = []
+            else:
+                current.append(char)
+        tokens.append("".join(current).strip())
+        return [tok for tok in tokens if tok]
+
+    # ---------------------------------------------------------- instructions
+    def _instruction(self, line: str) -> None:
+        if self._section != ".text":
+            raise self._error("instructions only allowed in .text section")
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = self._split_operands(parts[1]) if len(parts) > 1 else []
+        expander = _PSEUDO.get(mnemonic)
+        if expander is not None:
+            expander(self, operands)
+            return
+        if mnemonic not in opcodes.BY_MNEMONIC:
+            raise self._error(f"unknown instruction {mnemonic!r}")
+        self._native(mnemonic, operands)
+
+    def _emit(self, mnemonic: str, rd: int = 0, rs: int = 0, rt: int = 0,
+              shamt: int = 0, imm: int = 0,
+              fixup: Optional[Tuple[str, str]] = None) -> None:
+        self._text.append(_PendingInstruction(
+            mnemonic, rd=rd, rs=rs, rt=rt, shamt=shamt, imm=imm,
+            fixup=fixup, line=self._line))
+
+    def _reg(self, token: str, fp: bool = False) -> int:
+        try:
+            return (registers.parse_fp_register(token) if fp
+                    else registers.parse_register(token))
+        except ValueError as exc:
+            raise self._error(str(exc)) from exc
+
+    def _imm16(self, token: str, signed: bool = True) -> int:
+        value = self._parse_int(token)
+        if signed and not -32768 <= value <= 65535:
+            raise self._error(f"immediate {value} does not fit in 16 bits")
+        if not signed and not 0 <= value <= 65535:
+            raise self._error(f"immediate {value} does not fit in 16 bits")
+        return value & 0xFFFF
+
+    def _expect(self, operands: Sequence[str], count: int,
+                mnemonic: str) -> None:
+        if len(operands) != count:
+            raise self._error(
+                f"{mnemonic} expects {count} operand(s), got {len(operands)}"
+            )
+
+    _MEM_RE = re.compile(r"^(-?\w*)\s*\(\s*(\$?[\w]+)\s*\)$")
+
+    def _mem_operand(self, token: str) -> Tuple[int, int]:
+        """Parse ``imm($base)`` into (imm16, base register index)."""
+        match = self._MEM_RE.match(token.strip())
+        if not match:
+            raise self._error(f"bad memory operand {token!r}")
+        offset_text = match.group(1) or "0"
+        offset = self._parse_int(offset_text)
+        if not -32768 <= offset <= 32767:
+            raise self._error(f"memory offset {offset} does not fit in 16 bits")
+        return offset & 0xFFFF, self._reg(match.group(2))
+
+    def _native(self, mnemonic: str, operands: Sequence[str]) -> None:
+        spec = opcodes.BY_MNEMONIC[mnemonic]
+        fp = spec.has("is_fp")
+        fmt = spec.fmt
+        if fmt == Format.R:
+            self._expect(operands, 3, mnemonic)
+            self._emit(mnemonic, rd=self._reg(operands[0], fp),
+                       rs=self._reg(operands[1], fp),
+                       rt=self._reg(operands[2], fp))
+        elif fmt == Format.R2:
+            self._expect(operands, 2, mnemonic)
+            # Conversions move between files: cvt.s.w reads an int-typed
+            # value already in an FP register (MIPS style: both in FP file).
+            self._emit(mnemonic, rd=self._reg(operands[0], fp),
+                       rs=self._reg(operands[1], fp))
+        elif fmt == Format.SH:
+            self._expect(operands, 3, mnemonic)
+            amount = self._parse_int(operands[2])
+            if not 0 <= amount < 32:
+                raise self._error(f"shift amount {amount} out of range")
+            self._emit(mnemonic, rd=self._reg(operands[0]),
+                       rs=self._reg(operands[1]), shamt=amount)
+        elif fmt == Format.I:
+            self._expect(operands, 3, mnemonic)
+            self._emit(mnemonic, rd=self._reg(operands[0]),
+                       rs=self._reg(operands[1]),
+                       imm=self._imm16(operands[2]))
+        elif fmt == Format.LUI:
+            self._expect(operands, 2, mnemonic)
+            self._emit(mnemonic, rd=self._reg(operands[0]),
+                       imm=self._imm16(operands[1], signed=False))
+        elif fmt == Format.LOAD:
+            self._expect(operands, 2, mnemonic)
+            imm, base = self._mem_operand(operands[1])
+            self._emit(mnemonic, rd=self._reg(operands[0], fp), rs=base,
+                       imm=imm)
+        elif fmt == Format.STORE:
+            self._expect(operands, 2, mnemonic)
+            imm, base = self._mem_operand(operands[1])
+            self._emit(mnemonic, rt=self._reg(operands[0], fp), rs=base,
+                       imm=imm)
+        elif fmt == Format.BR2:
+            self._expect(operands, 3, mnemonic)
+            self._emit(mnemonic, rs=self._reg(operands[0]),
+                       rt=self._reg(operands[1]),
+                       fixup=("branch", operands[2]))
+        elif fmt == Format.BR1:
+            self._expect(operands, 2, mnemonic)
+            self._emit(mnemonic, rs=self._reg(operands[0]),
+                       fixup=("branch", operands[1]))
+        elif fmt == Format.J:
+            self._expect(operands, 1, mnemonic)
+            self._emit(mnemonic, fixup=("jump", operands[0]))
+        elif fmt == Format.JR:
+            self._expect(operands, 1, mnemonic)
+            self._emit(mnemonic, rs=self._reg(operands[0]))
+        elif fmt == Format.JALR:
+            self._expect(operands, 2, mnemonic)
+            self._emit(mnemonic, rd=self._reg(operands[0]),
+                       rs=self._reg(operands[1]))
+        elif fmt in (Format.SYS, Format.NONE):
+            self._expect(operands, 0, mnemonic)
+            self._emit(mnemonic)
+        else:  # pragma: no cover - formats are exhaustive
+            raise self._error(f"unhandled format {fmt}")
+
+    # ------------------------------------------------------ pseudo expansion
+    def _pseudo_li(self, operands: Sequence[str]) -> None:
+        self._expect(operands, 2, "li")
+        rd = self._reg(operands[0])
+        value = self._parse_int(operands[1]) & 0xFFFFFFFF
+        if value <= 0xFFFF:
+            self._emit("ori", rd=rd, rs=registers.ZERO, imm=value)
+        elif value >= 0xFFFF8000:  # small negative: sign-extends from imm16
+            self._emit("addiu", rd=rd, rs=registers.ZERO, imm=value & 0xFFFF)
+        else:
+            self._emit("lui", rd=rd, imm=(value >> 16) & 0xFFFF)
+            if value & 0xFFFF:
+                self._emit("ori", rd=rd, rs=rd, imm=value & 0xFFFF)
+
+    def _pseudo_la(self, operands: Sequence[str]) -> None:
+        self._expect(operands, 2, "la")
+        rd = self._reg(operands[0])
+        label = operands[1]
+        self._emit("lui", rd=rd, fixup=("hi16", label))
+        self._emit("ori", rd=rd, rs=rd, fixup=("lo16", label))
+
+    def _pseudo_move(self, operands: Sequence[str]) -> None:
+        self._expect(operands, 2, "move")
+        self._emit("addu", rd=self._reg(operands[0]),
+                   rs=self._reg(operands[1]), rt=registers.ZERO)
+
+    def _pseudo_b(self, operands: Sequence[str]) -> None:
+        self._expect(operands, 1, "b")
+        self._emit("beq", rs=registers.ZERO, rt=registers.ZERO,
+                   fixup=("branch", operands[0]))
+
+    def _pseudo_beqz(self, operands: Sequence[str]) -> None:
+        self._expect(operands, 2, "beqz")
+        self._emit("beq", rs=self._reg(operands[0]), rt=registers.ZERO,
+                   fixup=("branch", operands[1]))
+
+    def _pseudo_bnez(self, operands: Sequence[str]) -> None:
+        self._expect(operands, 2, "bnez")
+        self._emit("bne", rs=self._reg(operands[0]), rt=registers.ZERO,
+                   fixup=("branch", operands[1]))
+
+    def _pseudo_cmp_branch(self, mnemonic: str,
+                           operands: Sequence[str]) -> None:
+        """Expand blt/bgt/ble/bge via slt into $at + beq/bne."""
+        self._expect(operands, 3, mnemonic)
+        rs = self._reg(operands[0])
+        rt = self._reg(operands[1])
+        label = operands[2]
+        at = registers.AT
+        if mnemonic == "blt":    # rs < rt  -> slt at,rs,rt ; bnez at
+            self._emit("slt", rd=at, rs=rs, rt=rt)
+            self._emit("bne", rs=at, rt=registers.ZERO,
+                       fixup=("branch", label))
+        elif mnemonic == "bgt":  # rs > rt  -> slt at,rt,rs ; bnez at
+            self._emit("slt", rd=at, rs=rt, rt=rs)
+            self._emit("bne", rs=at, rt=registers.ZERO,
+                       fixup=("branch", label))
+        elif mnemonic == "ble":  # rs <= rt -> slt at,rt,rs ; beqz at
+            self._emit("slt", rd=at, rs=rt, rt=rs)
+            self._emit("beq", rs=at, rt=registers.ZERO,
+                       fixup=("branch", label))
+        elif mnemonic == "bge":  # rs >= rt -> slt at,rs,rt ; beqz at
+            self._emit("slt", rd=at, rs=rs, rt=rt)
+            self._emit("beq", rs=at, rt=registers.ZERO,
+                       fixup=("branch", label))
+
+    def _pseudo_not(self, operands: Sequence[str]) -> None:
+        self._expect(operands, 2, "not")
+        self._emit("nor", rd=self._reg(operands[0]),
+                   rs=self._reg(operands[1]), rt=registers.ZERO)
+
+    def _pseudo_neg(self, operands: Sequence[str]) -> None:
+        self._expect(operands, 2, "neg")
+        self._emit("sub", rd=self._reg(operands[0]), rs=registers.ZERO,
+                   rt=self._reg(operands[1]))
+
+    def _pseudo_mul(self, operands: Sequence[str]) -> None:
+        # Alias: our ISA's mult already writes rd (no HI/LO).
+        self._expect(operands, 3, "mul")
+        self._emit("mult", rd=self._reg(operands[0]),
+                   rs=self._reg(operands[1]), rt=self._reg(operands[2]))
+
+    def _pseudo_subi(self, operands: Sequence[str]) -> None:
+        self._expect(operands, 3, "subi")
+        value = -self._parse_int(operands[2])
+        if not -32768 <= value <= 32767:
+            raise self._error(f"subi immediate {-value} out of range")
+        self._emit("addi", rd=self._reg(operands[0]),
+                   rs=self._reg(operands[1]), imm=value & 0xFFFF)
+
+    # ------------------------------------------------------------- pass two
+    def _resolve(self, index: int,
+                 pending: _PendingInstruction) -> Instruction:
+        self._line = pending.line
+        imm = pending.imm
+        if pending.fixup is not None:
+            kind, label = pending.fixup
+            if label not in self._symbols:
+                raise self._error(f"undefined label {label!r}")
+            target = self._symbols[label]
+            if kind == "branch":
+                pc = TEXT_BASE + index * INSTRUCTION_BYTES
+                delta = (target - (pc + INSTRUCTION_BYTES))
+                if delta % INSTRUCTION_BYTES:
+                    raise self._error(f"branch target {label!r} misaligned")
+                words = delta // INSTRUCTION_BYTES
+                if not -32768 <= words <= 32767:
+                    raise self._error(f"branch to {label!r} out of range")
+                imm = words & 0xFFFF
+            elif kind == "jump":
+                offset = target - TEXT_BASE
+                if offset % INSTRUCTION_BYTES:
+                    raise self._error(f"jump target {label!r} misaligned")
+                words = offset // INSTRUCTION_BYTES
+                if not 0 <= words <= 0xFFFF:
+                    raise self._error(f"jump to {label!r} out of range")
+                imm = words
+            elif kind == "hi16":
+                imm = (target >> 16) & 0xFFFF
+            elif kind == "lo16":
+                imm = target & 0xFFFF
+            else:  # pragma: no cover
+                raise self._error(f"unknown fixup kind {kind!r}")
+        return make(pending.mnemonic, rd=pending.rd, rs=pending.rs,
+                    rt=pending.rt, shamt=pending.shamt, imm=imm)
+
+
+_PSEUDO: Dict[str, Callable[[Assembler, Sequence[str]], None]] = {
+    "li": Assembler._pseudo_li,
+    "la": Assembler._pseudo_la,
+    "move": Assembler._pseudo_move,
+    "b": Assembler._pseudo_b,
+    "beqz": Assembler._pseudo_beqz,
+    "bnez": Assembler._pseudo_bnez,
+    "blt": lambda self, ops: self._pseudo_cmp_branch("blt", ops),
+    "bgt": lambda self, ops: self._pseudo_cmp_branch("bgt", ops),
+    "ble": lambda self, ops: self._pseudo_cmp_branch("ble", ops),
+    "bge": lambda self, ops: self._pseudo_cmp_branch("bge", ops),
+    "not": Assembler._pseudo_not,
+    "neg": Assembler._pseudo_neg,
+    "mul": Assembler._pseudo_mul,
+    "subi": Assembler._pseudo_subi,
+}
+
+
+def assemble(source: str, name: str = "program") -> Program:
+    """Assemble source text into a :class:`Program` (one-shot API)."""
+    return Assembler().assemble(source, name=name)

@@ -1,0 +1,312 @@
+"""The 64-bit decode-signal vector (paper Table 2).
+
+This module is the heart of the fault model. The decode unit translates a
+fetched instruction into the signal vector below; *everything downstream of
+decode* (rename, scheduling, execution, memory, commit) consumes only this
+vector. The ITR signature is the XOR of these vectors over a trace, and
+fault injection flips one randomly chosen bit of one dynamic instruction's
+vector.
+
+Field layout (LSB-first bit offsets), reproducing Table 2 exactly:
+
+=========  =====  ======  =======================================
+field      width  offset  description
+=========  =====  ======  =======================================
+opcode     8      0       instruction opcode
+flags      12     8       decoded control flags
+shamt      5      20      shift amount
+rsrc1      5      25      source register operand
+rsrc2      5      30      source register operand
+rdst       5      35      destination register operand
+lat        2      40      execution latency class
+imm        16     42      immediate
+num_rsrc   2      58      number of source operands
+num_rdst   1      60      number of destination operands
+mem_size   3      61      size of memory word
+=========  =====  ======  =======================================
+
+Total width: 64 bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from ..errors import DecodingError
+from ..utils.bitops import check_fits, extract, flip_bit, insert
+from . import opcodes
+from .instruction import Instruction
+from .opcodes import FLAG_NAMES, Format, LatencyClass
+
+
+@dataclass(frozen=True)
+class SignalField:
+    """One named field of the decode-signal vector."""
+
+    name: str
+    width: int
+    offset: int
+    description: str
+
+
+def _build_fields() -> Tuple[SignalField, ...]:
+    layout = [
+        ("opcode", 8, "instruction opcode"),
+        ("flags", 12, "decoded control flags (" + ", ".join(FLAG_NAMES) + ")"),
+        ("shamt", 5, "shift amount"),
+        ("rsrc1", 5, "source register operand"),
+        ("rsrc2", 5, "source register operand"),
+        ("rdst", 5, "destination register operand"),
+        ("lat", 2, "execution latency"),
+        ("imm", 16, "immediate"),
+        ("num_rsrc", 2, "number of source operands"),
+        ("num_rdst", 1, "number of destination operands"),
+        ("mem_size", 3, "size of memory word"),
+    ]
+    fields: List[SignalField] = []
+    offset = 0
+    for name, width, description in layout:
+        fields.append(SignalField(name, width, offset, description))
+        offset += width
+    if offset != 64:
+        raise AssertionError(f"decode-signal layout is {offset} bits, not 64")
+    return tuple(fields)
+
+
+#: The Table 2 field inventory, in bit order.
+FIELDS: Tuple[SignalField, ...] = _build_fields()
+
+#: Field lookup by name.
+FIELD_BY_NAME: Dict[str, SignalField] = {f.name: f for f in FIELDS}
+
+#: Total signal-vector width in bits (Table 2 bottom row).
+TOTAL_WIDTH = 64
+
+_FLAG_BIT: Dict[str, int] = {name: i for i, name in enumerate(FLAG_NAMES)}
+
+
+def flags_to_bits(flag_names) -> int:
+    """Pack a collection of flag names into the 12-bit flags field."""
+    bits = 0
+    for name in flag_names:
+        bits |= 1 << _FLAG_BIT[name]
+    return bits
+
+
+def field_of_bit(bit: int) -> SignalField:
+    """Return the field containing global bit position ``bit`` (0..63)."""
+    if not 0 <= bit < TOTAL_WIDTH:
+        raise ValueError(f"bit {bit} outside 0..{TOTAL_WIDTH - 1}")
+    for field in FIELDS:
+        if field.offset <= bit < field.offset + field.width:
+            return field
+    raise AssertionError("unreachable: layout covers all 64 bits")
+
+
+@dataclass(frozen=True)
+class DecodeSignals:
+    """An immutable 64-bit decode-signal vector, as named fields.
+
+    Instances are hashable and cheap; fault injection produces a *new*
+    vector via :meth:`with_bit_flipped`.
+    """
+
+    opcode: int
+    flags: int
+    shamt: int
+    rsrc1: int
+    rsrc2: int
+    rdst: int
+    lat: int
+    imm: int
+    num_rsrc: int
+    num_rdst: int
+    mem_size: int
+
+    # -- flag accessors ------------------------------------------------------
+    def flag(self, name: str) -> bool:
+        """Read one named control flag from the 12-bit flags field."""
+        return bool(self.flags & (1 << _FLAG_BIT[name]))
+
+    @property
+    def is_int(self) -> bool:
+        return self.flag("is_int")
+
+    @property
+    def is_fp(self) -> bool:
+        return self.flag("is_fp")
+
+    @property
+    def is_signed(self) -> bool:
+        return self.flag("is_signed")
+
+    @property
+    def is_branch(self) -> bool:
+        return self.flag("is_branch")
+
+    @property
+    def is_uncond(self) -> bool:
+        return self.flag("is_uncond")
+
+    @property
+    def is_ld(self) -> bool:
+        return self.flag("is_ld")
+
+    @property
+    def is_st(self) -> bool:
+        return self.flag("is_st")
+
+    @property
+    def mem_lr(self) -> bool:
+        return self.flag("mem_lr")
+
+    @property
+    def is_rr(self) -> bool:
+        return self.flag("is_rr")
+
+    @property
+    def is_disp(self) -> bool:
+        return self.flag("is_disp")
+
+    @property
+    def is_direct(self) -> bool:
+        return self.flag("is_direct")
+
+    @property
+    def is_trap(self) -> bool:
+        return self.flag("is_trap")
+
+    @property
+    def is_control(self) -> bool:
+        """Trace-terminating control transfer, as seen by the pipeline."""
+        return self.is_branch or self.is_uncond
+
+    @property
+    def ends_trace(self) -> bool:
+        return self.is_control or self.is_trap
+
+    @property
+    def latency_cycles(self) -> int:
+        """Execution latency in cycles implied by the 2-bit lat class."""
+        return LatencyClass(self.lat).cycles
+
+    # -- per-operand register-file selection ----------------------------------
+    # The 5-bit specifiers name a register in either file; ``is_fp`` selects
+    # the FP file — except that the address base (rsrc1) of memory
+    # operations always lives in the integer file, even for FP loads/stores
+    # (lwc1/swc1 compute addresses from integer registers).
+    @property
+    def rsrc1_is_fp(self) -> bool:
+        return self.is_fp and not (self.is_ld or self.is_st)
+
+    @property
+    def rsrc2_is_fp(self) -> bool:
+        return self.is_fp
+
+    @property
+    def rdst_is_fp(self) -> bool:
+        return self.is_fp
+
+    # -- packing --------------------------------------------------------------
+    def pack(self) -> int:
+        """Pack into the canonical 64-bit signal word."""
+        word = 0
+        for field in FIELDS:
+            value = getattr(self, field.name)
+            check_fits(value, field.width, field.name)
+            word = insert(word, field.offset, field.width, value)
+        return word
+
+    @classmethod
+    def unpack(cls, word: int) -> "DecodeSignals":
+        """Rebuild a vector from a packed 64-bit word."""
+        if not 0 <= word < (1 << TOTAL_WIDTH):
+            raise DecodingError(f"signal word 0x{word:x} is not 64-bit")
+        values = {f.name: extract(word, f.offset, f.width) for f in FIELDS}
+        return cls(**values)
+
+    def with_bit_flipped(self, bit: int) -> "DecodeSignals":
+        """Return a copy with global bit ``bit`` (0..63) inverted.
+
+        This is the paper's fault-injection primitive: a single-event upset
+        on one decode signal of one dynamic instruction.
+        """
+        return DecodeSignals.unpack(flip_bit(self.pack(), bit))
+
+    def with_field(self, **overrides: int) -> "DecodeSignals":
+        """Return a copy with named fields replaced (testing convenience)."""
+        return replace(self, **overrides)
+
+    def diff(self, other: "DecodeSignals") -> List[str]:
+        """Names of fields in which ``self`` and ``other`` differ."""
+        return [f.name for f in FIELDS
+                if getattr(self, f.name) != getattr(other, f.name)]
+
+    def describe(self) -> str:
+        """Multi-line human-readable dump used by diagnostics."""
+        lines = [f"signals=0x{self.pack():016x}"]
+        spec = opcodes.from_code(self.opcode)
+        op_name = spec.mnemonic if spec else "<unassigned>"
+        lines.append(f"  opcode    = 0x{self.opcode:02x} ({op_name})")
+        active = [n for n in FLAG_NAMES if self.flag(n)]
+        lines.append(f"  flags     = 0x{self.flags:03x} [{', '.join(active)}]")
+        for name in ("shamt", "rsrc1", "rsrc2", "rdst", "lat", "imm",
+                     "num_rsrc", "num_rdst", "mem_size"):
+            lines.append(f"  {name:<9} = {getattr(self, name)}")
+        return "\n".join(lines)
+
+
+def decode(instr: Instruction) -> DecodeSignals:
+    """The decode unit: translate an instruction into its signal vector.
+
+    This is a pure function of the instruction word — which is exactly the
+    property ITR exploits: every dynamic instance of a static instruction
+    decodes to the identical vector, so the XOR trace signature is
+    invariant across instances.
+    """
+    op = instr.op
+    fmt = op.fmt
+    rsrc1 = rsrc2 = rdst = 0
+    if fmt in (Format.R,):
+        rdst, rsrc1, rsrc2 = instr.rd, instr.rs, instr.rt
+    elif fmt in (Format.R2, Format.SH, Format.I, Format.LOAD):
+        rdst, rsrc1 = instr.rd, instr.rs
+    elif fmt == Format.LUI:
+        rdst = instr.rd
+    elif fmt == Format.STORE:
+        rsrc1, rsrc2 = instr.rs, instr.rt
+    elif fmt == Format.BR2:
+        rsrc1, rsrc2 = instr.rs, instr.rt
+    elif fmt in (Format.BR1, Format.JR):
+        rsrc1 = instr.rs
+    elif fmt == Format.JALR:
+        rdst, rsrc1 = instr.rd, instr.rs
+    elif fmt == Format.J:
+        # jal architecturally writes the link register.
+        if op.mnemonic == "jal":
+            rdst = 31
+    # SYS / NONE have no register operands.
+
+    num_rdst = op.num_rdst
+    if op.mnemonic == "jal":
+        num_rdst = 1
+
+    return DecodeSignals(
+        opcode=op.code,
+        flags=flags_to_bits(op.flags),
+        shamt=instr.shamt,
+        rsrc1=rsrc1,
+        rsrc2=rsrc2,
+        rdst=rdst,
+        lat=int(op.lat),
+        imm=instr.imm,
+        num_rsrc=op.num_rsrc,
+        num_rdst=num_rdst,
+        mem_size=op.mem_size,
+    )
+
+
+def signal_table_rows() -> List[Tuple[str, str, int]]:
+    """Rows of paper Table 2: (field, description, width)."""
+    return [(f.name, f.description, f.width) for f in FIELDS]

@@ -1,0 +1,30 @@
+"""Disassembler: machine words / programs back to readable assembly."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from .encoding import INSTRUCTION_BYTES, decode_word
+from .instruction import Instruction
+from .program import TEXT_BASE, Program
+
+
+def disassemble_word(word: int) -> str:
+    """Disassemble one 64-bit machine word to assembly text."""
+    return decode_word(word).render()
+
+
+def disassemble(instructions: Iterable[Instruction],
+                base: int = TEXT_BASE) -> str:
+    """Disassemble a sequence of instructions with addresses."""
+    lines: List[str] = []
+    pc = base
+    for instr in instructions:
+        lines.append(f"0x{pc:08x}:  {instr.render()}")
+        pc += INSTRUCTION_BYTES
+    return "\n".join(lines)
+
+
+def disassemble_program(program: Program) -> str:
+    """Full program listing including labels (delegates to the program)."""
+    return program.listing()

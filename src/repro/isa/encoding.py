@@ -1,0 +1,99 @@
+"""Binary encoding of instructions into 64-bit words.
+
+SimpleScalar's PISA ISA — the paper's evaluation ISA — uses 8-byte
+instruction words; we follow suit. The layout leaves room for every field
+without overlapping formats:
+
+=========  =====  ======
+field      width  offset
+=========  =====  ======
+opcode     8      56
+rd         5      51
+rs         5      46
+rt         5      41
+shamt      5      36
+imm        16     20
+reserved   20     0
+=========  =====  ======
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..errors import DecodingError
+from ..utils.bitops import extract, insert
+from . import opcodes
+from .instruction import Instruction
+
+#: Size of one instruction word in bytes (PISA-style 8-byte instructions).
+INSTRUCTION_BYTES = 8
+
+_OPCODE_OFF = 56
+_RD_OFF = 51
+_RS_OFF = 46
+_RT_OFF = 41
+_SHAMT_OFF = 36
+_IMM_OFF = 20
+
+
+def encode(instr: Instruction) -> int:
+    """Encode an instruction into its 64-bit machine word."""
+    word = 0
+    word = insert(word, _OPCODE_OFF, 8, instr.op.code)
+    word = insert(word, _RD_OFF, 5, instr.rd)
+    word = insert(word, _RS_OFF, 5, instr.rs)
+    word = insert(word, _RT_OFF, 5, instr.rt)
+    word = insert(word, _SHAMT_OFF, 5, instr.shamt)
+    word = insert(word, _IMM_OFF, 16, instr.imm)
+    return word
+
+
+def decode_word(word: int) -> Instruction:
+    """Decode a 64-bit machine word back into an :class:`Instruction`.
+
+    Raises :class:`DecodingError` for unassigned opcodes or nonzero
+    reserved bits — both indicate a corrupt text image rather than a
+    decode-signal fault (which is injected later, on the signal vector).
+    """
+    if not 0 <= word < (1 << 64):
+        raise DecodingError(f"machine word 0x{word:x} is not 64-bit")
+    if extract(word, 0, 20):
+        raise DecodingError(
+            f"machine word 0x{word:016x} has nonzero reserved bits"
+        )
+    code = extract(word, _OPCODE_OFF, 8)
+    spec = opcodes.from_code(code)
+    if spec is None:
+        raise DecodingError(f"unassigned opcode 0x{code:02x}")
+    return Instruction(
+        spec,
+        rd=extract(word, _RD_OFF, 5),
+        rs=extract(word, _RS_OFF, 5),
+        rt=extract(word, _RT_OFF, 5),
+        shamt=extract(word, _SHAMT_OFF, 5),
+        imm=extract(word, _IMM_OFF, 16),
+    )
+
+
+def encode_program(instructions: Iterable[Instruction]) -> bytes:
+    """Encode a sequence of instructions into a little-endian text image."""
+    blob = bytearray()
+    for instr in instructions:
+        blob += encode(instr).to_bytes(INSTRUCTION_BYTES, "little")
+    return bytes(blob)
+
+
+def decode_image(image: bytes) -> List[Instruction]:
+    """Decode a text image produced by :func:`encode_program`."""
+    if len(image) % INSTRUCTION_BYTES:
+        raise DecodingError(
+            f"text image length {len(image)} is not a multiple of "
+            f"{INSTRUCTION_BYTES}"
+        )
+    out: List[Instruction] = []
+    for offset in range(0, len(image), INSTRUCTION_BYTES):
+        word = int.from_bytes(image[offset:offset + INSTRUCTION_BYTES],
+                              "little")
+        out.append(decode_word(word))
+    return out

@@ -1,0 +1,129 @@
+"""The architected :class:`Instruction` record.
+
+An ``Instruction`` is the assembler's output and the fetch unit's input:
+an opcode plus raw operand fields. It deliberately carries *no* decoded
+semantics — those live in the decode-signal vector produced by
+``repro.isa.decode_signals``, because the paper's fault model injects into
+decode signals, not into instruction words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from . import opcodes, registers
+from .opcodes import Format, OpSpec
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One architected instruction.
+
+    Fields follow the encoding slots rather than assembly order:
+
+    * ``rd`` — destination register specifier (5 bits)
+    * ``rs`` — first source register specifier (5 bits)
+    * ``rt`` — second source register specifier (5 bits)
+    * ``shamt`` — shift amount (5 bits)
+    * ``imm`` — 16-bit immediate, stored *unsigned* (two's complement for
+      negative values); branch displacements are in instruction words.
+    """
+
+    op: OpSpec
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    shamt: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("rd", "rs", "rt", "shamt"):
+            value = getattr(self, name)
+            if not 0 <= value < 32:
+                raise ValueError(f"{self.op.mnemonic}: {name}={value} not 5-bit")
+        if not 0 <= self.imm <= 0xFFFF:
+            raise ValueError(f"{self.op.mnemonic}: imm={self.imm} not 16-bit")
+
+    # -- convenience predicates (forwarded from the opcode spec) -----------
+    @property
+    def mnemonic(self) -> str:
+        return self.op.mnemonic
+
+    @property
+    def is_control(self) -> bool:
+        """True for trace-ending control transfers (branch or jump)."""
+        return self.op.is_control
+
+    @property
+    def is_trap(self) -> bool:
+        return self.op.has("is_trap")
+
+    @property
+    def ends_trace(self) -> bool:
+        """True if this instruction terminates an ITR trace.
+
+        Traces end on branching instructions (paper Section 2.1); traps also
+        end a trace because they redirect control to the OS.
+        """
+        return self.is_control or self.is_trap
+
+    def render(self) -> str:
+        """Render as canonical assembly text."""
+        op = self.op
+        fp = op.has("is_fp")
+
+        def reg(index: int) -> str:
+            return (registers.fp_reg_name(index) if fp
+                    else registers.int_reg_name(index))
+
+        def ireg(index: int) -> str:
+            return registers.int_reg_name(index)
+
+        simm = self.imm - 0x10000 if self.imm & 0x8000 else self.imm
+        fmt = op.fmt
+        if fmt == Format.R:
+            return f"{op.mnemonic} {reg(self.rd)}, {reg(self.rs)}, {reg(self.rt)}"
+        if fmt == Format.R2:
+            return f"{op.mnemonic} {reg(self.rd)}, {reg(self.rs)}"
+        if fmt == Format.SH:
+            return f"{op.mnemonic} {reg(self.rd)}, {reg(self.rs)}, {self.shamt}"
+        if fmt == Format.I:
+            return f"{op.mnemonic} {ireg(self.rd)}, {ireg(self.rs)}, {simm}"
+        if fmt == Format.LUI:
+            return f"{op.mnemonic} {ireg(self.rd)}, {self.imm}"
+        if fmt == Format.LOAD:
+            return f"{op.mnemonic} {reg(self.rd)}, {simm}({ireg(self.rs)})"
+        if fmt == Format.STORE:
+            return f"{op.mnemonic} {reg(self.rt)}, {simm}({ireg(self.rs)})"
+        if fmt == Format.BR2:
+            return f"{op.mnemonic} {ireg(self.rs)}, {ireg(self.rt)}, {simm}"
+        if fmt == Format.BR1:
+            return f"{op.mnemonic} {ireg(self.rs)}, {simm}"
+        if fmt == Format.J:
+            return f"{op.mnemonic} {self.imm}"
+        if fmt == Format.JR:
+            return f"{op.mnemonic} {ireg(self.rs)}"
+        if fmt == Format.JALR:
+            return f"{op.mnemonic} {ireg(self.rd)}, {ireg(self.rs)}"
+        return op.mnemonic
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def make(mnemonic: str, rd: int = 0, rs: int = 0, rt: int = 0,
+         shamt: int = 0, imm: int = 0) -> Instruction:
+    """Build an instruction from a mnemonic and raw fields.
+
+    Negative immediates are wrapped into 16-bit two's complement.
+
+    >>> make("addi", rd=8, rs=8, imm=-1).imm
+    65535
+    """
+    if imm < 0:
+        imm &= 0xFFFF
+    return Instruction(opcodes.lookup(mnemonic), rd=rd, rs=rs, rt=rt,
+                       shamt=shamt, imm=imm)
+
+
+NOP: Instruction = make("nop")

@@ -1,0 +1,148 @@
+"""ISA reference manual generator.
+
+``docs/isa.md`` is generated from the live opcode/signal tables by this
+module (``python -m repro.isa.manual > docs/isa.md``), and a test asserts
+the committed file matches — so the manual can never drift from the
+implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .decode_signals import signal_table_rows
+from .opcodes import Format, all_specs
+from .program import DATA_BASE, STACK_TOP, TEXT_BASE
+
+_FORMAT_SYNTAX = {
+    Format.R: "op rd, rs, rt",
+    Format.R2: "op rd, rs",
+    Format.SH: "op rd, rs, shamt",
+    Format.I: "op rd, rs, imm16",
+    Format.LUI: "op rd, imm16",
+    Format.LOAD: "op rd, imm16(rs)",
+    Format.STORE: "op rt, imm16(rs)",
+    Format.BR2: "op rs, rt, label",
+    Format.BR1: "op rs, label",
+    Format.J: "op label",
+    Format.JR: "op rs",
+    Format.JALR: "op rd, rs",
+    Format.SYS: "op",
+    Format.NONE: "op",
+}
+
+_PSEUDO_OPS = [
+    ("li rd, imm32", "load 32-bit immediate (ori / addiu / lui+ori)"),
+    ("la rd, label", "load address (lui+ori)"),
+    ("move rd, rs", "register copy (addu rd, rs, $zero)"),
+    ("b label", "unconditional branch (beq $zero, $zero)"),
+    ("beqz/bnez rs, label", "compare against zero"),
+    ("blt/bgt/ble/bge rs, rt, label", "signed compare-and-branch "
+                                      "(slt into $at + beq/bne)"),
+    ("not rd, rs", "bitwise complement (nor)"),
+    ("neg rd, rs", "two's-complement negate (sub from $zero)"),
+    ("mul rd, rs, rt", "alias of mult (this ISA has no HI/LO)"),
+    ("subi rd, rs, imm", "subtract immediate (addi of -imm)"),
+]
+
+_DIRECTIVES = [
+    (".text / .data", "section selection"),
+    (".word v, ...", "32-bit little-endian words (labels allowed)"),
+    (".half v, ...", "16-bit values"),
+    (".byte v, ...", "8-bit values"),
+    (".float f, ...", "IEEE-754 single-precision values"),
+    (".space n", "n zero bytes"),
+    (".align p", "align to 2^p bytes"),
+    (".asciiz \"s\"", "NUL-terminated string (escapes supported)"),
+    (".ascii \"s\"", "string without terminator"),
+]
+
+_SYSCALLS = [
+    (1, "print_int", "$a0: signed value to print"),
+    (4, "print_string", "$a0: address of NUL-terminated string"),
+    (5, "read_int", "result in $v0 (0 when input exhausted)"),
+    (10, "exit", "halt the program"),
+    (11, "print_char", "$a0: character code"),
+    (40, "srand", "$a0: PRNG seed"),
+    (41, "rand", "$v0 = PRNG value; modulo $a0 when $a0 > 0"),
+]
+
+
+def _md_table(headers: List[str], rows: List[List[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in rows:
+        lines.append("| " + " | ".join(str(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def generate_isa_manual() -> str:
+    """Render the full ISA reference as markdown."""
+    parts: List[str] = []
+    parts.append("# ISA reference (generated — do not edit)\n")
+    parts.append(
+        "A PISA-like RISC: 64-bit fixed-width instruction words, 32 "
+        "integer registers (MIPS naming, `$zero` hardwired), 32 "
+        "single-precision FP registers, little-endian byte-addressable "
+        "memory.\n")
+    parts.append("Regenerate with `python -m repro.isa.manual > "
+                 "docs/isa.md`.\n")
+
+    parts.append("## Memory map\n")
+    parts.append(_md_table(
+        ["region", "base", "notes"],
+        [["text", f"0x{TEXT_BASE:08X}", "8 bytes per instruction"],
+         ["data", f"0x{DATA_BASE:08X}", "`$gp` points here at reset"],
+         ["stack", f"0x{STACK_TOP:08X}", "grows down; `$sp` at reset"]]))
+    parts.append("")
+
+    parts.append("## Instructions\n")
+    rows = []
+    for spec in sorted(all_specs(), key=lambda s: s.code):
+        flags = ", ".join(sorted(spec.flags)) or "-"
+        rows.append([
+            f"`{spec.mnemonic}`",
+            f"0x{spec.code:02X}",
+            f"`{_FORMAT_SYNTAX[spec.fmt]}`",
+            spec.lat.cycles,
+            spec.mem_size or "-",
+            flags,
+        ])
+    parts.append(_md_table(
+        ["mnemonic", "opcode", "syntax", "latency", "mem bytes", "flags"],
+        rows))
+    parts.append("")
+
+    parts.append("## Pseudo-instructions\n")
+    parts.append(_md_table(["syntax", "expansion"],
+                           [[f"`{syntax}`", expansion]
+                            for syntax, expansion in _PSEUDO_OPS]))
+    parts.append("")
+
+    parts.append("## Assembler directives\n")
+    parts.append(_md_table(["directive", "meaning"],
+                           [[f"`{name}`", meaning]
+                            for name, meaning in _DIRECTIVES]))
+    parts.append("")
+
+    parts.append("## Syscalls (`$v0` = service, `$a0` = argument)\n")
+    parts.append(_md_table(["service", "name", "behaviour"],
+                           [[number, f"`{name}`", note]
+                            for number, name, note in _SYSCALLS]))
+    parts.append("")
+
+    parts.append("## Decode signals (paper Table 2)\n")
+    parts.append(
+        "The decode unit emits this 64-bit vector per instruction; it is "
+        "the sole input to everything downstream of decode, and the XOR "
+        "of a trace's vectors is its ITR signature.\n")
+    parts.append(_md_table(
+        ["field", "width", "description"],
+        [[f"`{name}`", width, description]
+         for name, description, width in signal_table_rows()]))
+    parts.append("")
+    return "\n".join(parts)
+
+
+if __name__ == "__main__":
+    print(generate_isa_manual())

@@ -1,0 +1,331 @@
+"""Opcode definitions for the PISA-like ISA used by the reproduction.
+
+The paper evaluates SPEC2K binaries compiled for SimpleScalar's PISA ISA
+[14]. We define a from-scratch PISA-like RISC: 64-bit fixed-width
+instruction words (as in PISA), 32 integer + 32 floating-point registers,
+and an opcode set rich enough to express realistic benchmark kernels.
+
+Each opcode carries a full :class:`OpSpec` describing its instruction
+format and, crucially, every *decode signal* it produces (paper Table 2):
+control flags, latency class, operand counts and memory size. The decode
+unit (``repro.isa.decode_signals``) is a pure function of this table.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+
+class Format(enum.Enum):
+    """Instruction assembly/encoding formats.
+
+    =======  ==========================================  =================
+    format   assembly shape                              operand mapping
+    =======  ==========================================  =================
+    R        ``op rd, rs, rt``                           dst=rd s1=rs s2=rt
+    R2       ``op rd, rs``                               dst=rd s1=rs
+    SH       ``op rd, rs, shamt``                        dst=rd s1=rs
+    I        ``op rd, rs, imm``                          dst=rd s1=rs
+    LUI      ``op rd, imm``                              dst=rd
+    LOAD     ``op rd, imm(rs)``                          dst=rd s1=rs
+    STORE    ``op rt, imm(rs)``                          s1=rs s2=rt
+    BR2      ``op rs, rt, label``                        s1=rs s2=rt
+    BR1      ``op rs, label``                            s1=rs
+    J        ``op label``                                (direct target)
+    JR       ``op rs``                                   s1=rs
+    JALR     ``op rd, rs``                               dst=rd s1=rs
+    SYS      ``op``                                      (trap)
+    NONE     ``op``                                      no operands
+    =======  ==========================================  =================
+    """
+
+    R = "R"
+    R2 = "R2"
+    SH = "SH"
+    I = "I"
+    LUI = "LUI"
+    LOAD = "LOAD"
+    STORE = "STORE"
+    BR2 = "BR2"
+    BR1 = "BR1"
+    J = "J"
+    JR = "JR"
+    JALR = "JALR"
+    SYS = "SYS"
+    NONE = "NONE"
+
+
+class LatencyClass(enum.IntEnum):
+    """Execution-latency classes encoded in the 2-bit ``lat`` signal.
+
+    The paper's Table 2 allocates 2 bits to the decoded execution latency;
+    we define the four classes below. Injecting a fault that *increases*
+    the latency only delays dependent wakeup (a masked fault, as the paper
+    observes); a decrease is modeled the same way because the scheduler
+    derives timing solely from this signal.
+    """
+
+    FAST = 0     # 1 cycle: ALU, branches, address generation
+    MEDIUM = 1   # 2 cycles: loads (cache-hit path), stores
+    LONG = 2     # 4 cycles: integer multiply, FP add/sub/mul/compare
+    VERY_LONG = 3  # 12 cycles: integer divide, FP divide
+
+    @property
+    def cycles(self) -> int:
+        return _LATENCY_CYCLES[self]
+
+
+_LATENCY_CYCLES = {
+    LatencyClass.FAST: 1,
+    LatencyClass.MEDIUM: 2,
+    LatencyClass.LONG: 4,
+    LatencyClass.VERY_LONG: 12,
+}
+
+
+# The twelve decode control flags of paper Table 2, in signal-bit order.
+FLAG_NAMES: Tuple[str, ...] = (
+    "is_int",     # integer-unit operation
+    "is_fp",      # floating-point-unit operation
+    "is_signed",  # signed (vs unsigned) arithmetic / sign-extending load
+    "is_branch",  # conditional branch
+    "is_uncond",  # unconditional control transfer
+    "is_ld",      # memory load
+    "is_st",      # memory store
+    "mem_lr",     # unaligned left/right memory access (LWL/LWR style)
+    "is_rr",      # register-register format
+    "is_disp",    # displacement (base+offset) addressing
+    "is_direct",  # direct (absolute-target) jump
+    "is_trap",    # system trap / syscall
+)
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one opcode: format plus its decode signals."""
+
+    mnemonic: str
+    code: int
+    fmt: Format
+    flags: FrozenSet[str] = frozenset()
+    lat: LatencyClass = LatencyClass.FAST
+    mem_size: int = 0  # bytes accessed (0 for non-memory ops)
+
+    def __post_init__(self) -> None:
+        unknown = self.flags - set(FLAG_NAMES)
+        if unknown:
+            raise ValueError(f"{self.mnemonic}: unknown flags {sorted(unknown)}")
+        if not 0 <= self.code <= 0xFF:
+            raise ValueError(f"{self.mnemonic}: opcode {self.code} not 8-bit")
+
+    def has(self, flag: str) -> bool:
+        """Whether this opcode sets the named decode flag."""
+        return flag in self.flags
+
+    @property
+    def is_control(self) -> bool:
+        """True for instructions that end an ITR trace (branch or jump)."""
+        return "is_branch" in self.flags or "is_uncond" in self.flags
+
+    @property
+    def is_memory(self) -> bool:
+        return "is_ld" in self.flags or "is_st" in self.flags
+
+    @property
+    def num_rsrc(self) -> int:
+        """Number of register sources implied by the format."""
+        return _FORMAT_SOURCES[self.fmt]
+
+    @property
+    def num_rdst(self) -> int:
+        """Number of register destinations implied by the format."""
+        return _FORMAT_DESTS[self.fmt]
+
+    def __repr__(self) -> str:
+        return f"OpSpec({self.mnemonic}, code={self.code})"
+
+
+_FORMAT_SOURCES: Dict[Format, int] = {
+    Format.R: 2,
+    Format.R2: 1,
+    Format.SH: 1,
+    Format.I: 1,
+    Format.LUI: 0,
+    Format.LOAD: 1,
+    Format.STORE: 2,
+    Format.BR2: 2,
+    Format.BR1: 1,
+    Format.J: 0,
+    Format.JR: 1,
+    Format.JALR: 1,
+    Format.SYS: 0,
+    Format.NONE: 0,
+}
+
+_FORMAT_DESTS: Dict[Format, int] = {
+    Format.R: 1,
+    Format.R2: 1,
+    Format.SH: 1,
+    Format.I: 1,
+    Format.LUI: 1,
+    Format.LOAD: 1,
+    Format.STORE: 0,
+    Format.BR2: 0,
+    Format.BR1: 0,
+    Format.J: 0,
+    Format.JR: 0,
+    Format.JALR: 1,
+    Format.SYS: 0,
+    Format.NONE: 0,
+}
+
+
+def _f(*names: str) -> FrozenSet[str]:
+    return frozenset(names)
+
+
+_INT = "is_int"
+_FP = "is_fp"
+_SGN = "is_signed"
+_RR = "is_rr"
+_DISP = "is_disp"
+
+# ---------------------------------------------------------------------------
+# The opcode table. Codes are stable across releases: tests and encodings
+# depend on them.
+# ---------------------------------------------------------------------------
+_SPECS = [
+    # -- no-op / system ------------------------------------------------------
+    OpSpec("nop", 0x00, Format.NONE, _f(_INT)),
+    OpSpec("syscall", 0x01, Format.SYS, _f(_INT, "is_trap")),
+    OpSpec("break", 0x02, Format.SYS, _f(_INT, "is_trap")),
+
+    # -- integer register-register ------------------------------------------
+    OpSpec("add", 0x10, Format.R, _f(_INT, _SGN, _RR)),
+    OpSpec("addu", 0x11, Format.R, _f(_INT, _RR)),
+    OpSpec("sub", 0x12, Format.R, _f(_INT, _SGN, _RR)),
+    OpSpec("subu", 0x13, Format.R, _f(_INT, _RR)),
+    OpSpec("and", 0x14, Format.R, _f(_INT, _RR)),
+    OpSpec("or", 0x15, Format.R, _f(_INT, _RR)),
+    OpSpec("xor", 0x16, Format.R, _f(_INT, _RR)),
+    OpSpec("nor", 0x17, Format.R, _f(_INT, _RR)),
+    OpSpec("slt", 0x18, Format.R, _f(_INT, _SGN, _RR)),
+    OpSpec("sltu", 0x19, Format.R, _f(_INT, _RR)),
+    OpSpec("mult", 0x1A, Format.R, _f(_INT, _SGN, _RR), LatencyClass.LONG),
+    OpSpec("multu", 0x1B, Format.R, _f(_INT, _RR), LatencyClass.LONG),
+    OpSpec("div", 0x1C, Format.R, _f(_INT, _SGN, _RR), LatencyClass.VERY_LONG),
+    OpSpec("divu", 0x1D, Format.R, _f(_INT, _RR), LatencyClass.VERY_LONG),
+    OpSpec("sllv", 0x1E, Format.R, _f(_INT, _RR)),
+    OpSpec("srlv", 0x1F, Format.R, _f(_INT, _RR)),
+    OpSpec("srav", 0x20, Format.R, _f(_INT, _SGN, _RR)),
+
+    # -- integer shifts by immediate amount ----------------------------------
+    OpSpec("sll", 0x21, Format.SH, _f(_INT, _RR)),
+    OpSpec("srl", 0x22, Format.SH, _f(_INT, _RR)),
+    OpSpec("sra", 0x23, Format.SH, _f(_INT, _SGN, _RR)),
+
+    # -- integer immediates ---------------------------------------------------
+    OpSpec("addi", 0x28, Format.I, _f(_INT, _SGN)),
+    OpSpec("addiu", 0x29, Format.I, _f(_INT)),
+    OpSpec("andi", 0x2A, Format.I, _f(_INT)),
+    OpSpec("ori", 0x2B, Format.I, _f(_INT)),
+    OpSpec("xori", 0x2C, Format.I, _f(_INT)),
+    OpSpec("slti", 0x2D, Format.I, _f(_INT, _SGN)),
+    OpSpec("sltiu", 0x2E, Format.I, _f(_INT)),
+    OpSpec("lui", 0x2F, Format.LUI, _f(_INT)),
+
+    # -- loads ----------------------------------------------------------------
+    OpSpec("lb", 0x30, Format.LOAD, _f(_INT, _SGN, "is_ld", _DISP),
+           LatencyClass.MEDIUM, 1),
+    OpSpec("lbu", 0x31, Format.LOAD, _f(_INT, "is_ld", _DISP),
+           LatencyClass.MEDIUM, 1),
+    OpSpec("lh", 0x32, Format.LOAD, _f(_INT, _SGN, "is_ld", _DISP),
+           LatencyClass.MEDIUM, 2),
+    OpSpec("lhu", 0x33, Format.LOAD, _f(_INT, "is_ld", _DISP),
+           LatencyClass.MEDIUM, 2),
+    OpSpec("lw", 0x34, Format.LOAD, _f(_INT, _SGN, "is_ld", _DISP),
+           LatencyClass.MEDIUM, 4),
+    OpSpec("lwl", 0x35, Format.LOAD, _f(_INT, "is_ld", _DISP, "mem_lr"),
+           LatencyClass.MEDIUM, 4),
+    OpSpec("lwr", 0x36, Format.LOAD, _f(_INT, "is_ld", _DISP, "mem_lr"),
+           LatencyClass.MEDIUM, 4),
+
+    # -- stores ---------------------------------------------------------------
+    OpSpec("sb", 0x38, Format.STORE, _f(_INT, "is_st", _DISP),
+           LatencyClass.MEDIUM, 1),
+    OpSpec("sh", 0x39, Format.STORE, _f(_INT, "is_st", _DISP),
+           LatencyClass.MEDIUM, 2),
+    OpSpec("sw", 0x3A, Format.STORE, _f(_INT, "is_st", _DISP),
+           LatencyClass.MEDIUM, 4),
+    OpSpec("swl", 0x3B, Format.STORE, _f(_INT, "is_st", _DISP, "mem_lr"),
+           LatencyClass.MEDIUM, 4),
+    OpSpec("swr", 0x3C, Format.STORE, _f(_INT, "is_st", _DISP, "mem_lr"),
+           LatencyClass.MEDIUM, 4),
+
+    # -- conditional branches -------------------------------------------------
+    OpSpec("beq", 0x40, Format.BR2, _f(_INT, "is_branch")),
+    OpSpec("bne", 0x41, Format.BR2, _f(_INT, "is_branch")),
+    OpSpec("blez", 0x42, Format.BR1, _f(_INT, _SGN, "is_branch")),
+    OpSpec("bgtz", 0x43, Format.BR1, _f(_INT, _SGN, "is_branch")),
+    OpSpec("bltz", 0x44, Format.BR1, _f(_INT, _SGN, "is_branch")),
+    OpSpec("bgez", 0x45, Format.BR1, _f(_INT, _SGN, "is_branch")),
+
+    # -- jumps ----------------------------------------------------------------
+    OpSpec("j", 0x48, Format.J, _f(_INT, "is_uncond", "is_direct")),
+    OpSpec("jal", 0x49, Format.J, _f(_INT, "is_uncond", "is_direct")),
+    OpSpec("jr", 0x4A, Format.JR, _f(_INT, "is_uncond")),
+    OpSpec("jalr", 0x4B, Format.JALR, _f(_INT, "is_uncond")),
+
+    # -- floating point (single precision) ------------------------------------
+    OpSpec("add.s", 0x50, Format.R, _f(_FP, _SGN, _RR), LatencyClass.LONG),
+    OpSpec("sub.s", 0x51, Format.R, _f(_FP, _SGN, _RR), LatencyClass.LONG),
+    OpSpec("mul.s", 0x52, Format.R, _f(_FP, _SGN, _RR), LatencyClass.LONG),
+    OpSpec("div.s", 0x53, Format.R, _f(_FP, _SGN, _RR), LatencyClass.VERY_LONG),
+    OpSpec("abs.s", 0x54, Format.R2, _f(_FP, _RR), LatencyClass.LONG),
+    OpSpec("neg.s", 0x55, Format.R2, _f(_FP, _SGN, _RR), LatencyClass.LONG),
+    OpSpec("mov.s", 0x56, Format.R2, _f(_FP, _RR)),
+    OpSpec("cvt.s.w", 0x57, Format.R2, _f(_FP, _SGN, _RR), LatencyClass.LONG),
+    OpSpec("cvt.w.s", 0x58, Format.R2, _f(_FP, _SGN, _RR), LatencyClass.LONG),
+    OpSpec("c.lt.s", 0x59, Format.R, _f(_FP, _SGN, _RR), LatencyClass.LONG),
+    OpSpec("c.le.s", 0x5A, Format.R, _f(_FP, _SGN, _RR), LatencyClass.LONG),
+    OpSpec("c.eq.s", 0x5B, Format.R, _f(_FP, _RR), LatencyClass.LONG),
+    OpSpec("lwc1", 0x5C, Format.LOAD, _f(_FP, "is_ld", _DISP),
+           LatencyClass.MEDIUM, 4),
+    OpSpec("swc1", 0x5D, Format.STORE, _f(_FP, "is_st", _DISP),
+           LatencyClass.MEDIUM, 4),
+]
+
+
+#: Opcode table indexed by mnemonic.
+BY_MNEMONIC: Dict[str, OpSpec] = {spec.mnemonic: spec for spec in _SPECS}
+
+#: Opcode table indexed by 8-bit code.
+BY_CODE: Dict[int, OpSpec] = {spec.code: spec for spec in _SPECS}
+
+if len(BY_MNEMONIC) != len(_SPECS) or len(BY_CODE) != len(_SPECS):
+    raise AssertionError("duplicate opcode mnemonic or code in table")
+
+
+def lookup(mnemonic: str) -> OpSpec:
+    """Look up an opcode by mnemonic; raises ``KeyError`` with suggestions."""
+    try:
+        return BY_MNEMONIC[mnemonic]
+    except KeyError:
+        raise KeyError(f"unknown mnemonic {mnemonic!r}") from None
+
+
+def from_code(code: int) -> Optional[OpSpec]:
+    """Look up an opcode by its 8-bit code, or ``None`` if unassigned.
+
+    Unassigned codes matter for fault injection: a bit flip in the opcode
+    signal may select a code with no architected meaning, which the
+    execution model treats as producing an undefined (zero) result.
+    """
+    return BY_CODE.get(code)
+
+
+def all_specs() -> Tuple[OpSpec, ...]:
+    """All opcode specs in table order."""
+    return tuple(_SPECS)

@@ -1,0 +1,104 @@
+"""Program container: text segment, data segment, symbols, entry point.
+
+Follows a MIPS/PISA-style flat memory layout:
+
+* text at ``TEXT_BASE`` (0x0040_0000), 8 bytes per instruction
+* data at ``DATA_BASE`` (0x1000_0000)
+* stack growing down from ``STACK_TOP`` (0x7FFF_F000)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..errors import MemoryFault
+from .encoding import INSTRUCTION_BYTES
+from .instruction import Instruction
+
+TEXT_BASE = 0x0040_0000
+DATA_BASE = 0x1000_0000
+STACK_TOP = 0x7FFF_F000
+
+
+@dataclass
+class Program:
+    """An assembled program ready to load into a simulator."""
+
+    instructions: List[Instruction]
+    data: bytes = b""
+    symbols: Dict[str, int] = field(default_factory=dict)
+    entry: int = TEXT_BASE
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        if not self.instructions:
+            raise ValueError("program must contain at least one instruction")
+        if self.entry < TEXT_BASE or self.entry >= self.text_end:
+            raise ValueError(
+                f"entry 0x{self.entry:08x} outside text segment "
+                f"[0x{TEXT_BASE:08x}, 0x{self.text_end:08x})"
+            )
+
+    @property
+    def text_end(self) -> int:
+        """First address past the text segment."""
+        return TEXT_BASE + len(self.instructions) * INSTRUCTION_BYTES
+
+    def contains_pc(self, pc: int) -> bool:
+        """Whether ``pc`` addresses an instruction of this program."""
+        return (TEXT_BASE <= pc < self.text_end
+                and (pc - TEXT_BASE) % INSTRUCTION_BYTES == 0)
+
+    def instruction_at(self, pc: int) -> Instruction:
+        """Fetch the instruction at ``pc``.
+
+        Raises :class:`MemoryFault` for addresses outside the text segment
+        or misaligned PCs — the behaviour a real I-cache would exhibit on a
+        wild program counter.
+        """
+        if pc < TEXT_BASE or pc >= self.text_end:
+            raise MemoryFault(pc, "instruction fetch outside text segment")
+        offset = pc - TEXT_BASE
+        if offset % INSTRUCTION_BYTES:
+            raise MemoryFault(pc, "misaligned instruction fetch")
+        return self.instructions[offset // INSTRUCTION_BYTES]
+
+    def index_of(self, pc: int) -> int:
+        """Instruction index of ``pc`` within the text segment."""
+        if not self.contains_pc(pc):
+            raise MemoryFault(pc, "not a valid instruction address")
+        return (pc - TEXT_BASE) // INSTRUCTION_BYTES
+
+    def pc_of(self, index: int) -> int:
+        """Address of the instruction at text index ``index``."""
+        if not 0 <= index < len(self.instructions):
+            raise IndexError(f"instruction index {index} out of range")
+        return TEXT_BASE + index * INSTRUCTION_BYTES
+
+    def symbol(self, name: str) -> int:
+        """Address of a label defined in the source."""
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise KeyError(f"undefined symbol {name!r}") from None
+
+    def listing(self) -> str:
+        """Human-readable disassembly listing with addresses."""
+        reverse: Dict[int, List[str]] = {}
+        for name, addr in self.symbols.items():
+            reverse.setdefault(addr, []).append(name)
+        lines: List[str] = []
+        for index, instr in enumerate(self.instructions):
+            pc = self.pc_of(index)
+            for label in sorted(reverse.get(pc, [])):
+                lines.append(f"{label}:")
+            lines.append(f"  0x{pc:08x}:  {instr.render()}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return (f"Program({self.name!r}, {len(self.instructions)} insts, "
+                f"{len(self.data)} data bytes)")

@@ -1,0 +1,93 @@
+"""Register-file naming for the PISA-like ISA.
+
+32 integer registers with MIPS-style conventional names plus 32
+floating-point registers ``$f0..$f31``. Register specifiers are 5 bits in
+the decode-signal vector; the ``is_fp`` flag selects which file a specifier
+refers to.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+
+#: Conventional integer register names in index order.
+INT_REG_NAMES: List[str] = (
+    ["zero", "at", "v0", "v1", "a0", "a1", "a2", "a3"]
+    + [f"t{i}" for i in range(8)]        # $t0..$t7 -> 8..15
+    + [f"s{i}" for i in range(8)]        # $s0..$s7 -> 16..23
+    + ["t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra"]
+)
+
+if len(INT_REG_NAMES) != NUM_INT_REGS:
+    raise AssertionError("integer register name table must have 32 entries")
+
+#: Map from every accepted register spelling (without '$') to its index.
+_INT_BY_NAME: Dict[str, int] = {}
+for _index, _name in enumerate(INT_REG_NAMES):
+    _INT_BY_NAME[_name] = _index
+    _INT_BY_NAME[f"r{_index}"] = _index
+    _INT_BY_NAME[str(_index)] = _index
+
+_FP_BY_NAME: Dict[str, int] = {f"f{i}": i for i in range(NUM_FP_REGS)}
+
+# Named aliases used throughout kernels and the ABI.
+ZERO = 0
+AT = 1
+V0 = 2
+V1 = 3
+A0 = 4
+A1 = 5
+A2 = 6
+A3 = 7
+T0 = 8
+S0 = 16
+GP = 28
+SP = 29
+FP = 30
+RA = 31
+
+
+def parse_register(token: str) -> int:
+    """Parse an *integer* register token like ``$t0``, ``$5`` or ``t0``.
+
+    Returns the 5-bit register index. Raises ``ValueError`` for unknown
+    names and for floating-point registers (use :func:`parse_fp_register`).
+    """
+    name = token.lstrip("$").lower()
+    if name in _FP_BY_NAME:
+        raise ValueError(f"{token!r} is a floating-point register")
+    try:
+        return _INT_BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown integer register {token!r}") from None
+
+
+def parse_fp_register(token: str) -> int:
+    """Parse a floating-point register token like ``$f4``."""
+    name = token.lstrip("$").lower()
+    try:
+        return _FP_BY_NAME[name]
+    except KeyError:
+        raise ValueError(f"unknown FP register {token!r}") from None
+
+
+def parse_any_register(token: str, is_fp: bool) -> int:
+    """Parse a register of the file selected by ``is_fp``."""
+    return parse_fp_register(token) if is_fp else parse_register(token)
+
+
+def int_reg_name(index: int) -> str:
+    """Canonical ``$``-prefixed name of integer register ``index``."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index {index} out of range")
+    return f"${INT_REG_NAMES[index]}"
+
+
+def fp_reg_name(index: int) -> str:
+    """Canonical ``$``-prefixed name of FP register ``index``."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"FP register index {index} out of range")
+    return f"$f{index}"

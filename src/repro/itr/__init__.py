@@ -1,0 +1,59 @@
+"""ITR: the paper's contribution — signatures, cache, ROB, controller."""
+
+from .controller import (
+    CommitAction,
+    CommitDecision,
+    ItrController,
+    ItrStats,
+    MismatchEvent,
+)
+from .coverage import (
+    PAPER_ASSOCIATIVITIES,
+    PAPER_CACHE_SIZES,
+    CoverageResult,
+    CoverageSimulator,
+    measure_coverage,
+    paper_configs,
+)
+from .itr_cache import Eviction, ItrCache, ItrCacheConfig, ItrCacheLine
+from .itr_rob import ItrRob, ItrRobEntry
+from .signature import MAX_TRACE_LENGTH, SignatureGenerator, TraceSignature
+from .spc import SequentialPcChecker, SpcEvent
+from .trace import (
+    TraceEvent,
+    TraceProfile,
+    static_trace_signature,
+    traces_of_instruction_stream,
+)
+from .watchdog import Watchdog, WatchdogEvent
+
+__all__ = [
+    "CommitAction",
+    "CommitDecision",
+    "ItrController",
+    "ItrStats",
+    "MismatchEvent",
+    "PAPER_ASSOCIATIVITIES",
+    "PAPER_CACHE_SIZES",
+    "CoverageResult",
+    "CoverageSimulator",
+    "measure_coverage",
+    "paper_configs",
+    "Eviction",
+    "ItrCache",
+    "ItrCacheConfig",
+    "ItrCacheLine",
+    "ItrRob",
+    "ItrRobEntry",
+    "MAX_TRACE_LENGTH",
+    "SignatureGenerator",
+    "TraceSignature",
+    "SequentialPcChecker",
+    "SpcEvent",
+    "TraceEvent",
+    "TraceProfile",
+    "static_trace_signature",
+    "traces_of_instruction_stream",
+    "Watchdog",
+    "WatchdogEvent",
+]

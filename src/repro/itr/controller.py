@@ -1,0 +1,306 @@
+"""ITR controller: the microarchitectural support of paper Section 2.
+
+Wires together the decode-side :class:`SignatureGenerator`, the
+:class:`ItrRob` and the :class:`ItrCache`, and implements the commit-side
+protocol:
+
+* dispatch-time ITR cache access when a trace completes at decode
+  (hit → compare, set ``chk`` and possibly ``retry``; miss → set ``miss``)
+* commit-time polling of the ITR ROB head: stall while the trace is
+  unformed/unchecked, write missed signatures to the cache, free the head
+  when the trace-terminating instruction retires
+* the retry protocol on a signature mismatch: flush and restart from the
+  trace's start PC; a second mismatch means the *previous* instance was
+  faulty and architectural state is corrupt → machine check — unless line
+  parity reveals the fault was inside the ITR cache itself, in which case
+  the line is repaired and execution continues (Section 2.4)
+
+A *monitor mode* (``recovery_enabled=False``) records every detection
+without acting on it; fault-injection campaigns use it to obtain the
+paper's counterfactual labels ("would have led to SDC") from a single run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..isa.decode_signals import DecodeSignals
+from .itr_cache import ItrCache, ItrCacheConfig
+from .itr_rob import ItrRob, ItrRobEntry
+from .signature import SignatureGenerator, TraceSignature
+
+
+class CommitAction(enum.Enum):
+    """Commit-side decision for the instruction at the ROB head."""
+
+    PROCEED = "proceed"
+    STALL = "stall"
+    RETRY_FLUSH = "retry_flush"
+    MACHINE_CHECK = "machine_check"
+
+
+@dataclass(frozen=True)
+class CommitDecision:
+    action: CommitAction
+    restart_pc: Optional[int] = None  # for RETRY_FLUSH
+
+
+@dataclass
+class MismatchEvent:
+    """One ITR signature mismatch, with simulation ground truth attached."""
+
+    trace_seq: int
+    start_pc: int
+    cycle: int
+    accessing_tainted: bool       # the newly executed instance was faulty
+    stored_tainted: bool          # the cache-resident signature was faulty
+    stored_parity_ok: bool
+    resolution: str = "pending"   # retry/recovered/machine_check/
+    #                               cache_fault_repaired/monitor
+
+
+@dataclass
+class ItrStats:
+    traces_dispatched: int = 0
+    cache_hits: int = 0
+    forwarded_hits: int = 0   # hits satisfied by ITR ROB forwarding
+    cache_misses: int = 0
+    mismatches: int = 0
+    retries: int = 0
+    recoveries: int = 0
+    cache_faults_repaired: int = 0
+    machine_checks: int = 0
+    commit_stalls: int = 0
+
+
+class ItrController:
+    """Decode- and commit-side ITR machinery for one pipeline instance."""
+
+    def __init__(self,
+                 cache_config: ItrCacheConfig = ItrCacheConfig(),
+                 itr_rob_capacity: int = 48,
+                 recovery_enabled: bool = True,
+                 trace_limit: int = 16):
+        self.cache = ItrCache(cache_config)
+        self.rob = ItrRob(itr_rob_capacity)
+        self.generator = SignatureGenerator(max_length=trace_limit)
+        self.recovery_enabled = recovery_enabled
+        self.stats = ItrStats()
+        self.events: List[MismatchEvent] = []
+        # Retry protocol state: start PC of the trace being re-executed
+        # after a mismatch-triggered flush, or None.
+        self._retry_pc: Optional[int] = None
+
+    # ------------------------------------------------------------ decode side
+    def ready_for_decode(self) -> bool:
+        """False when the ITR ROB is full: decode must stall, because a
+        decoded instruction might complete a trace needing an entry."""
+        return not self.rob.full
+
+    def on_decode(self, pc: int, signals: DecodeSignals,
+                  tainted: bool = False, cycle: int = 0):
+        """Fold one decoded instruction into the current trace.
+
+        Returns ``(trace_seq, ended)``: the sequence number of the trace
+        the instruction belongs to (the pipeline stores it in the
+        instruction's ROB entry) and whether this instruction terminated
+        the trace — by a control transfer, a trap, or the 16-instruction
+        limit. On termination the completed signature is dispatched into
+        the ITR ROB and the ITR cache is accessed.
+        """
+        trace_seq = self.rob.next_seq
+        completed = self.generator.add(pc, signals, tainted=tainted)
+        if completed is not None:
+            self._dispatch_trace(completed, cycle)
+        return trace_seq, completed is not None
+
+    def _dispatch_trace(self, trace: TraceSignature, cycle: int) -> None:
+        entry = self.rob.dispatch(trace)
+        if entry is None:
+            raise RuntimeError(
+                "ITR ROB overflow: pipeline must stall decode when "
+                "ready_for_decode() is False"
+            )
+        self.stats.traces_dispatched += 1
+        # ITR ROB forwarding: an older in-flight instance of the same
+        # trace is the most recent signature — comparing against it closes
+        # the dispatch-read / commit-write race of tight loops, where the
+        # next instance dispatches before the missed one has written the
+        # cache. (Analogous to store-to-load forwarding in the LSQ.)
+        older = self.rob.newest_for_pc(trace.start_pc, entry.seq)
+        if older is not None:
+            self.stats.cache_hits += 1
+            self.stats.forwarded_hits += 1
+            entry.cached_signature = older.trace.signature
+            entry.cached_tainted = older.trace.tainted
+            entry.cached_writer_seq = older.seq
+            entry.cached_parity_ok = True
+            mismatch = older.trace.signature != trace.signature
+            entry.mark_checked(mismatch)
+            if mismatch:
+                self._record_mismatch(entry, trace, cycle,
+                                      stored_tainted=older.trace.tainted,
+                                      stored_parity_ok=True)
+            else:
+                older.confirmed_in_flight = True
+            return
+        line = self.cache.lookup(trace.start_pc)
+        if line is None:
+            self.stats.cache_misses += 1
+            entry.mark_miss()
+            return
+        self.stats.cache_hits += 1
+        entry.cached_signature = line.signature
+        entry.cached_tainted = line.tainted
+        entry.cached_writer_seq = line.writer_seq
+        entry.cached_parity_ok = line.parity_ok()
+        mismatch = line.signature != trace.signature
+        entry.mark_checked(mismatch)
+        if mismatch:
+            self._record_mismatch(entry, trace, cycle,
+                                  stored_tainted=line.tainted,
+                                  stored_parity_ok=entry.cached_parity_ok)
+
+    def _record_mismatch(self, entry: ItrRobEntry, trace: TraceSignature,
+                         cycle: int, stored_tainted: bool,
+                         stored_parity_ok: bool) -> None:
+        self.stats.mismatches += 1
+        self.events.append(MismatchEvent(
+            trace_seq=entry.seq,
+            start_pc=trace.start_pc,
+            cycle=cycle,
+            accessing_tainted=trace.tainted,
+            stored_tainted=stored_tainted,
+            stored_parity_ok=stored_parity_ok,
+        ))
+
+    # ------------------------------------------------------------ commit side
+    def commit_check(self, trace_seq: int, cycle: int = 0) -> CommitDecision:
+        """Poll the ITR ROB head for the instruction about to commit.
+
+        Implements the paper's Section 2.2 decision table. Must be called
+        before each commit; the caller honours the returned action.
+        """
+        head = self.rob.head()
+        if head is None or head.seq != trace_seq:
+            # Trace not yet formed at decode: stall commit.
+            self.stats.commit_stalls += 1
+            return CommitDecision(CommitAction.STALL)
+        if head.missed:
+            return CommitDecision(CommitAction.PROCEED)
+        if not head.resolved:
+            self.stats.commit_stalls += 1
+            return CommitDecision(CommitAction.STALL)
+        if not head.retry:
+            return CommitDecision(CommitAction.PROCEED)
+        # Signature mismatch on this trace.
+        return self._resolve_mismatch(head, cycle)
+
+    def _resolve_mismatch(self, head: ItrRobEntry,
+                          cycle: int) -> CommitDecision:
+        event = self._event_for(head.seq)
+        if not self.recovery_enabled:
+            # Monitor mode: record and continue (counterfactual labeling).
+            if event is not None and event.resolution == "pending":
+                event.resolution = "monitor"
+            return CommitDecision(CommitAction.PROCEED)
+        start_pc = head.trace.start_pc
+        if self._retry_pc != start_pc:
+            # First mismatch: flush and re-execute from the trace start.
+            self.stats.retries += 1
+            self._retry_pc = start_pc
+            if event is not None:
+                event.resolution = "retry"
+            return CommitDecision(CommitAction.RETRY_FLUSH,
+                                  restart_pc=start_pc)
+        # Second mismatch on the retried trace.
+        if self.cache.config.parity and not head.cached_parity_ok:
+            # The fault is inside the ITR cache (Section 2.4): repair the
+            # line with the freshly computed signature and continue.
+            # Without per-line parity this case is indistinguishable from
+            # a faulty previous instance and falls through to the machine
+            # check — the "false machine check" the paper warns about.
+            self.stats.cache_faults_repaired += 1
+            self.cache.update(start_pc, head.trace.signature,
+                              head.trace.length,
+                              tainted=head.trace.tainted,
+                              writer_seq=head.seq)
+            self._retry_pc = None
+            if event is not None:
+                event.resolution = "cache_fault_repaired"
+            return CommitDecision(CommitAction.PROCEED)
+        # The previous instance executed with a fault; architectural state
+        # may be corrupt. Abort (or roll back to a coarse checkpoint).
+        self.stats.machine_checks += 1
+        self._retry_pc = None
+        if event is not None:
+            event.resolution = "machine_check"
+        return CommitDecision(CommitAction.MACHINE_CHECK)
+
+    def _event_for(self, trace_seq: int) -> Optional[MismatchEvent]:
+        for event in reversed(self.events):
+            if event.trace_seq == trace_seq:
+                return event
+        # A retried trace gets a fresh seq; fall back to matching start PC
+        # is unnecessary because retried dispatch logs its own event.
+        return None
+
+    def note_commit(self, trace_seq: int, is_trace_end: bool,
+                    cycle: int = 0) -> None:
+        """Called after an instruction actually commits.
+
+        When the trace-terminating instruction retires, the head entry is
+        freed; if it had missed, its signature is written to the ITR cache
+        (the paper initiates the write when commit polls a set miss bit —
+        the trailing edge of the same window).
+        """
+        head = self.rob.head()
+        if head is None or head.seq != trace_seq:
+            raise RuntimeError(
+                f"ITR ROB head out of sync: committing trace {trace_seq}, "
+                f"head is {head.seq if head else None}"
+            )
+        if self._retry_pc == head.trace.start_pc and head.checked \
+                and not head.retry:
+            # The retried instance matched: the original execution was the
+            # faulty one, and flushing it recovered the fault.
+            self.stats.recoveries += 1
+            self._retry_pc = None
+            for event in reversed(self.events):
+                if event.start_pc == head.trace.start_pc \
+                        and event.resolution == "retry":
+                    event.resolution = "recovered"
+                    break
+        if is_trace_end:
+            if head.missed:
+                self.cache.insert(head.trace.start_pc, head.trace.signature,
+                                  head.trace.length,
+                                  tainted=head.trace.tainted,
+                                  writer_seq=head.seq,
+                                  checked=head.confirmed_in_flight)
+            self.rob.free_head()
+
+    # ----------------------------------------------------------------- flush
+    def on_flush(self) -> None:
+        """Pipeline flush: discard the partial trace and in-flight entries.
+
+        Covers misprediction repair, trap serialization and ITR retry; the
+        next decoded instruction latches the redirect PC as the new trace
+        start (paper Section 2.2's checkpoint-rollback of the ITR ROB
+        collapses to this in a commit-time-recovery pipeline, since commit
+        flushes always land on trace boundaries).
+        """
+        self.generator.flush()
+        self.rob.flush()
+
+    # ------------------------------------------------------------ inspection
+    def pending_fault_resident(self) -> bool:
+        """True when any ITR cache line holds a tainted signature.
+
+        Used at the end of a fault-injection observation window: a
+        resident tainted signature means the fault *may* still be detected
+        by a future instance — the paper's "MayITR" outcome.
+        """
+        return any(line.tainted for line in self.cache.valid_lines())

@@ -1,0 +1,276 @@
+"""The ITR cache (paper Sections 2.2-2.4, 3).
+
+A small PC-indexed set-associative cache of trace signatures:
+
+* indexed by the trace's start PC, tagged with the full PC
+* LRU replacement (paper default); optionally the Section 2.3 variant
+  that prefers evicting *checked* lines, and tree-PLRU for ablations
+* per-line ``checked`` flag: set when a later instance hits and confirms
+  the stored signature — an unchecked line that gets evicted is a loss in
+  fault *detection* coverage
+* optional per-line parity, which lets recovery distinguish a fault inside
+  the ITR cache from a faulty previous trace instance (Section 2.4)
+* simulation-side ``tainted`` metadata recording whether the instance that
+  wrote the line carried an injected fault (ground truth for campaigns)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigError
+from ..isa.encoding import INSTRUCTION_BYTES
+from ..utils.bitops import flip_bit, parity
+from ..utils.lru import make_replacement
+from ..utils.stats import Counter
+
+
+@dataclass
+class ItrCacheLine:
+    """One stored trace signature plus its bookkeeping state."""
+
+    tag: int = 0                 # full start PC of the trace
+    signature: int = 0           # 64-bit XOR of decode-signal vectors
+    valid: bool = False
+    checked: bool = False        # confirmed by at least one later instance
+    parity_bit: int = 0          # even parity of signature at write time
+    length: int = 0              # instructions in the writing instance
+    tainted: bool = False        # ground truth: writing instance was faulty
+    writer_seq: Optional[int] = None  # dynamic trace seq of the writer
+
+    def parity_ok(self) -> bool:
+        """Recompute parity; False indicates a fault inside the cache."""
+        return parity(self.signature) == self.parity_bit
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """Result of replacing a line — consumed by coverage accounting."""
+
+    tag: int
+    was_checked: bool
+    length: int
+    tainted: bool
+    writer_seq: Optional[int]
+
+
+@dataclass(frozen=True)
+class ItrCacheConfig:
+    """Geometry and policy of an ITR cache.
+
+    ``entries`` is the total signature count (paper sweeps 256/512/1024);
+    ``assoc`` of 0 means fully associative. ``prefer_checked_eviction``
+    enables the Section 2.3 optimization the paper describes but does not
+    study (our ablation does). ``parity`` enables Section 2.4 line parity.
+    """
+
+    entries: int = 1024
+    assoc: int = 2
+    policy: str = "lru"
+    prefer_checked_eviction: bool = False
+    parity: bool = True
+
+    def __post_init__(self) -> None:
+        if self.entries < 1:
+            raise ConfigError(f"entries must be >= 1, got {self.entries}")
+        effective = self.assoc if self.assoc else self.entries
+        if effective < 1 or self.entries % effective:
+            raise ConfigError(
+                f"assoc {self.assoc} does not divide entries {self.entries}"
+            )
+        if self.policy not in ("lru", "plru"):
+            raise ConfigError(f"unknown policy {self.policy!r}")
+        if self.policy == "plru" and effective & (effective - 1):
+            raise ConfigError("plru requires power-of-two associativity")
+
+    @property
+    def ways(self) -> int:
+        """Effective associativity (entries for fully associative)."""
+        return self.assoc if self.assoc else self.entries
+
+    @property
+    def num_sets(self) -> int:
+        return self.entries // self.ways
+
+    def label(self) -> str:
+        """Human label matching the paper's figure axes (dm/2-way/../fa)."""
+        if self.assoc == 0 or self.ways == self.entries:
+            return "fa"
+        if self.ways == 1:
+            return "dm"
+        return f"{self.ways}-way"
+
+
+class ItrCache:
+    """Set-associative signature cache with hit/miss/eviction accounting."""
+
+    def __init__(self, config: ItrCacheConfig = ItrCacheConfig()):
+        self.config = config
+        self._sets: List[List[ItrCacheLine]] = [
+            [ItrCacheLine() for _ in range(config.ways)]
+            for _ in range(config.num_sets)
+        ]
+        self._repl = [make_replacement(config.policy, config.ways)
+                      for _ in range(config.num_sets)]
+        self.stats = Counter()
+
+    # ------------------------------------------------------------- indexing
+    def _set_index(self, start_pc: int) -> int:
+        """Index with the word-aligned start PC (low 3 bits are zero)."""
+        return (start_pc // INSTRUCTION_BYTES) % self.config.num_sets
+
+    def _find(self, start_pc: int) -> Tuple[int, Optional[int]]:
+        index = self._set_index(start_pc)
+        for way, line in enumerate(self._sets[index]):
+            if line.valid and line.tag == start_pc:
+                return index, way
+        return index, None
+
+    # ------------------------------------------------------------ read path
+    def lookup(self, start_pc: int) -> Optional[ItrCacheLine]:
+        """Dispatch-time read: returns the hit line or ``None`` on miss.
+
+        A hit marks the line *checked* (its stored instance is confirmed by
+        the comparison that follows, whatever the outcome) and refreshes
+        recency. Counts one read access for the energy model.
+        """
+        self.stats.add("reads")
+        index, way = self._find(start_pc)
+        if way is None:
+            self.stats.add("misses")
+            return None
+        self.stats.add("hits")
+        line = self._sets[index][way]
+        line.checked = True
+        self._repl[index].touch(way)
+        return line
+
+    def peek(self, start_pc: int) -> Optional[ItrCacheLine]:
+        """Side-effect-free probe (no stats, no recency, no checked bit)."""
+        _, way = self._find(start_pc)
+        if way is None:
+            return None
+        return self._sets[self._set_index(start_pc)][way]
+
+    # ----------------------------------------------------------- write path
+    def insert(self, start_pc: int, signature: int, length: int,
+               tainted: bool = False,
+               writer_seq: Optional[int] = None,
+               checked: bool = False) -> Optional[Eviction]:
+        """Commit-time write of a missed trace's signature.
+
+        Returns an :class:`Eviction` when a valid line was displaced;
+        evictions of *unchecked* lines are the paper's loss in fault
+        detection coverage. Counts one write access for the energy model.
+        ``checked=True`` installs the line pre-confirmed (used when a
+        younger in-flight instance already compared equal against the
+        writer via ITR ROB forwarding).
+        """
+        self.stats.add("writes")
+        index, way = self._find(start_pc)
+        victim_set = self._sets[index]
+        evicted: Optional[Eviction] = None
+        if way is None:
+            way = self._choose_victim(index)
+            victim = victim_set[way]
+            if victim.valid:
+                self.stats.add("evictions")
+                if not victim.checked:
+                    self.stats.add("evictions_unchecked")
+                evicted = Eviction(
+                    tag=victim.tag,
+                    was_checked=victim.checked,
+                    length=victim.length,
+                    tainted=victim.tainted,
+                    writer_seq=victim.writer_seq,
+                )
+        line = victim_set[way]
+        line.tag = start_pc
+        line.signature = signature
+        line.valid = True
+        line.checked = checked
+        line.parity_bit = parity(signature)
+        line.length = length
+        line.tainted = tainted
+        line.writer_seq = writer_seq
+        self._repl[index].touch(way)
+        return evicted
+
+    def _choose_victim(self, index: int) -> int:
+        repl = self._repl[index]
+        lines = self._sets[index]
+        for way, line in enumerate(lines):
+            if not line.valid:
+                return way
+        if self.config.prefer_checked_eviction and self.config.ways > 1:
+            checked = [line.checked for line in lines]
+            if any(checked):
+                return repl.victim_preferring(checked)
+        return repl.victim()
+
+    def update(self, start_pc: int, signature: int, length: int,
+               tainted: bool = False,
+               writer_seq: Optional[int] = None) -> None:
+        """Overwrite an existing line in place (retry-recovery path)."""
+        index, way = self._find(start_pc)
+        if way is None:
+            self.insert(start_pc, signature, length, tainted=tainted,
+                        writer_seq=writer_seq)
+            return
+        self.stats.add("writes")
+        line = self._sets[index][way]
+        line.signature = signature
+        line.checked = False
+        line.parity_bit = parity(signature)
+        line.length = length
+        line.tainted = tainted
+        line.writer_seq = writer_seq
+        self._repl[index].touch(way)
+
+    def invalidate(self, start_pc: int) -> bool:
+        """Drop a line (recovery from an ITR-cache-internal fault)."""
+        index, way = self._find(start_pc)
+        if way is None:
+            return False
+        self._sets[index][way] = ItrCacheLine()
+        return True
+
+    # ------------------------------------------------------------- fault api
+    def inject_fault(self, start_pc: int, bit: int) -> bool:
+        """Flip one signature bit of the line holding ``start_pc``.
+
+        Models a single-event upset *inside* the ITR cache (Section 2.4).
+        Returns False when the trace is not resident.
+        """
+        index, way = self._find(start_pc)
+        if way is None:
+            return False
+        line = self._sets[index][way]
+        line.signature = flip_bit(line.signature, bit) & ((1 << 64) - 1)
+        # parity_bit is left stale on purpose: that is how parity detects it.
+        return True
+
+    # ------------------------------------------------------------ inspection
+    def contains(self, start_pc: int) -> bool:
+        """Whether a valid line for ``start_pc`` is resident."""
+        return self.peek(start_pc) is not None
+
+    def occupancy(self) -> int:
+        """Number of valid lines."""
+        return sum(line.valid for lines in self._sets for line in lines)
+
+    def unchecked_lines(self) -> int:
+        """Valid-but-unchecked line count; the coarse-grain checkpointing
+        extension takes a checkpoint when this reaches zero (Section 2.3)."""
+        return sum(line.valid and not line.checked
+                   for lines in self._sets for line in lines)
+
+    def valid_lines(self) -> List[ItrCacheLine]:
+        """All resident lines (diagnostics / campaign residency checks)."""
+        return [line for lines in self._sets for line in lines if line.valid]
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (f"ItrCache({cfg.entries} entries, {cfg.label()}, "
+                f"{self.occupancy()} valid)")

@@ -1,0 +1,142 @@
+"""The ITR ROB (paper Section 2.2).
+
+A small FIFO holding one entry per in-flight trace. Each entry stores the
+trace's start PC and signature plus the control bits ``chk``, ``miss`` and
+``retry`` describing the outcome of the dispatch-time ITR cache access.
+The paper protects these bits with one-hot encoding (Section 2.4); we
+store them through :class:`repro.utils.bitops.OneHot` so single-bit faults
+on the control state are detectable rather than silently corrupting the
+commit decision.
+
+Entries are dispatched when the decode-side signature generator completes
+a trace, polled by commit logic when instructions of that trace retire,
+and freed when the trace-terminating instruction commits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+from ..errors import ConfigError
+from ..utils.bitops import OneHot
+from .signature import TraceSignature
+
+
+@dataclass
+class ItrRobEntry:
+    """One in-flight trace awaiting commit-side resolution."""
+
+    seq: int                       # dynamic trace sequence number
+    trace: TraceSignature
+    status: OneHot = field(default_factory=OneHot)  # none/miss/chk/chk_retry
+    cached_signature: Optional[int] = None  # ITR cache copy on a hit
+    cached_tainted: bool = False   # ground truth taint of the cache copy
+    cached_writer_seq: Optional[int] = None
+    cached_parity_ok: bool = True
+    #: A younger in-flight instance compared equal against this (missed)
+    #: entry via ITR ROB forwarding: its eventual cache write is already
+    #: confirmed and the line can be installed pre-checked.
+    confirmed_in_flight: bool = False
+
+    @property
+    def checked(self) -> bool:
+        return self.status.state in ("chk", "chk_retry")
+
+    @property
+    def missed(self) -> bool:
+        return self.status.state == "miss"
+
+    @property
+    def retry(self) -> bool:
+        return self.status.state == "chk_retry"
+
+    @property
+    def resolved(self) -> bool:
+        """True once the dispatch-time ITR cache access has completed.
+
+        The paper stalls commit while neither ``chk`` nor ``miss`` is set.
+        """
+        return self.status.state != "none"
+
+    def mark_miss(self) -> None:
+        """Record a dispatch-time ITR cache miss (one-hot 'miss')."""
+        self.status.set_state("miss")
+
+    def mark_checked(self, mismatch: bool) -> None:
+        """Record a dispatch-time compare: 'chk' or 'chk_retry'."""
+        self.status.set_state("chk_retry" if mismatch else "chk")
+
+
+class ItrRob:
+    """Bounded FIFO of :class:`ItrRobEntry`.
+
+    Sized "to match the number of branches that could exist in the
+    processor" (every branch opens a new trace). Dispatch fails when full,
+    which stalls the decode stage.
+    """
+
+    def __init__(self, capacity: int = 32):
+        if capacity < 1:
+            raise ConfigError(f"ITR ROB capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: Deque[ItrRobEntry] = deque()
+        self._next_seq = 0
+        self.high_water = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    def dispatch(self, trace: TraceSignature) -> Optional[ItrRobEntry]:
+        """Append an entry for a completed trace; None when full."""
+        if self.full:
+            return None
+        entry = ItrRobEntry(seq=self._next_seq, trace=trace)
+        self._next_seq += 1
+        self._entries.append(entry)
+        self.high_water = max(self.high_water, len(self._entries))
+        return entry
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next dispatched trace will receive."""
+        return self._next_seq
+
+    def head(self) -> Optional[ItrRobEntry]:
+        """The oldest in-flight trace (polled by commit logic)."""
+        return self._entries[0] if self._entries else None
+
+    def free_head(self) -> ItrRobEntry:
+        """Release the head entry (trace-terminating instruction retired)."""
+        if not self._entries:
+            raise IndexError("freeing from an empty ITR ROB")
+        return self._entries.popleft()
+
+    def flush(self) -> None:
+        """Discard all in-flight entries (full pipeline flush).
+
+        Sequence numbering continues, so stale references held by squashed
+        ROB entries can never alias a post-flush trace.
+        """
+        self._entries.clear()
+
+    def entries(self):
+        """Iterate entries oldest-first (diagnostics and tests)."""
+        return iter(self._entries)
+
+    def newest_for_pc(self, start_pc: int,
+                      before_seq: int) -> Optional[ItrRobEntry]:
+        """Youngest in-flight entry for ``start_pc`` older than
+        ``before_seq`` (ITR ROB forwarding: a dispatching trace compares
+        against the most recent in-flight instance of itself, closing the
+        window between a missed instance's dispatch and its commit-time
+        cache write)."""
+        for entry in reversed(self._entries):
+            if entry.seq < before_seq and entry.trace.start_pc == start_pc:
+                return entry
+        return None

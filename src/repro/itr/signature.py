@@ -1,0 +1,127 @@
+"""Trace signature generation (paper Section 2.1).
+
+Decode signals of successive instructions are bitwise-XORed into a running
+64-bit signature until the trace ends — on a branching instruction (any
+control transfer or trap, as seen *in the possibly-faulty decode signals*)
+or at the 16-instruction limit. On termination the signature, together
+with the trace's start PC, is dispatched toward the ITR ROB and the
+generator latches the next start PC.
+
+XOR deliberately loses which instruction was faulty; the paper notes this
+is acceptable because recovery rolls back to the start of the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..isa.decode_signals import DecodeSignals
+
+#: Maximum instructions per trace (paper Section 1: "a limit of 16").
+MAX_TRACE_LENGTH = 16
+
+
+@dataclass(frozen=True)
+class TraceSignature:
+    """A completed trace: identity (start PC), signature and length.
+
+    ``tainted`` is simulation-side ground truth — true when a fault was
+    injected into any instruction folded into this signature. Hardware
+    never sees it; fault-injection campaigns use it to distinguish
+    "accessing signature faulty" (recoverable) from "stored signature
+    faulty" (detect-only), as in paper Section 4.
+    """
+
+    start_pc: int
+    signature: int
+    length: int
+    tainted: bool = False
+
+    def matches(self, other_signature: int) -> bool:
+        """Whether this trace's signature equals ``other_signature``."""
+        return self.signature == other_signature
+
+
+class SignatureGenerator:
+    """Running XOR of decode-signal vectors with trace-boundary detection.
+
+    ``max_length`` defaults to the paper's 16-instruction limit; the
+    trace-length ablation sweeps it.
+    """
+
+    __slots__ = ("_start_pc", "_signature", "_length", "_tainted",
+                 "traces_completed", "instructions_seen", "max_length")
+
+    def __init__(self, max_length: int = MAX_TRACE_LENGTH) -> None:
+        if max_length < 1:
+            raise ValueError(f"max_length must be >= 1, got {max_length}")
+        self.max_length = max_length
+        self._start_pc: Optional[int] = None
+        self._signature = 0
+        self._length = 0
+        self._tainted = False
+        self.traces_completed = 0
+        self.instructions_seen = 0
+
+    @property
+    def in_progress(self) -> bool:
+        """True when a partial trace is being accumulated."""
+        return self._length > 0
+
+    @property
+    def partial_length(self) -> int:
+        return self._length
+
+    @property
+    def partial_signature(self) -> int:
+        return self._signature
+
+    @property
+    def partial_start_pc(self) -> Optional[int]:
+        return self._start_pc if self._length else None
+
+    def add(self, pc: int, signals: DecodeSignals,
+            tainted: bool = False) -> Optional[TraceSignature]:
+        """Fold one decoded instruction into the current trace.
+
+        Returns the completed :class:`TraceSignature` when this instruction
+        terminates the trace (control transfer, trap, or 16th instruction),
+        else ``None``. The first instruction after a reset or a completed
+        trace latches the new start PC.
+        """
+        if self._length == 0:
+            self._start_pc = pc
+        self._signature ^= signals.pack()
+        self._length += 1
+        self._tainted = self._tainted or tainted
+        self.instructions_seen += 1
+        if signals.ends_trace or self._length >= self.max_length:
+            return self._complete()
+        return None
+
+    def _complete(self) -> TraceSignature:
+        trace = TraceSignature(
+            start_pc=self._start_pc if self._start_pc is not None else 0,
+            signature=self._signature,
+            length=self._length,
+            tainted=self._tainted,
+        )
+        self.traces_completed += 1
+        self._start_pc = None
+        self._signature = 0
+        self._length = 0
+        self._tainted = False
+        return trace
+
+    def flush(self) -> None:
+        """Discard any partial trace (pipeline flush: wrong path or retry).
+
+        The next :meth:`add` latches a fresh start PC, which is exactly the
+        paper's "a new start PC is latched in preparation for the next
+        trace" behaviour after a redirect.
+        """
+        self._start_pc = None
+        self._signature = 0
+        self._length = 0
+        self._tainted = False

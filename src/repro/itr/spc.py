@@ -1,0 +1,69 @@
+"""Sequential-PC check at retirement (paper Sections 2.5 and 4).
+
+Maintains a *commit PC* alongside the retirement stream:
+
+* a committing instruction's own PC must equal the commit PC — a mismatch
+  means two otherwise-sequential traces were discontinuous (e.g. a PC
+  fault at a natural trace boundary, or an ``is_branch`` flag fault that
+  left a misprediction unrepaired);
+* after committing, sequential instructions advance the commit PC by their
+  length, while control transfers (as identified by *their decode
+  signals*) load it with their calculated target.
+
+Because the update rule consults the possibly-faulty ``is_branch`` /
+``is_uncond`` signals, the check fires exactly in the paper's scenario: a
+branch whose ``is_branch`` was flipped off updates the commit PC
+sequentially while the fetch stream followed the predicted-taken path, so
+the next retiring PC disagrees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..isa.decode_signals import DecodeSignals
+from ..isa.encoding import INSTRUCTION_BYTES
+
+
+@dataclass
+class SpcEvent:
+    """A sequential-PC check violation."""
+
+    expected_pc: int
+    actual_pc: int
+    cycle: int
+
+
+class SequentialPcChecker:
+    """Retirement-side commit-PC tracker."""
+
+    def __init__(self) -> None:
+        self._commit_pc: Optional[int] = None
+        self.violations = 0
+        self.first_event: Optional[SpcEvent] = None
+
+    def reset(self, pc: Optional[int] = None) -> None:
+        """Re-seed after a flush/redirect (the redirect PC is authoritative)."""
+        self._commit_pc = pc
+
+    def check_and_update(self, pc: int, signals: DecodeSignals,
+                         computed_target: Optional[int],
+                         cycle: int = 0) -> bool:
+        """Check one retiring instruction; returns True when it passes.
+
+        ``computed_target`` is the execution-calculated next PC for control
+        transfers (taken target, or fall-through for a not-taken branch).
+        """
+        ok = True
+        if self._commit_pc is not None and pc != self._commit_pc:
+            ok = False
+            self.violations += 1
+            if self.first_event is None:
+                self.first_event = SpcEvent(
+                    expected_pc=self._commit_pc, actual_pc=pc, cycle=cycle)
+        if signals.is_control and computed_target is not None:
+            self._commit_pc = computed_target
+        else:
+            self._commit_pc = (pc + INSTRUCTION_BYTES) & 0xFFFFFFFF
+        return ok

@@ -1,0 +1,174 @@
+"""Trace formation over instruction streams and static programs.
+
+Used by the characterization experiments (paper Figures 1-4, Table 1) and
+by the trace-stream coverage simulator. A *trace* is a run of instructions
+ending at the first control transfer / trap or at 16 instructions; its
+identity is the PC of its first instruction (paper Section 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..isa.decode_signals import decode
+from ..isa.program import Program
+from .signature import MAX_TRACE_LENGTH, SignatureGenerator, TraceSignature
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One dynamic trace occurrence in an instruction stream."""
+
+    start_pc: int
+    length: int
+    signature: int = 0
+
+
+def traces_of_instruction_stream(
+        pcs_and_ends: Iterable[Tuple[int, bool]],
+        max_length: int = MAX_TRACE_LENGTH) -> Iterator[TraceEvent]:
+    """Group a dynamic ``(pc, ends_trace)`` stream into trace events.
+
+    The boolean marks instructions that terminate a trace (control
+    transfer or trap). ``max_length`` is the paper's 16-instruction limit
+    by default; the trace-length ablation sweeps it.
+    """
+    if max_length < 1:
+        raise ValueError(f"max_length must be >= 1, got {max_length}")
+    start_pc: Optional[int] = None
+    length = 0
+    for pc, ends in pcs_and_ends:
+        if length == 0:
+            start_pc = pc
+        length += 1
+        if ends or length >= max_length:
+            yield TraceEvent(start_pc=start_pc, length=length)
+            length = 0
+    if length:
+        yield TraceEvent(start_pc=start_pc, length=length)
+
+
+def static_trace_signature(program: Program, start_pc: int) -> TraceSignature:
+    """Compute the fault-free signature of the static trace at ``start_pc``.
+
+    Walks the program text from ``start_pc`` to the first trace-ending
+    instruction (or the 16-instruction limit), folding decode signals.
+    Trace contents are a pure function of the start PC — the invariant ITR
+    relies on.
+    """
+    generator = SignatureGenerator()
+    pc = start_pc
+    while True:
+        instr = program.instruction_at(pc)
+        completed = generator.add(pc, decode(instr))
+        if completed is not None:
+            return completed
+        pc += 8
+
+
+class TraceProfile:
+    """Aggregate statistics of a dynamic trace stream.
+
+    Collects exactly what the paper's characterization needs:
+
+    * per-static-trace dynamic instruction contributions (Figures 1-2)
+    * repeat distances in dynamic instructions between successive
+      occurrences of the same static trace (Figures 3-4)
+    * the static trace count (Table 1)
+    """
+
+    def __init__(self) -> None:
+        self.dynamic_instructions = 0
+        self.dynamic_traces = 0
+        self._contribution: Dict[int, int] = {}
+        self._last_seen_at: Dict[int, int] = {}
+        #: (distance_in_instructions, instructions_in_occurrence) pairs for
+        #: every repeat occurrence; first occurrences have no distance.
+        self.repeat_samples: List[Tuple[int, int]] = []
+
+    def record(self, event: TraceEvent) -> None:
+        """Account one dynamic trace occurrence."""
+        key = event.start_pc
+        position = self.dynamic_instructions
+        previous = self._last_seen_at.get(key)
+        if previous is not None:
+            self.repeat_samples.append((position - previous, event.length))
+        self._last_seen_at[key] = position
+        self._contribution[key] = self._contribution.get(key, 0) + event.length
+        self.dynamic_instructions += event.length
+        self.dynamic_traces += 1
+
+    def record_stream(self, events: Iterable[TraceEvent]) -> None:
+        """Account every event of a stream."""
+        for event in events:
+            self.record(event)
+
+    @property
+    def static_traces(self) -> int:
+        """Number of distinct static traces observed (paper Table 1)."""
+        return len(self._contribution)
+
+    def contributions(self) -> List[int]:
+        """Dynamic instructions contributed by each static trace,
+        descending — the x-axis walk of paper Figures 1-2."""
+        return sorted(self._contribution.values(), reverse=True)
+
+    def cumulative_contribution(self) -> List[float]:
+        """Cumulative fraction of dynamic instructions covered by the top-k
+        static traces, k = 1..static_traces (paper Figures 1-2)."""
+        total = float(self.dynamic_instructions)
+        if total == 0:
+            return []
+        out: List[float] = []
+        running = 0
+        for contribution in self.contributions():
+            running += contribution
+            out.append(running / total)
+        return out
+
+    def traces_for_coverage(self, coverage: float) -> int:
+        """Smallest number of static traces covering ``coverage`` of all
+        dynamic instructions (e.g. the paper's "100 static traces
+        contribute 99%" claims for bzip)."""
+        if not 0 < coverage <= 1:
+            raise ValueError(f"coverage must be in (0, 1], got {coverage}")
+        for index, fraction in enumerate(self.cumulative_contribution(), 1):
+            if fraction >= coverage:
+                return index
+        return self.static_traces
+
+    def repeat_distance_cdf(self, bin_width: int = 500,
+                            num_bins: int = 20) -> List[float]:
+        """Fraction of dynamic instructions contributed by trace
+        occurrences repeating within each distance bin (Figures 3-4).
+
+        Weights each repeat occurrence by its instruction count and
+        normalizes by *all* dynamic instructions, so first occurrences and
+        far repeats keep the curve below 100% — matching the paper's
+        plots.
+        """
+        total = float(self.dynamic_instructions)
+        if total == 0:
+            return [0.0] * num_bins
+        bins = [0.0] * num_bins
+        for distance, weight in self.repeat_samples:
+            index = distance // bin_width
+            if index < num_bins:
+                bins[index] += weight
+        out: List[float] = []
+        running = 0.0
+        for weight in bins:
+            running += weight
+            out.append(running / total)
+        return out
+
+    def fraction_repeating_within(self, distance: int) -> float:
+        """Fraction of dynamic instructions from repeats within
+        ``distance`` instructions (the paper's "85% within 5000" style
+        claims)."""
+        total = float(self.dynamic_instructions)
+        if total == 0:
+            return 0.0
+        weight = sum(w for d, w in self.repeat_samples if d < distance)
+        return weight / total

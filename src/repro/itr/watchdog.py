@@ -1,0 +1,50 @@
+"""Watchdog timer (paper Section 4).
+
+Detects deadlocks caused by faults (e.g. an instruction waiting forever on
+a source that will never be produced, or a fetch unit wedged on a wild
+PC): if no instruction commits for ``timeout`` consecutive cycles the
+watchdog fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class WatchdogEvent:
+    """A watchdog expiry."""
+
+    cycle: int
+    last_commit_cycle: int
+
+
+class Watchdog:
+    """Commit-progress watchdog with a cycle-count timeout."""
+
+    def __init__(self, timeout: int = 2000):
+        if timeout < 1:
+            raise ValueError(f"watchdog timeout must be >= 1, got {timeout}")
+        self.timeout = timeout
+        self._last_commit_cycle = 0
+        self.fired: Optional[WatchdogEvent] = None
+
+    def note_commit(self, cycle: int) -> None:
+        """Record forward progress."""
+        self._last_commit_cycle = cycle
+
+    def tick(self, cycle: int) -> bool:
+        """Advance to ``cycle``; returns True (once) when the timer expires."""
+        if self.fired is not None:
+            return False
+        if cycle - self._last_commit_cycle >= self.timeout:
+            self.fired = WatchdogEvent(cycle=cycle,
+                                       last_commit_cycle=self._last_commit_cycle)
+            return True
+        return False
+
+    def reset(self, cycle: int) -> None:
+        """Re-arm after a recovery flush."""
+        self._last_commit_cycle = cycle
+        self.fired = None

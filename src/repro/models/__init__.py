@@ -1,0 +1,53 @@
+"""Area and power models, anchored to the paper's CACTI/die-photo data."""
+
+from .area import (
+    OVERHEAD_BITS,
+    SIGNATURE_BITS,
+    AreaComparison,
+    compare_area,
+    itr_cache_area_cm2,
+)
+from .cacti import (
+    G5_BTB_AREA_CM2,
+    G5_BTB_BITS,
+    G5_IUNIT_AREA_CM2,
+    ICACHE_NJ_PER_ACCESS,
+    ITR_NJ_PER_ACCESS_SHARED_PORT,
+    ITR_NJ_PER_ACCESS_SPLIT_PORTS,
+    CacheGeometry,
+    array_area_cm2,
+    energy_per_access_nj,
+)
+from .energy import (
+    FETCH_GROUP,
+    PAPER_RUN_INSTRUCTIONS,
+    AccessCounts,
+    EnergyComparison,
+    compare_energy,
+    count_accesses,
+    itr_cache_geometry,
+)
+
+__all__ = [
+    "OVERHEAD_BITS",
+    "SIGNATURE_BITS",
+    "AreaComparison",
+    "compare_area",
+    "itr_cache_area_cm2",
+    "G5_BTB_AREA_CM2",
+    "G5_BTB_BITS",
+    "G5_IUNIT_AREA_CM2",
+    "ICACHE_NJ_PER_ACCESS",
+    "ITR_NJ_PER_ACCESS_SHARED_PORT",
+    "ITR_NJ_PER_ACCESS_SPLIT_PORTS",
+    "CacheGeometry",
+    "array_area_cm2",
+    "energy_per_access_nj",
+    "FETCH_GROUP",
+    "PAPER_RUN_INSTRUCTIONS",
+    "AccessCounts",
+    "EnergyComparison",
+    "compare_energy",
+    "count_accesses",
+    "itr_cache_geometry",
+]

@@ -1,0 +1,112 @@
+"""minicacti: a small analytical SRAM energy/area model.
+
+The paper feeds two cache configurations into CACTI 3.0 [17] at 0.18um
+and reports the resulting per-access energies:
+
+* IBM Power4-style I-cache — 64 KB, direct-mapped, 128 B lines, one
+  read/write port: **0.87 nJ/access**
+* ITR cache — 8 KB (1024 x 64-bit signatures), 2-way, 8 B lines: **0.58
+  nJ/access** with one shared read/write port, **0.84 nJ** with separate
+  read and write ports.
+
+CACTI itself is a large C program; for the energy *accounting* the paper
+does (energy = accesses x energy-per-access), a two-parameter analytical
+approximation anchored to those published numbers reproduces the inputs
+exactly and interpolates sensibly for the other ITR cache geometries the
+design-space sweep explores:
+
+``E(size, assoc, ports) = (E_base + k * sqrt(KB) * assoc_factor(assoc))
+* port_factor(ports)``
+
+The square-root term tracks bitline/wordline length growth with array
+area; the associativity factor charges the extra way comparators and the
+wider data read-out; the port factor is CACTI's published ratio for the
+dual-ported ITR cache.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+#: Published CACTI anchor points (paper Section 5).
+ICACHE_NJ_PER_ACCESS = 0.87
+ITR_NJ_PER_ACCESS_SHARED_PORT = 0.58
+ITR_NJ_PER_ACCESS_SPLIT_PORTS = 0.84
+
+#: The port-energy ratio implied by the paper's two ITR numbers.
+SPLIT_PORT_FACTOR = ITR_NJ_PER_ACCESS_SPLIT_PORTS / ITR_NJ_PER_ACCESS_SHARED_PORT
+
+
+def _assoc_factor(assoc: int) -> float:
+    """Relative energy of way-parallel read-out (1.0 for direct-mapped)."""
+    if assoc <= 1:
+        return 1.0
+    # Each doubling of ways adds comparators and muxing; sub-linear.
+    return 1.0 + 0.15 * math.log2(assoc)
+
+
+# Solve the two-parameter model from the two anchors:
+#   E_base + k * sqrt(64) * 1.0          = 0.87   (I-cache)
+#   E_base + k * sqrt(8) * assoc(2)      = 0.58   (ITR cache)
+_K = (ICACHE_NJ_PER_ACCESS - ITR_NJ_PER_ACCESS_SHARED_PORT) / (
+    math.sqrt(64.0) - math.sqrt(8.0) * _assoc_factor(2))
+_E_BASE = ICACHE_NJ_PER_ACCESS - _K * math.sqrt(64.0)
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry passed to the energy/area model."""
+
+    size_bytes: int
+    assoc: int = 1          # 0 = fully associative
+    ports: int = 1          # 1 = shared rd/wr, 2 = separate rd + wr
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 64:
+            raise ConfigError(f"size_bytes too small: {self.size_bytes}")
+        if self.ports not in (1, 2):
+            raise ConfigError(f"ports must be 1 or 2, got {self.ports}")
+
+    @property
+    def size_kb(self) -> float:
+        return self.size_bytes / 1024.0
+
+    @property
+    def effective_assoc(self) -> int:
+        if self.assoc == 0:
+            # Fully associative: model as the highest way count we charge
+            # for (comparator energy saturates in this approximation).
+            return 32
+        return self.assoc
+
+
+def energy_per_access_nj(geometry: CacheGeometry) -> float:
+    """Per-access dynamic energy in nanojoules (0.18um, CACTI-anchored)."""
+    base = _E_BASE + _K * math.sqrt(geometry.size_kb) \
+        * _assoc_factor(geometry.effective_assoc)
+    if geometry.ports == 2:
+        base *= SPLIT_PORT_FACTOR
+    return base
+
+
+#: G5 die-photo area anchor (paper Section 5): a BTB-like structure of
+#: 2048 entries x 35 bits occupies 1.5 cm x 0.2 cm = 0.3 cm^2.
+G5_BTB_BITS = 2048 * 35
+G5_BTB_AREA_CM2 = 0.3
+#: The G5 I-unit (fetch + decode) occupies 1.5 cm x 1.4 cm = 2.1 cm^2.
+G5_IUNIT_AREA_CM2 = 2.1
+
+
+def array_area_cm2(total_bits: int) -> float:
+    """Area of an SRAM array in G5 technology, die-photo anchored.
+
+    Linear in bit count relative to the BTB anchor — the same scaling the
+    paper uses when it equates the ITR cache (1024 x 64 b) with the BTB
+    (2048 x 35 b): nearly the same bit count, therefore the same area.
+    """
+    if total_bits < 1:
+        raise ConfigError(f"total_bits must be >= 1, got {total_bits}")
+    return G5_BTB_AREA_CM2 * total_bits / G5_BTB_BITS

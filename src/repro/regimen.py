@@ -1,0 +1,137 @@
+"""High-level facade: run a program on an ITR-protected machine.
+
+The paper frames ITR as one member of a *regimen* of low-overhead
+microarchitecture checks (Section 1). :class:`ProtectedMachine` bundles
+the whole regimen this library implements — ITR signature checking with
+retry recovery, the sequential-PC check, and the watchdog — behind one
+object with a single :meth:`run` and a consolidated
+:class:`ProtectionReport`, so downstream users don't have to wire the
+pipeline, controller and checkers themselves.
+
+>>> from repro.isa import assemble
+>>> from repro.regimen import ProtectedMachine
+>>> machine = ProtectedMachine(assemble('''
+... main:
+...     li $a0, 7
+...     li $v0, 1
+...     syscall
+...     li $v0, 10
+...     syscall
+... '''))
+>>> report = machine.run()
+>>> (report.outcome, machine.output)
+('completed', '7')
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .isa.program import Program
+from .itr.itr_cache import ItrCacheConfig
+from .uarch.config import PipelineConfig
+from .uarch.pipeline import (
+    CommitListener,
+    DecodeTamper,
+    FetchTamper,
+    Pipeline,
+    build_pipeline,
+)
+
+
+@dataclass(frozen=True)
+class ProtectionReport:
+    """Consolidated result of one protected run."""
+
+    outcome: str                 # completed / aborted / deadlock / timeout
+    instructions: int
+    cycles: int
+    ipc: float
+    traces_checked: int          # dispatch-time ITR cache comparisons
+    itr_hit_rate: float
+    mismatches_detected: int
+    faults_recovered: int
+    cache_faults_repaired: int
+    machine_checks: int
+    spc_violations: int
+    mispredict_flushes: int
+
+    @property
+    def clean(self) -> bool:
+        """True when no check fired at all (expected for fault-free runs)."""
+        return (self.mismatches_detected == 0
+                and self.spc_violations == 0
+                and self.machine_checks == 0)
+
+
+class ProtectedMachine:
+    """An ITR-protected superscalar machine for one program.
+
+    Parameters mirror the paper's design space: ``cache_entries`` and
+    ``cache_assoc`` select the ITR cache geometry (default: the paper's
+    1024-signature 2-way point); ``recovery`` toggles the retry protocol
+    (monitor mode when False); ``spc``/``watchdog_timeout`` control the
+    auxiliary checks.
+    """
+
+    def __init__(self, program: Program,
+                 cache_entries: int = 1024,
+                 cache_assoc: int = 2,
+                 recovery: bool = True,
+                 spc: bool = True,
+                 watchdog_timeout: int = 2000,
+                 inputs: Optional[Sequence[int]] = None,
+                 decode_tamper: Optional[DecodeTamper] = None,
+                 fetch_tamper: Optional[FetchTamper] = None,
+                 commit_listener: Optional[CommitListener] = None):
+        config = PipelineConfig(
+            watchdog_timeout=watchdog_timeout,
+            itr_cache=ItrCacheConfig(entries=cache_entries,
+                                     assoc=cache_assoc),
+        )
+        self.pipeline: Pipeline = build_pipeline(
+            program,
+            config=config,
+            with_itr=True,
+            recovery_enabled=recovery,
+            inputs=inputs,
+            enable_spc=spc,
+            decode_tamper=decode_tamper,
+            fetch_tamper=fetch_tamper,
+            commit_listener=commit_listener,
+        )
+
+    def run(self, max_cycles: int = 2_000_000,
+            max_instructions: Optional[int] = None) -> ProtectionReport:
+        """Run to completion (or a bound) and consolidate the report."""
+        result = self.pipeline.run(max_cycles=max_cycles,
+                                   max_instructions=max_instructions)
+        outcome = {
+            "halted": "completed",
+            "machine_check": "aborted",
+            "deadlock": "deadlock",
+            "max_cycles": "timeout",
+            "max_instructions": "timeout",
+        }[result.reason]
+        itr = self.pipeline.itr.stats
+        checked = itr.cache_hits + itr.cache_misses
+        return ProtectionReport(
+            outcome=outcome,
+            instructions=result.instructions,
+            cycles=result.cycles,
+            ipc=self.pipeline.stats.ipc,
+            traces_checked=checked,
+            itr_hit_rate=itr.cache_hits / checked if checked else 0.0,
+            mismatches_detected=itr.mismatches,
+            faults_recovered=itr.recoveries,
+            cache_faults_repaired=itr.cache_faults_repaired,
+            machine_checks=itr.machine_checks,
+            spc_violations=self.pipeline.stats.spc_violations,
+            mispredict_flushes=self.pipeline.stats.mispredict_flushes,
+        )
+
+    @property
+    def output(self) -> str:
+        """Console output produced so far."""
+        return self.pipeline.output

@@ -1,0 +1,33 @@
+"""Microarchitecture: caches, branch prediction, the OoO cycle simulator."""
+
+from .branch_pred import BranchPredictor, Btb, BtbKind, FetchPrediction, Gshare
+from .caches import TagCache
+from .config import (
+    BranchPredictorConfig,
+    ICacheConfig,
+    PipelineConfig,
+)
+from .pipeline import (
+    Pipeline,
+    PipelineStats,
+    RobEntry,
+    RunResult,
+    build_pipeline,
+)
+
+__all__ = [
+    "BranchPredictor",
+    "Btb",
+    "BtbKind",
+    "FetchPrediction",
+    "Gshare",
+    "TagCache",
+    "BranchPredictorConfig",
+    "ICacheConfig",
+    "PipelineConfig",
+    "Pipeline",
+    "PipelineStats",
+    "RobEntry",
+    "RunResult",
+    "build_pipeline",
+]

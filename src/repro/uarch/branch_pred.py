@@ -1,0 +1,130 @@
+"""Front-end branch prediction: gshare direction predictor + tagged BTB.
+
+The paper's fault scenarios (Section 4) lean on this structure: the BTB
+says "this PC is a branch with this target", gshare says taken/not-taken,
+and the execution unit repairs mispredictions — *only* for instructions
+whose decode signals identify them as control transfers. A flipped
+``is_branch`` therefore leaves a misprediction unrepaired, which is
+exactly the SDC scenario the sequential-PC check catches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..utils.bitops import mask
+from .config import BranchPredictorConfig
+
+
+class BtbKind(enum.Enum):
+    """What the BTB believes lives at a PC."""
+
+    BRANCH = "branch"   # conditional: direction comes from gshare
+    JUMP = "jump"       # unconditional: always redirect
+
+
+@dataclass(frozen=True)
+class BtbEntry:
+    tag: int            # full PC (no aliasing between distinct PCs)
+    target: int
+    kind: BtbKind
+
+
+class Gshare:
+    """Global-history XOR-indexed table of 2-bit saturating counters."""
+
+    def __init__(self, index_bits: int = 12):
+        self.index_bits = index_bits
+        self._counters: List[int] = [2] * (1 << index_bits)  # weakly taken
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 3) ^ self._history) & mask(self.index_bits)
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction (True = taken) for the branch at ``pc``."""
+        return self._counters[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the counter and shift the global history."""
+        index = self._index(pc)
+        counter = self._counters[index]
+        if taken:
+            self._counters[index] = min(counter + 1, 3)
+        else:
+            self._counters[index] = max(counter - 1, 0)
+        self._history = ((self._history << 1) | int(taken)) \
+            & mask(self.index_bits)
+
+
+class Btb:
+    """Direct-mapped, fully tagged branch target buffer."""
+
+    def __init__(self, entries: int = 512):
+        self.entries = entries
+        self._table: List[Optional[BtbEntry]] = [None] * entries
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 3) % self.entries
+
+    def lookup(self, pc: int) -> Optional[BtbEntry]:
+        """Tagged lookup; None on miss or tag mismatch."""
+        entry = self._table[self._index(pc)]
+        if entry is not None and entry.tag == pc:
+            return entry
+        return None
+
+    def update(self, pc: int, target: int, kind: BtbKind) -> None:
+        """Install/replace the entry for ``pc``."""
+        self._table[self._index(pc)] = BtbEntry(tag=pc, target=target,
+                                                kind=kind)
+
+
+@dataclass(frozen=True)
+class FetchPrediction:
+    """Next-PC decision for one fetched instruction."""
+
+    next_pc: int
+    redirect: bool       # fetch group breaks after this instruction
+    from_btb: bool
+
+
+class BranchPredictor:
+    """Combined next-PC predictor consulted once per fetched instruction."""
+
+    def __init__(self, config: BranchPredictorConfig = BranchPredictorConfig()):
+        self.gshare = Gshare(config.gshare_bits)
+        self.btb = Btb(config.btb_entries)
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict(self, pc: int, fallthrough: int) -> FetchPrediction:
+        """Predict the PC following the instruction at ``pc``."""
+        self.predictions += 1
+        entry = self.btb.lookup(pc)
+        if entry is None:
+            return FetchPrediction(next_pc=fallthrough, redirect=False,
+                                   from_btb=False)
+        if entry.kind == BtbKind.JUMP:
+            return FetchPrediction(next_pc=entry.target, redirect=True,
+                                   from_btb=True)
+        if self.gshare.predict(pc):
+            return FetchPrediction(next_pc=entry.target, redirect=True,
+                                   from_btb=True)
+        return FetchPrediction(next_pc=fallthrough, redirect=False,
+                               from_btb=True)
+
+    def train(self, pc: int, is_branch: bool, taken: bool,
+              target: Optional[int], mispredicted: bool) -> None:
+        """Commit-time training with the architecturally resolved outcome."""
+        if mispredicted:
+            self.mispredictions += 1
+        if is_branch:
+            self.gshare.update(pc, taken)
+            if taken and target is not None:
+                self.btb.update(pc, target, BtbKind.BRANCH)
+        elif target is not None:
+            # Unconditional transfer: remember the (last) target.
+            self.btb.update(pc, target, BtbKind.JUMP)

@@ -1,0 +1,66 @@
+"""Tag-only set-associative cache model.
+
+Used for the instruction cache: the simulator does not model miss
+latencies' effect on correctness (fetch succeeds either way), but access
+and hit/miss counts feed the paper's Section 5 energy comparison, and a
+fixed miss penalty can stall fetch for timing realism.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..utils.lru import LruStack
+from ..utils.stats import Counter
+from .config import ICacheConfig
+
+
+class TagCache:
+    """Set-associative tag array with true-LRU replacement."""
+
+    def __init__(self, config: ICacheConfig):
+        self.config = config
+        lines = config.size_bytes // config.line_bytes
+        self.ways = config.assoc if config.assoc else lines
+        self.num_sets = lines // self.ways
+        self._tags: List[List[Optional[int]]] = [
+            [None] * self.ways for _ in range(self.num_sets)
+        ]
+        self._repl = [LruStack(self.ways) for _ in range(self.num_sets)]
+        self.stats = Counter()
+
+    def _locate(self, address: int):
+        block = address // self.config.line_bytes
+        index = block % self.num_sets
+        tag = block // self.num_sets
+        return index, tag
+
+    def access(self, address: int) -> bool:
+        """Access the line containing ``address``; True on hit.
+
+        Misses allocate (fetch-on-miss) and evict LRU.
+        """
+        self.stats.add("accesses")
+        index, tag = self._locate(address)
+        tags = self._tags[index]
+        repl = self._repl[index]
+        for way, existing in enumerate(tags):
+            if existing == tag:
+                self.stats.add("hits")
+                repl.touch(way)
+                return True
+        self.stats.add("misses")
+        way = next((w for w, t in enumerate(tags) if t is None),
+                   repl.victim())
+        tags[way] = tag
+        repl.touch(way)
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.stats["accesses"]
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.stats["accesses"]
+        return self.stats["hits"] / total if total else 0.0

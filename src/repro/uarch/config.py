@@ -1,0 +1,89 @@
+"""Configuration of the out-of-order superscalar pipeline.
+
+Defaults model a machine in the spirit of the MIPS R10K the paper
+simulates (4-wide, moderately sized windows), scaled for a Python-speed
+cycle simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ConfigError
+from ..itr.itr_cache import ItrCacheConfig
+
+
+@dataclass(frozen=True)
+class BranchPredictorConfig:
+    """gshare + BTB front-end predictor parameters."""
+
+    gshare_bits: int = 12        # log2 of the 2-bit-counter table size
+    btb_entries: int = 512       # direct-mapped, fully tagged
+    def __post_init__(self) -> None:
+        if not 2 <= self.gshare_bits <= 24:
+            raise ConfigError(f"gshare_bits out of range: {self.gshare_bits}")
+        if self.btb_entries < 1:
+            raise ConfigError(f"btb_entries must be >= 1: {self.btb_entries}")
+
+
+@dataclass(frozen=True)
+class ICacheConfig:
+    """Instruction cache geometry (tag-only timing/energy model).
+
+    The default mirrors the IBM Power4 I-cache the paper feeds to CACTI:
+    64 KB, direct-mapped, 128-byte lines.
+    """
+
+    size_bytes: int = 64 * 1024
+    line_bytes: int = 128
+    assoc: int = 1
+
+    def __post_init__(self) -> None:
+        if self.line_bytes < 8 or self.line_bytes & (self.line_bytes - 1):
+            raise ConfigError("line_bytes must be a power of two >= 8")
+        lines = self.size_bytes // self.line_bytes
+        if lines < 1 or self.size_bytes % self.line_bytes:
+            raise ConfigError("size_bytes must be a multiple of line_bytes")
+        effective = self.assoc if self.assoc else lines
+        if effective < 1 or lines % effective:
+            raise ConfigError("assoc must divide the number of lines")
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Top-level machine configuration."""
+
+    fetch_width: int = 4
+    decode_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    rob_entries: int = 128
+    issue_queue_entries: int = 64
+    lsq_entries: int = 64
+    phys_regs: int = 192
+    fetch_queue_entries: int = 16
+    itr_rob_entries: int = 48
+    watchdog_timeout: int = 2000
+    #: Cycles fetch stalls after an I-cache miss (0 = ideal I-cache;
+    #: timing-only — correctness never depends on it).
+    icache_miss_penalty: int = 0
+    predictor: BranchPredictorConfig = field(
+        default_factory=BranchPredictorConfig)
+    icache: ICacheConfig = field(default_factory=ICacheConfig)
+    itr_cache: ItrCacheConfig = field(default_factory=ItrCacheConfig)
+
+    def __post_init__(self) -> None:
+        for name in ("fetch_width", "decode_width", "issue_width",
+                     "commit_width", "rob_entries", "issue_queue_entries",
+                     "lsq_entries", "fetch_queue_entries",
+                     "itr_rob_entries", "watchdog_timeout"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+        if self.icache_miss_penalty < 0:
+            raise ConfigError("icache_miss_penalty must be >= 0")
+        # 64 architectural registers need physical homes plus headroom for
+        # every in-flight destination.
+        if self.phys_regs < 64 + self.commit_width:
+            raise ConfigError(
+                f"phys_regs={self.phys_regs} too small: need > 64"
+            )

@@ -1,0 +1,723 @@
+"""Out-of-order superscalar cycle simulator with ITR support.
+
+Models a MIPS-R10K-flavoured machine (paper Section 4): wide fetch with
+gshare+BTB prediction, decode, rename onto a physical register file,
+out-of-order issue, a load/store queue with store-to-load forwarding, and
+in-order commit. Two properties matter more than cycle-exactness:
+
+1. **Signals-only contract.** Downstream of decode, every decision —
+   operand count, register file, routing to the LSQ, branch repair, commit
+   PC update, syscall dispatch, execution latency — is taken from the
+   64-bit decode-signal vector, so a fault injected there propagates with
+   hardware-faithful consequences.
+
+2. **Commit-boundary recovery.** Branch mispredictions, trap
+   serialization and ITR retries are all repaired by a full flush at
+   commit, which is exactly the "flush and restart the processor" recovery
+   primitive of paper Section 2.2 (checkpoint rollback of the ITR ROB
+   collapses to a reset, since commit-time flushes land on trace
+   boundaries).
+
+The ITR machinery hooks in at three points: :meth:`ItrController.on_decode`
+when an instruction leaves decode, :meth:`ItrController.commit_check`
+before each commit, and :meth:`ItrController.note_commit` after it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..arch.functional import CommitEffect
+from ..arch.semantics import (
+    direct_target,
+    execute,
+    memory_access_size,
+    operand_values,
+    perform_load,
+    perform_store,
+)
+from ..arch.state import ArchState, arch_reg
+from ..arch.syscalls import OsLayer
+from ..errors import DeadlockError, MachineCheckException, MemoryFault
+from ..isa.decode_signals import DecodeSignals, decode
+from ..isa.encoding import INSTRUCTION_BYTES
+from ..isa.instruction import Instruction
+from ..isa.program import Program
+from ..itr.controller import CommitAction, ItrController
+from ..itr.spc import SequentialPcChecker
+from ..itr.watchdog import Watchdog
+from .branch_pred import BranchPredictor
+from .caches import TagCache
+from .config import PipelineConfig
+
+_WORD = 0xFFFFFFFF
+_V0_ARCH = 2
+
+#: Decode hook: (decode_index, pc, signals) -> (signals, tainted).
+DecodeTamper = Callable[[int, int, DecodeSignals],
+                        Tuple[DecodeSignals, bool]]
+#: Commit hook: (effect, signals) -> None.
+CommitListener = Callable[[CommitEffect, DecodeSignals], None]
+#: Fetch-PC hook: (cycle, fetch_pc) -> possibly-corrupted fetch_pc.
+#: Models paper Section 2.5 faults on the PC / next-PC logic.
+FetchTamper = Callable[[int, int], int]
+
+
+@dataclass
+class RobEntry:
+    """One in-flight instruction."""
+
+    seq: int
+    pc: int
+    signals: DecodeSignals
+    predicted_npc: int
+    trace_seq: int
+    ends_trace: bool
+    phys_dst: Optional[int] = None
+    arch_dst: Optional[int] = None
+    effect_dest: Optional[int] = None   # unified arch index for the effect
+    value: Optional[int] = None
+    completed: bool = False
+    issued: bool = False
+    actual_npc: Optional[int] = None
+    taken: bool = False
+    is_mem: bool = False
+    src_phys1: int = 0
+    src_phys2: int = 0
+
+
+@dataclass
+class LsqEntry:
+    """One in-flight memory operation, in program order."""
+
+    rob: RobEntry
+    is_load: bool
+    address: Optional[int] = None
+    resolved: bool = False
+    store_value: Optional[int] = None
+    store_bytes: Optional[Dict[int, int]] = None
+
+
+class _ByteRecorder:
+    """Captures the exact bytes a store would write (for forwarding)."""
+
+    __slots__ = ("bytes_written",)
+
+    def __init__(self) -> None:
+        self.bytes_written: Dict[int, int] = {}
+
+    def store(self, address: int, size: int, value: int) -> None:
+        for offset in range(size):
+            self.bytes_written[(address + offset) & _WORD] = \
+                (value >> (8 * offset)) & 0xFF
+
+
+class _ForwardingView:
+    """Committed memory overlaid with older in-flight store bytes."""
+
+    __slots__ = ("_memory", "_overlay")
+
+    def __init__(self, memory, overlay: Dict[int, int]):
+        self._memory = memory
+        self._overlay = overlay
+
+    def load_bytes(self, address: int, size: int) -> bytes:
+        raw = bytearray(self._memory.load_bytes(address, size))
+        for offset in range(size):
+            byte = self._overlay.get(address + offset)
+            if byte is not None:
+                raw[offset] = byte
+        return bytes(raw)
+
+    def load(self, address: int, size: int, signed: bool = False) -> int:
+        return int.from_bytes(self.load_bytes(address, size), "little",
+                              signed=signed)
+
+
+@dataclass
+class PipelineStats:
+    cycles: int = 0
+    instructions_fetched: int = 0
+    instructions_decoded: int = 0
+    instructions_committed: int = 0
+    traces_committed: int = 0
+    flushes: int = 0
+    mispredict_flushes: int = 0
+    trap_flushes: int = 0
+    retry_flushes: int = 0
+    fetch_starved_cycles: int = 0
+    spc_violations: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return (self.instructions_committed / self.cycles
+                if self.cycles else 0.0)
+
+
+@dataclass
+class RunResult:
+    """Why and where a :meth:`Pipeline.run` stopped."""
+
+    reason: str                 # halted / max_cycles / max_instructions /
+    #                             deadlock / machine_check
+    cycles: int
+    instructions: int
+    machine_check_pc: Optional[int] = None
+
+
+class Pipeline:
+    """The cycle simulator. One instance simulates one program run."""
+
+    def __init__(self, program: Program,
+                 config: PipelineConfig = PipelineConfig(),
+                 itr: Optional[ItrController] = None,
+                 inputs: Optional[Sequence[int]] = None,
+                 os_seed: int = 1,
+                 enable_spc: bool = True,
+                 decode_tamper: Optional[DecodeTamper] = None,
+                 commit_listener: Optional[CommitListener] = None,
+                 fetch_tamper: Optional[FetchTamper] = None,
+                 duplicate_frontend: bool = False):
+        self.program = program
+        self.config = config
+        self.itr = itr
+        self.decode_tamper = decode_tamper
+        self.commit_listener = commit_listener
+        self.fetch_tamper = fetch_tamper
+        #: IBM S/390 G5-style structural duplication of the I-unit
+        #: (paper Section 5's expensive baseline): every instruction is
+        #: decoded twice and the signal vectors compared; a mismatch is
+        #: repaired on the spot by taking the agreeing copy.
+        self.duplicate_frontend = duplicate_frontend
+        self.frontend_dup_detections = 0
+
+        self.arch_state = ArchState.from_program(program)
+        self.os = OsLayer(inputs=inputs, seed=os_seed)
+        self.predictor = BranchPredictor(config.predictor)
+        self.icache = TagCache(config.icache)
+        self.spc = SequentialPcChecker() if enable_spc else None
+        self.watchdog = Watchdog(config.watchdog_timeout)
+        self.stats = PipelineStats()
+
+        # Physical register file: identity-mapped architectural homes plus
+        # a free pool. Values live forever; ready gates consumption.
+        num_phys = config.phys_regs
+        self._phys_values: List[int] = [0] * num_phys
+        self._phys_ready: List[bool] = [True] * num_phys
+        for index in range(64):
+            self._phys_values[index] = self.arch_state.regs.read(index)
+        self._rename_map: List[int] = list(range(64))
+        self._retire_map: List[int] = list(range(64))
+        self._free_phys: Deque[int] = deque(range(64, num_phys))
+
+        self.fetch_pc = program.entry
+        self._fetch_queue: Deque[Tuple[int, Instruction, int]] = deque()
+        self._rob: Deque[RobEntry] = deque()
+        self._iq: List[RobEntry] = []
+        self._lsq: Deque[LsqEntry] = deque()
+        self._lsq_by_rob: Dict[int, LsqEntry] = {}
+        self._completions: Dict[int, List[RobEntry]] = {}
+
+        self.cycle = 0
+        self._next_seq = 0
+        self._decode_index = 0
+        self.halted = False
+        self._waiting_serialize = False
+        self._fetch_stalled_until = 0  # I-cache miss penalty
+
+    # ------------------------------------------------------------- main loop
+    def step_cycle(self) -> None:
+        """Advance the machine by one cycle.
+
+        Raises :class:`MachineCheckException` when ITR recovery determines
+        architectural state is corrupt, and :class:`DeadlockError` when the
+        watchdog expires.
+        """
+        self._commit_stage()
+        if not self.halted:
+            self._complete_stage()
+            self._issue_stage()
+            self._dispatch_stage()
+            self._fetch_stage()
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+        if not self.halted and self.watchdog.tick(self.cycle):
+            raise DeadlockError(self.cycle)
+
+    def run(self, max_cycles: int = 1_000_000,
+            max_instructions: Optional[int] = None) -> RunResult:
+        """Run until halt, a limit, a deadlock, or a machine check."""
+        while not self.halted:
+            if self.cycle >= max_cycles:
+                return self._result("max_cycles")
+            if max_instructions is not None \
+                    and self.stats.instructions_committed >= max_instructions:
+                return self._result("max_instructions")
+            try:
+                self.step_cycle()
+            except DeadlockError:
+                return self._result("deadlock")
+            except MachineCheckException as exc:
+                result = self._result("machine_check")
+                result.machine_check_pc = exc.pc
+                return result
+        return self._result("halted")
+
+    def _result(self, reason: str) -> RunResult:
+        return RunResult(reason=reason, cycles=self.cycle,
+                         instructions=self.stats.instructions_committed)
+
+    # ----------------------------------------------------------------- fetch
+    def _fetch_stage(self) -> None:
+        if self._waiting_serialize:
+            return
+        if self.fetch_tamper is not None:
+            self.fetch_pc = self.fetch_tamper(self.cycle,
+                                              self.fetch_pc) & _WORD
+        if self.cycle < self._fetch_stalled_until:
+            return  # serving an I-cache miss
+        budget = self.config.fetch_width
+        accessed_icache = False
+        while budget > 0 \
+                and len(self._fetch_queue) < self.config.fetch_queue_entries:
+            pc = self.fetch_pc
+            if not self.program.contains_pc(pc):
+                self.stats.fetch_starved_cycles += 1
+                return
+            if not accessed_icache:
+                # One I-cache access per fetch group (energy accounting).
+                hit = self.icache.access(pc)
+                accessed_icache = True
+                if not hit and self.config.icache_miss_penalty:
+                    # Deliver this group after the miss is serviced.
+                    self._fetch_stalled_until = \
+                        self.cycle + self.config.icache_miss_penalty
+            instr = self.program.instruction_at(pc)
+            prediction = self.predictor.predict(
+                pc, (pc + INSTRUCTION_BYTES) & _WORD)
+            self._fetch_queue.append((pc, instr, prediction.next_pc))
+            self.stats.instructions_fetched += 1
+            self.fetch_pc = prediction.next_pc
+            budget -= 1
+            if prediction.redirect:
+                return
+
+    # -------------------------------------------------------------- dispatch
+    def _dispatch_stage(self) -> None:
+        budget = self.config.decode_width
+        while budget > 0 and self._fetch_queue \
+                and not self._waiting_serialize:
+            if len(self._rob) >= self.config.rob_entries:
+                return
+            if len(self._iq) >= self.config.issue_queue_entries:
+                return
+            if not self._free_phys:
+                return
+            if self.itr is not None and not self.itr.ready_for_decode():
+                return
+            pc, instr, predicted_npc = self._fetch_queue[0]
+            signals = decode(instr)
+            tainted = False
+            if self.decode_tamper is not None:
+                signals, tainted = self.decode_tamper(
+                    self._decode_index, pc, signals)
+            if self.duplicate_frontend and tainted:
+                # The duplicated decode unit disagrees with the faulted
+                # one: detected instantly; proceed with the clean copy.
+                # (Under a single-event-upset model exactly one copy is
+                # wrong, and a second fetch+decode arbitrates.)
+                self.frontend_dup_detections += 1
+                signals = decode(instr)
+                tainted = False
+            is_mem = signals.is_ld or signals.is_st
+            if is_mem and len(self._lsq) >= self.config.lsq_entries:
+                return
+            self._fetch_queue.popleft()
+            self._decode_index += 1
+            self.stats.instructions_decoded += 1
+
+            # Decode-time redirect for direct jumps whose target the fetch
+            # predictor did not know.
+            if signals.is_uncond and signals.is_direct:
+                target = direct_target(signals)
+                if predicted_npc != target:
+                    predicted_npc = target
+                    self._fetch_queue.clear()
+                    self.fetch_pc = target
+
+            if self.itr is not None:
+                trace_seq, ended = self.itr.on_decode(
+                    pc, signals, tainted=tainted, cycle=self.cycle)
+            else:
+                trace_seq, ended = -1, False
+
+            entry = RobEntry(
+                seq=self._next_seq,
+                pc=pc,
+                signals=signals,
+                predicted_npc=predicted_npc,
+                trace_seq=trace_seq,
+                ends_trace=ended,
+                is_mem=is_mem,
+            )
+            self._next_seq += 1
+            self._rename(entry)
+            self._rob.append(entry)
+            self._iq.append(entry)
+            if is_mem:
+                lsq_entry = LsqEntry(rob=entry, is_load=signals.is_ld)
+                self._lsq.append(lsq_entry)
+                self._lsq_by_rob[entry.seq] = lsq_entry
+            budget -= 1
+
+            if signals.is_trap:
+                # Serialize: nothing younger enters until the trap commits
+                # and flushes (syscalls read and write architectural state).
+                self._waiting_serialize = True
+                self._fetch_queue.clear()
+                return
+
+    def _rename(self, entry: RobEntry) -> None:
+        signals = entry.signals
+        # Sources read the *current* map — before the destination of this
+        # same instruction updates it (x = f(x) must see the old x).
+        if signals.num_rsrc >= 1:
+            entry.src_phys1 = self._rename_map[
+                arch_reg(signals.rsrc1, signals.rsrc1_is_fp)]
+        if signals.num_rsrc >= 2:
+            entry.src_phys2 = self._rename_map[
+                arch_reg(signals.rsrc2, signals.rsrc2_is_fp)]
+        if signals.num_rdst:
+            arch = arch_reg(signals.rdst, signals.rdst_is_fp)
+            entry.effect_dest = arch
+            if arch != 0:  # integer $zero is not renamed; writes drop
+                phys = self._free_phys.popleft()
+                self._phys_ready[phys] = False
+                entry.phys_dst = phys
+                entry.arch_dst = arch
+                self._rename_map[arch] = phys
+
+    # ----------------------------------------------------------------- issue
+    def _issue_stage(self) -> None:
+        budget = self.config.issue_width
+        issued: List[RobEntry] = []
+        for entry in self._iq:
+            if budget == 0:
+                break
+            if not self._sources_ready(entry):
+                continue
+            self._execute_entry(entry)
+            issued.append(entry)
+            budget -= 1
+        if issued:
+            issued_ids = {id(e) for e in issued}
+            self._iq = [e for e in self._iq if id(e) not in issued_ids]
+
+    def _sources_ready(self, entry: RobEntry) -> bool:
+        signals = entry.signals
+        if signals.num_rsrc >= 1 \
+                and not self._phys_ready[entry.src_phys1]:
+            return False
+        if signals.num_rsrc >= 2 \
+                and not self._phys_ready[entry.src_phys2]:
+            return False
+        return True
+
+    def _execute_entry(self, entry: RobEntry) -> None:
+        signals = entry.signals
+        raw1 = self._phys_values[entry.src_phys1] \
+            if signals.num_rsrc >= 1 else 0
+        raw2 = self._phys_values[entry.src_phys2] \
+            if signals.num_rsrc >= 2 else 0
+        src1, src2 = operand_values(signals, raw1, raw2)
+        result = execute(signals, src1, src2, entry.pc)
+        fallthrough = (entry.pc + INSTRUCTION_BYTES) & _WORD
+
+        if signals.is_control:
+            entry.taken = signals.is_uncond or result.taken
+            entry.actual_npc = (result.target if result.target is not None
+                                else fallthrough)
+        else:
+            entry.actual_npc = fallthrough
+        entry.value = result.value
+        entry.issued = True
+
+        if signals.is_st:
+            lsq_entry = self._lsq_by_rob.get(entry.seq)
+            if lsq_entry is not None:
+                recorder = _ByteRecorder()
+                address = result.address if result.address is not None else 0
+                try:
+                    perform_store(signals, recorder, address,
+                                  result.store_value or 0)
+                except MemoryFault:
+                    recorder.bytes_written.clear()
+                lsq_entry.address = address
+                lsq_entry.store_value = result.store_value
+                lsq_entry.store_bytes = recorder.bytes_written
+                lsq_entry.resolved = True
+        elif signals.is_ld:
+            lsq_entry = self._lsq_by_rob.get(entry.seq)
+            if lsq_entry is not None:
+                lsq_entry.address = (result.address
+                                     if result.address is not None else 0)
+                lsq_entry.resolved = True
+
+        latency = max(1, signals.latency_cycles)
+        self._completions.setdefault(self.cycle + latency, []).append(entry)
+
+    # -------------------------------------------------------------- complete
+    def _complete_stage(self) -> None:
+        ready = self._completions.pop(self.cycle, None)
+        if not ready:
+            return
+        for entry in ready:
+            if entry.signals.is_ld:
+                if not self._try_complete_load(entry):
+                    self._completions.setdefault(
+                        self.cycle + 1, []).append(entry)
+                    continue
+            self._writeback(entry)
+
+    def _try_complete_load(self, entry: RobEntry) -> bool:
+        """Perform the load if every older store address is resolved."""
+        lsq_entry = self._lsq_by_rob.get(entry.seq)
+        if lsq_entry is None or not lsq_entry.resolved:
+            return False
+        overlay: Dict[int, int] = {}
+        for older in self._lsq:
+            if older.rob.seq >= entry.seq:
+                break
+            if older.is_load:
+                continue
+            if not older.resolved:
+                return False
+            if older.store_bytes:
+                overlay.update(older.store_bytes)
+        view = _ForwardingView(self.arch_state.memory, overlay)
+        try:
+            value = perform_load(entry.signals, view, lsq_entry.address)
+        except MemoryFault:
+            value = 0  # wild (wrong-path or faulted) address reads zero
+        entry.value = value
+        return True
+
+    def _writeback(self, entry: RobEntry) -> None:
+        if entry.phys_dst is not None:
+            self._phys_values[entry.phys_dst] = (entry.value or 0) & _WORD
+            self._phys_ready[entry.phys_dst] = True
+        entry.completed = True
+
+    # ---------------------------------------------------------------- commit
+    def _commit_stage(self) -> None:
+        budget = self.config.commit_width
+        while budget > 0 and self._rob and not self.halted:
+            entry = self._rob[0]
+            if not entry.completed:
+                return
+            if self.itr is not None:
+                decision = self.itr.commit_check(entry.trace_seq, self.cycle)
+                if decision.action == CommitAction.STALL:
+                    return
+                if decision.action == CommitAction.RETRY_FLUSH:
+                    self.stats.retry_flushes += 1
+                    self._flush(decision.restart_pc)
+                    return
+                if decision.action == CommitAction.MACHINE_CHECK:
+                    raise MachineCheckException(
+                        entry.pc,
+                        "ITR signature mismatch persisted after retry: "
+                        "previous trace instance committed with a fault",
+                    )
+            self._commit_entry(entry)
+            budget -= 1
+            if self.halted:
+                return
+            # Post-commit redirects (flush ends this cycle's commits).
+            signals = entry.signals
+            if signals.is_trap:
+                self.stats.trap_flushes += 1
+                self._flush((entry.pc + INSTRUCTION_BYTES) & _WORD)
+                return
+            if signals.is_control \
+                    and entry.predicted_npc != entry.actual_npc:
+                self.stats.mispredict_flushes += 1
+                self.predictor.mispredictions += 1
+                self._flush(entry.actual_npc)
+                return
+
+    def _commit_entry(self, entry: RobEntry) -> None:
+        signals = entry.signals
+        state = self.arch_state
+        effect_dest: Optional[int] = None
+        effect_value: Optional[int] = None
+        store_address: Optional[int] = None
+        store_size = 0
+        store_value: Optional[int] = None
+        output: Optional[str] = None
+        halted = False
+
+        lsq_entry = self._lsq_by_rob.pop(entry.seq, None)
+
+        if signals.is_ld:
+            if signals.num_rdst:
+                effect_dest = entry.effect_dest
+                effect_value = entry.value
+        elif signals.is_st:
+            if lsq_entry is not None:
+                store_address = lsq_entry.address
+                store_size = memory_access_size(signals)
+                store_value = lsq_entry.store_value
+                try:
+                    perform_store(signals, state.memory, store_address,
+                                  store_value or 0)
+                except MemoryFault:
+                    pass  # faulted wild store: dropped by the bus
+        elif signals.is_trap:
+            outcome = self.os.syscall(state)
+            output = outcome.output
+            halted = outcome.halted
+            if outcome.v0 is not None:
+                effect_dest = _V0_ARCH
+                effect_value = outcome.v0
+                # Propagate into the retirement physical home so the
+                # post-trap flush restores the right value.
+                self._phys_values[self._retire_map[_V0_ARCH]] = outcome.v0
+        else:
+            if signals.num_rdst and entry.value is not None:
+                effect_dest = entry.effect_dest
+                effect_value = entry.value
+
+        # Architectural register/PC update.
+        if effect_dest is not None and effect_value is not None:
+            state.regs.write(effect_dest, effect_value)
+        next_pc = entry.actual_npc if entry.actual_npc is not None \
+            else (entry.pc + INSTRUCTION_BYTES) & _WORD
+        state.pc = next_pc
+
+        # Sequential-PC check (paper Section 2.5).
+        if self.spc is not None:
+            computed = entry.actual_npc if signals.is_control else None
+            if not self.spc.check_and_update(entry.pc, signals, computed,
+                                             cycle=self.cycle):
+                self.stats.spc_violations += 1
+
+        # Retirement rename state.
+        if entry.phys_dst is not None:
+            previous = self._retire_map[entry.arch_dst]
+            self._retire_map[entry.arch_dst] = entry.phys_dst
+            self._free_phys.append(previous)
+
+        # Predictor training (driven by the possibly-faulty signals, as in
+        # real hardware: the repair datapath only engages for "branches").
+        if signals.is_control:
+            self.predictor.train(
+                entry.pc,
+                is_branch=signals.is_branch,
+                taken=entry.taken,
+                target=entry.actual_npc if entry.taken else None,
+                mispredicted=entry.predicted_npc != entry.actual_npc,
+            )
+
+        if self.itr is not None:
+            self.itr.note_commit(entry.trace_seq, entry.ends_trace,
+                                 cycle=self.cycle)
+        if entry.ends_trace:
+            self.stats.traces_committed += 1
+        self.watchdog.note_commit(self.cycle)
+
+        self._rob.popleft()
+        if lsq_entry is not None:
+            head = self._lsq.popleft()
+            if head is not lsq_entry:
+                raise RuntimeError("LSQ commit order violated")
+
+        self.stats.instructions_committed += 1
+        if halted:
+            self.halted = True
+
+        if self.commit_listener is not None:
+            effect = CommitEffect(
+                pc=entry.pc,
+                next_pc=next_pc,
+                dest=effect_dest,
+                value=effect_value,
+                store_address=store_address,
+                store_size=store_size,
+                store_value=store_value,
+                output=output,
+                halted=halted,
+            )
+            self.commit_listener(effect, signals)
+
+    # ----------------------------------------------------------------- flush
+    def _flush(self, redirect_pc: int) -> None:
+        """Full pipeline flush: squash everything, restart at ``redirect_pc``.
+
+        The paper's recovery primitive ("flushing and restarting the
+        processor"), also used for misprediction repair and trap
+        serialization.
+        """
+        self.stats.flushes += 1
+        self._fetch_queue.clear()
+        self._rob.clear()
+        self._iq.clear()
+        self._lsq.clear()
+        self._lsq_by_rob.clear()
+        self._completions.clear()
+        self._rename_map = list(self._retire_map)
+        live = set(self._retire_map)
+        self._free_phys = deque(p for p in range(self.config.phys_regs)
+                                if p not in live)
+        self._phys_ready = [True] * self.config.phys_regs
+        self.fetch_pc = redirect_pc & _WORD
+        self._waiting_serialize = False
+        if self.itr is not None:
+            self.itr.on_flush()
+
+    # -------------------------------------------------------------- helpers
+    @property
+    def output(self) -> str:
+        return self.os.output_text()
+
+
+def build_pipeline(program: Program,
+                   config: Optional[PipelineConfig] = None,
+                   with_itr: bool = True,
+                   recovery_enabled: bool = True,
+                   inputs: Optional[Sequence[int]] = None,
+                   os_seed: int = 1,
+                   enable_spc: bool = True,
+                   decode_tamper: Optional[DecodeTamper] = None,
+                   commit_listener: Optional[CommitListener] = None,
+                   fetch_tamper: Optional[FetchTamper] = None,
+                   duplicate_frontend: bool = False
+                   ) -> Pipeline:
+    """Convenience factory: build a pipeline with its ITR controller.
+
+    ``with_itr=False`` gives the unprotected baseline machine;
+    ``recovery_enabled=False`` gives the monitor-mode machine used for
+    counterfactual fault classification.
+    """
+    config = config or PipelineConfig()
+    itr = None
+    if with_itr:
+        itr = ItrController(
+            cache_config=config.itr_cache,
+            itr_rob_capacity=config.itr_rob_entries,
+            recovery_enabled=recovery_enabled,
+        )
+    return Pipeline(
+        program,
+        config=config,
+        itr=itr,
+        inputs=inputs,
+        os_seed=os_seed,
+        enable_spc=enable_spc,
+        decode_tamper=decode_tamper,
+        commit_listener=commit_listener,
+        fetch_tamper=fetch_tamper,
+        duplicate_frontend=duplicate_frontend,
+    )

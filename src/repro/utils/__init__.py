@@ -1,0 +1,58 @@
+"""Shared utility layer: bit operations, LRU policies, RNG, stats, tables."""
+
+from .bitops import (
+    OneHot,
+    check_fits,
+    extract,
+    flip_bit,
+    insert,
+    mask,
+    parity,
+    popcount,
+    rotate_left,
+    sign_extend,
+    to_unsigned,
+)
+from .lru import LruStack, TreePlru, make_replacement
+from .rng import WeightedSampler, make_rng, reservoir_sample, split_seed, zipf_weights
+from .stats import (
+    Counter,
+    Histogram,
+    Summary,
+    cumulative_share,
+    percentile,
+    wilson_interval,
+)
+from .tables import render_bar, render_series, render_stacked_rows, render_table
+
+__all__ = [
+    "OneHot",
+    "check_fits",
+    "extract",
+    "flip_bit",
+    "insert",
+    "mask",
+    "parity",
+    "popcount",
+    "rotate_left",
+    "sign_extend",
+    "to_unsigned",
+    "LruStack",
+    "TreePlru",
+    "make_replacement",
+    "WeightedSampler",
+    "make_rng",
+    "reservoir_sample",
+    "split_seed",
+    "zipf_weights",
+    "Counter",
+    "Histogram",
+    "Summary",
+    "cumulative_share",
+    "percentile",
+    "wilson_interval",
+    "render_bar",
+    "render_series",
+    "render_stacked_rows",
+    "render_table",
+]

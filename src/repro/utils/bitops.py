@@ -1,0 +1,184 @@
+"""Bit-manipulation helpers used across the ISA, ITR and fault packages.
+
+Everything in this module works on plain non-negative Python integers
+interpreted as fixed-width bit vectors. Widths are always explicit: the
+hardware being modeled has concrete field widths (paper Table 2) and this
+module is where those widths are enforced.
+"""
+
+from __future__ import annotations
+
+from ..errors import EncodingError
+
+
+def mask(width: int) -> int:
+    """Return a bit mask with the low ``width`` bits set.
+
+    >>> mask(4)
+    15
+    >>> mask(0)
+    0
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def check_fits(value: int, width: int, name: str = "value") -> int:
+    """Validate that ``value`` fits in an unsigned field of ``width`` bits.
+
+    Returns the value unchanged so it can be used inline while packing.
+    Raises :class:`EncodingError` otherwise.
+    """
+    if value < 0 or value > mask(width):
+        raise EncodingError(
+            f"{name}={value} does not fit in {width} unsigned bits"
+        )
+    return value
+
+
+def extract(word: int, offset: int, width: int) -> int:
+    """Extract ``width`` bits of ``word`` starting at bit ``offset``."""
+    return (word >> offset) & mask(width)
+
+
+def insert(word: int, offset: int, width: int, value: int) -> int:
+    """Return ``word`` with ``width`` bits at ``offset`` replaced by ``value``."""
+    check_fits(value, width, "field")
+    cleared = word & ~(mask(width) << offset)
+    return cleared | (value << offset)
+
+
+def flip_bit(word: int, bit: int) -> int:
+    """Return ``word`` with bit number ``bit`` inverted.
+
+    This is the elementary single-event-upset operation of the fault model.
+    """
+    if bit < 0:
+        raise ValueError(f"bit index must be non-negative, got {bit}")
+    return word ^ (1 << bit)
+
+
+def popcount(word: int) -> int:
+    """Number of set bits in ``word``."""
+    return bin(word).count("1")
+
+
+def parity(word: int) -> int:
+    """Even-parity bit of ``word``: 1 if the number of set bits is odd.
+
+    The ITR cache stores this alongside each signature so that a fault
+    *inside the cache* can be told apart from a fault in the previous trace
+    instance (paper Section 2.4).
+    """
+    return popcount(word) & 1
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as two's complement.
+
+    >>> sign_extend(0xFFFF, 16)
+    -1
+    >>> sign_extend(0x7FFF, 16)
+    32767
+    """
+    value &= mask(width)
+    sign_bit = 1 << (width - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Wrap a (possibly negative) integer into ``width`` unsigned bits."""
+    return value & mask(width)
+
+
+def rotate_left(word: int, amount: int, width: int) -> int:
+    """Rotate ``word`` left by ``amount`` within a ``width``-bit register."""
+    amount %= width
+    word &= mask(width)
+    return ((word << amount) | (word >> (width - amount))) & mask(width)
+
+
+class OneHot:
+    """One-hot encoded state register with fault detection.
+
+    The ITR ROB control bits (``chk``, ``miss``, ``retry``) are stored
+    one-hot so that any single bit flip produces an *invalid* code word
+    (zero or two bits set) rather than silently selecting a different legal
+    state (paper Section 2.4). The paper enumerates four states:
+
+    ==============================  ========
+    state                           encoding
+    ==============================  ========
+    none set                        0001
+    chk and retry set               0010
+    chk set, retry not set          0100
+    miss set                        1000
+    ==============================  ========
+    """
+
+    #: Mapping from symbolic state name to its one-hot code.
+    STATES = {
+        "none": 0b0001,
+        "chk_retry": 0b0010,
+        "chk": 0b0100,
+        "miss": 0b1000,
+    }
+
+    _DECODE = {code: name for name, code in STATES.items()}
+
+    __slots__ = ("_code",)
+
+    def __init__(self, state: str = "none"):
+        self._code = self._encode(state)
+
+    @classmethod
+    def _encode(cls, state: str) -> int:
+        try:
+            return cls.STATES[state]
+        except KeyError:
+            raise ValueError(
+                f"unknown one-hot state {state!r}; "
+                f"expected one of {sorted(cls.STATES)}"
+            ) from None
+
+    @property
+    def code(self) -> int:
+        """The raw 4-bit one-hot code word (may be corrupt after a fault)."""
+        return self._code
+
+    @property
+    def state(self) -> str:
+        """Decode the current state name; raises on an invalid code word."""
+        try:
+            return self._DECODE[self._code]
+        except KeyError:
+            raise ValueError(
+                f"one-hot code 0b{self._code:04b} is not a legal state"
+            ) from None
+
+    def is_valid(self) -> bool:
+        """True when exactly one legal bit is set."""
+        return self._code in self._DECODE
+
+    def set_state(self, state: str) -> None:
+        """Transition to a named legal state."""
+        self._code = self._encode(state)
+
+    def inject_fault(self, bit: int) -> None:
+        """Flip one bit of the code word (single-event upset)."""
+        if not 0 <= bit < 4:
+            raise ValueError(f"one-hot bit index must be 0..3, got {bit}")
+        self._code = flip_bit(self._code, bit)
+
+    def __repr__(self) -> str:
+        label = self._DECODE.get(self._code, "INVALID")
+        return f"OneHot(0b{self._code:04b} {label})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OneHot):
+            return self._code == other._code
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._code)

@@ -1,0 +1,170 @@
+"""Least-recently-used tracking for set-associative hardware structures.
+
+Two implementations are provided:
+
+* :class:`LruStack` — a true-LRU recency stack for one cache set, the
+  policy the paper assumes for the ITR cache.
+* :class:`TreePlru` — tree pseudo-LRU, offered as a cheaper hardware
+  alternative and used by ablation experiments to check that the paper's
+  coverage results are not an artifact of exact LRU.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class LruStack:
+    """True-LRU recency order over ``ways`` slots of a single cache set.
+
+    Way indices are small integers ``0..ways-1``. Position 0 of the internal
+    stack is the most recently used way; the last position is the LRU way.
+    """
+
+    __slots__ = ("_order",)
+
+    def __init__(self, ways: int):
+        if ways < 1:
+            raise ValueError(f"ways must be >= 1, got {ways}")
+        # Initial order is arbitrary; hardware typically resets to way order.
+        self._order: List[int] = list(range(ways))
+
+    @property
+    def ways(self) -> int:
+        return len(self._order)
+
+    def touch(self, way: int) -> None:
+        """Mark ``way`` as most recently used."""
+        self._order.remove(way)
+        self._order.insert(0, way)
+
+    def victim(self) -> int:
+        """Return the least recently used way (does not modify recency)."""
+        return self._order[-1]
+
+    def victim_preferring(self, preferred: List[bool]) -> int:
+        """Return the LRU way among those flagged ``preferred``.
+
+        Falls back to plain LRU when no way is preferred. This implements
+        the paper's Section 2.3 optimization of preferring to evict
+        *checked* signatures (whose loss does not reduce detection
+        coverage): pass ``preferred[way] = line is checked``.
+        """
+        for way in reversed(self._order):
+            if preferred[way]:
+                return way
+        return self._order[-1]
+
+    def recency(self, way: int) -> int:
+        """Position of ``way`` in the recency order (0 = MRU)."""
+        return self._order.index(way)
+
+    def order(self) -> List[int]:
+        """A copy of the full recency order, MRU first."""
+        return list(self._order)
+
+    def __repr__(self) -> str:
+        return f"LruStack(order={self._order})"
+
+
+class TreePlru:
+    """Tree-based pseudo-LRU for a power-of-two number of ways.
+
+    Maintains ``ways - 1`` internal direction bits arranged as an implicit
+    binary tree. ``touch`` points the bits *away* from the touched way;
+    ``victim`` follows the bits to a leaf.
+    """
+
+    __slots__ = ("_ways", "_bits")
+
+    def __init__(self, ways: int):
+        if ways < 1 or ways & (ways - 1):
+            raise ValueError(f"ways must be a power of two >= 1, got {ways}")
+        self._ways = ways
+        self._bits: List[int] = [0] * max(ways - 1, 1)
+
+    @property
+    def ways(self) -> int:
+        return self._ways
+
+    def touch(self, way: int) -> None:
+        """Point the tree bits away from ``way`` (mark it recently used)."""
+        if not 0 <= way < self._ways:
+            raise ValueError(f"way {way} out of range 0..{self._ways - 1}")
+        if self._ways == 1:
+            return
+        node = 0
+        lo, hi = 0, self._ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                self._bits[node] = 1  # next victim search goes right
+                node = 2 * node + 1
+                hi = mid
+            else:
+                self._bits[node] = 0  # next victim search goes left
+                node = 2 * node + 2
+                lo = mid
+
+    def victim(self) -> int:
+        """Follow the tree bits to the pseudo-LRU victim way."""
+        if self._ways == 1:
+            return 0
+        node = 0
+        lo, hi = 0, self._ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if self._bits[node] == 0:
+                node = 2 * node + 1
+                hi = mid
+            else:
+                node = 2 * node + 2
+                lo = mid
+        return lo
+
+    def victim_preferring(self, preferred: List[bool]) -> int:
+        """PLRU victim, overridden to the PLRU-most preferred way if any.
+
+        Pseudo-LRU has no total order, so "LRU among preferred" is
+        approximated by scanning ways in victim-first tree order.
+        """
+        for way in self._tree_order():
+            if preferred[way]:
+                return way
+        return self.victim()
+
+    def _tree_order(self) -> List[int]:
+        """Ways ordered from most victim-like to least, per current bits."""
+        order: List[int] = []
+
+        def walk(node: int, lo: int, hi: int, inverted: bool) -> None:
+            if hi - lo == 1:
+                order.append(lo)
+                return
+            mid = (lo + hi) // 2
+            bit = self._bits[node] if node < len(self._bits) else 0
+            first_left = (bit == 0) != inverted
+            if first_left:
+                walk(2 * node + 1, lo, mid, inverted)
+                walk(2 * node + 2, mid, hi, inverted)
+            else:
+                walk(2 * node + 2, mid, hi, inverted)
+                walk(2 * node + 1, lo, mid, inverted)
+
+        walk(0, 0, self._ways, False)
+        return order
+
+    def __repr__(self) -> str:
+        return f"TreePlru(ways={self._ways}, bits={self._bits})"
+
+
+def make_replacement(policy: str, ways: int):
+    """Factory: build a replacement tracker by policy name.
+
+    ``policy`` is ``"lru"`` (default everywhere in the paper) or ``"plru"``.
+    """
+    if policy == "lru":
+        return LruStack(ways)
+    if policy == "plru":
+        return TreePlru(ways)
+    raise ValueError(f"unknown replacement policy {policy!r}")

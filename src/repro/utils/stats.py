@@ -1,0 +1,228 @@
+"""Lightweight statistics containers shared by simulators and experiments.
+
+These deliberately avoid numpy so that the core simulators have zero
+dependencies; the experiment layer may convert to numpy for analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+
+class Counter:
+    """A named bag of integer event counters with dict-like access.
+
+    >>> c = Counter()
+    >>> c.add("fetch"); c.add("fetch", 2)
+    >>> c["fetch"]
+    3
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to the named counter."""
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counts
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._counts)
+
+    def items(self) -> Iterable[Tuple[str, int]]:
+        """(name, count) pairs."""
+        return self._counts.items()
+
+    def total(self) -> int:
+        """Sum of all counters."""
+        return sum(self._counts.values())
+
+    def as_dict(self) -> Dict[str, int]:
+        """Copy of the counters as a plain dict."""
+        return dict(self._counts)
+
+    def merge(self, other: "Counter") -> None:
+        """Accumulate another counter into this one."""
+        for name, count in other.items():
+            self.add(name, count)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self._counts.items()))
+        return f"Counter({body})"
+
+
+class Histogram:
+    """Fixed-width binned histogram over non-negative values.
+
+    Mirrors the paper's Figures 3-4, which bin trace repeat distances into
+    500-instruction buckets up to 10,000 with an implicit overflow bucket.
+    """
+
+    __slots__ = ("bin_width", "num_bins", "_bins", "_overflow", "_count",
+                 "_weight_total")
+
+    def __init__(self, bin_width: int, num_bins: int):
+        if bin_width < 1:
+            raise ValueError(f"bin_width must be >= 1, got {bin_width}")
+        if num_bins < 1:
+            raise ValueError(f"num_bins must be >= 1, got {num_bins}")
+        self.bin_width = bin_width
+        self.num_bins = num_bins
+        self._bins = [0.0] * num_bins
+        self._overflow = 0.0
+        self._count = 0
+        self._weight_total = 0.0
+
+    def record(self, value: float, weight: float = 1.0) -> None:
+        """Add ``weight`` to the bin containing ``value``."""
+        if value < 0:
+            raise ValueError(f"histogram values must be >= 0, got {value}")
+        index = int(value // self.bin_width)
+        if index >= self.num_bins:
+            self._overflow += weight
+        else:
+            self._bins[index] += weight
+        self._count += 1
+        self._weight_total += weight
+
+    @property
+    def count(self) -> int:
+        """Number of recorded observations (not weight)."""
+        return self._count
+
+    @property
+    def total_weight(self) -> float:
+        return self._weight_total
+
+    @property
+    def overflow(self) -> float:
+        return self._overflow
+
+    def bin_edges(self) -> List[int]:
+        """Upper edge of each bin: ``[w, 2w, ...]`` as in "< 500", "< 1000"."""
+        return [(i + 1) * self.bin_width for i in range(self.num_bins)]
+
+    def weights(self) -> List[float]:
+        """Per-bin accumulated weights (excludes overflow)."""
+        return list(self._bins)
+
+    def cumulative_fraction(self) -> List[float]:
+        """Cumulative weight fraction at each bin's upper edge.
+
+        This is exactly the quantity plotted in paper Figures 3-4: the
+        fraction of dynamic instructions contributed by traces repeating
+        within each distance.
+        """
+        if self._weight_total == 0:
+            return [0.0] * self.num_bins
+        out: List[float] = []
+        running = 0.0
+        for weight in self._bins:
+            running += weight
+            out.append(running / self._weight_total)
+        return out
+
+    def __repr__(self) -> str:
+        return (f"Histogram(bin_width={self.bin_width}, "
+                f"num_bins={self.num_bins}, count={self._count})")
+
+
+@dataclass
+class Summary:
+    """Running scalar summary: count / mean / variance / min / max.
+
+    Uses Welford's algorithm so it is numerically stable for long runs.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def record(self, value: float) -> None:
+        """Fold one observation into the summary."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0 for fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+def cumulative_share(weights: Sequence[float]) -> List[float]:
+    """Cumulative fraction of total, for descending-sorted contributions.
+
+    This generates the curves of paper Figures 1-2: sort static traces by
+    dynamic-instruction contribution, then plot the running share.
+    """
+    total = float(sum(weights))
+    if total <= 0:
+        return [0.0] * len(weights)
+    out: List[float] = []
+    running = 0.0
+    for weight in sorted(weights, reverse=True):
+        running += weight
+        out.append(running / total)
+    return out
+
+
+def wilson_interval(successes: int, total: int,
+                    z: float = 1.96) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Used to put error bars on fault-campaign outcome fractions: with the
+    reproduction's reduced trial counts (e.g. 40 vs the paper's 1000),
+    the interval communicates how much the percentages can wobble.
+
+    >>> low, high = wilson_interval(30, 40)
+    >>> 0.59 < low < 0.61 and 0.85 < high < 0.87
+    True
+    """
+    if total < 0 or successes < 0 or successes > total:
+        raise ValueError(f"bad proportion {successes}/{total}")
+    if total == 0:
+        return 0.0, 1.0
+    p = successes / total
+    denom = 1 + z * z / total
+    center = (p + z * z / (2 * total)) / denom
+    margin = (z / denom) * math.sqrt(p * (1 - p) / total
+                                     + z * z / (4 * total * total))
+    return max(0.0, center - margin), min(1.0, center + margin)
+
+
+def percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sequence."""
+    if not sorted_values:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if len(sorted_values) == 1:
+        return float(sorted_values[0])
+    position = fraction * (len(sorted_values) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high:
+        return float(sorted_values[low])
+    t = position - low
+    return float(sorted_values[low]) * (1 - t) + float(sorted_values[high]) * t

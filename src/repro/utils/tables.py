@@ -1,0 +1,106 @@
+"""Plain-text table rendering for experiment output.
+
+Experiment drivers print the same rows/series the paper's tables and figures
+report; this module renders them as aligned ASCII so benchmark logs are
+directly comparable to the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, float_digits: int = 2) -> str:
+    """Render one table cell: floats get fixed digits, None becomes '-'."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    title: Optional[str] = None,
+    float_digits: int = 2,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+-----
+    1 | 2.50
+    """
+    text_rows: List[List[str]] = [
+        [format_cell(cell, float_digits) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i])
+                          for i, cell in enumerate(cells)).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)
+
+
+def render_series(
+    label: str,
+    xs: Sequence[Cell],
+    ys: Sequence[Cell],
+    x_name: str = "x",
+    y_name: str = "y",
+    float_digits: int = 2,
+) -> str:
+    """Render one figure series as a two-column table with a label header."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series length mismatch: {len(xs)} vs {len(ys)}")
+    return render_table(
+        [x_name, y_name],
+        [[x, y] for x, y in zip(xs, ys)],
+        title=label,
+        float_digits=float_digits,
+    )
+
+
+def render_bar(fraction: float, width: int = 40) -> str:
+    """Render a unit-interval value as a text bar, for quick visual scans."""
+    fraction = min(max(fraction, 0.0), 1.0)
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_stacked_rows(
+    headers: Sequence[str],
+    groups: Sequence[tuple],
+    float_digits: int = 2,
+) -> str:
+    """Render grouped rows separated by blank lines (one group per config).
+
+    ``groups`` is a sequence of ``(group_title, rows)`` pairs; used for the
+    per-benchmark groupings of Figures 6-7.
+    """
+    parts: List[str] = []
+    for group_title, rows in groups:
+        parts.append(render_table(headers, rows, title=group_title,
+                                  float_digits=float_digits))
+    return "\n\n".join(parts)

@@ -1,0 +1,48 @@
+"""Workloads: assembly kernels + calibrated synthetic SPEC2K models."""
+
+from .kernels import Kernel, all_kernels, get_kernel, kernels_by_category
+from .spec_profiles import (
+    FIGURE67_BENCHMARKS,
+    NEGLIGIBLE_LOSS_BENCHMARKS,
+    PAPER_STATIC_TRACES,
+    SpecProfile,
+    all_profiles,
+    fp_profiles,
+    get_profile,
+    int_profiles,
+)
+from .suite import (
+    DEFAULT_SEED,
+    DEFAULT_SYNTHETIC_INSTRUCTIONS,
+    figure67_suite,
+    synthetic_suite,
+    synthetic_workload,
+)
+from .kernel_traces import kernel_trace_events, kernel_trace_profile
+from .program_synth import synthesize_program, synthesize_source
+from .synthetic import SyntheticWorkload
+
+__all__ = [
+    "Kernel",
+    "all_kernels",
+    "get_kernel",
+    "kernels_by_category",
+    "FIGURE67_BENCHMARKS",
+    "NEGLIGIBLE_LOSS_BENCHMARKS",
+    "PAPER_STATIC_TRACES",
+    "SpecProfile",
+    "all_profiles",
+    "fp_profiles",
+    "get_profile",
+    "int_profiles",
+    "DEFAULT_SEED",
+    "DEFAULT_SYNTHETIC_INSTRUCTIONS",
+    "figure67_suite",
+    "synthetic_suite",
+    "synthetic_workload",
+    "SyntheticWorkload",
+    "kernel_trace_events",
+    "kernel_trace_profile",
+    "synthesize_program",
+    "synthesize_source",
+]

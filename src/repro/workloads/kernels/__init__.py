@@ -1,0 +1,35 @@
+"""Assembly benchmark kernels.
+
+Importing this package registers every kernel. Use :func:`all_kernels`
+or :func:`get_kernel` to access them.
+"""
+
+from .base import Kernel, all_kernels, get_kernel, kernels_by_category, register
+
+# Import order is alphabetical; each module registers its kernel on import.
+from . import (  # noqa: F401
+    binary_search,
+    bubble_sort,
+    crc32,
+    csv_parse,
+    dispatch,
+    fib_rec,
+    fp_stencil,
+    histogram,
+    linked_list,
+    matmul,
+    nqueens,
+    quicksort,
+    saxpy,
+    sieve,
+    strsearch,
+    sum_loop,
+)
+
+__all__ = [
+    "Kernel",
+    "all_kernels",
+    "get_kernel",
+    "kernels_by_category",
+    "register",
+]

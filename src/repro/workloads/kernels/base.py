@@ -1,0 +1,66 @@
+"""Kernel infrastructure: the :class:`Kernel` record and registry helpers.
+
+A kernel is a self-contained assembly benchmark for the PISA-like ISA.
+Kernels stand in for the paper's SPEC2K binaries wherever *real execution*
+is required — fault-injection campaigns (Figure 8), pipeline validation,
+examples — while the calibrated synthetic models stand in where only
+trace *statistics* matter (Figures 1-4, 6-7, 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ...errors import WorkloadError
+from ...isa.assembler import assemble
+from ...isa.program import Program
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One assembly benchmark."""
+
+    name: str
+    category: str               # "int" or "fp"
+    description: str
+    source: str
+    inputs: Sequence[int] = ()
+    expected_output: Optional[str] = None
+
+    def program(self) -> Program:
+        """Assemble (fresh each call; Program carries no run state)."""
+        return assemble(self.source, name=self.name)
+
+
+_REGISTRY: Dict[str, Kernel] = {}
+
+
+def register(kernel: Kernel) -> Kernel:
+    """Add a kernel to the global registry (module-import side effect)."""
+    if kernel.name in _REGISTRY:
+        raise WorkloadError(f"duplicate kernel name {kernel.name!r}")
+    if kernel.category not in ("int", "fp"):
+        raise WorkloadError(f"bad category {kernel.category!r}")
+    _REGISTRY[kernel.name] = kernel
+    return kernel
+
+
+def get_kernel(name: str) -> Kernel:
+    """Look up a registered kernel by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown kernel {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_kernels() -> List[Kernel]:
+    """All registered kernels, sorted by name."""
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def kernels_by_category(category: str) -> List[Kernel]:
+    """Registered kernels of one category (int / fp)."""
+    return [k for k in all_kernels() if k.category == category]

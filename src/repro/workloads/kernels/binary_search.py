@@ -1,0 +1,113 @@
+"""binary_search: repeated binary searches over a sorted array.
+
+Log-depth loops with data-dependent direction branches — hard for gshare,
+light on memory bandwidth.
+"""
+
+from .base import Kernel, register
+
+SIZE = 64
+PROBES = 40
+
+
+def _array():
+    return [3 * i + 1 for i in range(SIZE)]
+
+
+def _probe_keys():
+    # Mix of present (3k+1) and absent keys, deterministically generated.
+    return [(j * 17 + 5) % (3 * SIZE) for j in range(PROBES)]
+
+
+def _expected() -> int:
+    array = _array()
+    found = 0
+    for key in _probe_keys():
+        lo, hi = 0, SIZE - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if array[mid] == key:
+                found += 1
+                break
+            if array[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid - 1
+    return found
+
+
+SOURCE = f"""
+.data
+sorted_arr: .space {SIZE * 4}
+label_found: .asciiz "found="
+.text
+main:
+    la   $s0, sorted_arr
+    li   $s1, {SIZE}
+
+    # fill: a[i] = 3i + 1
+    li   $t0, 0
+fill:
+    li   $t1, 3
+    mult $t2, $t0, $t1
+    addi $t2, $t2, 1
+    sll  $t3, $t0, 2
+    add  $t3, $t3, $s0
+    sw   $t2, 0($t3)
+    addi $t0, $t0, 1
+    bne  $t0, $s1, fill
+
+    li   $s2, 0              # found count
+    li   $s3, 0              # probe index j
+probe:
+    li   $t9, {PROBES}
+    beq  $s3, $t9, report
+    # key = (j*17 + 5) mod (3*SIZE)
+    li   $t1, 17
+    mult $t2, $s3, $t1
+    addi $t2, $t2, 5
+    li   $t3, {3 * SIZE}
+    div  $t4, $t2, $t3
+    mult $t4, $t4, $t3
+    sub  $s4, $t2, $t4       # key
+
+    li   $t5, 0              # lo
+    addi $t6, $s1, -1        # hi
+search:
+    bgt  $t5, $t6, not_found
+    add  $t7, $t5, $t6
+    sra  $t7, $t7, 1         # mid
+    sll  $t8, $t7, 2
+    add  $t8, $t8, $s0
+    lw   $t8, 0($t8)         # a[mid]
+    beq  $t8, $s4, hit
+    blt  $t8, $s4, go_right
+    addi $t6, $t7, -1        # hi = mid - 1
+    b    search
+go_right:
+    addi $t5, $t7, 1         # lo = mid + 1
+    b    search
+hit:
+    addi $s2, $s2, 1
+not_found:
+    addi $s3, $s3, 1
+    b    probe
+
+report:
+    la   $a0, label_found
+    li   $v0, 4
+    syscall
+    move $a0, $s2
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+KERNEL = register(Kernel(
+    name="binary_search",
+    category="int",
+    description=f"{PROBES} binary searches over a {SIZE}-element array",
+    source=SOURCE,
+    expected_output=f"found={_expected()}",
+))

@@ -1,0 +1,99 @@
+"""bubble_sort: nested loops over memory with data-dependent branches.
+
+Fills a 40-element array with a deterministic pseudo-random formula,
+bubble-sorts it ascending, and prints a position-weighted checksum. The
+inner compare-and-swap branch is data-dependent, exercising the gshare
+predictor and misprediction-repair paths under ITR.
+"""
+
+from .base import Kernel, register
+
+N = 40
+
+SOURCE = f"""
+.data
+array: .space {N * 4}
+label_chk: .asciiz "chk="
+.text
+main:
+    la   $s0, array
+    li   $s1, {N}            # element count
+
+    # fill: a[i] = (i*7919 + 12345) mod 1000
+    li   $t0, 0
+fill:
+    li   $t1, 7919
+    mult $t2, $t0, $t1
+    addi $t2, $t2, 12345
+    li   $t3, 1000
+    div  $t4, $t2, $t3
+    mult $t4, $t4, $t3
+    sub  $t4, $t2, $t4       # t4 = t2 mod 1000
+    sll  $t5, $t0, 2
+    add  $t5, $t5, $s0
+    sw   $t4, 0($t5)
+    addi $t0, $t0, 1
+    bne  $t0, $s1, fill
+
+    # bubble sort ascending
+    addi $s2, $s1, -1        # outer limit
+    li   $t0, 0              # outer index i
+outer:
+    bge  $t0, $s2, sorted
+    li   $t1, 0              # inner index j
+    sub  $s3, $s2, $t0       # inner limit = n-1-i
+inner:
+    bge  $t1, $s3, inner_done
+    sll  $t5, $t1, 2
+    add  $t5, $t5, $s0
+    lw   $t6, 0($t5)         # a[j]
+    lw   $t7, 4($t5)         # a[j+1]
+    ble  $t6, $t7, no_swap
+    sw   $t7, 0($t5)
+    sw   $t6, 4($t5)
+no_swap:
+    addi $t1, $t1, 1
+    b    inner
+inner_done:
+    addi $t0, $t0, 1
+    b    outer
+
+sorted:
+    # checksum = sum((i+1) * a[i])
+    li   $t0, 0
+    li   $s4, 0
+chk:
+    sll  $t5, $t0, 2
+    add  $t5, $t5, $s0
+    lw   $t6, 0($t5)
+    addi $t7, $t0, 1
+    mult $t6, $t6, $t7
+    add  $s4, $s4, $t6
+    addi $t0, $t0, 1
+    bne  $t0, $s1, chk
+
+    la   $a0, label_chk
+    li   $v0, 4
+    syscall
+    move $a0, $s4
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+
+def python_mirror() -> int:
+    """Reference computation (used by tests to validate the assembly)."""
+    array = [(i * 7919 + 12345) % 1000 for i in range(N)]
+    array.sort()
+    return sum((i + 1) * value for i, value in enumerate(array))
+
+
+KERNEL = register(Kernel(
+    name="bubble_sort",
+    category="int",
+    description="Bubble sort of 40 pseudo-random elements with checksum",
+    source=SOURCE,
+    expected_output=f"chk={python_mirror()}",
+))

@@ -1,0 +1,88 @@
+"""crc32: bitwise CRC-32 (poly 0xEDB88320) over a 64-byte buffer.
+
+Shift/mask-heavy integer code with a data-dependent branch per bit —
+a dense, highly repetitive trace mix (the paper's gzip-like behaviour).
+"""
+
+from .base import Kernel, register
+
+LENGTH = 64
+POLY = 0xEDB88320
+
+
+def _buffer() -> bytes:
+    return bytes((i * 31 + 7) & 0xFF for i in range(LENGTH))
+
+
+def _crc32(data: bytes) -> int:
+    crc = 0xFFFFFFFF
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ POLY
+            else:
+                crc >>= 1
+    crc ^= 0xFFFFFFFF
+    # print_int prints the signed interpretation
+    return crc - 0x100000000 if crc & 0x80000000 else crc
+
+
+SOURCE = f"""
+.data
+buffer: .space {LENGTH}
+label_crc: .asciiz "crc="
+.text
+main:
+    la   $s0, buffer
+    li   $s1, {LENGTH}
+
+    # fill: b[i] = (i*31 + 7) & 0xFF
+    li   $t0, 0
+fill:
+    li   $t1, 31
+    mult $t2, $t0, $t1
+    addi $t2, $t2, 7
+    andi $t2, $t2, 255
+    add  $t3, $s0, $t0
+    sb   $t2, 0($t3)
+    addi $t0, $t0, 1
+    bne  $t0, $s1, fill
+
+    li   $s2, -1             # crc = 0xFFFFFFFF
+    li   $s3, 0xEDB88320     # polynomial
+    li   $t0, 0              # byte index
+byte_loop:
+    add  $t3, $s0, $t0
+    lbu  $t4, 0($t3)
+    xor  $s2, $s2, $t4
+    li   $t5, 8              # bit counter
+bit_loop:
+    andi $t6, $s2, 1
+    srl  $s2, $s2, 1
+    beqz $t6, no_xor
+    xor  $s2, $s2, $s3
+no_xor:
+    addi $t5, $t5, -1
+    bnez $t5, bit_loop
+    addi $t0, $t0, 1
+    bne  $t0, $s1, byte_loop
+
+    not  $s2, $s2            # final inversion
+    la   $a0, label_crc
+    li   $v0, 4
+    syscall
+    move $a0, $s2
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+KERNEL = register(Kernel(
+    name="crc32",
+    category="int",
+    description="Bitwise CRC-32 over a 64-byte buffer",
+    source=SOURCE,
+    expected_output=f"crc={_crc32(_buffer())}",
+))

@@ -1,0 +1,106 @@
+"""csv_parse: scan a CSV-like record string, count fields and sum numbers.
+
+Byte-at-a-time parsing with a small state machine — the branchy,
+irregular control flow of real text-processing code (parser/perl-like).
+"""
+
+from .base import Kernel, register
+
+TEXT = "12,345,6,78,910,,23,4,x,56,789,0,1,,22,333,9,y,44,5"
+
+
+def _expected():
+    fields = TEXT.split(",")
+    total = 0
+    for field in fields:
+        value = 0
+        numeric = bool(field)
+        for char in field:
+            if "0" <= char <= "9":
+                value = value * 10 + ord(char) - ord("0")
+            else:
+                numeric = False
+                break
+        if numeric:
+            total += value
+    return len(fields), total
+
+
+SOURCE = f"""
+.data
+csv_text: .asciiz "{TEXT}"
+label_f: .asciiz "fields="
+label_s: .asciiz " sum="
+.text
+main:
+    la   $s0, csv_text
+    li   $s1, 1              # field count (text is non-empty)
+    li   $s2, 0              # numeric sum
+    li   $t0, 0              # current value
+    li   $t1, 1              # current field is numeric and non-empty?
+    li   $t7, 1              # current field is empty so far?
+scan:
+    lbu  $t2, 0($s0)
+    beqz $t2, finish
+    li   $t3, ','
+    beq  $t2, $t3, comma
+    # digit check: '0' <= c <= '9'
+    li   $t4, '0'
+    blt  $t2, $t4, not_digit
+    li   $t4, '9'
+    bgt  $t2, $t4, not_digit
+    # value = value*10 + digit
+    li   $t5, 10
+    mult $t0, $t0, $t5
+    addi $t2, $t2, -48
+    add  $t0, $t0, $t2
+    li   $t7, 0              # field non-empty
+    b    next_char
+not_digit:
+    li   $t1, 0              # field not numeric
+    li   $t7, 0
+    b    next_char
+comma:
+    addi $s1, $s1, 1
+    # commit value if numeric and non-empty
+    beqz $t1, reset
+    bnez $t7, reset
+    add  $s2, $s2, $t0
+reset:
+    li   $t0, 0
+    li   $t1, 1
+    li   $t7, 1
+next_char:
+    addi $s0, $s0, 1
+    b    scan
+
+finish:
+    beqz $t1, report
+    bnez $t7, report
+    add  $s2, $s2, $t0
+report:
+    la   $a0, label_f
+    li   $v0, 4
+    syscall
+    move $a0, $s1
+    li   $v0, 1
+    syscall
+    la   $a0, label_s
+    li   $v0, 4
+    syscall
+    move $a0, $s2
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+_FIELDS, _SUM = _expected()
+
+KERNEL = register(Kernel(
+    name="csv_parse",
+    category="int",
+    description="CSV field scanner with numeric-field summation",
+    source=SOURCE,
+    expected_output=f"fields={_FIELDS} sum={_SUM}",
+))

@@ -1,0 +1,123 @@
+"""dispatch: interpreter-style opcode dispatch over a bytecode buffer.
+
+Seven handlers selected by a branch chain per bytecode — a large branchy
+static footprint with data-driven paths. This is the kernel analogue of
+the paper's perl/vortex behaviour: many static traces, weaker repetition
+proximity.
+"""
+
+from .base import Kernel, register
+
+OPS = 200
+
+
+def _bytecode() -> list:
+    return [(i * 13 + 5) % 7 for i in range(OPS)]
+
+
+def _expected() -> int:
+    acc = 1
+    for op in _bytecode():
+        if op == 0:
+            acc = (acc + 7) & 0xFFFFFFFF
+        elif op == 1:
+            acc = (acc ^ 0x5A5A) & 0xFFFFFFFF
+        elif op == 2:
+            acc = (acc << 1) & 0xFFFFFFFF
+        elif op == 3:
+            acc = (acc >> 1)
+        elif op == 4:
+            acc = (acc * 3) & 0xFFFFFFFF
+        elif op == 5:
+            acc = (acc - 11) & 0xFFFFFFFF
+        else:
+            acc = (acc | 0x101) & 0xFFFFFFFF
+    return acc - 0x100000000 if acc & 0x80000000 else acc
+
+
+SOURCE = f"""
+.data
+code: .space {OPS}
+label_acc: .asciiz "acc="
+.text
+main:
+    la   $s0, code
+    li   $s1, {OPS}
+
+    # generate bytecode: op[i] = (i*13 + 5) mod 7
+    li   $t0, 0
+gen:
+    li   $t1, 13
+    mult $t2, $t0, $t1
+    addi $t2, $t2, 5
+    li   $t3, 7
+    div  $t4, $t2, $t3
+    mult $t4, $t4, $t3
+    sub  $t4, $t2, $t4
+    add  $t5, $s0, $t0
+    sb   $t4, 0($t5)
+    addi $t0, $t0, 1
+    bne  $t0, $s1, gen
+
+    # interpret
+    li   $s2, 1              # accumulator
+    li   $t0, 0              # pc
+interp:
+    add  $t5, $s0, $t0
+    lbu  $t6, 0($t5)
+    beqz $t6, op_add
+    li   $t7, 1
+    beq  $t6, $t7, op_xor
+    li   $t7, 2
+    beq  $t6, $t7, op_shl
+    li   $t7, 3
+    beq  $t6, $t7, op_shr
+    li   $t7, 4
+    beq  $t6, $t7, op_mul
+    li   $t7, 5
+    beq  $t6, $t7, op_sub
+    b    op_or
+
+op_add:
+    addi $s2, $s2, 7
+    b    next
+op_xor:
+    xori $s2, $s2, 0x5A5A
+    b    next
+op_shl:
+    sll  $s2, $s2, 1
+    b    next
+op_shr:
+    srl  $s2, $s2, 1
+    b    next
+op_mul:
+    li   $t8, 3
+    mult $s2, $s2, $t8
+    b    next
+op_sub:
+    addi $s2, $s2, -11
+    b    next
+op_or:
+    ori  $s2, $s2, 0x101
+
+next:
+    addi $t0, $t0, 1
+    bne  $t0, $s1, interp
+
+    la   $a0, label_acc
+    li   $v0, 4
+    syscall
+    move $a0, $s2
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+KERNEL = register(Kernel(
+    name="dispatch",
+    category="int",
+    description="Interpreter-style dispatch over 200 bytecodes, 7 handlers",
+    source=SOURCE,
+    expected_output=f"acc={_expected()}",
+))

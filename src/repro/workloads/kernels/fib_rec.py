@@ -1,0 +1,65 @@
+"""fib_rec: recursive Fibonacci — call/return, stack traffic, jr targets.
+
+Exercises ``jal``/``jr`` prediction (return addresses vary per call site)
+and load/store forwarding through the stack.
+"""
+
+from .base import Kernel, register
+
+ARG = 14
+
+
+def _fib(n: int) -> int:
+    a, b = 0, 1
+    for _ in range(n):
+        a, b = b, a + b
+    return a
+
+
+SOURCE = f"""
+.data
+label_fib: .asciiz "fib="
+.text
+main:
+    li   $a0, {ARG}
+    jal  fib
+    move $s0, $v0
+    la   $a0, label_fib
+    li   $v0, 4
+    syscall
+    move $a0, $s0
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+
+# int fib(int n): n < 2 ? n : fib(n-1) + fib(n-2)
+fib:
+    li   $t0, 2
+    blt  $a0, $t0, fib_base
+    addiu $sp, $sp, -12
+    sw   $ra, 0($sp)
+    sw   $a0, 4($sp)
+    addi $a0, $a0, -1
+    jal  fib
+    sw   $v0, 8($sp)
+    lw   $a0, 4($sp)
+    addi $a0, $a0, -2
+    jal  fib
+    lw   $t1, 8($sp)
+    add  $v0, $v0, $t1
+    lw   $ra, 0($sp)
+    addiu $sp, $sp, 12
+    jr   $ra
+fib_base:
+    move $v0, $a0
+    jr   $ra
+"""
+
+KERNEL = register(Kernel(
+    name="fib_rec",
+    category="int",
+    description=f"Recursive Fibonacci({ARG}) — deep call/return behaviour",
+    source=SOURCE,
+    expected_output=f"fib={_fib(ARG)}",
+))

@@ -1,0 +1,133 @@
+"""fp_stencil: 1-D three-point Jacobi smoothing, 10 sweeps over 40 points.
+
+Stencil sweeps are the archetypal SPECfp pattern (mgrid/swim): long
+perfectly repetitive inner loops, FP adds/multiplies, streaming loads.
+"""
+
+import struct
+
+from .base import Kernel, register
+
+N = 40
+SWEEPS = 10
+
+
+def _f32(value: float) -> float:
+    """Round to float32 the way the simulated datapath does."""
+    return struct.unpack("<f", struct.pack("<f", value))[0]
+
+
+def _expected() -> int:
+    grid = [_f32(float(i)) for i in range(N)]
+    quarter, half = _f32(0.25), _f32(0.5)
+    for _ in range(SWEEPS):
+        new = list(grid)
+        for i in range(1, N - 1):
+            left = _f32(quarter * grid[i - 1])
+            mid = _f32(half * grid[i])
+            right = _f32(quarter * grid[i + 1])
+            new[i] = _f32(_f32(left + mid) + right)
+        grid = new
+    total = 0.0
+    for value in grid:
+        total = _f32(total + value)
+    return int(total)
+
+
+SOURCE = f"""
+.data
+grid_a: .space {N * 4}
+grid_b: .space {N * 4}
+fp_quarter: .float 0.25
+fp_half:    .float 0.5
+tmp_word: .space 4
+label: .asciiz "istencil="
+.text
+main:
+    la   $s0, grid_a
+    la   $s1, grid_b
+    li   $s2, {N}
+    la   $t9, fp_quarter
+    lwc1 $f10, 0($t9)
+    la   $t9, fp_half
+    lwc1 $f11, 0($t9)
+    la   $s5, tmp_word
+
+    # init grid_a[i] = (float) i, grid_b[i] = same (edges never rewritten)
+    li   $t0, 0
+init:
+    sw   $t0, 0($s5)
+    lwc1 $f0, 0($s5)
+    cvt.s.w $f1, $f0
+    sll  $t3, $t0, 2
+    add  $t4, $t3, $s0
+    swc1 $f1, 0($t4)
+    add  $t4, $t3, $s1
+    swc1 $f1, 0($t4)
+    addi $t0, $t0, 1
+    bne  $t0, $s2, init
+
+    li   $s3, {SWEEPS}       # sweep counter
+sweep:
+    li   $t0, 1              # interior points 1..N-2
+    addi $t5, $s2, -1
+row:
+    sll  $t3, $t0, 2
+    add  $t4, $t3, $s0
+    lwc1 $f0, -4($t4)        # grid[i-1]
+    lwc1 $f1, 0($t4)         # grid[i]
+    lwc1 $f2, 4($t4)         # grid[i+1]
+    mul.s $f0, $f0, $f10
+    mul.s $f1, $f1, $f11
+    mul.s $f2, $f2, $f10
+    add.s $f0, $f0, $f1
+    add.s $f0, $f0, $f2
+    add  $t4, $t3, $s1
+    swc1 $f0, 0($t4)
+    addi $t0, $t0, 1
+    bne  $t0, $t5, row
+
+    # copy grid_b interior back to grid_a
+    li   $t0, 1
+copy:
+    sll  $t3, $t0, 2
+    add  $t4, $t3, $s1
+    lwc1 $f0, 0($t4)
+    add  $t4, $t3, $s0
+    swc1 $f0, 0($t4)
+    addi $t0, $t0, 1
+    bne  $t0, $t5, copy
+
+    addi $s3, $s3, -1
+    bnez $s3, sweep
+
+    # reduce grid_a and print as int
+    li   $t0, 0
+    sub.s $f4, $f4, $f4
+reduce:
+    sll  $t3, $t0, 2
+    add  $t4, $t3, $s0
+    lwc1 $f0, 0($t4)
+    add.s $f4, $f4, $f0
+    addi $t0, $t0, 1
+    bne  $t0, $s2, reduce
+
+    cvt.w.s $f5, $f4
+    swc1 $f5, 0($s5)
+    la   $a0, label
+    li   $v0, 4
+    syscall
+    lw   $a0, 0($s5)
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+KERNEL = register(Kernel(
+    name="fp_stencil",
+    category="fp",
+    description=f"1-D 3-point FP stencil, {SWEEPS} sweeps over {N} points",
+    source=SOURCE,
+    expected_output=f"istencil={_expected()}",
+))

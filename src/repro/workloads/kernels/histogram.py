@@ -1,0 +1,87 @@
+"""histogram: byte histogram of a 128-byte buffer + weighted checksum.
+
+Read-modify-write increments to data-dependent addresses — a pattern that
+stresses store-to-load forwarding in the LSQ.
+"""
+
+from .base import Kernel, register
+
+LENGTH = 128
+BINS = 64
+
+
+def _expected() -> int:
+    hist = [0] * BINS
+    for i in range(LENGTH):
+        hist[(i * 37 + 11) % BINS] += 1
+    return sum(i * count for i, count in enumerate(hist))
+
+
+SOURCE = f"""
+.data
+buffer: .space {LENGTH}
+hist:   .space {BINS * 4}
+label_chk: .asciiz "hchk="
+.text
+main:
+    la   $s0, buffer
+    la   $s1, hist
+    li   $s2, {LENGTH}
+    li   $s3, {BINS}
+
+    # fill buffer: b[i] = (i*37 + 11) mod BINS
+    li   $t0, 0
+fill:
+    li   $t1, 37
+    mult $t2, $t0, $t1
+    addi $t2, $t2, 11
+    div  $t3, $t2, $s3
+    mult $t3, $t3, $s3
+    sub  $t3, $t2, $t3
+    add  $t4, $s0, $t0
+    sb   $t3, 0($t4)
+    addi $t0, $t0, 1
+    bne  $t0, $s2, fill
+
+    # histogram
+    li   $t0, 0
+count:
+    add  $t4, $s0, $t0
+    lbu  $t5, 0($t4)
+    sll  $t5, $t5, 2
+    add  $t5, $t5, $s1
+    lw   $t6, 0($t5)
+    addi $t6, $t6, 1
+    sw   $t6, 0($t5)
+    addi $t0, $t0, 1
+    bne  $t0, $s2, count
+
+    # checksum = sum(bin_index * hist[bin_index])
+    li   $t0, 0
+    li   $s4, 0
+chk:
+    sll  $t5, $t0, 2
+    add  $t5, $t5, $s1
+    lw   $t6, 0($t5)
+    mult $t6, $t6, $t0
+    add  $s4, $s4, $t6
+    addi $t0, $t0, 1
+    bne  $t0, $s3, chk
+
+    la   $a0, label_chk
+    li   $v0, 4
+    syscall
+    move $a0, $s4
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+KERNEL = register(Kernel(
+    name="histogram",
+    category="int",
+    description="Byte histogram with read-modify-write memory traffic",
+    source=SOURCE,
+    expected_output=f"hchk={_expected()}",
+))

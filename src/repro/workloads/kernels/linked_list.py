@@ -1,0 +1,72 @@
+"""linked_list: pointer chasing — build a 50-node list, then traverse.
+
+Serialized dependent loads (each next pointer feeds the following load),
+the classic latency-bound pattern; traces are short and hot.
+"""
+
+from .base import Kernel, register
+
+NODES = 50
+
+
+def _expected_sum() -> int:
+    return sum((i * i) % 97 for i in range(NODES))
+
+
+SOURCE = f"""
+.data
+heap: .space {NODES * 8}
+label_sum: .asciiz "sum="
+.text
+main:
+    la   $s0, heap
+    li   $s1, {NODES}
+
+    # build: node i at heap+8i holds value (i*i) mod 97 and next pointer
+    li   $t0, 0
+build:
+    mult $t1, $t0, $t0
+    li   $t2, 97
+    div  $t3, $t1, $t2
+    mult $t3, $t3, $t2
+    sub  $t3, $t1, $t3       # value = i*i mod 97
+    sll  $t4, $t0, 3
+    add  $t4, $t4, $s0       # node address
+    sw   $t3, 0($t4)
+    addi $t5, $t4, 8         # next node
+    addi $t6, $t0, 1
+    bne  $t6, $s1, link
+    li   $t5, 0              # last node: null next
+link:
+    sw   $t5, 4($t4)
+    addi $t0, $t0, 1
+    bne  $t0, $s1, build
+
+    # traverse and sum
+    move $t0, $s0            # cursor
+    li   $s2, 0
+walk:
+    beqz $t0, done
+    lw   $t1, 0($t0)
+    add  $s2, $s2, $t1
+    lw   $t0, 4($t0)
+    b    walk
+
+done:
+    la   $a0, label_sum
+    li   $v0, 4
+    syscall
+    move $a0, $s2
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+KERNEL = register(Kernel(
+    name="linked_list",
+    category="int",
+    description="Build and traverse a 50-node linked list (pointer chasing)",
+    source=SOURCE,
+    expected_output=f"sum={_expected_sum()}",
+))

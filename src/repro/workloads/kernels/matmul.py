@@ -1,0 +1,120 @@
+"""matmul: 8x8 integer matrix multiply — triple loop nest, strided loads.
+
+Dense address arithmetic and three nested loops give medium-length traces
+with excellent repetition proximity (the paper's mgrid-like behaviour).
+"""
+
+from .base import Kernel, register
+
+N = 8
+
+SOURCE = f"""
+.data
+mat_a: .space {N * N * 4}
+mat_b: .space {N * N * 4}
+mat_c: .space {N * N * 4}
+label_sum: .asciiz "sum="
+.text
+main:
+    la   $s0, mat_a
+    la   $s1, mat_b
+    la   $s2, mat_c
+    li   $s3, {N}
+
+    # A[i][j] = i + 2j + 1 ; B[i][j] = 3i + j + 2
+    li   $t0, 0              # i
+init_i:
+    li   $t1, 0              # j
+init_j:
+    mult $t3, $t0, $s3
+    add  $t3, $t3, $t1       # index = i*N + j
+    sll  $t3, $t3, 2
+    sll  $t4, $t1, 1         # 2j
+    add  $t4, $t4, $t0
+    addi $t4, $t4, 1         # A value
+    add  $t5, $s0, $t3
+    sw   $t4, 0($t5)
+    li   $t6, 3
+    mult $t6, $t6, $t0
+    add  $t6, $t6, $t1
+    addi $t6, $t6, 2         # B value
+    add  $t5, $s1, $t3
+    sw   $t6, 0($t5)
+    addi $t1, $t1, 1
+    bne  $t1, $s3, init_j
+    addi $t0, $t0, 1
+    bne  $t0, $s3, init_i
+
+    # C = A * B
+    li   $t0, 0              # i
+mm_i:
+    li   $t1, 0              # j
+mm_j:
+    li   $t7, 0              # acc
+    li   $t2, 0              # k
+mm_k:
+    mult $t3, $t0, $s3
+    add  $t3, $t3, $t2
+    sll  $t3, $t3, 2
+    add  $t3, $t3, $s0
+    lw   $t4, 0($t3)         # A[i][k]
+    mult $t5, $t2, $s3
+    add  $t5, $t5, $t1
+    sll  $t5, $t5, 2
+    add  $t5, $t5, $s1
+    lw   $t6, 0($t5)         # B[k][j]
+    mult $t4, $t4, $t6
+    add  $t7, $t7, $t4
+    addi $t2, $t2, 1
+    bne  $t2, $s3, mm_k
+    mult $t3, $t0, $s3
+    add  $t3, $t3, $t1
+    sll  $t3, $t3, 2
+    add  $t3, $t3, $s2
+    sw   $t7, 0($t3)
+    addi $t1, $t1, 1
+    bne  $t1, $s3, mm_j
+    addi $t0, $t0, 1
+    bne  $t0, $s3, mm_i
+
+    # print sum of all C entries
+    li   $t0, 0
+    li   $s4, 0
+    li   $t2, {N * N}
+sum_c:
+    sll  $t3, $t0, 2
+    add  $t3, $t3, $s2
+    lw   $t4, 0($t3)
+    add  $s4, $s4, $t4
+    addi $t0, $t0, 1
+    bne  $t0, $t2, sum_c
+
+    la   $a0, label_sum
+    li   $v0, 4
+    syscall
+    move $a0, $s4
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+
+def python_mirror() -> int:
+    """Reference computation for the checksum."""
+    a = [[i + 2 * j + 1 for j in range(N)] for i in range(N)]
+    b = [[3 * i + j + 2 for j in range(N)] for i in range(N)]
+    total = 0
+    for i in range(N):
+        for j in range(N):
+            total += sum(a[i][k] * b[k][j] for k in range(N))
+    return total
+
+
+KERNEL = register(Kernel(
+    name="matmul",
+    category="int",
+    description="8x8 integer matrix multiply (triple loop nest)",
+    source=SOURCE,
+    expected_output=f"sum={python_mirror()}",
+))

@@ -1,0 +1,102 @@
+"""nqueens: bitmask N-queens solution counter (N=6 -> 4 solutions).
+
+Recursive backtracking with bit tricks (isolate lowest set bit, shifted
+diagonal masks) — irregular recursion depth and branch behaviour.
+"""
+
+from .base import Kernel, register
+
+N = 6
+FULL = (1 << N) - 1
+
+
+def _solve(cols: int, d1: int, d2: int) -> int:
+    if cols == FULL:
+        return 1
+    count = 0
+    avail = ~(cols | d1 | d2) & FULL
+    while avail:
+        bit = avail & -avail
+        avail ^= bit
+        count += _solve(cols | bit, ((d1 | bit) << 1) & FULL,
+                        (d2 | bit) >> 1)
+    return count
+
+
+SOURCE = f"""
+.data
+label_q: .asciiz "queens="
+.text
+main:
+    li   $a0, 0              # cols
+    li   $a1, 0              # d1
+    li   $a2, 0              # d2
+    jal  solve
+    move $s0, $v0
+    la   $a0, label_q
+    li   $v0, 4
+    syscall
+    move $a0, $s0
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+
+# int solve(cols, d1, d2) in $a0..$a2; clobbers $t*, returns $v0
+solve:
+    li   $t0, {FULL}
+    bne  $a0, $t0, recurse
+    li   $v0, 1
+    jr   $ra
+recurse:
+    addiu $sp, $sp, -24
+    sw   $ra, 0($sp)
+    sw   $a0, 4($sp)         # cols
+    sw   $a1, 8($sp)         # d1
+    sw   $a2, 12($sp)
+    # avail = ~(cols|d1|d2) & FULL
+    or   $t1, $a0, $a1
+    or   $t1, $t1, $a2
+    nor  $t1, $t1, $zero
+    andi $t1, $t1, {FULL}
+    sw   $t1, 16($sp)        # avail
+    sw   $zero, 20($sp)      # count
+
+qloop:
+    lw   $t1, 16($sp)
+    beqz $t1, qdone
+    # bit = avail & -avail ; avail ^= bit
+    sub  $t2, $zero, $t1
+    and  $t2, $t1, $t2       # bit
+    xor  $t1, $t1, $t2
+    sw   $t1, 16($sp)
+    # child args
+    lw   $t3, 4($sp)         # cols
+    or   $a0, $t3, $t2
+    lw   $t4, 8($sp)         # d1
+    or   $t5, $t4, $t2
+    sll  $t5, $t5, 1
+    andi $a1, $t5, {FULL}
+    lw   $t6, 12($sp)        # d2
+    or   $t7, $t6, $t2
+    srl  $a2, $t7, 1
+    jal  solve
+    lw   $t8, 20($sp)
+    add  $t8, $t8, $v0
+    sw   $t8, 20($sp)
+    b    qloop
+
+qdone:
+    lw   $v0, 20($sp)
+    lw   $ra, 0($sp)
+    addiu $sp, $sp, 24
+    jr   $ra
+"""
+
+KERNEL = register(Kernel(
+    name="nqueens",
+    category="int",
+    description=f"Bitmask {N}-queens solution counter (recursive)",
+    source=SOURCE,
+    expected_output=f"queens={_solve(0, 0, 0)}",
+))

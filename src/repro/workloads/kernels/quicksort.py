@@ -1,0 +1,132 @@
+"""quicksort: recursive quicksort (Lomuto partition) of 32 elements.
+
+Deep data-dependent recursion plus partition loops: stack traffic,
+call/return prediction, and swap-heavy memory behaviour.
+"""
+
+from .base import Kernel, register
+
+N = 32
+
+
+def _values():
+    return [(i * 1103 + 331) % 500 for i in range(N)]
+
+
+def _expected() -> int:
+    values = sorted(_values())
+    return sum((i + 1) * v for i, v in enumerate(values))
+
+
+SOURCE = f"""
+.data
+qs_arr: .space {N * 4}
+label_chk: .asciiz "qchk="
+.text
+main:
+    la   $s0, qs_arr
+    li   $s1, {N}
+
+    # fill: a[i] = (i*1103 + 331) mod 500
+    li   $t0, 0
+fill:
+    li   $t1, 1103
+    mult $t2, $t0, $t1
+    addi $t2, $t2, 331
+    li   $t3, 500
+    div  $t4, $t2, $t3
+    mult $t4, $t4, $t3
+    sub  $t4, $t2, $t4
+    sll  $t5, $t0, 2
+    add  $t5, $t5, $s0
+    sw   $t4, 0($t5)
+    addi $t0, $t0, 1
+    bne  $t0, $s1, fill
+
+    li   $a0, 0              # lo
+    addi $a1, $s1, -1        # hi
+    jal  qsort
+
+    # checksum = sum((i+1)*a[i])
+    li   $t0, 0
+    li   $s4, 0
+chk:
+    sll  $t5, $t0, 2
+    add  $t5, $t5, $s0
+    lw   $t6, 0($t5)
+    addi $t7, $t0, 1
+    mult $t6, $t6, $t7
+    add  $s4, $s4, $t6
+    addi $t0, $t0, 1
+    bne  $t0, $s1, chk
+
+    la   $a0, label_chk
+    li   $v0, 4
+    syscall
+    move $a0, $s4
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+
+# void qsort(int lo, int hi) — indices in $a0/$a1, array base in $s0
+qsort:
+    bge  $a0, $a1, qs_done
+    addiu $sp, $sp, -16
+    sw   $ra, 0($sp)
+    sw   $a0, 4($sp)         # lo
+    sw   $a1, 8($sp)         # hi
+
+    # Lomuto partition: pivot = a[hi]
+    sll  $t0, $a1, 2
+    add  $t0, $t0, $s0
+    lw   $t1, 0($t0)         # pivot
+    addi $t2, $a0, -1        # i
+    move $t3, $a0            # j
+part:
+    beq  $t3, $a1, part_done
+    sll  $t4, $t3, 2
+    add  $t4, $t4, $s0
+    lw   $t5, 0($t4)         # a[j]
+    bgt  $t5, $t1, no_swap
+    addi $t2, $t2, 1         # i++
+    sll  $t6, $t2, 2
+    add  $t6, $t6, $s0
+    lw   $t7, 0($t6)
+    sw   $t5, 0($t6)         # a[i] = a[j]
+    sw   $t7, 0($t4)         # a[j] = old a[i]
+no_swap:
+    addi $t3, $t3, 1
+    b    part
+part_done:
+    addi $t2, $t2, 1         # p = i + 1
+    sll  $t6, $t2, 2
+    add  $t6, $t6, $s0
+    lw   $t7, 0($t6)         # a[p]
+    sw   $t7, 0($t0)         # a[hi] = a[p]
+    sw   $t1, 0($t6)         # a[p] = pivot
+    sw   $t2, 12($sp)        # save p
+
+    # qsort(lo, p-1)
+    lw   $a0, 4($sp)
+    addi $a1, $t2, -1
+    jal  qsort
+    # qsort(p+1, hi)
+    lw   $t2, 12($sp)
+    addi $a0, $t2, 1
+    lw   $a1, 8($sp)
+    jal  qsort
+
+    lw   $ra, 0($sp)
+    addiu $sp, $sp, 16
+qs_done:
+    jr   $ra
+"""
+
+KERNEL = register(Kernel(
+    name="quicksort",
+    category="int",
+    description=f"Recursive quicksort of {N} elements with checksum",
+    source=SOURCE,
+    expected_output=f"qchk={_expected()}",
+))

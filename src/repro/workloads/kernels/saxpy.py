@@ -1,0 +1,99 @@
+"""saxpy: single-precision a*x + y over 32 elements, then a reduction.
+
+The floating-point workload: lwc1/swc1 traffic, long-latency FP multiply
+and add, and an integer loop counter (the paper's swim/applu-like mix).
+Result is converted to an integer via cvt.w.s for printing.
+"""
+
+from .base import Kernel, register
+
+N = 32
+A = 2.5
+
+
+def _expected() -> int:
+    x = [float(i) * 0.5 for i in range(N)]
+    y = [float(i) for i in range(N)]
+    total = sum(A * xv + yv for xv, yv in zip(x, y))
+    return int(total)  # truncation, as cvt.w.s does
+
+
+SOURCE = f"""
+.data
+vec_x: .space {N * 4}
+vec_y: .space {N * 4}
+fp_half: .float 0.5
+fp_a:    .float {A}
+tmp_word: .space 4
+label_sum: .asciiz "isum="
+.text
+main:
+    la   $s0, vec_x
+    la   $s1, vec_y
+    li   $s2, {N}
+    la   $t9, fp_half
+    lwc1 $f10, 0($t9)        # 0.5
+    la   $t9, fp_a
+    lwc1 $f11, 0($t9)        # a = {A}
+
+    # init: x[i] = i * 0.5, y[i] = i   (int -> float via stage + cvt)
+    la   $s5, tmp_word
+    li   $t0, 0
+init:
+    sw   $t0, 0($s5)
+    lwc1 $f0, 0($s5)
+    cvt.s.w $f1, $f0         # (float) i
+    mul.s $f2, $f1, $f10     # i * 0.5
+    sll  $t3, $t0, 2
+    add  $t4, $t3, $s0
+    swc1 $f2, 0($t4)
+    add  $t4, $t3, $s1
+    swc1 $f1, 0($t4)
+    addi $t0, $t0, 1
+    bne  $t0, $s2, init
+
+    # y[i] = a*x[i] + y[i]
+    li   $t0, 0
+axpy:
+    sll  $t3, $t0, 2
+    add  $t4, $t3, $s0
+    lwc1 $f0, 0($t4)
+    mul.s $f0, $f0, $f11
+    add  $t4, $t3, $s1
+    lwc1 $f1, 0($t4)
+    add.s $f1, $f1, $f0
+    swc1 $f1, 0($t4)
+    addi $t0, $t0, 1
+    bne  $t0, $s2, axpy
+
+    # reduce: f4 = sum(y)
+    li   $t0, 0
+    sub.s $f4, $f4, $f4      # 0.0
+reduce:
+    sll  $t3, $t0, 2
+    add  $t4, $t3, $s1
+    lwc1 $f1, 0($t4)
+    add.s $f4, $f4, $f1
+    addi $t0, $t0, 1
+    bne  $t0, $s2, reduce
+
+    # print (int) sum
+    cvt.w.s $f5, $f4
+    swc1 $f5, 0($s5)
+    la   $a0, label_sum
+    li   $v0, 4
+    syscall
+    lw   $a0, 0($s5)
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+KERNEL = register(Kernel(
+    name="saxpy",
+    category="fp",
+    description=f"Single-precision saxpy + reduction over {N} elements",
+    source=SOURCE,
+    expected_output=f"isum={_expected()}",
+))

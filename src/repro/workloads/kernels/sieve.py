@@ -1,0 +1,73 @@
+"""sieve: Sieve of Eratosthenes — byte stores, irregular inner strides."""
+
+from .base import Kernel, register
+
+LIMIT = 300
+
+
+def _count_primes(limit: int) -> int:
+    flags = [True] * limit
+    count = 0
+    for n in range(2, limit):
+        if flags[n]:
+            count += 1
+            for multiple in range(n * n, limit, n):
+                flags[multiple] = False
+    return count
+
+
+SOURCE = f"""
+.data
+flags: .space {LIMIT}
+label_primes: .asciiz "primes="
+.text
+main:
+    la   $s0, flags
+    li   $s1, {LIMIT}
+
+    # mark all as candidate (1)
+    li   $t0, 0
+    li   $t1, 1
+mark:
+    add  $t2, $s0, $t0
+    sb   $t1, 0($t2)
+    addi $t0, $t0, 1
+    bne  $t0, $s1, mark
+
+    li   $s2, 0              # prime count
+    li   $t0, 2              # n
+scan:
+    bge  $t0, $s1, done
+    add  $t2, $s0, $t0
+    lbu  $t3, 0($t2)
+    beqz $t3, next_n
+    addi $s2, $s2, 1
+    mult $t4, $t0, $t0       # first multiple = n*n
+strike:
+    bge  $t4, $s1, next_n
+    add  $t2, $s0, $t4
+    sb   $zero, 0($t2)
+    add  $t4, $t4, $t0
+    b    strike
+next_n:
+    addi $t0, $t0, 1
+    b    scan
+
+done:
+    la   $a0, label_primes
+    li   $v0, 4
+    syscall
+    move $a0, $s2
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+KERNEL = register(Kernel(
+    name="sieve",
+    category="int",
+    description=f"Sieve of Eratosthenes up to {LIMIT} (byte stores)",
+    source=SOURCE,
+    expected_output=f"primes={_count_primes(LIMIT)}",
+))

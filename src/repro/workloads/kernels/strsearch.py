@@ -1,0 +1,67 @@
+"""strsearch: naive substring search — byte loads, short data-dependent
+branches, parser-like control flow."""
+
+from .base import Kernel, register
+
+TEXT = ("the rain in spain falls mainly in the plain and "
+        "the main gain is plainly in the brain")
+PATTERN = "ain"
+
+
+def _count(text: str, pattern: str) -> int:
+    count = 0
+    for index in range(len(text) - len(pattern) + 1):
+        if text[index:index + len(pattern)] == pattern:
+            count += 1
+    return count
+
+
+SOURCE = f"""
+.data
+text:    .asciiz "{TEXT}"
+pattern: .asciiz "{PATTERN}"
+label_hits: .asciiz "hits="
+.text
+main:
+    la   $s0, text
+    la   $s1, pattern
+    li   $s2, 0              # match count
+    move $t0, $s0            # cursor
+
+outer:
+    lbu  $t1, 0($t0)
+    beqz $t1, report         # end of text
+    move $t2, $t0            # text probe
+    move $t3, $s1            # pattern probe
+match:
+    lbu  $t4, 0($t3)
+    beqz $t4, hit            # end of pattern: full match
+    lbu  $t5, 0($t2)
+    bne  $t4, $t5, miss
+    addi $t2, $t2, 1
+    addi $t3, $t3, 1
+    b    match
+hit:
+    addi $s2, $s2, 1
+miss:
+    addi $t0, $t0, 1
+    b    outer
+
+report:
+    la   $a0, label_hits
+    li   $v0, 4
+    syscall
+    move $a0, $s2
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+KERNEL = register(Kernel(
+    name="strsearch",
+    category="int",
+    description="Naive substring search over an 80-char text",
+    source=SOURCE,
+    expected_output=f"hits={_count(TEXT, PATTERN)}",
+))

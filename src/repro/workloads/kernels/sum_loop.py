@@ -1,0 +1,37 @@
+"""sum_loop: the smallest meaningful kernel — a tight arithmetic loop.
+
+Sums 1..500. One hot trace repeating at distance ~0: the best case for
+ITR (compare the paper's bzip/wupwise behaviour).
+"""
+
+from .base import Kernel, register
+
+SOURCE = """
+.data
+label_sum: .asciiz "sum="
+.text
+main:
+    li   $t0, 0              # accumulator
+    li   $t1, 1              # i
+    li   $t2, 501            # limit
+loop:
+    add  $t0, $t0, $t1
+    addi $t1, $t1, 1
+    bne  $t1, $t2, loop
+    la   $a0, label_sum
+    li   $v0, 4
+    syscall
+    move $a0, $t0
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+KERNEL = register(Kernel(
+    name="sum_loop",
+    category="int",
+    description="Tight arithmetic loop summing 1..500 (single hot trace)",
+    source=SOURCE,
+    expected_output="sum=125250",
+))

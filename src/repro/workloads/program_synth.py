@@ -1,0 +1,243 @@
+"""Program synthesis: compile a :class:`SpecProfile` into real assembly.
+
+The trace-stream models (``repro.workloads.synthetic``) are fast but not
+*executable*. This module closes that gap: it emits an actual program —
+regions as callable code blocks with cold entry traces and a hot loop,
+driven by a precomputed visit schedule in the data segment — whose
+dynamic trace behaviour follows the same phased-region model. The result
+runs on the functional and cycle simulators like any kernel, so
+SPEC-shaped code can feed fault-injection campaigns and pipeline-level
+measurements, not just trace statistics.
+
+Scale: profiles are synthesized at a reduced ``max_static_traces`` (full
+gcc would be ~150k instructions of text); the *shape* — region structure,
+popularity skew, visit iterations, trace lengths — is preserved.
+
+Layout of the generated program::
+
+    main:        walk the schedule table: (region_id, iterations) pairs,
+                 terminated by -1; call regions via a function-pointer
+                 table (jalr)
+    region_k:    cold entry blocks (once per visit), then a hot loop of
+                 trace-sized blocks iterated `iterations` times
+    .data:       region pointer table, schedule, per-region scratch words
+
+Every block is a run of ALU/memory instructions ending in a control
+transfer, so its trace boundaries are exactly the block boundaries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..isa.assembler import assemble
+from ..isa.program import Program
+from ..utils.rng import WeightedSampler, make_rng, zipf_weights
+from .spec_profiles import SpecProfile, get_profile
+
+#: Registers block bodies may use freely ($t0..$t7).
+_WORK_REGS = [f"$t{i}" for i in range(8)]
+
+
+@dataclass(frozen=True)
+class SynthesisPlan:
+    """Resolved (scaled) generation parameters."""
+
+    profile: SpecProfile
+    regions: int
+    hot_blocks_per_region: int
+    cold_blocks_per_region: int
+    target_instructions: int
+    seed: int
+
+
+def _plan(profile: SpecProfile, seed: int, target_instructions: int,
+          max_static_traces: int) -> SynthesisPlan:
+    scale = min(1.0, max_static_traces / profile.static_traces)
+    regions = max(2, int(round(profile.regions * scale)))
+    per_region = max(2, int(round(profile.static_traces * scale / regions)))
+    hot = min(profile.hot_traces_per_region, per_region - 1)
+    cold = max(1, per_region - hot - 1)  # -1 for the return trace
+    return SynthesisPlan(
+        profile=profile,
+        regions=regions,
+        hot_blocks_per_region=max(1, hot),
+        cold_blocks_per_region=cold,
+        target_instructions=target_instructions,
+        seed=seed,
+    )
+
+
+def _block_body(rng: random.Random, length: int,
+                scratch_label: str) -> List[str]:
+    """``length - 1`` filler instructions (the caller adds the
+    terminating control transfer)."""
+    lines: List[str] = []
+    for _ in range(max(0, length - 1)):
+        choice = rng.randrange(8)
+        rd = rng.choice(_WORK_REGS)
+        rs = rng.choice(_WORK_REGS)
+        rt = rng.choice(_WORK_REGS)
+        if choice == 0:
+            lines.append(f"    add  {rd}, {rs}, {rt}")
+        elif choice == 1:
+            lines.append(f"    xor  {rd}, {rs}, {rt}")
+        elif choice == 2:
+            lines.append(f"    addi {rd}, {rs}, {rng.randrange(-64, 64)}")
+        elif choice == 3:
+            lines.append(f"    sll  {rd}, {rs}, {rng.randrange(1, 8)}")
+        elif choice == 4:
+            lines.append(f"    srl  {rd}, {rs}, {rng.randrange(1, 8)}")
+        elif choice == 5:
+            lines.append(f"    or   {rd}, {rs}, {rt}")
+        elif choice == 6:
+            offset = rng.randrange(8) * 4
+            lines.append(f"    lw   {rd}, {offset}($s3)")
+        else:
+            offset = rng.randrange(8) * 4
+            lines.append(f"    sw   {rs}, {offset}($s3)")
+    return lines
+
+
+def _draw_length(rng: random.Random, profile: SpecProfile) -> int:
+    length = int(round(rng.gauss(profile.mean_trace_length,
+                                 profile.trace_length_spread)))
+    # Leave room for the terminating branch; cap below the 16 limit so
+    # block boundaries, not the length limit, define traces.
+    return min(15, max(2, length))
+
+
+def _schedule(plan: SynthesisPlan) -> List[Tuple[int, int]]:
+    """The (region, iterations) visit sequence, phased like the model."""
+    profile = plan.profile
+    rng = make_rng(plan.seed, "synth-schedule", profile.name)
+    weights = zipf_weights(plan.regions, profile.region_zipf)
+    rng.shuffle(weights)
+    sampler = WeightedSampler(weights)
+    # Estimate per-visit work to bound the schedule length.
+    per_hot_iter = plan.hot_blocks_per_region * profile.mean_trace_length
+    schedule: List[Tuple[int, int]] = []
+    emitted = 0.0
+    while emitted < plan.target_instructions:
+        region = sampler.sample(rng)
+        iterations = max(
+            1, int(rng.expovariate(1.0 / profile.mean_visit_iterations)))
+        iterations = min(iterations, 127)
+        schedule.append((region, iterations))
+        emitted += (plan.cold_blocks_per_region * profile.mean_trace_length
+                    + iterations * per_hot_iter)
+    return schedule
+
+
+def synthesize_source(profile: SpecProfile, seed: int = 7,
+                      target_instructions: int = 60_000,
+                      max_static_traces: int = 192) -> str:
+    """Generate the assembly source for a scaled, executable replica."""
+    plan = _plan(profile, seed, target_instructions, max_static_traces)
+    rng = make_rng(seed, "synth-code", profile.name)
+    schedule = _schedule(plan)
+
+    # .text is emitted first so region labels exist when the .data
+    # section's function-pointer table references them (the assembler
+    # resolves .word labels at the point of definition).
+    lines: List[str] = []
+    lines.append(".text")
+    lines.append("main:")
+    lines.append("    la   $s6, schedule")
+    lines.append("    la   $s7, region_table")
+    lines.append("    li   $s2, 0              # checksum accumulator")
+    lines.append("sched_loop:")
+    lines.append("    lw   $s5, 0($s6)")
+    lines.append("    bltz $s5, sched_done")
+    lines.append("    lw   $a0, 4($s6)")
+    lines.append("    addiu $s6, $s6, 8")
+    lines.append("    sll  $t9, $s5, 2")
+    lines.append("    add  $t9, $t9, $s7")
+    lines.append("    lw   $t9, 0($t9)")
+    lines.append("    la   $s3, scratch")
+    lines.append("    sll  $s4, $s5, 5         # 32-byte region scratch")
+    lines.append("    add  $s3, $s3, $s4")
+    lines.append("    jalr $ra, $t9")
+    lines.append("    add  $s2, $s2, $v0")
+    lines.append("    b    sched_loop")
+    lines.append("sched_done:")
+    lines.append("    la   $a0, done_msg")
+    lines.append("    li   $v0, 4")
+    lines.append("    syscall")
+    lines.append("    andi $a0, $s2, 0xFFFF")
+    lines.append("    li   $v0, 1")
+    lines.append("    syscall")
+    lines.append("    li   $v0, 10")
+    lines.append("    syscall")
+
+    for index in range(plan.regions):
+        lines.append(f"region_{index}:")
+        # Cold entry blocks: executed once per visit.
+        for cold in range(plan.cold_blocks_per_region):
+            length = _draw_length(rng, profile)
+            lines.extend(_block_body(rng, length, f"r{index}"))
+            # Never-taken branch terminates the trace without redirecting.
+            lines.append(f"    bne  $zero, $zero, region_{index}_c{cold}")
+            lines.append(f"region_{index}_c{cold}:")
+        lines.append("    move $t8, $a0")
+        lines.append(f"region_{index}_loop:")
+        # Hot loop body: each block one trace.
+        for hot in range(plan.hot_blocks_per_region - 1):
+            length = _draw_length(rng, profile)
+            lines.extend(_block_body(rng, length, f"r{index}"))
+            lines.append(f"    bne  $zero, $zero, region_{index}_h{hot}")
+            lines.append(f"region_{index}_h{hot}:")
+        length = _draw_length(rng, profile)
+        lines.extend(_block_body(rng, length, f"r{index}"))
+        lines.append("    addi $t8, $t8, -1")
+        lines.append(f"    bnez $t8, region_{index}_loop")
+        lines.append("    move $v0, $t0")
+        lines.append("    jr   $ra")
+
+    lines.append(".data")
+    lines.append("region_table:")
+    for index in range(plan.regions):
+        lines.append(f"    .word region_{index}")
+    lines.append("schedule:")
+    for region, iterations in schedule:
+        lines.append(f"    .word {region}, {iterations}")
+    lines.append("    .word -1, 0")
+    lines.append(f"scratch: .space {plan.regions * 32}")
+    lines.append("done_msg: .asciiz \"synth done \"")
+
+    return "\n".join(lines) + "\n"
+
+
+def synthesize_program(name: str, seed: int = 7,
+                       target_instructions: int = 60_000,
+                       max_static_traces: int = 192) -> Program:
+    """Scaled executable replica of a SPEC2K profile, assembled."""
+    profile = get_profile(name)
+    source = synthesize_source(profile, seed=seed,
+                               target_instructions=target_instructions,
+                               max_static_traces=max_static_traces)
+    return assemble(source, name=f"{name}-mini")
+
+
+def mini_spec_kernel(name: str, seed: int = 7,
+                     target_instructions: int = 20_000,
+                     max_static_traces: int = 128):
+    """Wrap a synthesized replica as a :class:`Kernel` (not registered).
+
+    Lets the fault-injection machinery — which consumes kernels — run
+    Figure 8-style campaigns on SPEC-shaped code.
+    """
+    from .kernels.base import Kernel
+    profile = get_profile(name)
+    return Kernel(
+        name=f"{name}-mini",
+        category=profile.category,
+        description=f"synthesized replica of {name} "
+                    f"(scaled to <= {max_static_traces} static traces)",
+        source=synthesize_source(
+            profile, seed=seed, target_instructions=target_instructions,
+            max_static_traces=max_static_traces),
+        expected_output=None,
+    )

@@ -1,0 +1,75 @@
+"""Workload suite registry: one place to enumerate everything runnable.
+
+Two tiers (see DESIGN.md):
+
+* **kernels** — real assembly programs for the functional and cycle
+  simulators (fault injection, examples, validation);
+* **synthetic SPEC2K models** — calibrated trace-stream generators for
+  the statistics-driven experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .kernels import Kernel, all_kernels, get_kernel
+from .spec_profiles import (
+    FIGURE67_BENCHMARKS,
+    NEGLIGIBLE_LOSS_BENCHMARKS,
+    SpecProfile,
+    all_profiles,
+    fp_profiles,
+    get_profile,
+    int_profiles,
+)
+from .synthetic import SyntheticWorkload
+
+#: Default dynamic instruction budget for synthetic experiments. The paper
+#: simulates 200M instructions per benchmark; Python-scale experiments
+#: default to 400k (a 500x reduction documented in EXPERIMENTS.md) — the
+#: coverage statistics stabilize well before this length.
+DEFAULT_SYNTHETIC_INSTRUCTIONS = 400_000
+
+#: Default seed for synthetic workloads (override for replication studies).
+DEFAULT_SEED = 12345
+
+
+def synthetic_suite(category: Optional[str] = None,
+                    seed: int = DEFAULT_SEED) -> List[SyntheticWorkload]:
+    """Instantiate the full synthetic SPEC2K suite (optionally filtered)."""
+    profiles = all_profiles()
+    if category is not None:
+        profiles = [p for p in profiles if p.category == category]
+    return [SyntheticWorkload(p, seed=seed) for p in profiles]
+
+
+def synthetic_workload(name: str,
+                       seed: int = DEFAULT_SEED) -> SyntheticWorkload:
+    """Instantiate one synthetic benchmark by name."""
+    return SyntheticWorkload(get_profile(name), seed=seed)
+
+
+def figure67_suite(seed: int = DEFAULT_SEED) -> List[SyntheticWorkload]:
+    """The 11 benchmarks plotted in the paper's Figures 6-7."""
+    return [SyntheticWorkload(get_profile(name), seed=seed)
+            for name in FIGURE67_BENCHMARKS]
+
+
+__all__ = [
+    "Kernel",
+    "all_kernels",
+    "get_kernel",
+    "SpecProfile",
+    "all_profiles",
+    "int_profiles",
+    "fp_profiles",
+    "get_profile",
+    "SyntheticWorkload",
+    "synthetic_suite",
+    "synthetic_workload",
+    "figure67_suite",
+    "FIGURE67_BENCHMARKS",
+    "NEGLIGIBLE_LOSS_BENCHMARKS",
+    "DEFAULT_SYNTHETIC_INSTRUCTIONS",
+    "DEFAULT_SEED",
+]

@@ -1,0 +1,250 @@
+"""Tests for the functional (golden) simulator."""
+
+import pytest
+
+from repro.arch import FunctionalSimulator
+from repro.arch.state import arch_reg
+from repro.errors import SimulationError
+from repro.isa import assemble
+
+
+def run_source(source, inputs=None, max_steps=100_000):
+    simulator = FunctionalSimulator(assemble(source), inputs=inputs)
+    simulator.run_silently(max_steps)
+    return simulator
+
+
+class TestExecution:
+    def test_count_loop(self, count_loop_program):
+        simulator = FunctionalSimulator(count_loop_program)
+        simulator.run_silently()
+        assert simulator.output == "5050"
+        assert simulator.halted
+
+    def test_memory_program(self, memory_program):
+        simulator = FunctionalSimulator(memory_program)
+        simulator.run_silently()
+        assert simulator.output == "1240"  # sum of i*i, i in 0..15
+
+    def test_step_returns_effect(self, count_loop_program):
+        simulator = FunctionalSimulator(count_loop_program)
+        effect = simulator.step()
+        assert effect.pc == count_loop_program.entry
+        assert effect.next_pc == count_loop_program.entry + 8
+
+    def test_step_after_halt_rejected(self):
+        simulator = run_source(".text\nmain:\n  li $v0, 10\n  syscall")
+        with pytest.raises(SimulationError):
+            simulator.step()
+
+    def test_run_collects_effects(self):
+        simulator = FunctionalSimulator(assemble(
+            ".text\nmain:\n  li $t0, 1\n  li $v0, 10\n  syscall"))
+        effects = simulator.run()
+        assert len(effects) == 3
+        assert effects[-1].halted
+
+    def test_max_steps_limit(self, count_loop_program):
+        simulator = FunctionalSimulator(count_loop_program)
+        assert simulator.run_silently(max_steps=10) == 10
+        assert not simulator.halted
+
+
+class TestCommitEffects:
+    def test_register_write_effect(self):
+        simulator = FunctionalSimulator(assemble(
+            ".text\nmain:\n  li $t0, 7\n  li $v0, 10\n  syscall"))
+        effect = simulator.step()
+        assert effect.dest == 8
+        assert effect.value == 7
+
+    def test_store_effect(self):
+        simulator = FunctionalSimulator(assemble("""
+        .text
+        main:
+            li $t0, 0xAB
+            sw $t0, 0($gp)
+            li $v0, 10
+            syscall
+        """))
+        simulator.step()
+        effect = simulator.step()
+        assert effect.store_size == 4
+        assert effect.store_value == 0xAB
+        assert effect.dest is None
+
+    def test_branch_effect_next_pc(self):
+        program = assemble("""
+        .text
+        main:
+            beq $zero, $zero, target
+            nop
+        target:
+            syscall
+        """)
+        simulator = FunctionalSimulator(program)
+        effect = simulator.step()
+        assert effect.next_pc == program.symbol("target")
+
+    def test_same_architectural_effect(self):
+        a = FunctionalSimulator(assemble(
+            ".text\nmain:\n  li $t0, 1\n  li $v0, 10\n  syscall"))
+        b = FunctionalSimulator(assemble(
+            ".text\nmain:\n  li $t0, 1\n  li $v0, 10\n  syscall"))
+        for _ in range(3):
+            assert a.step().same_architectural_effect(b.step())
+
+    def test_fp_dest_in_unified_space(self):
+        simulator = FunctionalSimulator(assemble("""
+        .data
+        v: .float 1.0
+        .text
+        main:
+            la $t0, v
+            lwc1 $f2, 0($t0)
+            li $v0, 10
+            syscall
+        """))
+        simulator.step()
+        simulator.step()
+        effect = simulator.step()
+        assert effect.dest == arch_reg(2, True) == 34
+
+
+class TestSyscalls:
+    def test_print_int_negative(self):
+        simulator = run_source("""
+        .text
+        main:
+            li $a0, -5
+            li $v0, 1
+            syscall
+            li $v0, 10
+            syscall
+        """)
+        assert simulator.output == "-5"
+
+    def test_print_char(self):
+        simulator = run_source("""
+        .text
+        main:
+            li $a0, 'X'
+            li $v0, 11
+            syscall
+            li $v0, 10
+            syscall
+        """)
+        assert simulator.output == "X"
+
+    def test_print_string(self):
+        simulator = run_source("""
+        .data
+        msg: .asciiz "hey"
+        .text
+        main:
+            la $a0, msg
+            li $v0, 4
+            syscall
+            li $v0, 10
+            syscall
+        """)
+        assert simulator.output == "hey"
+
+    def test_read_int(self):
+        simulator = run_source("""
+        .text
+        main:
+            li $v0, 5
+            syscall
+            move $a0, $v0
+            li $v0, 1
+            syscall
+            li $v0, 10
+            syscall
+        """, inputs=[42])
+        assert simulator.output == "42"
+
+    def test_read_int_exhausted_returns_zero(self):
+        simulator = run_source("""
+        .text
+        main:
+            li $v0, 5
+            syscall
+            move $a0, $v0
+            li $v0, 1
+            syscall
+            li $v0, 10
+            syscall
+        """)
+        assert simulator.output == "0"
+
+    def test_rand_deterministic(self):
+        source = """
+        .text
+        main:
+            li $a0, 1000
+            li $v0, 41
+            syscall
+            move $a0, $v0
+            li $v0, 1
+            syscall
+            li $v0, 10
+            syscall
+        """
+        assert run_source(source).output == run_source(source).output
+
+    def test_srand_changes_sequence(self):
+        source_template = """
+        .text
+        main:
+            li $a0, %d
+            li $v0, 40
+            syscall
+            li $a0, 0
+            li $v0, 41
+            syscall
+            move $a0, $v0
+            li $v0, 1
+            syscall
+            li $v0, 10
+            syscall
+        """
+        assert run_source(source_template % 1).output != \
+            run_source(source_template % 2).output
+
+    def test_unknown_service_is_noop(self):
+        simulator = run_source("""
+        .text
+        main:
+            li $v0, 99
+            syscall
+            li $v0, 10
+            syscall
+        """)
+        assert simulator.halted
+        assert simulator.output == ""
+
+
+class TestControlFlow:
+    def test_call_return(self):
+        simulator = run_source("""
+        .text
+        main:
+            li  $a0, 5
+            jal double
+            move $a0, $v0
+            li $v0, 1
+            syscall
+            li $v0, 10
+            syscall
+        double:
+            add $v0, $a0, $a0
+            jr $ra
+        """)
+        assert simulator.output == "10"
+
+    def test_effects_iterator_stops_at_halt(self, count_loop_program):
+        simulator = FunctionalSimulator(count_loop_program)
+        effects = list(simulator.effects())
+        assert effects[-1].halted
+        assert simulator.halted

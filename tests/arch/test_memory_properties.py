@@ -1,0 +1,74 @@
+"""Property-based tests: Memory against a dict-of-bytes reference model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.state import Memory
+
+_ADDR = st.integers(0, 0x2000)
+_SIZE = st.sampled_from([1, 2, 4])
+
+
+@st.composite
+def _operations(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 40))):
+        if draw(st.booleans()):
+            ops.append(("store", draw(_ADDR), draw(_SIZE),
+                        draw(st.integers(0, 0xFFFFFFFF))))
+        else:
+            ops.append(("load", draw(_ADDR), draw(_SIZE)))
+    return ops
+
+
+class _ReferenceMemory:
+    """Byte-dict oracle."""
+
+    def __init__(self):
+        self.bytes = {}
+
+    def store(self, address, size, value):
+        for offset in range(size):
+            self.bytes[address + offset] = (value >> (8 * offset)) & 0xFF
+
+    def load(self, address, size):
+        return int.from_bytes(
+            bytes(self.bytes.get(address + i, 0) for i in range(size)),
+            "little")
+
+
+@settings(max_examples=60, deadline=None)
+@given(_operations())
+def test_memory_matches_reference(ops):
+    memory = Memory()
+    reference = _ReferenceMemory()
+    for op in ops:
+        if op[0] == "store":
+            _, address, size, value = op
+            memory.store(address, size, value)
+            reference.store(address, size, value)
+        else:
+            _, address, size = op
+            assert memory.load(address, size) == \
+                reference.load(address, size)
+    # final full sweep over every touched byte
+    for address in sorted(reference.bytes):
+        assert memory.load(address, 1) == reference.load(address, 1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 0xFFF0), st.binary(min_size=1, max_size=64))
+def test_store_bytes_roundtrip(address, blob):
+    memory = Memory()
+    memory.store_bytes(address, blob)
+    assert memory.load_bytes(address, len(blob)) == blob
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 0x1FF0), st.integers(0, 0xFFFFFFFF))
+def test_signed_unsigned_consistency(address, value):
+    memory = Memory()
+    memory.store(address, 4, value)
+    unsigned = memory.load(address, 4, signed=False)
+    signed = memory.load(address, 4, signed=True)
+    assert unsigned == value
+    assert signed == (value - (1 << 32) if value & 0x80000000 else value)

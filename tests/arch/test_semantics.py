@@ -1,0 +1,334 @@
+"""Tests for the signal-driven execution semantics."""
+
+import struct
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.semantics import (
+    branch_target,
+    direct_target,
+    effective_address,
+    execute,
+    memory_access_size,
+    operand_values,
+    perform_load,
+    perform_store,
+)
+from repro.arch.state import Memory, bits_to_float, float_to_bits
+from repro.isa.decode_signals import decode
+from repro.isa.instruction import make
+from repro.isa.program import TEXT_BASE
+
+PC = TEXT_BASE + 0x100
+U32 = st.integers(0, 0xFFFFFFFF)
+
+
+def run(mnemonic, src1=0, src2=0, pc=PC, **fields):
+    signals = decode(make(mnemonic, **fields))
+    return execute(signals, src1, src2, pc)
+
+
+class TestIntegerAlu:
+    def test_add_wraps(self):
+        assert run("add", 0xFFFFFFFF, 1).value == 0
+
+    def test_sub(self):
+        assert run("sub", 5, 7).value == 0xFFFFFFFE
+
+    def test_logic(self):
+        assert run("and", 0b1100, 0b1010).value == 0b1000
+        assert run("or", 0b1100, 0b1010).value == 0b1110
+        assert run("xor", 0b1100, 0b1010).value == 0b0110
+        assert run("nor", 0, 0).value == 0xFFFFFFFF
+
+    def test_slt_signed(self):
+        assert run("slt", 0xFFFFFFFF, 0).value == 1  # -1 < 0
+        assert run("slt", 0, 0xFFFFFFFF).value == 0
+
+    def test_sltu_unsigned(self):
+        assert run("sltu", 0xFFFFFFFF, 0).value == 0
+        assert run("sltu", 0, 1).value == 1
+
+    def test_mult_signed(self):
+        # (-2) * 3 = -6
+        assert run("mult", 0xFFFFFFFE, 3).value == 0xFFFFFFFA
+
+    def test_multu(self):
+        assert run("multu", 0x10000, 0x10000).value == 0  # overflow wraps
+
+    def test_div_truncates_toward_zero(self):
+        assert run("div", 7, 2).value == 3
+        assert run("div", 0xFFFFFFF9, 2).value == 0xFFFFFFFD  # -7/2 = -3
+
+    def test_div_by_zero_is_zero(self):
+        assert run("div", 5, 0).value == 0
+        assert run("divu", 5, 0).value == 0
+
+    def test_divu(self):
+        assert run("divu", 0xFFFFFFFF, 2).value == 0x7FFFFFFF
+
+    def test_variable_shifts(self):
+        assert run("sllv", 1, 4).value == 16
+        assert run("srlv", 0x80000000, 31).value == 1
+        assert run("srav", 0x80000000, 31).value == 0xFFFFFFFF
+
+    def test_shift_amount_masked(self):
+        assert run("sllv", 1, 33).value == 2  # amount mod 32
+
+    def test_immediate_shifts(self):
+        assert run("sll", 1, shamt=3).value == 8
+        assert run("srl", 0x80, shamt=3).value == 0x10
+        assert run("sra", 0xFFFFFF00, shamt=4).value == 0xFFFFFFF0
+
+    def test_addi_sign_extends(self):
+        assert run("addi", 10, imm=-3).value == 7
+
+    def test_logical_immediates_zero_extend(self):
+        assert run("andi", 0xFFFFFFFF, imm=0xF0F0).value == 0xF0F0
+        assert run("ori", 0, imm=0x8000).value == 0x8000
+
+    def test_slti(self):
+        assert run("slti", 0xFFFFFFFF, imm=0).value == 1
+
+    def test_lui(self):
+        assert run("lui", imm=0x1234).value == 0x12340000
+
+    def test_nop(self):
+        assert run("nop").value == 0
+
+    @given(U32, U32)
+    def test_add_matches_python(self, a, b):
+        assert run("add", a, b).value == (a + b) & 0xFFFFFFFF
+
+    @given(U32, U32)
+    def test_sub_matches_python(self, a, b):
+        assert run("sub", a, b).value == (a - b) & 0xFFFFFFFF
+
+
+class TestUnknownOpcode:
+    def test_produces_zero(self):
+        signals = decode(make("add", rd=1, rs=2, rt=3)).with_field(
+            opcode=0xEE)
+        assert execute(signals, 5, 6, PC).value == 0
+
+
+class TestOperandGating:
+    def test_gating_zeroes_unneeded(self):
+        signals = decode(make("add", rd=1, rs=2, rt=3))
+        assert operand_values(signals, 7, 9) == (7, 9)
+        gated = signals.with_field(num_rsrc=0)
+        assert operand_values(gated, 7, 9) == (0, 0)
+        gated1 = signals.with_field(num_rsrc=1)
+        assert operand_values(gated1, 7, 9) == (7, 0)
+
+
+class TestBranches:
+    def test_beq_taken(self):
+        result = run("beq", 4, 4, imm=3)
+        assert result.taken
+        assert result.target == PC + 8 + 3 * 8
+
+    def test_beq_not_taken(self):
+        result = run("beq", 4, 5, imm=3)
+        assert not result.taken
+        assert result.target is None
+
+    def test_bne(self):
+        assert run("bne", 1, 2, imm=1).taken
+        assert not run("bne", 1, 1, imm=1).taken
+
+    def test_signed_conditions(self):
+        minus_one = 0xFFFFFFFF
+        assert run("blez", 0, imm=1).taken
+        assert run("blez", minus_one, imm=1).taken
+        assert not run("blez", 1, imm=1).taken
+        assert run("bgtz", 1, imm=1).taken
+        assert run("bltz", minus_one, imm=1).taken
+        assert run("bgez", 0, imm=1).taken
+
+    def test_backward_target(self):
+        result = run("beq", 0, 0, imm=0xFFFE)  # -2 words
+        assert result.target == PC - 8
+
+    def test_faulted_branch_flag_on_alu_not_taken(self):
+        """An ADD with is_branch flipped on: no branch predicate for its
+        opcode, so never taken (the datapath has no condition to compute)."""
+        signals = decode(make("add", rd=1, rs=2, rt=3))
+        faulted = signals.with_field(
+            flags=signals.flags | (1 << 3))  # is_branch
+        result = execute(faulted, 1, 1, PC)
+        assert not result.taken
+        assert result.target is None
+
+
+class TestJumps:
+    def test_j_direct(self):
+        result = run("j", imm=20)
+        assert result.target == direct_target(decode(make("j", imm=20)))
+        assert result.target == TEXT_BASE + 160
+        assert result.value is None  # no link
+
+    def test_jal_links(self):
+        result = run("jal", imm=20)
+        assert result.value == PC + 8
+
+    def test_jr_register_target(self):
+        result = run("jr", src1=0x00400100)
+        assert result.target == 0x00400100
+
+    def test_jalr(self):
+        result = run("jalr", src1=0x00400200, rd=31)
+        assert result.target == 0x00400200
+        assert result.value == PC + 8
+
+
+class TestMemoryOps:
+    def test_effective_address(self):
+        signals = decode(make("lw", rd=1, rs=2, imm=0xFFFC))  # -4
+        assert effective_address(signals, 0x1000) == 0xFFC
+
+    def test_load_returns_address(self):
+        result = run("lw", src1=0x1000, imm=8)
+        assert result.address == 0x1008
+
+    def test_store_carries_value(self):
+        result = run("sw", src1=0x1000, src2=0xAB, imm=0)
+        assert result.address == 0x1000
+        assert result.store_value == 0xAB
+
+    def test_mem_size_clamped(self):
+        signals = decode(make("lw", rd=1, rs=2)).with_field(mem_size=7)
+        assert memory_access_size(signals) == 4
+
+    def test_perform_load_sizes(self):
+        memory = Memory()
+        memory.store(0x100, 4, 0xFFFFFF80)
+        lb = decode(make("lb", rd=1, rs=2))
+        lbu = decode(make("lbu", rd=1, rs=2))
+        assert perform_load(lb, memory, 0x100) == 0xFFFFFF80  # sign-extend
+        assert perform_load(lbu, memory, 0x100) == 0x80
+
+    def test_perform_load_half(self):
+        memory = Memory()
+        memory.store(0x100, 2, 0x8001)
+        lh = decode(make("lh", rd=1, rs=2))
+        lhu = decode(make("lhu", rd=1, rs=2))
+        assert perform_load(lh, memory, 0x100) == 0xFFFF8001
+        assert perform_load(lhu, memory, 0x100) == 0x8001
+
+    def test_perform_store_sizes(self):
+        memory = Memory()
+        sb = decode(make("sb", rt=1, rs=2))
+        perform_store(sb, memory, 0x100, 0x11223344)
+        assert memory.load(0x100, 4) == 0x44
+
+    def test_zero_mem_size_noop(self):
+        memory = Memory()
+        signals = decode(make("sw", rt=1, rs=2)).with_field(mem_size=0)
+        perform_store(signals, memory, 0x100, 0xFF)
+        assert memory.load(0x100, 4) == 0
+        load = decode(make("lw", rd=1, rs=2)).with_field(mem_size=0)
+        assert perform_load(load, memory, 0x100) == 0
+
+    def test_lwl_lwr_partial(self):
+        memory = Memory()
+        memory.store(0x100, 4, 0x44332211)
+        lwl = decode(make("lwl", rd=1, rs=2))
+        lwr = decode(make("lwr", rd=1, rs=2))
+        # lwr at offset 1: bytes 1..3 into low positions
+        assert perform_load(lwr, memory, 0x101) == 0x00443322
+        # lwl at offset 1: bytes 0..1 into high positions
+        assert perform_load(lwl, memory, 0x101) == 0x22110000
+
+    def test_swl_swr_partial(self):
+        memory = Memory()
+        swr = decode(make("swr", rt=1, rs=2))
+        perform_store(swr, memory, 0x101, 0xAABBCCDD)
+        assert memory.load_bytes(0x100, 4) == b"\x00\xdd\xcc\xbb"
+        memory2 = Memory()
+        swl = decode(make("swl", rt=1, rs=2))
+        perform_store(swl, memory2, 0x101, 0xAABBCCDD)
+        assert memory2.load_bytes(0x100, 4) == b"\xbb\xaa\x00\x00"
+
+
+class TestFloatingPoint:
+    def _bits(self, value):
+        return float_to_bits(value)
+
+    def test_add(self):
+        result = run("add.s", self._bits(1.5), self._bits(2.25))
+        assert bits_to_float(result.value) == 3.75
+
+    def test_sub_mul(self):
+        assert bits_to_float(run("sub.s", self._bits(5.0),
+                                 self._bits(2.0)).value) == 3.0
+        assert bits_to_float(run("mul.s", self._bits(3.0),
+                                 self._bits(0.5)).value) == 1.5
+
+    def test_div(self):
+        assert bits_to_float(run("div.s", self._bits(1.0),
+                                 self._bits(4.0)).value) == 0.25
+
+    def test_div_by_zero_inf(self):
+        result = run("div.s", self._bits(1.0), self._bits(0.0))
+        assert bits_to_float(result.value) == float("inf")
+
+    def test_zero_over_zero_nan(self):
+        result = run("div.s", self._bits(0.0), self._bits(0.0))
+        assert bits_to_float(result.value) != bits_to_float(result.value)
+
+    def test_overflow_saturates_to_inf(self):
+        big = self._bits(3e38)
+        result = run("mul.s", big, big)
+        assert bits_to_float(result.value) == float("inf")
+
+    def test_abs_neg(self):
+        assert bits_to_float(run("abs.s", self._bits(-2.0)).value) == 2.0
+        assert bits_to_float(run("neg.s", self._bits(2.0)).value) == -2.0
+
+    def test_mov(self):
+        assert run("mov.s", 0x12345678).value == 0x12345678
+
+    def test_cvt_s_w(self):
+        result = run("cvt.s.w", 7)
+        assert bits_to_float(result.value) == 7.0
+
+    def test_cvt_s_w_negative(self):
+        result = run("cvt.s.w", 0xFFFFFFFF)  # int -1
+        assert bits_to_float(result.value) == -1.0
+
+    def test_cvt_w_s_truncates(self):
+        assert run("cvt.w.s", self._bits(2.9)).value == 2
+        assert run("cvt.w.s", self._bits(-2.9)).value == 0xFFFFFFFE
+
+    def test_cvt_w_s_clamps(self):
+        assert run("cvt.w.s", self._bits(1e20)).value == 0x7FFFFFFF
+
+    def test_cvt_w_s_nan(self):
+        assert run("cvt.w.s", self._bits(float("nan"))).value == 0
+
+    def test_compares(self):
+        one, two = self._bits(1.0), self._bits(2.0)
+        assert run("c.lt.s", one, two).value == 1
+        assert run("c.lt.s", two, one).value == 0
+        assert run("c.le.s", one, one).value == 1
+        assert run("c.eq.s", one, one).value == 1
+
+
+class TestTrap:
+    def test_trap_has_no_effects(self):
+        result = run("syscall")
+        assert result.value is None
+        assert result.target is None
+        assert result.address is None
+
+
+class TestBranchTargetHelpers:
+    def test_branch_target_positive(self):
+        signals = decode(make("beq", imm=4))
+        assert branch_target(signals, PC) == PC + 8 + 32
+
+    def test_direct_target(self):
+        signals = decode(make("j", imm=5))
+        assert direct_target(signals) == TEXT_BASE + 40

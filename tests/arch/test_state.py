@@ -1,0 +1,164 @@
+"""Tests for architectural state: memory, register files."""
+
+import pytest
+
+from repro.errors import MemoryFault
+from repro.arch.state import (
+    ArchState,
+    Memory,
+    RegisterFile,
+    arch_reg,
+    bits_to_float,
+    float_to_bits,
+)
+from repro.isa import assemble
+from repro.isa.program import DATA_BASE, STACK_TOP
+
+
+class TestArchReg:
+    def test_int_space(self):
+        assert arch_reg(0, False) == 0
+        assert arch_reg(31, False) == 31
+
+    def test_fp_space(self):
+        assert arch_reg(0, True) == 32
+        assert arch_reg(31, True) == 63
+
+    def test_range(self):
+        with pytest.raises(ValueError):
+            arch_reg(32, False)
+
+
+class TestRegisterFile:
+    def test_zero_hardwired(self):
+        regs = RegisterFile()
+        regs.write(0, 123)
+        assert regs.read(0) == 0
+
+    def test_fp_zero_writable(self):
+        regs = RegisterFile()
+        regs.write(arch_reg(0, True), 123)
+        assert regs.read(arch_reg(0, True)) == 123
+
+    def test_values_masked_to_32bit(self):
+        regs = RegisterFile()
+        regs.write(5, 1 << 35 | 7)
+        assert regs.read(5) == 7
+
+    def test_fp_roundtrip(self):
+        regs = RegisterFile()
+        regs.write_fp(3, 2.5)
+        assert regs.read_fp(3) == 2.5
+
+    def test_snapshot_restore(self):
+        regs = RegisterFile()
+        regs.write(4, 99)
+        snapshot = regs.snapshot()
+        regs.write(4, 1)
+        regs.restore(snapshot)
+        assert regs.read(4) == 99
+
+    def test_copy_independent(self):
+        regs = RegisterFile()
+        clone = regs.copy()
+        clone.write(2, 5)
+        assert regs.read(2) == 0
+
+    def test_equality(self):
+        a, b = RegisterFile(), RegisterFile()
+        assert a == b
+        a.write(1, 1)
+        assert a != b
+
+
+class TestFloatBits:
+    def test_roundtrip(self):
+        assert bits_to_float(float_to_bits(1.5)) == 1.5
+
+    def test_known_pattern(self):
+        assert float_to_bits(1.0) == 0x3F800000
+
+    def test_zero(self):
+        assert float_to_bits(0.0) == 0
+
+
+class TestMemory:
+    def test_uninitialized_reads_zero(self):
+        assert Memory().load(0x1000, 4) == 0
+
+    def test_store_load_roundtrip(self):
+        memory = Memory()
+        memory.store(0x2000, 4, 0xDEADBEEF)
+        assert memory.load(0x2000, 4) == 0xDEADBEEF
+
+    def test_little_endian(self):
+        memory = Memory()
+        memory.store(0x100, 4, 0x11223344)
+        assert memory.load_bytes(0x100, 4) == b"\x44\x33\x22\x11"
+
+    def test_signed_load(self):
+        memory = Memory()
+        memory.store(0x100, 1, 0xFF)
+        assert memory.load(0x100, 1, signed=True) == -1
+        assert memory.load(0x100, 1, signed=False) == 0xFF
+
+    def test_cross_page_access(self):
+        memory = Memory()
+        address = 0x1FFE  # spans a 4 KB page boundary
+        memory.store(address, 4, 0xAABBCCDD)
+        assert memory.load(address, 4) == 0xAABBCCDD
+
+    def test_store_truncates_value(self):
+        memory = Memory()
+        memory.store(0x100, 2, 0x123456)
+        assert memory.load(0x100, 2) == 0x3456
+
+    def test_out_of_range(self):
+        with pytest.raises(MemoryFault):
+            Memory().load(0xFFFFFFFE, 4)
+
+    def test_negative_address(self):
+        with pytest.raises(MemoryFault):
+            Memory().load(-4, 4)
+
+    def test_cstring(self):
+        memory = Memory()
+        memory.store_bytes(0x300, b"hello\x00world")
+        assert memory.load_cstring(0x300) == "hello"
+
+    def test_cstring_limit(self):
+        memory = Memory()
+        memory.store_bytes(0x300, b"a" * 100)
+        assert len(memory.load_cstring(0x300, limit=10)) == 10
+
+    def test_copy_independent(self):
+        memory = Memory()
+        memory.store(0x100, 4, 1)
+        clone = memory.copy()
+        clone.store(0x100, 4, 2)
+        assert memory.load(0x100, 4) == 1
+
+    def test_page_digest_stable(self):
+        a, b = Memory(), Memory()
+        a.store(0x100, 4, 7)
+        b.store(0x100, 4, 7)
+        assert a.page_digest() == b.page_digest()
+
+
+class TestArchState:
+    def test_from_program_abi(self):
+        program = assemble(".data\nx: .word 42\n.text\nmain: nop")
+        state = ArchState.from_program(program)
+        assert state.pc == program.entry
+        assert state.regs.read_int(29) == STACK_TOP   # $sp
+        assert state.regs.read_int(28) == DATA_BASE   # $gp
+        assert state.memory.load(DATA_BASE, 4) == 42
+
+    def test_copy_deep(self):
+        program = assemble(".text\nmain: nop")
+        state = ArchState.from_program(program)
+        clone = state.copy()
+        clone.regs.write_int(8, 9)
+        clone.memory.store(0x100, 4, 9)
+        assert state.regs.read_int(8) == 0
+        assert state.memory.load(0x100, 4) == 0

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.isa import assemble
+
+
+COUNT_LOOP = """
+.text
+main:
+    li   $t0, 0
+    li   $t1, 1
+    li   $t2, 101
+loop:
+    add  $t0, $t0, $t1
+    addi $t1, $t1, 1
+    bne  $t1, $t2, loop
+    move $a0, $t0
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+
+@pytest.fixture
+def count_loop_program():
+    """A small loop printing sum(1..100) = 5050."""
+    return assemble(COUNT_LOOP, name="count_loop")
+
+
+MEMORY_PROGRAM = """
+.data
+array: .space 64
+.text
+main:
+    la   $s0, array
+    li   $t0, 0
+    li   $t1, 16
+store_loop:
+    sll  $t2, $t0, 2
+    add  $t2, $t2, $s0
+    mult $t3, $t0, $t0
+    sw   $t3, 0($t2)
+    addi $t0, $t0, 1
+    bne  $t0, $t1, store_loop
+    li   $t0, 0
+    li   $t4, 0
+load_loop:
+    sll  $t2, $t0, 2
+    add  $t2, $t2, $s0
+    lw   $t3, 0($t2)
+    add  $t4, $t4, $t3
+    addi $t0, $t0, 1
+    bne  $t0, $t1, load_loop
+    move $a0, $t4
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+"""
+
+
+@pytest.fixture
+def memory_program():
+    """Stores i*i for i in 0..15, reloads and sums: prints 1240."""
+    return assemble(MEMORY_PROGRAM, name="memory")

@@ -1,0 +1,185 @@
+"""Tests for the experiment drivers (small instruction budgets)."""
+
+import pytest
+
+from repro.experiments import characterization, coverage_sweep
+from repro.experiments import ablations, energy_compare, fault_injection
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.workloads import get_kernel
+
+SMALL = 30_000  # instructions per benchmark for fast tests
+
+
+@pytest.fixture(scope="module")
+def char_result():
+    return characterization.run_characterization(instructions=SMALL)
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    return coverage_sweep.run_sweep(instructions=SMALL)
+
+
+class TestCharacterization:
+    def test_all_benchmarks_present(self, char_result):
+        assert len(char_result.benchmarks) == 16
+
+    def test_table1_static_counts(self, char_result):
+        assert char_result.by_name("vortex").static_traces_program == 2655
+        assert char_result.by_name("wupwise").static_traces_program == 18
+
+    def test_cumulative_contribution_monotone(self, char_result):
+        for bench in char_result.benchmarks:
+            curve = bench.cumulative_contribution
+            assert all(a <= b + 1e-12
+                       for a, b in zip(curve, curve[1:]))
+            assert curve[-1] == pytest.approx(1.0)
+
+    def test_within_distance_monotone(self, char_result):
+        bench = char_result.by_name("parser")
+        assert bench.within_distance(500) <= bench.within_distance(5000)
+
+    def test_render_fig1(self, char_result):
+        text = characterization.render_fig1_fig2(char_result, "int")
+        assert "Figure 1" in text
+        assert "bzip" in text
+
+    def test_render_fig4(self, char_result):
+        text = characterization.render_fig3_fig4(char_result, "fp")
+        assert "Figure 4" in text
+        assert "wupwise" in text
+
+    def test_render_table1(self, char_result):
+        text = characterization.render_table1(char_result)
+        assert "24017" in text  # gcc, from the paper
+
+    def test_render_table2_total(self):
+        text = characterization.render_table2()
+        assert "64" in text
+        assert "opcode" in text
+
+
+class TestCoverageSweep:
+    def test_grid_complete(self, sweep_result):
+        # 11 benchmarks x 3 sizes x 6 associativities
+        assert len(sweep_result.cells) == 11 * 18
+
+    def test_vortex_is_max_loss(self, sweep_result):
+        name, _ = sweep_result.max_loss(1024, 2, "detection")
+        assert name in ("vortex", "perl")
+
+    def test_detection_below_recovery(self, sweep_result):
+        for cell in sweep_result.cells:
+            assert cell.detection_loss_pct <= cell.recovery_loss_pct + 1e-9
+
+    def test_capacity_helps_vortex_dm(self, sweep_result):
+        small = sweep_result.cell("vortex", 256, 1)
+        large = sweep_result.cell("vortex", 1024, 1)
+        assert large.detection_loss_pct < small.detection_loss_pct
+
+    def test_average_loss_reasonable(self, sweep_result):
+        avg = sweep_result.average_loss(1024, 2, "detection")
+        assert 0.0 < avg < 10.0  # paper: 1.3%
+
+    def test_render(self, sweep_result):
+        text = coverage_sweep.render_sweep(sweep_result, "detection")
+        assert "Figure 6" in text
+        assert "vortex" in text
+        assert "paper" in text
+
+
+class TestEnergyAndArea:
+    def test_energy_comparison_all_benchmarks(self):
+        result = energy_compare.run_energy_comparison(instructions=SMALL)
+        assert len(result.comparisons) == 16
+        for comparison in result.comparisons:
+            assert comparison.itr_shared_port_mj < \
+                comparison.icache_refetch_mj
+
+    def test_fp_benchmarks_cheaper_itr(self):
+        """Longer FP traces -> fewer ITR reads per instruction."""
+        result = energy_compare.run_energy_comparison(instructions=SMALL)
+        by_name = {c.benchmark: c for c in result.comparisons}
+        assert by_name["swim"].itr_shared_port_mj < \
+            by_name["bzip"].itr_shared_port_mj
+
+    def test_render_figure9(self):
+        result = energy_compare.run_energy_comparison(instructions=SMALL)
+        text = energy_compare.render_figure9(result)
+        assert "Figure 9" in text
+
+    def test_area(self):
+        comparison = energy_compare.run_area_comparison()
+        assert comparison.ratio > 6
+        text = energy_compare.render_area(comparison)
+        assert "2.1" in text
+
+
+class TestFaultInjectionDriver:
+    def test_small_campaign(self):
+        result = fault_injection.run_fault_injection(
+            kernels=[get_kernel("sum_loop")], trials=6,
+            observation_cycles=30_000)
+        assert len(result.campaigns) == 1
+        assert result.campaigns[0].total == 6
+        text = fault_injection.render_figure8(result)
+        assert "Figure 8" in text
+        assert "sum_loop" in text
+        assert "Avg" in text
+
+
+class TestAblations:
+    def test_checked_lru(self):
+        cells = ablations.run_checked_lru_ablation(
+            instructions=SMALL, benchmarks=("vortex",), assocs=(2,))
+        assert len(cells) == 1
+        text = ablations.render_checked_lru(cells)
+        assert "vortex" in text
+
+    def test_hybrid(self):
+        results = ablations.run_hybrid_ablation(
+            instructions=SMALL, benchmarks=("perl",))
+        assert results[0].benchmark == "perl"
+        assert results[0].residual_recovery_loss_pct == 0.0
+        assert 0 < results[0].redundant_fetch_fraction < 1
+        text = ablations.render_hybrid(results)
+        assert "perl" in text
+
+    def test_checkpointing(self):
+        results = ablations.run_checkpointing_ablation(
+            instructions=SMALL, benchmarks=("twolf",))
+        result = results[0]
+        assert result.checkpoints_taken >= 1
+        assert 0.0 <= result.recovered_fraction <= 1.0
+        text = ablations.render_checkpointing(results)
+        assert "twolf" in text
+
+    def test_policy(self):
+        cells = ablations.run_policy_ablation(
+            instructions=SMALL, benchmarks=("gcc",), assocs=(2,))
+        assert len(cells) == 1
+        # PLRU should be in the same ballpark as LRU (within 3x + slack)
+        assert cells[0].detection_loss_plru_pct <= \
+            3 * cells[0].detection_loss_lru_pct + 1.0
+
+
+class TestRunner:
+    def test_registry_covers_design_doc(self):
+        for name in ("fig1", "fig2", "fig3", "fig4", "tab1", "tab2",
+                     "fig6", "fig7", "fig8", "fig9", "sec5-area",
+                     "abl-checked-lru", "abl-hybrid", "abl-checkpoint"):
+            assert name in EXPERIMENTS
+
+    def test_run_experiment_api(self):
+        text = run_experiment("tab2")
+        assert "decode signals" in text
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+    def test_runner_main_list(self, capsys):
+        from repro.experiments.runner import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6" in out

@@ -1,0 +1,87 @@
+"""Tests for the extension experiments (kernel char, trace length, PC)."""
+
+import pytest
+
+from repro.experiments.kernel_characterization import (
+    characterize_kernel,
+    render_kernel_characterization,
+    run_kernel_characterization,
+)
+from repro.experiments.pc_fault_study import (
+    render_pc_fault_study,
+    run_pc_fault_study,
+)
+from repro.experiments.trace_length import (
+    render_trace_length,
+    run_trace_length_ablation,
+)
+from repro.workloads import get_kernel
+
+
+class TestKernelCharacterization:
+    def test_single_kernel(self):
+        result = characterize_kernel(get_kernel("sum_loop"))
+        assert result.name == "sum_loop"
+        assert result.dynamic_instructions > 1000
+        assert result.static_traces >= 1
+        assert result.mean_trace_length > 1.0
+
+    def test_subset_run(self):
+        result = run_kernel_characterization(
+            kernels=[get_kernel("sum_loop"), get_kernel("crc32")])
+        assert len(result.kernels) == 2
+        assert result.by_name("crc32").category == "int"
+
+    def test_render(self):
+        result = run_kernel_characterization(
+            kernels=[get_kernel("sum_loop")])
+        text = render_kernel_characterization(result)
+        assert "sum_loop" in text
+        assert "det loss%" in text
+
+    def test_unknown_name_raises(self):
+        result = run_kernel_characterization(
+            kernels=[get_kernel("sum_loop")])
+        with pytest.raises(KeyError):
+            result.by_name("nope")
+
+
+class TestTraceLengthAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_trace_length_ablation(
+            kernels=[get_kernel("sum_loop"), get_kernel("matmul"),
+                     get_kernel("crc32")],
+            limits=(4, 16, 32))
+
+    def test_mean_length_monotone(self, result):
+        lengths = [result.cell(l).mean_trace_length for l in (4, 16, 32)]
+        assert lengths == sorted(lengths)
+
+    def test_reads_decrease_with_limit(self, result):
+        assert result.cell(4).itr_reads_per_kinstr >= \
+            result.cell(16).itr_reads_per_kinstr
+
+    def test_instructions_invariant(self, result):
+        counts = {result.cell(l).dynamic_instructions for l in (4, 16, 32)}
+        assert len(counts) == 1  # re-tracing never changes the stream
+
+    def test_render(self, result):
+        text = render_trace_length(result)
+        assert "limit" in text and "16" in text
+
+    def test_unknown_limit_raises(self, result):
+        with pytest.raises(KeyError):
+            result.cell(99)
+
+
+class TestPcFaultStudyDriver:
+    def test_small_study(self):
+        result = run_pc_fault_study(kernel_names=("sum_loop",), trials=6,
+                                    observation_cycles=20_000)
+        assert len(result.with_spc) == 1
+        assert len(result.without_spc) == 1
+        assert result.detected_with_spc() >= result.detected_without_spc()
+        text = render_pc_fault_study(result)
+        assert "sum_loop" in text
+        assert "Avg" in text

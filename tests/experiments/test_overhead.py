@@ -1,0 +1,38 @@
+"""Tests for the ITR overhead measurement."""
+
+import pytest
+
+from repro.experiments.overhead import (
+    render_overhead,
+    run_overhead_measurement,
+)
+from repro.workloads import get_kernel
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_overhead_measurement(
+        kernels=[get_kernel("sum_loop"), get_kernel("matmul")])
+
+
+class TestOverhead:
+    def test_rows_per_kernel(self, result):
+        assert [row.kernel for row in result.rows] == \
+            ["sum_loop", "matmul"]
+
+    def test_negligible_overhead(self, result):
+        assert result.mean_overhead_pct() < 1.0
+
+    def test_ipc_positive(self, result):
+        for row in result.rows:
+            assert row.baseline_ipc > 0
+            assert row.itr_ipc > 0
+
+    def test_high_water_bounded(self, result):
+        for row in result.rows:
+            assert 0 < row.itr_rob_high_water <= 48
+
+    def test_render(self, result):
+        text = render_overhead(result)
+        assert "overhead %" in text
+        assert "Avg" in text

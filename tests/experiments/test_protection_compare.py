@@ -1,0 +1,75 @@
+"""Tests for the protection-spectrum experiment and duplication mode."""
+
+import pytest
+
+from repro.experiments.protection_compare import (
+    render_protection_spectrum,
+    run_protection_spectrum,
+)
+from repro.uarch import build_pipeline
+from repro.workloads import get_kernel
+
+
+class TestDuplicateFrontend:
+    def test_detects_and_corrects_every_fault(self):
+        kernel = get_kernel("sum_loop")
+
+        def tamper(index, pc, signals):
+            if index in (50, 150, 250):
+                return signals.with_bit_flipped(index % 64), True
+            return signals, False
+
+        pipeline = build_pipeline(kernel.program(), with_itr=False,
+                                  duplicate_frontend=True,
+                                  decode_tamper=tamper)
+        result = pipeline.run(max_cycles=500_000)
+        assert result.reason == "halted"
+        assert pipeline.output == kernel.expected_output
+        assert pipeline.frontend_dup_detections == 3
+
+    def test_no_detections_fault_free(self):
+        kernel = get_kernel("strsearch")
+        pipeline = build_pipeline(kernel.program(), with_itr=False,
+                                  duplicate_frontend=True)
+        pipeline.run(max_cycles=500_000)
+        assert pipeline.frontend_dup_detections == 0
+
+
+class TestSpectrum:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_protection_spectrum(kernel_names=("sum_loop",),
+                                       trials=6,
+                                       observation_cycles=30_000)
+
+    def test_all_modes_present(self, result):
+        for name in ("none", "itr", "itr+recovery", "duplication"):
+            assert result.mode(name).trials == 6
+
+    def test_duplication_perfect(self, result):
+        duplication = result.mode("duplication")
+        assert duplication.detected_fraction() == 1.0
+        assert duplication.sdc == 0
+
+    def test_unprotected_detects_nothing(self, result):
+        assert result.mode("none").detected == 0
+
+    def test_recovery_no_worse_than_monitor(self, result):
+        assert result.mode("itr+recovery").sdc <= result.mode("itr").sdc
+
+    def test_cost_ordering(self, result):
+        areas = [result.mode(m).area_cm2
+                 for m in ("none", "itr", "duplication")]
+        assert areas == sorted(areas)
+        energies = [result.mode(m).frontend_energy_factor
+                    for m in ("none", "itr", "duplication")]
+        assert energies == sorted(energies)
+
+    def test_render(self, result):
+        text = render_protection_spectrum(result)
+        assert "duplication" in text
+        assert "itr+recovery" in text
+
+    def test_unknown_mode(self, result):
+        with pytest.raises(KeyError):
+            result.mode("magic")

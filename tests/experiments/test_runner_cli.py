@@ -1,0 +1,33 @@
+"""Tests for the experiment runner CLI."""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_single_experiment_prints(self, capsys):
+        assert main(["tab2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "completed in" in out
+
+    def test_out_flag_writes_report(self, tmp_path, capsys):
+        assert main(["tab2", "--out", str(tmp_path / "reports")]) == 0
+        report = tmp_path / "reports" / "tab2.txt"
+        assert report.exists()
+        assert "decode signals" in report.read_text()
+
+    def test_instructions_flag(self, capsys):
+        assert main(["tab1", "--instructions", "20000"]) == 0
+        assert "24017" in capsys.readouterr().out
+
+    def test_every_registered_experiment_has_runner(self):
+        for name, fn in EXPERIMENTS.items():
+            assert callable(fn), name
+
+    def test_bad_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])

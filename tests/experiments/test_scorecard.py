@@ -1,0 +1,46 @@
+"""Tests for the reproduction scorecard."""
+
+import pytest
+
+from repro.experiments.scorecard import (
+    Scorecard,
+    ScorecardRow,
+    build_scorecard,
+    render_scorecard,
+)
+
+
+class TestScorecardStructure:
+    def test_row_accounting(self):
+        card = Scorecard()
+        card.add("x", "claim", "1", "1", True)
+        card.add("y", "claim", "2", "3", False)
+        assert not card.all_hold
+        assert card.holding_fraction() == 0.5
+
+    def test_render(self):
+        card = Scorecard()
+        card.add("fig1", "something", "99%", "98%", True)
+        text = render_scorecard(card)
+        assert "HOLDS" in text
+        assert "1/1" in text
+
+
+class TestLiveScorecard:
+    @pytest.fixture(scope="class")
+    def card(self):
+        # Small budgets: this runs the whole experiment stack once.
+        return build_scorecard(instructions=60_000, trials=6)
+
+    def test_covers_every_artifact(self, card):
+        artifacts = {row.artifact for row in card.rows}
+        assert {"fig1", "fig2", "fig3", "fig4", "tab1", "fig6", "fig7",
+                "fig8", "fig9", "sec5"} <= artifacts
+
+    def test_all_claims_hold(self, card):
+        failing = [row.claim for row in card.rows if not row.holds]
+        assert card.all_hold, f"failing claims: {failing}"
+
+    def test_render_shows_summary(self, card):
+        text = render_scorecard(card)
+        assert f"{len(card.rows)}/{len(card.rows)}" in text

@@ -1,0 +1,68 @@
+"""Tests for ITR-cache-internal fault injection (paper Section 2.4)."""
+
+import pytest
+
+from repro.faults.cache_faults import (
+    run_cache_fault_campaign,
+    run_cache_fault_trial,
+)
+from repro.workloads import get_kernel
+
+
+class TestTrial:
+    def test_parity_repairs(self):
+        """An early-cycle upset on a hot line must be repaired with
+        parity enabled, and the program must finish correctly."""
+        kernel = get_kernel("sum_loop")
+        result = run_cache_fault_trial(kernel, cycle=30, bit=5,
+                                       parity=True)
+        assert result.fired
+        assert result.classification in ("repaired", "masked")
+        assert result.run_reason == "halted"
+
+    def test_no_parity_false_machine_check(self):
+        """The same upset without parity is blamed on the previous trace
+        instance: false machine check."""
+        kernel = get_kernel("sum_loop")
+        result = run_cache_fault_trial(kernel, cycle=30, bit=5,
+                                       parity=False)
+        assert result.fired
+        assert result.classification in ("false_machine_check", "masked")
+
+    def test_never_wrong_output(self):
+        """ITR-cache faults cannot corrupt dataflow: any completed run
+        must produce correct output."""
+        kernel = get_kernel("strsearch")
+        for cycle in (10, 40, 80):
+            for parity in (True, False):
+                result = run_cache_fault_trial(kernel, cycle=cycle, bit=13,
+                                               parity=parity)
+                assert result.classification != "wrong_output"
+
+    def test_not_fired_when_cache_empty(self):
+        kernel = get_kernel("sum_loop")
+        result = run_cache_fault_trial(kernel, cycle=0, bit=0, parity=True)
+        # cycle 0: nothing resident yet -> cannot fire at that instant,
+        # (the injector only tries once)
+        assert result.classification in ("not_fired", "masked", "repaired")
+
+
+class TestCampaign:
+    def test_deterministic(self):
+        kernel = get_kernel("sum_loop")
+        a = run_cache_fault_campaign(kernel, trials=4, seed=9)
+        b = run_cache_fault_campaign(kernel, trials=4, seed=9)
+        assert [t.classification for t in a.trials] == \
+            [t.classification for t in b.trials]
+
+    def test_parity_dominates(self):
+        kernel = get_kernel("dispatch")
+        with_p = run_cache_fault_campaign(kernel, trials=8, seed=2,
+                                          parity=True)
+        without_p = run_cache_fault_campaign(kernel, trials=8, seed=2,
+                                             parity=False)
+        assert with_p.false_machine_check_fraction() == 0.0
+        assert without_p.repaired_fraction() == 0.0
+        # same fault plan: repaired-with-parity == false-MC-without
+        assert with_p.repaired_fraction() == \
+            without_p.false_machine_check_fraction()

@@ -1,0 +1,76 @@
+"""Tests for fault-injection campaigns (small but real runs)."""
+
+import pytest
+
+from repro.faults import CampaignConfig, FaultCampaign, Outcome
+from repro.workloads import get_kernel
+
+
+@pytest.fixture(scope="module")
+def small_campaign_result():
+    """One shared campaign over a small kernel (module-scoped: runs once)."""
+    campaign = FaultCampaign(get_kernel("strsearch"), CampaignConfig(
+        trials=25, seed=11, observation_cycles=40_000,
+        verify_recovery=True))
+    return campaign, campaign.run()
+
+
+class TestCampaign:
+    def test_trial_count(self, small_campaign_result):
+        _, result = small_campaign_result
+        assert result.total == 25
+
+    def test_deterministic(self):
+        def run():
+            campaign = FaultCampaign(get_kernel("sum_loop"),
+                                     CampaignConfig(trials=8, seed=3))
+            return [t.outcome for t in campaign.run().trials]
+        assert run() == run()
+
+    def test_high_itr_detection(self, small_campaign_result):
+        """The paper reports 95.4% average ITR detection; any healthy
+        configuration should be far above 50%."""
+        _, result = small_campaign_result
+        assert result.detected_by_itr_fraction() > 0.5
+
+    def test_recoverable_sdc_actually_recovers(self, small_campaign_result):
+        """Every ITR+SDC+R / ITR+wdog+R label must be confirmed by a
+        recovery-enabled re-run converging with golden."""
+        _, result = small_campaign_result
+        verified = [t for t in result.trials
+                    if t.recovery_verified is not None]
+        assert all(t.recovery_verified for t in verified)
+
+    def test_fraction_sums_to_one(self, small_campaign_result):
+        _, result = small_campaign_result
+        total = sum(result.fraction(outcome) for outcome in Outcome)
+        assert total == pytest.approx(1.0)
+
+    def test_figure8_row_percentages(self, small_campaign_result):
+        _, result = small_campaign_result
+        row = result.figure8_row()
+        assert sum(row.values()) == pytest.approx(100.0)
+
+    def test_trials_carry_fault_metadata(self, small_campaign_result):
+        _, result = small_campaign_result
+        for trial in result.trials:
+            assert 0 <= trial.bit < 64
+            assert trial.field in ("opcode", "flags", "shamt", "rsrc1",
+                                   "rsrc2", "rdst", "lat", "imm",
+                                   "num_rsrc", "num_rdst", "mem_size")
+
+    def test_sdc_trials_diverged(self, small_campaign_result):
+        _, result = small_campaign_result
+        from repro.faults.outcomes import Effect
+        for trial in result.trials:
+            if trial.effect == Effect.SDC:
+                assert trial.divergence_pc is not None
+
+    def test_decode_count_positive(self, small_campaign_result):
+        campaign, _ = small_campaign_result
+        assert campaign.decode_count > 0
+        assert campaign.golden_instructions > 0
+
+    def test_counts_match_trials(self, small_campaign_result):
+        _, result = small_campaign_result
+        assert result.counts().total() == result.total

@@ -1,0 +1,82 @@
+"""Tests for the fault injector."""
+
+import pytest
+
+from repro.faults.injector import (
+    DecodeInjector,
+    FaultSpec,
+    fault_plan,
+    random_fault,
+)
+from repro.isa.decode_signals import decode
+from repro.isa.instruction import make
+from repro.utils.rng import make_rng
+
+SIGNALS = decode(make("add", rd=1, rs=2, rt=3))
+
+
+class TestFaultSpec:
+    def test_field_name(self):
+        assert FaultSpec(decode_index=0, bit=0).field_name == "opcode"
+        assert FaultSpec(decode_index=0, bit=63).field_name == "mem_size"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec(decode_index=0, bit=64)
+        with pytest.raises(ValueError):
+            FaultSpec(decode_index=-1, bit=0)
+
+
+class TestDecodeInjector:
+    def test_fires_only_at_target(self):
+        injector = DecodeInjector(FaultSpec(decode_index=2, bit=5))
+        out0, taint0 = injector(0, 0x400000, SIGNALS)
+        assert out0 == SIGNALS and not taint0
+        out2, taint2 = injector(2, 0x400010, SIGNALS)
+        assert taint2
+        assert out2 != SIGNALS
+        assert out2 == SIGNALS.with_bit_flipped(5)
+
+    def test_fires_once(self):
+        injector = DecodeInjector(FaultSpec(decode_index=2, bit=5))
+        injector(2, 0x400010, SIGNALS)
+        out, taint = injector(2, 0x400010, SIGNALS)
+        assert not taint and out == SIGNALS
+
+    def test_records_context(self):
+        injector = DecodeInjector(FaultSpec(decode_index=1, bit=9))
+        injector(1, 0x400008, SIGNALS)
+        assert injector.fired
+        assert injector.fault_pc == 0x400008
+        assert injector.original == SIGNALS
+
+    def test_unfired_state(self):
+        injector = DecodeInjector(FaultSpec(decode_index=100, bit=9))
+        injector(1, 0x400008, SIGNALS)
+        assert not injector.fired
+
+
+class TestPlans:
+    def test_random_fault_in_range(self):
+        rng = make_rng(1, "t")
+        for _ in range(100):
+            spec = random_fault(rng, 500)
+            assert 0 <= spec.decode_index < 500
+            assert 0 <= spec.bit < 64
+
+    def test_plan_deterministic(self):
+        a = fault_plan(7, "bench", 10, 1000)
+        b = fault_plan(7, "bench", 10, 1000)
+        assert [(s.decode_index, s.bit) for s in a] == \
+            [(s.decode_index, s.bit) for s in b]
+
+    def test_plan_varies_by_benchmark(self):
+        a = fault_plan(7, "bench_a", 10, 1000)
+        b = fault_plan(7, "bench_b", 10, 1000)
+        assert [(s.decode_index, s.bit) for s in a] != \
+            [(s.decode_index, s.bit) for s in b]
+
+    def test_zero_decode_count_rejected(self):
+        rng = make_rng(1, "t")
+        with pytest.raises(ValueError):
+            random_fault(rng, 0)

@@ -1,0 +1,81 @@
+"""Tests for outcome classification (paper Figure 8 taxonomy)."""
+
+import pytest
+
+from repro.faults.outcomes import (
+    FIGURE8_ORDER,
+    Effect,
+    Outcome,
+    classify,
+)
+
+
+class TestClassify:
+    def test_itr_mask(self):
+        outcome = classify(detected_itr=True, itr_recoverable=True,
+                           spc_fired=False, effect=Effect.MASK,
+                           faulty_signature_resident=False)
+        assert outcome == Outcome.ITR_MASK
+
+    def test_itr_sdc_recoverable(self):
+        outcome = classify(True, True, False, Effect.SDC, False)
+        assert outcome == Outcome.ITR_SDC_R
+
+    def test_itr_sdc_detect_only(self):
+        outcome = classify(True, False, False, Effect.SDC, False)
+        assert outcome == Outcome.ITR_SDC_D
+
+    def test_itr_wdog_recoverable(self):
+        outcome = classify(True, True, False, Effect.DEADLOCK, False)
+        assert outcome == Outcome.ITR_WDOG_R
+
+    def test_itr_wdog_unrecoverable_degenerates(self):
+        outcome = classify(True, False, False, Effect.DEADLOCK, False)
+        assert outcome == Outcome.ITR_SDC_D
+
+    def test_itr_takes_priority_over_spc(self):
+        outcome = classify(True, True, True, Effect.SDC, False)
+        assert outcome == Outcome.ITR_SDC_R
+
+    def test_spc_sdc(self):
+        outcome = classify(False, False, True, Effect.SDC, False)
+        assert outcome == Outcome.SPC_SDC
+
+    def test_spc_mask(self):
+        outcome = classify(False, False, True, Effect.MASK, False)
+        assert outcome == Outcome.SPC_MASK
+
+    def test_undetected_deadlock(self):
+        outcome = classify(False, False, False, Effect.DEADLOCK, False)
+        assert outcome == Outcome.UNDET_WDOG
+
+    def test_mayitr_sdc(self):
+        outcome = classify(False, False, False, Effect.SDC, True)
+        assert outcome == Outcome.MAYITR_SDC
+
+    def test_undet_sdc(self):
+        outcome = classify(False, False, False, Effect.SDC, False)
+        assert outcome == Outcome.UNDET_SDC
+
+    def test_mayitr_mask(self):
+        outcome = classify(False, False, False, Effect.MASK, True)
+        assert outcome == Outcome.MAYITR_MASK
+
+    def test_undet_mask(self):
+        outcome = classify(False, False, False, Effect.MASK, False)
+        assert outcome == Outcome.UNDET_MASK
+
+
+class TestFigure8Order:
+    def test_all_outcomes_listed(self):
+        assert set(FIGURE8_ORDER) == set(Outcome)
+
+    def test_no_duplicates(self):
+        assert len(FIGURE8_ORDER) == len(set(FIGURE8_ORDER))
+
+    def test_labels_match_paper_vocabulary(self):
+        labels = {o.value for o in Outcome}
+        for expected in ("ITR+Mask", "ITR+SDC+R", "ITR+SDC+D", "ITR+wdog+R",
+                         "spc+SDC", "MayITR+SDC", "MayITR+Mask",
+                         "Undet+wdog", "Undet+SDC", "Undet+Mask"):
+            assert expected in labels

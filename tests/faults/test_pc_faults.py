@@ -1,0 +1,81 @@
+"""Tests for the PC-fault study (paper Section 2.5)."""
+
+import pytest
+
+from repro.faults.pc_faults import (
+    PcFaultSpec,
+    run_pc_campaign,
+    run_pc_trial,
+)
+from repro.workloads import get_kernel
+
+
+class TestSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PcFaultSpec(cycle=-1, bit=3)
+        with pytest.raises(ValueError):
+            PcFaultSpec(cycle=0, bit=32)
+
+
+class TestSingleTrial:
+    def test_fault_free_equivalence_when_not_fired(self):
+        """A fault planned beyond the run never fires: clean run."""
+        kernel = get_kernel("sum_loop")
+        result = run_pc_trial(kernel, PcFaultSpec(cycle=10_000_000, bit=5),
+                              observation_cycles=30_000)
+        assert not result.fired
+        assert result.detected_by == "none"
+        assert result.effect == "mask"
+        assert result.run_reason == "halted"
+
+    def test_word_offset_flip_lands_in_text(self):
+        """A low-bit flip early in a loop reaches *some* classification
+        without crashing the simulator."""
+        kernel = get_kernel("sum_loop")
+        result = run_pc_trial(kernel, PcFaultSpec(cycle=20, bit=4),
+                              observation_cycles=30_000)
+        assert result.fired
+        assert result.detected_by in ("itr", "spc", "wdog", "none")
+        assert result.effect in ("sdc", "mask")
+
+    def test_high_bit_flip_starves_fetch(self):
+        """Flipping a high PC bit leaves the text segment: fetch starves,
+        the pipeline drains, the watchdog fires (unless it drains into a
+        clean halt first)."""
+        kernel = get_kernel("sum_loop")
+        result = run_pc_trial(kernel, PcFaultSpec(cycle=20, bit=26),
+                              observation_cycles=30_000)
+        assert result.fired
+        assert result.run_reason in ("deadlock", "halted", "max_cycles")
+        if result.run_reason == "deadlock":
+            assert result.detected_by in ("itr", "spc", "wdog")
+
+
+class TestCampaign:
+    def test_deterministic(self):
+        kernel = get_kernel("sum_loop")
+        a = run_pc_campaign(kernel, trials=5, seed=3,
+                            observation_cycles=20_000)
+        b = run_pc_campaign(kernel, trials=5, seed=3,
+                            observation_cycles=20_000)
+        assert [t.label for t in a.trials] == [t.label for t in b.trials]
+
+    def test_spc_never_reduces_detection(self):
+        kernel = get_kernel("strsearch")
+        with_spc = run_pc_campaign(kernel, trials=12, seed=7,
+                                   spc_enabled=True,
+                                   observation_cycles=30_000)
+        without_spc = run_pc_campaign(kernel, trials=12, seed=7,
+                                      spc_enabled=False,
+                                      observation_cycles=30_000)
+        assert with_spc.detected_fraction() >= \
+            without_spc.detected_fraction()
+        assert with_spc.undetected_sdc_fraction() <= \
+            without_spc.undetected_sdc_fraction()
+
+    def test_counts_cover_all_trials(self):
+        kernel = get_kernel("sum_loop")
+        result = run_pc_campaign(kernel, trials=6, seed=1,
+                                 observation_cycles=20_000)
+        assert result.counts().total() == 6

@@ -1,0 +1,111 @@
+"""End-to-end integration tests spanning all layers."""
+
+import pytest
+
+from repro.arch import FunctionalSimulator
+from repro.faults import CampaignConfig, FaultCampaign, Outcome
+from repro.isa import assemble
+from repro.itr import ItrCacheConfig
+from repro.uarch import PipelineConfig, build_pipeline
+from repro.workloads import get_kernel
+
+
+class TestProtectedExecution:
+    def test_full_stack_fault_free(self):
+        """Source -> assembler -> OoO pipeline w/ ITR -> correct output,
+        zero false positives across every check."""
+        kernel = get_kernel("bubble_sort")
+        pipeline = build_pipeline(kernel.program())
+        result = pipeline.run(max_cycles=2_000_000)
+        assert result.reason == "halted"
+        assert pipeline.output == kernel.expected_output
+        assert pipeline.itr.stats.mismatches == 0
+        assert pipeline.itr.stats.machine_checks == 0
+        assert pipeline.stats.spc_violations == 0
+
+    def test_small_itr_cache_still_correct(self):
+        """A tiny ITR cache loses coverage but never correctness."""
+        kernel = get_kernel("dispatch")
+        config = PipelineConfig(itr_cache=ItrCacheConfig(entries=16,
+                                                         assoc=1))
+        pipeline = build_pipeline(kernel.program(), config=config)
+        result = pipeline.run(max_cycles=2_000_000)
+        assert result.reason == "halted"
+        assert pipeline.output == kernel.expected_output
+        assert pipeline.itr.cache.stats["evictions"] > 0
+
+    def test_fault_to_recovery_round_trip(self):
+        """Inject -> detect (signature mismatch) -> retry flush ->
+        re-execute -> converge with golden."""
+        kernel = get_kernel("matmul")
+        program = kernel.program()
+        golden = FunctionalSimulator(program)
+        golden.run_silently(3_000_000)
+
+        def tamper(index, pc, signals):
+            if index == 2000:
+                return signals.with_bit_flipped(37), True  # rdst bit
+            return signals, False
+
+        pipeline = build_pipeline(program, decode_tamper=tamper)
+        result = pipeline.run(max_cycles=3_000_000)
+        assert result.reason in ("halted", "machine_check")
+        if result.reason == "halted":
+            assert pipeline.output == golden.output
+
+    def test_machine_check_aborts_cleanly(self):
+        """First-instance fault (cold miss) caches a faulty signature;
+        the second instance detects it, the retry confirms, and the run
+        ends in a machine check rather than silent corruption."""
+        kernel = get_kernel("sum_loop")
+        program = kernel.program()
+        # The `add` at entry+24 starts the loop body. Its second dynamic
+        # decode is the first instance of the *loop* trace (iteration 1
+        # runs it inside the longer main..bne trace, which never repeats).
+        add_pc = program.entry + 3 * 8
+        seen = {"count": 0}
+
+        def tamper(index, pc, signals):
+            if pc == add_pc:
+                seen["count"] += 1
+                if seen["count"] == 2:
+                    return signals.with_bit_flipped(26), True  # rsrc1 bit
+            return signals, False
+
+        pipeline = build_pipeline(program, decode_tamper=tamper)
+        result = pipeline.run(max_cycles=1_000_000)
+        assert result.reason == "machine_check"
+        assert pipeline.itr.stats.machine_checks == 1
+        assert pipeline.itr.stats.retries == 1
+
+
+class TestCampaignIntegration:
+    def test_outcome_profile_plausible(self):
+        """A moderate campaign should be dominated by ITR detections,
+        mirroring the paper's Figure 8 structure."""
+        campaign = FaultCampaign(get_kernel("sum_loop"), CampaignConfig(
+            trials=30, seed=5, observation_cycles=40_000))
+        result = campaign.run()
+        assert result.detected_by_itr_fraction() > 0.6
+        detected_mask = result.fraction(Outcome.ITR_MASK)
+        detected_sdc = result.fraction(Outcome.ITR_SDC_R) + \
+            result.fraction(Outcome.ITR_SDC_D)
+        assert detected_mask + detected_sdc > 0.5
+
+
+class TestCrossSimulatorEquivalence:
+    @pytest.mark.parametrize("name", ["crc32", "saxpy", "fib_rec"])
+    def test_three_way_agreement(self, name):
+        """Functional sim, plain pipeline, and ITR pipeline all agree."""
+        kernel = get_kernel(name)
+        outputs = set()
+        functional = FunctionalSimulator(kernel.program(),
+                                         inputs=kernel.inputs)
+        functional.run_silently(3_000_000)
+        outputs.add(functional.output)
+        for with_itr in (False, True):
+            pipeline = build_pipeline(kernel.program(), with_itr=with_itr,
+                                      inputs=kernel.inputs)
+            pipeline.run(max_cycles=3_000_000)
+            outputs.add(pipeline.output)
+        assert outputs == {kernel.expected_output}

@@ -1,0 +1,54 @@
+"""Smoke tests: every shipped example must run to completion."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent.parent / "examples"
+
+
+def _run(name, argv):
+    old_argv = sys.argv
+    sys.argv = [name] + argv
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart(capsys):
+    _run("quickstart.py", [])
+    out = capsys.readouterr().out
+    assert "detected" in out
+    assert "output matches golden" in out
+
+
+def test_custom_workload(capsys):
+    _run("custom_workload.py", [])
+    out = capsys.readouterr().out
+    assert "vowels=11" in out
+    assert "static traces" in out
+
+
+def test_cache_design_explorer(capsys):
+    _run("cache_design_explorer.py", ["twolf", "40000"])
+    out = capsys.readouterr().out
+    assert "design point" in out
+    assert "cheaper" in out
+
+
+def test_fault_injection_demo(capsys):
+    _run("fault_injection_demo.py", ["8"])
+    out = capsys.readouterr().out
+    assert "injected faults" in out
+    assert "detected by ITR" in out
+
+
+@pytest.mark.slow
+def test_protected_machine(capsys):
+    _run("protected_machine.py", [])
+    out = capsys.readouterr().out
+    assert "fault injected into quicksort" in out
+    assert "output correct=True" in out

@@ -1,0 +1,336 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa.assembler import assemble
+from repro.isa.program import DATA_BASE, TEXT_BASE
+
+
+def first(source):
+    return assemble(".text\nmain:\n" + source).instructions[0]
+
+
+class TestBasicFormats:
+    def test_r_format(self):
+        instr = first("add $t0, $t1, $t2")
+        assert (instr.mnemonic, instr.rd, instr.rs, instr.rt) == \
+            ("add", 8, 9, 10)
+
+    def test_immediate(self):
+        instr = first("addi $t0, $t1, -5")
+        assert instr.imm == 0xFFFB
+
+    def test_shift(self):
+        instr = first("sll $t0, $t1, 3")
+        assert instr.shamt == 3
+
+    def test_shift_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            first("sll $t0, $t1, 32")
+
+    def test_load(self):
+        instr = first("lw $t0, 8($sp)")
+        assert (instr.rd, instr.rs, instr.imm) == (8, 29, 8)
+
+    def test_load_negative_offset(self):
+        instr = first("lw $t0, -4($sp)")
+        assert instr.imm == 0xFFFC
+
+    def test_load_no_offset(self):
+        instr = first("lw $t0, ($sp)")
+        assert instr.imm == 0
+
+    def test_store(self):
+        instr = first("sw $t3, 4($gp)")
+        assert (instr.rt, instr.rs, instr.imm) == (11, 28, 4)
+
+    def test_fp_ops(self):
+        instr = first("add.s $f1, $f2, $f3")
+        assert (instr.rd, instr.rs, instr.rt) == (1, 2, 3)
+
+    def test_fp_load(self):
+        instr = first("lwc1 $f4, 0($t0)")
+        assert (instr.rd, instr.rs) == (4, 8)
+
+    def test_syscall(self):
+        assert first("syscall").mnemonic == "syscall"
+
+    def test_lui(self):
+        assert first("lui $t0, 0x1234").imm == 0x1234
+
+    def test_numeric_registers(self):
+        instr = first("add $8, $9, $10")
+        assert (instr.rd, instr.rs, instr.rt) == (8, 9, 10)
+
+    def test_hex_immediate(self):
+        assert first("ori $t0, $zero, 0xFF").imm == 0xFF
+
+    def test_char_immediate(self):
+        assert first("ori $t0, $zero, 'A'").imm == 65
+
+    def test_comma_char_literal(self):
+        """A quoted comma must not split the operand list."""
+        program = assemble(".text\nmain:\n  li $t3, ','")
+        assert program.instructions[0].imm == ord(",")
+
+
+class TestBranchesAndJumps:
+    def test_backward_branch(self):
+        program = assemble("""
+        .text
+        main:
+        top:
+            addi $t0, $t0, 1
+            bne  $t0, $t1, top
+        """)
+        branch = program.instructions[1]
+        # displacement = target - (pc + 8) in words = -2
+        assert branch.imm == 0xFFFE
+
+    def test_forward_branch(self):
+        program = assemble("""
+        .text
+        main:
+            beq $t0, $t1, skip
+            addi $t0, $t0, 1
+        skip:
+            syscall
+        """)
+        assert program.instructions[0].imm == 1
+
+    def test_jump_target_word_index(self):
+        program = assemble("""
+        .text
+        main:
+            j end
+            nop
+        end:
+            syscall
+        """)
+        assert program.instructions[0].imm == 2
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError, match="undefined label"):
+            assemble(".text\nmain:\n  j nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble(".text\nfoo:\nfoo:\n  nop")
+
+
+class TestPseudoInstructions:
+    def test_li_small(self):
+        program = assemble(".text\nmain:\n  li $t0, 42")
+        assert len(program.instructions) == 1
+        assert program.instructions[0].mnemonic == "ori"
+
+    def test_li_negative(self):
+        program = assemble(".text\nmain:\n  li $t0, -3")
+        assert program.instructions[0].mnemonic == "addiu"
+        assert program.instructions[0].imm == 0xFFFD
+
+    def test_li_large(self):
+        program = assemble(".text\nmain:\n  li $t0, 0x12345678")
+        assert [i.mnemonic for i in program.instructions] == ["lui", "ori"]
+        assert program.instructions[0].imm == 0x1234
+        assert program.instructions[1].imm == 0x5678
+
+    def test_li_large_zero_low(self):
+        program = assemble(".text\nmain:\n  li $t0, 0x12340000")
+        assert [i.mnemonic for i in program.instructions] == ["lui"]
+
+    def test_la(self):
+        program = assemble("""
+        .data
+        thing: .word 1
+        .text
+        main:
+            la $t0, thing
+        """)
+        lui, ori = program.instructions
+        address = (lui.imm << 16) | ori.imm
+        assert address == DATA_BASE
+
+    def test_move(self):
+        instr = first("move $t0, $t1")
+        assert instr.mnemonic == "addu"
+        assert instr.rt == 0
+
+    def test_b(self):
+        program = assemble(".text\nmain:\ntop:\n  b top")
+        instr = program.instructions[0]
+        assert instr.mnemonic == "beq"
+        assert instr.rs == instr.rt == 0
+
+    def test_beqz_bnez(self):
+        program = assemble("""
+        .text
+        main:
+        top:
+            beqz $t0, top
+            bnez $t1, top
+        """)
+        assert program.instructions[0].mnemonic == "beq"
+        assert program.instructions[1].mnemonic == "bne"
+
+    @pytest.mark.parametrize("pseudo,expected_branch", [
+        ("blt", "bne"), ("bgt", "bne"), ("ble", "beq"), ("bge", "beq"),
+    ])
+    def test_compare_branches(self, pseudo, expected_branch):
+        program = assemble(f"""
+        .text
+        main:
+        top:
+            {pseudo} $t0, $t1, top
+        """)
+        assert [i.mnemonic for i in program.instructions] == \
+            ["slt", expected_branch]
+        # expansion uses $at
+        assert program.instructions[0].rd == 1
+
+    def test_not(self):
+        assert first("not $t0, $t1").mnemonic == "nor"
+
+    def test_neg(self):
+        instr = first("neg $t0, $t1")
+        assert instr.mnemonic == "sub"
+        assert instr.rs == 0
+
+    def test_mul_alias(self):
+        assert first("mul $t0, $t1, $t2").mnemonic == "mult"
+
+    def test_subi(self):
+        instr = first("subi $t0, $t1, 5")
+        assert instr.mnemonic == "addi"
+        assert instr.imm == 0xFFFB
+
+
+class TestDataDirectives:
+    def test_word(self):
+        program = assemble("""
+        .data
+        values: .word 1, 2, -1
+        .text
+        main: nop
+        """)
+        assert program.data == (b"\x01\x00\x00\x00\x02\x00\x00\x00"
+                                b"\xff\xff\xff\xff")
+
+    def test_half_and_byte(self):
+        program = assemble("""
+        .data
+        h: .half 0x1234
+        b: .byte 0xAB
+        .text
+        main: nop
+        """)
+        assert program.data == b"\x34\x12\xab"
+
+    def test_space(self):
+        program = assemble(".data\nbuf: .space 5\n.text\nmain: nop")
+        assert program.data == b"\x00" * 5
+
+    def test_align(self):
+        program = assemble("""
+        .data
+        b: .byte 1
+        .align 2
+        w: .word 2
+        .text
+        main: nop
+        """)
+        assert program.symbols["w"] == DATA_BASE + 4
+
+    def test_asciiz(self):
+        program = assemble('.data\ns: .asciiz "hi"\n.text\nmain: nop')
+        assert program.data == b"hi\x00"
+
+    def test_asciiz_escape(self):
+        program = assemble('.data\ns: .asciiz "a\\nb"\n.text\nmain: nop')
+        assert program.data == b"a\nb\x00"
+
+    def test_float(self):
+        import struct
+        program = assemble(".data\nf: .float 1.5\n.text\nmain: nop")
+        assert program.data == struct.pack("<f", 1.5)
+
+    def test_word_with_label(self):
+        program = assemble("""
+        .data
+        a: .word 7
+        ptr: .word a
+        .text
+        main: nop
+        """)
+        assert program.data[4:8] == DATA_BASE.to_bytes(4, "little")
+
+    def test_data_in_text_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\n.word 5")
+
+    def test_instruction_in_data_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\nadd $t0, $t1, $t2")
+
+
+class TestErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(AssemblerError, match="unknown instruction"):
+            assemble(".text\nmain:\n  bogus $t0")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError):
+            first("add $t0, $t1, $t99")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError, match="expects"):
+            first("add $t0, $t1")
+
+    def test_immediate_overflow(self):
+        with pytest.raises(AssemblerError):
+            first("addi $t0, $t1, 100000")
+
+    def test_error_reports_line(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble(".text\nmain:\n  bogus $t0")
+
+    def test_empty_program(self):
+        with pytest.raises(AssemblerError):
+            assemble(".text\n# nothing")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError, match="memory operand"):
+            first("lw $t0, $t1")
+
+
+class TestSymbolsAndEntry:
+    def test_main_is_entry(self):
+        program = assemble("""
+        .text
+        helper:
+            nop
+        main:
+            syscall
+        """)
+        assert program.entry == TEXT_BASE + 8
+
+    def test_no_main_starts_at_text_base(self):
+        program = assemble(".text\nstart:\n  nop")
+        assert program.entry == TEXT_BASE
+
+    def test_comments_ignored(self):
+        program = assemble("""
+        .text
+        main:  # entry point
+            nop  # do nothing
+        """)
+        assert len(program.instructions) == 1
+
+    def test_multiple_labels_one_line(self):
+        program = assemble(".text\na: b: main: nop")
+        assert program.symbols["a"] == program.symbols["b"] == TEXT_BASE
+
+    def test_listing_contains_labels(self):
+        program = assemble(".text\nmain:\n  nop")
+        assert "main:" in program.listing()

@@ -1,0 +1,202 @@
+"""Tests for the 64-bit decode-signal vector (paper Table 2)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.decode_signals import (
+    FIELD_BY_NAME,
+    FIELDS,
+    TOTAL_WIDTH,
+    DecodeSignals,
+    decode,
+    field_of_bit,
+    signal_table_rows,
+)
+from repro.isa.instruction import make
+from repro.isa.opcodes import all_specs
+
+
+class TestLayout:
+    def test_total_width_is_64(self):
+        assert TOTAL_WIDTH == 64
+        assert sum(f.width for f in FIELDS) == 64
+
+    def test_paper_table2_widths(self):
+        """Field widths must match paper Table 2 exactly."""
+        expected = {
+            "opcode": 8, "flags": 12, "shamt": 5, "rsrc1": 5, "rsrc2": 5,
+            "rdst": 5, "lat": 2, "imm": 16, "num_rsrc": 2, "num_rdst": 1,
+            "mem_size": 3,
+        }
+        assert {f.name: f.width for f in FIELDS} == expected
+
+    def test_fields_contiguous(self):
+        offset = 0
+        for field in FIELDS:
+            assert field.offset == offset
+            offset += field.width
+
+    def test_field_of_bit(self):
+        assert field_of_bit(0).name == "opcode"
+        assert field_of_bit(7).name == "opcode"
+        assert field_of_bit(8).name == "flags"
+        assert field_of_bit(63).name == "mem_size"
+
+    def test_field_of_bit_range(self):
+        with pytest.raises(ValueError):
+            field_of_bit(64)
+
+    def test_table_rows(self):
+        rows = signal_table_rows()
+        assert len(rows) == 11
+        assert sum(width for _, _, width in rows) == 64
+
+
+def _signals_strategy():
+    return st.builds(
+        DecodeSignals,
+        opcode=st.integers(0, 255),
+        flags=st.integers(0, 0xFFF),
+        shamt=st.integers(0, 31),
+        rsrc1=st.integers(0, 31),
+        rsrc2=st.integers(0, 31),
+        rdst=st.integers(0, 31),
+        lat=st.integers(0, 3),
+        imm=st.integers(0, 0xFFFF),
+        num_rsrc=st.integers(0, 3),
+        num_rdst=st.integers(0, 1),
+        mem_size=st.integers(0, 7),
+    )
+
+
+class TestPackUnpack:
+    @given(_signals_strategy())
+    def test_roundtrip(self, signals):
+        assert DecodeSignals.unpack(signals.pack()) == signals
+
+    @given(_signals_strategy(), st.integers(0, 63))
+    def test_bit_flip_changes_exactly_one_field(self, signals, bit):
+        flipped = signals.with_bit_flipped(bit)
+        diffs = signals.diff(flipped)
+        assert len(diffs) == 1
+        assert diffs[0] == field_of_bit(bit).name
+
+    @given(_signals_strategy(), st.integers(0, 63))
+    def test_bit_flip_involution(self, signals, bit):
+        assert signals.with_bit_flipped(bit).with_bit_flipped(bit) == signals
+
+    def test_with_field(self):
+        signals = decode(make("add", rd=1, rs=2, rt=3))
+        assert signals.with_field(imm=99).imm == 99
+
+
+class TestDecodeMapping:
+    def test_r_format(self):
+        signals = decode(make("add", rd=1, rs=2, rt=3))
+        assert (signals.rdst, signals.rsrc1, signals.rsrc2) == (1, 2, 3)
+        assert signals.num_rsrc == 2
+        assert signals.num_rdst == 1
+        assert signals.is_rr
+
+    def test_immediate_format(self):
+        signals = decode(make("addi", rd=4, rs=5, imm=100))
+        assert signals.rdst == 4
+        assert signals.rsrc1 == 5
+        assert signals.imm == 100
+        assert signals.num_rsrc == 1
+
+    def test_load_format(self):
+        signals = decode(make("lw", rd=6, rs=29, imm=8))
+        assert signals.is_ld
+        assert signals.mem_size == 4
+        assert signals.rdst == 6
+        assert signals.rsrc1 == 29
+        assert signals.is_disp
+
+    def test_store_format(self):
+        signals = decode(make("sw", rt=7, rs=29, imm=12))
+        assert signals.is_st
+        assert signals.rsrc1 == 29  # base
+        assert signals.rsrc2 == 7   # data
+        assert signals.num_rdst == 0
+
+    def test_branch_format(self):
+        signals = decode(make("beq", rs=1, rt=2, imm=5))
+        assert signals.is_branch
+        assert not signals.is_uncond
+        assert signals.num_rdst == 0
+        assert signals.ends_trace
+
+    def test_jal_writes_link(self):
+        signals = decode(make("jal", imm=10))
+        assert signals.is_uncond
+        assert signals.is_direct
+        assert signals.rdst == 31
+        assert signals.num_rdst == 1
+
+    def test_j_no_link(self):
+        signals = decode(make("j", imm=10))
+        assert signals.num_rdst == 0
+
+    def test_jr(self):
+        signals = decode(make("jr", rs=31))
+        assert signals.is_uncond
+        assert not signals.is_direct
+        assert signals.rsrc1 == 31
+
+    def test_trap(self):
+        signals = decode(make("syscall"))
+        assert signals.is_trap
+        assert signals.ends_trace
+        assert not signals.is_control
+
+    def test_shift_amount(self):
+        signals = decode(make("sll", rd=1, rs=2, shamt=7))
+        assert signals.shamt == 7
+
+    def test_latency_cycles(self):
+        assert decode(make("add")).latency_cycles == 1
+        assert decode(make("lw")).latency_cycles == 2
+        assert decode(make("mult")).latency_cycles == 4
+        assert decode(make("div")).latency_cycles == 12
+
+
+class TestFileSelection:
+    def test_fp_arith_all_fp(self):
+        signals = decode(make("add.s", rd=1, rs=2, rt=3))
+        assert signals.rsrc1_is_fp and signals.rsrc2_is_fp
+        assert signals.rdst_is_fp
+
+    def test_fp_load_base_is_int(self):
+        signals = decode(make("lwc1", rd=1, rs=8, imm=0))
+        assert not signals.rsrc1_is_fp  # base address from int file
+        assert signals.rdst_is_fp       # destination in FP file
+
+    def test_fp_store_base_int_data_fp(self):
+        signals = decode(make("swc1", rt=1, rs=8, imm=0))
+        assert not signals.rsrc1_is_fp
+        assert signals.rsrc2_is_fp
+
+    def test_int_ops_all_int(self):
+        signals = decode(make("add", rd=1, rs=2, rt=3))
+        assert not signals.rsrc1_is_fp
+        assert not signals.rdst_is_fp
+
+
+class TestItrInvariant:
+    def test_decode_is_pure(self):
+        """The property ITR relies on: identical instructions decode to
+        identical signal vectors, always."""
+        for spec in all_specs():
+            instr_a = make(spec.mnemonic, rd=3, rs=4, rt=5, shamt=2, imm=9)
+            instr_b = make(spec.mnemonic, rd=3, rs=4, rt=5, shamt=2, imm=9)
+            assert decode(instr_a).pack() == decode(instr_b).pack()
+
+    def test_distinct_instructions_distinct_vectors(self):
+        assert decode(make("add", rd=1, rs=2, rt=3)).pack() != \
+            decode(make("sub", rd=1, rs=2, rt=3)).pack()
+
+    def test_describe_mentions_opcode(self):
+        text = decode(make("add", rd=1, rs=2, rt=3)).describe()
+        assert "add" in text
+        assert "is_int" in text

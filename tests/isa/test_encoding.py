@@ -1,0 +1,95 @@
+"""Tests for repro.isa.encoding (and Instruction round-trips)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DecodingError
+from repro.isa.encoding import (
+    INSTRUCTION_BYTES,
+    decode_image,
+    decode_word,
+    encode,
+    encode_program,
+)
+from repro.isa.instruction import Instruction, make
+from repro.isa.opcodes import all_specs
+
+
+class TestEncodeDecode:
+    def test_roundtrip_simple(self):
+        instr = make("add", rd=1, rs=2, rt=3)
+        assert decode_word(encode(instr)) == instr
+
+    def test_roundtrip_immediate(self):
+        instr = make("addi", rd=4, rs=5, imm=-100)
+        assert decode_word(encode(instr)) == instr
+
+    def test_word_is_64bit(self):
+        word = encode(make("lui", rd=31, imm=0xFFFF))
+        assert 0 <= word < (1 << 64)
+
+    def test_unassigned_opcode_rejected(self):
+        with pytest.raises(DecodingError):
+            decode_word(0xFE << 56)
+
+    def test_reserved_bits_rejected(self):
+        word = encode(make("add", rd=1, rs=2, rt=3)) | 1
+        with pytest.raises(DecodingError):
+            decode_word(word)
+
+    def test_oversized_word_rejected(self):
+        with pytest.raises(DecodingError):
+            decode_word(1 << 64)
+
+    @given(st.sampled_from([s.mnemonic for s in all_specs()]),
+           st.integers(0, 31), st.integers(0, 31), st.integers(0, 31),
+           st.integers(0, 31), st.integers(0, 0xFFFF))
+    def test_roundtrip_random(self, mnemonic, rd, rs, rt, shamt, imm):
+        instr = make(mnemonic, rd=rd, rs=rs, rt=rt, shamt=shamt, imm=imm)
+        assert decode_word(encode(instr)) == instr
+
+
+class TestImageRoundtrip:
+    def test_program_roundtrip(self):
+        instructions = [make("add", rd=1, rs=2, rt=3),
+                        make("lw", rd=4, rs=29, imm=8),
+                        make("syscall")]
+        image = encode_program(instructions)
+        assert len(image) == 3 * INSTRUCTION_BYTES
+        assert decode_image(image) == instructions
+
+    def test_misaligned_image_rejected(self):
+        with pytest.raises(DecodingError):
+            decode_image(b"\x00" * 7)
+
+    def test_empty_image(self):
+        assert decode_image(b"") == []
+
+
+class TestInstructionValidation:
+    def test_register_range(self):
+        with pytest.raises(ValueError):
+            make("add", rd=32)
+
+    def test_imm_range(self):
+        with pytest.raises(ValueError):
+            Instruction(make("addi").op, imm=0x10000)
+
+    def test_negative_imm_wrapped(self):
+        assert make("addi", imm=-1).imm == 0xFFFF
+
+    def test_ends_trace(self):
+        assert make("beq").ends_trace
+        assert make("j").ends_trace
+        assert make("syscall").ends_trace
+        assert not make("add").ends_trace
+
+    def test_render_formats(self):
+        assert make("add", rd=8, rs=9, rt=10).render() == \
+            "add $t0, $t1, $t2"
+        assert make("lw", rd=8, rs=29, imm=4).render() == "lw $t0, 4($sp)"
+        assert make("sw", rt=8, rs=29, imm=-4).render() == "sw $t0, -4($sp)"
+        assert make("sll", rd=8, rs=9, shamt=2).render() == "sll $t0, $t1, 2"
+        assert make("add.s", rd=1, rs=2, rt=3).render() == \
+            "add.s $f1, $f2, $f3"
+        assert make("syscall").render() == "syscall"

@@ -1,0 +1,44 @@
+"""Tests for the generated ISA manual (and its freshness on disk)."""
+
+import pathlib
+
+import pytest
+
+from repro.isa.manual import generate_isa_manual
+from repro.isa.opcodes import all_specs
+
+DOCS_PATH = pathlib.Path(__file__).parent.parent.parent / "docs" / "isa.md"
+
+
+class TestGeneration:
+    def test_every_opcode_documented(self):
+        manual = generate_isa_manual()
+        for spec in all_specs():
+            assert f"`{spec.mnemonic}`" in manual
+
+    def test_signal_fields_documented(self):
+        manual = generate_isa_manual()
+        for field in ("opcode", "flags", "num_rsrc", "mem_size"):
+            assert f"`{field}`" in manual
+
+    def test_memory_map_documented(self):
+        manual = generate_isa_manual()
+        assert "0x00400000" in manual
+        assert "0x10000000" in manual
+
+    def test_syscalls_documented(self):
+        manual = generate_isa_manual()
+        assert "`print_int`" in manual
+        assert "`exit`" in manual
+
+    def test_deterministic(self):
+        assert generate_isa_manual() == generate_isa_manual()
+
+
+class TestDocsInSync:
+    def test_committed_manual_matches_generator(self):
+        """docs/isa.md is generated; regenerate it when this fails:
+        ``python -m repro.isa.manual > docs/isa.md``"""
+        assert DOCS_PATH.exists(), "docs/isa.md missing"
+        assert DOCS_PATH.read_text().strip() == \
+            generate_isa_manual().strip()

@@ -1,0 +1,136 @@
+"""Tests for repro.isa.opcodes."""
+
+import pytest
+
+from repro.isa.opcodes import (
+    BY_CODE,
+    BY_MNEMONIC,
+    FLAG_NAMES,
+    Format,
+    LatencyClass,
+    all_specs,
+    from_code,
+    lookup,
+)
+
+
+class TestTableConsistency:
+    def test_no_duplicate_codes(self):
+        codes = [spec.code for spec in all_specs()]
+        assert len(codes) == len(set(codes))
+
+    def test_no_duplicate_mnemonics(self):
+        names = [spec.mnemonic for spec in all_specs()]
+        assert len(names) == len(set(names))
+
+    def test_codes_are_bytes(self):
+        assert all(0 <= spec.code <= 0xFF for spec in all_specs())
+
+    def test_twelve_flags(self):
+        assert len(FLAG_NAMES) == 12
+
+    def test_every_spec_flags_known(self):
+        for spec in all_specs():
+            assert spec.flags <= set(FLAG_NAMES)
+
+
+class TestLookup:
+    def test_lookup_known(self):
+        assert lookup("add").code == 0x10
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            lookup("frobnicate")
+
+    def test_from_code_known(self):
+        assert from_code(0x10).mnemonic == "add"
+
+    def test_from_code_unassigned(self):
+        assert from_code(0xFE) is None
+
+
+class TestCategories:
+    def test_branches_are_control(self):
+        for name in ("beq", "bne", "blez", "bgtz", "bltz", "bgez"):
+            assert lookup(name).is_control
+            assert lookup(name).has("is_branch")
+
+    def test_jumps_are_control(self):
+        for name in ("j", "jal", "jr", "jalr"):
+            assert lookup(name).is_control
+            assert lookup(name).has("is_uncond")
+
+    def test_direct_jumps(self):
+        assert lookup("j").has("is_direct")
+        assert lookup("jal").has("is_direct")
+        assert not lookup("jr").has("is_direct")
+
+    def test_loads(self):
+        for name in ("lb", "lbu", "lh", "lhu", "lw", "lwl", "lwr", "lwc1"):
+            spec = lookup(name)
+            assert spec.is_memory
+            assert spec.has("is_ld")
+            assert spec.mem_size > 0
+
+    def test_stores(self):
+        for name in ("sb", "sh", "sw", "swl", "swr", "swc1"):
+            spec = lookup(name)
+            assert spec.has("is_st")
+            assert spec.num_rdst == 0
+
+    def test_mem_lr_flags(self):
+        for name in ("lwl", "lwr", "swl", "swr"):
+            assert lookup(name).has("mem_lr")
+
+    def test_fp_ops(self):
+        for name in ("add.s", "mul.s", "div.s", "lwc1", "swc1"):
+            assert lookup(name).has("is_fp")
+
+    def test_traps(self):
+        assert lookup("syscall").has("is_trap")
+        assert lookup("break").has("is_trap")
+        assert not lookup("syscall").is_control
+
+
+class TestLatencies:
+    def test_alu_fast(self):
+        assert lookup("add").lat == LatencyClass.FAST
+
+    def test_loads_medium(self):
+        assert lookup("lw").lat == LatencyClass.MEDIUM
+
+    def test_multiply_long(self):
+        assert lookup("mult").lat == LatencyClass.LONG
+
+    def test_divide_very_long(self):
+        assert lookup("div").lat == LatencyClass.VERY_LONG
+        assert lookup("div.s").lat == LatencyClass.VERY_LONG
+
+    def test_latency_cycles_monotone(self):
+        cycles = [cls.cycles for cls in LatencyClass]
+        assert cycles == sorted(cycles)
+        assert cycles[0] == 1
+
+
+class TestOperandCounts:
+    def test_r_format(self):
+        assert lookup("add").num_rsrc == 2
+        assert lookup("add").num_rdst == 1
+
+    def test_store_format(self):
+        assert lookup("sw").num_rsrc == 2
+        assert lookup("sw").num_rdst == 0
+
+    def test_branch_format(self):
+        assert lookup("beq").num_rsrc == 2
+        assert lookup("blez").num_rsrc == 1
+
+    def test_jump_format(self):
+        assert lookup("j").num_rsrc == 0
+        assert lookup("jr").num_rsrc == 1
+
+    def test_mem_sizes(self):
+        assert lookup("lb").mem_size == 1
+        assert lookup("lh").mem_size == 2
+        assert lookup("lw").mem_size == 4
+        assert lookup("add").mem_size == 0

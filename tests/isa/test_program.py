@@ -1,0 +1,121 @@
+"""Tests for repro.isa.program and registers / disassembler."""
+
+import pytest
+
+from repro.errors import MemoryFault
+from repro.isa import assemble, disassemble_program
+from repro.isa.disassembler import disassemble_word
+from repro.isa.encoding import encode
+from repro.isa.instruction import make
+from repro.isa.program import DATA_BASE, TEXT_BASE, Program
+from repro.isa.registers import (
+    fp_reg_name,
+    int_reg_name,
+    parse_fp_register,
+    parse_register,
+)
+
+
+class TestProgram:
+    def _program(self):
+        return Program(instructions=[make("nop"), make("syscall")],
+                       name="p")
+
+    def test_text_end(self):
+        assert self._program().text_end == TEXT_BASE + 16
+
+    def test_instruction_at(self):
+        program = self._program()
+        assert program.instruction_at(TEXT_BASE).mnemonic == "nop"
+        assert program.instruction_at(TEXT_BASE + 8).mnemonic == "syscall"
+
+    def test_fetch_outside_text(self):
+        with pytest.raises(MemoryFault):
+            self._program().instruction_at(TEXT_BASE + 16)
+
+    def test_fetch_below_text(self):
+        with pytest.raises(MemoryFault):
+            self._program().instruction_at(0)
+
+    def test_misaligned_fetch(self):
+        with pytest.raises(MemoryFault):
+            self._program().instruction_at(TEXT_BASE + 4)
+
+    def test_contains_pc(self):
+        program = self._program()
+        assert program.contains_pc(TEXT_BASE)
+        assert not program.contains_pc(TEXT_BASE + 4)
+        assert not program.contains_pc(TEXT_BASE + 16)
+
+    def test_index_pc_roundtrip(self):
+        program = self._program()
+        assert program.index_of(program.pc_of(1)) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Program(instructions=[])
+
+    def test_bad_entry_rejected(self):
+        with pytest.raises(ValueError):
+            Program(instructions=[make("nop")], entry=TEXT_BASE + 8)
+
+    def test_symbol_lookup(self):
+        program = assemble(".text\nmain:\n  nop")
+        assert program.symbol("main") == TEXT_BASE
+        with pytest.raises(KeyError):
+            program.symbol("nope")
+
+    def test_len(self):
+        assert len(self._program()) == 2
+
+
+class TestRegisters:
+    def test_named_aliases(self):
+        assert parse_register("$zero") == 0
+        assert parse_register("$sp") == 29
+        assert parse_register("$ra") == 31
+        assert parse_register("$t0") == 8
+        assert parse_register("$s0") == 16
+
+    def test_numeric(self):
+        assert parse_register("$13") == 13
+        assert parse_register("r13") == 13
+
+    def test_fp(self):
+        assert parse_fp_register("$f0") == 0
+        assert parse_fp_register("$f31") == 31
+
+    def test_fp_rejected_as_int(self):
+        with pytest.raises(ValueError):
+            parse_register("$f1")
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            parse_register("$xyz")
+
+    def test_names_roundtrip(self):
+        for index in range(32):
+            assert parse_register(int_reg_name(index)) == index
+            assert parse_fp_register(fp_reg_name(index)) == index
+
+    def test_name_range(self):
+        with pytest.raises(ValueError):
+            int_reg_name(32)
+
+
+class TestDisassembler:
+    def test_word_roundtrip(self):
+        instr = make("addi", rd=8, rs=9, imm=5)
+        assert disassemble_word(encode(instr)) == "addi $t0, $t1, 5"
+
+    def test_program_listing(self):
+        program = assemble("""
+        .text
+        main:
+            li $t0, 1
+            syscall
+        """)
+        listing = disassemble_program(program)
+        assert "main:" in listing
+        assert "syscall" in listing
+        assert f"0x{TEXT_BASE:08x}" in listing

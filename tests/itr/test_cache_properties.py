@@ -1,0 +1,87 @@
+"""Property-based tests: ItrCache against an OrderedDict-LRU oracle."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.itr.itr_cache import ItrCache, ItrCacheConfig
+
+_PC = st.integers(0, 63).map(lambda i: 0x400000 + i * 8)
+
+
+@st.composite
+def _accesses(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 80))):
+        ops.append((draw(_PC), draw(st.integers(0, (1 << 64) - 1))))
+    return ops
+
+
+class _LruOracle:
+    """Fully-associative LRU reference with capacity eviction."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.lines = OrderedDict()
+
+    def lookup(self, pc):
+        if pc in self.lines:
+            self.lines.move_to_end(pc)
+            return self.lines[pc]
+        return None
+
+    def insert(self, pc, signature):
+        if pc in self.lines:
+            self.lines[pc] = signature
+            self.lines.move_to_end(pc)
+            return None
+        evicted = None
+        if len(self.lines) >= self.capacity:
+            evicted, _ = self.lines.popitem(last=False)
+        self.lines[pc] = signature
+        self.lines.move_to_end(pc)
+        return evicted
+
+
+@settings(max_examples=60, deadline=None)
+@given(_accesses(), st.sampled_from([4, 8, 16]))
+def test_fully_associative_matches_lru_oracle(accesses, capacity):
+    """For a fully-associative cache, lookup/insert behaviour (including
+    which tag gets evicted) must match a canonical LRU."""
+    cache = ItrCache(ItrCacheConfig(entries=capacity, assoc=0))
+    oracle = _LruOracle(capacity)
+    for pc, signature in accesses:
+        cache_line = cache.lookup(pc)
+        oracle_hit = oracle.lookup(pc)
+        assert (cache_line is None) == (oracle_hit is None)
+        if cache_line is not None:
+            assert cache_line.signature == oracle_hit
+        else:
+            evicted = cache.insert(pc, signature, length=1)
+            oracle_evicted = oracle.insert(pc, signature)
+            assert (evicted.tag if evicted else None) == oracle_evicted
+
+
+@settings(max_examples=40, deadline=None)
+@given(_accesses())
+def test_occupancy_never_exceeds_capacity(accesses):
+    cache = ItrCache(ItrCacheConfig(entries=8, assoc=2))
+    for pc, signature in accesses:
+        if cache.lookup(pc) is None:
+            cache.insert(pc, signature, length=1)
+        assert cache.occupancy() <= 8
+
+
+@settings(max_examples=40, deadline=None)
+@given(_accesses())
+def test_resident_signature_always_latest_insert(accesses):
+    cache = ItrCache(ItrCacheConfig(entries=16, assoc=4))
+    latest = {}
+    for pc, signature in accesses:
+        if cache.lookup(pc) is None:
+            cache.insert(pc, signature, length=1)
+            latest[pc] = signature
+    for pc, signature in latest.items():
+        line = cache.peek(pc)
+        if line is not None:
+            assert line.signature == signature

@@ -1,0 +1,253 @@
+"""Tests for the ITR controller protocol (paper Section 2.2)."""
+
+import pytest
+
+from repro.isa.decode_signals import decode
+from repro.isa.instruction import make
+from repro.itr.controller import CommitAction, ItrController
+from repro.itr.itr_cache import ItrCacheConfig
+
+PC = 0x00400000
+ADD = decode(make("add", rd=1, rs=2, rt=3))
+JR = decode(make("jr", rs=31))
+
+
+def controller(**kwargs):
+    kwargs.setdefault("cache_config", ItrCacheConfig(entries=16, assoc=2))
+    return ItrController(**kwargs)
+
+
+def feed_trace(ctrl, start_pc, taint_first=False):
+    """Decode a 2-instruction trace (add; jr) starting at ``start_pc``.
+
+    ``taint_first`` models a decode-signal fault on the first instruction:
+    the signals are corrupted (one bit flipped) *and* marked tainted, just
+    as the pipeline's injector does.
+    """
+    first = ADD.with_bit_flipped(5) if taint_first else ADD
+    seq_a, end_a = ctrl.on_decode(start_pc, first, tainted=taint_first)
+    seq_b, end_b = ctrl.on_decode(start_pc + 8, JR)
+    assert seq_a == seq_b
+    assert not end_a and end_b
+    return seq_a
+
+
+def commit_trace(ctrl, seq):
+    """Commit both instructions of a fed trace; returns decisions."""
+    decisions = [ctrl.commit_check(seq), ]
+    ctrl.note_commit(seq, is_trace_end=False)
+    decisions.append(ctrl.commit_check(seq))
+    ctrl.note_commit(seq, is_trace_end=True)
+    return decisions
+
+
+class TestDecodeSide:
+    def test_first_instance_misses(self):
+        ctrl = controller()
+        feed_trace(ctrl, PC)
+        assert ctrl.stats.cache_misses == 1
+        assert ctrl.rob.head().missed
+
+    def test_second_instance_hits_and_matches(self):
+        ctrl = controller()
+        seq = feed_trace(ctrl, PC)
+        commit_trace(ctrl, seq)  # writes signature to the cache
+        seq2 = feed_trace(ctrl, PC)
+        assert ctrl.stats.cache_hits == 1
+        assert ctrl.rob.head().checked
+        assert not ctrl.rob.head().retry
+        assert ctrl.stats.mismatches == 0
+
+    def test_mid_trace_instruction_gets_same_seq(self):
+        ctrl = controller()
+        seq1, _ = ctrl.on_decode(PC, ADD)
+        seq2, _ = ctrl.on_decode(PC + 8, ADD)
+        assert seq1 == seq2
+
+    def test_ready_for_decode_when_full(self):
+        ctrl = ItrController(cache_config=ItrCacheConfig(entries=16, assoc=2),
+                             itr_rob_capacity=1)
+        assert ctrl.ready_for_decode()
+        feed_trace(ctrl, PC)
+        assert not ctrl.ready_for_decode()
+
+
+class TestCommitSide:
+    def test_stall_while_trace_unformed(self):
+        ctrl = controller()
+        seq, _ = ctrl.on_decode(PC, ADD)  # trace not terminated yet
+        decision = ctrl.commit_check(seq)
+        assert decision.action == CommitAction.STALL
+        assert ctrl.stats.commit_stalls == 1
+
+    def test_missed_trace_proceeds(self):
+        ctrl = controller()
+        seq = feed_trace(ctrl, PC)
+        assert ctrl.commit_check(seq).action == CommitAction.PROCEED
+
+    def test_write_on_terminator_commit(self):
+        ctrl = controller()
+        seq = feed_trace(ctrl, PC)
+        commit_trace(ctrl, seq)
+        assert ctrl.cache.contains(PC)
+        assert len(ctrl.rob) == 0
+
+    def test_out_of_sync_note_commit_raises(self):
+        ctrl = controller()
+        feed_trace(ctrl, PC)
+        with pytest.raises(RuntimeError):
+            ctrl.note_commit(999, is_trace_end=False)
+
+
+class TestMismatchProtocol:
+    def _prime_with_taint(self, ctrl):
+        """First instance tainted -> its (faulty) signature enters cache."""
+        seq = feed_trace(ctrl, PC, taint_first=True)
+        commit_trace(ctrl, seq)
+
+    def test_mismatch_detected_on_hit(self):
+        ctrl = controller()
+        self._prime_with_taint(ctrl)
+        feed_trace(ctrl, PC)  # clean re-execution -> signature differs
+        assert ctrl.stats.mismatches == 1
+        event = ctrl.events[0]
+        assert event.stored_tainted
+        assert not event.accessing_tainted
+
+    def test_retry_flush_on_first_mismatch(self):
+        ctrl = controller()
+        self._prime_with_taint(ctrl)
+        seq = feed_trace(ctrl, PC)
+        decision = ctrl.commit_check(seq)
+        assert decision.action == CommitAction.RETRY_FLUSH
+        assert decision.restart_pc == PC
+        assert ctrl.stats.retries == 1
+
+    def test_machine_check_on_second_mismatch(self):
+        """Stored signature faulty: retry re-mismatches -> machine check
+        (previous instance corrupted architectural state)."""
+        ctrl = controller()
+        self._prime_with_taint(ctrl)
+        seq = feed_trace(ctrl, PC)
+        assert ctrl.commit_check(seq).action == CommitAction.RETRY_FLUSH
+        ctrl.on_flush()
+        seq2 = feed_trace(ctrl, PC)  # re-execution, still mismatches
+        decision = ctrl.commit_check(seq2)
+        assert decision.action == CommitAction.MACHINE_CHECK
+        assert ctrl.stats.machine_checks == 1
+        assert ctrl.events[-1].resolution == "machine_check"
+
+    def test_recovery_when_accessing_faulty(self):
+        """Accessing signature faulty: retry matches -> recovered."""
+        ctrl = controller()
+        seq = feed_trace(ctrl, PC)          # clean signature cached
+        commit_trace(ctrl, seq)
+        seq2 = feed_trace(ctrl, PC, taint_first=True)  # faulty instance
+        assert ctrl.stats.mismatches == 1
+        assert ctrl.commit_check(seq2).action == CommitAction.RETRY_FLUSH
+        ctrl.on_flush()
+        seq3 = feed_trace(ctrl, PC)          # clean re-execution: matches
+        assert ctrl.commit_check(seq3).action == CommitAction.PROCEED
+        ctrl.note_commit(seq3, is_trace_end=False)
+        assert ctrl.stats.recoveries == 1
+        assert any(e.resolution == "recovered" for e in ctrl.events)
+
+    def test_cache_internal_fault_repaired_by_parity(self):
+        """Fault in the ITR cache itself: parity fails on retry, the line
+        is repaired, no machine check (paper Section 2.4)."""
+        ctrl = controller()
+        seq = feed_trace(ctrl, PC)
+        commit_trace(ctrl, seq)
+        ctrl.cache.inject_fault(PC, bit=7)   # SEU inside the cache
+        seq2 = feed_trace(ctrl, PC)
+        assert ctrl.stats.mismatches == 1
+        assert ctrl.commit_check(seq2).action == CommitAction.RETRY_FLUSH
+        ctrl.on_flush()
+        seq3 = feed_trace(ctrl, PC)
+        assert ctrl.stats.mismatches == 2    # still mismatches
+        decision = ctrl.commit_check(seq3)
+        assert decision.action == CommitAction.PROCEED
+        assert ctrl.stats.cache_faults_repaired == 1
+        assert ctrl.stats.machine_checks == 0
+        # The line now holds the correct signature again.
+        ctrl.note_commit(seq3, is_trace_end=False)
+        ctrl.note_commit(seq3, is_trace_end=True)
+        seq4 = feed_trace(ctrl, PC)
+        assert ctrl.rob.head().checked and not ctrl.rob.head().retry
+
+    def test_monitor_mode_never_flushes(self):
+        ctrl = controller(recovery_enabled=False)
+        self._prime_with_taint(ctrl)
+        seq = feed_trace(ctrl, PC)
+        decision = ctrl.commit_check(seq)
+        assert decision.action == CommitAction.PROCEED
+        assert ctrl.stats.retries == 0
+        assert ctrl.events[0].resolution == "monitor"
+
+
+class TestItrRobForwarding:
+    """Back-to-back in-flight instances of one trace (tight loops).
+
+    A dispatching trace must compare against the youngest older in-flight
+    instance, not stall on the not-yet-written cache line — otherwise a
+    faulty first instance's signature can be silently overwritten by the
+    clean second instance's commit-time write.
+    """
+
+    def test_second_inflight_instance_forwarded(self):
+        ctrl = controller()
+        feed_trace(ctrl, PC)           # instance 1: miss, still in flight
+        feed_trace(ctrl, PC)           # instance 2: forwarded comparison
+        assert ctrl.stats.forwarded_hits == 1
+        entries = list(ctrl.rob.entries())
+        assert entries[0].missed
+        assert entries[0].confirmed_in_flight
+        assert entries[1].checked and not entries[1].retry
+
+    def test_forwarded_mismatch_detected(self):
+        ctrl = controller()
+        feed_trace(ctrl, PC, taint_first=True)   # faulty instance in flight
+        seq2 = feed_trace(ctrl, PC)              # clean instance mismatches
+        assert ctrl.stats.mismatches == 1
+        assert ctrl.events[0].stored_tainted
+        assert not ctrl.events[0].accessing_tainted
+
+    def test_confirmed_write_installs_checked_line(self):
+        ctrl = controller()
+        seq1 = feed_trace(ctrl, PC)
+        feed_trace(ctrl, PC)
+        commit_trace(ctrl, seq1)       # instance 1 commits and writes
+        assert ctrl.cache.peek(PC).checked
+
+    def test_forwarding_prefers_youngest(self):
+        ctrl = controller()
+        feed_trace(ctrl, PC)
+        feed_trace(ctrl, PC)
+        feed_trace(ctrl, PC)
+        # the third instance forwarded from the second, not the first
+        entries = list(ctrl.rob.entries())
+        assert entries[2].cached_writer_seq == entries[1].seq
+
+
+class TestFlushAndResidency:
+    def test_flush_resets_generator_and_rob(self):
+        ctrl = controller()
+        ctrl.on_decode(PC, ADD)
+        feed_trace(ctrl, PC + 100 * 8)
+        ctrl.on_flush()
+        assert len(ctrl.rob) == 0
+        assert not ctrl.generator.in_progress
+
+    def test_pending_fault_resident(self):
+        ctrl = controller()
+        assert not ctrl.pending_fault_resident()
+        seq = feed_trace(ctrl, PC, taint_first=True)
+        commit_trace(ctrl, seq)
+        assert ctrl.pending_fault_resident()
+
+    def test_overflow_guard(self):
+        ctrl = ItrController(cache_config=ItrCacheConfig(entries=16, assoc=2),
+                             itr_rob_capacity=1)
+        feed_trace(ctrl, PC)
+        with pytest.raises(RuntimeError):
+            feed_trace(ctrl, PC + 64)

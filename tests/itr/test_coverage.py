@@ -1,0 +1,126 @@
+"""Tests for coverage accounting (paper Section 3 semantics)."""
+
+import pytest
+
+from repro.itr.coverage import (
+    PAPER_ASSOCIATIVITIES,
+    PAPER_CACHE_SIZES,
+    CoverageSimulator,
+    measure_coverage,
+    paper_configs,
+)
+from repro.itr.itr_cache import ItrCacheConfig
+from repro.itr.trace import TraceEvent
+
+
+def ev(index, length=4):
+    return TraceEvent(start_pc=0x400000 + index * 128, length=length)
+
+
+class TestBasicAccounting:
+    def test_cold_miss_is_recovery_loss_only(self):
+        result = measure_coverage([ev(0)], ItrCacheConfig(entries=4, assoc=1))
+        assert result.misses == 1
+        assert result.recovery_loss_instructions == 4
+        assert result.detection_loss_instructions == 0
+
+    def test_hit_after_miss_no_detection_loss(self):
+        result = measure_coverage([ev(0), ev(0)],
+                                  ItrCacheConfig(entries=4, assoc=1))
+        assert result.hits == 1
+        assert result.detection_loss_instructions == 0
+
+    def test_unreferenced_eviction_is_detection_loss(self):
+        # Direct-mapped 1-entry cache: second trace evicts the first,
+        # which was never referenced.
+        config = ItrCacheConfig(entries=1, assoc=1)
+        result = measure_coverage([ev(0, length=6), ev(1, length=2)], config)
+        assert result.detection_loss_instructions == 6
+        assert result.recovery_loss_instructions == 8
+
+    def test_referenced_then_evicted_no_detection_loss(self):
+        config = ItrCacheConfig(entries=1, assoc=1)
+        result = measure_coverage(
+            [ev(0, length=6), ev(0, length=6), ev(1, length=2)], config)
+        assert result.detection_loss_instructions == 0
+        # misses: ev(0) cold + ev(1)
+        assert result.recovery_loss_instructions == 8
+
+    def test_detection_subset_of_recovery(self):
+        """Paper: detection loss is always <= recovery loss."""
+        events = [ev(i % 7, length=3) for i in range(200)]
+        for config in paper_configs():
+            result = measure_coverage(events, config)
+            assert result.detection_loss_instructions <= \
+                result.recovery_loss_instructions
+
+    def test_totals(self):
+        events = [ev(0, 3), ev(1, 5), ev(0, 3)]
+        result = measure_coverage(events,
+                                  ItrCacheConfig(entries=8, assoc=2))
+        assert result.dynamic_instructions == 11
+        assert result.dynamic_traces == 3
+
+    def test_percentages(self):
+        config = ItrCacheConfig(entries=1, assoc=1)
+        result = measure_coverage([ev(0, 5), ev(1, 5)], config)
+        assert result.recovery_loss_pct == 100.0
+        assert result.detection_loss_pct == 50.0
+
+    def test_empty_stream(self):
+        result = measure_coverage([], ItrCacheConfig(entries=4, assoc=1))
+        assert result.detection_loss_pct == 0.0
+        assert result.recovery_loss_pct == 0.0
+        assert result.miss_rate == 0.0
+
+
+class TestCapacityBehaviour:
+    def test_bigger_cache_never_worse_fully_assoc(self):
+        """For fully-associative LRU, capacity loss is monotone in size
+        (stack property of LRU)."""
+        events = [ev(i % 40, length=4) for i in range(2000)]
+        losses = []
+        for entries in (8, 16, 32, 64):
+            result = measure_coverage(
+                events, ItrCacheConfig(entries=entries, assoc=0))
+            losses.append(result.recovery_loss_instructions)
+        assert losses == sorted(losses, reverse=True)
+
+    def test_working_set_fits_no_loss_after_warmup(self):
+        events = [ev(i % 8, length=4) for i in range(800)]
+        result = measure_coverage(events,
+                                  ItrCacheConfig(entries=16, assoc=0))
+        # only the 8 cold misses
+        assert result.misses == 8
+        assert result.detection_loss_instructions == 0
+
+    def test_thrashing_working_set(self):
+        """Cyclic access to N+1 blocks through an N-entry LRU cache
+        misses every time — the paper's far-repeat pathological case."""
+        events = [ev(i % 9, length=4) for i in range(900)]
+        result = measure_coverage(events,
+                                  ItrCacheConfig(entries=8, assoc=0))
+        assert result.miss_rate == 1.0
+        # every evicted line was unreferenced
+        assert result.detection_loss_instructions > 0.9 * \
+            result.recovery_loss_instructions - 40
+
+
+class TestPaperGrid:
+    def test_grid_size(self):
+        configs = list(paper_configs())
+        assert len(configs) == len(PAPER_CACHE_SIZES) * \
+            len(PAPER_ASSOCIATIVITIES)
+
+    def test_grid_covers_paper_axes(self):
+        configs = list(paper_configs())
+        assert {c.entries for c in configs} == {256, 512, 1024}
+        labels = {c.label() for c in configs}
+        assert labels == {"dm", "2-way", "4-way", "8-way", "16-way", "fa"}
+
+    def test_simulator_reusable_via_process(self):
+        simulator = CoverageSimulator(ItrCacheConfig(entries=4, assoc=1))
+        for event in [ev(0), ev(0), ev(1)]:
+            simulator.process(event)
+        assert simulator.result.hits == 1
+        assert simulator.result.misses == 2

@@ -1,0 +1,85 @@
+"""Tests for the hybrid fallback and coarse-grain checkpointing extensions."""
+
+import pytest
+
+from repro.itr.checkpointing import simulate_checkpointing
+from repro.itr.hybrid import simulate_hybrid
+from repro.itr.itr_cache import ItrCacheConfig
+from repro.itr.trace import TraceEvent
+
+
+def ev(index, length=4):
+    return TraceEvent(start_pc=0x400000 + index * 128, length=length)
+
+
+class TestHybrid:
+    def test_redundant_work_equals_missed_instructions(self):
+        config = ItrCacheConfig(entries=4, assoc=0)
+        events = [ev(0, 6), ev(1, 2), ev(0, 6)]
+        result = simulate_hybrid(events, config)
+        assert result.misses == 2
+        assert result.redundant_instructions == 8
+        assert result.redundant_fetch_fraction == pytest.approx(8 / 14)
+
+    def test_no_misses_no_redundancy(self):
+        config = ItrCacheConfig(entries=8, assoc=0)
+        events = [ev(0)] * 10
+        result = simulate_hybrid(events, config)
+        assert result.misses == 1
+        assert result.redundant_instructions == 4
+
+    def test_residual_recovery_loss_zero(self):
+        config = ItrCacheConfig(entries=1, assoc=1)
+        result = simulate_hybrid([ev(0), ev(1), ev(2)], config)
+        assert result.residual_recovery_loss_pct == 0.0
+        assert result.baseline_recovery_loss_pct == 100.0
+
+    def test_icache_access_counting(self):
+        config = ItrCacheConfig(entries=4, assoc=0)
+        result = simulate_hybrid([ev(0, 9)], config)
+        assert result.redundant_icache_accesses == 3  # ceil(9/4)
+
+    def test_energy_positive_when_missing(self):
+        config = ItrCacheConfig(entries=1, assoc=1)
+        result = simulate_hybrid([ev(0), ev(1)], config)
+        assert result.redundant_energy_mj > 0
+
+
+class TestCheckpointing:
+    def test_checkpoint_when_all_checked(self):
+        config = ItrCacheConfig(entries=4, assoc=0)
+        # miss, then hit (confirms) -> all lines checked -> checkpoint
+        result = simulate_checkpointing([ev(0), ev(0)], config)
+        assert result.checkpoints_taken >= 2  # initial + after the hit
+
+    def test_no_checkpoint_with_unchecked_lines(self):
+        config = ItrCacheConfig(entries=4, assoc=0)
+        result = simulate_checkpointing([ev(0), ev(1), ev(2)], config)
+        assert result.checkpoints_taken == 1  # only the initial one
+
+    def test_rollback_recovers_missed_instance(self):
+        config = ItrCacheConfig(entries=4, assoc=0)
+        events = [ev(0, 6), ev(0, 6)]
+        result = simulate_checkpointing(events, config)
+        assert result.rollback_recoverable_instructions == 6
+        assert result.recovered_fraction == 1.0
+        assert result.residual_recovery_loss_pct == 0.0
+
+    def test_rollback_distance_measured(self):
+        config = ItrCacheConfig(entries=4, assoc=0)
+        events = [ev(0, 6), ev(1, 2), ev(0, 6)]
+        result = simulate_checkpointing(events, config)
+        # ev(0) inserted at 0, detected after the third event completes at
+        # position 14; checkpoint was at 0.
+        assert result.rollback_distances == [14]
+
+    def test_unreferenced_eviction_unrecoverable(self):
+        config = ItrCacheConfig(entries=1, assoc=1)
+        events = [ev(0, 6), ev(1, 2)]
+        result = simulate_checkpointing(events, config)
+        assert result.unrecoverable_instructions >= 6
+
+    def test_mean_interval(self):
+        config = ItrCacheConfig(entries=4, assoc=0)
+        result = simulate_checkpointing([ev(0), ev(0), ev(0)], config)
+        assert result.mean_checkpoint_interval > 0

@@ -1,0 +1,224 @@
+"""Tests for the ITR cache (paper Sections 2.2-2.4, 3)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.itr.itr_cache import ItrCache, ItrCacheConfig
+
+
+def pc(index):
+    """Distinct word-aligned trace start PCs."""
+    return 0x00400000 + index * 8
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = ItrCacheConfig()
+        assert config.entries == 1024
+        assert config.assoc == 2
+        assert config.num_sets == 512
+
+    def test_fully_associative(self):
+        config = ItrCacheConfig(entries=256, assoc=0)
+        assert config.ways == 256
+        assert config.num_sets == 1
+        assert config.label() == "fa"
+
+    def test_labels(self):
+        assert ItrCacheConfig(entries=256, assoc=1).label() == "dm"
+        assert ItrCacheConfig(entries=256, assoc=4).label() == "4-way"
+
+    def test_bad_assoc(self):
+        with pytest.raises(ConfigError):
+            ItrCacheConfig(entries=100, assoc=3)
+
+    def test_bad_entries(self):
+        with pytest.raises(ConfigError):
+            ItrCacheConfig(entries=0)
+
+    def test_bad_policy(self):
+        with pytest.raises(ConfigError):
+            ItrCacheConfig(policy="fifo")
+
+    def test_plru_needs_pow2(self):
+        with pytest.raises(ConfigError):
+            ItrCacheConfig(entries=96, assoc=6, policy="plru")
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = ItrCache(ItrCacheConfig(entries=8, assoc=2))
+        assert cache.lookup(pc(1)) is None
+        cache.insert(pc(1), signature=0xABC, length=5)
+        line = cache.lookup(pc(1))
+        assert line is not None
+        assert line.signature == 0xABC
+        assert line.length == 5
+
+    def test_hit_sets_checked(self):
+        cache = ItrCache(ItrCacheConfig(entries=8, assoc=2))
+        cache.insert(pc(1), 1, 3)
+        assert not cache.peek(pc(1)).checked
+        cache.lookup(pc(1))
+        assert cache.peek(pc(1)).checked
+
+    def test_peek_no_side_effects(self):
+        cache = ItrCache(ItrCacheConfig(entries=8, assoc=2))
+        cache.insert(pc(1), 1, 3)
+        cache.peek(pc(1))
+        assert not cache.peek(pc(1)).checked
+        assert cache.stats["reads"] == 0
+
+    def test_stats_counts(self):
+        cache = ItrCache(ItrCacheConfig(entries=8, assoc=2))
+        cache.lookup(pc(1))
+        cache.insert(pc(1), 1, 1)
+        cache.lookup(pc(1))
+        assert cache.stats["reads"] == 2
+        assert cache.stats["misses"] == 1
+        assert cache.stats["hits"] == 1
+        assert cache.stats["writes"] == 1
+
+    def test_occupancy(self):
+        cache = ItrCache(ItrCacheConfig(entries=8, assoc=2))
+        assert cache.occupancy() == 0
+        cache.insert(pc(1), 1, 1)
+        cache.insert(pc(2), 2, 1)
+        assert cache.occupancy() == 2
+
+    def test_insert_existing_overwrites_in_place(self):
+        cache = ItrCache(ItrCacheConfig(entries=8, assoc=2))
+        cache.insert(pc(1), 1, 1)
+        evicted = cache.insert(pc(1), 2, 1)
+        assert evicted is None
+        assert cache.peek(pc(1)).signature == 2
+        assert cache.occupancy() == 1
+
+
+class TestEviction:
+    def test_lru_eviction_in_set(self):
+        # 4 entries, 2-way -> 2 sets; pcs with the same parity of word
+        # index share a set.
+        cache = ItrCache(ItrCacheConfig(entries=4, assoc=2))
+        cache.insert(pc(0), 10, 1)
+        cache.insert(pc(2), 20, 1)   # same set as pc(0)
+        cache.lookup(pc(0))          # pc(0) is MRU now
+        evicted = cache.insert(pc(4), 30, 1)  # same set; evicts pc(2)
+        assert evicted is not None
+        assert evicted.tag == pc(2)
+
+    def test_eviction_reports_checked_state(self):
+        cache = ItrCache(ItrCacheConfig(entries=2, assoc=1))
+        cache.insert(pc(0), 1, 7)
+        evicted = cache.insert(pc(2), 2, 3)  # dm: same set index 0
+        assert evicted.tag == pc(0)
+        assert not evicted.was_checked
+        assert evicted.length == 7
+        assert cache.stats["evictions_unchecked"] == 1
+
+    def test_checked_eviction_not_counted_unchecked(self):
+        cache = ItrCache(ItrCacheConfig(entries=2, assoc=1))
+        cache.insert(pc(0), 1, 7)
+        cache.lookup(pc(0))
+        cache.insert(pc(2), 2, 3)
+        assert cache.stats["evictions"] == 1
+        assert cache.stats["evictions_unchecked"] == 0
+
+    def test_prefer_checked_eviction(self):
+        config = ItrCacheConfig(entries=2, assoc=2,
+                                prefer_checked_eviction=True)
+        cache = ItrCache(config)
+        cache.insert(pc(0), 1, 1)
+        cache.insert(pc(1), 2, 1)
+        # Check pc(0) (making it MRU *and* checked); plain LRU would evict
+        # pc(0)'s set-mate pc(1); checked-preferring evicts pc(0) instead.
+        cache.lookup(pc(0))
+        evicted = cache.insert(pc(2), 3, 1)
+        assert evicted.tag == pc(0)
+        assert evicted.was_checked
+
+    def test_prefer_checked_falls_back_when_none_checked(self):
+        config = ItrCacheConfig(entries=2, assoc=2,
+                                prefer_checked_eviction=True)
+        cache = ItrCache(config)
+        cache.insert(pc(0), 1, 1)
+        cache.insert(pc(1), 2, 1)
+        evicted = cache.insert(pc(2), 3, 1)
+        assert evicted.tag == pc(0)  # plain LRU order
+
+
+class TestParityAndFaults:
+    def test_parity_ok_after_insert(self):
+        cache = ItrCache(ItrCacheConfig(entries=8, assoc=2))
+        cache.insert(pc(1), 0b1011, 1)
+        assert cache.peek(pc(1)).parity_ok()
+
+    def test_injected_fault_breaks_parity(self):
+        cache = ItrCache(ItrCacheConfig(entries=8, assoc=2))
+        cache.insert(pc(1), 0b1011, 1)
+        assert cache.inject_fault(pc(1), bit=5)
+        assert not cache.peek(pc(1)).parity_ok()
+
+    def test_inject_on_absent_line(self):
+        cache = ItrCache(ItrCacheConfig(entries=8, assoc=2))
+        assert not cache.inject_fault(pc(1), bit=0)
+
+    def test_update_repairs_line(self):
+        cache = ItrCache(ItrCacheConfig(entries=8, assoc=2))
+        cache.insert(pc(1), 0xFF, 1)
+        cache.inject_fault(pc(1), bit=0)
+        cache.update(pc(1), 0xAB, 2)
+        line = cache.peek(pc(1))
+        assert line.signature == 0xAB
+        assert line.parity_ok()
+
+    def test_update_missing_inserts(self):
+        cache = ItrCache(ItrCacheConfig(entries=8, assoc=2))
+        cache.update(pc(1), 0xAB, 2)
+        assert cache.contains(pc(1))
+
+    def test_invalidate(self):
+        cache = ItrCache(ItrCacheConfig(entries=8, assoc=2))
+        cache.insert(pc(1), 1, 1)
+        assert cache.invalidate(pc(1))
+        assert not cache.contains(pc(1))
+        assert not cache.invalidate(pc(1))
+
+
+class TestTaintMetadata:
+    def test_taint_stored(self):
+        cache = ItrCache(ItrCacheConfig(entries=8, assoc=2))
+        cache.insert(pc(1), 1, 1, tainted=True, writer_seq=42)
+        line = cache.peek(pc(1))
+        assert line.tainted
+        assert line.writer_seq == 42
+
+    def test_unchecked_lines_count(self):
+        cache = ItrCache(ItrCacheConfig(entries=8, assoc=2))
+        cache.insert(pc(1), 1, 1)
+        cache.insert(pc(2), 2, 1)
+        assert cache.unchecked_lines() == 2
+        cache.lookup(pc(1))
+        assert cache.unchecked_lines() == 1
+
+    def test_valid_lines(self):
+        cache = ItrCache(ItrCacheConfig(entries=8, assoc=2))
+        cache.insert(pc(1), 1, 1)
+        assert len(cache.valid_lines()) == 1
+
+
+class TestIndexing:
+    def test_pc_aliasing_by_set(self):
+        """PCs a full set-stride apart collide in a direct-mapped cache."""
+        cache = ItrCache(ItrCacheConfig(entries=4, assoc=1))
+        stride = 4 * 8  # num_sets * instruction bytes
+        cache.insert(pc(0), 1, 1)
+        evicted = cache.insert(pc(0) + stride, 2, 1)
+        assert evicted is not None
+        assert evicted.tag == pc(0)
+
+    def test_full_tags_no_false_hits(self):
+        cache = ItrCache(ItrCacheConfig(entries=4, assoc=1))
+        stride = 4 * 8
+        cache.insert(pc(0), 1, 1)
+        assert cache.lookup(pc(0) + stride) is None

@@ -1,0 +1,126 @@
+"""Tests for the ITR ROB (paper Section 2.2)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.itr.itr_rob import ItrRob
+from repro.itr.signature import TraceSignature
+
+
+def trace(pc=0x400000, signature=0x1234, length=4):
+    return TraceSignature(start_pc=pc, signature=signature, length=length)
+
+
+class TestDispatch:
+    def test_sequence_numbers_monotone(self):
+        rob = ItrRob(4)
+        first = rob.dispatch(trace())
+        second = rob.dispatch(trace())
+        assert second.seq == first.seq + 1
+
+    def test_next_seq_previews(self):
+        rob = ItrRob(4)
+        assert rob.next_seq == 0
+        rob.dispatch(trace())
+        assert rob.next_seq == 1
+
+    def test_full_rejects(self):
+        rob = ItrRob(2)
+        rob.dispatch(trace())
+        rob.dispatch(trace())
+        assert rob.full
+        assert rob.dispatch(trace()) is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            ItrRob(0)
+
+    def test_high_water(self):
+        rob = ItrRob(4)
+        rob.dispatch(trace())
+        rob.dispatch(trace())
+        rob.free_head()
+        assert rob.high_water == 2
+
+
+class TestHeadManagement:
+    def test_head_is_oldest(self):
+        rob = ItrRob(4)
+        first = rob.dispatch(trace(pc=0x400000))
+        rob.dispatch(trace(pc=0x400100))
+        assert rob.head() is first
+
+    def test_free_head_pops(self):
+        rob = ItrRob(4)
+        first = rob.dispatch(trace())
+        second = rob.dispatch(trace())
+        assert rob.free_head() is first
+        assert rob.head() is second
+
+    def test_free_empty_raises(self):
+        with pytest.raises(IndexError):
+            ItrRob(4).free_head()
+
+    def test_empty_head_is_none(self):
+        assert ItrRob(4).head() is None
+
+
+class TestStatusBits:
+    def test_initial_unresolved(self):
+        rob = ItrRob(4)
+        entry = rob.dispatch(trace())
+        assert not entry.resolved
+        assert not entry.checked
+        assert not entry.missed
+
+    def test_miss(self):
+        entry = ItrRob(4).dispatch(trace())
+        entry.mark_miss()
+        assert entry.missed
+        assert entry.resolved
+        assert not entry.checked
+
+    def test_checked_match(self):
+        entry = ItrRob(4).dispatch(trace())
+        entry.mark_checked(mismatch=False)
+        assert entry.checked
+        assert not entry.retry
+
+    def test_checked_mismatch_sets_retry(self):
+        entry = ItrRob(4).dispatch(trace())
+        entry.mark_checked(mismatch=True)
+        assert entry.checked
+        assert entry.retry
+
+    def test_one_hot_encoding(self):
+        entry = ItrRob(4).dispatch(trace())
+        assert entry.status.code == 0b0001
+        entry.mark_miss()
+        assert entry.status.code == 0b1000
+        entry.mark_checked(mismatch=True)
+        assert entry.status.code == 0b0010
+        entry.mark_checked(mismatch=False)
+        assert entry.status.code == 0b0100
+
+
+class TestFlush:
+    def test_flush_clears_entries(self):
+        rob = ItrRob(4)
+        rob.dispatch(trace())
+        rob.dispatch(trace())
+        rob.flush()
+        assert len(rob) == 0
+        assert rob.head() is None
+
+    def test_seq_continues_after_flush(self):
+        rob = ItrRob(4)
+        entry = rob.dispatch(trace())
+        rob.flush()
+        fresh = rob.dispatch(trace())
+        assert fresh.seq == entry.seq + 1
+
+    def test_entries_iteration_order(self):
+        rob = ItrRob(4)
+        a = rob.dispatch(trace())
+        b = rob.dispatch(trace())
+        assert list(rob.entries()) == [a, b]

@@ -1,0 +1,147 @@
+"""Tests for trace signature generation (paper Section 2.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.decode_signals import decode
+from repro.isa.instruction import make
+from repro.itr.signature import (
+    MAX_TRACE_LENGTH,
+    SignatureGenerator,
+    TraceSignature,
+)
+
+PC = 0x00400000
+
+
+def add_signals(generator, mnemonic, pc, **fields):
+    return generator.add(pc, decode(make(mnemonic, **fields)))
+
+
+class TestTraceBoundaries:
+    def test_branch_ends_trace(self):
+        generator = SignatureGenerator()
+        assert add_signals(generator, "add", PC, rd=1, rs=2, rt=3) is None
+        trace = add_signals(generator, "beq", PC + 8, rs=1, rt=2, imm=1)
+        assert trace is not None
+        assert trace.start_pc == PC
+        assert trace.length == 2
+
+    def test_jump_ends_trace(self):
+        generator = SignatureGenerator()
+        trace = add_signals(generator, "j", PC, imm=5)
+        assert trace is not None
+        assert trace.length == 1
+
+    def test_trap_ends_trace(self):
+        generator = SignatureGenerator()
+        trace = add_signals(generator, "syscall", PC)
+        assert trace is not None
+
+    def test_sixteen_instruction_limit(self):
+        generator = SignatureGenerator()
+        for index in range(MAX_TRACE_LENGTH - 1):
+            assert add_signals(generator, "add", PC + 8 * index,
+                               rd=1, rs=2, rt=3) is None
+        trace = add_signals(generator, "add", PC + 8 * 15, rd=1, rs=2, rt=3)
+        assert trace is not None
+        assert trace.length == MAX_TRACE_LENGTH
+
+    def test_new_trace_latches_next_pc(self):
+        generator = SignatureGenerator()
+        add_signals(generator, "beq", PC, rs=1, rt=2, imm=1)
+        trace = add_signals(generator, "jr", PC + 800, rs=31)
+        assert trace.start_pc == PC + 800
+
+
+class TestSignatureProperties:
+    def test_xor_of_packed_signals(self):
+        generator = SignatureGenerator()
+        s1 = decode(make("add", rd=1, rs=2, rt=3))
+        s2 = decode(make("beq", rs=1, rt=2, imm=1))
+        generator.add(PC, s1)
+        trace = generator.add(PC + 8, s2)
+        assert trace.signature == s1.pack() ^ s2.pack()
+
+    def test_identical_traces_identical_signatures(self):
+        def build():
+            generator = SignatureGenerator()
+            add_signals(generator, "lw", PC, rd=4, rs=29, imm=8)
+            add_signals(generator, "addi", PC + 8, rd=4, rs=4, imm=1)
+            return add_signals(generator, "bne", PC + 16, rs=4, rt=5, imm=2)
+        assert build().signature == build().signature
+
+    def test_single_bit_fault_changes_signature(self):
+        clean = SignatureGenerator()
+        faulty = SignatureGenerator()
+        signals = decode(make("add", rd=1, rs=2, rt=3))
+        end = decode(make("beq", rs=1, rt=2, imm=1))
+        clean.add(PC, signals)
+        trace_clean = clean.add(PC + 8, end)
+        faulty.add(PC, signals.with_bit_flipped(17))
+        trace_faulty = faulty.add(PC + 8, end)
+        assert trace_clean.signature != trace_faulty.signature
+
+    @given(st.integers(0, 63))
+    def test_any_single_bit_detectable(self, bit):
+        signals = decode(make("lw", rd=4, rs=29, imm=8))
+        clean, faulty = SignatureGenerator(), SignatureGenerator()
+        end = decode(make("jr", rs=31))
+        clean.add(PC, signals)
+        faulty.add(PC, signals.with_bit_flipped(bit))
+        assert clean.add(PC + 8, end).signature != \
+            faulty.add(PC + 8, end).signature
+
+    def test_even_faults_on_same_signal_mask(self):
+        """The paper's noted XOR limitation: an even number of identical
+        faults in one trace cancels."""
+        signals = decode(make("add", rd=1, rs=2, rt=3))
+        end = decode(make("jr", rs=31))
+        clean, faulty = SignatureGenerator(), SignatureGenerator()
+        clean.add(PC, signals)
+        clean.add(PC + 8, signals)
+        faulty.add(PC, signals.with_bit_flipped(9))
+        faulty.add(PC + 8, signals.with_bit_flipped(9))
+        assert clean.add(PC + 16, end).signature == \
+            faulty.add(PC + 16, end).signature
+
+
+class TestTaint:
+    def test_taint_propagates(self):
+        generator = SignatureGenerator()
+        generator.add(PC, decode(make("add", rd=1, rs=2, rt=3)),
+                      tainted=True)
+        trace = generator.add(PC + 8, decode(make("jr", rs=31)))
+        assert trace.tainted
+
+    def test_taint_cleared_between_traces(self):
+        generator = SignatureGenerator()
+        generator.add(PC, decode(make("jr", rs=31)), tainted=True)
+        trace = generator.add(PC + 8, decode(make("jr", rs=31)))
+        assert not trace.tainted
+
+
+class TestFlush:
+    def test_flush_discards_partial(self):
+        generator = SignatureGenerator()
+        add_signals(generator, "add", PC, rd=1, rs=2, rt=3)
+        generator.flush()
+        assert not generator.in_progress
+        trace = add_signals(generator, "jr", PC + 800, rs=31)
+        assert trace.start_pc == PC + 800
+        assert trace.length == 1
+
+    def test_counters(self):
+        generator = SignatureGenerator()
+        add_signals(generator, "jr", PC, rs=31)
+        add_signals(generator, "jr", PC + 8, rs=31)
+        assert generator.traces_completed == 2
+        assert generator.instructions_seen == 2
+
+    def test_partial_state_accessors(self):
+        generator = SignatureGenerator()
+        assert generator.partial_start_pc is None
+        add_signals(generator, "add", PC, rd=1, rs=2, rt=3)
+        assert generator.partial_start_pc == PC
+        assert generator.partial_length == 1
+        assert generator.in_progress

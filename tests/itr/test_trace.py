@@ -1,0 +1,123 @@
+"""Tests for trace formation and profiling."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.itr.trace import (
+    TraceEvent,
+    TraceProfile,
+    static_trace_signature,
+    traces_of_instruction_stream,
+)
+
+
+class TestStreamGrouping:
+    def test_splits_on_trace_end(self):
+        stream = [(0, False), (8, False), (16, True), (24, False), (32, True)]
+        events = list(traces_of_instruction_stream(stream))
+        assert [(e.start_pc, e.length) for e in events] == [(0, 3), (24, 2)]
+
+    def test_sixteen_limit(self):
+        stream = [(i * 8, False) for i in range(20)]
+        events = list(traces_of_instruction_stream(stream))
+        assert [e.length for e in events] == [16, 4]
+
+    def test_trailing_partial_trace_emitted(self):
+        events = list(traces_of_instruction_stream([(0, False), (8, False)]))
+        assert len(events) == 1
+        assert events[0].length == 2
+
+    def test_empty_stream(self):
+        assert list(traces_of_instruction_stream([])) == []
+
+
+class TestStaticSignature:
+    def test_deterministic(self):
+        program = assemble("""
+        .text
+        main:
+            add $t0, $t0, $t1
+            addi $t1, $t1, 1
+            bne $t1, $t2, main
+            syscall
+        """)
+        a = static_trace_signature(program, program.entry)
+        b = static_trace_signature(program, program.entry)
+        assert a == b
+        assert a.length == 3  # ends at the bne
+
+    def test_trap_terminated(self):
+        program = assemble(".text\nmain:\n  nop\n  syscall")
+        trace = static_trace_signature(program, program.entry)
+        assert trace.length == 2
+
+    def test_different_starts_different_traces(self):
+        program = assemble("""
+        .text
+        main:
+            add $t0, $t0, $t1
+            sub $t2, $t2, $t3
+            jr $ra
+        """)
+        a = static_trace_signature(program, program.entry)
+        b = static_trace_signature(program, program.entry + 8)
+        assert a.signature != b.signature
+        assert a.length == 3 and b.length == 2
+
+
+class TestTraceProfile:
+    def _profile(self, sequence):
+        profile = TraceProfile()
+        for index, length in sequence:
+            profile.record(TraceEvent(start_pc=index * 64, length=length))
+        return profile
+
+    def test_static_count(self):
+        profile = self._profile([(0, 4), (1, 4), (0, 4)])
+        assert profile.static_traces == 2
+        assert profile.dynamic_traces == 3
+        assert profile.dynamic_instructions == 12
+
+    def test_contributions_sorted_desc(self):
+        profile = self._profile([(0, 4), (1, 2), (0, 4)])
+        assert profile.contributions() == [8, 2]
+
+    def test_cumulative_contribution(self):
+        profile = self._profile([(0, 4), (1, 2), (0, 4)])
+        assert profile.cumulative_contribution() == [0.8, 1.0]
+
+    def test_traces_for_coverage(self):
+        profile = self._profile([(0, 8), (1, 1), (2, 1)])
+        assert profile.traces_for_coverage(0.8) == 1
+        assert profile.traces_for_coverage(0.9) == 2
+        assert profile.traces_for_coverage(1.0) == 3
+
+    def test_traces_for_coverage_validation(self):
+        with pytest.raises(ValueError):
+            self._profile([(0, 1)]).traces_for_coverage(0.0)
+
+    def test_repeat_distance(self):
+        # trace 0 at positions 0 and 8 -> distance 8 (instructions of the
+        # intervening trace 1 plus itself)
+        profile = self._profile([(0, 4), (1, 4), (0, 4)])
+        assert profile.repeat_samples == [(8, 4)]
+
+    def test_repeat_distance_cdf_weighting(self):
+        profile = self._profile([(0, 4), (1, 4), (0, 4)])
+        cdf = profile.repeat_distance_cdf(bin_width=10, num_bins=2)
+        # 4 of 12 instructions come from the single repeat at distance 8
+        assert cdf == pytest.approx([4 / 12, 4 / 12])
+
+    def test_fraction_repeating_within(self):
+        profile = self._profile([(0, 4), (1, 4), (0, 4)])
+        assert profile.fraction_repeating_within(10) == pytest.approx(4 / 12)
+        assert profile.fraction_repeating_within(5) == 0.0
+
+    def test_immediate_repeat_distance_zero_bin(self):
+        profile = self._profile([(0, 4), (0, 4)])
+        assert profile.repeat_samples == [(4, 4)]
+
+    def test_empty_profile(self):
+        profile = TraceProfile()
+        assert profile.cumulative_contribution() == []
+        assert profile.repeat_distance_cdf() == [0.0] * 20

@@ -1,0 +1,146 @@
+"""Tests for the CACTI-anchored area/energy models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.itr.itr_cache import ItrCacheConfig
+from repro.itr.trace import TraceEvent
+from repro.models.area import compare_area, itr_cache_area_cm2
+from repro.models.cacti import (
+    G5_IUNIT_AREA_CM2,
+    ICACHE_NJ_PER_ACCESS,
+    ITR_NJ_PER_ACCESS_SHARED_PORT,
+    ITR_NJ_PER_ACCESS_SPLIT_PORTS,
+    CacheGeometry,
+    array_area_cm2,
+    energy_per_access_nj,
+)
+from repro.models.energy import (
+    AccessCounts,
+    compare_energy,
+    count_accesses,
+    itr_cache_geometry,
+)
+
+
+class TestCactiAnchors:
+    def test_icache_anchor_reproduced(self):
+        """64 KB dm I-cache must give exactly the paper's 0.87 nJ."""
+        geometry = CacheGeometry(size_bytes=64 * 1024, assoc=1, ports=1)
+        assert energy_per_access_nj(geometry) == \
+            pytest.approx(ICACHE_NJ_PER_ACCESS)
+
+    def test_itr_cache_anchor_reproduced(self):
+        """8 KB 2-way ITR cache must give exactly the paper's 0.58 nJ."""
+        geometry = CacheGeometry(size_bytes=8 * 1024, assoc=2, ports=1)
+        assert energy_per_access_nj(geometry) == \
+            pytest.approx(ITR_NJ_PER_ACCESS_SHARED_PORT)
+
+    def test_split_port_anchor(self):
+        geometry = CacheGeometry(size_bytes=8 * 1024, assoc=2, ports=2)
+        assert energy_per_access_nj(geometry) == \
+            pytest.approx(ITR_NJ_PER_ACCESS_SPLIT_PORTS)
+
+    def test_energy_monotone_in_size(self):
+        energies = [energy_per_access_nj(CacheGeometry(size_bytes=kb * 1024))
+                    for kb in (2, 8, 32, 128)]
+        assert energies == sorted(energies)
+
+    def test_energy_monotone_in_assoc(self):
+        energies = [energy_per_access_nj(
+            CacheGeometry(size_bytes=8192, assoc=assoc))
+            for assoc in (1, 2, 4, 8)]
+        assert energies == sorted(energies)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(size_bytes=16)
+        with pytest.raises(ConfigError):
+            CacheGeometry(size_bytes=1024, ports=3)
+
+
+class TestArea:
+    def test_btb_anchor(self):
+        """2048 x 35 bits is exactly the 0.3 cm^2 die-photo anchor."""
+        assert array_area_cm2(2048 * 35) == pytest.approx(0.3)
+
+    def test_paper_itr_cache_area(self):
+        """1024 x 64b is ~0.27 cm^2 — the paper treats it as ~the BTB
+        (2048 x 35b = 0.3 cm^2; nearly the same bit count)."""
+        area = itr_cache_area_cm2(ItrCacheConfig(entries=1024, assoc=2))
+        assert area == pytest.approx(0.3 * 65536 / 71680)
+
+    def test_seventh_of_iunit(self):
+        comparison = compare_area(ItrCacheConfig(entries=1024, assoc=2))
+        assert comparison.iunit_cm2 == G5_IUNIT_AREA_CM2
+        assert 6.0 < comparison.ratio < 8.5  # paper: about one seventh
+
+    def test_overhead_increases_area(self):
+        config = ItrCacheConfig(entries=1024, assoc=2)
+        assert itr_cache_area_cm2(config, include_overhead=True) > \
+            itr_cache_area_cm2(config)
+
+    def test_area_scales_with_entries(self):
+        small = itr_cache_area_cm2(ItrCacheConfig(entries=256, assoc=2))
+        large = itr_cache_area_cm2(ItrCacheConfig(entries=1024, assoc=2))
+        assert large == pytest.approx(4 * small)
+
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ConfigError):
+            array_area_cm2(0)
+
+
+class TestAccessCounting:
+    def _events(self):
+        return [TraceEvent(start_pc=0x400000, length=6),
+                TraceEvent(start_pc=0x400100, length=4),
+                TraceEvent(start_pc=0x400000, length=6)]
+
+    def test_counts(self):
+        counts = count_accesses(self._events())
+        assert counts.instructions == 16
+        assert counts.traces == 3
+        # ceil(6/4) + ceil(4/4) + ceil(6/4) = 2 + 1 + 2
+        assert counts.icache_accesses == 5
+
+    def test_scaling(self):
+        counts = count_accesses(self._events()).scaled_to(160)
+        assert counts.instructions == 160
+        assert counts.traces == 30
+        assert counts.icache_accesses == 50
+
+    def test_scaling_empty(self):
+        counts = AccessCounts(0, 0, 0, 0)
+        assert counts.scaled_to(100).instructions == 0
+
+
+class TestEnergyComparison:
+    def test_paper_config_uses_published_values(self):
+        counts = AccessCounts(instructions=200_000_000, traces=30_000_000,
+                              itr_misses=100_000, icache_accesses=60_000_000)
+        comparison = compare_energy("bench", counts,
+                                    config=ItrCacheConfig(entries=1024,
+                                                          assoc=2),
+                                    scale_to_paper=False)
+        expected_itr = (30_000_000 + 100_000) * 0.58e-6
+        assert comparison.itr_shared_port_mj == pytest.approx(expected_itr)
+        assert comparison.icache_refetch_mj == \
+            pytest.approx(60_000_000 * 0.87e-6)
+
+    def test_itr_wins(self):
+        counts = count_accesses(
+            [TraceEvent(start_pc=0x400000, length=6)] * 1000)
+        comparison = compare_energy("bench", counts)
+        assert comparison.itr_advantage > 1.5
+        assert comparison.itr_split_ports_mj > comparison.itr_shared_port_mj
+
+    def test_non_paper_geometry_goes_through_model(self):
+        counts = AccessCounts(instructions=1000, traces=100, itr_misses=10,
+                              icache_accesses=300)
+        comparison = compare_energy("bench", counts,
+                                    config=ItrCacheConfig(entries=256,
+                                                          assoc=1),
+                                    scale_to_paper=False)
+        geometry = itr_cache_geometry(ItrCacheConfig(entries=256, assoc=1))
+        assert geometry.size_bytes == 2048
+        assert comparison.itr_shared_port_mj > 0

@@ -1,0 +1,59 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("IsaError", "AssemblerError", "EncodingError",
+                     "DecodingError", "SimulationError", "MemoryFault",
+                     "InvalidInstruction", "DeadlockError",
+                     "MachineCheckException", "ConfigError",
+                     "WorkloadError", "ExperimentError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_isa_family(self):
+        assert issubclass(errors.AssemblerError, errors.IsaError)
+        assert issubclass(errors.EncodingError, errors.IsaError)
+        assert issubclass(errors.DecodingError, errors.IsaError)
+
+    def test_simulation_family(self):
+        assert issubclass(errors.MemoryFault, errors.SimulationError)
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+        assert issubclass(errors.MachineCheckException,
+                          errors.SimulationError)
+
+
+class TestMessages:
+    def test_assembler_error_line(self):
+        error = errors.AssemblerError("bad thing", line=7)
+        assert "line 7" in str(error)
+        assert error.line == 7
+
+    def test_assembler_error_no_line(self):
+        error = errors.AssemblerError("bad thing")
+        assert str(error) == "bad thing"
+        assert error.line is None
+
+    def test_memory_fault_address(self):
+        error = errors.MemoryFault(0xDEAD, "nope")
+        assert error.address == 0xDEAD
+        assert "0x0000dead" in str(error)
+
+    def test_deadlock_cycle(self):
+        error = errors.DeadlockError(42)
+        assert error.cycle == 42
+        assert "42" in str(error)
+
+    def test_machine_check_fields(self):
+        error = errors.MachineCheckException(0x400010, "testing")
+        assert error.pc == 0x400010
+        assert error.reason == "testing"
+        assert "0x00400010" in str(error)
+
+    def test_catchable_as_family(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.MachineCheckException(0, "x")

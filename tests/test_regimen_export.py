@@ -1,0 +1,128 @@
+"""Tests for the ProtectedMachine facade and the JSON export layer."""
+
+import json
+
+import pytest
+
+from repro.experiments.export import dumps, load_json, save_json, to_jsonable
+from repro.faults.outcomes import Effect, Outcome
+from repro.isa import assemble
+from repro.regimen import ProtectedMachine, ProtectionReport
+from repro.workloads import get_kernel
+
+
+class TestProtectedMachine:
+    def test_clean_run(self):
+        kernel = get_kernel("sum_loop")
+        machine = ProtectedMachine(kernel.program())
+        report = machine.run()
+        assert report.outcome == "completed"
+        assert machine.output == kernel.expected_output
+        assert report.clean
+        assert report.instructions > 1000
+        assert 0.0 < report.itr_hit_rate <= 1.0
+        assert report.ipc > 0.5
+
+    def test_fault_recovery_reported(self):
+        kernel = get_kernel("sum_loop")
+
+        def tamper(index, pc, signals):
+            if index == 120:
+                return signals.with_bit_flipped(44), True
+            return signals, False
+
+        machine = ProtectedMachine(kernel.program(), decode_tamper=tamper)
+        report = machine.run()
+        assert report.outcome == "completed"
+        assert report.mismatches_detected >= 1
+        assert report.faults_recovered == 1
+        assert not report.clean
+        assert machine.output == kernel.expected_output
+
+    def test_monitor_mode(self):
+        kernel = get_kernel("sum_loop")
+        machine = ProtectedMachine(kernel.program(), recovery=False)
+        report = machine.run()
+        assert report.outcome == "completed"
+        assert report.faults_recovered == 0
+
+    def test_timeout_outcome(self):
+        machine = ProtectedMachine(get_kernel("matmul").program())
+        report = machine.run(max_cycles=50)
+        assert report.outcome == "timeout"
+
+    def test_deadlock_outcome(self):
+        program = assemble("""
+        .text
+        main:
+            li $t0, 0x00600000
+            jr $t0
+        """)
+        machine = ProtectedMachine(program, watchdog_timeout=300)
+        report = machine.run(max_cycles=50_000)
+        assert report.outcome == "deadlock"
+
+    def test_custom_cache_geometry(self):
+        machine = ProtectedMachine(get_kernel("dispatch").program(),
+                                   cache_entries=16, cache_assoc=1)
+        report = machine.run()
+        assert report.outcome == "completed"
+        assert report.itr_hit_rate < 1.0
+
+
+class TestExport:
+    def test_dataclass_roundtrip(self):
+        report = ProtectionReport(
+            outcome="completed", instructions=10, cycles=5, ipc=2.0,
+            traces_checked=3, itr_hit_rate=0.5, mismatches_detected=0,
+            faults_recovered=0, cache_faults_repaired=0, machine_checks=0,
+            spc_violations=0, mispredict_flushes=1)
+        data = json.loads(dumps(report))
+        assert data["outcome"] == "completed"
+        assert data["ipc"] == 2.0
+
+    def test_enum_conversion(self):
+        assert to_jsonable(Outcome.ITR_SDC_R) == "ITR+SDC+R"
+        assert to_jsonable(Effect.MASK) == "Mask"
+
+    def test_nested_structures(self):
+        data = to_jsonable({"outcomes": [Outcome.ITR_MASK], "n": 3})
+        assert data == {"outcomes": ["ITR+Mask"], "n": 3}
+
+    def test_bytes(self):
+        assert to_jsonable(b"\x01\x02") == "0102"
+
+    def test_save_and_load(self, tmp_path):
+        target = save_json({"value": [1, 2, 3]}, tmp_path / "x" / "r.json")
+        assert target.exists()
+        assert load_json(target) == {"value": [1, 2, 3]}
+
+    def test_plain_object_fallback(self):
+        class Plain:
+            """A non-dataclass result-ish object."""
+            def __init__(self):
+                self.value = 3
+                self.name = "x"
+        data = to_jsonable(Plain())
+        assert data == {"value": 3, "name": "x"}
+
+    def test_campaign_intervals(self):
+        from repro.faults import CampaignConfig, FaultCampaign, Outcome
+        campaign = FaultCampaign(get_kernel("sum_loop"),
+                                 CampaignConfig(trials=5, seed=8))
+        result = campaign.run()
+        low, high = result.detection_interval()
+        assert 0.0 <= low <= result.detected_by_itr_fraction() <= high <= 1.0
+        low2, high2 = result.fraction_interval(Outcome.ITR_MASK)
+        assert 0.0 <= low2 <= high2 <= 1.0
+
+    def test_campaign_result_exports(self):
+        """A real nested experiment result serializes cleanly."""
+        from repro.faults import CampaignConfig, FaultCampaign
+        campaign = FaultCampaign(get_kernel("sum_loop"),
+                                 CampaignConfig(trials=3, seed=1))
+        result = campaign.run()
+        data = json.loads(dumps(result))
+        assert data["benchmark"] == "sum_loop"
+        assert len(data["trials"]) == 3
+        assert all("outcome" in t for t in data["trials"])

@@ -1,0 +1,120 @@
+"""Tests for gshare + BTB branch prediction."""
+
+import pytest
+
+from repro.uarch.branch_pred import BranchPredictor, Btb, BtbKind, Gshare
+from repro.uarch.config import BranchPredictorConfig
+
+PC = 0x00400000
+TARGET = 0x00400800
+
+
+class TestGshare:
+    def test_initial_weakly_taken(self):
+        assert Gshare(8).predict(PC)
+
+    def test_learns_not_taken(self):
+        gshare = Gshare(8)
+        for _ in range(4):
+            gshare.update(PC, taken=False)
+        assert not gshare.predict(PC)
+
+    def test_saturates(self):
+        gshare = Gshare(8)
+        for _ in range(100):
+            gshare.update(PC, taken=True)
+        gshare.update(PC, taken=False)
+        assert gshare.predict(PC)  # one not-taken can't flip saturated
+
+    def test_history_affects_index(self):
+        """After different outcome histories the same PC can map to
+        different counters (the 'share' in gshare)."""
+        a, b = Gshare(8), Gshare(8)
+        a.update(PC + 64, taken=True)
+        b.update(PC + 64, taken=False)
+        # Train 'not taken' in a's context only.
+        for _ in range(4):
+            a.update(PC, taken=False)
+            a.update(PC + 64, taken=True)   # keep history constant
+        assert a._history != b._history
+
+    def test_alternating_pattern_learnable(self):
+        """With history, a strict alternation becomes predictable."""
+        gshare = Gshare(10)
+        outcome = True
+        correct = 0
+        for trial in range(200):
+            predicted = gshare.predict(PC)
+            if trial >= 100 and predicted == outcome:
+                correct += 1
+            gshare.update(PC, outcome)
+            outcome = not outcome
+        assert correct > 90
+
+
+class TestBtb:
+    def test_miss_initially(self):
+        assert Btb(64).lookup(PC) is None
+
+    def test_update_lookup(self):
+        btb = Btb(64)
+        btb.update(PC, TARGET, BtbKind.BRANCH)
+        entry = btb.lookup(PC)
+        assert entry.target == TARGET
+        assert entry.kind == BtbKind.BRANCH
+
+    def test_full_tags_prevent_aliasing(self):
+        btb = Btb(64)
+        btb.update(PC, TARGET, BtbKind.JUMP)
+        aliased = PC + 64 * 8  # same index, different tag
+        assert btb.lookup(aliased) is None
+
+    def test_conflict_replaces(self):
+        btb = Btb(64)
+        aliased = PC + 64 * 8
+        btb.update(PC, TARGET, BtbKind.JUMP)
+        btb.update(aliased, TARGET + 8, BtbKind.BRANCH)
+        assert btb.lookup(PC) is None
+        assert btb.lookup(aliased).target == TARGET + 8
+
+
+class TestBranchPredictor:
+    def test_unknown_pc_falls_through(self):
+        predictor = BranchPredictor()
+        prediction = predictor.predict(PC, PC + 8)
+        assert prediction.next_pc == PC + 8
+        assert not prediction.redirect
+        assert not prediction.from_btb
+
+    def test_jump_always_redirects(self):
+        predictor = BranchPredictor()
+        predictor.train(PC, is_branch=False, taken=True, target=TARGET,
+                        mispredicted=False)
+        prediction = predictor.predict(PC, PC + 8)
+        assert prediction.next_pc == TARGET
+        assert prediction.redirect
+
+    def test_branch_follows_gshare(self):
+        predictor = BranchPredictor()
+        predictor.train(PC, is_branch=True, taken=True, target=TARGET,
+                        mispredicted=False)
+        assert predictor.predict(PC, PC + 8).next_pc == TARGET
+        # Enough not-taken training to both drain the history register to
+        # a stable all-zeros state and saturate that counter not-taken.
+        for _ in range(20):
+            predictor.train(PC, is_branch=True, taken=False, target=None,
+                            mispredicted=False)
+        assert predictor.predict(PC, PC + 8).next_pc == PC + 8
+
+    def test_misprediction_counter(self):
+        predictor = BranchPredictor()
+        predictor.train(PC, is_branch=True, taken=True, target=TARGET,
+                        mispredicted=True)
+        assert predictor.mispredictions == 1
+
+    def test_config_validation(self):
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            BranchPredictorConfig(gshare_bits=1)
+        with pytest.raises(ConfigError):
+            BranchPredictorConfig(btb_entries=0)

@@ -1,0 +1,94 @@
+"""Tests for the tag cache model and pipeline configuration."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.itr.itr_cache import ItrCacheConfig
+from repro.uarch.caches import TagCache
+from repro.uarch.config import ICacheConfig, PipelineConfig
+
+
+class TestTagCache:
+    def _small(self):
+        # 4 lines of 64 bytes, direct-mapped
+        return TagCache(ICacheConfig(size_bytes=256, line_bytes=64, assoc=1))
+
+    def test_first_access_misses(self):
+        cache = self._small()
+        assert not cache.access(0x1000)
+        assert cache.stats["misses"] == 1
+
+    def test_second_access_hits(self):
+        cache = self._small()
+        cache.access(0x1000)
+        assert cache.access(0x1000)
+
+    def test_same_line_hits(self):
+        cache = self._small()
+        cache.access(0x1000)
+        assert cache.access(0x103F)  # same 64-byte line
+
+    def test_next_line_misses(self):
+        cache = self._small()
+        cache.access(0x1000)
+        assert not cache.access(0x1040)
+
+    def test_conflict_eviction(self):
+        cache = self._small()
+        cache.access(0x1000)
+        cache.access(0x1000 + 256)  # same set (4 sets * 64B line)
+        assert not cache.access(0x1000)
+
+    def test_associative_avoids_conflict(self):
+        cache = TagCache(ICacheConfig(size_bytes=256, line_bytes=64,
+                                      assoc=2))
+        cache.access(0x1000)
+        cache.access(0x1000 + 128)  # 2 sets now; same set, other way
+        assert cache.access(0x1000)
+
+    def test_hit_rate(self):
+        cache = self._small()
+        cache.access(0x1000)
+        cache.access(0x1000)
+        assert cache.hit_rate == 0.5
+
+    def test_power4_default_geometry(self):
+        cache = TagCache(ICacheConfig())
+        assert cache.num_sets == 512
+        assert cache.ways == 1
+
+
+class TestICacheConfig:
+    def test_bad_line(self):
+        with pytest.raises(ConfigError):
+            ICacheConfig(size_bytes=1024, line_bytes=100)
+
+    def test_bad_size(self):
+        with pytest.raises(ConfigError):
+            ICacheConfig(size_bytes=1000, line_bytes=128)
+
+    def test_bad_assoc(self):
+        with pytest.raises(ConfigError):
+            ICacheConfig(size_bytes=1024, line_bytes=128, assoc=3)
+
+
+class TestPipelineConfig:
+    def test_defaults_valid(self):
+        config = PipelineConfig()
+        assert config.fetch_width == 4
+        assert config.itr_cache.entries == 1024
+
+    def test_positive_fields_enforced(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(rob_entries=0)
+        with pytest.raises(ConfigError):
+            PipelineConfig(commit_width=0)
+
+    def test_phys_regs_minimum(self):
+        with pytest.raises(ConfigError):
+            PipelineConfig(phys_regs=64)
+
+    def test_custom_itr_cache(self):
+        config = PipelineConfig(itr_cache=ItrCacheConfig(entries=256,
+                                                         assoc=1))
+        assert config.itr_cache.label() == "dm"

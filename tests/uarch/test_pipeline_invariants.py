@@ -1,0 +1,84 @@
+"""Cycle-by-cycle structural invariants of the pipeline.
+
+These run a real kernel and check, after *every* cycle, that the machine's
+bookkeeping cannot drift: physical registers are conserved and never
+aliased, program order is preserved in the ROB/LSQ, and the ITR ROB stays
+consistent with the in-flight instruction window.
+"""
+
+import pytest
+
+from repro.uarch import build_pipeline
+from repro.workloads import get_kernel
+
+
+def _check_invariants(pipeline):
+    # --- physical register conservation -------------------------------
+    total = pipeline.config.phys_regs
+    retire_set = set(pipeline._retire_map)
+    assert len(retire_set) == 64, "retirement map must be injective"
+    free_list = list(pipeline._free_phys)
+    assert len(free_list) == len(set(free_list)), "free list has dupes"
+    in_flight = [e.phys_dst for e in pipeline._rob
+                 if e.phys_dst is not None]
+    assert len(in_flight) == len(set(in_flight)), "double-allocated phys"
+    assert not (set(free_list) & retire_set), "free vs retired overlap"
+    assert not (set(free_list) & set(in_flight)), "free vs in-flight"
+    assert not (set(in_flight) & retire_set), "in-flight vs retired"
+    assert len(free_list) + len(in_flight) + 64 == total
+
+    # --- ROB ordering ---------------------------------------------------
+    seqs = [e.seq for e in pipeline._rob]
+    assert seqs == sorted(seqs), "ROB out of program order"
+    trace_seqs = [e.trace_seq for e in pipeline._rob]
+    assert trace_seqs == sorted(trace_seqs), "trace seqs out of order"
+
+    # --- LSQ consistency --------------------------------------------------
+    rob_mem = [e.seq for e in pipeline._rob if e.is_mem]
+    lsq_seqs = [entry.rob.seq for entry in pipeline._lsq]
+    assert lsq_seqs == rob_mem, "LSQ disagrees with ROB memory ops"
+
+    # --- ITR ROB ----------------------------------------------------------
+    if pipeline.itr is not None:
+        itr_seqs = [entry.seq for entry in pipeline.itr.rob.entries()]
+        assert itr_seqs == sorted(itr_seqs)
+        assert len(itr_seqs) <= pipeline.itr.rob.capacity
+        if pipeline._rob and itr_seqs:
+            # the oldest in-flight instruction's trace cannot be younger
+            # than the ITR ROB head
+            assert pipeline._rob[0].trace_seq >= itr_seqs[0]
+
+
+@pytest.mark.parametrize("kernel_name", ["strsearch", "quicksort",
+                                         "saxpy", "dispatch"])
+def test_invariants_hold_every_cycle(kernel_name):
+    kernel = get_kernel(kernel_name)
+    pipeline = build_pipeline(kernel.program(), inputs=kernel.inputs)
+    cycles = 0
+    while not pipeline.halted and cycles < 30_000:
+        pipeline.step_cycle()
+        _check_invariants(pipeline)
+        cycles += 1
+    assert pipeline.halted
+    assert pipeline.output == kernel.expected_output
+
+
+def test_invariants_hold_under_faults():
+    """Invariants must survive fault injection + retry recovery too."""
+    kernel = get_kernel("sum_loop")
+
+    def tamper(index, pc, signals):
+        if index in (60, 200, 400):
+            return signals.with_bit_flipped(index % 64), True
+        return signals, False
+
+    pipeline = build_pipeline(kernel.program(), decode_tamper=tamper)
+    cycles = 0
+    from repro.errors import MachineCheckException
+    try:
+        while not pipeline.halted and cycles < 60_000:
+            pipeline.step_cycle()
+            _check_invariants(pipeline)
+            cycles += 1
+    except MachineCheckException:
+        _check_invariants(pipeline)  # consistent even at abort

@@ -1,0 +1,196 @@
+"""Tests for repro.utils.bitops."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError
+from repro.utils.bitops import (
+    OneHot,
+    check_fits,
+    extract,
+    flip_bit,
+    insert,
+    mask,
+    parity,
+    popcount,
+    rotate_left,
+    sign_extend,
+    to_unsigned,
+)
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 1
+        assert mask(4) == 0xF
+        assert mask(16) == 0xFFFF
+
+    def test_sixty_four(self):
+        assert mask(64) == (1 << 64) - 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+
+class TestCheckFits:
+    def test_passes_through(self):
+        assert check_fits(5, 3) == 5
+
+    def test_boundary(self):
+        assert check_fits(7, 3) == 7
+
+    def test_overflow(self):
+        with pytest.raises(EncodingError):
+            check_fits(8, 3)
+
+    def test_negative(self):
+        with pytest.raises(EncodingError):
+            check_fits(-1, 3)
+
+    def test_name_in_message(self):
+        with pytest.raises(EncodingError, match="rdst"):
+            check_fits(99, 5, "rdst")
+
+
+class TestExtractInsert:
+    def test_extract_middle(self):
+        assert extract(0b1101_0110, 2, 3) == 0b101
+
+    def test_insert_then_extract(self):
+        word = insert(0, 10, 5, 0b10110)
+        assert extract(word, 10, 5) == 0b10110
+
+    def test_insert_clears_old_bits(self):
+        word = insert(mask(32), 8, 8, 0)
+        assert extract(word, 8, 8) == 0
+        assert extract(word, 0, 8) == 0xFF
+        assert extract(word, 16, 8) == 0xFF
+
+    def test_insert_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            insert(0, 0, 3, 8)
+
+    @given(st.integers(0, (1 << 64) - 1), st.integers(0, 56),
+           st.integers(1, 8))
+    def test_roundtrip_random(self, word, offset, width):
+        value = extract(word, offset, width)
+        assert insert(word, offset, width, value) == word
+
+
+class TestFlipBit:
+    def test_sets_clear_bit(self):
+        assert flip_bit(0, 5) == 32
+
+    def test_clears_set_bit(self):
+        assert flip_bit(32, 5) == 0
+
+    def test_involution(self):
+        assert flip_bit(flip_bit(0xDEADBEEF, 13), 13) == 0xDEADBEEF
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            flip_bit(1, -1)
+
+
+class TestParityPopcount:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+        assert popcount(mask(64)) == 64
+
+    def test_parity_even(self):
+        assert parity(0b11) == 0
+
+    def test_parity_odd(self):
+        assert parity(0b111) == 1
+
+    @given(st.integers(0, (1 << 64) - 1), st.integers(0, 63))
+    def test_single_flip_changes_parity(self, word, bit):
+        assert parity(word) != parity(flip_bit(word, bit))
+
+
+class TestSignExtend:
+    def test_negative(self):
+        assert sign_extend(0xFFFF, 16) == -1
+
+    def test_positive(self):
+        assert sign_extend(0x7FFF, 16) == 32767
+
+    def test_min(self):
+        assert sign_extend(0x8000, 16) == -32768
+
+    def test_masks_upper_bits(self):
+        assert sign_extend(0x1FFFF, 16) == -1
+
+    @given(st.integers(-(1 << 15), (1 << 15) - 1))
+    def test_roundtrip_16(self, value):
+        assert sign_extend(to_unsigned(value, 16), 16) == value
+
+    @given(st.integers(-(1 << 31), (1 << 31) - 1))
+    def test_roundtrip_32(self, value):
+        assert sign_extend(to_unsigned(value, 32), 32) == value
+
+
+class TestRotate:
+    def test_simple(self):
+        assert rotate_left(0b0001, 1, 4) == 0b0010
+
+    def test_wraps(self):
+        assert rotate_left(0b1000, 1, 4) == 0b0001
+
+    def test_full_rotation_identity(self):
+        assert rotate_left(0xAB, 8, 8) == 0xAB
+
+
+class TestOneHot:
+    def test_initial_state(self):
+        assert OneHot().state == "none"
+        assert OneHot().code == 0b0001
+
+    def test_all_legal_states(self):
+        for name, code in OneHot.STATES.items():
+            onehot = OneHot(name)
+            assert onehot.state == name
+            assert onehot.code == code
+            assert onehot.is_valid()
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(ValueError):
+            OneHot("bogus")
+
+    def test_transition(self):
+        onehot = OneHot()
+        onehot.set_state("miss")
+        assert onehot.state == "miss"
+
+    @pytest.mark.parametrize("state", list(OneHot.STATES))
+    @pytest.mark.parametrize("bit", range(4))
+    def test_any_single_fault_detected(self, state, bit):
+        """The paper's Section 2.4 claim: one-hot makes any single bit
+        flip land on an illegal code word."""
+        onehot = OneHot(state)
+        onehot.inject_fault(bit)
+        if onehot.code in OneHot.STATES.values():
+            # Flipping the set bit of one state cannot produce another
+            # legal state: it produces zero, which is illegal.
+            pytest.fail("single flip produced a legal state")
+        assert not onehot.is_valid()
+        with pytest.raises(ValueError):
+            _ = onehot.state
+
+    def test_fault_bit_range(self):
+        with pytest.raises(ValueError):
+            OneHot().inject_fault(4)
+
+    def test_equality(self):
+        assert OneHot("chk") == OneHot("chk")
+        assert OneHot("chk") != OneHot("miss")
+
+    def test_repr_shows_invalid(self):
+        onehot = OneHot("chk")
+        onehot.inject_fault(0)
+        assert "INVALID" in repr(onehot)

@@ -1,0 +1,124 @@
+"""Tests for repro.utils.lru."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.lru import LruStack, TreePlru, make_replacement
+
+
+class TestLruStack:
+    def test_initial_victim_is_highest_way(self):
+        assert LruStack(4).victim() == 3
+
+    def test_touch_moves_to_mru(self):
+        lru = LruStack(4)
+        lru.touch(3)
+        assert lru.victim() != 3
+        assert lru.recency(3) == 0
+
+    def test_victim_is_least_recent(self):
+        lru = LruStack(4)
+        for way in (0, 1, 2, 3, 0, 1):
+            lru.touch(way)
+        assert lru.victim() == 2
+
+    def test_order_reflects_touch_sequence(self):
+        lru = LruStack(3)
+        lru.touch(1)
+        lru.touch(0)
+        assert lru.order() == [0, 1, 2]
+
+    def test_single_way(self):
+        lru = LruStack(1)
+        assert lru.victim() == 0
+        lru.touch(0)
+        assert lru.victim() == 0
+
+    def test_invalid_ways(self):
+        with pytest.raises(ValueError):
+            LruStack(0)
+
+    def test_victim_preferring_picks_lru_preferred(self):
+        lru = LruStack(4)
+        for way in (0, 1, 2, 3):
+            lru.touch(way)  # LRU order now: 3 MRU ... 0 LRU
+        # Prefer ways 1 and 2: the least-recently-used of them is 1.
+        assert lru.victim_preferring([False, True, True, False]) == 1
+
+    def test_victim_preferring_falls_back_to_plain_lru(self):
+        lru = LruStack(4)
+        assert lru.victim_preferring([False] * 4) == lru.victim()
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=50))
+    def test_victim_never_mru(self, touches):
+        lru = LruStack(4)
+        for way in touches:
+            lru.touch(way)
+        assert lru.victim() != touches[-1]
+
+
+class TestTreePlru:
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            TreePlru(3)
+
+    def test_single_way(self):
+        plru = TreePlru(1)
+        assert plru.victim() == 0
+
+    def test_two_way_behaves_like_lru(self):
+        plru = TreePlru(2)
+        plru.touch(0)
+        assert plru.victim() == 1
+        plru.touch(1)
+        assert plru.victim() == 0
+
+    def test_victim_avoids_last_touched(self):
+        plru = TreePlru(8)
+        for way in range(8):
+            plru.touch(way)
+            assert plru.victim() != way
+
+    def test_round_robin_fill(self):
+        """Touching every way in order leaves a well-defined victim."""
+        plru = TreePlru(4)
+        for way in range(4):
+            plru.touch(way)
+        assert plru.victim() == 0
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=60))
+    def test_victim_always_valid(self, touches):
+        plru = TreePlru(8)
+        for way in touches:
+            plru.touch(way)
+        assert 0 <= plru.victim() < 8
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=60))
+    def test_tree_order_is_permutation(self, touches):
+        plru = TreePlru(8)
+        for way in touches:
+            plru.touch(way)
+        assert sorted(plru._tree_order()) == list(range(8))
+
+    def test_victim_preferring(self):
+        plru = TreePlru(4)
+        for way in range(4):
+            plru.touch(way)
+        preferred = [False, False, True, False]
+        assert plru.victim_preferring(preferred) == 2
+
+    def test_victim_preferring_fallback(self):
+        plru = TreePlru(4)
+        assert plru.victim_preferring([False] * 4) == plru.victim()
+
+
+class TestFactory:
+    def test_lru(self):
+        assert isinstance(make_replacement("lru", 4), LruStack)
+
+    def test_plru(self):
+        assert isinstance(make_replacement("plru", 4), TreePlru)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_replacement("random", 4)

@@ -1,0 +1,117 @@
+"""Tests for repro.utils.rng."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.rng import (
+    WeightedSampler,
+    make_rng,
+    reservoir_sample,
+    split_seed,
+    zipf_weights,
+)
+
+
+class TestMakeRng:
+    def test_deterministic(self):
+        assert make_rng(7, "a").random() == make_rng(7, "a").random()
+
+    def test_streams_independent(self):
+        assert make_rng(7, "a").random() != make_rng(7, "b").random()
+
+    def test_seed_matters(self):
+        assert make_rng(1, "x").random() != make_rng(2, "x").random()
+
+    def test_multi_part_stream(self):
+        a = make_rng(1, "bench", 3).getrandbits(32)
+        b = make_rng(1, "bench", 4).getrandbits(32)
+        assert a != b
+
+
+class TestSplitSeed:
+    def test_deterministic(self):
+        assert split_seed(5, "x") == split_seed(5, "x")
+
+    def test_distinct(self):
+        assert split_seed(5, "x") != split_seed(5, "y")
+
+
+class TestZipf:
+    def test_length(self):
+        assert len(zipf_weights(10, 1.0)) == 10
+
+    def test_monotone_decreasing(self):
+        weights = zipf_weights(20, 1.2)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_alpha_zero_uniform(self):
+        assert zipf_weights(5, 0.0) == [1.0] * 5
+
+    def test_first_weight(self):
+        assert zipf_weights(3, 2.0)[0] == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1.0)
+
+
+class TestWeightedSampler:
+    def test_single_item(self):
+        sampler = WeightedSampler([1.0])
+        rng = random.Random(0)
+        assert all(sampler.sample(rng) == 0 for _ in range(10))
+
+    def test_zero_weight_never_sampled(self):
+        sampler = WeightedSampler([1.0, 0.0, 1.0])
+        rng = random.Random(1)
+        draws = sampler.sample_many(rng, 2000)
+        assert 1 not in draws
+
+    def test_distribution_roughly_matches(self):
+        sampler = WeightedSampler([3.0, 1.0])
+        rng = random.Random(42)
+        draws = sampler.sample_many(rng, 20000)
+        share = draws.count(0) / len(draws)
+        assert 0.70 < share < 0.80
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            WeightedSampler([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            WeightedSampler([1.0, -0.5])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            WeightedSampler([0.0, 0.0])
+
+    @given(st.lists(st.floats(0.01, 100.0), min_size=1, max_size=30))
+    def test_samples_in_range(self, weights):
+        sampler = WeightedSampler(weights)
+        rng = random.Random(9)
+        for _ in range(50):
+            assert 0 <= sampler.sample(rng) < len(weights)
+
+
+class TestReservoir:
+    def test_small_stream_kept_entirely(self):
+        rng = random.Random(0)
+        assert sorted(reservoir_sample(range(3), 10, rng)) == [0, 1, 2]
+
+    def test_sample_size(self):
+        rng = random.Random(0)
+        assert len(reservoir_sample(range(1000), 10, rng)) == 10
+
+    def test_elements_from_stream(self):
+        rng = random.Random(3)
+        sample = reservoir_sample(range(100), 5, rng)
+        assert all(0 <= x < 100 for x in sample)
+
+    def test_negative_k(self):
+        with pytest.raises(ValueError):
+            reservoir_sample(range(5), -1, random.Random(0))

@@ -1,0 +1,199 @@
+"""Tests for repro.utils.stats."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.stats import (
+    Counter,
+    Histogram,
+    Summary,
+    cumulative_share,
+    percentile,
+)
+
+
+class TestCounter:
+    def test_missing_is_zero(self):
+        assert Counter()["nothing"] == 0
+
+    def test_add_accumulates(self):
+        counter = Counter()
+        counter.add("x")
+        counter.add("x", 4)
+        assert counter["x"] == 5
+
+    def test_total(self):
+        counter = Counter()
+        counter.add("a", 2)
+        counter.add("b", 3)
+        assert counter.total() == 5
+
+    def test_contains(self):
+        counter = Counter()
+        counter.add("a")
+        assert "a" in counter
+        assert "b" not in counter
+
+    def test_merge(self):
+        first, second = Counter(), Counter()
+        first.add("a", 1)
+        second.add("a", 2)
+        second.add("b", 3)
+        first.merge(second)
+        assert first["a"] == 3
+        assert first["b"] == 3
+
+    def test_as_dict_is_copy(self):
+        counter = Counter()
+        counter.add("a")
+        d = counter.as_dict()
+        d["a"] = 99
+        assert counter["a"] == 1
+
+
+class TestHistogram:
+    def test_bin_assignment(self):
+        hist = Histogram(bin_width=500, num_bins=4)
+        hist.record(0)
+        hist.record(499)
+        hist.record(500)
+        assert hist.weights() == [2.0, 1.0, 0.0, 0.0]
+
+    def test_overflow_bucket(self):
+        hist = Histogram(bin_width=10, num_bins=2)
+        hist.record(25)
+        assert hist.overflow == 1.0
+        assert hist.weights() == [0.0, 0.0]
+
+    def test_weighted_records(self):
+        hist = Histogram(bin_width=10, num_bins=2)
+        hist.record(5, weight=7.0)
+        assert hist.weights()[0] == 7.0
+        assert hist.total_weight == 7.0
+        assert hist.count == 1
+
+    def test_cumulative_fraction(self):
+        hist = Histogram(bin_width=10, num_bins=3)
+        hist.record(5, weight=1.0)
+        hist.record(15, weight=1.0)
+        hist.record(95, weight=2.0)  # overflow
+        assert hist.cumulative_fraction() == [0.25, 0.5, 0.5]
+
+    def test_empty_cumulative(self):
+        assert Histogram(10, 3).cumulative_fraction() == [0.0] * 3
+
+    def test_bin_edges(self):
+        assert Histogram(500, 3).bin_edges() == [500, 1000, 1500]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(10, 2).record(-1)
+
+    def test_bad_config(self):
+        with pytest.raises(ValueError):
+            Histogram(0, 5)
+        with pytest.raises(ValueError):
+            Histogram(5, 0)
+
+
+class TestSummary:
+    def test_empty(self):
+        summary = Summary()
+        assert summary.count == 0
+        assert summary.variance == 0.0
+
+    def test_single_value(self):
+        summary = Summary()
+        summary.record(4.0)
+        assert summary.mean == 4.0
+        assert summary.minimum == 4.0
+        assert summary.maximum == 4.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_matches_statistics_module(self, values):
+        summary = Summary()
+        for value in values:
+            summary.record(value)
+        assert summary.mean == pytest.approx(statistics.fmean(values),
+                                             abs=1e-6, rel=1e-9)
+        assert summary.variance == pytest.approx(
+            statistics.variance(values), abs=1e-3, rel=1e-6)
+        assert summary.minimum == min(values)
+        assert summary.maximum == max(values)
+
+
+class TestCumulativeShare:
+    def test_sorted_descending(self):
+        shares = cumulative_share([1, 3, 2])
+        assert shares == pytest.approx([0.5, 5 / 6, 1.0])
+
+    def test_empty_weights(self):
+        assert cumulative_share([]) == []
+
+    def test_zero_total(self):
+        assert cumulative_share([0, 0]) == [0.0, 0.0]
+
+    def test_last_is_one(self):
+        assert cumulative_share([5, 5, 5])[-1] == pytest.approx(1.0)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        from repro.utils.stats import wilson_interval
+        low, high = wilson_interval(30, 40)
+        assert low < 30 / 40 < high
+
+    def test_zero_total(self):
+        from repro.utils.stats import wilson_interval
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_extremes_clamped(self):
+        from repro.utils.stats import wilson_interval
+        low, high = wilson_interval(0, 10)
+        assert low == 0.0 and high < 0.4
+        low, high = wilson_interval(10, 10)
+        assert high == 1.0 and low > 0.6
+
+    def test_narrows_with_samples(self):
+        from repro.utils.stats import wilson_interval
+        small = wilson_interval(20, 40)
+        large = wilson_interval(500, 1000)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_invalid(self):
+        from repro.utils.stats import wilson_interval
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+
+    @given(st.integers(0, 200), st.integers(0, 200))
+    def test_bounds_in_unit_interval(self, successes, extra):
+        from repro.utils.stats import wilson_interval
+        total = successes + extra
+        low, high = wilson_interval(successes, total)
+        assert 0.0 <= low <= high <= 1.0
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3], 0.5) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 0.25) == 2.5
+
+    def test_extremes(self):
+        assert percentile([3, 7, 9], 0.0) == 3
+        assert percentile([3, 7, 9], 1.0) == 9
+
+    def test_single_element(self):
+        assert percentile([42], 0.7) == 42
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_bad_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)

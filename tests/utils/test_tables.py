@@ -1,0 +1,84 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import (
+    format_cell,
+    render_bar,
+    render_series,
+    render_stacked_rows,
+    render_table,
+)
+
+
+class TestFormatCell:
+    def test_none(self):
+        assert format_cell(None) == "-"
+
+    def test_float_digits(self):
+        assert format_cell(1.23456, float_digits=3) == "1.235"
+
+    def test_int(self):
+        assert format_cell(42) == "42"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_string(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "long"], [[100, 1]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert "100" in lines[2]
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "=" * len("My Table")
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_basic(self):
+        text = render_series("curve", [1, 2], [0.5, 0.9],
+                             x_name="k", y_name="pct")
+        assert "curve" in text
+        assert "k" in text and "pct" in text
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series("s", [1, 2], [1])
+
+
+class TestRenderBar:
+    def test_full(self):
+        assert render_bar(1.0, width=10) == "#" * 10
+
+    def test_empty(self):
+        assert render_bar(0.0, width=10) == "." * 10
+
+    def test_clamps(self):
+        assert render_bar(2.0, width=4) == "####"
+        assert render_bar(-1.0, width=4) == "...."
+
+    def test_half(self):
+        assert render_bar(0.5, width=10).count("#") == 5
+
+
+class TestRenderStacked:
+    def test_groups(self):
+        text = render_stacked_rows(["x"], [("g1", [[1]]), ("g2", [[2]])])
+        assert "g1" in text and "g2" in text
+        assert "\n\n" in text

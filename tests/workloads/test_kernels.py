@@ -1,0 +1,88 @@
+"""Tests for the assembly kernel suite."""
+
+import pytest
+
+from repro.arch import FunctionalSimulator
+from repro.errors import WorkloadError
+from repro.workloads import all_kernels, get_kernel, kernels_by_category
+from repro.workloads.kernels import bubble_sort, crc32, dispatch, matmul
+
+
+class TestRegistry:
+    def test_at_least_ten_kernels(self):
+        assert len(all_kernels()) >= 10
+
+    def test_get_by_name(self):
+        assert get_kernel("sum_loop").name == "sum_loop"
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            get_kernel("nonexistent")
+
+    def test_categories_cover_int_and_fp(self):
+        assert len(kernels_by_category("int")) >= 8
+        assert len(kernels_by_category("fp")) >= 2
+
+    def test_all_have_expected_output(self):
+        for kernel in all_kernels():
+            assert kernel.expected_output
+
+    def test_names_unique_and_sorted(self):
+        names = [k.name for k in all_kernels()]
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.name)
+    def test_kernel_output(self, kernel):
+        simulator = FunctionalSimulator(kernel.program(),
+                                        inputs=kernel.inputs)
+        steps = simulator.run_silently(3_000_000)
+        assert simulator.halted, f"{kernel.name} did not halt"
+        assert simulator.output == kernel.expected_output
+        assert steps > 100  # kernels must be non-trivial
+
+
+class TestPythonMirrors:
+    """The baked-in expected outputs must match the independent Python
+    reimplementations (guards against stale constants)."""
+
+    def test_bubble_sort(self):
+        assert get_kernel("bubble_sort").expected_output == \
+            f"chk={bubble_sort.python_mirror()}"
+
+    def test_matmul(self):
+        assert get_kernel("matmul").expected_output == \
+            f"sum={matmul.python_mirror()}"
+
+    def test_crc32_matches_binascii(self):
+        import binascii
+        data = crc32._buffer()
+        reference = binascii.crc32(data)
+        printed = reference - 0x100000000 if reference & 0x80000000 \
+            else reference
+        assert get_kernel("crc32").expected_output == f"crc={printed}"
+
+    def test_dispatch(self):
+        assert get_kernel("dispatch").expected_output == \
+            f"acc={dispatch._expected()}"
+
+
+class TestKernelStructure:
+    def test_programs_assemble_fresh(self):
+        kernel = get_kernel("sieve")
+        assert len(kernel.program().instructions) == \
+            len(kernel.program().instructions)
+
+    def test_fp_kernels_use_fp_ops(self):
+        from repro.isa.decode_signals import decode
+        for kernel in kernels_by_category("fp"):
+            program = kernel.program()
+            assert any(decode(i).is_fp for i in program.instructions), \
+                f"{kernel.name} claims fp but has no FP instructions"
+
+    def test_all_end_with_exit_path(self):
+        """Every kernel must contain an exit syscall."""
+        for kernel in all_kernels():
+            assert "syscall" in kernel.source

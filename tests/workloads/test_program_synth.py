@@ -1,0 +1,111 @@
+"""Tests for program synthesis (executable SPEC2K replicas)."""
+
+import pytest
+
+from repro.arch import FunctionalSimulator
+from repro.itr.itr_cache import ItrCacheConfig
+from repro.uarch import PipelineConfig, build_pipeline
+from repro.workloads.program_synth import (
+    synthesize_program,
+    synthesize_source,
+)
+from repro.workloads.spec_profiles import get_profile
+
+
+@pytest.fixture(scope="module")
+def bzip_mini():
+    return synthesize_program("bzip", target_instructions=20_000)
+
+
+@pytest.fixture(scope="module")
+def vortex_mini():
+    return synthesize_program("vortex", target_instructions=20_000)
+
+
+class TestGeneration:
+    def test_assembles(self, bzip_mini):
+        assert len(bzip_mini.instructions) > 200
+
+    def test_deterministic(self):
+        a = synthesize_source(get_profile("gap"), seed=3,
+                              target_instructions=5_000)
+        b = synthesize_source(get_profile("gap"), seed=3,
+                              target_instructions=5_000)
+        assert a == b
+
+    def test_seed_varies_code(self):
+        a = synthesize_source(get_profile("gap"), seed=3,
+                              target_instructions=5_000)
+        b = synthesize_source(get_profile("gap"), seed=4,
+                              target_instructions=5_000)
+        assert a != b
+
+    def test_scaling_caps_text_size(self):
+        small = synthesize_program("gcc", target_instructions=5_000,
+                                   max_static_traces=64)
+        assert len(small.instructions) < 1500
+
+
+class TestExecution:
+    def test_runs_and_halts(self, bzip_mini):
+        simulator = FunctionalSimulator(bzip_mini)
+        retired = simulator.run_silently(2_000_000)
+        assert simulator.halted
+        assert retired >= 15_000
+        assert simulator.output.startswith("synth done ")
+
+    def test_pipeline_lockstep(self, vortex_mini):
+        golden = FunctionalSimulator(vortex_mini)
+        effects = golden.effects(2_000_000)
+        mismatches = []
+
+        def listener(effect, signals):
+            expected = next(effects, None)
+            if expected is None or \
+                    not expected.same_architectural_effect(effect):
+                mismatches.append((expected, effect))
+
+        pipeline = build_pipeline(vortex_mini, commit_listener=listener)
+        result = pipeline.run(max_cycles=2_000_000)
+        assert result.reason == "halted"
+        assert mismatches == []
+        assert pipeline.itr.stats.mismatches == 0
+        assert pipeline.stats.spc_violations == 0
+
+
+class TestShapePreservation:
+    def test_vortex_mini_misses_more_than_bzip_mini(self, bzip_mini,
+                                                    vortex_mini):
+        """Under a small ITR cache, the scaled replicas keep the paper's
+        ordering: vortex-shaped code pressures the cache harder."""
+        config = PipelineConfig(itr_cache=ItrCacheConfig(entries=64,
+                                                         assoc=2))
+        rates = {}
+        for name, program in (("bzip", bzip_mini), ("vortex", vortex_mini)):
+            pipeline = build_pipeline(program, config=config)
+            pipeline.run(max_cycles=2_000_000)
+            stats = pipeline.itr.stats
+            rates[name] = stats.cache_misses / (stats.cache_hits
+                                                + stats.cache_misses)
+        assert rates["vortex"] > rates["bzip"]
+
+    def test_mean_trace_length_tracks_profile(self):
+        fp_mini = synthesize_program("swim", target_instructions=10_000)
+        int_mini = synthesize_program("gzip", target_instructions=10_000)
+        from repro.itr.trace import TraceProfile, \
+            traces_of_instruction_stream
+        from repro.isa.decode_signals import decode
+
+        def mean_length(program):
+            simulator = FunctionalSimulator(program)
+            stream = []
+            while not simulator.halted and len(stream) < 60_000:
+                pc = simulator.state.pc
+                stream.append(
+                    (pc, decode(program.instruction_at(pc)).ends_trace))
+                simulator.step()
+            profile = TraceProfile()
+            profile.record_stream(traces_of_instruction_stream(stream))
+            return profile.dynamic_instructions / profile.dynamic_traces
+
+        assert mean_length(fp_mini) > mean_length(int_mini)

@@ -1,0 +1,144 @@
+"""Tests for the synthetic SPEC2K workload models."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.itr import ItrCacheConfig, measure_coverage
+from repro.workloads import (
+    PAPER_STATIC_TRACES,
+    all_profiles,
+    get_profile,
+    synthetic_workload,
+)
+from repro.workloads.spec_profiles import (
+    FIGURE67_BENCHMARKS,
+    NEGLIGIBLE_LOSS_BENCHMARKS,
+    SpecProfile,
+)
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+class TestProfiles:
+    def test_sixteen_benchmarks(self):
+        assert len(all_profiles()) == 16
+
+    def test_static_counts_match_paper_table1(self):
+        """The calibration anchor: Table 1 counts are exact."""
+        for profile in all_profiles():
+            assert profile.static_traces == \
+                PAPER_STATIC_TRACES[profile.name]
+
+    def test_figure67_list(self):
+        assert len(FIGURE67_BENCHMARKS) == 11
+        for name in FIGURE67_BENCHMARKS:
+            get_profile(name)
+
+    def test_negligible_list_disjoint(self):
+        assert not set(FIGURE67_BENCHMARKS) & set(NEGLIGIBLE_LOSS_BENCHMARKS)
+
+    def test_unknown_profile(self):
+        with pytest.raises(WorkloadError):
+            get_profile("doom")
+
+    def test_profile_validation(self):
+        with pytest.raises(WorkloadError):
+            SpecProfile(name="x", category="int", static_traces=10,
+                        regions=20, hot_traces_per_region=2,
+                        mean_visit_iterations=1.0, region_zipf=1.0,
+                        cold_visit_fraction=0.1, mean_trace_length=6.0,
+                        trace_length_spread=1.0)
+        with pytest.raises(WorkloadError):
+            SpecProfile(name="x", category="weird", static_traces=10,
+                        regions=2, hot_traces_per_region=2,
+                        mean_visit_iterations=1.0, region_zipf=1.0,
+                        cold_visit_fraction=0.1, mean_trace_length=6.0,
+                        trace_length_spread=1.0)
+
+
+class TestGenerator:
+    def test_static_layout_matches_table1(self):
+        for name in ("bzip", "vortex", "wupwise"):
+            workload = synthetic_workload(name)
+            assert workload.static_trace_count == PAPER_STATIC_TRACES[name]
+
+    def test_deterministic_stream(self):
+        a = synthetic_workload("bzip").event_list(5000)
+        b = synthetic_workload("bzip").event_list(5000)
+        assert a == b
+
+    def test_seed_changes_stream(self):
+        a = SyntheticWorkload(get_profile("bzip"), seed=1).event_list(5000)
+        b = SyntheticWorkload(get_profile("bzip"), seed=2).event_list(5000)
+        assert a != b
+
+    def test_stream_label_changes_stream(self):
+        workload = synthetic_workload("bzip")
+        assert workload.event_list(5000, stream="a") != \
+            workload.event_list(5000, stream="b")
+
+    def test_instruction_budget_met(self):
+        events = synthetic_workload("gap").event_list(20_000)
+        total = sum(e.length for e in events)
+        assert total >= 20_000
+        assert total < 25_000  # no wild overshoot
+
+    def test_trace_lengths_legal(self):
+        for event in synthetic_workload("mgrid").event_list(10_000):
+            assert 1 <= event.length <= 16
+
+    def test_lengths_stable_per_static_trace(self):
+        """Trace length is a static property: every occurrence of a start
+        PC must have the same length (and signature)."""
+        seen = {}
+        for event in synthetic_workload("parser").event_list(50_000):
+            if event.start_pc in seen:
+                assert seen[event.start_pc] == (event.length,
+                                                event.signature)
+            else:
+                seen[event.start_pc] = (event.length, event.signature)
+
+    def test_fp_traces_longer_than_int(self):
+        int_events = synthetic_workload("bzip").event_list(30_000)
+        fp_events = synthetic_workload("swim").event_list(30_000)
+        int_mean = sum(e.length for e in int_events) / len(int_events)
+        fp_mean = sum(e.length for e in fp_events) / len(fp_events)
+        assert fp_mean > int_mean
+
+
+class TestCalibratedBehaviour:
+    """Qualitative paper facts the models must reproduce."""
+
+    def test_bzip_is_highly_concentrated(self):
+        profile = synthetic_workload("bzip").characterize(100_000)
+        assert profile.traces_for_coverage(0.99) <= 150
+
+    def test_wupwise_tiny_footprint(self):
+        profile = synthetic_workload("wupwise").characterize(100_000)
+        assert profile.traces_for_coverage(0.99) <= 50
+
+    def test_proximity_ordering(self):
+        """bzip repeats much closer than vortex (Figures 3 vs 6/7)."""
+        bzip = synthetic_workload("bzip").characterize(100_000)
+        vortex = synthetic_workload("vortex").characterize(100_000)
+        assert bzip.fraction_repeating_within(1000) > 0.9
+        assert vortex.fraction_repeating_within(1000) < 0.75
+
+    def test_coverage_loss_ordering(self):
+        """vortex must lose the most coverage; bzip nearly none
+        (the paper's Figures 6-7 headline ordering)."""
+        config = ItrCacheConfig(entries=1024, assoc=2)
+        losses = {}
+        for name in ("bzip", "gcc", "vortex"):
+            events = synthetic_workload(name).event_list(150_000)
+            losses[name] = measure_coverage(events, config)
+        assert losses["vortex"].detection_loss_pct > \
+            losses["gcc"].detection_loss_pct > \
+            losses["bzip"].detection_loss_pct
+        assert losses["bzip"].detection_loss_pct < 0.2
+
+    def test_detection_loss_below_recovery_loss(self):
+        config = ItrCacheConfig(entries=512, assoc=2)
+        for name in ("perl", "twolf"):
+            events = synthetic_workload(name).event_list(100_000)
+            result = measure_coverage(events, config)
+            assert result.detection_loss_pct <= result.recovery_loss_pct
