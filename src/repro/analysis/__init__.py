@@ -1,0 +1,72 @@
+"""Offline static program analysis for the ITR reproduction.
+
+Analyzes assembled :class:`repro.isa.program.Program` objects without
+executing them:
+
+* :mod:`repro.analysis.cfg` — basic blocks and control-flow edges,
+* :mod:`repro.analysis.static_traces` — the complete static trace
+  inventory (start PC, length, XOR signature), ITR cache working-set and
+  conflict-pressure prediction,
+* :mod:`repro.analysis.dataflow` — may-uninitialized register analysis,
+* :mod:`repro.analysis.lints` — typed diagnostics: wild control
+  transfers, text fall-through, unreachable code, exit-less loops,
+  uninitialized reads, and ITR signature collisions,
+* :mod:`repro.analysis.report` — the aggregate report + JSON form.
+
+Command line: ``python -m repro.analysis <file.asm> [--json]``.
+
+>>> from repro.analysis import analyze_program
+>>> from repro.workloads.kernels import get_kernel
+>>> report = analyze_program(get_kernel("sum_loop").program())
+>>> report.status
+'clean'
+"""
+
+from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+from .dataflow import UninitializedRead, find_uninitialized_reads
+from .diagnostics import (
+    CATALOG,
+    Diagnostic,
+    DiagnosticSpec,
+    Severity,
+    sort_diagnostics,
+    worst_severity,
+)
+from .lints import run_lints
+from .report import (
+    DEFAULT_CACHE_CONFIGS,
+    AnalysisReport,
+    analyze_program,
+)
+from .static_traces import (
+    CachePressure,
+    StaticTrace,
+    enumerate_static_traces,
+    predict_cache_pressure,
+    signature_collisions,
+    walk_static_trace,
+)
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "build_cfg",
+    "UninitializedRead",
+    "find_uninitialized_reads",
+    "CATALOG",
+    "Diagnostic",
+    "DiagnosticSpec",
+    "Severity",
+    "sort_diagnostics",
+    "worst_severity",
+    "run_lints",
+    "DEFAULT_CACHE_CONFIGS",
+    "AnalysisReport",
+    "analyze_program",
+    "CachePressure",
+    "StaticTrace",
+    "enumerate_static_traces",
+    "predict_cache_pressure",
+    "signature_collisions",
+    "walk_static_trace",
+]

@@ -1,0 +1,80 @@
+"""``python -m repro.analysis <file.asm> [--json]`` — analyzer CLI.
+
+Exit codes:
+
+* ``0`` — analysis ran, no error-severity diagnostics
+* ``1`` — analysis ran, at least one error-severity diagnostic
+* ``2`` — the input could not be read or assembled
+
+``--json`` emits the machine-readable report documented in
+``docs/static_analysis.md`` on stdout; assembly failures are reported as
+a JSON object with an ``"assembly_error"`` key in that mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from ..errors import AssemblerError
+from ..isa.assembler import assemble
+from .diagnostics import Severity
+from .report import analyze_program
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The analyzer's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Statically analyze a PISA-like assembly program: "
+                    "CFG, ITR static trace inventory, dataflow lints and "
+                    "signature-collision detection.")
+    parser.add_argument("source", help="assembly source file (.asm)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the machine-readable JSON report")
+    parser.add_argument("--verbose", action="store_true",
+                        help="include the full trace inventory in the "
+                             "text report")
+    parser.add_argument("--max-trace-length", type=int, default=16,
+                        metavar="N",
+                        help="trace length limit (paper default: 16)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.max_trace_length < 1:
+        parser.error(
+            f"--max-trace-length must be >= 1, got {args.max_trace_length}")
+    path = Path(args.source)
+    try:
+        source = path.read_text()
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 2
+    try:
+        program = assemble(source, name=path.stem)
+    except AssemblerError as exc:
+        if args.json:
+            print(json.dumps({"program": path.stem,
+                              "assembly_error": str(exc)}))
+        else:
+            print(f"error: {path}: {exc}", file=sys.stderr)
+        return 2
+    report = analyze_program(program,
+                             max_trace_length=args.max_trace_length)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        print(report.render(verbose=args.verbose))
+    worst = report.worst_severity
+    return 1 if worst is Severity.ERROR else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

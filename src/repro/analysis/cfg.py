@@ -1,0 +1,312 @@
+"""Control-flow graph construction over assembled programs.
+
+Blocks are the classic maximal straight-line runs: a leader starts at the
+program entry, at every control-transfer target, and at the instruction
+following any trace-ending instruction (control transfer or trap). Edges
+come from :meth:`repro.isa.instruction.Instruction.static_successors`,
+with two analyzer-side refinements:
+
+* **indirect jumps** (``jr``/``jalr``) have no encoded target; their edge
+  set is approximated as every call-return site (``pc + 8`` of each
+  ``jal``/``jalr``) plus any word in the data segment that holds an
+  aligned text address (jump-table harvesting),
+* **traps** normally fall through (the OS returns), except when a local
+  constant propagation proves the service number is ``exit`` — those
+  blocks are terminal.
+
+Both refinements are over-approximations in the safe direction for the
+lints built on top: extra edges can only hide an unreachable block or add
+an exit to a loop, never invent a spurious finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from ..arch.syscalls import EXIT
+from ..isa.instruction import INSTRUCTION_BYTES, Instruction
+from ..isa.program import TEXT_BASE, Program
+from ..isa.registers import RA, V0, ZERO
+from ..utils.bitops import sign_extend
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """One maximal straight-line run of instructions."""
+
+    start_pc: int
+    end_pc: int  # PC of the *last* instruction in the block (inclusive)
+
+    @property
+    def length(self) -> int:
+        """Number of instructions in the block."""
+        return (self.end_pc - self.start_pc) // INSTRUCTION_BYTES + 1
+
+    def pcs(self) -> Iterator[int]:
+        """PCs of the block's instructions, in order."""
+        return iter(range(self.start_pc, self.end_pc + 1, INSTRUCTION_BYTES))
+
+    def __contains__(self, pc: int) -> bool:
+        return (self.start_pc <= pc <= self.end_pc
+                and (pc - self.start_pc) % INSTRUCTION_BYTES == 0)
+
+
+def harvest_text_pointers(program: Program) -> FrozenSet[int]:
+    """Aligned text addresses stored as words in the data segment.
+
+    A program dispatching through a jump table loads its targets from
+    data; scanning the data image for values that decode as instruction
+    addresses recovers the candidate target set.
+    """
+    found: Set[int] = set()
+    data = program.data
+    for offset in range(0, len(data) - 3, 4):
+        word = int.from_bytes(data[offset:offset + 4], "little")
+        if program.contains_pc(word):
+            found.add(word)
+    return frozenset(found)
+
+
+def call_return_sites(program: Program) -> FrozenSet[int]:
+    """``pc + 8`` of every call, i.e. every feasible return address."""
+    sites: Set[int] = set()
+    for index, instr in enumerate(program.instructions):
+        if instr.is_call:
+            site = program.pc_of(index) + INSTRUCTION_BYTES
+            if program.contains_pc(site):
+                sites.add(site)
+    return frozenset(sites)
+
+
+def control_transfer_targets(program: Program) -> FrozenSet[int]:
+    """Every statically encoded branch/jump target (in or out of text)."""
+    targets: Set[int] = set()
+    for index, instr in enumerate(program.instructions):
+        pc = program.pc_of(index)
+        if instr.is_conditional_branch:
+            targets.add(instr.branch_target(pc))
+        elif instr.is_direct_jump:
+            targets.add(instr.jump_target)
+    return frozenset(targets)
+
+
+def resolve_syscall_service(program: Program, trap_pc: int,
+                            join_points: FrozenSet[int]) -> Optional[int]:
+    """Best-effort service number of the trap at ``trap_pc``.
+
+    Scans backwards through straight-line code for the defining write of
+    ``$v0``, recognising the constant idioms the assembler's ``li``
+    produces (``ori``/``addiu`` from ``$zero``, ``lui``). The scan stops —
+    returning ``None`` (unknown) — at any trace-ending instruction or any
+    control-transfer target, where paths join and the value may differ.
+    """
+    pc = trap_pc - INSTRUCTION_BYTES
+    while pc >= TEXT_BASE and program.contains_pc(pc):
+        instr = program.instruction_at(pc)
+        constant = _constant_written(instr, V0)
+        if constant is not None:
+            return constant
+        if _writes_int_register(instr, V0) or instr.ends_trace:
+            return None
+        if pc in join_points:
+            return None
+        pc -= INSTRUCTION_BYTES
+    return None
+
+
+def _writes_int_register(instr: Instruction, reg: int) -> bool:
+    """Whether ``instr`` writes integer register ``reg``."""
+    if instr.op.has("is_fp"):
+        return False
+    if instr.is_call:
+        return reg == RA or (instr.mnemonic == "jalr" and instr.rd == reg)
+    return instr.op.num_rdst >= 1 and instr.rd == reg
+
+
+def _constant_written(instr: Instruction, reg: int) -> Optional[int]:
+    """The constant ``instr`` writes into integer register ``reg``, if
+    recognisable: the assembler's ``li`` idioms only."""
+    if not _writes_int_register(instr, reg) or instr.is_call:
+        return None
+    if instr.mnemonic == "ori" and instr.rs == ZERO:
+        return instr.imm
+    if instr.mnemonic == "addiu" and instr.rs == ZERO:
+        return sign_extend(instr.imm, 16) & 0xFFFFFFFF
+    if instr.mnemonic == "lui":
+        return (instr.imm << 16) & 0xFFFFFFFF
+    return None
+
+
+class ControlFlowGraph:
+    """Basic blocks plus typed edges for one :class:`Program`.
+
+    Attributes of interest to the lint passes:
+
+    * ``bad_edges`` — ``(pc, target)`` control transfers leaving text or
+      hitting a misaligned address,
+    * ``fall_off_pcs`` — PCs whose fall-through successor is past the end
+      of text (conditional-branch not-taken paths included; a trap proven
+      to be ``exit`` is terminal and exempt),
+    * ``halting_pcs`` — trap PCs proven to be program exit.
+    """
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.join_points = control_transfer_targets(program)
+        self.return_sites = call_return_sites(program)
+        self._has_indirect = any(i.is_indirect_jump
+                                 for i in program.instructions)
+        self.indirect_targets: FrozenSet[int] = frozenset()
+        if self._has_indirect:
+            self.indirect_targets = (self.return_sites
+                                     | harvest_text_pointers(program))
+        self.halting_pcs: FrozenSet[int] = frozenset(
+            pc for pc in self._trap_pcs()
+            if resolve_syscall_service(program, pc, self.join_points) == EXIT)
+        self.bad_edges: List[Tuple[int, int]] = []
+        self.fall_off_pcs: List[int] = []
+        self.blocks: List[BasicBlock] = self._build_blocks()
+        self.successors: Dict[int, Tuple[int, ...]] = {}
+        self.predecessors: Dict[int, Tuple[int, ...]] = {}
+        self._link_blocks()
+
+    # ------------------------------------------------------------ building
+    def _trap_pcs(self) -> Iterator[int]:
+        for index, instr in enumerate(self.program.instructions):
+            if instr.is_trap:
+                yield self.program.pc_of(index)
+
+    def _leaders(self) -> List[int]:
+        program = self.program
+        leaders: Set[int] = {program.entry}
+        for index, instr in enumerate(program.instructions):
+            pc = program.pc_of(index)
+            if instr.ends_trace:
+                follower = pc + INSTRUCTION_BYTES
+                if program.contains_pc(follower):
+                    leaders.add(follower)
+        for target in self.join_points | self.indirect_targets:
+            if program.contains_pc(target):
+                leaders.add(target)
+        return sorted(leaders)
+
+    def _build_blocks(self) -> List[BasicBlock]:
+        program = self.program
+        leaders = self._leaders()
+        leader_set = set(leaders)
+        blocks: List[BasicBlock] = []
+        for leader in leaders:
+            pc = leader
+            while True:
+                instr = program.instruction_at(pc)
+                follower = pc + INSTRUCTION_BYTES
+                if (instr.ends_trace
+                        or follower in leader_set
+                        or not program.contains_pc(follower)):
+                    break
+                pc = follower
+            blocks.append(BasicBlock(start_pc=leader, end_pc=pc))
+        return blocks
+
+    def _successors_of_last(self, block: BasicBlock) -> Tuple[int, ...]:
+        program = self.program
+        pc = block.end_pc
+        instr = program.instruction_at(pc)
+        if pc in self.halting_pcs:
+            return ()
+        if instr.is_indirect_jump:
+            return tuple(sorted(self.indirect_targets))
+        candidates = instr.static_successors(pc) or ()
+        out: List[int] = []
+        for target in candidates:
+            if program.contains_pc(target):
+                out.append(target)
+            elif target == pc + INSTRUCTION_BYTES:
+                self.fall_off_pcs.append(pc)
+            else:
+                self.bad_edges.append((pc, target))
+        return tuple(out)
+
+    def _link_blocks(self) -> None:
+        predecessors: Dict[int, List[int]] = {
+            b.start_pc: [] for b in self.blocks}
+        for block in self.blocks:
+            succs = self._successors_of_last(block)
+            self.successors[block.start_pc] = succs
+            for succ in succs:
+                predecessors[succ].append(block.start_pc)
+        self.predecessors = {pc: tuple(preds)
+                             for pc, preds in predecessors.items()}
+
+    # ------------------------------------------------------------- queries
+    def block_at(self, pc: int) -> BasicBlock:
+        """The block whose leader is ``pc``."""
+        for block in self.blocks:
+            if block.start_pc == pc:
+                return block
+        raise KeyError(f"no basic block starts at 0x{pc:08x}")
+
+    def reachable(self) -> FrozenSet[int]:
+        """Leaders of blocks reachable from the program entry."""
+        seen: Set[int] = set()
+        stack = [self.program.entry]
+        while stack:
+            leader = stack.pop()
+            if leader in seen:
+                continue
+            seen.add(leader)
+            stack.extend(self.successors.get(leader, ()))
+        return frozenset(seen)
+
+    def strongly_connected_components(self) -> List[FrozenSet[int]]:
+        """Tarjan SCCs over block leaders (iterative, deterministic)."""
+        index_of: Dict[int, int] = {}
+        low: Dict[int, int] = {}
+        on_stack: Set[int] = set()
+        stack: List[int] = []
+        components: List[FrozenSet[int]] = []
+        counter = [0]
+
+        for root in (b.start_pc for b in self.blocks):
+            if root in index_of:
+                continue
+            work: List[Tuple[int, int]] = [(root, 0)]
+            while work:
+                node, child_index = work.pop()
+                if child_index == 0:
+                    index_of[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recursed = False
+                succs = self.successors.get(node, ())
+                for position in range(child_index, len(succs)):
+                    succ = succs[position]
+                    if succ not in index_of:
+                        work.append((node, position + 1))
+                        work.append((succ, 0))
+                        recursed = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index_of[succ])
+                if recursed:
+                    continue
+                if low[node] == index_of[node]:
+                    component: Set[int] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(frozenset(component))
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return components
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Construct the CFG of an assembled program."""
+    return ControlFlowGraph(program)

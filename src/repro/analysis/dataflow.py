@@ -1,0 +1,158 @@
+"""May-be-uninitialized register dataflow analysis.
+
+Forward analysis over the CFG in the unified 64-entry register space
+(integer 0..31, FP 32..63). A register is *maybe uninitialized* at a
+program point if some path from the entry reaches that point without
+writing it; reading such a register is reported once per ``(pc,
+register)`` site.
+
+Which registers an instruction reads/writes comes from its decode-signal
+vector — the same ``num_rsrc``/``num_rdst`` gating and per-operand
+register-file selection rules the rename stage applies — so the analysis
+cannot disagree with the simulators about operand access.
+
+ABI reset state (:meth:`repro.arch.state.ArchState.from_program`)
+initializes ``$zero``, ``$sp`` and ``$gp``; everything else starts
+uninitialized. Traps read ``$v0`` (the service number) and, for services
+that take an argument, ``$a0``; when constant propagation cannot resolve
+the service number only ``$v0`` is required (the safe under-approximation
+for a *read* set used in a may-uninit report: no false positives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..arch.state import arch_reg
+from ..arch.syscalls import (
+    PRINT_CHAR,
+    PRINT_INT,
+    PRINT_STRING,
+    RAND,
+    READ_INT,
+    SRAND,
+)
+from ..isa.decode_signals import DecodeSignals, decode
+from ..isa.program import Program
+from ..isa.registers import A0, GP, SP, V0, ZERO, fp_reg_name, int_reg_name
+from .cfg import ControlFlowGraph, resolve_syscall_service
+
+#: Unified registers holding defined values at the ABI reset state.
+ENTRY_INITIALIZED: FrozenSet[int] = frozenset({
+    arch_reg(ZERO, False), arch_reg(SP, False), arch_reg(GP, False),
+})
+
+#: Services whose handler reads the ``$a0`` argument register.
+_SERVICES_READING_A0 = frozenset(
+    {PRINT_INT, PRINT_STRING, PRINT_CHAR, SRAND, RAND})
+
+#: Services whose handler writes a result into ``$v0``.
+_SERVICES_WRITING_V0 = frozenset({READ_INT, RAND})
+
+_ALL_REGISTERS: FrozenSet[int] = frozenset(range(64))
+
+
+def unified_register_name(reg: int) -> str:
+    """Render a unified-space register index as its assembly name."""
+    return fp_reg_name(reg - 32) if reg >= 32 else int_reg_name(reg)
+
+
+def registers_read(signals: DecodeSignals,
+                   service: Optional[int] = None) -> Tuple[int, ...]:
+    """Unified registers an instruction reads, per the rename gating."""
+    reads: List[int] = []
+    if signals.is_trap:
+        reads.append(arch_reg(V0, False))
+        if service in _SERVICES_READING_A0:
+            reads.append(arch_reg(A0, False))
+        return tuple(reads)
+    if signals.num_rsrc >= 1:
+        reads.append(arch_reg(signals.rsrc1, signals.rsrc1_is_fp))
+    if signals.num_rsrc >= 2:
+        reads.append(arch_reg(signals.rsrc2, signals.rsrc2_is_fp))
+    return tuple(reads)
+
+
+def registers_written(signals: DecodeSignals,
+                      service: Optional[int] = None) -> Tuple[int, ...]:
+    """Unified registers an instruction definitely writes."""
+    if signals.is_trap:
+        if service in _SERVICES_WRITING_V0:
+            return (arch_reg(V0, False),)
+        return ()
+    if signals.num_rdst >= 1:
+        return (arch_reg(signals.rdst, signals.rdst_is_fp),)
+    return ()
+
+
+@dataclass(frozen=True)
+class UninitializedRead:
+    """One read of a possibly-uninitialized register."""
+
+    pc: int
+    register: int
+
+    @property
+    def register_name(self) -> str:
+        return unified_register_name(self.register)
+
+
+def find_uninitialized_reads(
+        program: Program,
+        cfg: Optional[ControlFlowGraph] = None) -> List[UninitializedRead]:
+    """Report every ``(pc, register)`` read of a maybe-uninit register.
+
+    Classic union-meet forward fixpoint over basic blocks; reads of
+    ``$zero`` are never reported (the register file hardwires it).
+    """
+    if cfg is None:
+        cfg = ControlFlowGraph(program)
+    entry_state = frozenset(_ALL_REGISTERS - ENTRY_INITIALIZED)
+    # Maybe-uninit set at each block entry; unvisited blocks start at None.
+    at_entry: Dict[int, Optional[FrozenSet[int]]] = {
+        block.start_pc: None for block in cfg.blocks}
+    at_entry[program.entry] = entry_state
+    services = {
+        pc: resolve_syscall_service(program, pc, cfg.join_points)
+        for block in cfg.blocks for pc in block.pcs()
+        if program.instruction_at(pc).is_trap}
+
+    worklist: List[int] = [program.entry]
+    findings: Set[Tuple[int, int]] = set()
+    zero = arch_reg(ZERO, False)
+    while worklist:
+        leader = worklist.pop()
+        state = at_entry[leader]
+        if state is None:  # pragma: no cover - guarded by scheduling
+            continue
+        uninit = set(state)
+        block = cfg.block_at(leader)
+        for pc in block.pcs():
+            signals = decode(program.instruction_at(pc))
+            service = services.get(pc)
+            for reg in registers_read(signals, service):
+                if reg != zero and reg in uninit:
+                    findings.add((pc, reg))
+            for reg in registers_written(signals, service):
+                uninit.discard(reg)
+        exit_state = frozenset(uninit)
+        for successor in cfg.successors.get(leader, ()):
+            seen = at_entry[successor]
+            merged = exit_state if seen is None else (seen | exit_state)
+            if merged != seen:
+                at_entry[successor] = merged
+                worklist.append(successor)
+    return sorted((UninitializedRead(pc=pc, register=reg)
+                   for pc, reg in findings),
+                  key=lambda f: (f.pc, f.register))
+
+
+__all__ = [
+    "ENTRY_INITIALIZED",
+    "UninitializedRead",
+    "find_uninitialized_reads",
+    "registers_read",
+    "registers_written",
+    "unified_register_name",
+]

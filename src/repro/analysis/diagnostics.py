@@ -1,0 +1,134 @@
+"""Typed diagnostics emitted by the static analyzer.
+
+Every finding carries a stable code (catalogued in
+``docs/static_analysis.md``), a severity, the PC it anchors to (when it
+has one) and a human-readable message. Machine consumers use
+:meth:`Diagnostic.to_json`; the CLI exit code is derived from
+:func:`worst_severity`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so ``max()`` picks the worst."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+
+#: The diagnostic catalog: code -> (severity, one-line summary).
+CATALOG: Dict[str, "DiagnosticSpec"] = {}
+
+
+@dataclass(frozen=True)
+class DiagnosticSpec:
+    """Static description of one diagnostic code."""
+
+    code: str
+    severity: Severity
+    summary: str
+
+
+def _register(code: str, severity: Severity, summary: str) -> DiagnosticSpec:
+    spec = DiagnosticSpec(code, severity, summary)
+    if code in CATALOG:
+        raise AssertionError(f"duplicate diagnostic code {code}")
+    CATALOG[code] = spec
+    return spec
+
+
+# -- control-flow lints ------------------------------------------------------
+CF_BAD_TARGET = _register(
+    "CF001", Severity.ERROR,
+    "control transfer targets an address outside the text segment")
+CF_FALLS_OFF_TEXT = _register(
+    "CF002", Severity.ERROR,
+    "execution can fall through past the end of the text segment")
+CF_UNREACHABLE = _register(
+    "CF003", Severity.WARNING,
+    "basic block is unreachable from the program entry")
+CF_NO_EXIT_LOOP = _register(
+    "CF004", Severity.WARNING,
+    "loop has no exit edge (watchdog-timeout risk)")
+
+# -- dataflow lints ----------------------------------------------------------
+DF_UNINIT_READ = _register(
+    "DF001", Severity.ERROR,
+    "register may be read before it is written")
+
+# -- ITR-specific lints ------------------------------------------------------
+ITR_SIGNATURE_COLLISION = _register(
+    "ITR001", Severity.WARNING,
+    "distinct static traces share one 64-bit XOR signature")
+ITR_CACHE_PRESSURE = _register(
+    "ITR002", Severity.INFO,
+    "static trace working set oversubscribes an ITR cache set")
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    pc: Optional[int] = None
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        spec = CATALOG.get(self.code)
+        if spec is None:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+        if spec.severity is not self.severity:
+            raise ValueError(
+                f"{self.code} is a {spec.severity.label} diagnostic, "
+                f"got {self.severity.label}")
+
+    def render(self) -> str:
+        """One-line ``severity code @pc: message`` form."""
+        where = f" @0x{self.pc:08x}" if self.pc is not None else ""
+        return f"{self.severity.label} {self.code}{where}: {self.message}"
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-serializable form (schema in docs/static_analysis.md)."""
+        out: Dict[str, Any] = {
+            "code": self.code,
+            "severity": self.severity.label,
+            "message": self.message,
+        }
+        if self.pc is not None:
+            out["pc"] = self.pc
+        if self.data:
+            out["data"] = dict(self.data)
+        return out
+
+
+def diagnostic(spec: DiagnosticSpec, message: str, pc: Optional[int] = None,
+               **data: Any) -> Diagnostic:
+    """Build a :class:`Diagnostic` from its catalog spec."""
+    return Diagnostic(code=spec.code, severity=spec.severity,
+                      message=message, pc=pc, data=data)
+
+
+def worst_severity(diagnostics: Iterable[Diagnostic]) -> Optional[Severity]:
+    """The highest severity present, or ``None`` for a clean program."""
+    severities = [d.severity for d in diagnostics]
+    return max(severities) if severities else None
+
+
+def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+    """Stable order for reports: worst first, then by PC, then by code."""
+    return sorted(diagnostics,
+                  key=lambda d: (-int(d.severity),
+                                 d.pc if d.pc is not None else -1,
+                                 d.code))

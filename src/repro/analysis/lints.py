@@ -1,0 +1,179 @@
+"""Lint passes over the CFG, the dataflow facts and the trace inventory.
+
+Each pass emits typed :class:`repro.analysis.diagnostics.Diagnostic`
+records; :func:`run_lints` runs them all. The catalog (codes, severities,
+rationale) is documented in ``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..isa.program import Program
+from ..itr.itr_cache import ItrCacheConfig
+from .cfg import ControlFlowGraph
+from .dataflow import find_uninitialized_reads
+from .diagnostics import (
+    CF_BAD_TARGET,
+    CF_FALLS_OFF_TEXT,
+    CF_NO_EXIT_LOOP,
+    CF_UNREACHABLE,
+    DF_UNINIT_READ,
+    ITR_CACHE_PRESSURE,
+    ITR_SIGNATURE_COLLISION,
+    Diagnostic,
+    diagnostic,
+    sort_diagnostics,
+)
+from .static_traces import StaticTrace, predict_cache_pressure
+from .static_traces import signature_collisions as find_collisions
+
+
+def lint_control_transfers(cfg: ControlFlowGraph) -> List[Diagnostic]:
+    """CF001: branch/jump targets outside the text segment."""
+    out: List[Diagnostic] = []
+    for pc, target in sorted(set(cfg.bad_edges)):
+        instr = cfg.program.instruction_at(pc)
+        out.append(diagnostic(
+            CF_BAD_TARGET,
+            f"{instr.mnemonic} targets 0x{target:08x}, outside the text "
+            f"segment [0x{cfg.program.pc_of(0):08x}, "
+            f"0x{cfg.program.text_end:08x})",
+            pc=pc, target=target))
+    return out
+
+
+def lint_fall_through(cfg: ControlFlowGraph) -> List[Diagnostic]:
+    """CF002: execution can run past the last text instruction.
+
+    A trailing trap proven to be the ``exit`` service is terminal and
+    therefore exempt (the conventional way these programs stop).
+    """
+    out: List[Diagnostic] = []
+    for pc in sorted(set(cfg.fall_off_pcs)):
+        instr = cfg.program.instruction_at(pc)
+        out.append(diagnostic(
+            CF_FALLS_OFF_TEXT,
+            f"{instr.mnemonic} at the end of text can fall through past "
+            f"0x{cfg.program.text_end:08x}",
+            pc=pc))
+    return out
+
+
+def lint_unreachable(cfg: ControlFlowGraph) -> List[Diagnostic]:
+    """CF003: basic blocks no path from the entry reaches."""
+    reachable = cfg.reachable()
+    out: List[Diagnostic] = []
+    for block in cfg.blocks:
+        if block.start_pc not in reachable:
+            out.append(diagnostic(
+                CF_UNREACHABLE,
+                f"basic block of {block.length} instruction(s) at "
+                f"0x{block.start_pc:08x} is unreachable from the entry",
+                pc=block.start_pc, length=block.length))
+    return out
+
+
+def lint_no_exit_loops(cfg: ControlFlowGraph) -> List[Diagnostic]:
+    """CF004: reachable loops with no edge leaving the loop.
+
+    Such a loop can only be left by the ITR watchdog timeout (or never, on
+    real hardware) — almost certainly a program bug. Only reachable SCCs
+    are flagged; unreachable ones already carry CF003.
+    """
+    reachable = cfg.reachable()
+    out: List[Diagnostic] = []
+    for component in cfg.strongly_connected_components():
+        leaders = sorted(component)
+        if len(leaders) == 1:
+            leader = leaders[0]
+            if leader not in cfg.successors.get(leader, ()):
+                continue  # trivial SCC, not a self-loop
+        if not component & reachable:
+            continue
+        escapes = any(succ not in component
+                      for leader in leaders
+                      for succ in cfg.successors.get(leader, ()))
+        if not escapes:
+            out.append(diagnostic(
+                CF_NO_EXIT_LOOP,
+                f"loop over {len(leaders)} basic block(s) starting at "
+                f"0x{leaders[0]:08x} has no exit edge "
+                "(watchdog-timeout risk)",
+                pc=leaders[0], blocks=leaders))
+    return out
+
+
+def lint_uninitialized_reads(program: Program,
+                             cfg: ControlFlowGraph) -> List[Diagnostic]:
+    """DF001: reads of registers no path has written."""
+    out: List[Diagnostic] = []
+    for finding in find_uninitialized_reads(program, cfg=cfg):
+        instr = program.instruction_at(finding.pc)
+        out.append(diagnostic(
+            DF_UNINIT_READ,
+            f"{instr.mnemonic} reads {finding.register_name} which may be "
+            "uninitialized",
+            pc=finding.pc, register=finding.register))
+    return out
+
+
+def lint_signature_collisions(
+        traces: Sequence[StaticTrace]) -> List[Diagnostic]:
+    """ITR001: distinct static traces whose XOR signatures alias.
+
+    One diagnostic per collision group, anchored at the lowest start PC;
+    the ``data`` payload carries every colliding ``(start_pc, length)``
+    so reports can show the full group.
+    """
+    out: List[Diagnostic] = []
+    for group in find_collisions(traces):
+        members = [{"start_pc": t.start_pc, "length": t.length}
+                   for t in group]
+        pcs = ", ".join(f"0x{t.start_pc:08x}" for t in group)
+        out.append(diagnostic(
+            ITR_SIGNATURE_COLLISION,
+            f"{len(group)} distinct static traces ({pcs}) share signature "
+            f"0x{group[0].signature:016x}; an ITR check comparing across "
+            "them cannot detect the substitution",
+            pc=group[0].start_pc,
+            signature=group[0].signature, members=members))
+    return out
+
+
+def lint_cache_pressure(
+        traces: Sequence[StaticTrace],
+        configs: Iterable[ItrCacheConfig]) -> List[Diagnostic]:
+    """ITR002: inventory vs. cache geometry conflict pressure."""
+    out: List[Diagnostic] = []
+    for config in configs:
+        pressure = predict_cache_pressure(traces, config)
+        if pressure.conflict_excess == 0:
+            continue
+        out.append(diagnostic(
+            ITR_CACHE_PRESSURE,
+            f"static working set of {pressure.working_set} traces "
+            f"oversubscribes {pressure.oversubscribed_sets} set(s) of the "
+            f"{pressure.entries}-entry {pressure.label} ITR cache "
+            f"(worst set holds {pressure.max_set_occupancy} traces, "
+            f"{pressure.conflict_excess} over capacity in total)",
+            entries=config.entries, ways=config.ways,
+            conflict_excess=pressure.conflict_excess))
+    return out
+
+
+def run_lints(program: Program, cfg: ControlFlowGraph,
+              traces: Sequence[StaticTrace],
+              cache_configs: Optional[Iterable[ItrCacheConfig]] = None,
+              ) -> List[Diagnostic]:
+    """Run every lint pass and return the sorted findings."""
+    diagnostics: List[Diagnostic] = []
+    diagnostics += lint_control_transfers(cfg)
+    diagnostics += lint_fall_through(cfg)
+    diagnostics += lint_unreachable(cfg)
+    diagnostics += lint_no_exit_loops(cfg)
+    diagnostics += lint_uninitialized_reads(program, cfg)
+    diagnostics += lint_signature_collisions(traces)
+    if cache_configs is not None:
+        diagnostics += lint_cache_pressure(traces, cache_configs)
+    return sort_diagnostics(diagnostics)

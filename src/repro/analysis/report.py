@@ -1,0 +1,221 @@
+"""Whole-program analysis report: the analyzer's aggregate result.
+
+:func:`analyze_program` is the one-call entry point used by the CLI, the
+``static`` experiment and the test suite. The JSON layout produced by
+:meth:`AnalysisReport.to_json` is documented in
+``docs/static_analysis.md`` and treated as a stable interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..isa.program import Program
+from ..itr.itr_cache import ItrCacheConfig
+from ..itr.signature import MAX_TRACE_LENGTH
+from .cfg import ControlFlowGraph
+from .diagnostics import Diagnostic, Severity, worst_severity
+from .lints import run_lints
+from .static_traces import (
+    CachePressure,
+    StaticTrace,
+    enumerate_static_traces,
+    predict_cache_pressure,
+    signature_collisions,
+)
+
+#: Cache geometries reported by default: the paper's sweep points.
+DEFAULT_CACHE_CONFIGS: Tuple[ItrCacheConfig, ...] = (
+    ItrCacheConfig(entries=256, assoc=2),
+    ItrCacheConfig(entries=512, assoc=2),
+    ItrCacheConfig(entries=1024, assoc=2),
+)
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Everything the static analyzer learned about one program."""
+
+    program_name: str
+    entry: int
+    text_base: int
+    text_end: int
+    instruction_count: int
+    basic_blocks: int
+    cfg_edges: int
+    reachable_blocks: int
+    traces: Tuple[StaticTrace, ...]
+    cache_pressures: Tuple[CachePressure, ...]
+    diagnostics: Tuple[Diagnostic, ...]
+
+    # ------------------------------------------------------- trace metrics
+    @property
+    def static_trace_count(self) -> int:
+        """Size of the static trace inventory (Table-1 analogue)."""
+        return len(self.traces)
+
+    @property
+    def mean_trace_length(self) -> float:
+        if not self.traces:
+            return 0.0
+        return sum(t.length for t in self.traces) / len(self.traces)
+
+    @property
+    def max_trace_length(self) -> int:
+        return max((t.length for t in self.traces), default=0)
+
+    @property
+    def collision_groups(self) -> int:
+        """Number of signatures shared by more than one static trace."""
+        return len(signature_collisions(self.traces))
+
+    @property
+    def colliding_traces(self) -> int:
+        """Static traces involved in at least one signature collision."""
+        return sum(len(group) for group in signature_collisions(self.traces))
+
+    @property
+    def collision_rate(self) -> float:
+        """Fraction of static traces whose signature is not unique."""
+        if not self.traces:
+            return 0.0
+        return self.colliding_traces / len(self.traces)
+
+    # --------------------------------------------------------- diagnostics
+    @property
+    def worst_severity(self) -> Optional[Severity]:
+        return worst_severity(self.diagnostics)
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for d in self.diagnostics
+                   if d.severity is Severity.ERROR)
+
+    @property
+    def status(self) -> str:
+        """``clean`` / ``info`` / ``warnings`` / ``errors``."""
+        worst = self.worst_severity
+        if worst is None:
+            return "clean"
+        return {Severity.INFO: "info", Severity.WARNING: "warnings",
+                Severity.ERROR: "errors"}[worst]
+
+    # --------------------------------------------------------------- JSON
+    def to_json(self) -> Dict[str, Any]:
+        """The documented machine-readable report."""
+        return {
+            "program": self.program_name,
+            "entry": self.entry,
+            "text": {
+                "base": self.text_base,
+                "end": self.text_end,
+                "instructions": self.instruction_count,
+            },
+            "cfg": {
+                "basic_blocks": self.basic_blocks,
+                "edges": self.cfg_edges,
+                "reachable_blocks": self.reachable_blocks,
+            },
+            "traces": {
+                "count": self.static_trace_count,
+                "mean_length": round(self.mean_trace_length, 4),
+                "max_length": self.max_trace_length,
+                "collision_groups": self.collision_groups,
+                "colliding_traces": self.colliding_traces,
+                "collision_rate": round(self.collision_rate, 6),
+                "inventory": [
+                    {
+                        "start_pc": t.start_pc,
+                        "length": t.length,
+                        "signature": t.signature,
+                        "end_pc": t.end_pc,
+                        "terminator": t.terminator,
+                        "successors": list(t.successors),
+                    }
+                    for t in self.traces
+                ],
+            },
+            "cache": [
+                {
+                    "label": p.label,
+                    "entries": p.entries,
+                    "ways": p.ways,
+                    "sets": p.num_sets,
+                    "working_set": p.working_set,
+                    "max_set_occupancy": p.max_set_occupancy,
+                    "oversubscribed_sets": p.oversubscribed_sets,
+                    "conflict_excess": p.conflict_excess,
+                    "fits": p.fits,
+                }
+                for p in self.cache_pressures
+            ],
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+            "status": self.status,
+        }
+
+    # --------------------------------------------------------------- text
+    def render(self, verbose: bool = False) -> str:
+        """Human-readable report (the CLI's default output)."""
+        lines = [
+            f"static analysis: {self.program_name}",
+            f"  text          {self.instruction_count} instructions "
+            f"[0x{self.text_base:08x}, 0x{self.text_end:08x})",
+            f"  cfg           {self.basic_blocks} basic blocks, "
+            f"{self.cfg_edges} edges, {self.reachable_blocks} reachable",
+            f"  static traces {self.static_trace_count} "
+            f"(mean length {self.mean_trace_length:.2f}, "
+            f"max {self.max_trace_length})",
+            f"  collisions    {self.collision_groups} signature group(s), "
+            f"{self.colliding_traces} trace(s), "
+            f"rate {self.collision_rate:.4f}",
+        ]
+        for pressure in self.cache_pressures:
+            verdict = ("fits" if pressure.fits
+                       else f"{pressure.conflict_excess} over capacity")
+            lines.append(
+                f"  itr cache     {pressure.entries:>5} entries "
+                f"{pressure.label:>6}: working set "
+                f"{pressure.working_set}, {verdict}")
+        if self.diagnostics:
+            lines.append(f"  diagnostics   {len(self.diagnostics)} "
+                         f"({self.status})")
+            for diag in self.diagnostics:
+                lines.append(f"    {diag.render()}")
+        else:
+            lines.append("  diagnostics   none (clean)")
+        if verbose:
+            lines.append("  trace inventory:")
+            for trace in self.traces:
+                lines.append(
+                    f"    0x{trace.start_pc:08x} len={trace.length:>2} "
+                    f"sig=0x{trace.signature:016x} {trace.terminator}")
+        return "\n".join(lines)
+
+
+def analyze_program(
+        program: Program,
+        cache_configs: Sequence[ItrCacheConfig] = DEFAULT_CACHE_CONFIGS,
+        max_trace_length: int = MAX_TRACE_LENGTH) -> AnalysisReport:
+    """Run the full static analysis pipeline over one program."""
+    cfg = ControlFlowGraph(program)
+    traces = tuple(enumerate_static_traces(program, cfg=cfg,
+                                           max_length=max_trace_length))
+    pressures = tuple(predict_cache_pressure(traces, config)
+                      for config in cache_configs)
+    diagnostics = tuple(run_lints(program, cfg, traces,
+                                  cache_configs=cache_configs))
+    edges = sum(len(succs) for succs in cfg.successors.values())
+    return AnalysisReport(
+        program_name=program.name,
+        entry=program.entry,
+        text_base=program.pc_of(0),
+        text_end=program.text_end,
+        instruction_count=len(program.instructions),
+        basic_blocks=len(cfg.blocks),
+        cfg_edges=edges,
+        reachable_blocks=len(cfg.reachable()),
+        traces=traces,
+        cache_pressures=pressures,
+        diagnostics=diagnostics,
+    )

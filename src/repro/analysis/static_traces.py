@@ -1,0 +1,223 @@
+"""Offline enumeration of a program's complete static trace inventory.
+
+A static trace is the run of instructions starting at a given PC and
+ending at the first trace-ending instruction (control transfer or trap)
+or at the 16-instruction limit — exactly the boundaries the pipeline's
+:class:`repro.itr.signature.SignatureGenerator` applies. Trace contents
+are a pure function of the start PC, so the full inventory is computable
+offline: start from the program entry and close over every PC at which
+the hardware can latch a new trace start.
+
+Successor rules per terminating instruction:
+
+* conditional branch — taken target and fall-through,
+* direct jump (``j``/``jal``) — the encoded target,
+* indirect jump (``jr``/``jalr``) — the CFG's approximated target set
+  (call-return sites plus harvested jump-table words),
+* trap — fall-through (the OS returns), unless constant propagation
+  proves the service is ``exit`` (terminal),
+* 16-instruction limit — the next sequential PC.
+
+The dynamic trace former observes a subset of this inventory (only edges
+the run actually exercises); ``tests/analysis`` cross-validates that every
+dynamically observed ``(start_pc, length, signature)`` triple appears
+verbatim in the static inventory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..isa.decode_signals import decode
+from ..isa.instruction import INSTRUCTION_BYTES
+from ..isa.program import Program
+from ..itr.itr_cache import ItrCacheConfig
+from ..itr.signature import MAX_TRACE_LENGTH, SignatureGenerator
+from .cfg import ControlFlowGraph
+
+#: How a static trace terminated.
+END_BRANCH = "branch"       # conditional branch
+END_JUMP = "jump"           # direct unconditional jump
+END_INDIRECT = "indirect"   # register-target jump
+END_TRAP = "trap"           # trap, OS returns to the fall-through
+END_EXIT = "exit"           # trap proven to be program exit (terminal)
+END_LIMIT = "limit"         # 16-instruction length limit
+END_FALLOFF = "fall_off"    # ran past the end of the text segment
+
+
+@dataclass(frozen=True)
+class StaticTrace:
+    """One entry of the static trace inventory."""
+
+    start_pc: int
+    length: int
+    signature: int
+    end_pc: int
+    terminator: str
+    successors: Tuple[int, ...]
+
+    @property
+    def key(self) -> Tuple[int, int, int]:
+        """The identity triple compared against the dynamic trace former."""
+        return (self.start_pc, self.length, self.signature)
+
+
+def walk_static_trace(program: Program, start_pc: int,
+                      cfg: Optional[ControlFlowGraph] = None,
+                      max_length: int = MAX_TRACE_LENGTH) -> StaticTrace:
+    """Walk one static trace from ``start_pc`` and classify its ending.
+
+    ``cfg`` supplies exit-syscall knowledge and indirect target sets; when
+    omitted a fresh graph is built (convenient but O(program) per call).
+    """
+    if cfg is None:
+        cfg = ControlFlowGraph(program)
+    generator = SignatureGenerator(max_length=max_length)
+    pc = start_pc
+    while True:
+        if generator.in_progress and not program.contains_pc(pc):
+            # Ran past the end of text mid-trace: report what was seen so
+            # the fall-through lint can anchor to a concrete trace.
+            return StaticTrace(
+                start_pc=start_pc,
+                length=generator.partial_length,
+                signature=generator.partial_signature,
+                end_pc=pc - INSTRUCTION_BYTES,
+                terminator=END_FALLOFF,
+                successors=(),
+            )
+        instr = program.instruction_at(pc)
+        completed = generator.add(pc, decode(instr))
+        if completed is not None:
+            break
+        pc += INSTRUCTION_BYTES
+    end_pc = pc
+    fall_through = end_pc + INSTRUCTION_BYTES
+    if instr.is_conditional_branch:
+        terminator = END_BRANCH
+        if instr.branch_always_taken:
+            successors: Tuple[int, ...] = (instr.branch_target(end_pc),)
+        else:
+            successors = (fall_through, instr.branch_target(end_pc))
+    elif instr.is_direct_jump:
+        terminator = END_JUMP
+        successors = (instr.jump_target,)
+    elif instr.is_indirect_jump:
+        terminator = END_INDIRECT
+        successors = tuple(sorted(cfg.indirect_targets))
+    elif instr.is_trap:
+        if end_pc in cfg.halting_pcs:
+            terminator = END_EXIT
+            successors = ()
+        else:
+            terminator = END_TRAP
+            successors = (fall_through,)
+    else:
+        terminator = END_LIMIT
+        successors = (fall_through,)
+    successors = tuple(s for s in successors if program.contains_pc(s))
+    return StaticTrace(
+        start_pc=start_pc,
+        length=completed.length,
+        signature=completed.signature,
+        end_pc=end_pc,
+        terminator=terminator,
+        successors=successors,
+    )
+
+
+def enumerate_static_traces(
+        program: Program,
+        cfg: Optional[ControlFlowGraph] = None,
+        max_length: int = MAX_TRACE_LENGTH) -> List[StaticTrace]:
+    """The complete static trace inventory reachable from the entry.
+
+    Worklist closure: every successor PC of an enumerated trace is itself
+    a potential trace start. Returns traces sorted by start PC.
+    """
+    if cfg is None:
+        cfg = ControlFlowGraph(program)
+    inventory: Dict[int, StaticTrace] = {}
+    worklist: List[int] = [program.entry]
+    while worklist:
+        start_pc = worklist.pop()
+        if start_pc in inventory:
+            continue
+        trace = walk_static_trace(program, start_pc, cfg=cfg,
+                                  max_length=max_length)
+        inventory[start_pc] = trace
+        worklist.extend(s for s in trace.successors if s not in inventory)
+    return [inventory[pc] for pc in sorted(inventory)]
+
+
+def signature_collisions(
+        traces: Iterable[StaticTrace]) -> List[Tuple[StaticTrace, ...]]:
+    """Groups of distinct static traces sharing one 64-bit signature.
+
+    These aliases are exactly the cases the ITR check cannot tell apart:
+    if a fault steers execution such that one member's instance is
+    compared against another member's stored signature, the check passes
+    and the fault escapes (a detection false negative). The group count
+    over a workload calibrates the paper's coverage claims.
+    """
+    by_signature: Dict[int, List[StaticTrace]] = {}
+    for trace in traces:
+        by_signature.setdefault(trace.signature, []).append(trace)
+    return [tuple(sorted(group, key=lambda t: t.start_pc))
+            for signature, group in sorted(by_signature.items())
+            if len(group) > 1]
+
+
+@dataclass(frozen=True)
+class CachePressure:
+    """Predicted ITR cache occupancy for one configuration.
+
+    ``working_set`` is the number of distinct static traces (each needs
+    one line for full coverage); ``oversubscribed_sets`` counts cache sets
+    whose mapped trace population exceeds the associativity — every trace
+    beyond ``ways`` in such a set (``conflict_excess`` in total) is
+    guaranteed to contend no matter how hot the traces are.
+    """
+
+    label: str
+    entries: int
+    ways: int
+    num_sets: int
+    working_set: int
+    max_set_occupancy: int
+    oversubscribed_sets: int
+    conflict_excess: int
+
+    @property
+    def fits(self) -> bool:
+        """Whether the whole inventory can be cache-resident at once."""
+        return self.conflict_excess == 0 and self.working_set <= self.entries
+
+
+def predict_cache_pressure(traces: Iterable[StaticTrace],
+                           config: ItrCacheConfig) -> CachePressure:
+    """Map the static inventory onto an ITR cache geometry.
+
+    Uses the cache's own PC indexing (word-aligned start PC modulo set
+    count), so the prediction matches what the simulator will experience.
+    """
+    occupancy: Dict[int, int] = {}
+    total = 0
+    for trace in traces:
+        total += 1
+        index = (trace.start_pc // INSTRUCTION_BYTES) % config.num_sets
+        occupancy[index] = occupancy.get(index, 0) + 1
+    oversubscribed = {index: count for index, count in occupancy.items()
+                      if count > config.ways}
+    return CachePressure(
+        label=config.label(),
+        entries=config.entries,
+        ways=config.ways,
+        num_sets=config.num_sets,
+        working_set=total,
+        max_set_occupancy=max(occupancy.values(), default=0),
+        oversubscribed_sets=len(oversubscribed),
+        conflict_excess=sum(count - config.ways
+                            for count in oversubscribed.values()),
+    )

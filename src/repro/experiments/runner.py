@@ -121,6 +121,12 @@ def _run_kernel_char(args) -> str:
     return kernel_characterization.render_kernel_characterization(result)
 
 
+def _run_static_analysis(args) -> str:
+    from . import static_analysis
+    result = static_analysis.run_static_analysis()
+    return static_analysis.render_static_analysis(result)
+
+
 def _run_trace_length(args) -> str:
     from . import trace_length
     result = trace_length.run_trace_length_ablation()
@@ -173,6 +179,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "abl-policy": _run_abl_policy,
     "abl-pc-faults": _run_pc_faults,
     "kernel-char": _run_kernel_char,
+    "static-analysis": _run_static_analysis,
     "abl-trace-length": _run_trace_length,
     "abl-cache-faults": _run_cache_faults,
     "spectrum": _run_spectrum,

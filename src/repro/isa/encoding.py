@@ -24,10 +24,10 @@ from typing import Iterable, List
 from ..errors import DecodingError
 from ..utils.bitops import extract, insert
 from . import opcodes
-from .instruction import Instruction
+from .instruction import INSTRUCTION_BYTES, Instruction
 
-#: Size of one instruction word in bytes (PISA-style 8-byte instructions).
-INSTRUCTION_BYTES = 8
+__all__ = ["INSTRUCTION_BYTES", "encode", "decode_word", "encode_program",
+           "decode_image"]
 
 _OPCODE_OFF = 56
 _RD_OFF = 51

@@ -10,9 +10,16 @@ decode signals, not into instruction words.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Tuple
 
 from . import opcodes, registers
 from .opcodes import Format, OpSpec
+
+#: Size of one instruction word in bytes (PISA-style 8-byte instructions).
+#: Lives here — on the instruction itself — so that control-flow target
+#: arithmetic below needs no import from :mod:`repro.isa.encoding` (which
+#: imports this module); ``encoding`` re-exports it for existing users.
+INSTRUCTION_BYTES = 8
 
 
 @dataclass(frozen=True)
@@ -40,7 +47,8 @@ class Instruction:
         for name in ("rd", "rs", "rt", "shamt"):
             value = getattr(self, name)
             if not 0 <= value < 32:
-                raise ValueError(f"{self.op.mnemonic}: {name}={value} not 5-bit")
+                raise ValueError(
+                    f"{self.op.mnemonic}: {name}={value} not 5-bit")
         if not 0 <= self.imm <= 0xFFFF:
             raise ValueError(f"{self.op.mnemonic}: imm={self.imm} not 16-bit")
 
@@ -67,6 +75,85 @@ class Instruction:
         """
         return self.is_control or self.is_trap
 
+    # -- control-flow metadata (consumed by the static analyzer) -----------
+    @property
+    def is_conditional_branch(self) -> bool:
+        """True for conditional branches (taken *or* fall-through)."""
+        return self.op.has("is_branch")
+
+    @property
+    def is_direct_jump(self) -> bool:
+        """True for jumps whose target is encoded in the instruction."""
+        return self.op.has("is_uncond") and self.op.has("is_direct")
+
+    @property
+    def is_indirect_jump(self) -> bool:
+        """True for register-target jumps (``jr``/``jalr``)."""
+        return self.op.has("is_uncond") and not self.op.has("is_direct")
+
+    @property
+    def is_call(self) -> bool:
+        """True for link-writing control transfers (``jal``/``jalr``)."""
+        return self.op.mnemonic in ("jal", "jalr")
+
+    @property
+    def branch_always_taken(self) -> bool:
+        """True for conditional branches that statically always take.
+
+        The assembler's ``b`` pseudo expands to ``beq $zero, $zero`` —
+        and any ``beq`` comparing a register with itself is equally
+        unconditional. Treating these as single-successor keeps the CFG
+        free of never-taken fall-through edges.
+        """
+        return (self.is_conditional_branch
+                and self.op.mnemonic == "beq" and self.rs == self.rt)
+
+    @property
+    def branch_offset_words(self) -> int:
+        """Signed branch displacement in instruction words."""
+        return self.imm - 0x10000 if self.imm & 0x8000 else self.imm
+
+    def branch_target(self, pc: int) -> int:
+        """Taken target of a conditional branch located at ``pc``.
+
+        Mirrors :func:`repro.arch.semantics.branch_target` but works from
+        the architected instruction instead of decode signals, so offline
+        tools can resolve targets without a decode step.
+        """
+        if not self.is_conditional_branch:
+            raise ValueError(f"{self.mnemonic} is not a conditional branch")
+        return (pc + INSTRUCTION_BYTES
+                + self.branch_offset_words * INSTRUCTION_BYTES) & 0xFFFFFFFF
+
+    @property
+    def jump_target(self) -> int:
+        """Absolute target of a direct jump (``j``/``jal``)."""
+        if not self.is_direct_jump:
+            raise ValueError(f"{self.mnemonic} is not a direct jump")
+        from .program import TEXT_BASE  # deferred: program imports us
+        return TEXT_BASE + self.imm * INSTRUCTION_BYTES
+
+    def static_successors(self, pc: int) -> Optional[Tuple[int, ...]]:
+        """Statically known successor PCs of this instruction at ``pc``.
+
+        * plain instructions and traps: the fall-through PC (traps return
+          from the OS, except for program exit — the analyzer refines that)
+        * conditional branches: fall-through plus taken target (always-
+          taken ``beq $r, $r`` keeps only the target)
+        * direct jumps: the encoded target
+        * indirect jumps: ``None`` — the target set is not encoded in the
+          instruction; callers must approximate (e.g. call-return sites)
+        """
+        if self.is_indirect_jump:
+            return None
+        if self.is_conditional_branch:
+            if self.branch_always_taken:
+                return (self.branch_target(pc),)
+            return (pc + INSTRUCTION_BYTES, self.branch_target(pc))
+        if self.is_direct_jump:
+            return (self.jump_target,)
+        return (pc + INSTRUCTION_BYTES,)
+
     def render(self) -> str:
         """Render as canonical assembly text."""
         op = self.op
@@ -82,11 +169,13 @@ class Instruction:
         simm = self.imm - 0x10000 if self.imm & 0x8000 else self.imm
         fmt = op.fmt
         if fmt == Format.R:
-            return f"{op.mnemonic} {reg(self.rd)}, {reg(self.rs)}, {reg(self.rt)}"
+            return (f"{op.mnemonic} {reg(self.rd)}, "
+                    f"{reg(self.rs)}, {reg(self.rt)}")
         if fmt == Format.R2:
             return f"{op.mnemonic} {reg(self.rd)}, {reg(self.rs)}"
         if fmt == Format.SH:
-            return f"{op.mnemonic} {reg(self.rd)}, {reg(self.rs)}, {self.shamt}"
+            return (f"{op.mnemonic} {reg(self.rd)}, "
+                    f"{reg(self.rs)}, {self.shamt}")
         if fmt == Format.I:
             return f"{op.mnemonic} {ireg(self.rd)}, {ireg(self.rs)}, {simm}"
         if fmt == Format.LUI:

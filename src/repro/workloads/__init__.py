@@ -18,7 +18,11 @@ from .suite import (
     synthetic_suite,
     synthetic_workload,
 )
-from .kernel_traces import kernel_trace_events, kernel_trace_profile
+from .kernel_traces import (
+    kernel_trace_events,
+    kernel_trace_profile,
+    kernel_trace_signatures,
+)
 from .program_synth import synthesize_program, synthesize_source
 from .synthetic import SyntheticWorkload
 
@@ -43,6 +47,7 @@ __all__ = [
     "SyntheticWorkload",
     "kernel_trace_events",
     "kernel_trace_profile",
+    "kernel_trace_signatures",
     "synthesize_program",
     "synthesize_source",
 ]

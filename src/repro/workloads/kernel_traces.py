@@ -13,6 +13,7 @@ from typing import List
 
 from ..arch.functional import FunctionalSimulator
 from ..isa.decode_signals import decode
+from ..itr.signature import SignatureGenerator, TraceSignature
 from ..itr.trace import TraceEvent, TraceProfile, traces_of_instruction_stream
 from .kernels import Kernel
 
@@ -41,6 +42,40 @@ def kernel_trace_events(kernel: Kernel,
 
     return list(traces_of_instruction_stream(
         stream(), max_length=max_trace_length))
+
+
+def kernel_trace_signatures(kernel: Kernel,
+                            max_steps: int = 3_000_000,
+                            max_trace_length: int = 16,
+                            ) -> List[TraceSignature]:
+    """Execute ``kernel`` and return its completed trace signatures.
+
+    Unlike :func:`kernel_trace_events` this folds every committed
+    instruction through :class:`SignatureGenerator`, so each returned
+    :class:`TraceSignature` carries the 64-bit XOR signature the
+    ITR cache would store.  A trace still open when the program halts
+    (the exit trap always closes the last one, so this only happens if
+    ``max_steps`` cuts execution short) is flushed and included.
+    """
+    simulator = FunctionalSimulator(kernel.program(), inputs=kernel.inputs)
+    program = simulator.program
+    generator = SignatureGenerator(max_length=max_trace_length)
+    signatures: List[TraceSignature] = []
+    steps = 0
+    while not simulator.halted and steps < max_steps:
+        pc = simulator.state.pc
+        completed = generator.add(pc, decode(program.instruction_at(pc)))
+        if completed is not None:
+            signatures.append(completed)
+        simulator.step()
+        steps += 1
+    if generator.in_progress and generator.partial_start_pc is not None:
+        signatures.append(TraceSignature(
+            start_pc=generator.partial_start_pc,
+            signature=generator.partial_signature,
+            length=generator.partial_length,
+        ))
+    return signatures
 
 
 def kernel_trace_profile(kernel: Kernel,

@@ -39,9 +39,10 @@ main:
     li   $t0, 0              # current value
     li   $t1, 1              # current field is numeric and non-empty?
     li   $t7, 1              # current field is empty so far?
+    li   $t9, 0              # end-of-string flag
 scan:
     lbu  $t2, 0($s0)
-    beqz $t2, finish
+    beqz $t2, last
     li   $t3, ','
     beq  $t2, $t3, comma
     # digit check: '0' <= c <= '9'
@@ -60,9 +61,14 @@ not_digit:
     li   $t1, 0              # field not numeric
     li   $t7, 0
     b    next_char
+last:
+    li   $t9, 1              # commit the final field, then report
+    b    commit
 comma:
     addi $s1, $s1, 1
-    # commit value if numeric and non-empty
+    # commit value if numeric and non-empty (shared by comma and
+    # end-of-string: one commit block, so its traces repeat)
+commit:
     beqz $t1, reset
     bnez $t7, reset
     add  $s2, $s2, $t0
@@ -71,13 +77,10 @@ reset:
     li   $t1, 1
     li   $t7, 1
 next_char:
+    bnez $t9, report
     addi $s0, $s0, 1
     b    scan
 
-finish:
-    beqz $t1, report
-    bnez $t7, report
-    add  $s2, $s2, $t0
 report:
     la   $a0, label_f
     li   $v0, 4

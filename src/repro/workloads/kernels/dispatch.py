@@ -68,6 +68,10 @@ interp:
     beqz $t6, op_add
     li   $t7, 1
     beq  $t6, $t7, op_xor
+    # analyzer waiver (ITR001): the (li 2, beq) and (li 5, beq) trace
+    # pairs below XOR-alias — 2^11 == 5^12 across the li/beq immediate
+    # fields — a genuine limit of the paper's 64-bit XOR signature, kept
+    # (not restructured away) as the suite's measured collision rate.
     li   $t7, 2
     beq  $t6, $t7, op_shl
     li   $t7, 3

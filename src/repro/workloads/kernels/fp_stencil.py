@@ -40,6 +40,7 @@ grid_a: .space {N * 4}
 grid_b: .space {N * 4}
 fp_quarter: .float 0.25
 fp_half:    .float 0.5
+fp_zero:    .float 0.0
 tmp_word: .space 4
 label: .asciiz "istencil="
 .text
@@ -103,7 +104,8 @@ copy:
 
     # reduce grid_a and print as int
     li   $t0, 0
-    sub.s $f4, $f4, $f4
+    la   $t9, fp_zero        # load 0.0 (sub.s $f4,$f4,$f4 would read
+    lwc1 $f4, 0($t9)         # an uninitialized register: NaN risk)
 reduce:
     sll  $t3, $t0, 2
     add  $t4, $t3, $s0

@@ -24,6 +24,7 @@ vec_x: .space {N * 4}
 vec_y: .space {N * 4}
 fp_half: .float 0.5
 fp_a:    .float {A}
+fp_zero: .float 0.0
 tmp_word: .space 4
 label_sum: .asciiz "isum="
 .text
@@ -68,7 +69,8 @@ axpy:
 
     # reduce: f4 = sum(y)
     li   $t0, 0
-    sub.s $f4, $f4, $f4      # 0.0
+    la   $t9, fp_zero        # load 0.0 (sub.s $f4,$f4,$f4 would read
+    lwc1 $f4, 0($t9)         # an uninitialized register: NaN risk)
 reduce:
     sll  $t3, $t0, 2
     add  $t4, $t3, $s1

@@ -1,0 +1,149 @@
+"""Tests for CFG construction: blocks, edges, reachability, SCCs."""
+
+import pytest
+
+from repro.analysis.cfg import (
+    BasicBlock,
+    build_cfg,
+    call_return_sites,
+    harvest_text_pointers,
+)
+from repro.isa import assemble
+from repro.isa.instruction import INSTRUCTION_BYTES, make
+from repro.isa.program import TEXT_BASE, Program
+
+LOOP_SOURCE = """
+.text
+main:
+    li   $t0, 0
+    li   $t1, 5
+loop:
+    addi $t0, $t0, 1
+    bne  $t0, $t1, loop
+    li   $v0, 10
+    syscall
+"""
+
+
+@pytest.fixture
+def loop_cfg():
+    return build_cfg(assemble(LOOP_SOURCE, name="loop"))
+
+
+class TestBasicBlock:
+    def test_length_and_membership(self):
+        block = BasicBlock(start_pc=TEXT_BASE, end_pc=TEXT_BASE + 16)
+        assert block.length == 3
+        assert list(block.pcs()) == [TEXT_BASE, TEXT_BASE + 8,
+                                     TEXT_BASE + 16]
+        assert TEXT_BASE + 8 in block
+        assert TEXT_BASE + 4 not in block  # misaligned
+        assert TEXT_BASE + 24 not in block
+
+
+class TestBlockStructure:
+    def test_leaders(self, loop_cfg):
+        starts = [b.start_pc for b in loop_cfg.blocks]
+        # entry, the loop target, and the post-branch join.
+        assert starts == [TEXT_BASE, TEXT_BASE + 16, TEXT_BASE + 32]
+
+    def test_blocks_partition_text(self, loop_cfg):
+        pcs = [pc for b in loop_cfg.blocks for pc in b.pcs()]
+        assert pcs == sorted(pcs)
+        assert len(pcs) == len(loop_cfg.program.instructions)
+
+    def test_edges(self, loop_cfg):
+        loop_leader = TEXT_BASE + 16
+        exit_leader = TEXT_BASE + 32
+        assert loop_cfg.successors[TEXT_BASE] == (loop_leader,)
+        assert set(loop_cfg.successors[loop_leader]) == {
+            loop_leader, exit_leader}
+        # The trailing trap is proven to be exit: terminal.
+        assert loop_cfg.successors[exit_leader] == ()
+        assert loop_cfg.halting_pcs == frozenset({TEXT_BASE + 40})
+
+    def test_predecessors_invert_successors(self, loop_cfg):
+        for leader, succs in loop_cfg.successors.items():
+            for succ in succs:
+                assert leader in loop_cfg.predecessors[succ]
+
+    def test_everything_reachable(self, loop_cfg):
+        assert loop_cfg.reachable() == frozenset(
+            b.start_pc for b in loop_cfg.blocks)
+
+    def test_loop_is_an_scc_with_self_edge(self, loop_cfg):
+        loop_leader = TEXT_BASE + 16
+        sccs = loop_cfg.strongly_connected_components()
+        assert frozenset({loop_leader}) in sccs
+        # The other two blocks are trivial SCCs.
+        assert len(sccs) == 3
+
+
+class TestUnreachable:
+    SOURCE = """
+.text
+main:
+    li   $v0, 10
+    syscall
+dead:
+    li   $t0, 1
+    b    dead
+"""
+
+    def test_dead_block_not_reachable(self):
+        cfg = build_cfg(assemble(self.SOURCE, name="dead"))
+        reachable = cfg.reachable()
+        assert TEXT_BASE in reachable
+        assert TEXT_BASE + 16 not in reachable
+
+
+class TestBadEdgesAndFallOff:
+    def test_branch_out_of_text_is_a_bad_edge(self):
+        # beq with a huge offset: target far past the end of text.
+        program = Program(instructions=[
+            make("beq", rs=0, rt=0, imm=200),
+            make("syscall"),
+        ], name="wild")
+        cfg = build_cfg(program)
+        target = TEXT_BASE + 8 + 200 * INSTRUCTION_BYTES
+        assert (TEXT_BASE, target) in cfg.bad_edges
+
+    def test_final_instruction_can_fall_off_text(self):
+        program = Program(instructions=[
+            make("addi", rd=8, rs=0, imm=1),
+            make("addi", rd=8, rs=8, imm=1),
+        ], name="falls")
+        cfg = build_cfg(program)
+        assert cfg.fall_off_pcs == [TEXT_BASE + 8]
+
+    def test_exit_trap_is_not_a_fall_off(self, loop_cfg):
+        assert loop_cfg.fall_off_pcs == []
+        assert loop_cfg.bad_edges == []
+
+
+class TestIndirectApproximation:
+    SOURCE = """
+.text
+main:
+    jal  func_a
+    la   $t0, table
+    lw   $t1, 0($t0)
+    jr   $t1
+func_a:
+    jr   $ra
+.data
+table: .word func_a
+"""
+
+    def test_return_sites_and_harvested_pointers(self):
+        program = assemble(self.SOURCE, name="indirect")
+        sites = call_return_sites(program)
+        assert TEXT_BASE + 8 in sites  # pc+8 of the jal
+        harvested = harvest_text_pointers(program)
+        assert program.symbols["func_a"] in harvested
+
+    def test_indirect_edges_cover_both(self):
+        program = assemble(self.SOURCE, name="indirect")
+        cfg = build_cfg(program)
+        assert TEXT_BASE + 8 in cfg.indirect_targets
+        assert program.symbols["func_a"] in cfg.indirect_targets

@@ -1,0 +1,172 @@
+"""Tests for the may-uninitialized register dataflow analysis."""
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import find_uninitialized_reads
+from repro.isa import assemble
+from repro.isa.program import TEXT_BASE
+
+
+def findings_of(source, name="test"):
+    program = assemble(source, name=name)
+    return find_uninitialized_reads(program, cfg=build_cfg(program))
+
+
+class TestStraightLine:
+    def test_read_before_any_write_is_flagged(self):
+        findings = findings_of("""
+.text
+main:
+    add  $t0, $t1, $t2
+    li   $v0, 10
+    syscall
+""")
+        names = sorted(f.register_name for f in findings)
+        assert names == ["$t1", "$t2"]
+        assert all(f.pc == TEXT_BASE for f in findings)
+
+    def test_write_then_read_is_clean(self):
+        assert findings_of("""
+.text
+main:
+    li   $t1, 3
+    li   $t2, 4
+    add  $t0, $t1, $t2
+    li   $v0, 10
+    syscall
+""") == []
+
+    def test_zero_sp_gp_are_preinitialized(self):
+        assert findings_of("""
+.text
+main:
+    add  $t0, $zero, $zero
+    addi $t1, $sp, -16
+    addi $t2, $gp, 0
+    li   $v0, 10
+    syscall
+""") == []
+
+
+class TestPathSensitivity:
+    def test_write_on_only_one_path_is_flagged(self):
+        findings = findings_of("""
+.text
+main:
+    li   $t0, 1
+    beqz $t0, skip
+    li   $t1, 5
+skip:
+    add  $t2, $t1, $t0
+    li   $v0, 10
+    syscall
+""")
+        assert [f.register_name for f in findings] == ["$t1"]
+
+    def test_write_on_both_paths_is_clean(self):
+        assert findings_of("""
+.text
+main:
+    li   $t0, 1
+    beqz $t0, other
+    li   $t1, 5
+    b    join
+other:
+    li   $t1, 6
+join:
+    add  $t2, $t1, $t0
+    li   $v0, 10
+    syscall
+""") == []
+
+    def test_loop_carried_write_is_clean(self):
+        # $t1 is written inside the loop before any read of it.
+        assert findings_of("""
+.text
+main:
+    li   $t0, 0
+loop:
+    li   $t1, 2
+    add  $t0, $t0, $t1
+    li   $t3, 5
+    bne  $t0, $t3, loop
+    li   $v0, 10
+    syscall
+""") == []
+
+
+class TestFloatingPoint:
+    def test_fp_read_before_write_is_flagged(self):
+        findings = findings_of("""
+.text
+main:
+    add.s $f2, $f0, $f1
+    li    $v0, 10
+    syscall
+""")
+        assert sorted(f.register_name for f in findings) == ["$f0", "$f1"]
+
+    def test_fp_load_initializes(self):
+        assert findings_of("""
+.data
+value: .float 1.5
+.text
+main:
+    la    $t0, value
+    lwc1  $f0, 0($t0)
+    add.s $f1, $f0, $f0
+    li    $v0, 10
+    syscall
+""") == []
+
+    def test_int_and_fp_registers_are_distinct(self):
+        # Writing $f8 must not initialize integer $t0 (index 8).
+        findings = findings_of("""
+.data
+value: .float 1.5
+.text
+main:
+    la    $t9, value
+    lwc1  $f8, 0($t9)
+    add   $t1, $t0, $zero
+    li    $v0, 10
+    syscall
+""")
+        assert [f.register_name for f in findings] == ["$t0"]
+
+
+class TestSyscalls:
+    def test_print_int_reads_a0(self):
+        findings = findings_of("""
+.text
+main:
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+""")
+        assert [f.register_name for f in findings] == ["$a0"]
+
+    def test_read_int_writes_v0(self):
+        # read_int defines $v0; using its result afterwards is clean.
+        assert findings_of("""
+.text
+main:
+    li   $v0, 5
+    syscall
+    add  $t0, $v0, $zero
+    move $a0, $t0
+    li   $v0, 1
+    syscall
+    li   $v0, 10
+    syscall
+""") == []
+
+
+class TestKernels:
+    def test_kernel_suite_is_uninit_free(self):
+        from repro.workloads.kernels import all_kernels
+        for kernel in all_kernels():
+            program = kernel.program()
+            findings = find_uninitialized_reads(
+                program, cfg=build_cfg(program))
+            assert findings == [], kernel.name

@@ -1,0 +1,140 @@
+"""Tests for the aggregate report, its JSON schema, and the CLI."""
+
+import json
+
+from repro.analysis import analyze_program
+from repro.analysis.__main__ import main
+from repro.isa import assemble
+from repro.workloads.kernels import get_kernel
+
+CLEAN_SOURCE = """
+.text
+main:
+    li   $t0, 0
+    li   $t1, 5
+loop:
+    addi $t0, $t0, 1
+    bne  $t0, $t1, loop
+    li   $v0, 10
+    syscall
+"""
+
+UNINIT_SOURCE = """
+.text
+main:
+    add  $t0, $t1, $t2
+    li   $v0, 10
+    syscall
+"""
+
+
+class TestReport:
+    def test_summary_counts(self):
+        report = analyze_program(assemble(CLEAN_SOURCE, name="clean"))
+        assert report.instruction_count == 6
+        assert report.basic_blocks == 3
+        assert report.reachable_blocks == 3
+        assert report.static_trace_count == 3
+        assert report.status == "clean"
+        assert report.worst_severity is None
+
+    def test_render_mentions_key_sections(self):
+        report = analyze_program(get_kernel("sum_loop").program())
+        text = report.render()
+        for fragment in ("static analysis: sum_loop", "basic blocks",
+                         "static traces", "itr cache", "clean"):
+            assert fragment in text
+        verbose = report.render(verbose=True)
+        assert "trace inventory:" in verbose
+
+
+# Keys required by docs/static_analysis.md — the stable JSON interface.
+TOP_KEYS = {"program", "entry", "text", "cfg", "traces", "cache",
+            "diagnostics", "status"}
+TEXT_KEYS = {"base", "end", "instructions"}
+CFG_KEYS = {"basic_blocks", "edges", "reachable_blocks"}
+TRACES_KEYS = {"count", "mean_length", "max_length", "collision_groups",
+               "colliding_traces", "collision_rate", "inventory"}
+INVENTORY_KEYS = {"start_pc", "length", "signature", "end_pc",
+                  "terminator", "successors"}
+CACHE_KEYS = {"label", "entries", "ways", "sets", "working_set",
+              "max_set_occupancy", "oversubscribed_sets",
+              "conflict_excess", "fits"}
+
+
+def validate_schema(payload):
+    assert set(payload) == TOP_KEYS
+    assert set(payload["text"]) == TEXT_KEYS
+    assert set(payload["cfg"]) == CFG_KEYS
+    assert set(payload["traces"]) == TRACES_KEYS
+    for entry in payload["traces"]["inventory"]:
+        assert set(entry) == INVENTORY_KEYS
+    for entry in payload["cache"]:
+        assert set(entry) == CACHE_KEYS
+    for diag in payload["diagnostics"]:
+        assert {"code", "severity", "message"} <= set(diag)
+    assert payload["status"] in ("clean", "info", "warnings", "errors")
+
+
+class TestJson:
+    def test_schema_and_serializability(self):
+        for name in ("sum_loop", "dispatch", "matmul"):
+            report = analyze_program(get_kernel(name).program())
+            payload = report.to_json()
+            validate_schema(payload)
+            json.dumps(payload)  # must be JSON-serializable as-is
+
+    def test_counts_match_report(self):
+        report = analyze_program(get_kernel("dispatch").program())
+        payload = report.to_json()
+        assert payload["traces"]["count"] == report.static_trace_count
+        assert len(payload["traces"]["inventory"]) == \
+            report.static_trace_count
+        assert len(payload["diagnostics"]) == len(report.diagnostics)
+
+
+class TestCli:
+    def write(self, tmp_path, source, name="prog.asm"):
+        path = tmp_path / name
+        path.write_text(source)
+        return str(path)
+
+    def test_clean_program_exits_zero(self, tmp_path, capsys):
+        code = main([self.write(tmp_path, CLEAN_SOURCE)])
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_error_diagnostic_exits_one(self, tmp_path, capsys):
+        code = main([self.write(tmp_path, UNINIT_SOURCE)])
+        assert code == 1
+        assert "DF001" in capsys.readouterr().out
+
+    def test_assembly_error_exits_two(self, tmp_path, capsys):
+        code = main([self.write(tmp_path, ".text\nmain:\n    frobnicate\n")])
+        assert code == 2
+        assert capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        code = main([str(tmp_path / "nope.asm")])
+        assert code == 2
+
+    def test_json_output_validates(self, tmp_path, capsys):
+        code = main([self.write(tmp_path, CLEAN_SOURCE), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_schema(payload)
+        assert payload["status"] == "clean"
+
+    def test_json_assembly_error(self, tmp_path, capsys):
+        code = main([self.write(tmp_path, ".text\nmain:\n    frobnicate\n"),
+                     "--json"])
+        assert code == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert "assembly_error" in payload
+
+    def test_max_trace_length_is_honoured(self, tmp_path, capsys):
+        code = main([self.write(tmp_path, CLEAN_SOURCE),
+                     "--json", "--max-trace-length", "2"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["traces"]["max_length"] <= 2

@@ -1,0 +1,156 @@
+"""Tests for the static trace enumerator and its derived predictions."""
+
+from repro.analysis.static_traces import (
+    END_BRANCH,
+    END_EXIT,
+    END_FALLOFF,
+    END_LIMIT,
+    StaticTrace,
+    enumerate_static_traces,
+    predict_cache_pressure,
+    signature_collisions,
+    walk_static_trace,
+)
+from repro.isa import assemble
+from repro.isa.instruction import INSTRUCTION_BYTES, make
+from repro.isa.program import TEXT_BASE, Program
+
+LOOP_SOURCE = """
+.text
+main:
+    li   $t0, 0
+    li   $t1, 5
+loop:
+    addi $t0, $t0, 1
+    bne  $t0, $t1, loop
+    li   $v0, 10
+    syscall
+"""
+
+# Two traces with the same instructions in permuted order, both ending in
+# an offset-0 branch: XOR is order-insensitive, so their signatures alias
+# even though the traces are distinct — the analyzer's ITR001 case.
+ALIASING_SOURCE = """
+.text
+main:
+    ori  $t0, $zero, 7
+    ori  $t1, $zero, 9
+    b    mid
+mid:
+    ori  $t1, $zero, 9
+    ori  $t0, $zero, 7
+    b    fin
+fin:
+    li   $v0, 10
+    syscall
+"""
+
+
+class TestWalk:
+    def test_loop_entry_trace(self):
+        program = assemble(LOOP_SOURCE, name="loop")
+        trace = walk_static_trace(program, program.entry)
+        # li, li, addi, bne — the branch ends the trace.
+        assert trace.length == 4
+        assert trace.end_pc == TEXT_BASE + 24
+        assert trace.terminator == END_BRANCH
+        assert set(trace.successors) == {TEXT_BASE + 16, TEXT_BASE + 32}
+
+    def test_exit_trace_is_terminal(self):
+        program = assemble(LOOP_SOURCE, name="loop")
+        trace = walk_static_trace(program, TEXT_BASE + 32)
+        assert trace.terminator == END_EXIT
+        assert trace.successors == ()
+
+    def test_contents_are_a_pure_function_of_start_pc(self):
+        program = assemble(LOOP_SOURCE, name="loop")
+        first = walk_static_trace(program, TEXT_BASE + 16)
+        again = walk_static_trace(program, TEXT_BASE + 16)
+        assert first == again
+
+    def test_limit_terminator_and_continuation(self):
+        body = [make("addi", rd=8, rs=8, imm=1) for _ in range(20)]
+        program = Program(instructions=body + [make("syscall")],
+                          name="straight")
+        trace = walk_static_trace(program, program.entry)
+        assert trace.length == 16
+        assert trace.terminator == END_LIMIT
+        assert trace.successors == (TEXT_BASE + 16 * INSTRUCTION_BYTES,)
+
+    def test_running_off_text_reports_fall_off(self):
+        program = Program(instructions=[
+            make("addi", rd=8, rs=0, imm=1),
+            make("addi", rd=8, rs=8, imm=1),
+        ], name="falls")
+        trace = walk_static_trace(program, program.entry)
+        assert trace.terminator == END_FALLOFF
+        assert trace.length == 2
+        assert trace.successors == ()
+
+
+class TestEnumeration:
+    def test_loop_inventory(self):
+        program = assemble(LOOP_SOURCE, name="loop")
+        traces = enumerate_static_traces(program)
+        assert [t.start_pc for t in traces] == [
+            TEXT_BASE, TEXT_BASE + 16, TEXT_BASE + 32]
+        assert [t.length for t in traces] == [4, 2, 2]
+
+    def test_closure_includes_limit_continuations(self):
+        body = [make("addi", rd=8, rs=8, imm=1) for _ in range(20)]
+        program = Program(instructions=body + [make("syscall")],
+                          name="straight")
+        traces = enumerate_static_traces(program)
+        assert [t.start_pc for t in traces] == [
+            TEXT_BASE, TEXT_BASE + 16 * INSTRUCTION_BYTES]
+        assert [t.length for t in traces] == [16, 5]
+
+    def test_respects_max_length(self):
+        program = assemble(LOOP_SOURCE, name="loop")
+        traces = enumerate_static_traces(program, max_length=2)
+        assert all(t.length <= 2 for t in traces)
+
+
+class TestCollisions:
+    def test_permuted_traces_alias(self):
+        program = assemble(ALIASING_SOURCE, name="aliasing")
+        traces = enumerate_static_traces(program)
+        groups = signature_collisions(traces)
+        assert len(groups) == 1
+        (group,) = groups
+        assert [t.start_pc for t in group] == [TEXT_BASE, TEXT_BASE + 24]
+        assert group[0].signature == group[1].signature
+        assert group[0].length == group[1].length == 3
+
+    def test_loop_kernel_has_no_collisions(self):
+        program = assemble(LOOP_SOURCE, name="loop")
+        assert signature_collisions(enumerate_static_traces(program)) == []
+
+
+def _trace(start_pc):
+    return StaticTrace(start_pc=start_pc, length=1, signature=start_pc,
+                       end_pc=start_pc, terminator=END_BRANCH,
+                       successors=())
+
+
+class TestCachePressure:
+    def test_conflicting_sets_are_counted(self):
+        from repro.itr.itr_cache import ItrCacheConfig
+        config = ItrCacheConfig(entries=4, assoc=1)  # 4 sets of 1
+        # Three traces whose word-aligned PCs map to set 0.
+        traces = [_trace(TEXT_BASE + i * 4 * INSTRUCTION_BYTES)
+                  for i in range(3)]
+        pressure = predict_cache_pressure(traces, config)
+        assert pressure.working_set == 3
+        assert pressure.max_set_occupancy == 3
+        assert pressure.oversubscribed_sets == 1
+        assert pressure.conflict_excess == 2
+        assert not pressure.fits
+
+    def test_fitting_inventory(self):
+        from repro.itr.itr_cache import ItrCacheConfig
+        config = ItrCacheConfig(entries=4, assoc=2)
+        traces = [_trace(TEXT_BASE), _trace(TEXT_BASE + INSTRUCTION_BYTES)]
+        pressure = predict_cache_pressure(traces, config)
+        assert pressure.conflict_excess == 0
+        assert pressure.fits

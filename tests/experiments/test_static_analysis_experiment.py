@@ -1,0 +1,54 @@
+"""Tests for the suite-wide static-analysis experiment."""
+
+import pytest
+
+from repro.experiments.static_analysis import (
+    render_static_analysis,
+    run_static_analysis,
+)
+from repro.workloads import get_kernel
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_static_analysis()
+
+
+class TestSuiteRun:
+    def test_covers_every_kernel(self, result):
+        from repro.workloads.kernels import all_kernels
+        assert [k.name for k in result.kernels] == \
+            [k.name for k in all_kernels()]
+
+    def test_no_kernel_has_errors(self, result):
+        assert all(k.status in ("clean", "info", "warnings")
+                   for k in result.kernels)
+
+    def test_suite_collision_rate_is_the_dispatch_pair(self, result):
+        # dispatch's waived ITR001: the suite's only aliasing traces.
+        assert result.total_colliding_traces == 2
+        assert result.by_name("dispatch").collision_groups == 1
+        rate = 2 / result.total_static_traces
+        assert result.suite_collision_rate == pytest.approx(rate)
+
+    def test_suite_fits_smallest_cache(self, result):
+        assert all(k.conflict_excess_256 == 0 for k in result.kernels)
+
+    def test_subset_run(self):
+        result = run_static_analysis([get_kernel("sum_loop")])
+        assert len(result.kernels) == 1
+        record = result.by_name("sum_loop")
+        assert record.static_traces == 5
+        assert record.status == "clean"
+
+    def test_unknown_name_raises(self, result):
+        with pytest.raises(KeyError):
+            result.by_name("nonesuch")
+
+
+class TestRender:
+    def test_render(self, result):
+        text = render_static_analysis(result)
+        assert "collision rate" in text
+        for kernel in result.kernels:
+            assert kernel.name in text

@@ -1,0 +1,49 @@
+"""Cross-validation: static trace inventory vs. dynamic observation.
+
+The static enumerator claims to produce the *complete* set of
+``(start_pc, length, signature)`` triples a program can ever generate.
+Running each kernel on the golden functional simulator with the
+pipeline's own :class:`SignatureGenerator` must therefore observe
+exactly that set — every kernel here reaches all of its static trace
+starts, so the agreement is equality, not mere containment.
+"""
+
+import pytest
+
+from repro.analysis import analyze_program
+from repro.workloads.kernel_traces import (
+    kernel_trace_events,
+    kernel_trace_signatures,
+)
+from repro.workloads.kernels import all_kernels
+
+
+@pytest.mark.parametrize("kernel", all_kernels(), ids=lambda k: k.name)
+class TestStaticVersusDynamic:
+    def test_inventories_agree_exactly(self, kernel):
+        report = analyze_program(kernel.program())
+        static = {trace.key for trace in report.traces}
+        dynamic = {(s.start_pc, s.length, s.signature)
+                   for s in kernel_trace_signatures(kernel)}
+        assert static == dynamic
+
+    def test_signature_stream_matches_event_stream(self, kernel):
+        """Both dynamic extractors segment the run identically."""
+        signatures = kernel_trace_signatures(kernel)
+        events = kernel_trace_events(kernel)
+        assert [(s.start_pc, s.length) for s in signatures] == \
+            [(e.start_pc, e.length) for e in events]
+
+    def test_signatures_respect_the_length_limit(self, kernel):
+        assert all(1 <= s.length <= 16
+                   for s in kernel_trace_signatures(kernel))
+
+
+def test_shorter_limit_still_agrees():
+    """Static/dynamic agreement holds off the paper's 16-entry default."""
+    kernel = next(k for k in all_kernels() if k.name == "sum_loop")
+    report = analyze_program(kernel.program(), max_trace_length=4)
+    static = {trace.key for trace in report.traces}
+    dynamic = {(s.start_pc, s.length, s.signature)
+               for s in kernel_trace_signatures(kernel, max_trace_length=4)}
+    assert static == dynamic

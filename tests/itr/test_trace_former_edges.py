@@ -1,0 +1,140 @@
+"""Regression tests for trace-former boundary cases (paper Section 2.1).
+
+Exercises the edges of the trace segmentation rules: traces ending
+exactly at the 16-instruction limit, a branch landing *on* the limit,
+back-to-back branches producing length-1 traces, and a branch as the
+final text instruction.
+"""
+
+from functools import reduce
+
+from repro.isa import assemble
+from repro.isa.decode_signals import decode
+from repro.isa.instruction import INSTRUCTION_BYTES, make
+from repro.itr.signature import MAX_TRACE_LENGTH, SignatureGenerator
+
+PC = 0x00400000
+
+
+def feed(generator, instructions, start_pc=PC):
+    """Feed instructions sequentially; return completed traces."""
+    completed = []
+    for offset, instr in enumerate(instructions):
+        trace = generator.add(start_pc + offset * INSTRUCTION_BYTES,
+                              decode(instr))
+        if trace is not None:
+            completed.append(trace)
+    return completed
+
+
+class TestLengthLimit:
+    def test_trace_ends_exactly_at_limit(self):
+        generator = SignatureGenerator()
+        body = [make("addi", rd=8, rs=8, imm=1)] * MAX_TRACE_LENGTH
+        traces = feed(generator, body)
+        assert len(traces) == 1
+        assert traces[0].length == MAX_TRACE_LENGTH
+        assert traces[0].start_pc == PC
+        assert not generator.in_progress
+
+    def test_limit_signature_is_the_xor_of_all_sixteen(self):
+        body = [make("addi", rd=8, rs=8, imm=i)
+                for i in range(MAX_TRACE_LENGTH)]
+        generator = SignatureGenerator()
+        (trace,) = feed(generator, body)
+        expected = reduce(lambda acc, instr: acc ^ decode(instr).pack(),
+                          body, 0)
+        assert trace.signature == expected
+
+    def test_instruction_after_limit_latches_new_start(self):
+        generator = SignatureGenerator()
+        feed(generator, [make("addi", rd=8, rs=8, imm=1)] * MAX_TRACE_LENGTH)
+        follow_pc = PC + MAX_TRACE_LENGTH * INSTRUCTION_BYTES
+        assert generator.add(follow_pc,
+                             decode(make("addi", rd=8, rs=8, imm=1))) is None
+        assert generator.partial_start_pc == follow_pc
+        assert generator.partial_length == 1
+
+    def test_branch_on_the_limit_completes_once(self):
+        """16th instruction is a branch: both end rules fire, one trace."""
+        generator = SignatureGenerator()
+        body = ([make("addi", rd=8, rs=8, imm=1)] * (MAX_TRACE_LENGTH - 1)
+                + [make("beq", rs=8, rt=9, imm=-16)])
+        traces = feed(generator, body)
+        assert len(traces) == 1
+        assert traces[0].length == MAX_TRACE_LENGTH
+        assert generator.traces_completed == 1
+        assert not generator.in_progress
+
+
+class TestBackToBackBranches:
+    def test_consecutive_branches_are_length_one_traces(self):
+        generator = SignatureGenerator()
+        branches = [make("beq", rs=8, rt=9, imm=4),
+                    make("bne", rs=8, rt=9, imm=2),
+                    make("beq", rs=10, rt=11, imm=1)]
+        traces = feed(generator, branches)
+        assert [t.length for t in traces] == [1, 1, 1]
+        assert [t.start_pc for t in traces] == [
+            PC, PC + INSTRUCTION_BYTES, PC + 2 * INSTRUCTION_BYTES]
+        # Each signature is exactly that branch's packed signal vector.
+        for trace, instr in zip(traces, branches):
+            assert trace.signature == decode(instr).pack()
+
+    def test_branch_after_straight_run_splits_cleanly(self):
+        generator = SignatureGenerator()
+        traces = feed(generator, [
+            make("addi", rd=8, rs=8, imm=1),
+            make("beq", rs=8, rt=9, imm=1),
+            make("bne", rs=8, rt=9, imm=-2),
+        ])
+        assert [(t.start_pc, t.length) for t in traces] == [
+            (PC, 2), (PC + 2 * INSTRUCTION_BYTES, 1)]
+
+
+class TestBranchAtTextEnd:
+    SOURCE = """
+.text
+main:
+    li   $t0, 2
+spin:
+    addi $t0, $t0, -1
+    bnez $t0, spin
+"""
+
+    def test_final_branch_completes_its_trace(self):
+        """A branch as the last text instruction still closes the trace."""
+        program = assemble(self.SOURCE, name="tail_branch")
+        generator = SignatureGenerator()
+        traces = feed(generator, program.instructions,
+                      start_pc=program.entry)
+        assert traces  # the tail branch completed a trace
+        assert traces[-1].length == 3
+        assert not generator.in_progress
+
+    def test_static_walker_excludes_off_text_fall_through(self):
+        from repro.analysis.static_traces import walk_static_trace
+        program = assemble(self.SOURCE, name="tail_branch")
+        trace = walk_static_trace(program, program.entry)
+        assert trace.end_pc == program.text_end - INSTRUCTION_BYTES
+        # Only the taken edge survives; the fall-through leaves text.
+        assert trace.successors == (program.symbols["spin"],)
+
+    def test_analyzer_flags_the_not_taken_fall_off(self):
+        from repro.analysis import analyze_program
+        program = assemble(self.SOURCE, name="tail_branch")
+        report = analyze_program(program)
+        assert "CF002" in [d.code for d in report.diagnostics]
+
+
+class TestFlush:
+    def test_flush_discards_partial_and_relatches(self):
+        generator = SignatureGenerator()
+        feed(generator, [make("addi", rd=8, rs=8, imm=1)] * 3)
+        assert generator.in_progress
+        generator.flush()
+        assert not generator.in_progress
+        new_pc = PC + 100 * INSTRUCTION_BYTES
+        generator.add(new_pc, decode(make("addi", rd=8, rs=8, imm=1)))
+        assert generator.partial_start_pc == new_pc
+        assert generator.partial_length == 1
