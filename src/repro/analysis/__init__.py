@@ -11,9 +11,17 @@ executing them:
 * :mod:`repro.analysis.lints` — typed diagnostics: wild control
   transfers, text fall-through, unreachable code, exit-less loops,
   uninitialized reads, and ITR signature collisions,
-* :mod:`repro.analysis.report` — the aggregate report + JSON form.
+* :mod:`repro.analysis.report` — the aggregate report + JSON form,
+* :mod:`repro.analysis.loops` — dominator tree, natural-loop nesting and
+  loop-aware trace-reuse / cold-window prediction (CV001),
+* :mod:`repro.analysis.distance` — same-set signature Hamming-distance
+  audit across ITR cache geometries (ITR004),
+* :mod:`repro.analysis.coverage_cert` — per-bit fault maskability
+  (ITR003) and the protection certificate tying it all together.
 
-Command line: ``python -m repro.analysis <file.asm> [--json]``.
+Command line: ``python -m repro.analysis <file.asm> [--certify]
+[--json]``, or ``--kernel NAME`` / ``--all-kernels`` for built-in
+workloads.
 
 >>> from repro.analysis import analyze_program
 >>> from repro.workloads.kernels import get_kernel
@@ -23,16 +31,41 @@ Command line: ``python -m repro.analysis <file.asm> [--json]``.
 """
 
 from .cfg import BasicBlock, ControlFlowGraph, build_cfg
+from .coverage_cert import (
+    MaskabilityReport,
+    ProtectionCertificate,
+    TraceMaskability,
+    analyze_maskability,
+    certify_program,
+)
 from .dataflow import UninitializedRead, find_uninitialized_reads
 from .diagnostics import (
+    ANALYZER_VERSION,
     CATALOG,
+    CATALOG_SCHEMA_VERSION,
     Diagnostic,
     DiagnosticSpec,
     Severity,
+    Waiver,
+    partition_waived,
     sort_diagnostics,
     worst_severity,
 )
+from .distance import (
+    DistanceAudit,
+    WeakPair,
+    audit_signature_distances,
+    hamming_distance,
+)
 from .lints import run_lints
+from .loops import (
+    LoopNest,
+    NaturalLoop,
+    ReusePrediction,
+    find_natural_loops,
+    immediate_dominators,
+    predict_reuse,
+)
 from .report import (
     DEFAULT_CACHE_CONFIGS,
     AnalysisReport,
@@ -51,15 +84,34 @@ __all__ = [
     "BasicBlock",
     "ControlFlowGraph",
     "build_cfg",
+    "MaskabilityReport",
+    "ProtectionCertificate",
+    "TraceMaskability",
+    "analyze_maskability",
+    "certify_program",
     "UninitializedRead",
     "find_uninitialized_reads",
+    "ANALYZER_VERSION",
     "CATALOG",
+    "CATALOG_SCHEMA_VERSION",
     "Diagnostic",
     "DiagnosticSpec",
     "Severity",
+    "Waiver",
+    "partition_waived",
     "sort_diagnostics",
     "worst_severity",
+    "DistanceAudit",
+    "WeakPair",
+    "audit_signature_distances",
+    "hamming_distance",
     "run_lints",
+    "LoopNest",
+    "NaturalLoop",
+    "ReusePrediction",
+    "find_natural_loops",
+    "immediate_dominators",
+    "predict_reuse",
     "DEFAULT_CACHE_CONFIGS",
     "AnalysisReport",
     "analyze_program",

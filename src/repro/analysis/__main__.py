@@ -1,14 +1,31 @@
-"""``python -m repro.analysis <file.asm> [--json]`` — analyzer CLI.
+"""``python -m repro.analysis`` — analyzer / certifier CLI.
+
+Inputs (exactly one):
+
+* ``<file.asm>`` — an assembly source file on disk,
+* ``--kernel <name>`` — a built-in workload kernel, analyzed in memory,
+* ``--all-kernels`` — every registered kernel in sequence.
+
+Modes:
+
+* default — PR 1's static analysis report (CFG, trace inventory, lints),
+* ``--certify`` — the full protection certificate: per-bit maskability
+  (ITR003), signature-distance audit (ITR004) and loop-aware reuse /
+  cold-window prediction (CV001), with kernel waivers applied.
 
 Exit codes:
 
-* ``0`` — analysis ran, no error-severity diagnostics
-* ``1`` — analysis ran, at least one error-severity diagnostic
+* ``0`` — analysis ran; no error diagnostics (and, under ``--certify``,
+  no unwaived warning-severity diagnostics either)
+* ``1`` — at least one failing diagnostic (error severity, or unwaived
+  warning under ``--certify``)
 * ``2`` — the input could not be read or assembled
 
 ``--json`` emits the machine-readable report documented in
 ``docs/static_analysis.md`` on stdout; assembly failures are reported as
-a JSON object with an ``"assembly_error"`` key in that mode.
+a JSON object with an ``"assembly_error"`` key in that mode. With
+``--all-kernels --json`` the output is a JSON array, one entry per
+kernel.
 """
 
 from __future__ import annotations
@@ -17,11 +34,14 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, List, Optional, Sequence, Tuple
 
 from ..errors import AssemblerError
 from ..isa.assembler import assemble
-from .diagnostics import Severity
+from ..isa.program import Program
+from .coverage_cert import certify_program
+from .diagnostics import Severity, Waiver
+from .distance import DEFAULT_DISTANCE_THRESHOLD
 from .report import analyze_program
 
 
@@ -30,9 +50,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Statically analyze a PISA-like assembly program: "
-                    "CFG, ITR static trace inventory, dataflow lints and "
-                    "signature-collision detection.")
-    parser.add_argument("source", help="assembly source file (.asm)")
+                    "CFG, ITR static trace inventory, dataflow lints, "
+                    "signature-collision detection and (with --certify) "
+                    "the full protection-coverage certificate.")
+    parser.add_argument("source", nargs="?",
+                        help="assembly source file (.asm)")
+    parser.add_argument("--kernel", metavar="NAME",
+                        help="analyze a built-in workload kernel instead "
+                             "of a source file")
+    parser.add_argument("--all-kernels", action="store_true",
+                        help="analyze every registered workload kernel")
+    parser.add_argument("--certify", action="store_true",
+                        help="emit the protection certificate "
+                             "(maskability, distance audit, reuse "
+                             "prediction) instead of the plain report")
     parser.add_argument("--json", action="store_true",
                         help="emit the machine-readable JSON report")
     parser.add_argument("--verbose", action="store_true",
@@ -41,7 +72,50 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-trace-length", type=int, default=16,
                         metavar="N",
                         help="trace length limit (paper default: 16)")
+    parser.add_argument("--distance-threshold", type=int,
+                        default=DEFAULT_DISTANCE_THRESHOLD, metavar="D",
+                        help="flag same-set signature pairs below this "
+                             "Hamming distance (default: "
+                             f"{DEFAULT_DISTANCE_THRESHOLD})")
     return parser
+
+
+def _load_inputs(parser: argparse.ArgumentParser,
+                 args: argparse.Namespace
+                 ) -> List[Tuple[str, Optional[Program],
+                                 Tuple[Waiver, ...], Optional[str]]]:
+    """Resolve CLI inputs to (name, program, waivers, error) records."""
+    chosen = sum(bool(x) for x in
+                 (args.source, args.kernel, args.all_kernels))
+    if chosen != 1:
+        parser.error("give exactly one input: a source file, "
+                     "--kernel NAME, or --all-kernels")
+    out: List[Tuple[str, Optional[Program],
+                    Tuple[Waiver, ...], Optional[str]]] = []
+    if args.source:
+        path = Path(args.source)
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+        try:
+            out.append((path.stem, assemble(source, name=path.stem),
+                        (), None))
+        except AssemblerError as exc:
+            out.append((path.stem, None, (), str(exc)))
+        return out
+    from ..workloads.kernels.base import all_kernels, get_kernel
+    kernels = (all_kernels() if args.all_kernels
+               else [get_kernel(args.kernel)])
+    for kernel in kernels:
+        try:
+            out.append((kernel.name, kernel.program(),
+                        tuple(kernel.waivers), None))
+        except AssemblerError as exc:
+            out.append((kernel.name, None, tuple(kernel.waivers),
+                        str(exc)))
+    return out
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -51,29 +125,53 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.max_trace_length < 1:
         parser.error(
             f"--max-trace-length must be >= 1, got {args.max_trace_length}")
-    path = Path(args.source)
+    if args.distance_threshold < 1:
+        parser.error(
+            f"--distance-threshold must be >= 1, "
+            f"got {args.distance_threshold}")
     try:
-        source = path.read_text()
-    except OSError as exc:
-        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
-        return 2
-    try:
-        program = assemble(source, name=path.stem)
-    except AssemblerError as exc:
-        if args.json:
-            print(json.dumps({"program": path.stem,
-                              "assembly_error": str(exc)}))
+        inputs = _load_inputs(parser, args)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+
+    exit_code = 0
+    json_out: List[Any] = []
+    rendered: List[str] = []
+    for name, program, waivers, error in inputs:
+        if program is None:
+            if args.json:
+                json_out.append({"program": name,
+                                 "assembly_error": error})
+            else:
+                print(f"error: {name}: {error}", file=sys.stderr)
+            exit_code = max(exit_code, 2)
+            continue
+        if args.certify:
+            cert = certify_program(
+                program, waivers=waivers,
+                distance_threshold=args.distance_threshold,
+                max_trace_length=args.max_trace_length)
+            if args.json:
+                json_out.append(cert.to_json())
+            else:
+                rendered.append(cert.render())
+            failing = not cert.certified
         else:
-            print(f"error: {path}: {exc}", file=sys.stderr)
-        return 2
-    report = analyze_program(program,
-                             max_trace_length=args.max_trace_length)
+            report = analyze_program(
+                program, max_trace_length=args.max_trace_length)
+            if args.json:
+                json_out.append(report.to_json())
+            else:
+                rendered.append(report.render(verbose=args.verbose))
+            failing = report.worst_severity is Severity.ERROR
+        if failing:
+            exit_code = max(exit_code, 1)
     if args.json:
-        print(json.dumps(report.to_json(), indent=2))
+        payload = json_out if args.all_kernels else json_out[0]
+        print(json.dumps(payload, indent=2))
     else:
-        print(report.render(verbose=args.verbose))
-    worst = report.worst_severity
-    return 1 if worst is Severity.ERROR else 0
+        print("\n\n".join(rendered))
+    return exit_code
 
 
 if __name__ == "__main__":

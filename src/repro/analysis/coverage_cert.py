@@ -1,0 +1,589 @@
+"""Static protection-coverage certification (ITR003 / CV001).
+
+ITR's detection argument is linear algebra over GF(2): a single bit flip
+in one instruction's decode-signal vector flips exactly that bit of the
+trace's XOR signature, so the comparison against the stored signature
+*must* mismatch — unless the flip changes the trace's **boundary**. The
+three flag bits that feed ``DecodeSignals.ends_trace`` (``is_branch``,
+``is_uncond``, ``is_trap``) can truncate a trace early or extend it past
+its terminator, and then the faulty signature is an XOR over a
+*different* instruction window whose value is unconstrained — it can
+coincide with the stored signature and silently pass the check.
+
+Because trace contents are a pure function of the start PC, every one of
+these scenarios is statically enumerable:
+
+* **plain flips** (boundary unchanged) — certified detectable, always;
+* **truncations** (mid-trace instruction becomes trace-ending) — the
+  faulty signature is the prefix XOR with the flipped bit; detectable
+  iff it differs from the stored signature, else ITR003 **masked**;
+* **extensions** (terminator stops ending the trace) — the walk
+  continues through the program text to the next boundary or the length
+  limit; detectable iff the extended XOR differs, **unresolved** when
+  the extension runs off the text segment.
+
+The same engine counts **multi-flip masked windows**: an even number of
+flips of one bit inside one trace cancels out of the XOR fold entirely
+(the paper's known blind spot for burst faults), provided none of the
+flips disturbs a boundary.
+
+:func:`certify_program` bundles this with the signature-distance audit
+(:mod:`repro.analysis.distance`) and the loop-aware reuse prediction
+(:mod:`repro.analysis.loops`) into a per-program **protection
+certificate** — the machine-readable object the ``coverage-certifier``
+experiment cross-validates against dynamic fault injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..isa.decode_signals import (
+    FIELDS,
+    TOTAL_WIDTH,
+    DecodeSignals,
+    decode,
+    field_of_bit,
+)
+from ..isa.instruction import INSTRUCTION_BYTES
+from ..isa.program import Program
+from ..itr.itr_cache import ItrCacheConfig
+from ..itr.signature import MAX_TRACE_LENGTH
+from .cfg import ControlFlowGraph
+from .diagnostics import (
+    ANALYZER_VERSION,
+    CATALOG_SCHEMA_VERSION,
+    CV_COLD_WINDOW,
+    ITR_MASKED_FAULT_WINDOW,
+    Diagnostic,
+    Severity,
+    Waiver,
+    diagnostic,
+    partition_waived,
+    sort_diagnostics,
+)
+from .distance import (
+    DEFAULT_DISTANCE_THRESHOLD,
+    DistanceAudit,
+    audit_signature_distances,
+    lint_weak_distances,
+)
+from .loops import LoopNest, ReusePrediction, predict_reuse
+from .report import AnalysisReport, analyze_program
+from .static_traces import StaticTrace
+
+#: Fault-verdict labels.
+DETECTABLE = "detectable"
+MASKED = "masked"
+UNRESOLVED = "unresolved"
+
+#: Fault-shape labels.
+PLAIN = "plain"
+TRUNCATION = "truncation"
+EXTENSION = "extension"
+
+
+def _compute_boundary_bits() -> Tuple[int, ...]:
+    """Derive the boundary bit set by probing the decode vector itself.
+
+    Self-checking: flip every bit of the all-zero vector and observe
+    which positions toggle ``ends_trace`` (a pure OR of three flag
+    bits). This cannot drift from the field layout.
+    """
+    quiet = DecodeSignals.unpack(0)
+    out = set()
+    for bit in range(TOTAL_WIDTH):
+        if quiet.with_bit_flipped(bit).ends_trace != quiet.ends_trace:
+            out.add(bit)
+    return tuple(sorted(out))
+
+
+#: Bit positions whose flip can change a trace boundary.
+BOUNDARY_BITS: Tuple[int, ...] = _compute_boundary_bits()
+
+
+@dataclass(frozen=True)
+class FaultVerdict:
+    """Static classification of one (instruction, bit) single-flip."""
+
+    position: int                    # instruction offset within the trace
+    bit: int                         # flipped decode-signal bit (0..63)
+    verdict: str                     # detectable | masked | unresolved
+    kind: str                        # plain | truncation | extension
+    faulty_signature: Optional[int]  # None when unresolved
+
+
+@dataclass(frozen=True)
+class TraceMaskability:
+    """Per-bit maskability of every single-flip fault in one trace."""
+
+    trace: StaticTrace
+    total_faults: int                # trace.length * 64
+    detectable: int
+    exceptional: Tuple[FaultVerdict, ...]  # every non-plain verdict
+    multi_flip_windows: int          # even-cancellation (pair, bit) count
+
+    @property
+    def masked(self) -> Tuple[FaultVerdict, ...]:
+        return tuple(v for v in self.exceptional if v.verdict == MASKED)
+
+    @property
+    def unresolved(self) -> Tuple[FaultVerdict, ...]:
+        return tuple(v for v in self.exceptional if v.verdict == UNRESOLVED)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of single-flip faults certified detectable."""
+        if not self.total_faults:
+            return 1.0
+        return self.detectable / self.total_faults
+
+
+def _trace_signal_vectors(program: Program,
+                          trace: StaticTrace) -> List[DecodeSignals]:
+    """Correct decode-signal vectors of a trace's instructions."""
+    out = []
+    pc = trace.start_pc
+    for _ in range(trace.length):
+        out.append(decode(program.instruction_at(pc)))
+        pc += INSTRUCTION_BYTES
+    return out
+
+
+def _extension_signature(program: Program, trace: StaticTrace,
+                         flipped_word: int,
+                         max_length: int) -> Optional[int]:
+    """Faulty signature when the terminator stops ending the trace.
+
+    Continues the XOR fold from the instruction after the terminator
+    until the first (correct-signal) boundary or the length limit.
+    Returns ``None`` when the walk leaves the text segment — the machine
+    would fetch beyond the program and no static value exists.
+    """
+    signature = flipped_word
+    length = trace.length
+    pc = trace.end_pc + INSTRUCTION_BYTES
+    while length < max_length:
+        if not program.contains_pc(pc):
+            return None
+        signals = decode(program.instruction_at(pc))
+        signature ^= signals.pack()
+        length += 1
+        if signals.ends_trace:
+            return signature
+        pc += INSTRUCTION_BYTES
+    return signature
+
+
+def analyze_trace_maskability(
+        program: Program, trace: StaticTrace,
+        max_length: int = MAX_TRACE_LENGTH) -> TraceMaskability:
+    """Classify every single-flip fault of one trace (64 x length)."""
+    signals = _trace_signal_vectors(program, trace)
+    words = [s.pack() for s in signals]
+    prefix = []
+    acc = 0
+    for word in words:
+        acc ^= word
+        prefix.append(acc)
+    stored = trace.signature
+    length = trace.length
+    detectable = 0
+    exceptional: List[FaultVerdict] = []
+    # Per-bit count of flip positions that leave every boundary intact,
+    # for the multi-flip window tally.
+    neutral_positions = [0] * TOTAL_WIDTH
+    for position in range(length):
+        ends_now = signals[position].ends_trace
+        last = position == length - 1
+        for bit in range(TOTAL_WIDTH):
+            if bit in BOUNDARY_BITS:
+                ends_flipped = signals[position] \
+                    .with_bit_flipped(bit).ends_trace
+            else:
+                ends_flipped = ends_now
+            if ends_flipped == ends_now:
+                # Boundary intact: trace completes exactly as before and
+                # the faulty signature differs in precisely this bit.
+                detectable += 1
+                neutral_positions[bit] += 1
+                continue
+            if ends_flipped and not last:
+                # Truncation: the trace completes at this instruction.
+                faulty = prefix[position] ^ (1 << bit)
+                verdict = MASKED if faulty == stored else DETECTABLE
+                exceptional.append(FaultVerdict(
+                    position=position, bit=bit, verdict=verdict,
+                    kind=TRUNCATION, faulty_signature=faulty))
+                if verdict == DETECTABLE:
+                    detectable += 1
+                continue
+            if ends_flipped and last:
+                # The final instruction ends the trace either way (it was
+                # the length limit); the signature argument still holds.
+                detectable += 1
+                neutral_positions[bit] += 1
+                continue
+            # ends_flipped is False on the terminator: the trace extends.
+            if length >= max_length:
+                # Length limit would have ended it regardless.
+                detectable += 1
+                neutral_positions[bit] += 1
+                continue
+            faulty = _extension_signature(
+                program, trace, stored ^ (1 << bit), max_length)
+            if faulty is None:
+                exceptional.append(FaultVerdict(
+                    position=position, bit=bit, verdict=UNRESOLVED,
+                    kind=EXTENSION, faulty_signature=None))
+                continue
+            verdict = MASKED if faulty == stored else DETECTABLE
+            exceptional.append(FaultVerdict(
+                position=position, bit=bit, verdict=verdict,
+                kind=EXTENSION, faulty_signature=faulty))
+            if verdict == DETECTABLE:
+                detectable += 1
+    windows = sum(n * (n - 1) // 2 for n in neutral_positions)
+    return TraceMaskability(
+        trace=trace,
+        total_faults=length * TOTAL_WIDTH,
+        detectable=detectable,
+        exceptional=tuple(exceptional),
+        multi_flip_windows=windows,
+    )
+
+
+@dataclass(frozen=True)
+class FieldCoverage:
+    """Single-flip coverage aggregated over one Table 2 field."""
+
+    field: str
+    bits: int
+    faults: int
+    detectable: int
+
+    @property
+    def coverage_pct(self) -> float:
+        if not self.faults:
+            return 100.0
+        return 100.0 * self.detectable / self.faults
+
+
+@dataclass(frozen=True)
+class MaskabilityReport:
+    """Program-wide per-bit maskability summary."""
+
+    traces: Tuple[TraceMaskability, ...]
+    per_field: Tuple[FieldCoverage, ...]
+
+    @property
+    def total_faults(self) -> int:
+        return sum(t.total_faults for t in self.traces)
+
+    @property
+    def certified_detectable(self) -> int:
+        return sum(t.detectable for t in self.traces)
+
+    @property
+    def masked_faults(self) -> Tuple[Tuple[int, FaultVerdict], ...]:
+        """(trace start PC, verdict) for every proven-masked fault."""
+        out = []
+        for record in self.traces:
+            for verdict in record.masked:
+                out.append((record.trace.start_pc, verdict))
+        return tuple(out)
+
+    @property
+    def unresolved_faults(self) -> int:
+        return sum(len(t.unresolved) for t in self.traces)
+
+    @property
+    def multi_flip_windows(self) -> int:
+        return sum(t.multi_flip_windows for t in self.traces)
+
+    @property
+    def coverage_pct(self) -> float:
+        if not self.total_faults:
+            return 100.0
+        return 100.0 * self.certified_detectable / self.total_faults
+
+
+def analyze_maskability(
+        program: Program, traces: Sequence[StaticTrace],
+        max_length: int = MAX_TRACE_LENGTH) -> MaskabilityReport:
+    """Per-bit maskability over a whole static trace inventory."""
+    records = tuple(analyze_trace_maskability(program, t, max_length)
+                    for t in traces)
+    faults_by_bit = [0] * TOTAL_WIDTH
+    detect_by_bit = [0] * TOTAL_WIDTH
+    for record in records:
+        exceptional = {(v.position, v.bit): v for v in record.exceptional}
+        for position in range(record.trace.length):
+            for bit in range(TOTAL_WIDTH):
+                faults_by_bit[bit] += 1
+                verdict = exceptional.get((position, bit))
+                if verdict is None or verdict.verdict == DETECTABLE:
+                    detect_by_bit[bit] += 1
+    per_field = []
+    for field in FIELDS:
+        bits = range(field.offset, field.offset + field.width)
+        per_field.append(FieldCoverage(
+            field=field.name,
+            bits=field.width,
+            faults=sum(faults_by_bit[b] for b in bits),
+            detectable=sum(detect_by_bit[b] for b in bits),
+        ))
+    return MaskabilityReport(traces=records, per_field=tuple(per_field))
+
+
+def lint_masked_windows(
+        maskability: MaskabilityReport) -> List[Diagnostic]:
+    """ITR003: traces containing a provably masked single-flip fault."""
+    out: List[Diagnostic] = []
+    for record in maskability.traces:
+        masked = record.masked
+        if not masked:
+            continue
+        shapes = ", ".join(
+            f"bit {v.bit} ({field_of_bit(v.bit).name}) at +{v.position} "
+            f"[{v.kind}]" for v in masked)
+        out.append(diagnostic(
+            ITR_MASKED_FAULT_WINDOW,
+            f"trace 0x{record.trace.start_pc:08x} has "
+            f"{len(masked)} single-bit fault(s) the XOR fold provably "
+            f"masks: {shapes}",
+            pc=record.trace.start_pc,
+            faults=[{"position": v.position, "bit": v.bit,
+                     "field": field_of_bit(v.bit).name, "kind": v.kind}
+                    for v in masked],
+            coverage_pct=round(100.0 * record.coverage, 4)))
+    return out
+
+
+def lint_cold_window(reuse: ReusePrediction) -> List[Diagnostic]:
+    """CV001: the program's first-instance vulnerability window."""
+    if not reuse.traces:
+        return []
+    instructions = reuse.cold_window_instructions
+    return [diagnostic(
+        CV_COLD_WINDOW,
+        f"{instructions} instruction(s) across {len(reuse.traces)} "
+        f"trace(s) form the first-instance vulnerability window "
+        f"({reuse.single_shot_traces} trace(s) are predicted to never "
+        "repeat and stay unprotected for their whole lifetime)",
+        instructions=instructions,
+        traces=len(reuse.traces),
+        single_shot=reuse.single_shot_traces,
+        repeating=reuse.repeating_traces)]
+
+
+@dataclass(frozen=True)
+class ProtectionCertificate:
+    """Everything the certifier can statically promise about a program.
+
+    ``certified`` is the headline verdict: no unwaived diagnostic at
+    warning severity or above, i.e. every residual risk is either
+    explicitly accepted (waived) or merely informational.
+    """
+
+    report: AnalysisReport
+    maskability: MaskabilityReport
+    distance_audit: DistanceAudit
+    nest: LoopNest
+    reuse: ReusePrediction
+    diagnostics: Tuple[Diagnostic, ...]       # active (unwaived)
+    waived: Tuple[Diagnostic, ...]
+    waivers: Tuple[Waiver, ...]
+
+    @property
+    def program_name(self) -> str:
+        return self.report.program_name
+
+    @property
+    def certified(self) -> bool:
+        return not any(d.severity >= Severity.WARNING
+                       for d in self.diagnostics)
+
+    def to_json(self) -> Dict[str, Any]:
+        """The protection-certificate JSON (docs/static_analysis.md)."""
+        reuse = self.reuse
+        loops = self.nest
+        return {
+            "program": self.program_name,
+            "analyzer": {
+                "version": ANALYZER_VERSION,
+                "schema_version": CATALOG_SCHEMA_VERSION,
+            },
+            "certified": self.certified,
+            "report": self.report.to_json(),
+            "maskability": {
+                "single_flip_faults": self.maskability.total_faults,
+                "certified_detectable":
+                    self.maskability.certified_detectable,
+                "coverage_pct":
+                    round(self.maskability.coverage_pct, 4),
+                "masked": [
+                    {"start_pc": pc, "position": v.position,
+                     "bit": v.bit, "field": field_of_bit(v.bit).name,
+                     "kind": v.kind}
+                    for pc, v in self.maskability.masked_faults],
+                "unresolved": self.maskability.unresolved_faults,
+                "multi_flip_masked_windows":
+                    self.maskability.multi_flip_windows,
+                "per_field": [
+                    {"field": f.field, "bits": f.bits,
+                     "faults": f.faults, "detectable": f.detectable,
+                     "coverage_pct": round(f.coverage_pct, 4)}
+                    for f in self.maskability.per_field],
+            },
+            "distance_audit": {
+                "threshold": self.distance_audit.threshold,
+                "global_min_distance":
+                    self.distance_audit.global_min_distance,
+                "configs": [
+                    {"label": c.label, "entries": c.config.entries,
+                     "ways": c.config.ways, "sets": c.config.num_sets,
+                     "audited_pairs": c.audited_pairs,
+                     "min_distance": c.min_distance,
+                     "weak_pairs": [list(k) for k in c.weak_pairs]}
+                    for c in self.distance_audit.configs],
+                "weak_pairs": [
+                    {"pc_a": p.pc_a, "pc_b": p.pc_b,
+                     "distance": p.distance,
+                     "bits": list(p.differing_bits),
+                     "configs": list(p.configs)}
+                    for p in self.distance_audit.weak_pairs],
+            },
+            "loops": {
+                "count": len(loops.loops),
+                "max_depth": loops.max_depth,
+                "irreducible_blocks": len(loops.irreducible_blocks),
+                "loops": [
+                    {"header": loop.header,
+                     "blocks": sorted(loop.blocks),
+                     "depth": loops.depth[loop.header],
+                     "back_edges": [list(e) for e in loop.back_edges]}
+                    for loop in loops.loops],
+            },
+            "reuse": {
+                "cold_window_instructions":
+                    reuse.cold_window_instructions,
+                "repeating_traces": reuse.repeating_traces,
+                "single_shot_traces": reuse.single_shot_traces,
+                "traces": [
+                    {"start_pc": r.trace.start_pc,
+                     "length": r.trace.length,
+                     "loop_header": r.loop_header,
+                     "loop_depth": r.loop_depth,
+                     "predicted_repeat_distance":
+                         r.predicted_repeat_distance,
+                     "cold_window": r.cold_window}
+                    for r in reuse.traces],
+                "configs": [
+                    {"label": f"{e.config.label()}-{e.config.entries}",
+                     "entries": e.config.entries,
+                     "ways": e.config.ways,
+                     "predicted_cold_misses": e.predicted_cold_misses,
+                     "thrash_exposed": list(e.thrash_exposed),
+                     "detection_loss_bound": e.detection_loss_bound}
+                    for e in reuse.exposures],
+            },
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+            "waived_diagnostics": [d.to_json() for d in self.waived],
+            "waivers": [w.to_json() for w in self.waivers],
+        }
+
+    def render(self) -> str:
+        """Human-readable certificate summary for the CLI."""
+        mask = self.maskability
+        audit = self.distance_audit
+        reuse = self.reuse
+        verdict = "CERTIFIED" if self.certified else "NOT CERTIFIED"
+        lines = [
+            f"protection certificate: {self.program_name} [{verdict}]",
+            f"  maskability   {mask.certified_detectable}/"
+            f"{mask.total_faults} single-flip faults detectable "
+            f"({mask.coverage_pct:.2f}%), "
+            f"{len(mask.masked_faults)} masked, "
+            f"{mask.unresolved_faults} unresolved, "
+            f"{mask.multi_flip_windows} multi-flip window(s)",
+            f"  distance      same-set min Hamming distance "
+            f"{audit.global_min_distance}, "
+            f"{len(audit.weak_pairs)} weak pair(s) below {audit.threshold}",
+            f"  loops         {len(self.nest.loops)} natural loop(s), "
+            f"max depth {self.nest.max_depth}, "
+            f"{len(self.nest.irreducible_blocks)} irreducible block(s)",
+            f"  cold window   {reuse.cold_window_instructions} "
+            f"instruction(s) over {len(reuse.traces)} trace(s) "
+            f"({reuse.single_shot_traces} never repeat)",
+        ]
+        for exposure in reuse.exposures:
+            bound = ("unbounded (thrash-exposed: "
+                     + ", ".join(f"0x{pc:08x}"
+                                 for pc in exposure.thrash_exposed) + ")"
+                     if not exposure.bounded
+                     else f"<= {exposure.detection_loss_bound} instructions")
+            lines.append(
+                f"  dl bound      {exposure.config.entries:>5} entries "
+                f"{exposure.config.label():>6}: {bound}")
+        if self.diagnostics:
+            lines.append(f"  diagnostics   {len(self.diagnostics)} active")
+            for diag in self.diagnostics:
+                lines.append(f"    {diag.render()}")
+        else:
+            lines.append("  diagnostics   none active")
+        if self.waived:
+            lines.append(f"  waived        {len(self.waived)} "
+                         f"finding(s) under {len(self.waivers)} waiver(s)")
+            for diag in self.waived:
+                lines.append(f"    [waived] {diag.render()}")
+        return "\n".join(lines)
+
+
+def certify_program(
+        program: Program,
+        waivers: Sequence[Waiver] = (),
+        cache_configs: Optional[Sequence[ItrCacheConfig]] = None,
+        audit_configs: Optional[Sequence[ItrCacheConfig]] = None,
+        distance_threshold: int = DEFAULT_DISTANCE_THRESHOLD,
+        max_trace_length: int = MAX_TRACE_LENGTH) -> ProtectionCertificate:
+    """Run the full certification pipeline over one program.
+
+    ``cache_configs`` feeds the base analyzer's pressure prediction (the
+    paper's sweep by default); ``audit_configs`` the distance audit and
+    reuse/thrash exposure (the sweep corners by default).
+    """
+    if cache_configs is not None:
+        report = analyze_program(program, cache_configs=cache_configs,
+                                 max_trace_length=max_trace_length)
+    else:
+        report = analyze_program(program,
+                                 max_trace_length=max_trace_length)
+    cfg = ControlFlowGraph(program)
+    traces = list(report.traces)
+    maskability = analyze_maskability(program, traces, max_trace_length)
+    audit = audit_signature_distances(
+        traces,
+        audit_configs if audit_configs is not None else (),
+        threshold=distance_threshold)
+    nest = LoopNest(cfg)
+    exposure_configs = (tuple(audit_configs) if audit_configs is not None
+                        else tuple(a.config for a in audit.configs))
+    reuse = predict_reuse(cfg, traces, exposure_configs, nest=nest)
+    diagnostics = list(report.diagnostics)
+    diagnostics += lint_masked_windows(maskability)
+    diagnostics += lint_weak_distances(audit)
+    diagnostics += lint_cold_window(reuse)
+    active, waived = partition_waived(
+        sort_diagnostics(diagnostics), waivers)
+    return ProtectionCertificate(
+        report=report,
+        maskability=maskability,
+        distance_audit=audit,
+        nest=nest,
+        reuse=reuse,
+        diagnostics=tuple(active),
+        waived=tuple(waived),
+        waivers=tuple(waivers),
+    )

@@ -11,7 +11,15 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Analyzer release identifier, embedded in every JSON report and
+#: certificate so archived results are comparable across PRs.
+ANALYZER_VERSION = "2.0.0"
+
+#: Version of the diagnostic catalog / report JSON schema. Bump whenever
+#: a code is added or a documented JSON key changes meaning.
+CATALOG_SCHEMA_VERSION = 2
 
 
 class Severity(enum.IntEnum):
@@ -73,6 +81,20 @@ ITR_SIGNATURE_COLLISION = _register(
 ITR_CACHE_PRESSURE = _register(
     "ITR002", Severity.INFO,
     "static trace working set oversubscribes an ITR cache set")
+ITR_MASKED_FAULT_WINDOW = _register(
+    "ITR003", Severity.WARNING,
+    "a single-bit decode-signal fault in this trace is provably "
+    "XOR-masked (the faulty signature equals the stored one)")
+ITR_WEAK_DISTANCE_PAIR = _register(
+    "ITR004", Severity.WARNING,
+    "static traces sharing an ITR cache set sit below the minimum "
+    "signature Hamming distance")
+
+# -- coverage-prediction findings --------------------------------------------
+CV_COLD_WINDOW = _register(
+    "CV001", Severity.INFO,
+    "first-instance vulnerability window: instructions whose first "
+    "dynamic occurrence is unprotected by construction")
 
 
 @dataclass(frozen=True)
@@ -132,3 +154,64 @@ def sort_diagnostics(diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
                   key=lambda d: (-int(d.severity),
                                  d.pc if d.pc is not None else -1,
                                  d.code))
+
+
+@dataclass(frozen=True)
+class Waiver:
+    """A structured acceptance of one known analyzer finding.
+
+    Workloads declare these next to the code that triggers the finding
+    (e.g. the ``dispatch`` kernel's XOR-aliasing trace pair); the
+    certifier surfaces them in the protection certificate and the CLI
+    treats a waived diagnostic as non-fatal. ``pcs`` names the trace
+    start PCs involved — a diagnostic matches when its own anchor PC and
+    every member PC in its payload fall inside the waived set.
+    """
+
+    code: str
+    reason: str
+    pcs: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.code not in CATALOG:
+            raise ValueError(f"waiver for unknown diagnostic {self.code!r}")
+        if not self.reason:
+            raise ValueError("waiver reason must be non-empty")
+
+    def matches(self, diag: Diagnostic) -> bool:
+        """Whether this waiver covers ``diag``."""
+        if diag.code != self.code:
+            return False
+        if not self.pcs:
+            return True
+        covered = set(self.pcs)
+        anchored = {diag.pc} if diag.pc is not None else set()
+        for member in diag.data.get("members", ()):
+            if isinstance(member, dict) and "start_pc" in member:
+                anchored.add(member["start_pc"])
+        for key in ("pc_a", "pc_b"):
+            if key in diag.data:
+                anchored.add(diag.data[key])
+        return bool(anchored) and anchored <= covered
+
+    def to_json(self) -> Dict[str, Any]:
+        """JSON form surfaced in protection certificates."""
+        out: Dict[str, Any] = {"code": self.code, "reason": self.reason}
+        if self.pcs:
+            out["pcs"] = list(self.pcs)
+        return out
+
+
+def partition_waived(
+        diagnostics: Iterable[Diagnostic],
+        waivers: Sequence[Waiver]) -> Tuple[List[Diagnostic],
+                                            List[Diagnostic]]:
+    """Split diagnostics into (active, waived) under a waiver set."""
+    active: List[Diagnostic] = []
+    waived: List[Diagnostic] = []
+    for diag in diagnostics:
+        if any(waiver.matches(diag) for waiver in waivers):
+            waived.append(diag)
+        else:
+            active.append(diag)
+    return active, waived

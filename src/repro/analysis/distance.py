@@ -1,0 +1,166 @@
+"""Signature-distance audit over ITR cache geometries (ITR004).
+
+PR 1's ITR001 flags *exact* XOR-signature collisions between distinct
+static traces. Exactness is the wrong bar for a fault-tolerance audit:
+two traces whose signatures sit one or two bit flips apart are nearly as
+dangerous, because the very fault model ITR defends against (bit flips
+on decode signals) can convert one signature into the other — a faulty
+instance of trace A then matches the stored signature of trace B and the
+check passes. This module measures how close the inventory sails to that
+cliff, per cache geometry: for every ITR-cache set, the minimum pairwise
+Hamming distance between the signatures of traces mapping to that set.
+A fully-associative geometry degenerates to the program-wide audit
+(every trace shares the single set), which makes ITR004 a strict
+superset of ITR001 at distance threshold >= 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..isa.instruction import INSTRUCTION_BYTES
+from ..itr.itr_cache import ItrCacheConfig
+from .diagnostics import ITR_WEAK_DISTANCE_PAIR, Diagnostic, diagnostic
+from .static_traces import StaticTrace
+
+#: Pairs strictly below this Hamming distance are flagged as ITR004.
+#: Distance 0 is an exact collision (ITR001's case); distance 1 means a
+#: single decode-signal flip aliases the pair.
+DEFAULT_DISTANCE_THRESHOLD = 2
+
+
+def hamming_distance(a: int, b: int) -> int:
+    """Number of differing bits between two 64-bit signatures."""
+    return bin(a ^ b).count("1")
+
+
+@dataclass(frozen=True)
+class WeakPair:
+    """Two same-set traces whose signatures are suspiciously close."""
+
+    pc_a: int
+    pc_b: int
+    distance: int
+    differing_bits: Tuple[int, ...]
+    configs: Tuple[str, ...]    # labels of geometries co-locating them
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        return (self.pc_a, self.pc_b)
+
+
+@dataclass(frozen=True)
+class ConfigDistanceAudit:
+    """Distance statistics of one cache geometry."""
+
+    config: ItrCacheConfig
+    audited_pairs: int           # same-set pairs examined
+    min_distance: int            # 64 when no pair shares a set
+    weak_pairs: Tuple[Tuple[int, int], ...]  # keys of sub-threshold pairs
+
+    @property
+    def label(self) -> str:
+        return f"{self.config.label()}-{self.config.entries}"
+
+
+@dataclass(frozen=True)
+class DistanceAudit:
+    """Full audit: per-config statistics plus deduplicated weak pairs."""
+
+    threshold: int
+    configs: Tuple[ConfigDistanceAudit, ...]
+    weak_pairs: Tuple[WeakPair, ...]
+
+    @property
+    def global_min_distance(self) -> int:
+        """Minimum same-set distance over every audited geometry."""
+        return min((c.min_distance for c in self.configs), default=64)
+
+
+def default_audit_configs() -> Tuple[ItrCacheConfig, ...]:
+    """The audited geometries: the paper's sweep corners.
+
+    Direct-mapped, 2-way, 4-way and fully-associative at the smallest
+    and largest paper sizes. The fully-associative entries make the
+    audit subsume the program-wide pairwise check.
+    """
+    out: List[ItrCacheConfig] = []
+    for entries in (256, 1024):
+        for assoc in (1, 2, 4, 0):
+            out.append(ItrCacheConfig(entries=entries, assoc=assoc))
+    return tuple(out)
+
+
+def audit_signature_distances(
+        traces: Sequence[StaticTrace],
+        cache_configs: Iterable[ItrCacheConfig] = (),
+        threshold: int = DEFAULT_DISTANCE_THRESHOLD) -> DistanceAudit:
+    """Audit same-set signature distances across cache geometries."""
+    if threshold < 1:
+        raise ValueError(f"threshold must be >= 1, got {threshold}")
+    configs = tuple(cache_configs) or default_audit_configs()
+    ordered = sorted(traces, key=lambda t: t.start_pc)
+    per_config: List[ConfigDistanceAudit] = []
+    weak: Dict[Tuple[int, int], Tuple[int, List[str]]] = {}
+    for config in configs:
+        by_set: Dict[int, List[StaticTrace]] = {}
+        for trace in ordered:
+            index = (trace.start_pc // INSTRUCTION_BYTES) % config.num_sets
+            by_set.setdefault(index, []).append(trace)
+        pairs = 0
+        min_distance = 64
+        config_weak: List[Tuple[int, int]] = []
+        label = f"{config.label()}-{config.entries}"
+        for members in by_set.values():
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    pairs += 1
+                    a, b = members[i], members[j]
+                    distance = hamming_distance(a.signature, b.signature)
+                    min_distance = min(min_distance, distance)
+                    if distance < threshold:
+                        key = (a.start_pc, b.start_pc)
+                        config_weak.append(key)
+                        entry = weak.setdefault(key, (distance, []))
+                        entry[1].append(label)
+        per_config.append(ConfigDistanceAudit(
+            config=config,
+            audited_pairs=pairs,
+            min_distance=min_distance,
+            weak_pairs=tuple(config_weak),
+        ))
+    by_pc = {t.start_pc: t for t in ordered}
+    weak_pairs = []
+    for (pc_a, pc_b), (distance, labels) in sorted(weak.items()):
+        xor = by_pc[pc_a].signature ^ by_pc[pc_b].signature
+        bits = tuple(bit for bit in range(64) if xor & (1 << bit))
+        weak_pairs.append(WeakPair(
+            pc_a=pc_a, pc_b=pc_b, distance=distance,
+            differing_bits=bits, configs=tuple(labels)))
+    return DistanceAudit(threshold=threshold,
+                         configs=per_config,
+                         weak_pairs=tuple(weak_pairs))
+
+
+def lint_weak_distances(audit: DistanceAudit) -> List[Diagnostic]:
+    """ITR004: one diagnostic per deduplicated weak pair."""
+    out: List[Diagnostic] = []
+    for pair in audit.weak_pairs:
+        if pair.distance == 0:
+            closeness = "are identical (exact collision)"
+        else:
+            plural = "s" if pair.distance != 1 else ""
+            closeness = (f"differ in only {pair.distance} "
+                         f"bit{plural} {list(pair.differing_bits)}")
+        out.append(diagnostic(
+            ITR_WEAK_DISTANCE_PAIR,
+            f"signatures of traces 0x{pair.pc_a:08x} and 0x{pair.pc_b:08x} "
+            f"{closeness}; a {max(pair.distance, 1)}-bit decode fault can "
+            f"alias them within a shared cache set "
+            f"({', '.join(pair.configs[:3])})",
+            pc=pair.pc_a,
+            pc_a=pair.pc_a, pc_b=pair.pc_b,
+            distance=pair.distance,
+            bits=list(pair.differing_bits)))
+    return out

@@ -1,0 +1,383 @@
+"""Dominator tree, natural-loop nesting and loop-aware reuse prediction.
+
+The coverage certifier needs to know, without executing anything, which
+static traces *repeat* — because ITR only protects an instruction from
+its second trace instance onward (the first instance's signature enters
+the cache unchecked). Loop structure answers that statically, in the
+spirit of "Decanting the Contribution of Instruction Types and Loop
+Structures in the Reuse of Traces": traces whose start block sits inside
+a natural loop repeat with the loop; straight-line traces execute once.
+
+Three layers:
+
+* :func:`immediate_dominators` — Cooper/Harvey/Kennedy iterative
+  dominators over the reachable blocks of a
+  :class:`repro.analysis.cfg.ControlFlowGraph`,
+* :func:`find_natural_loops` / :class:`LoopNest` — back edges (edges to
+  a dominating header), per-header body closure, nesting by body
+  containment; cyclic regions not covered by any natural loop (possible
+  under the CFG's over-approximated indirect edges) are counted as
+  irreducible,
+* :func:`predict_reuse` — per-trace repeat-distance and cold-window
+  prediction plus per-cache-config thrash exposure: a set whose
+  same-SCC resident trace population exceeds the associativity can
+  alternate evictions of unchecked lines indefinitely, which is the one
+  situation where the static cold-window bound on detection loss does
+  not hold.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..isa.instruction import INSTRUCTION_BYTES
+from ..itr.itr_cache import ItrCacheConfig
+from .cfg import ControlFlowGraph
+from .static_traces import StaticTrace
+
+
+def _reverse_postorder(cfg: ControlFlowGraph) -> List[int]:
+    """Reachable block leaders in reverse postorder from the entry."""
+    seen = set()
+    order: List[int] = []
+    # Iterative DFS with an explicit done-marker so postorder is exact.
+    stack: List[Tuple[int, bool]] = [(cfg.program.entry, False)]
+    while stack:
+        node, done = stack.pop()
+        if done:
+            order.append(node)
+            continue
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.append((node, True))
+        for succ in reversed(cfg.successors.get(node, ())):
+            if succ not in seen:
+                stack.append((succ, False))
+    order.reverse()
+    return order
+
+
+def immediate_dominators(cfg: ControlFlowGraph) -> Dict[int, Optional[int]]:
+    """Immediate dominator of every reachable block leader.
+
+    The entry maps to ``None``. Classic iterative algorithm (Cooper,
+    Harvey & Kennedy) over reverse postorder; terminates in a handful of
+    passes on these CFGs.
+    """
+    rpo = _reverse_postorder(cfg)
+    position = {leader: i for i, leader in enumerate(rpo)}
+    entry = cfg.program.entry
+    idom: Dict[int, int] = {entry: entry}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while position[a] > position[b]:
+                a = idom[a]
+            while position[b] > position[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for leader in rpo:
+            if leader == entry:
+                continue
+            preds = [p for p in cfg.predecessors.get(leader, ())
+                     if p in idom]
+            if not preds:
+                continue
+            new = preds[0]
+            for pred in preds[1:]:
+                new = intersect(new, pred)
+            if idom.get(leader) != new:
+                idom[leader] = new
+                changed = True
+    return {leader: (None if leader == entry else idom[leader])
+            for leader in idom}
+
+
+def dominates(idom: Dict[int, Optional[int]], a: int, b: int) -> bool:
+    """Whether block ``a`` dominates block ``b`` under ``idom``."""
+    node: Optional[int] = b
+    while node is not None:
+        if node == a:
+            return True
+        node = idom.get(node)
+    return False
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    """One natural loop: header plus the body closure of its back edges."""
+
+    header: int
+    blocks: FrozenSet[int]
+    back_edges: Tuple[Tuple[int, int], ...]
+
+    def __contains__(self, leader: int) -> bool:
+        return leader in self.blocks
+
+
+def find_natural_loops(cfg: ControlFlowGraph) -> List[NaturalLoop]:
+    """All natural loops, merged per header, sorted by header PC."""
+    idom = immediate_dominators(cfg)
+    bodies: Dict[int, set] = {}
+    edges: Dict[int, List[Tuple[int, int]]] = {}
+    for tail in idom:
+        for head in cfg.successors.get(tail, ()):
+            if head in idom and dominates(idom, head, tail):
+                body = bodies.setdefault(head, {head})
+                edges.setdefault(head, []).append((tail, head))
+                worklist = [tail]
+                while worklist:
+                    node = worklist.pop()
+                    if node in body:
+                        continue
+                    body.add(node)
+                    worklist.extend(p for p in cfg.predecessors.get(node, ())
+                                    if p in idom)
+    return [NaturalLoop(header=header,
+                        blocks=frozenset(bodies[header]),
+                        back_edges=tuple(sorted(edges[header])))
+            for header in sorted(bodies)]
+
+
+class LoopNest:
+    """Natural loops of one CFG, organized by containment.
+
+    ``parent``/``depth`` are keyed by loop header; ``depth`` is 1 for an
+    outermost loop. ``irreducible_blocks`` counts reachable blocks that
+    participate in a CFG cycle no natural loop covers (irreducible
+    regions, e.g. under over-approximated indirect-jump edges).
+    """
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        self.loops: List[NaturalLoop] = find_natural_loops(cfg)
+        by_header = {loop.header: loop for loop in self.loops}
+        self.parent: Dict[int, Optional[int]] = {}
+        self.depth: Dict[int, int] = {}
+        # Smallest strictly-containing loop is the parent.
+        for loop in self.loops:
+            candidates = [other for other in self.loops
+                          if other.header != loop.header
+                          and loop.blocks <= other.blocks
+                          and loop.blocks != other.blocks]
+            if candidates:
+                parent = min(candidates, key=lambda o: len(o.blocks))
+                self.parent[loop.header] = parent.header
+            else:
+                self.parent[loop.header] = None
+        for loop in self.loops:
+            depth = 1
+            node = self.parent[loop.header]
+            while node is not None:
+                depth += 1
+                node = self.parent[node]
+            self.depth[loop.header] = depth
+        self._by_header = by_header
+        # Innermost loop per block: the smallest body containing it.
+        self._innermost: Dict[int, Optional[int]] = {}
+        for leader in cfg.successors:
+            containing = [loop for loop in self.loops
+                          if leader in loop.blocks]
+            if containing:
+                self._innermost[leader] = min(
+                    containing, key=lambda lo: len(lo.blocks)).header
+            else:
+                self._innermost[leader] = None
+        covered = set()
+        for loop in self.loops:
+            covered |= loop.blocks
+        reachable = cfg.reachable()
+        cyclic = set()
+        for component in cfg.strongly_connected_components():
+            members = component & reachable
+            if len(members) > 1:
+                cyclic |= members
+            elif members:
+                (leader,) = members
+                if leader in cfg.successors.get(leader, ()):
+                    cyclic.add(leader)
+        self.irreducible_blocks: FrozenSet[int] = frozenset(cyclic - covered)
+        # Map any PC to its containing block leader.
+        self._block_starts = sorted(b.start_pc for b in cfg.blocks)
+        self._block_end = {b.start_pc: b.end_pc for b in cfg.blocks}
+
+    def loop(self, header: int) -> NaturalLoop:
+        """The natural loop with the given header."""
+        return self._by_header[header]
+
+    @property
+    def max_depth(self) -> int:
+        """Deepest nesting level (0 when the program has no loops)."""
+        return max(self.depth.values(), default=0)
+
+    def block_of_pc(self, pc: int) -> Optional[int]:
+        """Leader of the basic block containing ``pc`` (None if outside)."""
+        index = bisect_right(self._block_starts, pc) - 1
+        if index < 0:
+            return None
+        leader = self._block_starts[index]
+        if pc <= self._block_end[leader] \
+                and (pc - leader) % INSTRUCTION_BYTES == 0:
+            return leader
+        return None
+
+    def innermost_loop_of_pc(self, pc: int) -> Optional[int]:
+        """Header of the innermost loop whose body contains ``pc``."""
+        leader = self.block_of_pc(pc)
+        if leader is None:
+            return None
+        return self._innermost.get(leader)
+
+    def cyclic_scc_of_block(self) -> Dict[int, int]:
+        """Map block leaders inside a *cyclic* SCC to that SCC's id.
+
+        Blocks in trivial (acyclic singleton) components are omitted:
+        control can never revisit them, so traces starting there cannot
+        alternate with anything.
+        """
+        mapping: Dict[int, int] = {}
+        for index, component in enumerate(
+                self.cfg.strongly_connected_components()):
+            if len(component) == 1:
+                (leader,) = component
+                if leader not in self.cfg.successors.get(leader, ()):
+                    continue
+            for leader in component:
+                mapping[leader] = index
+        return mapping
+
+
+@dataclass(frozen=True)
+class TraceReuse:
+    """Static reuse prediction for one trace."""
+
+    trace: StaticTrace
+    loop_header: Optional[int]   # innermost loop of the start block
+    loop_depth: int              # 0 for straight-line traces
+    predicted_repeat_distance: Optional[int]  # traces per loop iteration
+    cold_window: int             # instructions at risk in the 1st instance
+
+    @property
+    def repeats(self) -> bool:
+        """Whether the trace is predicted to recur (loop-resident)."""
+        return self.loop_header is not None
+
+
+@dataclass(frozen=True)
+class ConfigExposure:
+    """Thrash exposure of the inventory under one cache geometry.
+
+    ``thrash_exposed`` lists start PCs of traces that share a cache set
+    with more same-SCC competitors than the set has ways: LRU can then
+    evict their lines unchecked every revolution, so no static
+    instruction count bounds their detection loss.
+    ``detection_loss_bound`` is the cold-window sum when nothing is
+    exposed, ``None`` (unbounded) otherwise.
+    """
+
+    config: ItrCacheConfig
+    thrash_exposed: Tuple[int, ...]
+    detection_loss_bound: Optional[int]
+    predicted_cold_misses: int
+
+    @property
+    def bounded(self) -> bool:
+        return self.detection_loss_bound is not None
+
+
+@dataclass(frozen=True)
+class ReusePrediction:
+    """Loop-aware reuse prediction for a whole trace inventory."""
+
+    traces: Tuple[TraceReuse, ...]
+    exposures: Tuple[ConfigExposure, ...]
+
+    @property
+    def cold_window_instructions(self) -> int:
+        """Total first-instance vulnerability window (instructions)."""
+        return sum(r.cold_window for r in self.traces)
+
+    @property
+    def repeating_traces(self) -> int:
+        return sum(1 for r in self.traces if r.repeats)
+
+    @property
+    def single_shot_traces(self) -> int:
+        return sum(1 for r in self.traces if not r.repeats)
+
+    def exposure_for(self, config: ItrCacheConfig) -> ConfigExposure:
+        """The exposure record for one audited geometry."""
+        for exposure in self.exposures:
+            if exposure.config == config:
+                return exposure
+        raise KeyError(f"config {config} was not audited")
+
+
+def predict_reuse(cfg: ControlFlowGraph,
+                  traces: Sequence[StaticTrace],
+                  cache_configs: Sequence[ItrCacheConfig],
+                  nest: Optional[LoopNest] = None) -> ReusePrediction:
+    """Predict trace reuse, cold windows and per-config thrash exposure.
+
+    The repeat-distance prediction for a loop-resident trace is the
+    number of inventory traces whose start block lies in the same
+    innermost loop body — the static stand-in for "traces executed per
+    iteration", which is what separates the short-repeat-distance mass
+    of paper Figures 3/4 from the cold tail.
+    """
+    if nest is None:
+        nest = LoopNest(cfg)
+    per_loop: Dict[int, int] = {}
+    headers: List[Optional[int]] = []
+    for trace in traces:
+        header = nest.innermost_loop_of_pc(trace.start_pc)
+        headers.append(header)
+        if header is not None:
+            per_loop[header] = per_loop.get(header, 0) + 1
+    reuses: List[TraceReuse] = []
+    for trace, header in zip(traces, headers):
+        depth = nest.depth.get(header, 0) if header is not None else 0
+        distance = per_loop[header] if header is not None else None
+        reuses.append(TraceReuse(
+            trace=trace,
+            loop_header=header,
+            loop_depth=depth,
+            predicted_repeat_distance=distance,
+            cold_window=trace.length,
+        ))
+    scc_of = nest.cyclic_scc_of_block()
+    exposures: List[ConfigExposure] = []
+    cold_total = sum(r.cold_window for r in reuses)
+    for config in cache_configs:
+        by_set: Dict[int, List[StaticTrace]] = {}
+        for trace in traces:
+            index = (trace.start_pc // INSTRUCTION_BYTES) % config.num_sets
+            by_set.setdefault(index, []).append(trace)
+        exposed: List[int] = []
+        for members in by_set.values():
+            if len(members) <= config.ways:
+                continue
+            by_scc: Dict[Optional[int], List[StaticTrace]] = {}
+            for trace in members:
+                leader = nest.block_of_pc(trace.start_pc)
+                scc = scc_of.get(leader) if leader is not None else None
+                by_scc.setdefault(scc, []).append(trace)
+            for scc, group in by_scc.items():
+                if scc is not None and len(group) > config.ways:
+                    exposed.extend(t.start_pc for t in group)
+        exposed_tuple = tuple(sorted(set(exposed)))
+        exposures.append(ConfigExposure(
+            config=config,
+            thrash_exposed=exposed_tuple,
+            detection_loss_bound=None if exposed_tuple else cold_total,
+            predicted_cold_misses=len(traces),
+        ))
+    return ReusePrediction(traces=tuple(reuses),
+                           exposures=tuple(exposures))

@@ -15,7 +15,13 @@ from ..isa.program import Program
 from ..itr.itr_cache import ItrCacheConfig
 from ..itr.signature import MAX_TRACE_LENGTH
 from .cfg import ControlFlowGraph
-from .diagnostics import Diagnostic, Severity, worst_severity
+from .diagnostics import (
+    ANALYZER_VERSION,
+    CATALOG_SCHEMA_VERSION,
+    Diagnostic,
+    Severity,
+    worst_severity,
+)
 from .lints import run_lints
 from .static_traces import (
     CachePressure,
@@ -106,6 +112,10 @@ class AnalysisReport:
         """The documented machine-readable report."""
         return {
             "program": self.program_name,
+            "analyzer": {
+                "version": ANALYZER_VERSION,
+                "schema_version": CATALOG_SCHEMA_VERSION,
+            },
             "entry": self.entry,
             "text": {
                 "base": self.text_base,

@@ -1,0 +1,398 @@
+"""Cross-validation of the static protection certificate (PR 2 tentpole).
+
+The certifier (:mod:`repro.analysis.coverage_cert`) makes three kinds of
+statically-derived promises per kernel; this experiment checks each one
+against an independent *dynamic* oracle on the real machine:
+
+1. **Inventory** — every trace the functional simulator actually emits
+   (start PC, length, 64-bit signature) must appear verbatim in the
+   static inventory, and the dynamically observed cold window (first
+   instance of each distinct trace) must be bounded by the static one.
+
+2. **Maskability** — for a seeded-random sample of single-bit faults
+   (trace, position, bit), the certificate's detectable/masked verdict
+   must agree with ground truth replayed through the pipeline's own
+   :class:`repro.itr.signature.SignatureGenerator`: the tampered vector
+   stream is folded exactly as the hardware would fold it, and the
+   resulting faulty signature is compared against the stored one.
+
+3. **Coverage bound** — for the direct-mapped and 4-way ITR cache
+   geometries (at both paper corner sizes), the measured detection-loss
+   instructions from :mod:`repro.itr.coverage` must not exceed the
+   certificate's static bound whenever the certifier claims the bound
+   holds (no thrash exposure).
+
+A small fault-injection campaign (:mod:`repro.faults.campaign`) is run
+as a fourth, end-to-end consistency check: no trial that ITR detected in
+the *accessing* instance may sit at a (PC, bit) site the certificate
+proved masked.
+
+Per-kernel protection certificates are part of the result object, so
+``repro.experiments.export`` archives them with everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.coverage_cert import (
+    DETECTABLE,
+    MASKED,
+    ProtectionCertificate,
+    certify_program,
+)
+from ..faults.campaign import CampaignConfig, FaultCampaign
+from ..isa.decode_signals import decode
+from ..isa.instruction import INSTRUCTION_BYTES
+from ..isa.program import Program
+from ..itr.coverage import measure_coverage
+from ..itr.itr_cache import ItrCacheConfig
+from ..itr.signature import MAX_TRACE_LENGTH, SignatureGenerator
+from ..utils.rng import make_rng
+from ..utils.tables import render_table
+from ..workloads.kernel_traces import (
+    kernel_trace_events,
+    kernel_trace_signatures,
+)
+from ..workloads.kernels import Kernel, all_kernels
+from . import export
+
+#: Geometries whose detection-loss bound the experiment checks — the
+#: acceptance criteria's direct-mapped and 4-way configs, both corner
+#: sizes of the paper sweep.
+VALIDATED_CONFIGS: Tuple[ItrCacheConfig, ...] = (
+    ItrCacheConfig(entries=256, assoc=1),
+    ItrCacheConfig(entries=256, assoc=4),
+    ItrCacheConfig(entries=1024, assoc=1),
+    ItrCacheConfig(entries=1024, assoc=4),
+)
+
+
+def replay_faulty_signature(program: Program, start_pc: int,
+                            position: int, bit: int,
+                            max_length: int = MAX_TRACE_LENGTH
+                            ) -> Optional[int]:
+    """Ground-truth faulty signature via the hardware's own generator.
+
+    Folds the in-order fetch stream from ``start_pc`` through
+    :class:`SignatureGenerator`, flipping ``bit`` of the vector at trace
+    offset ``position``, and returns the signature of the first trace
+    the generator completes — exactly what the ITR check would compare
+    for the faulty instance. Returns ``None`` when the walk leaves the
+    text segment before the trace completes (no comparison ever
+    happens; the static analysis calls this *unresolved*).
+    """
+    generator = SignatureGenerator(max_length=max_length)
+    pc = start_pc
+    offset = 0
+    while program.contains_pc(pc):
+        signals = decode(program.instruction_at(pc))
+        if offset == position:
+            signals = signals.with_bit_flipped(bit)
+        completed = generator.add(pc, signals)
+        if completed is not None:
+            return completed.signature
+        pc += INSTRUCTION_BYTES
+        offset += 1
+    return None
+
+
+@dataclass(frozen=True)
+class ConfigValidation:
+    """Static detection-loss bound vs. dynamic measurement, one config."""
+
+    label: str
+    entries: int
+    ways: int
+    static_bound: Optional[int]      # None = certifier declined to bound
+    measured_detection_loss: int
+    measured_recovery_loss: int
+    holds: bool
+
+
+@dataclass(frozen=True)
+class MaskabilityValidation:
+    """Sampled static-verdict vs. replayed ground-truth agreement."""
+
+    sampled: int
+    agreed: int
+    skipped_unresolved: int
+    disagreements: Tuple[Dict[str, Any], ...] = ()
+
+    @property
+    def holds(self) -> bool:
+        return self.agreed == self.sampled
+
+
+@dataclass(frozen=True)
+class KernelCrossValidation:
+    """All cross-validation evidence for one kernel."""
+
+    kernel: str
+    certified: bool
+    static_traces: int
+    dynamic_traces_observed: int
+    inventory_consistent: bool
+    observed_cold_window: int
+    static_cold_window: int
+    cold_window_bounds_observed: bool
+    maskability: MaskabilityValidation
+    configs: Tuple[ConfigValidation, ...]
+    campaign_trials: int
+    campaign_detected_itr: int
+    campaign_consistent: bool
+    certificate: Dict[str, Any] = field(repr=False, default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return (self.inventory_consistent
+                and self.cold_window_bounds_observed
+                and self.maskability.holds
+                and all(c.holds for c in self.configs)
+                and self.campaign_consistent)
+
+
+@dataclass
+class CoverageCertifierResult:
+    """Suite-wide cross-validation outcome."""
+
+    kernels: List[KernelCrossValidation] = field(default_factory=list)
+
+    @property
+    def all_passed(self) -> bool:
+        return bool(self.kernels) and all(k.passed for k in self.kernels)
+
+    def by_name(self, name: str) -> KernelCrossValidation:
+        """Look up one kernel's record; raises KeyError when absent."""
+        for record in self.kernels:
+            if record.kernel == name:
+                return record
+        raise KeyError(f"kernel {name!r} was not cross-validated")
+
+
+def _validate_maskability(program: Program,
+                          cert: ProtectionCertificate,
+                          samples: int,
+                          seed: int) -> MaskabilityValidation:
+    """Check sampled static verdicts against generator-replay truth."""
+    rng = make_rng(seed, "coverage-cert", program.name)
+    records = cert.maskability.traces
+    if not records:
+        return MaskabilityValidation(sampled=0, agreed=0,
+                                     skipped_unresolved=0)
+    agreed = 0
+    checked = 0
+    skipped = 0
+    disagreements: List[Dict[str, Any]] = []
+    # Exceptional verdicts are rare; sample them exhaustively and fill
+    # the rest of the budget with random (mostly plain-detectable) sites.
+    sites: List[Tuple[int, int, int]] = []   # (trace idx, position, bit)
+    for index, record in enumerate(records):
+        for verdict in record.exceptional:
+            sites.append((index, verdict.position, verdict.bit))
+    while len(sites) < samples:
+        index = rng.randrange(len(records))
+        record = records[index]
+        sites.append((index, rng.randrange(record.trace.length),
+                      rng.randrange(64)))
+    for index, position, bit in sites:
+        record = records[index]
+        trace = record.trace
+        exceptional = {(v.position, v.bit): v for v in record.exceptional}
+        verdict = exceptional.get((position, bit))
+        static_kind = verdict.verdict if verdict is not None else DETECTABLE
+        faulty = replay_faulty_signature(program, trace.start_pc,
+                                         position, bit)
+        if faulty is None:
+            # No comparison ever happens dynamically; the static side
+            # must not have promised a detectable/masked outcome...
+            # except for the trace ending at the very end of the text,
+            # where the static walk is equally unresolved.
+            if static_kind in (DETECTABLE, MASKED) \
+                    and verdict is not None:
+                disagreements.append({
+                    "start_pc": trace.start_pc, "position": position,
+                    "bit": bit, "static": static_kind,
+                    "dynamic": "unresolved"})
+            else:
+                skipped += 1
+            continue
+        checked += 1
+        dynamic_kind = MASKED if faulty == trace.signature else DETECTABLE
+        if static_kind == dynamic_kind:
+            agreed += 1
+        else:
+            disagreements.append({
+                "start_pc": trace.start_pc, "position": position,
+                "bit": bit, "static": static_kind,
+                "dynamic": dynamic_kind})
+    return MaskabilityValidation(
+        sampled=checked,
+        agreed=agreed,
+        skipped_unresolved=skipped,
+        disagreements=tuple(disagreements[:10]),
+    )
+
+
+def _masked_sites(cert: ProtectionCertificate) -> set:
+    """(pc, bit) sites of statically proven-masked single flips."""
+    sites = set()
+    for start_pc, verdict in cert.maskability.masked_faults:
+        sites.add((start_pc + verdict.position * INSTRUCTION_BYTES,
+                   verdict.bit))
+    return sites
+
+
+def cross_validate_kernel(kernel: Kernel,
+                          samples: int = 48,
+                          campaign_trials: int = 6,
+                          seed: int = 2007) -> KernelCrossValidation:
+    """Run every check of the module docstring for one kernel."""
+    program = kernel.program()
+    cert = certify_program(program, waivers=tuple(kernel.waivers),
+                           audit_configs=VALIDATED_CONFIGS)
+    static_by_pc = {t.start_pc: t for t in cert.report.traces}
+
+    # 1. Inventory + observed cold window.
+    observed = kernel_trace_signatures(kernel)
+    inventory_ok = True
+    first_seen: Dict[int, int] = {}
+    for signature in observed:
+        static = static_by_pc.get(signature.start_pc)
+        if static is None or static.signature != signature.signature \
+                or static.length != signature.length:
+            inventory_ok = False
+        first_seen.setdefault(signature.start_pc, signature.length)
+    observed_cold = sum(first_seen.values())
+    static_cold = cert.reuse.cold_window_instructions
+    cold_ok = observed_cold <= static_cold
+
+    # 2. Maskability verdict replay.
+    maskability = _validate_maskability(program, cert, samples, seed)
+
+    # 3. Detection-loss bound per validated geometry.
+    events = kernel_trace_events(kernel)
+    configs: List[ConfigValidation] = []
+    for config in VALIDATED_CONFIGS:
+        exposure = cert.reuse.exposure_for(config)
+        measured = measure_coverage(events, config)
+        bound = exposure.detection_loss_bound
+        holds = (bound is None
+                 or measured.detection_loss_instructions <= bound)
+        configs.append(ConfigValidation(
+            label=f"{config.label()}-{config.entries}",
+            entries=config.entries,
+            ways=config.ways,
+            static_bound=bound,
+            measured_detection_loss=measured.detection_loss_instructions,
+            measured_recovery_loss=measured.recovery_loss_instructions,
+            holds=holds,
+        ))
+
+    # 4. Campaign consistency: accessing-instance ITR detections must
+    #    not sit at statically proven-masked fault sites.
+    masked_sites = _masked_sites(cert)
+    campaign = FaultCampaign(kernel, CampaignConfig(
+        trials=campaign_trials, seed=seed))
+    result = campaign.run()
+    campaign_ok = True
+    detected = 0
+    for trial in result.trials:
+        if not trial.detected_itr:
+            continue
+        detected += 1
+        if trial.itr_recoverable and trial.fault_pc is not None \
+                and (trial.fault_pc, trial.bit) in masked_sites:
+            campaign_ok = False
+
+    return KernelCrossValidation(
+        kernel=kernel.name,
+        certified=cert.certified,
+        static_traces=len(cert.report.traces),
+        dynamic_traces_observed=len(first_seen),
+        inventory_consistent=inventory_ok,
+        observed_cold_window=observed_cold,
+        static_cold_window=static_cold,
+        cold_window_bounds_observed=cold_ok,
+        maskability=maskability,
+        configs=tuple(configs),
+        campaign_trials=len(result.trials),
+        campaign_detected_itr=detected,
+        campaign_consistent=campaign_ok,
+        certificate=cert.to_json(),
+    )
+
+
+def run_coverage_certifier(kernels: Optional[Sequence[Kernel]] = None,
+                           samples: int = 48,
+                           campaign_trials: int = 6,
+                           seed: int = 2007) -> CoverageCertifierResult:
+    """Cross-validate the certifier over the kernel suite."""
+    kernels = list(kernels) if kernels is not None else all_kernels()
+    result = CoverageCertifierResult()
+    for kernel in kernels:
+        result.kernels.append(cross_validate_kernel(
+            kernel, samples=samples,
+            campaign_trials=campaign_trials, seed=seed))
+    return result
+
+
+def export_certificates(result: CoverageCertifierResult,
+                        directory) -> List[str]:
+    """Write each kernel's protection certificate as JSON files."""
+    paths = []
+    for record in result.kernels:
+        path = export.save_json(
+            record.certificate,
+            f"{directory}/certificate-{record.kernel}.json")
+        paths.append(str(path))
+    return paths
+
+
+def render_coverage_certifier(result: CoverageCertifierResult) -> str:
+    """Cross-validation summary table."""
+    headers = ["kernel", "certified", "traces s/d", "cold s/d",
+               "mask ok", "dl dm-256", "dl 4w-256", "campaign", "pass"]
+    rows: List[List] = []
+    for record in result.kernels:
+        by_label = {c.label: c for c in record.configs}
+
+        def _dl(label: str) -> str:
+            config = by_label[label]
+            bound = ("inf" if config.static_bound is None
+                     else str(config.static_bound))
+            return (f"{config.measured_detection_loss}<={bound}"
+                    + ("" if config.holds else " !"))
+
+        mask = record.maskability
+        rows.append([
+            record.kernel,
+            "yes" if record.certified else "no",
+            f"{record.static_traces}/{record.dynamic_traces_observed}",
+            f"{record.static_cold_window}/{record.observed_cold_window}",
+            f"{mask.agreed}/{mask.sampled}",
+            _dl("dm-256"),
+            _dl("4-way-256"),
+            f"{record.campaign_detected_itr}/{record.campaign_trials}",
+            "ok" if record.passed else "FAIL",
+        ])
+    verdict = ("all kernels cross-validate: static certificates are "
+               "consistent with dynamic ground truth"
+               if result.all_passed else
+               "CROSS-VALIDATION FAILURES — static certificate "
+               "contradicted by dynamic measurement")
+    notes = (
+        "\ntraces s/d: static inventory size / distinct dynamic traces;"
+        " cold s/d: static vs observed first-instance window"
+        " (static must upper-bound observed)"
+        "\nmask ok: sampled maskability verdicts agreeing with"
+        " SignatureGenerator replay; dl: measured detection-loss"
+        " instructions vs static bound"
+        "\ncampaign: trials detected by ITR / total"
+        f"\n{verdict}"
+    )
+    return render_table(
+        headers, rows,
+        title="Coverage certifier: static certificate vs dynamic oracle",
+    ) + notes

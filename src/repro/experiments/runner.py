@@ -153,6 +153,18 @@ def _run_spectrum(args) -> str:
     return protection_compare.render_protection_spectrum(result)
 
 
+def _run_coverage_certifier(args) -> str:
+    from . import coverage_certifier
+    result = coverage_certifier.run_coverage_certifier(
+        campaign_trials=max(4, args.trials // 10), seed=args.seed)
+    report = coverage_certifier.render_coverage_certifier(result)
+    out = getattr(args, "out", None)
+    if out:
+        paths = coverage_certifier.export_certificates(result, out)
+        report += "\n\ncertificates written:\n" + "\n".join(paths)
+    return report
+
+
 def _run_scorecard(args) -> str:
     from . import scorecard
     card = scorecard.build_scorecard(
@@ -180,6 +192,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "abl-pc-faults": _run_pc_faults,
     "kernel-char": _run_kernel_char,
     "static-analysis": _run_static_analysis,
+    "coverage-certifier": _run_coverage_certifier,
     "abl-trace-length": _run_trace_length,
     "abl-cache-faults": _run_cache_faults,
     "spectrum": _run_spectrum,

@@ -191,6 +191,7 @@ class FaultCampaign:
             instructions_committed=run.instructions,
             divergence_pc=comparator.divergence_pc,
             recovery_verified=recovery_verified,
+            fault_pc=injector.fault_pc,
         )
 
     def _verify_recovery(self, spec: FaultSpec) -> bool:

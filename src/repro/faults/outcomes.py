@@ -137,3 +137,5 @@ class TrialResult:
     instructions_committed: int
     divergence_pc: Optional[int] = None
     recovery_verified: Optional[bool] = None
+    fault_pc: Optional[int] = None  # PC of the tampered instruction
+                                    # (None when the fault never fired)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ...analysis.diagnostics import Waiver
 from ...errors import WorkloadError
 from ...isa.assembler import assemble
 from ...isa.program import Program
@@ -27,6 +28,11 @@ class Kernel:
     source: str
     inputs: Sequence[int] = ()
     expected_output: Optional[str] = None
+    #: Structured acceptances of known analyzer findings (e.g. XOR
+    #: signature aliasing that is a property of the paper's scheme, not
+    #: a kernel bug). Surfaced in protection certificates; the certifier
+    #: treats waived diagnostics as non-fatal.
+    waivers: Sequence[Waiver] = ()
 
     def program(self) -> Program:
         """Assemble (fresh each call; Program carries no run state)."""

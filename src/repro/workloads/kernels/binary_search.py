@@ -4,6 +4,7 @@ Log-depth loops with data-dependent direction branches — hard for gshare,
 light on memory bandwidth.
 """
 
+from ...analysis.diagnostics import Waiver
 from .base import Kernel, register
 
 SIZE = 64
@@ -110,4 +111,14 @@ KERNEL = register(Kernel(
     description=f"{PROBES} binary searches over a {SIZE}-element array",
     source=SOURCE,
     expected_output=f"found={_expected()}",
+    waivers=(
+        Waiver(
+            code="ITR004",
+            reason="the go-left/go-right halves of the probe loop are "
+                   "near-mirror code whose signatures differ in a "
+                   "single rdst bit; inherent to the 64-bit XOR "
+                   "signature over symmetric branches",
+            pcs=(0x00400060, 0x00400070),
+        ),
+    ),
 ))

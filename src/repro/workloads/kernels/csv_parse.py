@@ -4,6 +4,7 @@ Byte-at-a-time parsing with a small state machine — the branchy,
 irregular control flow of real text-processing code (parser/perl-like).
 """
 
+from ...analysis.diagnostics import Waiver
 from .base import Kernel, register
 
 TEXT = "12,345,6,78,910,,23,4,x,56,789,0,1,,22,333,9,y,44,5"
@@ -106,4 +107,14 @@ KERNEL = register(Kernel(
     description="CSV field scanner with numeric-field summation",
     source=SOURCE,
     expected_output=f"fields={_FIELDS} sum={_SUM}",
+    waivers=(
+        Waiver(
+            code="ITR004",
+            reason="the delimiter-classification traces of the scanner "
+                   "differ only in their compared character immediates, "
+                   "leaving signatures one imm bit apart; inherent to "
+                   "the 64-bit XOR signature over near-identical code",
+            pcs=(0x00400138, 0x00400170),
+        ),
+    ),
 ))

@@ -6,6 +6,7 @@ the paper's perl/vortex behaviour: many static traces, weaker repetition
 proximity.
 """
 
+from ...analysis.diagnostics import Waiver
 from .base import Kernel, register
 
 OPS = 200
@@ -68,10 +69,6 @@ interp:
     beqz $t6, op_add
     li   $t7, 1
     beq  $t6, $t7, op_xor
-    # analyzer waiver (ITR001): the (li 2, beq) and (li 5, beq) trace
-    # pairs below XOR-alias — 2^11 == 5^12 across the li/beq immediate
-    # fields — a genuine limit of the paper's 64-bit XOR signature, kept
-    # (not restructured away) as the suite's measured collision rate.
     li   $t7, 2
     beq  $t6, $t7, op_shl
     li   $t7, 3
@@ -118,10 +115,37 @@ next:
     syscall
 """
 
+# The (li k, beq) comparison traces of the dispatch chain differ only in
+# their immediate fields, so their XOR signatures sit 0-1 bits apart:
+# 2^11 == 5^12 makes the (li 2, beq) / (li 5, beq) pair collide exactly
+# (ITR001), and the neighbouring pairs land at Hamming distance 1
+# (ITR004). This is a genuine limit of the paper's 64-bit XOR signature,
+# kept (not restructured away) as the suite's measured collision rate.
+_ALIASING_TRACES = (0x004000A0, 0x004000B0, 0x004000C0, 0x004000E0)
+
 KERNEL = register(Kernel(
     name="dispatch",
     category="int",
     description="Interpreter-style dispatch over 200 bytecodes, 7 handlers",
     source=SOURCE,
     expected_output=f"acc={_expected()}",
+    waivers=(
+        Waiver(
+            code="ITR001",
+            reason="the (li 2, beq) and (li 5, beq) comparison traces "
+                   "XOR-alias (2^11 == 5^12 across the li/beq immediate "
+                   "fields); inherent to the paper's 64-bit XOR "
+                   "signature, retained as the suite's measured "
+                   "collision rate",
+            pcs=(0x004000B0, 0x004000E0),
+        ),
+        Waiver(
+            code="ITR004",
+            reason="dispatch-chain comparison traces differ only in "
+                   "their immediate fields, leaving same-set signature "
+                   "pairs at Hamming distance 0-1; inherent to the "
+                   "XOR signature over near-identical code",
+            pcs=_ALIASING_TRACES,
+        ),
+    ),
 ))

@@ -1,0 +1,234 @@
+"""Tests for per-bit maskability analysis and the protection certificate."""
+
+import json
+
+import pytest
+
+from repro.analysis import coverage_cert
+from repro.analysis.coverage_cert import (
+    BOUNDARY_BITS,
+    DETECTABLE,
+    EXTENSION,
+    MASKED,
+    TRUNCATION,
+    UNRESOLVED,
+    analyze_trace_maskability,
+    certify_program,
+)
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    Waiver,
+    partition_waived,
+)
+from repro.analysis.static_traces import END_BRANCH, StaticTrace
+from repro.isa.decode_signals import DecodeSignals
+from repro.workloads.kernels import all_kernels, get_kernel
+
+BIT11 = 1 << 11  # is_branch: flipping it moves a trace boundary
+
+BASE = 0x00400000
+
+
+class FakeProgram:
+    """Text segment of raw 64-bit signal words (for synthetic vectors)."""
+
+    name = "fake"
+
+    def __init__(self, words):
+        self.words = list(words)
+
+    def contains_pc(self, pc):
+        index = (pc - BASE) // 8
+        return (pc - BASE) % 8 == 0 and 0 <= index < len(self.words)
+
+    def instruction_at(self, pc):
+        return ("signal-word", self.words[(pc - BASE) // 8])
+
+
+def fake_decode(token):
+    return DecodeSignals.unpack(token[1])
+
+
+def make_trace(words, length):
+    signature = 0
+    for word in words[:length]:
+        signature ^= word
+    return StaticTrace(start_pc=BASE, length=length, signature=signature,
+                       end_pc=BASE + 8 * (length - 1),
+                       terminator=END_BRANCH, successors=())
+
+
+@pytest.fixture
+def synthetic(monkeypatch):
+    """Route coverage_cert's decode through raw signal words."""
+    monkeypatch.setattr(coverage_cert, "decode", fake_decode)
+
+    def analyze(words, length=None):
+        length = length if length is not None else len(words)
+        program = FakeProgram(words)
+        return analyze_trace_maskability(program, make_trace(words, length))
+
+    return analyze
+
+
+class TestBoundaryBits:
+    def test_exactly_the_three_trace_ending_flags(self):
+        assert BOUNDARY_BITS == (11, 12, 19)
+
+    def test_flipping_them_toggles_ends_trace(self):
+        quiet = DecodeSignals.unpack(0)
+        for bit in range(64):
+            toggles = quiet.with_bit_flipped(bit).ends_trace
+            assert toggles == (bit in BOUNDARY_BITS)
+
+
+class TestSyntheticVerdicts:
+    def test_masked_truncation(self, synthetic):
+        # Suffix after the flip XORs to exactly bit 11, so the truncated
+        # faulty signature equals the stored one.
+        record = synthetic([0, 0, BIT11])
+        masked = record.masked
+        assert {(v.position, v.bit) for v in masked} == {(0, 11), (1, 11)}
+        assert all(v.kind == TRUNCATION for v in masked)
+        assert all(v.verdict == MASKED for v in masked)
+        assert record.detectable + len(record.exceptional) \
+            >= record.total_faults - len(record.exceptional)
+
+    def test_detectable_truncation(self, synthetic):
+        # Terminator carries an extra opcode bit, so no truncated suffix
+        # XORs to exactly the flipped boundary bit.
+        record = synthetic([1, 2, BIT11 | 4])
+        truncations = [v for v in record.exceptional
+                       if v.kind == TRUNCATION]
+        assert truncations
+        assert all(v.verdict == DETECTABLE for v in truncations)
+        assert record.masked == ()
+
+    def test_masked_extension(self, synthetic):
+        # Flipping the terminator's branch bit off extends the trace
+        # over [0, BIT11], whose XOR restores the stored signature.
+        record = synthetic([BIT11, 0, BIT11], length=1)
+        (verdict,) = record.masked
+        assert (verdict.position, verdict.bit) == (0, 11)
+        assert verdict.kind == EXTENSION
+
+    def test_unresolved_extension_off_text(self, synthetic):
+        record = synthetic([BIT11], length=1)
+        (verdict,) = record.unresolved
+        assert verdict.kind == EXTENSION
+        assert verdict.verdict == UNRESOLVED
+        assert verdict.faulty_signature is None
+
+    def test_multi_flip_window_count(self, synthetic):
+        # 61 non-boundary bits are neutral at all 3 positions: C(3,2)
+        # pairs each. Boundary bits contribute no neutral pair here.
+        record = synthetic([0, 0, BIT11])
+        assert record.multi_flip_windows == 61 * 3
+
+    def test_plain_flips_are_always_detectable(self, synthetic):
+        record = synthetic([5, 9, BIT11])
+        exceptional_sites = {(v.position, v.bit)
+                             for v in record.exceptional}
+        for position in range(3):
+            for bit in range(64):
+                if bit not in BOUNDARY_BITS:
+                    assert (position, bit) not in exceptional_sites
+        assert record.total_faults == 3 * 64
+
+
+class TestKernelCertificates:
+    def test_no_kernel_has_masked_single_flips(self):
+        for kernel in all_kernels():
+            cert = certify_program(kernel.program(),
+                                   waivers=tuple(kernel.waivers))
+            assert cert.maskability.masked_faults == (), kernel.name
+
+    def test_every_kernel_certifies_with_its_waivers(self):
+        for kernel in all_kernels():
+            cert = certify_program(kernel.program(),
+                                   waivers=tuple(kernel.waivers))
+            assert cert.certified, kernel.name
+
+    def test_dispatch_not_certified_without_waivers(self):
+        cert = certify_program(get_kernel("dispatch").program())
+        assert not cert.certified
+        codes = {d.code for d in cert.diagnostics}
+        assert {"ITR001", "ITR004"} <= codes
+
+    def test_per_field_coverage_sums_to_total(self):
+        cert = certify_program(get_kernel("sum_loop").program())
+        mask = cert.maskability
+        assert sum(f.faults for f in mask.per_field) == mask.total_faults
+        assert sum(f.detectable for f in mask.per_field) == \
+            mask.certified_detectable
+        assert sum(f.bits for f in mask.per_field) == 64
+
+    def test_certificate_json_schema(self):
+        kernel = get_kernel("dispatch")
+        cert = certify_program(kernel.program(),
+                               waivers=tuple(kernel.waivers))
+        payload = cert.to_json()
+        assert set(payload) == {
+            "program", "analyzer", "certified", "report", "maskability",
+            "distance_audit", "loops", "reuse", "diagnostics",
+            "waived_diagnostics", "waivers"}
+        assert set(payload["maskability"]) == {
+            "single_flip_faults", "certified_detectable", "coverage_pct",
+            "masked", "unresolved", "multi_flip_masked_windows",
+            "per_field"}
+        assert set(payload["distance_audit"]) == {
+            "threshold", "global_min_distance", "configs", "weak_pairs"}
+        assert set(payload["reuse"]) == {
+            "cold_window_instructions", "repeating_traces",
+            "single_shot_traces", "traces", "configs"}
+        assert payload["waivers"]
+        assert payload["waived_diagnostics"]
+        json.dumps(payload)  # serializable as-is
+
+    def test_render_mentions_verdict(self):
+        kernel = get_kernel("dispatch")
+        cert = certify_program(kernel.program(),
+                               waivers=tuple(kernel.waivers))
+        text = cert.render()
+        assert "[CERTIFIED]" in text
+        assert "maskability" in text
+        assert "[waived]" in text
+
+    def test_cv001_reports_cold_window(self):
+        cert = certify_program(get_kernel("sum_loop").program())
+        (cv,) = [d for d in cert.diagnostics if d.code == "CV001"]
+        assert cv.severity is Severity.INFO
+        assert cv.data["instructions"] == \
+            cert.reuse.cold_window_instructions
+
+
+class TestWaivers:
+    def test_waiver_requires_known_code_and_reason(self):
+        with pytest.raises(ValueError):
+            Waiver(code="XX999", reason="nope")
+        with pytest.raises(ValueError):
+            Waiver(code="ITR001", reason="")
+
+    def test_pc_scoped_waiver_only_matches_its_pair(self):
+        waiver = Waiver(code="ITR004", reason="known aliasing",
+                        pcs=(0x10, 0x20))
+        inside = Diagnostic("ITR004", Severity.WARNING, "m", pc=0x10,
+                            data={"pc_a": 0x10, "pc_b": 0x20})
+        outside = Diagnostic("ITR004", Severity.WARNING, "m", pc=0x10,
+                             data={"pc_a": 0x10, "pc_b": 0x30})
+        assert waiver.matches(inside)
+        assert not waiver.matches(outside)
+
+    def test_unscoped_waiver_matches_any_instance_of_code(self):
+        waiver = Waiver(code="CV001", reason="informational")
+        diag = Diagnostic("CV001", Severity.INFO, "m")
+        assert waiver.matches(diag)
+
+    def test_partition_waived(self):
+        waiver = Waiver(code="CV001", reason="informational")
+        kept = Diagnostic("ITR002", Severity.INFO, "m")
+        gone = Diagnostic("CV001", Severity.INFO, "m")
+        active, waived = partition_waived([kept, gone], [waiver])
+        assert active == [kept]
+        assert waived == [gone]

@@ -1,0 +1,108 @@
+"""Tests for the signature-distance audit (ITR004)."""
+
+import pytest
+
+from repro.analysis.distance import (
+    DEFAULT_DISTANCE_THRESHOLD,
+    audit_signature_distances,
+    default_audit_configs,
+    hamming_distance,
+    lint_weak_distances,
+)
+from repro.analysis.static_traces import END_BRANCH, StaticTrace
+from repro.itr.itr_cache import ItrCacheConfig
+
+
+def trace(start_pc, signature, length=2):
+    return StaticTrace(start_pc=start_pc, length=length,
+                       signature=signature,
+                       end_pc=start_pc + 8 * (length - 1),
+                       terminator=END_BRANCH, successors=())
+
+
+class TestHamming:
+    def test_basics(self):
+        assert hamming_distance(0, 0) == 0
+        assert hamming_distance(0b1011, 0b0010) == 2
+        assert hamming_distance(0, (1 << 64) - 1) == 64
+
+
+class TestAudit:
+    def test_same_set_close_pair_is_flagged(self):
+        # dm, 4 sets: PCs 0x0 and 0x100 both map to set 0 under
+        # entries=4 (0x100 // 8 = 32 ≡ 0 mod 4).
+        config = ItrCacheConfig(entries=4, assoc=1)
+        traces = [trace(0x0, 0b1), trace(0x100, 0b11)]
+        audit = audit_signature_distances(traces, (config,))
+        assert audit.global_min_distance == 1
+        assert len(audit.weak_pairs) == 1
+        pair = audit.weak_pairs[0]
+        assert (pair.pc_a, pair.pc_b) == (0x0, 0x100)
+        assert pair.differing_bits == (1,)
+
+    def test_different_sets_are_not_compared(self):
+        config = ItrCacheConfig(entries=4, assoc=1)
+        traces = [trace(0x0, 0b1), trace(0x8, 0b11)]  # sets 0 and 1
+        audit = audit_signature_distances(traces, (config,))
+        assert audit.configs[0].audited_pairs == 0
+        assert audit.global_min_distance == 64
+        assert audit.weak_pairs == ()
+
+    def test_fully_associative_audits_every_pair(self):
+        fa = ItrCacheConfig(entries=4, assoc=0)
+        traces = [trace(0x0, 0b1), trace(0x8, 0b11), trace(0x10, 0xF0)]
+        audit = audit_signature_distances(traces, (fa,))
+        assert audit.configs[0].audited_pairs == 3
+
+    def test_exact_collision_has_distance_zero(self):
+        fa = ItrCacheConfig(entries=4, assoc=0)
+        audit = audit_signature_distances(
+            [trace(0x0, 0xAB), trace(0x8, 0xAB)], (fa,))
+        assert audit.global_min_distance == 0
+        assert audit.weak_pairs[0].distance == 0
+
+    def test_threshold_is_exclusive(self):
+        fa = ItrCacheConfig(entries=4, assoc=0)
+        traces = [trace(0x0, 0b11), trace(0x8, 0b00)]  # distance 2
+        audit = audit_signature_distances(traces, (fa,), threshold=2)
+        assert audit.weak_pairs == ()
+        audit = audit_signature_distances(traces, (fa,), threshold=3)
+        assert len(audit.weak_pairs) == 1
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            audit_signature_distances([], (), threshold=0)
+
+    def test_pair_deduplicated_across_configs(self):
+        configs = (ItrCacheConfig(entries=4, assoc=0),
+                   ItrCacheConfig(entries=8, assoc=0))
+        audit = audit_signature_distances(
+            [trace(0x0, 0b1), trace(0x100, 0b11)], configs)
+        assert len(audit.weak_pairs) == 1
+        assert len(audit.weak_pairs[0].configs) == 2
+
+    def test_default_configs_cover_fa_and_dm(self):
+        labels = {f"{c.label()}-{c.entries}"
+                  for c in default_audit_configs()}
+        assert "dm-256" in labels
+        assert "fa-1024" in labels
+
+
+class TestLint:
+    def test_itr004_payload(self):
+        fa = ItrCacheConfig(entries=4, assoc=0)
+        audit = audit_signature_distances(
+            [trace(0x0, 0b1), trace(0x100, 0b11)], (fa,),
+            threshold=DEFAULT_DISTANCE_THRESHOLD)
+        (diag,) = lint_weak_distances(audit)
+        assert diag.code == "ITR004"
+        assert diag.data["pc_a"] == 0x0
+        assert diag.data["pc_b"] == 0x100
+        assert diag.data["distance"] == 1
+        assert diag.data["bits"] == [1]
+
+    def test_clean_audit_emits_nothing(self):
+        fa = ItrCacheConfig(entries=4, assoc=0)
+        audit = audit_signature_distances(
+            [trace(0x0, 0x0F), trace(0x8, 0xF0)], (fa,))
+        assert lint_weak_distances(audit) == []

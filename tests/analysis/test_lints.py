@@ -52,7 +52,8 @@ class TestDiagnosticType:
 
     def test_catalog_codes_are_stable(self):
         assert set(CATALOG) == {"CF001", "CF002", "CF003", "CF004",
-                                "DF001", "ITR001", "ITR002"}
+                                "DF001", "ITR001", "ITR002", "ITR003",
+                                "ITR004", "CV001"}
 
 
 class TestControlFlowLints:
@@ -188,3 +189,14 @@ class TestKernelSuite:
                 assert codes == ["ITR001"]
             else:
                 assert codes == [], kernel.name
+
+    def test_dispatch_waiver_is_structured(self):
+        """The ITR001 acceptance is a Waiver record, not a comment."""
+        kernel = get_kernel("dispatch")
+        report = analyze_program(kernel.program())
+        (itr001,) = [d for d in report.diagnostics if d.code == "ITR001"]
+        assert any(w.code == "ITR001" and w.matches(itr001)
+                   for w in kernel.waivers)
+        for waiver in kernel.waivers:
+            assert waiver.reason
+            assert waiver.pcs

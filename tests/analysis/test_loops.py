@@ -1,0 +1,182 @@
+"""Tests for dominators, natural loops and loop-aware reuse prediction."""
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.loops import (
+    LoopNest,
+    dominates,
+    find_natural_loops,
+    immediate_dominators,
+    predict_reuse,
+)
+from repro.analysis.static_traces import enumerate_static_traces
+from repro.isa import assemble
+from repro.itr.itr_cache import ItrCacheConfig
+from repro.workloads.kernels import all_kernels, get_kernel
+
+NESTED_SOURCE = """
+.text
+main:
+    li   $t0, 0
+    li   $t2, 3
+outer:
+    li   $t1, 0
+inner:
+    addi $t1, $t1, 1
+    bne  $t1, $t2, inner
+    addi $t0, $t0, 1
+    bne  $t0, $t2, outer
+    li   $v0, 10
+    syscall
+"""
+
+STRAIGHT_SOURCE = """
+.text
+main:
+    li   $t0, 1
+    addi $t0, $t0, 2
+    li   $v0, 10
+    syscall
+"""
+
+DIAMOND_SOURCE = """
+.text
+main:
+    li   $t0, 1
+    beqz $t0, right
+left:
+    addi $t1, $t0, 1
+    b    join
+right:
+    addi $t1, $t0, 2
+join:
+    li   $v0, 10
+    syscall
+"""
+
+
+def cfg_of(source, name="test"):
+    return ControlFlowGraph(assemble(source, name=name))
+
+
+class TestDominators:
+    def test_entry_has_no_idom(self):
+        cfg = cfg_of(STRAIGHT_SOURCE)
+        idom = immediate_dominators(cfg)
+        assert idom[cfg.program.entry] is None
+
+    def test_diamond_join_dominated_by_fork(self):
+        cfg = cfg_of(DIAMOND_SOURCE)
+        idom = immediate_dominators(cfg)
+        leaders = sorted(idom)
+        entry = cfg.program.entry
+        join = leaders[-1]
+        # Neither branch arm dominates the join; the fork block does.
+        assert idom[join] == entry
+        assert dominates(idom, entry, join)
+        for arm in leaders[1:-1]:
+            assert not dominates(idom, arm, join)
+
+    def test_every_reachable_block_is_dominated_by_entry(self):
+        for name in ("sum_loop", "matmul", "dispatch"):
+            cfg = ControlFlowGraph(get_kernel(name).program())
+            idom = immediate_dominators(cfg)
+            entry = cfg.program.entry
+            for leader in idom:
+                assert dominates(idom, entry, leader)
+
+
+class TestNaturalLoops:
+    def test_straight_line_has_no_loops(self):
+        assert find_natural_loops(cfg_of(STRAIGHT_SOURCE)) == []
+
+    def test_nested_loops_and_depths(self):
+        nest = LoopNest(cfg_of(NESTED_SOURCE))
+        assert len(nest.loops) == 2
+        assert nest.max_depth == 2
+        depths = sorted(nest.depth.values())
+        assert depths == [1, 2]
+        inner = [h for h, d in nest.depth.items() if d == 2][0]
+        outer = [h for h, d in nest.depth.items() if d == 1][0]
+        assert nest.parent[inner] == outer
+        assert nest.parent[outer] is None
+        # The inner loop body is contained in the outer one.
+        assert nest.loop(inner).blocks < nest.loop(outer).blocks
+
+    def test_header_dominates_loop_body(self):
+        for name in ("matmul", "quicksort", "fp_stencil"):
+            cfg = ControlFlowGraph(get_kernel(name).program())
+            idom = immediate_dominators(cfg)
+            for loop in find_natural_loops(cfg):
+                for leader in loop.blocks:
+                    assert dominates(idom, loop.header, leader)
+
+    def test_matmul_triple_nest(self):
+        nest = LoopNest(ControlFlowGraph(get_kernel("matmul").program()))
+        assert nest.max_depth == 3
+
+    def test_kernels_have_no_irreducible_regions(self):
+        for kernel in all_kernels():
+            nest = LoopNest(ControlFlowGraph(kernel.program()))
+            assert not nest.irreducible_blocks, kernel.name
+
+    def test_innermost_loop_of_pc(self):
+        cfg = cfg_of(NESTED_SOURCE)
+        nest = LoopNest(cfg)
+        inner = [h for h, d in nest.depth.items() if d == 2][0]
+        assert nest.innermost_loop_of_pc(inner) == inner
+        assert nest.innermost_loop_of_pc(cfg.program.entry) is None
+        assert nest.block_of_pc(cfg.program.entry + 1) is None
+
+
+class TestReusePrediction:
+    def predict(self, source, configs=()):
+        program = assemble(source, name="reuse")
+        cfg = ControlFlowGraph(program)
+        traces = enumerate_static_traces(program, cfg=cfg)
+        return predict_reuse(cfg, traces, configs), traces
+
+    def test_cold_window_is_total_trace_length(self):
+        reuse, traces = self.predict(NESTED_SOURCE)
+        assert reuse.cold_window_instructions == \
+            sum(t.length for t in traces)
+
+    def test_loop_traces_repeat_straight_line_traces_do_not(self):
+        reuse, _ = self.predict(NESTED_SOURCE)
+        assert reuse.repeating_traces > 0
+        assert reuse.single_shot_traces > 0
+        for record in reuse.traces:
+            if record.repeats:
+                assert record.loop_depth >= 1
+                assert record.predicted_repeat_distance >= 1
+            else:
+                assert record.loop_depth == 0
+                assert record.predicted_repeat_distance is None
+
+    def test_straight_line_program_is_bounded_even_tiny_cache(self):
+        tiny = ItrCacheConfig(entries=1, assoc=1)
+        reuse, traces = self.predict(STRAIGHT_SOURCE, configs=(tiny,))
+        exposure = reuse.exposure_for(tiny)
+        assert exposure.bounded
+        assert exposure.detection_loss_bound == \
+            sum(t.length for t in traces)
+
+    def test_loop_thrash_is_exposed_on_oversubscribed_set(self):
+        # Both inner-loop traces land in the single set of a 1-entry
+        # cache and share a cyclic SCC: no static bound exists.
+        tiny = ItrCacheConfig(entries=1, assoc=1)
+        reuse, _ = self.predict(NESTED_SOURCE, configs=(tiny,))
+        exposure = reuse.exposure_for(tiny)
+        assert not exposure.bounded
+        assert exposure.detection_loss_bound is None
+        assert len(exposure.thrash_exposed) >= 2
+
+    def test_paper_geometries_are_bounded_for_all_kernels(self):
+        configs = (ItrCacheConfig(entries=256, assoc=1),
+                   ItrCacheConfig(entries=256, assoc=4))
+        for kernel in all_kernels():
+            program = kernel.program()
+            cfg = ControlFlowGraph(program)
+            traces = enumerate_static_traces(program, cfg=cfg)
+            reuse = predict_reuse(cfg, traces, configs)
+            for exposure in reuse.exposures:
+                assert exposure.bounded, kernel.name

@@ -49,8 +49,9 @@ class TestReport:
 
 
 # Keys required by docs/static_analysis.md — the stable JSON interface.
-TOP_KEYS = {"program", "entry", "text", "cfg", "traces", "cache",
-            "diagnostics", "status"}
+TOP_KEYS = {"program", "analyzer", "entry", "text", "cfg", "traces",
+            "cache", "diagnostics", "status"}
+ANALYZER_KEYS = {"version", "schema_version"}
 TEXT_KEYS = {"base", "end", "instructions"}
 CFG_KEYS = {"basic_blocks", "edges", "reachable_blocks"}
 TRACES_KEYS = {"count", "mean_length", "max_length", "collision_groups",
@@ -64,6 +65,7 @@ CACHE_KEYS = {"label", "entries", "ways", "sets", "working_set",
 
 def validate_schema(payload):
     assert set(payload) == TOP_KEYS
+    assert set(payload["analyzer"]) == ANALYZER_KEYS
     assert set(payload["text"]) == TEXT_KEYS
     assert set(payload["cfg"]) == CFG_KEYS
     assert set(payload["traces"]) == TRACES_KEYS
@@ -138,3 +140,39 @@ class TestCli:
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["traces"]["max_length"] <= 2
+
+
+class TestKernelCli:
+    """--kernel / --all-kernels: built-in workloads without .asm files."""
+
+    def test_kernel_json_validates(self, capsys):
+        code = main(["--kernel", "sum_loop", "--json"])
+        assert code == 0
+        validate_schema(json.loads(capsys.readouterr().out))
+
+    def test_kernel_text_report(self, capsys):
+        code = main(["--kernel", "sum_loop"])
+        assert code == 0
+        assert "static analysis: sum_loop" in capsys.readouterr().out
+
+    def test_requires_exactly_one_input(self, tmp_path, capsys):
+        assert main([]) == 2
+        assert main([str(tmp_path / "x.asm"),
+                     "--kernel", "sum_loop"]) == 2
+        capsys.readouterr()
+
+    def test_certify_kernel_applies_waivers(self, capsys):
+        code = main(["--kernel", "dispatch", "--certify"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "[CERTIFIED]" in out
+        assert "[waived]" in out
+
+    def test_all_kernels_certify_json(self, capsys):
+        code = main(["--all-kernels", "--certify", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) >= 16
+        for cert in payload:
+            assert cert["certified"] is True, cert["program"]
+            assert cert["analyzer"]["version"]

@@ -1,0 +1,125 @@
+"""Tests for the coverage-certifier cross-validation experiment."""
+
+import pytest
+
+from repro.experiments import export
+from repro.experiments.coverage_certifier import (
+    VALIDATED_CONFIGS,
+    cross_validate_kernel,
+    export_certificates,
+    render_coverage_certifier,
+    replay_faulty_signature,
+    run_coverage_certifier,
+)
+from repro.experiments.runner import EXPERIMENTS
+from repro.workloads.kernels import get_kernel
+
+
+@pytest.fixture(scope="module")
+def subset_result():
+    kernels = [get_kernel(name)
+               for name in ("sum_loop", "dispatch", "matmul")]
+    return run_coverage_certifier(kernels, samples=8, campaign_trials=2)
+
+
+class TestReplay:
+    def test_unflipped_replay_reproduces_static_signature(self):
+        from repro.analysis.static_traces import enumerate_static_traces
+        program = get_kernel("sum_loop").program()
+        for trace in enumerate_static_traces(program):
+            truth = replay_faulty_signature(program, trace.start_pc,
+                                            position=-1, bit=0)
+            assert truth == trace.signature
+
+    def test_plain_flip_perturbs_the_signature(self):
+        from repro.analysis.static_traces import enumerate_static_traces
+        program = get_kernel("sum_loop").program()
+        trace = enumerate_static_traces(program)[0]
+        truth = replay_faulty_signature(program, trace.start_pc,
+                                        position=0, bit=0)
+        assert truth is not None
+        assert truth != trace.signature
+
+    def test_off_text_replay_returns_none(self):
+        program = get_kernel("sum_loop").program()
+        assert replay_faulty_signature(program, 0xDEAD0000,
+                                       position=0, bit=0) is None
+
+
+class TestCrossValidation:
+    def test_subset_passes(self, subset_result):
+        assert subset_result.all_passed
+        assert [k.kernel for k in subset_result.kernels] == \
+            ["sum_loop", "dispatch", "matmul"]
+
+    def test_inventory_agreement_is_exact(self, subset_result):
+        for record in subset_result.kernels:
+            assert record.inventory_consistent, record.kernel
+            assert record.static_traces == record.dynamic_traces_observed
+
+    def test_cold_window_matches_static_prediction(self, subset_result):
+        for record in subset_result.kernels:
+            assert record.observed_cold_window <= \
+                record.static_cold_window, record.kernel
+            assert record.cold_window_bounds_observed
+
+    def test_maskability_samples_all_agree(self, subset_result):
+        for record in subset_result.kernels:
+            mask = record.maskability
+            assert mask.holds, record.kernel
+            assert mask.sampled >= 8
+            assert mask.disagreements == ()
+
+    def test_detection_loss_bounds_hold_on_paper_geometries(
+            self, subset_result):
+        labels = {f"{c.label()}-{c.entries}" for c in VALIDATED_CONFIGS}
+        for record in subset_result.kernels:
+            seen = {c.label for c in record.configs}
+            assert {"dm-256", "4-way-256"} <= seen <= labels
+            for config in record.configs:
+                assert config.holds, (record.kernel, config.label)
+                if config.static_bound is not None:
+                    assert config.measured_detection_loss <= \
+                        config.static_bound
+
+    def test_campaign_is_consistent_with_certificate(self, subset_result):
+        for record in subset_result.kernels:
+            assert record.campaign_consistent, record.kernel
+            assert record.campaign_trials > 0
+
+    def test_single_kernel_entry_point(self):
+        record = cross_validate_kernel(get_kernel("fib_rec"),
+                                       samples=6, campaign_trials=1)
+        assert record.passed
+        assert record.certificate["program"] == "fib_rec"
+
+    def test_unknown_kernel_lookup_raises(self, subset_result):
+        with pytest.raises(KeyError):
+            subset_result.by_name("nonesuch")
+
+
+class TestCertificates:
+    def test_certificate_embedded_per_kernel(self, subset_result):
+        for record in subset_result.kernels:
+            cert = record.certificate
+            assert cert["program"] == record.kernel
+            assert cert["certified"] is True
+            assert cert["analyzer"]["version"]
+
+    def test_export_round_trips(self, subset_result, tmp_path):
+        paths = export_certificates(subset_result, tmp_path)
+        assert len(paths) == len(subset_result.kernels)
+        for record, path in zip(subset_result.kernels, paths):
+            assert f"certificate-{record.kernel}.json" in path
+            assert export.load_json(path) == record.certificate
+
+
+class TestRenderAndRunner:
+    def test_render_table(self, subset_result):
+        text = render_coverage_certifier(subset_result)
+        assert "dl dm-256" in text
+        for record in subset_result.kernels:
+            assert record.kernel in text
+
+    def test_registered_in_runner(self):
+        assert "coverage-certifier" in EXPERIMENTS
