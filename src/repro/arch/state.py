@@ -10,7 +10,7 @@ compare.
 from __future__ import annotations
 
 import struct
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import MemoryFault
 from ..isa.program import DATA_BASE, STACK_TOP, Program
@@ -104,13 +104,20 @@ class RegisterFile:
         return hash(tuple(self._values))
 
 
+#: Pre-write hook: ``(address, size)`` of a store about to land. The
+#: architectural checkpoint unit uses it to capture copy-on-write page
+#: pre-images; ``None`` (the default) costs nothing on the store path.
+WriteObserver = Callable[[int, int], None]
+
+
 class Memory:
     """Sparse paged little-endian byte-addressable memory (32-bit space)."""
 
-    __slots__ = ("_pages",)
+    __slots__ = ("_pages", "_write_observer")
 
     def __init__(self) -> None:
         self._pages: Dict[int, bytearray] = {}
+        self._write_observer: Optional[WriteObserver] = None
 
     def _page(self, address: int, create: bool) -> Optional[bytearray]:
         number = address >> _PAGE_BITS
@@ -143,6 +150,8 @@ class Memory:
     def store_bytes(self, address: int, data: bytes) -> None:
         """Write raw ``data`` bytes starting at ``address``."""
         self._check(address, len(data))
+        if self._write_observer is not None:
+            self._write_observer(address, len(data))
         position = 0
         while position < len(data):
             offset = address & (_PAGE_SIZE - 1)
@@ -173,11 +182,35 @@ class Memory:
         return chars.decode("latin-1")
 
     def copy(self) -> "Memory":
-        """Independent deep copy of all touched pages."""
+        """Independent deep copy of all touched pages (observer not shared)."""
         clone = Memory()
         clone._pages = {num: bytearray(page)
                         for num, page in self._pages.items()}
         return clone
+
+    # --------------------------------------------------- checkpointing hooks
+    def set_write_observer(self, observer: Optional[WriteObserver]) -> None:
+        """Install (or clear) the pre-write hook used for COW journaling."""
+        self._write_observer = observer
+
+    @staticmethod
+    def pages_spanned(address: int, size: int) -> Iterator[int]:
+        """Page numbers a ``size``-byte write at ``address`` touches."""
+        first = address >> _PAGE_BITS
+        last = (address + max(size, 1) - 1) >> _PAGE_BITS
+        return iter(range(first, last + 1))
+
+    def snapshot_page(self, number: int) -> Optional[bytes]:
+        """Pre-image of one page; ``None`` when the page is still unbacked."""
+        page = self._pages.get(number)
+        return bytes(page) if page is not None else None
+
+    def restore_page(self, number: int, image: Optional[bytes]) -> None:
+        """Put one page back to a prior pre-image (bypasses the observer)."""
+        if image is None:
+            self._pages.pop(number, None)
+        else:
+            self._pages[number] = bytearray(image)
 
     def touched_pages(self) -> Iterator[int]:
         """Page numbers that have been written (for state comparison)."""

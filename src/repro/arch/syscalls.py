@@ -23,7 +23,7 @@ commits, and the machine must not fall over when that happens.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..utils.bitops import sign_extend
 from .state import ArchState
@@ -115,3 +115,20 @@ class OsLayer:
     def output_text(self) -> str:
         """The full console output so far."""
         return "".join(self.output)
+
+    # --------------------------------------------------- checkpointing hooks
+    def snapshot(self) -> Tuple[int, int, int]:
+        """Capture the OS-visible state: output length, input cursor, PRNG.
+
+        Output entries are append-only, so truncating back to the captured
+        length on :meth:`restore` makes a rollback un-print everything the
+        squashed (possibly faulty) execution emitted.
+        """
+        return (len(self.output), self._input_pos, self._lcg_state)
+
+    def restore(self, snapshot: Tuple[int, int, int]) -> None:
+        """Roll the OS layer back to a prior :meth:`snapshot`."""
+        output_len, input_pos, lcg_state = snapshot
+        del self.output[output_len:]
+        self._input_pos = input_pos
+        self._lcg_state = lcg_state

@@ -67,6 +67,25 @@ class DeadlockError(SimulationError):
         super().__init__(f"{message} at cycle {cycle}")
 
 
+class ItrRobIntegrityError(SimulationError):
+    """Raised when an ITR ROB entry's one-hot control bits are illegal.
+
+    The ``chk``/``miss``/``retry`` bits are stored one-hot (paper Section
+    2.4) precisely so that a single-event upset inside the ITR ROB produces
+    a *detectable* invalid code word instead of silently selecting another
+    legal state. Reading such an entry raises this error rather than
+    letting the corrupt entry masquerade as clean.
+    """
+
+    def __init__(self, seq: int, code: int):
+        self.seq = seq
+        self.code = code
+        super().__init__(
+            f"ITR ROB entry {seq} holds illegal one-hot control code "
+            f"0b{code:04b} (internal single-event upset detected)"
+        )
+
+
 class MachineCheckException(SimulationError):
     """Raised when the ITR machinery determines state is unrecoverable.
 

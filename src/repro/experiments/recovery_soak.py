@@ -1,0 +1,313 @@
+"""Recovery soak study: Section 2.3 rollback under sustained fault pressure.
+
+Two complementary measurements:
+
+1. **Directed rollback scenario** — the exact fault that
+   ``tests/integration`` uses to demonstrate a machine-check abort
+   (first-instance fault cached on a cold miss, detected by the second
+   instance, confirmed by the retry) is re-run on the checkpointing
+   machine; the abort must become a rollback that reconverges exactly
+   with the golden functional simulator. Deterministic, so it feeds the
+   reproduction scorecard.
+
+2. **Multi-fault soak campaigns** — every requested kernel runs
+   :class:`~repro.faults.campaign.SoakCampaign` (Poisson upset stream,
+   recovery-enabled machine, final-state reconvergence check), and the
+   dynamic checkpoint/rollback behaviour is cross-validated against the
+   offline :func:`~repro.itr.checkpointing.simulate_checkpointing`
+   prediction over the same kernel's fault-free trace stream.
+
+CLI (also registered as ``recovery-soak`` in the experiment runner)::
+
+    python -m repro.experiments.recovery_soak \
+        --kernels sum_loop,strsearch --trials 5 --check --out results/
+
+``--check`` exits non-zero when any trial ends in ``wrong_output`` or
+``harness_error`` — the CI smoke gate for the recovery subsystem.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..arch.functional import FunctionalSimulator
+from ..faults.campaign import SoakCampaign, SoakConfig, SoakCampaignResult
+from ..itr.checkpointing import simulate_checkpointing
+from ..uarch.config import PipelineConfig
+from ..uarch.pipeline import build_pipeline
+from ..utils.tables import render_table
+from ..workloads.kernel_traces import kernel_trace_events
+from ..workloads.kernels import Kernel, all_kernels, get_kernel
+from . import export
+
+
+# ----------------------------------------------------------------------
+# Directed rollback scenario (deterministic; scorecard + CI)
+# ----------------------------------------------------------------------
+
+@dataclass
+class DirectedRollbackResult:
+    """Outcome of the canonical abort-becomes-rollback scenario."""
+
+    reason: str                  # pipeline run termination reason
+    rollbacks: int
+    machine_checks: int
+    aborts: int
+    rollback_distance: Optional[int]
+    output_matches: bool
+    regs_match: bool
+    memory_matches: bool
+
+    @property
+    def holds(self) -> bool:
+        """The Section 2.3 claim: rolled back and reconverged exactly."""
+        return (self.reason == "halted" and self.rollbacks >= 1
+                and self.aborts == 0 and self.output_matches
+                and self.regs_match and self.memory_matches)
+
+
+def run_directed_rollback(kernel_name: str = "sum_loop"
+                          ) -> DirectedRollbackResult:
+    """Re-run the known machine-check fault on the checkpointing machine.
+
+    A fault on the second dynamic decode of the loop-body ``add`` poisons
+    the trace's *first* cached instance; the next instance detects the
+    mismatch and the retry confirms it — an unrecoverable-by-flush fault
+    that aborts the non-checkpointing machine.
+    """
+    kernel = get_kernel(kernel_name)
+    program = kernel.program()
+    golden = FunctionalSimulator(program, inputs=kernel.inputs)
+    golden.run_silently(3_000_000)
+
+    add_pc = program.entry + 3 * 8
+    seen = {"count": 0}
+
+    def tamper(index, pc, signals):
+        if pc == add_pc:
+            seen["count"] += 1
+            if seen["count"] == 2:
+                return signals.with_bit_flipped(26), True  # rsrc1 bit
+        return signals, False
+
+    pipeline = build_pipeline(program, inputs=kernel.inputs,
+                              decode_tamper=tamper, checkpointing=True)
+    run = pipeline.run(max_cycles=2_000_000)
+    distances = pipeline.checkpoints.rollback_distances()
+    return DirectedRollbackResult(
+        reason=run.reason,
+        rollbacks=pipeline.itr.stats.rollbacks,
+        machine_checks=pipeline.itr.stats.machine_checks,
+        aborts=pipeline.itr.stats.aborts,
+        rollback_distance=distances[0] if distances else None,
+        output_matches=pipeline.output == golden.output,
+        regs_match=(pipeline.arch_state.regs.snapshot()
+                    == golden.state.regs.snapshot()),
+        memory_matches=(pipeline.arch_state.memory.page_digest()
+                        == golden.state.memory.page_digest()),
+    )
+
+
+# ----------------------------------------------------------------------
+# Soak campaigns + static cross-validation
+# ----------------------------------------------------------------------
+
+@dataclass
+class KernelSoakReport:
+    """One kernel's soak result next to the offline model's prediction."""
+
+    soak: SoakCampaignResult
+    #: Offline simulate_checkpointing over the fault-free trace stream.
+    static_checkpoints: int
+    static_mean_interval: float
+    static_recovered_fraction: float
+
+    @property
+    def dynamic_checkpoints(self) -> int:
+        return sum(t.checkpoints for t in self.soak.trials)
+
+    @property
+    def mean_rollback_distance(self) -> float:
+        distances = self.soak.rollback_distances()
+        if not distances:
+            return 0.0
+        return sum(distances) / len(distances)
+
+
+@dataclass
+class RecoverySoakResult:
+    directed: DirectedRollbackResult
+    reports: List[KernelSoakReport] = field(default_factory=list)
+
+    def outcome_totals(self) -> dict:
+        """Outcome label -> trial count, summed over every kernel."""
+        totals: dict = {}
+        for report in self.reports:
+            for outcome, count in report.soak.counts().items():
+                totals[outcome] = totals.get(outcome, 0) + count
+        return dict(sorted(totals.items()))
+
+    @property
+    def clean(self) -> bool:
+        """CI gate: zero silent corruptions, zero harness crashes."""
+        totals = self.outcome_totals()
+        return (totals.get("wrong_output", 0) == 0
+                and totals.get("harness_error", 0) == 0)
+
+    def aborts_avoided(self) -> int:
+        """Machine-check escalations converted to rollbacks, all kernels."""
+        return sum(r.soak.aborts_avoided() for r in self.reports)
+
+
+def run_recovery_soak(kernels: Optional[Sequence[Kernel]] = None,
+                      trials: int = 10,
+                      seed: int = 2007,
+                      fault_rate: float = 1.0 / 3000.0,
+                      max_cycles: int = 400_000,
+                      out_dir: Optional[str] = None,
+                      resume: bool = False,
+                      pipeline: Optional[PipelineConfig] = None
+                      ) -> RecoverySoakResult:
+    """Run the directed scenario plus a soak campaign per kernel.
+
+    ``out_dir`` enables per-kernel partial-result checkpoint files
+    (``<out_dir>/soak_<kernel>.partial.json``); with ``resume=True`` an
+    interrupted campaign continues from them.
+    """
+    result = RecoverySoakResult(directed=run_directed_rollback())
+    pipeline = pipeline or PipelineConfig()
+    for kernel in (kernels if kernels is not None else all_kernels()):
+        config = SoakConfig(trials=trials, seed=seed, fault_rate=fault_rate,
+                            max_cycles=max_cycles, pipeline=pipeline)
+        campaign = SoakCampaign(kernel, config)
+        save_path = None
+        if out_dir is not None:
+            import pathlib
+            directory = pathlib.Path(out_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            save_path = str(directory / f"soak_{kernel.name}.partial.json")
+        soak = campaign.run(save_path=save_path, resume=resume)
+        static = simulate_checkpointing(kernel_trace_events(kernel),
+                                        pipeline.itr_cache)
+        result.reports.append(KernelSoakReport(
+            soak=soak,
+            static_checkpoints=static.checkpoints_taken,
+            static_mean_interval=static.mean_checkpoint_interval,
+            static_recovered_fraction=static.recovered_fraction,
+        ))
+    return result
+
+
+def render_recovery_soak(result: RecoverySoakResult) -> str:
+    """ASCII report: directed scenario, per-kernel soak, cross-check."""
+    directed = result.directed
+    lines = [
+        "Directed rollback scenario (sum_loop, cold-miss-cached fault):",
+        f"  run reason        : {directed.reason}",
+        f"  escalations       : {directed.machine_checks} "
+        f"({directed.rollbacks} rolled back, {directed.aborts} aborted)",
+        f"  rollback distance : {directed.rollback_distance} instructions",
+        f"  reconverged       : output={directed.output_matches} "
+        f"regs={directed.regs_match} memory={directed.memory_matches}",
+        f"  claim holds       : {directed.holds}",
+        "",
+    ]
+    rows = []
+    for report in result.reports:
+        counts = report.soak.counts()
+        rows.append([
+            report.soak.benchmark,
+            report.soak.total,
+            counts["ok"],
+            counts["wrong_output"],
+            counts["aborted"],
+            counts["deadlock"] + counts["timeout"],
+            counts["harness_error"],
+            sum(t.strikes for t in report.soak.trials),
+            sum(t.detections for t in report.soak.trials),
+            report.soak.aborts_avoided(),
+            report.mean_rollback_distance,
+            report.dynamic_checkpoints,
+            report.static_checkpoints,
+        ])
+    table = render_table(
+        ["kernel", "trials", "ok", "wrong", "abort", "stall", "harness",
+         "strikes", "detect", "rollbk", "dist", "ckpt", "ckpt*"],
+        rows,
+        title="Multi-fault soak (recovery-enabled machine); "
+              "ckpt* = offline simulate_checkpointing prediction",
+    )
+    lines.append(table)
+    totals = result.outcome_totals()
+    lines.append("")
+    lines.append(f"outcome totals: {totals}")
+    lines.append(f"aborts avoided by rollback: {result.aborts_avoided()}")
+    lines.append(f"clean (no wrong_output / harness_error): {result.clean}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code (``--check`` gate)."""
+    parser = argparse.ArgumentParser(
+        prog="recovery-soak",
+        description="Multi-fault soak campaign against the checkpoint/"
+                    "rollback recovery subsystem")
+    parser.add_argument("--kernels", type=str, default=None,
+                        help="comma-separated kernel names (default: all)")
+    parser.add_argument("--trials", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument("--fault-rate", type=float, default=1.0 / 3000.0,
+                        help="expected upsets per decode slot")
+    parser.add_argument("--max-cycles", type=int, default=400_000)
+    parser.add_argument("--out", type=str, default=None,
+                        help="directory for JSON results and partial "
+                             "(resumable) per-kernel checkpoints")
+    parser.add_argument("--resume", action="store_true",
+                        help="continue an interrupted campaign from the "
+                             "partial files in --out")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 on any wrong_output or harness_error "
+                             "(CI gate)")
+    args = parser.parse_args(argv)
+
+    kernels = None
+    if args.kernels:
+        kernels = [get_kernel(name.strip())
+                   for name in args.kernels.split(",") if name.strip()]
+    if args.resume and not args.out:
+        parser.error("--resume requires --out")
+
+    result = run_recovery_soak(
+        kernels=kernels, trials=args.trials, seed=args.seed,
+        fault_rate=args.fault_rate, max_cycles=args.max_cycles,
+        out_dir=args.out, resume=args.resume)
+    print(render_recovery_soak(result))
+
+    if args.out:
+        import pathlib
+        directory = pathlib.Path(args.out)
+        for report in result.reports:
+            export.save_json(
+                report.soak.to_dict(),
+                directory / f"soak_{report.soak.benchmark}.json")
+        export.save_json(
+            {"directed_holds": result.directed.holds,
+             "outcomes": result.outcome_totals(),
+             "aborts_avoided": result.aborts_avoided()},
+            directory / "soak_summary.json")
+
+    if args.check and not (result.clean and result.directed.holds):
+        print("recovery-soak check FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -165,6 +165,15 @@ def _run_coverage_certifier(args) -> str:
     return report
 
 
+def _run_recovery_soak(args) -> str:
+    from ..workloads.kernels import get_kernel as _get
+    from . import recovery_soak
+    result = recovery_soak.run_recovery_soak(
+        kernels=[_get("sum_loop"), _get("strsearch"), _get("dispatch")],
+        trials=max(3, args.trials // 10), seed=args.seed)
+    return recovery_soak.render_recovery_soak(result)
+
+
 def _run_scorecard(args) -> str:
     from . import scorecard
     card = scorecard.build_scorecard(
@@ -197,6 +206,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "abl-cache-faults": _run_cache_faults,
     "spectrum": _run_spectrum,
     "overhead": _run_overhead,
+    "recovery-soak": _run_recovery_soak,
     "scorecard": _run_scorecard,
 }
 

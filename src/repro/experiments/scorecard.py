@@ -118,6 +118,14 @@ def build_scorecard(instructions: int = 150_000, trials: int = 15,
              "~0%", f"{overhead.mean_overhead_pct():.2f}%",
              overhead.mean_overhead_pct() < 1.0)
 
+    from .recovery_soak import run_directed_rollback
+    directed = run_directed_rollback()
+    card.add("sec2.3", "coarse checkpoint converts abort to rollback",
+             "rollback instead of abort",
+             f"{directed.rollbacks} rollback(s), {directed.aborts} abort(s), "
+             f"reconverged={directed.output_matches}",
+             directed.holds)
+
     return card
 
 

@@ -4,8 +4,19 @@ from .campaign import (
     CampaignConfig,
     CampaignResult,
     FaultCampaign,
+    SoakCampaign,
+    SoakCampaignResult,
+    SoakConfig,
+    SoakTrialResult,
 )
-from .injector import DecodeInjector, FaultSpec, fault_plan, random_fault
+from .injector import (
+    DecodeInjector,
+    FaultSpec,
+    FaultStrike,
+    PoissonInjector,
+    fault_plan,
+    random_fault,
+)
 from .pc_faults import (
     PcFaultCampaignResult,
     PcFaultResult,
@@ -26,8 +37,14 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "FaultCampaign",
+    "SoakCampaign",
+    "SoakCampaignResult",
+    "SoakConfig",
+    "SoakTrialResult",
     "DecodeInjector",
     "FaultSpec",
+    "FaultStrike",
+    "PoissonInjector",
     "fault_plan",
     "random_fault",
     "PcFaultCampaignResult",

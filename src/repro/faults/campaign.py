@@ -22,16 +22,20 @@ limits are parameters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from ..arch.functional import CommitEffect, FunctionalSimulator
 from ..isa.decode_signals import DecodeSignals
 from ..uarch.config import PipelineConfig
 from ..uarch.pipeline import build_pipeline
+from ..utils.rng import make_rng
 from ..utils.stats import Counter
 from ..workloads.kernels import Kernel
-from .injector import DecodeInjector, FaultSpec, fault_plan
+from .injector import DecodeInjector, FaultSpec, PoissonInjector, fault_plan
 from .outcomes import FIGURE8_ORDER, Effect, Outcome, TrialResult, classify
 
 
@@ -227,3 +231,289 @@ class FaultCampaign:
                           self.config.trials, self.decode_count)
         for index, spec in enumerate(plan):
             yield self.run_trial(index, spec)
+
+
+# ======================================================================
+# Multi-fault soak campaigns (recovery subsystem stress testing)
+# ======================================================================
+
+#: Cycles simulated between wall-clock deadline checks.
+_SOAK_CHUNK_CYCLES = 20_000
+
+#: Trial outcome labels (see :class:`SoakTrialResult.outcome`).
+SOAK_OUTCOMES = ("ok", "wrong_output", "aborted", "deadlock", "timeout",
+                 "harness_error")
+
+
+@dataclass
+class SoakConfig:
+    """Knobs of one multi-fault soak campaign.
+
+    Unlike :class:`CampaignConfig` (one planned upset per trial, monitor
+    mode), a soak trial runs the *recovery-enabled* machine under a
+    Poisson stream of upsets and demands exact reconvergence with the
+    golden functional simulator at the end — the paper's Section 2.3
+    claim ("recovery can be done by rolling back...") exercised under
+    sustained fault pressure.
+    """
+
+    trials: int = 25
+    seed: int = 2007
+    fault_rate: float = 1.0 / 3000.0  # expected upsets per decode slot
+    max_cycles: int = 400_000         # per-trial cycle budget
+    trial_timeout_s: float = 120.0    # per-trial wall-clock budget
+    recovery: bool = True             # attach the checkpoint/rollback unit
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Determinism-relevant identity (guards ``--resume`` mixups)."""
+        return {
+            "trials": self.trials,
+            "seed": self.seed,
+            "fault_rate": self.fault_rate,
+            "max_cycles": self.max_cycles,
+            "recovery": self.recovery,
+        }
+
+
+@dataclass
+class SoakTrialResult:
+    """One soak trial. All fields are deterministic for a given seed —
+    wall-clock time is deliberately excluded so a resumed campaign
+    aggregates byte-identically to an uninterrupted one."""
+
+    trial: int
+    outcome: str                     # one of SOAK_OUTCOMES
+    strikes: int = 0                 # upsets actually delivered
+    detections: int = 0              # ITR signature mismatches recorded
+    retries: int = 0
+    recoveries: int = 0              # single-mismatch retry successes
+    machine_checks: int = 0          # second-mismatch escalations
+    rollbacks: int = 0               # escalations converted to rollbacks
+    watchdog_rollbacks: int = 0
+    checkpoints: int = 0             # coarse-grain captures taken
+    instructions: int = 0
+    cycles: int = 0
+    rollback_distances: List[int] = field(default_factory=list)
+    error: Optional[str] = None      # harness_error diagnostic
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SoakTrialResult":
+        return cls(**data)
+
+
+@dataclass
+class SoakCampaignResult:
+    """Aggregated soak results for one kernel."""
+
+    benchmark: str
+    config_fingerprint: Dict[str, object]
+    trials: List[SoakTrialResult] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return len(self.trials)
+
+    def counts(self) -> Counter:
+        """Trial count per outcome label."""
+        counter = Counter()
+        for trial in self.trials:
+            counter.add(trial.outcome)
+        return counter
+
+    def rollback_distances(self) -> List[int]:
+        """Every rollback distance (instructions), all trials concatenated."""
+        distances: List[int] = []
+        for trial in self.trials:
+            distances.extend(trial.rollback_distances)
+        return distances
+
+    def aborts_avoided(self) -> int:
+        """Escalations that rolled back instead of ending the program."""
+        return sum(t.rollbacks for t in self.trials)
+
+    def aggregate(self) -> Dict[str, object]:
+        """Deterministic summary (the resume-equivalence contract: same
+        seed => byte-identical JSON, interrupted or not)."""
+        return {
+            "benchmark": self.benchmark,
+            "config": self.config_fingerprint,
+            "trials": self.total,
+            "outcomes": dict(sorted(self.counts().items())),
+            "strikes": sum(t.strikes for t in self.trials),
+            "detections": sum(t.detections for t in self.trials),
+            "retries": sum(t.retries for t in self.trials),
+            "recoveries": sum(t.recoveries for t in self.trials),
+            "machine_checks": sum(t.machine_checks for t in self.trials),
+            "rollbacks": sum(t.rollbacks for t in self.trials),
+            "watchdog_rollbacks": sum(t.watchdog_rollbacks
+                                      for t in self.trials),
+            "checkpoints": sum(t.checkpoints for t in self.trials),
+            "rollback_distances": self.rollback_distances(),
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "benchmark": self.benchmark,
+            "config": self.config_fingerprint,
+            "trials": [t.to_dict() for t in self.trials],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SoakCampaignResult":
+        return cls(
+            benchmark=data["benchmark"],
+            config_fingerprint=data["config"],
+            trials=[SoakTrialResult.from_dict(t) for t in data["trials"]],
+        )
+
+
+class SoakCampaign:
+    """Long-run multi-fault campaign against the recovery-enabled machine.
+
+    Resilience contract (the harness must outlive the machinery it tests):
+
+    * every trial is wrapped in crash isolation — an unexpected exception
+      becomes a ``harness_error`` outcome and the campaign continues;
+    * trials carry both a cycle budget and a wall-clock budget, checked
+      between simulation chunks, so one pathological trial cannot hang
+      the campaign;
+    * partial results checkpoint to JSON after every trial, and
+      ``resume=True`` skips already-completed trials — a killed campaign
+      resumed with the same seed aggregates byte-identically to an
+      uninterrupted one (trial RNGs are independent per-trial streams).
+    """
+
+    def __init__(self, kernel: Kernel, config: Optional[SoakConfig] = None):
+        self.kernel = kernel
+        self.config = config or SoakConfig()
+        self._program = kernel.program()
+        golden = FunctionalSimulator(self._program, inputs=kernel.inputs)
+        golden.run_silently(10 * self.config.max_cycles)
+        self._golden_output = golden.output
+        self._golden_regs = golden.state.regs.snapshot()
+        self._golden_digest = golden.state.memory.page_digest()
+
+    # ------------------------------------------------------------- one trial
+    def run_trial(self, trial: int) -> SoakTrialResult:
+        """Run one Poisson-stream trial to completion or a budget limit."""
+        config = self.config
+        rng = make_rng(config.seed, "soak", self.kernel.name, trial)
+        injector = PoissonInjector(rng, config.fault_rate)
+        pipeline = build_pipeline(
+            self._program,
+            config=config.pipeline,
+            inputs=self.kernel.inputs,
+            decode_tamper=injector,
+            checkpointing=config.recovery,
+        )
+        deadline = time.monotonic() + config.trial_timeout_s
+        while True:
+            limit = min(config.max_cycles,
+                        pipeline.cycle + _SOAK_CHUNK_CYCLES)
+            run = pipeline.run(max_cycles=limit)
+            if run.reason != "max_cycles" or limit >= config.max_cycles:
+                break
+            if time.monotonic() >= deadline:
+                break
+
+        if run.reason == "halted":
+            converged = (
+                pipeline.output == self._golden_output
+                and pipeline.arch_state.regs.snapshot() == self._golden_regs
+                and pipeline.arch_state.memory.page_digest()
+                == self._golden_digest
+            )
+            outcome = "ok" if converged else "wrong_output"
+        elif run.reason == "machine_check":
+            outcome = "aborted"
+        elif run.reason == "deadlock":
+            outcome = "deadlock"
+        else:
+            outcome = "timeout"
+
+        unit = pipeline.checkpoints
+        return SoakTrialResult(
+            trial=trial,
+            outcome=outcome,
+            strikes=len(injector.strikes),
+            detections=pipeline.itr.stats.mismatches,
+            retries=pipeline.itr.stats.retries,
+            recoveries=pipeline.itr.stats.recoveries,
+            machine_checks=pipeline.itr.stats.machine_checks,
+            rollbacks=pipeline.itr.stats.rollbacks,
+            watchdog_rollbacks=pipeline.stats.watchdog_rollbacks,
+            checkpoints=unit.captures if unit is not None else 0,
+            instructions=pipeline.stats.instructions_committed,
+            cycles=pipeline.cycle,
+            rollback_distances=(unit.rollback_distances()
+                                if unit is not None else []),
+        )
+
+    def _isolated_trial(self, trial: int) -> SoakTrialResult:
+        """Crash isolation: a trial that blows up must not kill the
+        campaign (and must be *visible* in the results, never silently
+        swallowed)."""
+        try:
+            return self.run_trial(trial)
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            return SoakTrialResult(
+                trial=trial,
+                outcome="harness_error",
+                error=f"{type(exc).__name__}: {exc}",
+            )
+
+    # ------------------------------------------------------------ all trials
+    def run(self, save_path: Optional[str] = None, resume: bool = False,
+            progress=None) -> SoakCampaignResult:
+        """Run every trial, optionally checkpointing/resuming via JSON."""
+        config = self.config
+        done: Dict[int, SoakTrialResult] = {}
+        if resume and save_path is not None and os.path.exists(save_path):
+            done = self._load_partial(save_path)
+        for trial in range(config.trials):
+            if trial in done:
+                continue
+            result = self._isolated_trial(trial)
+            done[trial] = result
+            # Persist before notifying observers: a crash (or interrupt)
+            # raised from the progress callback must not lose the trial.
+            if save_path is not None:
+                self._save_partial(save_path, done)
+            if progress is not None:
+                progress(result)
+        return SoakCampaignResult(
+            benchmark=self.kernel.name,
+            config_fingerprint=config.fingerprint(),
+            trials=[done[i] for i in range(config.trials)],
+        )
+
+    # ------------------------------------------------------------ persistence
+    def _save_partial(self, path: str,
+                      done: Dict[int, SoakTrialResult]) -> None:
+        payload = {
+            "benchmark": self.kernel.name,
+            "config": self.config.fingerprint(),
+            "completed": {str(k): v.to_dict()
+                          for k, v in sorted(done.items())},
+        }
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        os.replace(tmp, path)  # atomic: a killed save never corrupts
+
+    def _load_partial(self, path: str) -> Dict[int, SoakTrialResult]:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("benchmark") != self.kernel.name \
+                or payload.get("config") != self.config.fingerprint():
+            raise ValueError(
+                f"resume file {path} was produced by a different campaign "
+                f"(benchmark/seed/rate/trials mismatch)")
+        return {int(k): SoakTrialResult.from_dict(v)
+                for k, v in payload.get("completed", {}).items()}

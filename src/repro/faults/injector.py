@@ -9,9 +9,10 @@ tampers with exactly one.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..isa.decode_signals import TOTAL_WIDTH, DecodeSignals, field_of_bit
 from ..utils.rng import make_rng
@@ -61,6 +62,54 @@ class DecodeInjector:
         self.original = signals
         self.tampered = signals.with_bit_flipped(self.spec.bit)
         return self.tampered, True
+
+
+@dataclass(frozen=True)
+class FaultStrike:
+    """One upset delivered by a multi-fault stream."""
+
+    decode_index: int
+    pc: int
+    bit: int
+
+
+class PoissonInjector:
+    """Memoryless multi-fault decode hook for soak campaigns.
+
+    Inter-arrival gaps between strikes are geometric with per-decode-slot
+    probability ``rate`` — the discrete analogue of a Poisson process over
+    the dynamic decode stream, so long runs see many independent upsets.
+    Each strike flips one uniformly random signal bit. Wrong-path decodes
+    are eligible, as with :class:`DecodeInjector`.
+    """
+
+    def __init__(self, rng: random.Random, rate: float,
+                 max_strikes: Optional[int] = None):
+        if not 0.0 < rate < 1.0:
+            raise ValueError(f"rate must be in (0, 1), got {rate}")
+        self._rng = rng
+        self.rate = rate
+        self.max_strikes = max_strikes
+        self.strikes: List[FaultStrike] = []
+        self._next_index = self._gap() - 1  # first strike's decode slot
+
+    def _gap(self) -> int:
+        """Geometric(rate) inter-arrival gap, >= 1 (inverse CDF)."""
+        u = self._rng.random()
+        return 1 + int(math.log(1.0 - u) / math.log(1.0 - self.rate))
+
+    def __call__(self, decode_index: int, pc: int,
+                 signals: DecodeSignals) -> Tuple[DecodeSignals, bool]:
+        """The pipeline's ``decode_tamper`` interface."""
+        if decode_index < self._next_index:
+            return signals, False
+        if self.max_strikes is not None \
+                and len(self.strikes) >= self.max_strikes:
+            return signals, False
+        bit = self._rng.randrange(TOTAL_WIDTH)
+        self.strikes.append(FaultStrike(decode_index, pc, bit))
+        self._next_index = decode_index + self._gap()
+        return signals.with_bit_flipped(bit), True
 
 
 def random_fault(rng: random.Random, decode_count: int) -> FaultSpec:

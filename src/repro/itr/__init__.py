@@ -1,5 +1,6 @@
 """ITR: the paper's contribution — signatures, cache, ROB, controller."""
 
+from .arch_checkpoint import ArchCheckpointUnit, Checkpoint, RollbackRecord
 from .controller import (
     CommitAction,
     CommitDecision,
@@ -28,6 +29,9 @@ from .trace import (
 from .watchdog import Watchdog, WatchdogEvent
 
 __all__ = [
+    "ArchCheckpointUnit",
+    "Checkpoint",
+    "RollbackRecord",
     "CommitAction",
     "CommitDecision",
     "ItrController",

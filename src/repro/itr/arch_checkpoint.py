@@ -1,0 +1,211 @@
+"""Architectural checkpoint unit: executable Section 2.3 recovery.
+
+The paper's coarse-grain checkpointing scheme ("take a coarse-grain
+checkpoint when there are no unchecked lines in the ITR cache ... recovery
+can be done by rolling back to the previously taken coarse-grain
+checkpoint instead of aborting the program") exists in this repository
+twice: :mod:`repro.itr.checkpointing` *bounds* its effectiveness offline
+over trace streams, and this module *executes* it inside the cycle
+simulator.
+
+A checkpoint is a snapshot of committed architectural state — PC, the 64
+architectural registers, the OS layer (console output length, input
+cursor, PRNG) — plus a copy-on-write memory journal. Memory is not copied
+at capture time: the unit installs a pre-write observer on the pipeline's
+:class:`~repro.arch.state.Memory`, and the first committed store to touch
+a page after a capture records that page's pre-image in the *newest*
+checkpoint's undo log. Rolling back to checkpoint ``k`` applies the undo
+logs newest-first down to ``k`` (older pre-images win), so the cost of a
+checkpoint is proportional to the pages actually dirtied after it, not to
+the footprint of the program.
+
+Checkpoints live in a bounded ring; capturing past capacity drops the
+oldest (after which rolling back before it is impossible — the graceful
+degradation the escalation path reports as an abort).
+
+Safety does **not** depend on *when* checkpoints are captured: the
+escalation path in :class:`~repro.uarch.pipeline.Pipeline` only accepts a
+rollback target whose capture point precedes the first committed
+instruction of the faulty trace instance (``newest_preceding``), so even a
+checkpoint taken while an unverified instance was resident can never mask
+corruption — it is merely useless for faults older than itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from collections import deque
+
+from ..arch.state import ArchState
+from ..arch.syscalls import OsLayer
+from ..errors import ConfigError
+
+
+@dataclass
+class Checkpoint:
+    """One coarse-grain snapshot of committed architectural state."""
+
+    seq: int                     # monotonically increasing capture number
+    pc: int                      # next PC to execute after a rollback
+    instructions: int            # committed-instruction count at capture
+    cycle: int
+    regs: Tuple[int, ...]
+    os_state: Tuple[int, int, int]
+    #: COW undo log: page number -> pre-image captured at the *first*
+    #: committed store touching that page after this capture (``None``
+    #: means the page did not exist yet and is deleted on rollback).
+    pages: Dict[int, Optional[bytes]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RollbackRecord:
+    """One executed rollback (consumed by campaigns and reports)."""
+
+    cycle: int
+    cause: str                   # machine_check / watchdog
+    checkpoint_seq: int
+    from_instructions: int       # cumulative committed count at rollback
+    to_instructions: int         # committed count the checkpoint captured
+
+    @property
+    def distance(self) -> int:
+        """Committed instructions squashed and re-executed (work lost)."""
+        return self.from_instructions - self.to_instructions
+
+
+class ArchCheckpointUnit:
+    """Bounded ring of architectural checkpoints with COW memory journal.
+
+    One unit serves one :class:`~repro.uarch.pipeline.Pipeline` instance;
+    construction captures the implicit program-start checkpoint and
+    installs the memory write observer.
+    """
+
+    def __init__(self, state: ArchState, os_layer: OsLayer,
+                 capacity: int = 8):
+        if capacity < 1:
+            raise ConfigError(
+                f"checkpoint ring capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._state = state
+        self._os = os_layer
+        self._ring: Deque[Checkpoint] = deque()
+        self._next_seq = 0
+        self.captures = 0
+        self.evicted = 0
+        self.rollbacks: List[RollbackRecord] = []
+        state.memory.set_write_observer(self._observe_store)
+        self.capture(cycle=0, instructions=0)
+
+    # -------------------------------------------------------------- journal
+    def _observe_store(self, address: int, size: int) -> None:
+        newest = self._ring[-1]
+        memory = self._state.memory
+        for number in memory.pages_spanned(address, size):
+            if number not in newest.pages:
+                newest.pages[number] = memory.snapshot_page(number)
+
+    # -------------------------------------------------------------- capture
+    def capture(self, cycle: int, instructions: int) -> Checkpoint:
+        """Snapshot current committed state as the newest checkpoint."""
+        checkpoint = Checkpoint(
+            seq=self._next_seq,
+            pc=self._state.pc,
+            instructions=instructions,
+            cycle=cycle,
+            regs=self._state.regs.snapshot(),
+            os_state=self._os.snapshot(),
+        )
+        self._next_seq += 1
+        self.captures += 1
+        if len(self._ring) >= self.capacity:
+            self._ring.popleft()
+            self.evicted += 1
+        self._ring.append(checkpoint)
+        return checkpoint
+
+    # ------------------------------------------------------------ inspection
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def newest(self) -> Checkpoint:
+        return self._ring[-1]
+
+    @property
+    def oldest(self) -> Checkpoint:
+        return self._ring[0]
+
+    def checkpoints(self):
+        """Iterate resident checkpoints oldest-first (diagnostics)."""
+        return iter(self._ring)
+
+    def newest_preceding(self,
+                         instructions_bound: Optional[int]
+                         ) -> Optional[Checkpoint]:
+        """Newest resident checkpoint safe for a fault at ``bound``.
+
+        ``instructions_bound`` is the committed-instruction count *before*
+        the faulty trace instance began committing; a checkpoint qualifies
+        when its capture point is at or before that bound, so its state
+        contains none of the faulty instance's effects. ``None`` (unknown
+        provenance, e.g. a watchdog expiry) accepts the newest checkpoint.
+        Returns ``None`` when no resident checkpoint qualifies — the
+        caller must fall back to a machine-check abort.
+        """
+        for checkpoint in reversed(self._ring):
+            if instructions_bound is None \
+                    or checkpoint.instructions <= instructions_bound:
+                return checkpoint
+        return None
+
+    # -------------------------------------------------------------- rollback
+    def rollback(self, target: Checkpoint, cycle: int, cause: str,
+                 from_instructions: int) -> RollbackRecord:
+        """Restore committed state to ``target`` and make it newest.
+
+        Applies the COW undo logs newest-first down to (and including)
+        ``target`` — pages journaled in several epochs converge to the
+        oldest applied pre-image, which is exactly the page content at
+        ``target``'s capture. Checkpoints younger than ``target`` are
+        discarded; ``target``'s own journal restarts empty since committed
+        state now equals its snapshot again.
+        """
+        if target not in self._ring:
+            raise ValueError(
+                f"checkpoint seq {target.seq} is not resident in the ring")
+        memory = self._state.memory
+        while True:
+            checkpoint = self._ring[-1]
+            for number, image in checkpoint.pages.items():
+                memory.restore_page(number, image)
+            if checkpoint is target:
+                break
+            self._ring.pop()
+        target.pages = {}
+        self._state.regs.restore(target.regs)
+        self._state.pc = target.pc
+        self._os.restore(target.os_state)
+        record = RollbackRecord(
+            cycle=cycle,
+            cause=cause,
+            checkpoint_seq=target.seq,
+            from_instructions=from_instructions,
+            to_instructions=target.instructions,
+        )
+        self.rollbacks.append(record)
+        return record
+
+    def rollback_distances(self) -> List[int]:
+        """Distances (in committed instructions) of every rollback taken."""
+        return [record.distance for record in self.rollbacks]
+
+    def detach(self) -> None:
+        """Remove the memory write observer (end of this unit's life)."""
+        self._state.memory.set_write_observer(None)
+
+    def __repr__(self) -> str:
+        return (f"ArchCheckpointUnit({len(self._ring)}/{self.capacity} "
+                f"checkpoints, {len(self.rollbacks)} rollbacks)")

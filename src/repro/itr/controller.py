@@ -45,6 +45,13 @@ class CommitAction(enum.Enum):
 class CommitDecision:
     action: CommitAction
     restart_pc: Optional[int] = None  # for RETRY_FLUSH
+    # MACHINE_CHECK escalation metadata, consumed by the pipeline's
+    # checkpoint-rollback path (None for every other action):
+    trace_seq: Optional[int] = None       # ITR ROB seq of the detecting trace
+    poisoned_pc: Optional[int] = None     # start PC of the faulty stored line
+    #: Committed-instruction count before the faulty (stored) instance began
+    #: committing; a rollback target checkpoint must precede this bound.
+    fault_commit_bound: Optional[int] = None
 
 
 @dataclass
@@ -57,7 +64,7 @@ class MismatchEvent:
     accessing_tainted: bool       # the newly executed instance was faulty
     stored_tainted: bool          # the cache-resident signature was faulty
     stored_parity_ok: bool
-    resolution: str = "pending"   # retry/recovered/machine_check/
+    resolution: str = "pending"   # retry/recovered/machine_check/rollback/
     #                               cache_fault_repaired/monitor
 
 
@@ -71,8 +78,14 @@ class ItrStats:
     retries: int = 0
     recoveries: int = 0
     cache_faults_repaired: int = 0
-    machine_checks: int = 0
+    machine_checks: int = 0   # second-mismatch escalations raised
+    rollbacks: int = 0        # escalations converted to checkpoint rollbacks
     commit_stalls: int = 0
+
+    @property
+    def aborts(self) -> int:
+        """Escalations that actually ended the program (no checkpoint)."""
+        return self.machine_checks - self.rollbacks
 
 
 class ItrController:
@@ -155,6 +168,7 @@ class ItrController:
         entry.cached_signature = line.signature
         entry.cached_tainted = line.tainted
         entry.cached_writer_seq = line.writer_seq
+        entry.cached_writer_commit = line.writer_commit
         entry.cached_parity_ok = line.parity_ok()
         mismatch = line.signature != trace.signature
         entry.mark_checked(mismatch)
@@ -177,11 +191,14 @@ class ItrController:
         ))
 
     # ------------------------------------------------------------ commit side
-    def commit_check(self, trace_seq: int, cycle: int = 0) -> CommitDecision:
+    def commit_check(self, trace_seq: int, cycle: int = 0,
+                     instructions: int = 0) -> CommitDecision:
         """Poll the ITR ROB head for the instruction about to commit.
 
         Implements the paper's Section 2.2 decision table. Must be called
         before each commit; the caller honours the returned action.
+        ``instructions`` is the cumulative committed-instruction count (the
+        provenance bound recorded when a repair rewrites a cache line).
         """
         head = self.rob.head()
         if head is None or head.seq != trace_seq:
@@ -196,10 +213,10 @@ class ItrController:
         if not head.retry:
             return CommitDecision(CommitAction.PROCEED)
         # Signature mismatch on this trace.
-        return self._resolve_mismatch(head, cycle)
+        return self._resolve_mismatch(head, cycle, instructions)
 
-    def _resolve_mismatch(self, head: ItrRobEntry,
-                          cycle: int) -> CommitDecision:
+    def _resolve_mismatch(self, head: ItrRobEntry, cycle: int,
+                          instructions: int = 0) -> CommitDecision:
         event = self._event_for(head.seq)
         if not self.recovery_enabled:
             # Monitor mode: record and continue (counterfactual labeling).
@@ -226,18 +243,25 @@ class ItrController:
             self.cache.update(start_pc, head.trace.signature,
                               head.trace.length,
                               tainted=head.trace.tainted,
-                              writer_seq=head.seq)
+                              writer_seq=head.seq,
+                              writer_commit=instructions)
             self._retry_pc = None
             if event is not None:
                 event.resolution = "cache_fault_repaired"
             return CommitDecision(CommitAction.PROCEED)
         # The previous instance executed with a fault; architectural state
-        # may be corrupt. Abort (or roll back to a coarse checkpoint).
+        # may be corrupt. Abort — or, when the pipeline has a checkpoint
+        # unit, roll back to a coarse checkpoint predating the faulty
+        # writer (Section 2.3); the decision carries the provenance it
+        # needs to pick a safe target and poison the stale line.
         self.stats.machine_checks += 1
         self._retry_pc = None
         if event is not None:
             event.resolution = "machine_check"
-        return CommitDecision(CommitAction.MACHINE_CHECK)
+        return CommitDecision(CommitAction.MACHINE_CHECK,
+                              trace_seq=head.seq,
+                              poisoned_pc=start_pc,
+                              fault_commit_bound=head.cached_writer_commit)
 
     def _event_for(self, trace_seq: int) -> Optional[MismatchEvent]:
         for event in reversed(self.events):
@@ -248,13 +272,16 @@ class ItrController:
         return None
 
     def note_commit(self, trace_seq: int, is_trace_end: bool,
-                    cycle: int = 0) -> None:
+                    cycle: int = 0, instructions: int = 0) -> None:
         """Called after an instruction actually commits.
 
         When the trace-terminating instruction retires, the head entry is
         freed; if it had missed, its signature is written to the ITR cache
         (the paper initiates the write when commit polls a set miss bit —
-        the trailing edge of the same window).
+        the trailing edge of the same window). ``instructions`` is the
+        cumulative committed count *excluding* the committing instruction;
+        the cache line records the count before the writing instance's
+        first instruction committed, as the rollback provenance bound.
         """
         head = self.rob.head()
         if head is None or head.seq != trace_seq:
@@ -279,8 +306,30 @@ class ItrController:
                                   head.trace.length,
                                   tainted=head.trace.tainted,
                                   writer_seq=head.seq,
-                                  checked=head.confirmed_in_flight)
+                                  checked=head.confirmed_in_flight,
+                                  writer_commit=max(
+                                      0, instructions
+                                      - (head.trace.length - 1)))
             self.rob.free_head()
+
+    # -------------------------------------------------------------- rollback
+    def on_rollback(self, decision: CommitDecision, cycle: int = 0) -> None:
+        """A machine-check escalation was converted into a rollback.
+
+        Invalidates the poisoned cache line (its stored signature came from
+        the faulty instance and must not survive the rollback) and rewrites
+        the event's resolution so campaign ground truth distinguishes
+        recovered escalations from true aborts.
+        """
+        self.stats.rollbacks += 1
+        if decision.poisoned_pc is not None:
+            self.cache.invalidate(decision.poisoned_pc)
+        if decision.trace_seq is not None:
+            for event in reversed(self.events):
+                if event.trace_seq == decision.trace_seq \
+                        and event.resolution == "machine_check":
+                    event.resolution = "rollback"
+                    break
 
     # ----------------------------------------------------------------- flush
     def on_flush(self) -> None:

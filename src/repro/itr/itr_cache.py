@@ -38,6 +38,10 @@ class ItrCacheLine:
     length: int = 0              # instructions in the writing instance
     tainted: bool = False        # ground truth: writing instance was faulty
     writer_seq: Optional[int] = None  # dynamic trace seq of the writer
+    #: Committed-instruction count *before* the writing instance began
+    #: committing. The rollback escalation path uses it to pick a
+    #: checkpoint that predates the (possibly faulty) writer entirely.
+    writer_commit: Optional[int] = None
 
     def parity_ok(self) -> bool:
         """Recompute parity; False indicates a fault inside the cache."""
@@ -114,6 +118,10 @@ class ItrCache:
         self._repl = [make_replacement(config.policy, config.ways)
                       for _ in range(config.num_sets)]
         self.stats = Counter()
+        # Valid-but-unchecked line count, maintained incrementally: the
+        # pipeline polls it at every trace commit for the coarse-grain
+        # checkpoint condition, so it must not rescan the whole cache.
+        self._unchecked = 0
 
     # ------------------------------------------------------------- indexing
     def _set_index(self, start_pc: int) -> int:
@@ -142,7 +150,9 @@ class ItrCache:
             return None
         self.stats.add("hits")
         line = self._sets[index][way]
-        line.checked = True
+        if not line.checked:
+            self._unchecked -= 1
+            line.checked = True
         self._repl[index].touch(way)
         return line
 
@@ -157,7 +167,8 @@ class ItrCache:
     def insert(self, start_pc: int, signature: int, length: int,
                tainted: bool = False,
                writer_seq: Optional[int] = None,
-               checked: bool = False) -> Optional[Eviction]:
+               checked: bool = False,
+               writer_commit: Optional[int] = None) -> Optional[Eviction]:
         """Commit-time write of a missed trace's signature.
 
         Returns an :class:`Eviction` when a valid line was displaced;
@@ -186,6 +197,8 @@ class ItrCache:
                     writer_seq=victim.writer_seq,
                 )
         line = victim_set[way]
+        if line.valid and not line.checked:
+            self._unchecked -= 1
         line.tag = start_pc
         line.signature = signature
         line.valid = True
@@ -194,6 +207,9 @@ class ItrCache:
         line.length = length
         line.tainted = tainted
         line.writer_seq = writer_seq
+        line.writer_commit = writer_commit
+        if not checked:
+            self._unchecked += 1
         self._repl[index].touch(way)
         return evicted
 
@@ -211,28 +227,35 @@ class ItrCache:
 
     def update(self, start_pc: int, signature: int, length: int,
                tainted: bool = False,
-               writer_seq: Optional[int] = None) -> None:
+               writer_seq: Optional[int] = None,
+               writer_commit: Optional[int] = None) -> None:
         """Overwrite an existing line in place (retry-recovery path)."""
         index, way = self._find(start_pc)
         if way is None:
             self.insert(start_pc, signature, length, tainted=tainted,
-                        writer_seq=writer_seq)
+                        writer_seq=writer_seq, writer_commit=writer_commit)
             return
         self.stats.add("writes")
         line = self._sets[index][way]
+        if line.checked:
+            self._unchecked += 1
         line.signature = signature
         line.checked = False
         line.parity_bit = parity(signature)
         line.length = length
         line.tainted = tainted
         line.writer_seq = writer_seq
+        line.writer_commit = writer_commit
         self._repl[index].touch(way)
 
     def invalidate(self, start_pc: int) -> bool:
-        """Drop a line (recovery from an ITR-cache-internal fault)."""
+        """Drop a line (poisoned-signature rollback, cache-fault recovery)."""
         index, way = self._find(start_pc)
         if way is None:
             return False
+        line = self._sets[index][way]
+        if line.valid and not line.checked:
+            self._unchecked -= 1
         self._sets[index][way] = ItrCacheLine()
         return True
 
@@ -262,7 +285,12 @@ class ItrCache:
 
     def unchecked_lines(self) -> int:
         """Valid-but-unchecked line count; the coarse-grain checkpointing
-        extension takes a checkpoint when this reaches zero (Section 2.3)."""
+        extension takes a checkpoint when this reaches zero (Section 2.3).
+        O(1): maintained incrementally on every state change."""
+        return self._unchecked
+
+    def recount_unchecked(self) -> int:
+        """Brute-force recount (tests cross-validate the O(1) counter)."""
         return sum(line.valid and not line.checked
                    for lines in self._sets for line in lines)
 

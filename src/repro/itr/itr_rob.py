@@ -19,7 +19,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Optional
 
-from ..errors import ConfigError
+from ..errors import ConfigError, ItrRobIntegrityError
 from ..utils.bitops import OneHot
 from .signature import TraceSignature
 
@@ -35,22 +35,39 @@ class ItrRobEntry:
     cached_tainted: bool = False   # ground truth taint of the cache copy
     cached_writer_seq: Optional[int] = None
     cached_parity_ok: bool = True
+    #: Committed-instruction count before the cache line's writer began
+    #: committing (rollback bound; None on forwarded hits — the writer is
+    #: still in flight, so none of its instructions have committed).
+    cached_writer_commit: Optional[int] = None
     #: A younger in-flight instance compared equal against this (missed)
     #: entry via ITR ROB forwarding: its eventual cache write is already
     #: confirmed and the line can be installed pre-checked.
     confirmed_in_flight: bool = False
 
+    def _state(self) -> str:
+        """Decode the one-hot control bits, verifying their integrity.
+
+        Every commit-side read funnels through here: a single-event upset
+        on the ``chk``/``miss``/``retry`` bits produces an illegal code
+        word (zero or two bits set), which raises
+        :class:`~repro.errors.ItrRobIntegrityError` instead of silently
+        masquerading as a clean entry (paper Section 2.4).
+        """
+        if not self.status.is_valid():
+            raise ItrRobIntegrityError(self.seq, self.status.code)
+        return self.status.state
+
     @property
     def checked(self) -> bool:
-        return self.status.state in ("chk", "chk_retry")
+        return self._state() in ("chk", "chk_retry")
 
     @property
     def missed(self) -> bool:
-        return self.status.state == "miss"
+        return self._state() == "miss"
 
     @property
     def retry(self) -> bool:
-        return self.status.state == "chk_retry"
+        return self._state() == "chk_retry"
 
     @property
     def resolved(self) -> bool:
@@ -58,7 +75,7 @@ class ItrRobEntry:
 
         The paper stalls commit while neither ``chk`` nor ``miss`` is set.
         """
-        return self.status.state != "none"
+        return self._state() != "none"
 
     def mark_miss(self) -> None:
         """Record a dispatch-time ITR cache miss (one-hot 'miss')."""
@@ -67,6 +84,10 @@ class ItrRobEntry:
     def mark_checked(self, mismatch: bool) -> None:
         """Record a dispatch-time compare: 'chk' or 'chk_retry'."""
         self.status.set_state("chk_retry" if mismatch else "chk")
+
+    def inject_control_fault(self, bit: int) -> None:
+        """Flip one control bit (single-event upset inside the ITR ROB)."""
+        self.status.inject_fault(bit)
 
 
 class ItrRob:

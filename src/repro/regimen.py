@@ -56,6 +56,11 @@ class ProtectionReport:
     machine_checks: int
     spc_violations: int
     mispredict_flushes: int
+    #: Section 2.3 checkpoint/rollback activity (zero unless the machine
+    #: was built with ``checkpointing=True``).
+    rollbacks: int = 0
+    watchdog_rollbacks: int = 0
+    checkpoints_taken: int = 0
 
     @property
     def clean(self) -> bool:
@@ -63,6 +68,11 @@ class ProtectionReport:
         return (self.mismatches_detected == 0
                 and self.spc_violations == 0
                 and self.machine_checks == 0)
+
+    @property
+    def aborts(self) -> int:
+        """Machine-check escalations not converted into rollbacks."""
+        return self.machine_checks - self.rollbacks
 
 
 class ProtectedMachine:
@@ -81,6 +91,7 @@ class ProtectedMachine:
                  recovery: bool = True,
                  spc: bool = True,
                  watchdog_timeout: int = 2000,
+                 checkpointing: bool = False,
                  inputs: Optional[Sequence[int]] = None,
                  decode_tamper: Optional[DecodeTamper] = None,
                  fetch_tamper: Optional[FetchTamper] = None,
@@ -100,6 +111,7 @@ class ProtectedMachine:
             decode_tamper=decode_tamper,
             fetch_tamper=fetch_tamper,
             commit_listener=commit_listener,
+            checkpointing=checkpointing,
         )
 
     def run(self, max_cycles: int = 2_000_000,
@@ -129,6 +141,11 @@ class ProtectedMachine:
             machine_checks=itr.machine_checks,
             spc_violations=self.pipeline.stats.spc_violations,
             mispredict_flushes=self.pipeline.stats.mispredict_flushes,
+            rollbacks=itr.rollbacks,
+            watchdog_rollbacks=self.pipeline.stats.watchdog_rollbacks,
+            checkpoints_taken=(self.pipeline.checkpoints.captures
+                               if self.pipeline.checkpoints is not None
+                               else 0),
         )
 
     @property

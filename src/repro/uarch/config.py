@@ -64,6 +64,9 @@ class PipelineConfig:
     fetch_queue_entries: int = 16
     itr_rob_entries: int = 48
     watchdog_timeout: int = 2000
+    #: Capacity of the Section 2.3 coarse-grain checkpoint ring (used only
+    #: when the pipeline is built with ``checkpointing=True``).
+    checkpoint_ring_entries: int = 8
     #: Cycles fetch stalls after an I-cache miss (0 = ideal I-cache;
     #: timing-only — correctness never depends on it).
     icache_miss_penalty: int = 0
@@ -76,7 +79,8 @@ class PipelineConfig:
         for name in ("fetch_width", "decode_width", "issue_width",
                      "commit_width", "rob_entries", "issue_queue_entries",
                      "lsq_entries", "fetch_queue_entries",
-                     "itr_rob_entries", "watchdog_timeout"):
+                     "itr_rob_entries", "watchdog_timeout",
+                     "checkpoint_ring_entries"):
             if getattr(self, name) < 1:
                 raise ConfigError(f"{name} must be >= 1")
         if self.icache_miss_penalty < 0:

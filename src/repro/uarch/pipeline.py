@@ -40,12 +40,18 @@ from ..arch.semantics import (
 )
 from ..arch.state import ArchState, arch_reg
 from ..arch.syscalls import OsLayer
-from ..errors import DeadlockError, MachineCheckException, MemoryFault
+from ..errors import (
+    ConfigError,
+    DeadlockError,
+    MachineCheckException,
+    MemoryFault,
+)
 from ..isa.decode_signals import DecodeSignals, decode
 from ..isa.encoding import INSTRUCTION_BYTES
 from ..isa.instruction import Instruction
 from ..isa.program import Program
-from ..itr.controller import CommitAction, ItrController
+from ..itr.arch_checkpoint import ArchCheckpointUnit
+from ..itr.controller import CommitAction, CommitDecision, ItrController
 from ..itr.spc import SequentialPcChecker
 from ..itr.watchdog import Watchdog
 from .branch_pred import BranchPredictor
@@ -147,6 +153,8 @@ class PipelineStats:
     mispredict_flushes: int = 0
     trap_flushes: int = 0
     retry_flushes: int = 0
+    rollback_flushes: int = 0     # machine checks converted to rollbacks
+    watchdog_rollbacks: int = 0   # watchdog expiries converted to rollbacks
     fetch_starved_cycles: int = 0
     spc_violations: int = 0
 
@@ -179,7 +187,8 @@ class Pipeline:
                  decode_tamper: Optional[DecodeTamper] = None,
                  commit_listener: Optional[CommitListener] = None,
                  fetch_tamper: Optional[FetchTamper] = None,
-                 duplicate_frontend: bool = False):
+                 duplicate_frontend: bool = False,
+                 checkpointing: bool = False):
         self.program = program
         self.config = config
         self.itr = itr
@@ -200,6 +209,20 @@ class Pipeline:
         self.spc = SequentialPcChecker() if enable_spc else None
         self.watchdog = Watchdog(config.watchdog_timeout)
         self.stats = PipelineStats()
+
+        # Section 2.3 coarse-grain checkpoint/rollback unit (opt-in: the
+        # capture condition polls the ITR cache, so it needs a controller).
+        if checkpointing and itr is None:
+            raise ConfigError("checkpointing requires an ITR controller")
+        self.checkpoints: Optional[ArchCheckpointUnit] = None
+        if checkpointing:
+            self.checkpoints = ArchCheckpointUnit(
+                self.arch_state, self.os,
+                capacity=config.checkpoint_ring_entries)
+        # Watchdog-rollback storm guard: the checkpoint seq the last
+        # watchdog expiry rolled back to. Expiring again with the same
+        # newest target means no forward progress — a true deadlock.
+        self._last_watchdog_rollback_seq: Optional[int] = None
 
         # Physical register file: identity-mapped architectural homes plus
         # a free pool. Values live forever; ready gates consumption.
@@ -244,7 +267,8 @@ class Pipeline:
         self.cycle += 1
         self.stats.cycles = self.cycle
         if not self.halted and self.watchdog.tick(self.cycle):
-            raise DeadlockError(self.cycle)
+            if not self._watchdog_rollback():
+                raise DeadlockError(self.cycle)
 
     def run(self, max_cycles: int = 1_000_000,
             max_instructions: Optional[int] = None) -> RunResult:
@@ -518,7 +542,9 @@ class Pipeline:
             if not entry.completed:
                 return
             if self.itr is not None:
-                decision = self.itr.commit_check(entry.trace_seq, self.cycle)
+                decision = self.itr.commit_check(
+                    entry.trace_seq, self.cycle,
+                    instructions=self.stats.instructions_committed)
                 if decision.action == CommitAction.STALL:
                     return
                 if decision.action == CommitAction.RETRY_FLUSH:
@@ -526,6 +552,10 @@ class Pipeline:
                     self._flush(decision.restart_pc)
                     return
                 if decision.action == CommitAction.MACHINE_CHECK:
+                    if self._machine_check_rollback(decision):
+                        return
+                    # Graceful degradation: no resident checkpoint is
+                    # provably older than the faulty instance — abort.
                     raise MachineCheckException(
                         entry.pc,
                         "ITR signature mismatch persisted after retry: "
@@ -623,7 +653,8 @@ class Pipeline:
 
         if self.itr is not None:
             self.itr.note_commit(entry.trace_seq, entry.ends_trace,
-                                 cycle=self.cycle)
+                                 cycle=self.cycle,
+                                 instructions=self.stats.instructions_committed)
         if entry.ends_trace:
             self.stats.traces_committed += 1
         self.watchdog.note_commit(self.cycle)
@@ -638,6 +669,18 @@ class Pipeline:
         if halted:
             self.halted = True
 
+        # Coarse-grain checkpoint (Section 2.3): capture on a trace
+        # boundary when the ITR cache holds no unchecked lines — every
+        # resident signature is confirmed, so committed state is as
+        # trustworthy as ITR can make it.
+        if self.checkpoints is not None and entry.ends_trace \
+                and not self.halted \
+                and self.itr.cache.unchecked_lines() == 0 \
+                and self.checkpoints.newest.instructions \
+                != self.stats.instructions_committed:
+            self.checkpoints.capture(
+                self.cycle, self.stats.instructions_committed)
+
         if self.commit_listener is not None:
             effect = CommitEffect(
                 pc=entry.pc,
@@ -651,6 +694,62 @@ class Pipeline:
                 halted=halted,
             )
             self.commit_listener(effect, signals)
+
+    # -------------------------------------------------------------- rollback
+    def _machine_check_rollback(self, decision: CommitDecision) -> bool:
+        """Convert a machine-check escalation into a checkpoint rollback.
+
+        Returns False (caller aborts) when no checkpoint unit is attached,
+        the fault's commit provenance is unknown, or every resident
+        checkpoint postdates the faulty instance's first commit.
+        """
+        if self.checkpoints is None:
+            return False
+        if decision.fault_commit_bound is None:
+            # Unknown provenance: no checkpoint is provably fault-free.
+            return False
+        target = self.checkpoints.newest_preceding(
+            decision.fault_commit_bound)
+        if target is None:
+            return False
+        self._execute_rollback(target, cause="machine_check")
+        self.stats.rollback_flushes += 1
+        self.itr.on_rollback(decision, cycle=self.cycle)
+        return True
+
+    def _watchdog_rollback(self) -> bool:
+        """Convert a watchdog expiry into a rollback to the newest
+        checkpoint (provenance unknown — any resident state may be the
+        culprit, so re-executing from the newest snapshot and letting ITR
+        re-detect is the best available move). A second expiry targeting
+        the same checkpoint means no forward progress: escalate to
+        :class:`DeadlockError` instead of rolling back forever."""
+        if self.checkpoints is None:
+            return False
+        target = self.checkpoints.newest_preceding(None)
+        if target is None or target.seq == self._last_watchdog_rollback_seq:
+            return False
+        self._last_watchdog_rollback_seq = target.seq
+        self._execute_rollback(target, cause="watchdog")
+        self.stats.watchdog_rollbacks += 1
+        return True
+
+    def _execute_rollback(self, target, cause: str) -> None:
+        """Restore architectural state to ``target`` and resynchronize
+        every pipeline structure with it."""
+        self.checkpoints.rollback(
+            target, self.cycle, cause,
+            from_instructions=self.stats.instructions_committed)
+        self._flush(self.arch_state.pc)
+        # The retirement physical homes still hold post-checkpoint values;
+        # overwrite them with the restored architectural registers so the
+        # rebuilt rename map reads checkpoint state.
+        for arch in range(64):
+            self._phys_values[self._retire_map[arch]] = \
+                self.arch_state.regs.read(arch)
+        if self.spc is not None:
+            self.spc.reset(self.arch_state.pc)
+        self._fetch_stalled_until = 0
 
     # ----------------------------------------------------------------- flush
     def _flush(self, redirect_pc: int) -> None:
@@ -674,6 +773,10 @@ class Pipeline:
         self._phys_ready = [True] * self.config.phys_regs
         self.fetch_pc = redirect_pc & _WORD
         self._waiting_serialize = False
+        # Every recovery flush re-arms the watchdog: a retry flush commits
+        # nothing, so without this a *successful* retry could inherit an
+        # almost-expired timer and be misdiagnosed as a deadlock.
+        self.watchdog.reset(self.cycle)
         if self.itr is not None:
             self.itr.on_flush()
 
@@ -693,13 +796,16 @@ def build_pipeline(program: Program,
                    decode_tamper: Optional[DecodeTamper] = None,
                    commit_listener: Optional[CommitListener] = None,
                    fetch_tamper: Optional[FetchTamper] = None,
-                   duplicate_frontend: bool = False
+                   duplicate_frontend: bool = False,
+                   checkpointing: bool = False
                    ) -> Pipeline:
     """Convenience factory: build a pipeline with its ITR controller.
 
     ``with_itr=False`` gives the unprotected baseline machine;
     ``recovery_enabled=False`` gives the monitor-mode machine used for
-    counterfactual fault classification.
+    counterfactual fault classification. ``checkpointing=True`` attaches
+    the Section 2.3 coarse-grain checkpoint unit, converting machine-check
+    aborts (and watchdog deadlocks) into rollbacks when possible.
     """
     config = config or PipelineConfig()
     itr = None
@@ -720,4 +826,5 @@ def build_pipeline(program: Program,
         commit_listener=commit_listener,
         fetch_tamper=fetch_tamper,
         duplicate_frontend=duplicate_frontend,
+        checkpointing=checkpointing,
     )

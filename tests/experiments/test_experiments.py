@@ -167,7 +167,8 @@ class TestRunner:
     def test_registry_covers_design_doc(self):
         for name in ("fig1", "fig2", "fig3", "fig4", "tab1", "tab2",
                      "fig6", "fig7", "fig8", "fig9", "sec5-area",
-                     "abl-checked-lru", "abl-hybrid", "abl-checkpoint"):
+                     "abl-checked-lru", "abl-hybrid", "abl-checkpoint",
+                     "recovery-soak"):
             assert name in EXPERIMENTS
 
     def test_run_experiment_api(self):

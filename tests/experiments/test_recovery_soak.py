@@ -1,0 +1,39 @@
+"""Tests for the recovery-soak experiment driver and CLI gate."""
+
+import json
+
+from repro.experiments.recovery_soak import main, run_directed_rollback
+
+
+class TestDirectedScenario:
+    def test_abort_becomes_rollback_and_reconverges(self):
+        directed = run_directed_rollback()
+        assert directed.machine_checks == 1
+        assert directed.rollbacks == 1
+        assert directed.aborts == 0
+        assert directed.rollback_distance is not None
+        assert directed.holds
+
+
+class TestCli:
+    def test_check_passes_and_exports(self, tmp_path, capsys):
+        out = tmp_path / "results"
+        code = main(["--kernels", "sum_loop", "--trials", "2",
+                     "--max-cycles", "150000", "--check",
+                     "--out", str(out)])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "claim holds       : True" in text
+
+        summary = json.loads((out / "soak_summary.json").read_text())
+        assert summary["directed_holds"] is True
+        assert summary["outcomes"].get("wrong_output", 0) == 0
+        per_kernel = json.loads((out / "soak_sum_loop.json").read_text())
+        assert len(per_kernel["trials"]) == 2
+        # Partial checkpoint file from the resumable path exists too.
+        assert (out / "soak_sum_loop.partial.json").exists()
+
+    def test_resume_requires_out(self, capsys):
+        import pytest
+        with pytest.raises(SystemExit):
+            main(["--resume"])

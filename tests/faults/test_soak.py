@@ -1,0 +1,156 @@
+"""Tests for the multi-fault soak harness: Poisson upset stream,
+crash isolation, and resumable byte-identical campaigns."""
+
+import json
+
+import pytest
+
+from repro.faults import PoissonInjector, SoakCampaign, SoakConfig
+from repro.isa.decode_signals import TOTAL_WIDTH, DecodeSignals
+from repro.utils.rng import make_rng
+from repro.workloads import get_kernel
+
+
+def clean_signals():
+    return DecodeSignals(opcode=0, flags=0, shamt=0, rsrc1=0, rsrc2=0,
+                         rdst=0, lat=0, imm=0, num_rsrc=0, num_rdst=0,
+                         mem_size=0)
+
+
+class TestPoissonInjector:
+    @pytest.mark.parametrize("rate", [0.0, 1.0, -0.1, 2.0])
+    def test_rate_must_be_open_unit_interval(self, rate):
+        with pytest.raises(ValueError):
+            PoissonInjector(make_rng(1, "x"), rate)
+
+    def test_strikes_are_deterministic_for_a_seed(self):
+        def run():
+            injector = PoissonInjector(make_rng(7, "soak"), 1.0 / 50.0)
+            for index in range(2_000):
+                injector(index, 0x400000 + 8 * (index % 32), clean_signals())
+            return injector.strikes
+
+        first, second = run(), run()
+        assert first == second
+        assert len(first) > 10  # E[strikes] = 40 at rate 1/50
+
+    def test_strike_flips_exactly_one_recorded_bit(self):
+        injector = PoissonInjector(make_rng(3, "bits"), 0.5)
+        for index in range(200):
+            signals = clean_signals()
+            tampered, struck = injector(index, 0x400000, signals)
+            if struck:
+                strike = injector.strikes[-1]
+                assert 0 <= strike.bit < TOTAL_WIDTH
+                assert tampered != signals
+                assert tampered.with_bit_flipped(strike.bit) == signals
+            else:
+                assert tampered == signals
+
+    def test_max_strikes_cap(self):
+        injector = PoissonInjector(make_rng(5, "cap"), 0.9, max_strikes=3)
+        for index in range(500):
+            injector(index, 0x400000, clean_signals())
+        assert len(injector.strikes) == 3
+
+    def test_inter_arrival_gaps_are_positive(self):
+        injector = PoissonInjector(make_rng(9, "gap"), 0.9)
+        for index in range(300):
+            injector(index, 0x400000, clean_signals())
+        indices = [s.decode_index for s in injector.strikes]
+        assert all(b > a for a, b in zip(indices, indices[1:]))
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return get_kernel("sum_loop")
+
+
+def soak_config(**overrides):
+    defaults = dict(trials=3, seed=1234, fault_rate=1.0 / 2000.0,
+                    max_cycles=200_000)
+    defaults.update(overrides)
+    return SoakConfig(**defaults)
+
+
+class TestSoakCampaign:
+    def test_fault_free_rate_yields_ok(self, kernel):
+        campaign = SoakCampaign(kernel, soak_config(
+            trials=1, fault_rate=1e-12))
+        result = campaign.run()
+        assert [t.outcome for t in result.trials] == ["ok"]
+        assert result.trials[0].strikes == 0
+
+    def test_harness_error_is_isolated_and_visible(self, kernel,
+                                                   monkeypatch):
+        campaign = SoakCampaign(kernel, soak_config())
+        real_run_trial = SoakCampaign.run_trial
+
+        def exploding(self, trial):
+            if trial == 1:
+                raise RuntimeError("simulated harness crash")
+            return real_run_trial(self, trial)
+
+        monkeypatch.setattr(SoakCampaign, "run_trial", exploding)
+        result = campaign.run()
+        assert result.total == 3
+        crashed = result.trials[1]
+        assert crashed.outcome == "harness_error"
+        assert "RuntimeError: simulated harness crash" in crashed.error
+        # The campaign kept going past the crash.
+        assert result.trials[2].outcome != "harness_error"
+
+    def test_resume_aggregates_byte_identically(self, kernel, tmp_path,
+                                                monkeypatch):
+        """Acceptance: an interrupted campaign resumed with the same
+        seed produces byte-identical aggregates to an uninterrupted
+        run."""
+        config = soak_config(trials=4)
+        uninterrupted = SoakCampaign(kernel, config).run()
+        baseline = json.dumps(uninterrupted.aggregate(), sort_keys=True)
+
+        save = str(tmp_path / "partial.json")
+        campaign = SoakCampaign(kernel, config)
+
+        class Interrupt(BaseException):
+            """Not an Exception: must bypass crash isolation."""
+
+        completed = []
+
+        def note_then_maybe_interrupt(trial_result):
+            completed.append(trial_result.trial)
+            if len(completed) == 2:
+                raise Interrupt
+
+        with pytest.raises(Interrupt):
+            campaign.run(save_path=save, progress=note_then_maybe_interrupt)
+
+        # Resume must skip the finished trials, not recompute them.
+        reran = []
+        real_run_trial = SoakCampaign.run_trial
+
+        def counting(self, trial):
+            reran.append(trial)
+            return real_run_trial(self, trial)
+
+        monkeypatch.setattr(SoakCampaign, "run_trial", counting)
+        resumed = SoakCampaign(kernel, config).run(save_path=save,
+                                                   resume=True)
+        assert reran == [2, 3]
+        assert json.dumps(resumed.aggregate(), sort_keys=True) == baseline
+
+    def test_resume_rejects_foreign_fingerprint(self, kernel, tmp_path):
+        save = str(tmp_path / "partial.json")
+        SoakCampaign(kernel, soak_config(trials=2)).run(save_path=save)
+        other = SoakCampaign(kernel, soak_config(trials=2, seed=999))
+        with pytest.raises(ValueError, match="different campaign"):
+            other.run(save_path=save, resume=True)
+
+    def test_recovery_disabled_matches_monitorless_machine(self, kernel):
+        """recovery=False builds the machine without a checkpoint unit;
+        trials report zero checkpoints and zero rollbacks."""
+        campaign = SoakCampaign(kernel, soak_config(
+            trials=1, recovery=False, fault_rate=1e-12))
+        result = campaign.run()
+        assert result.trials[0].checkpoints == 0
+        assert result.trials[0].rollbacks == 0

@@ -78,6 +78,39 @@ class TestProtectedExecution:
         assert pipeline.itr.stats.machine_checks == 1
         assert pipeline.itr.stats.retries == 1
 
+    def test_checkpointing_converts_abort_to_rollback(self):
+        """Acceptance (Section 2.3): the exact fault above — previously
+        a clean abort — rolls back to the newest coarse-grain checkpoint
+        and the program reconverges exactly with the golden simulator."""
+        kernel = get_kernel("sum_loop")
+        program = kernel.program()
+        golden = FunctionalSimulator(program, inputs=kernel.inputs)
+        golden.run_silently(3_000_000)
+
+        add_pc = program.entry + 3 * 8
+        seen = {"count": 0}
+
+        def tamper(index, pc, signals):
+            if pc == add_pc:
+                seen["count"] += 1
+                if seen["count"] == 2:
+                    return signals.with_bit_flipped(26), True
+            return signals, False
+
+        pipeline = build_pipeline(program, inputs=kernel.inputs,
+                                  decode_tamper=tamper, checkpointing=True)
+        result = pipeline.run(max_cycles=1_000_000)
+        assert result.reason == "halted"
+        assert pipeline.itr.stats.machine_checks == 1
+        assert pipeline.itr.stats.rollbacks == 1
+        assert pipeline.itr.stats.aborts == 0
+        assert pipeline.checkpoints.rollback_distances() != []
+        assert pipeline.output == golden.output
+        assert pipeline.arch_state.regs.snapshot() == \
+            golden.state.regs.snapshot()
+        assert pipeline.arch_state.memory.page_digest() == \
+            golden.state.memory.page_digest()
+
 
 class TestCampaignIntegration:
     def test_outcome_profile_plausible(self):

@@ -1,0 +1,176 @@
+"""Tests for the architectural checkpoint unit (paper Section 2.3)."""
+
+import pytest
+
+from repro.arch.state import ArchState
+from repro.arch.syscalls import OsLayer
+from repro.errors import ConfigError
+from repro.itr.arch_checkpoint import ArchCheckpointUnit
+
+
+def make_state(pc=0x400000):
+    return ArchState(pc=pc)
+
+
+def make_unit(capacity=4, pc=0x400000):
+    state = make_state(pc)
+    os_layer = OsLayer()
+    return ArchCheckpointUnit(state, os_layer, capacity=capacity), \
+        state, os_layer
+
+
+class TestCapture:
+    def test_initial_checkpoint_captured_at_construction(self):
+        unit, state, _ = make_unit()
+        assert len(unit) == 1
+        assert unit.newest.instructions == 0
+        assert unit.newest.pc == state.pc
+        assert unit.captures == 1
+
+    def test_capacity_validation(self):
+        state = make_state()
+        with pytest.raises(ConfigError):
+            ArchCheckpointUnit(state, OsLayer(), capacity=0)
+
+    def test_ring_evicts_oldest(self):
+        unit, _, _ = make_unit(capacity=3)
+        for i in range(1, 5):
+            unit.capture(cycle=i * 10, instructions=i * 100)
+        assert len(unit) == 3
+        assert unit.oldest.instructions == 200
+        assert unit.newest.instructions == 400
+        assert unit.evicted == 2
+
+    def test_capture_snapshots_registers_and_os(self):
+        unit, state, os_layer = make_unit()
+        state.regs.write(5, 0xDEAD)
+        os_layer.output.append("x")
+        ckpt = unit.capture(cycle=7, instructions=3)
+        assert ckpt.regs[5] == 0xDEAD
+        assert ckpt.os_state[0] == 1  # output length
+
+
+class TestCowJournal:
+    def test_store_journals_pre_image_into_newest(self):
+        unit, state, _ = make_unit()
+        state.memory.store(0x1000, 4, 0x11111111)
+        unit.capture(cycle=1, instructions=1)
+        state.memory.store(0x1000, 4, 0x22222222)
+        page = 0x1000 >> 12
+        assert page in unit.newest.pages
+        # Pre-image holds the value written *before* the capture.
+        image = unit.newest.pages[page]
+        assert image is not None
+        assert int.from_bytes(image[0:4], "little") == 0x11111111
+
+    def test_only_first_touch_journals(self):
+        unit, state, _ = make_unit()
+        state.memory.store(0x2000, 4, 1)
+        unit.capture(cycle=1, instructions=1)
+        state.memory.store(0x2000, 4, 2)
+        first_image = unit.newest.pages[0x2000 >> 12]
+        state.memory.store(0x2000, 4, 3)
+        # Journal kept the first pre-image; later stores do not overwrite.
+        assert unit.newest.pages[0x2000 >> 12] is first_image
+        assert int.from_bytes(first_image[0:4], "little") == 1
+
+    def test_unbacked_page_journals_none(self):
+        unit, state, _ = make_unit()
+        state.memory.store(0x9000, 4, 7)
+        assert unit.newest.pages[0x9000 >> 12] is None
+
+
+class TestRollback:
+    def test_rollback_restores_memory_regs_pc_os(self):
+        unit, state, os_layer = make_unit()
+        state.regs.write(3, 111)
+        state.memory.store(0x1000, 4, 0xAAAA)
+        state.pc = 0x400100
+        os_layer.output.append("kept")
+        target = unit.capture(cycle=5, instructions=10)
+        # Post-checkpoint (to be squashed):
+        state.regs.write(3, 222)
+        state.memory.store(0x1000, 4, 0xBBBB)
+        state.pc = 0x400200
+        os_layer.output.append("squashed")
+        record = unit.rollback(target, cycle=9, cause="machine_check",
+                               from_instructions=25)
+        assert state.regs.read(3) == 111
+        assert state.memory.load(0x1000, 4) == 0xAAAA
+        assert state.pc == 0x400100
+        assert os_layer.output_text() == "kept"
+        assert record.distance == 15
+        assert unit.rollback_distances() == [15]
+
+    def test_rollback_across_multiple_epochs_restores_oldest_preimage(self):
+        unit, state, _ = make_unit()
+        state.memory.store(0x1000, 4, 1)
+        target = unit.capture(cycle=1, instructions=1)
+        state.memory.store(0x1000, 4, 2)
+        unit.capture(cycle=2, instructions=2)
+        state.memory.store(0x1000, 4, 3)
+        unit.capture(cycle=3, instructions=3)
+        state.memory.store(0x1000, 4, 4)
+        unit.rollback(target, cycle=4, cause="watchdog",
+                      from_instructions=4)
+        assert state.memory.load(0x1000, 4) == 1
+
+    def test_rollback_deletes_pages_created_after_target(self):
+        unit, state, _ = make_unit()
+        target = unit.capture(cycle=1, instructions=1)
+        state.memory.store(0x8000, 4, 99)   # page did not exist at capture
+        unit.rollback(target, cycle=2, cause="machine_check",
+                      from_instructions=2)
+        assert state.memory.snapshot_page(0x8000 >> 12) is None
+
+    def test_rollback_discards_younger_checkpoints(self):
+        unit, _, _ = make_unit()
+        target = unit.capture(cycle=1, instructions=1)
+        unit.capture(cycle=2, instructions=2)
+        unit.capture(cycle=3, instructions=3)
+        unit.rollback(target, cycle=4, cause="watchdog",
+                      from_instructions=3)
+        assert unit.newest is target
+        assert target.pages == {}
+
+    def test_rollback_to_nonresident_checkpoint_rejected(self):
+        unit, _, _ = make_unit(capacity=2)
+        old = unit.capture(cycle=1, instructions=1)
+        unit.capture(cycle=2, instructions=2)
+        unit.capture(cycle=3, instructions=3)  # evicts `old`
+        with pytest.raises(ValueError):
+            unit.rollback(old, cycle=4, cause="watchdog",
+                          from_instructions=3)
+
+
+class TestBoundSelection:
+    def test_newest_preceding_picks_newest_at_or_before_bound(self):
+        unit, _, _ = make_unit(capacity=8)
+        unit.capture(cycle=1, instructions=100)
+        wanted = unit.capture(cycle=2, instructions=200)
+        unit.capture(cycle=3, instructions=300)
+        assert unit.newest_preceding(250) is wanted
+        assert unit.newest_preceding(200) is wanted
+
+    def test_none_bound_accepts_newest(self):
+        unit, _, _ = make_unit()
+        newest = unit.capture(cycle=1, instructions=50)
+        assert unit.newest_preceding(None) is newest
+
+    def test_no_qualifying_checkpoint_returns_none(self):
+        unit, _, _ = make_unit(capacity=2)
+        unit.capture(cycle=1, instructions=100)
+        unit.capture(cycle=2, instructions=200)  # initial (0) evicted
+        assert unit.newest_preceding(50) is None
+
+    def test_initial_checkpoint_covers_any_bound(self):
+        unit, _, _ = make_unit()
+        assert unit.newest_preceding(0) is unit.oldest
+
+
+class TestDetach:
+    def test_detach_removes_observer(self):
+        unit, state, _ = make_unit()
+        unit.detach()
+        state.memory.store(0x3000, 4, 1)
+        assert unit.newest.pages == {}

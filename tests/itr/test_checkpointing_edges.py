@@ -1,0 +1,69 @@
+"""Edge cases of the offline coarse-grain checkpointing model
+(:mod:`repro.itr.checkpointing`), the static counterpart of the
+pipeline's :class:`~repro.itr.arch_checkpoint.ArchCheckpointUnit`."""
+
+from repro.itr.checkpointing import simulate_checkpointing
+from repro.itr.itr_cache import ItrCacheConfig
+from repro.itr.trace import TraceEvent
+
+
+def ev(index, length=4):
+    return TraceEvent(start_pc=0x400000 + index * 128, length=length)
+
+
+class TestEmptyPrefix:
+    def test_empty_stream_has_only_the_initial_checkpoint(self):
+        """Checkpoint at instruction 0: the program-start snapshot exists
+        even when no trace ever commits."""
+        result = simulate_checkpointing([], ItrCacheConfig(entries=4,
+                                                           assoc=0))
+        assert result.checkpoints_taken == 1
+        assert result.dynamic_instructions == 0
+        assert result.rollback_recoverable_instructions == 0
+        assert result.unrecoverable_instructions == 0
+        assert result.mean_checkpoint_interval == 0.0
+        assert result.recovered_fraction == 0.0
+        assert result.residual_recovery_loss_pct == 0.0
+
+    def test_first_rollback_targets_instruction_zero(self):
+        """A fault detected before any later checkpoint rolls back the
+        whole prefix — distance equals the stream position, measured
+        from the initial (instruction-0) checkpoint."""
+        config = ItrCacheConfig(entries=4, assoc=0)
+        # miss at position 0 (length 6), re-referenced at position 8.
+        result = simulate_checkpointing([ev(0, 6), ev(1, 2), ev(0, 6)],
+                                        config)
+        assert result.rollback_recoverable_instructions == 6
+        # Detection completes at position 8 + 6 = 14; checkpoint is at 0.
+        assert result.rollback_distances == [14]
+
+
+class TestEvictedUnreferenced:
+    def test_missed_instance_evicted_after_last_checkpoint_stays_lost(self):
+        """A missed instance whose line is evicted before any later
+        instance references it can never be detected — its instructions
+        stay unrecoverable even though checkpoints exist."""
+        config = ItrCacheConfig(entries=1, assoc=1)
+        # ev(0) inserts; ev(1) evicts it unchecked; neither re-referenced.
+        result = simulate_checkpointing([ev(0, 6), ev(1, 4)], config)
+        assert result.rollback_recoverable_instructions == 0
+        assert result.unrecoverable_instructions == 10
+        assert result.rollback_distances == []
+
+    def test_eviction_after_detection_does_not_unrecover(self):
+        """Once a later instance has referenced (detected) the missed
+        instance, a subsequent eviction is irrelevant to recovery."""
+        config = ItrCacheConfig(entries=1, assoc=1)
+        result = simulate_checkpointing([ev(0, 6), ev(0, 6), ev(1, 4)],
+                                        config)
+        assert result.rollback_recoverable_instructions == 6
+        assert result.unrecoverable_instructions == 4  # ev(1), still pending
+
+    def test_mixed_population_accounts_both_ways(self):
+        config = ItrCacheConfig(entries=1, assoc=1)
+        events = [ev(0, 6), ev(0, 6),   # detected: recoverable
+                  ev(1, 8), ev(2, 2)]   # ev(1) evicted unreferenced
+        result = simulate_checkpointing(events, config)
+        assert result.rollback_recoverable_instructions == 6
+        assert result.unrecoverable_instructions == 10  # ev(1) + ev(2)
+        assert 0.0 < result.recovered_fraction <= 1.0

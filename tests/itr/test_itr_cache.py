@@ -222,3 +222,67 @@ class TestIndexing:
         stride = 4 * 8
         cache.insert(pc(0), 1, 1)
         assert cache.lookup(pc(0) + stride) is None
+
+
+class TestUncheckedCounter:
+    """The O(1) unchecked-line counter (polled every trace commit by the
+    checkpoint capture condition) must track the brute-force recount
+    through every mutation path."""
+
+    def _assert_sync(self, cache):
+        assert cache.unchecked_lines() == cache.recount_unchecked()
+
+    def test_counter_tracks_insert_lookup_update_invalidate(self):
+        cache = ItrCache(ItrCacheConfig(entries=4, assoc=2))
+        self._assert_sync(cache)
+        cache.insert(pc(0), 0xAA, 4)
+        cache.insert(pc(1), 0xBB, 4)
+        self._assert_sync(cache)
+        assert cache.unchecked_lines() == 2
+        cache.lookup(pc(0))              # marks checked
+        self._assert_sync(cache)
+        assert cache.unchecked_lines() == 1
+        cache.lookup(pc(0))              # second hit: no double decrement
+        self._assert_sync(cache)
+        cache.update(pc(0), 0xCC, 4)     # rewrite: unchecked again
+        self._assert_sync(cache)
+        assert cache.unchecked_lines() == 2
+        cache.invalidate(pc(1))
+        self._assert_sync(cache)
+        assert cache.unchecked_lines() == 1
+
+    def test_counter_survives_evictions(self):
+        cache = ItrCache(ItrCacheConfig(entries=2, assoc=1))
+        for index in range(16):
+            cache.insert(pc(index), index, 4)
+            self._assert_sync(cache)
+
+    def test_pre_checked_insert_not_counted(self):
+        cache = ItrCache(ItrCacheConfig(entries=4, assoc=2))
+        cache.insert(pc(0), 0xAA, 4, checked=True)
+        self._assert_sync(cache)
+        assert cache.unchecked_lines() == 0
+
+    def test_update_miss_falls_back_to_insert(self):
+        cache = ItrCache(ItrCacheConfig(entries=4, assoc=2))
+        cache.update(pc(5), 0xEE, 4)
+        self._assert_sync(cache)
+        assert cache.unchecked_lines() == 1
+
+    def test_randomized_workout_stays_synchronized(self):
+        import random
+        rng = random.Random(42)
+        cache = ItrCache(ItrCacheConfig(entries=8, assoc=2))
+        for _ in range(500):
+            op = rng.randrange(4)
+            index = rng.randrange(24)
+            if op == 0:
+                cache.insert(pc(index), rng.getrandbits(64), 4,
+                             checked=rng.random() < 0.3)
+            elif op == 1:
+                cache.lookup(pc(index))
+            elif op == 2:
+                cache.update(pc(index), rng.getrandbits(64), 4)
+            else:
+                cache.invalidate(pc(index))
+            self._assert_sync(cache)

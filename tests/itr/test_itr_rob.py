@@ -124,3 +124,47 @@ class TestFlush:
         a = rob.dispatch(trace())
         b = rob.dispatch(trace())
         assert list(rob.entries()) == [a, b]
+
+
+class TestOneHotIntegrity:
+    """Satellite of Section 2.4: the chk/miss/retry bits are one-hot
+    protected, and every commit-side read verifies the encoding."""
+
+    def test_clean_entry_reads_fine(self):
+        rob = ItrRob(4)
+        entry = rob.dispatch(trace())
+        entry.mark_checked(mismatch=False)
+        assert entry.checked and not entry.retry and entry.resolved
+
+    @pytest.mark.parametrize("bit", [0, 1, 2, 3])
+    def test_single_bit_flip_raises_on_every_read(self, bit):
+        from repro.errors import ItrRobIntegrityError
+        for reader in ("checked", "missed", "retry", "resolved"):
+            rob = ItrRob(4)
+            entry = rob.dispatch(trace())
+            entry.mark_checked(mismatch=True)
+            entry.inject_control_fault(bit)
+            with pytest.raises(ItrRobIntegrityError):
+                getattr(entry, reader)
+
+    def test_error_carries_seq_and_code(self):
+        from repro.errors import ItrRobIntegrityError
+        rob = ItrRob(4)
+        entry = rob.dispatch(trace())
+        entry.mark_miss()
+        entry.inject_control_fault(0)
+        with pytest.raises(ItrRobIntegrityError) as excinfo:
+            entry.resolved
+        assert excinfo.value.seq == entry.seq
+        # miss (0b1000) with bit 0 flipped: two bits set -> illegal.
+        assert excinfo.value.code == 0b1001
+
+    def test_double_flip_back_is_undetectable_by_design(self):
+        """Flipping the same bit twice restores a legal word — one-hot
+        protects against *single*-event upsets only."""
+        rob = ItrRob(4)
+        entry = rob.dispatch(trace())
+        entry.mark_miss()
+        entry.inject_control_fault(2)
+        entry.inject_control_fault(2)
+        assert entry.missed

@@ -1,0 +1,138 @@
+"""Pipeline-level checkpoint/rollback recovery (paper Section 2.3).
+
+Covers the machine-check-to-rollback conversion wiring, the watchdog
+expiry rollback path with its forward-progress storm guard, and the
+regression for the deadlock-after-successful-retry bug (a recovery
+flush must re-arm the watchdog).
+"""
+
+import pytest
+
+from repro.arch import FunctionalSimulator
+from repro.errors import ConfigError
+from repro.isa import assemble
+from repro.uarch import PipelineConfig, build_pipeline
+from repro.workloads import get_kernel
+
+
+WILD_JUMP = """
+.text
+main:
+    li $t0, 0x00500000
+    jr $t0
+"""
+
+
+class TestConfig:
+    def test_checkpointing_requires_itr(self):
+        kernel = get_kernel("sum_loop")
+        with pytest.raises(ConfigError):
+            build_pipeline(kernel.program(), with_itr=False,
+                           checkpointing=True)
+
+    def test_checkpoint_unit_absent_by_default(self):
+        kernel = get_kernel("sum_loop")
+        pipeline = build_pipeline(kernel.program())
+        assert pipeline.checkpoints is None
+
+
+class TestWatchdogRearm:
+    """Satellite: every recovery flush must restart the deadlock timer."""
+
+    def test_flush_rearms_watchdog(self):
+        kernel = get_kernel("sum_loop")
+        pipeline = build_pipeline(kernel.program(), inputs=kernel.inputs)
+        for _ in range(50):
+            pipeline.step_cycle()
+        # Age the timer to the brink of expiry, then flush.
+        pipeline.watchdog._last_commit_cycle = (
+            pipeline.cycle - pipeline.config.watchdog_timeout + 1)
+        pipeline._flush(pipeline.arch_state.pc)
+        assert not pipeline.watchdog.tick(
+            pipeline.cycle + pipeline.config.watchdog_timeout - 1)
+
+    def test_successful_retry_does_not_deadlock(self):
+        """Regression: a retry flush that lands while the watchdog is
+        nearly expired used to leave the stale timer running, so the
+        post-flush refill window (no commits for a few cycles) tripped
+        a spurious deadlock right after a *successful* recovery."""
+        kernel = get_kernel("sum_loop")
+        program = kernel.program()
+        golden = FunctionalSimulator(program, inputs=kernel.inputs)
+        golden.run_silently(3_000_000)
+
+        add_pc = program.entry + 3 * 8
+        seen = {"count": 0}
+
+        def tamper(index, pc, signals):
+            if pc == add_pc:
+                seen["count"] += 1
+                if seen["count"] == 5:  # later instance: plain retry
+                    return signals.with_bit_flipped(26), True
+            return signals, False
+
+        pipeline = build_pipeline(program, inputs=kernel.inputs,
+                                  decode_tamper=tamper)
+        # Every flush (retry included) arrives with a starved timer: if
+        # the flush fails to re-arm it, the watchdog fires during refill.
+        orig_flush = pipeline._flush
+
+        def flush_with_starved_timer(redirect_pc):
+            pipeline.watchdog._last_commit_cycle = (
+                pipeline.cycle - pipeline.config.watchdog_timeout + 2)
+            orig_flush(redirect_pc)
+
+        pipeline._flush = flush_with_starved_timer
+        result = pipeline.run(max_cycles=2_000_000)
+        assert result.reason == "halted"
+        assert pipeline.itr.stats.recoveries >= 1
+        assert pipeline.output == golden.output
+
+
+class TestWatchdogRollback:
+    def test_transient_wild_fetch_recovers_by_rollback(self):
+        """A one-shot fetch-PC corruption starves fetch; the watchdog
+        fires and, with checkpointing, the machine rolls back to the
+        newest checkpoint and completes instead of deadlocking."""
+        kernel = get_kernel("sum_loop")
+        program = kernel.program()
+        golden = FunctionalSimulator(program, inputs=kernel.inputs)
+        golden.run_silently(3_000_000)
+
+        fired = {"done": False}
+
+        def wild_fetch(cycle, fetch_pc):
+            if cycle == 300 and not fired["done"]:
+                fired["done"] = True
+                return 0x00500000
+            return fetch_pc
+
+        pipeline = build_pipeline(
+            program, inputs=kernel.inputs, fetch_tamper=wild_fetch,
+            checkpointing=True,
+            config=PipelineConfig(watchdog_timeout=500))
+        result = pipeline.run(max_cycles=2_000_000)
+        assert fired["done"]
+        assert result.reason == "halted"
+        assert pipeline.stats.watchdog_rollbacks == 1
+        assert pipeline.output == golden.output
+
+    def test_rollback_storm_escalates_to_deadlock(self):
+        """A genuinely wedged program (architectural wild jump) makes no
+        forward progress after rollback; the second expiry aimed at the
+        same checkpoint must escalate instead of looping forever."""
+        program = assemble(WILD_JUMP)
+        pipeline = build_pipeline(
+            program, checkpointing=True,
+            config=PipelineConfig(watchdog_timeout=500))
+        result = pipeline.run(max_cycles=200_000)
+        assert result.reason == "deadlock"
+        assert pipeline.stats.watchdog_rollbacks >= 1
+
+    def test_without_checkpointing_wild_jump_still_deadlocks(self):
+        program = assemble(WILD_JUMP)
+        pipeline = build_pipeline(program, config=PipelineConfig(
+            watchdog_timeout=500))
+        result = pipeline.run(max_cycles=100_000)
+        assert result.reason == "deadlock"
+        assert pipeline.stats.watchdog_rollbacks == 0
