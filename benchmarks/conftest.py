@@ -25,6 +25,9 @@ def pytest_addoption(parser):
                      help="dynamic instructions per synthetic benchmark")
     parser.addoption("--itr-trials", type=int, default=40,
                      help="fault injections per kernel (fig8)")
+    parser.addoption("--itr-workers", type=str, default=None,
+                     help="worker processes for campaign benchmarks "
+                          "(int or 'auto'; default: serial)")
 
 
 @pytest.fixture(scope="session")
@@ -35,6 +38,11 @@ def instructions(request):
 @pytest.fixture(scope="session")
 def trials(request):
     return request.config.getoption("--itr-trials")
+
+
+@pytest.fixture(scope="session")
+def workers(request):
+    return request.config.getoption("--itr-workers")
 
 
 @pytest.fixture(scope="session")

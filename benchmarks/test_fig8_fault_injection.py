@@ -19,8 +19,9 @@ from repro.experiments.fault_injection import (
 from repro.faults.outcomes import Outcome
 
 
-def test_fig8(benchmark, trials, save_report):
-    result = run_once(benchmark, lambda: run_fault_injection(trials=trials))
+def test_fig8(benchmark, trials, workers, save_report):
+    result = run_once(benchmark, lambda: run_fault_injection(
+        trials=trials, workers=workers))
     save_report("fig8_fault_injection", render_figure8(result))
 
     detected = result.average_detected_by_itr()

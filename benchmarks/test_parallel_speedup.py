@@ -1,0 +1,63 @@
+"""Parallel campaign engine: serial vs. worker-pool speedup.
+
+Runs a 200-trial fault-injection campaign twice — serially, then on a
+4-worker pool — and checks the two contract halves of the parallel
+engine:
+
+1. **Determinism** — the exported JSON of the parallel run is
+   byte-identical to the serial run (same trials, same seeds, same
+   order), per the equivalence guarantee in ``repro.faults.parallel``.
+2. **Throughput** — with at least 4 CPUs available, the pooled run is
+   at least 2x faster than the serial run. On smaller machines (CI
+   smoke runners are often 1-2 cores) the timing assertion is skipped
+   but the determinism check still runs, and the measured numbers are
+   written to ``benchmarks/results/parallel_speedup.txt`` either way.
+"""
+
+import json
+import os
+import time
+
+from repro.faults.campaign import CampaignConfig, FaultCampaign
+from repro.workloads.kernels import get_kernel
+
+TRIALS = 200
+OBSERVATION_CYCLES = 12_000
+POOL = 4
+
+
+def _campaign():
+    return FaultCampaign(get_kernel("sum_loop"), CampaignConfig(
+        trials=TRIALS, seed=20_070_625,
+        observation_cycles=OBSERVATION_CYCLES))
+
+
+def test_parallel_speedup(save_report):
+    start = time.perf_counter()
+    serial = _campaign().run()
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pooled = _campaign().run(workers=POOL)
+    pooled_s = time.perf_counter() - start
+
+    serial_json = json.dumps(serial.to_dict(), sort_keys=True)
+    pooled_json = json.dumps(pooled.to_dict(), sort_keys=True)
+    assert pooled_json == serial_json
+
+    speedup = serial_s / pooled_s if pooled_s else float("inf")
+    cpus = os.cpu_count() or 1
+    save_report("parallel_speedup", "\n".join([
+        f"parallel campaign engine: {TRIALS} trials, sum_loop, "
+        f"{OBSERVATION_CYCLES} observation cycles",
+        f"  cpus available : {cpus}",
+        f"  serial         : {serial_s:.2f}s",
+        f"  {POOL} workers      : {pooled_s:.2f}s",
+        f"  speedup        : {speedup:.2f}x",
+        f"  byte-identical : {pooled_json == serial_json}",
+    ]))
+
+    if cpus >= POOL:
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup at {POOL} workers on {cpus} CPUs, "
+            f"measured {speedup:.2f}x")

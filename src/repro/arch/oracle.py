@@ -1,0 +1,89 @@
+"""Fault-free golden oracle: final architectural state of a kernel.
+
+Campaigns (and their parallel workers) repeatedly need the fault-free
+answer for a kernel — console output, final register file, final memory
+image — to judge reconvergence. Computing it means running the whole
+program through the functional simulator, which is pure per-kernel work;
+this module computes it once per process and memoizes, so a worker that
+runs hundreds of trials of the same kernel pays for the golden run once.
+
+The same oracle doubles as the differential-conformance reference: the
+cycle simulator, run fault-free, must land on exactly this state (see
+``tests/integration/test_differential_conformance.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..isa.program import Program
+from .functional import FunctionalSimulator
+from .state import ArchState
+
+#: Generous default step budget: every bundled kernel halts well within it.
+DEFAULT_MAX_STEPS = 4_000_000
+
+
+@dataclass(frozen=True)
+class GoldenFinalState:
+    """The architecturally visible end state of a fault-free run."""
+
+    output: str
+    regs: Tuple[int, ...]
+    memory_digest: Tuple[Tuple[int, bytes], ...]
+    instructions: int
+    halted: bool
+
+    def matches_output(self, output: str) -> bool:
+        """Whether a run's console output equals the golden output."""
+        return self.output == output
+
+    def matches_state(self, state: ArchState) -> bool:
+        """Whether ``state`` agrees on registers and touched memory."""
+        return (state.regs.snapshot() == self.regs
+                and state.memory.page_digest() == self.memory_digest)
+
+
+def compute_golden_final_state(program: Program,
+                               inputs: Optional[Sequence[int]] = None,
+                               max_steps: int = DEFAULT_MAX_STEPS,
+                               initial_state: Optional[ArchState] = None
+                               ) -> GoldenFinalState:
+    """Run ``program`` on the functional simulator to halt (uncached)."""
+    golden = FunctionalSimulator(program, inputs=inputs,
+                                 initial_state=initial_state)
+    retired = golden.run_silently(max_steps)
+    return GoldenFinalState(
+        output=golden.output,
+        regs=golden.state.regs.snapshot(),
+        memory_digest=golden.state.memory.page_digest(),
+        instructions=retired,
+        halted=golden.halted,
+    )
+
+
+#: Per-process memo: (kernel name, source, inputs, max_steps) -> state.
+_ORACLE_CACHE: Dict[Tuple[str, str, Tuple[int, ...], int],
+                    GoldenFinalState] = {}
+
+
+def golden_final_state(kernel, max_steps: int = DEFAULT_MAX_STEPS
+                       ) -> GoldenFinalState:
+    """Memoized golden final state for a kernel (keyed on its source).
+
+    The key includes the kernel's assembly source, not just its name, so
+    synthesized kernels that reuse a name can never alias a stale entry.
+    """
+    key = (kernel.name, kernel.source, tuple(kernel.inputs), max_steps)
+    cached = _ORACLE_CACHE.get(key)
+    if cached is None:
+        cached = compute_golden_final_state(
+            kernel.program(), inputs=kernel.inputs, max_steps=max_steps)
+        _ORACLE_CACHE[key] = cached
+    return cached
+
+
+def clear_oracle_cache() -> None:
+    """Drop all memoized golden states (test isolation hook)."""
+    _ORACLE_CACHE.clear()

@@ -113,11 +113,14 @@ WriteObserver = Callable[[int, int], None]
 class Memory:
     """Sparse paged little-endian byte-addressable memory (32-bit space)."""
 
-    __slots__ = ("_pages", "_write_observer")
+    __slots__ = ("_pages", "_write_observer", "_shared")
 
     def __init__(self) -> None:
         self._pages: Dict[int, bytearray] = {}
         self._write_observer: Optional[WriteObserver] = None
+        #: Page numbers whose backing store is shared with another Memory
+        #: (see :meth:`cow_fork`); they must be copied before mutation.
+        self._shared: set = set()
 
     def _page(self, address: int, create: bool) -> Optional[bytearray]:
         number = address >> _PAGE_BITS
@@ -126,6 +129,14 @@ class Memory:
             page = bytearray(_PAGE_SIZE)
             self._pages[number] = page
         return page
+
+    def _unshare(self, number: int) -> None:
+        """Materialize a private copy of one shared page before writing."""
+        if number in self._shared:
+            page = self._pages.get(number)
+            if page is not None:
+                self._pages[number] = bytearray(page)
+            self._shared.discard(number)
 
     def _check(self, address: int, size: int) -> None:
         if address < 0 or address + size > _ADDRESS_LIMIT:
@@ -156,6 +167,8 @@ class Memory:
         while position < len(data):
             offset = address & (_PAGE_SIZE - 1)
             chunk = min(len(data) - position, _PAGE_SIZE - offset)
+            if self._shared:
+                self._unshare(address >> _PAGE_BITS)
             page = self._page(address, create=True)
             page[offset:offset + chunk] = data[position:position + chunk]
             address += chunk
@@ -188,6 +201,22 @@ class Memory:
                         for num, page in self._pages.items()}
         return clone
 
+    def cow_fork(self) -> "Memory":
+        """Copy-on-write fork: share every page until one side writes it.
+
+        Both this memory and the fork mark all current pages shared; the
+        first ``store_bytes``/``restore_page`` touching a shared page
+        materializes a private copy, so forks stay fully independent while
+        a fork costs O(pages) pointer copies instead of O(bytes). This is
+        the warm-start reset the parallel campaign workers use: build the
+        program's initial state once, fork it per trial.
+        """
+        clone = Memory()
+        clone._pages = dict(self._pages)
+        clone._shared = set(self._pages)
+        self._shared.update(self._pages)
+        return clone
+
     # --------------------------------------------------- checkpointing hooks
     def set_write_observer(self, observer: Optional[WriteObserver]) -> None:
         """Install (or clear) the pre-write hook used for COW journaling."""
@@ -207,6 +236,7 @@ class Memory:
 
     def restore_page(self, number: int, image: Optional[bytes]) -> None:
         """Put one page back to a prior pre-image (bypasses the observer)."""
+        self._shared.discard(number)
         if image is None:
             self._pages.pop(number, None)
         else:
@@ -252,4 +282,16 @@ class ArchState:
         clone = ArchState(pc=self.pc)
         clone.regs = self.regs.copy()
         clone.memory = self.memory.copy()
+        return clone
+
+    def cow_fork(self) -> "ArchState":
+        """Cheap independent fork: registers copied, memory copy-on-write.
+
+        The warm-start reset hook for campaign workers — fork the
+        program's pristine initial state per trial instead of rebuilding
+        it (and re-storing the data segment) from the program image.
+        """
+        clone = ArchState(pc=self.pc)
+        clone.regs = self.regs.copy()
+        clone.memory = self.memory.cow_fork()
         return clone

@@ -48,8 +48,14 @@ def run_fault_injection(kernels: Optional[Sequence[Kernel]] = None,
                         trials: int = 100,
                         seed: int = 2007,
                         observation_cycles: int = 60_000,
-                        verify_recovery: bool = False) -> Figure8Result:
-    """Run the Figure 8 campaign over the kernel suite."""
+                        verify_recovery: bool = False,
+                        workers: Optional[object] = None) -> Figure8Result:
+    """Run the Figure 8 campaign over the kernel suite.
+
+    ``workers`` (int, ``"auto"``, or ``None`` for serial) fans each
+    kernel's trials across worker processes; results are bit-identical
+    to the serial run regardless of worker count.
+    """
     kernels = list(kernels) if kernels is not None else all_kernels()
     result = Figure8Result()
     for kernel in kernels:
@@ -59,7 +65,7 @@ def run_fault_injection(kernels: Optional[Sequence[Kernel]] = None,
             observation_cycles=observation_cycles,
             verify_recovery=verify_recovery,
         ))
-        result.campaigns.append(campaign.run())
+        result.campaigns.append(campaign.run(workers=workers))
     return result
 
 

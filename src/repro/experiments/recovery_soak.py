@@ -20,7 +20,8 @@ Two complementary measurements:
 CLI (also registered as ``recovery-soak`` in the experiment runner)::
 
     python -m repro.experiments.recovery_soak \
-        --kernels sum_loop,strsearch --trials 5 --check --out results/
+        --kernels sum_loop,strsearch --trials 5 --check --out results/ \
+        --workers auto
 
 ``--check`` exits non-zero when any trial ends in ``wrong_output`` or
 ``harness_error`` — the CI smoke gate for the recovery subsystem.
@@ -169,13 +170,17 @@ def run_recovery_soak(kernels: Optional[Sequence[Kernel]] = None,
                       max_cycles: int = 400_000,
                       out_dir: Optional[str] = None,
                       resume: bool = False,
-                      pipeline: Optional[PipelineConfig] = None
+                      pipeline: Optional[PipelineConfig] = None,
+                      workers: Optional[object] = None
                       ) -> RecoverySoakResult:
     """Run the directed scenario plus a soak campaign per kernel.
 
     ``out_dir`` enables per-kernel partial-result checkpoint files
     (``<out_dir>/soak_<kernel>.partial.json``); with ``resume=True`` an
-    interrupted campaign continues from them.
+    interrupted campaign continues from them. ``workers`` (int,
+    ``"auto"``, or ``None`` for serial) fans each campaign's trials
+    across worker processes — results, partials and resumes stay
+    byte-identical to serial execution.
     """
     result = RecoverySoakResult(directed=run_directed_rollback())
     pipeline = pipeline or PipelineConfig()
@@ -189,7 +194,8 @@ def run_recovery_soak(kernels: Optional[Sequence[Kernel]] = None,
             directory = pathlib.Path(out_dir)
             directory.mkdir(parents=True, exist_ok=True)
             save_path = str(directory / f"soak_{kernel.name}.partial.json")
-        soak = campaign.run(save_path=save_path, resume=resume)
+        soak = campaign.run(save_path=save_path, resume=resume,
+                            workers=workers)
         static = simulate_checkpointing(kernel_trace_events(kernel),
                                         pipeline.itr_cache)
         result.reports.append(KernelSoakReport(
@@ -272,6 +278,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--resume", action="store_true",
                         help="continue an interrupted campaign from the "
                              "partial files in --out")
+    parser.add_argument("--workers", type=str, default=None,
+                        help="worker processes per campaign (an integer, "
+                             "or 'auto' for one per CPU; default: serial). "
+                             "Results are byte-identical to serial runs.")
     parser.add_argument("--check", action="store_true",
                         help="exit 1 on any wrong_output or harness_error "
                              "(CI gate)")
@@ -287,7 +297,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     result = run_recovery_soak(
         kernels=kernels, trials=args.trials, seed=args.seed,
         fault_rate=args.fault_rate, max_cycles=args.max_cycles,
-        out_dir=args.out, resume=args.resume)
+        out_dir=args.out, resume=args.resume, workers=args.workers)
     print(render_recovery_soak(result))
 
     if args.out:

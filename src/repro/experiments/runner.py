@@ -70,7 +70,8 @@ def _run_fig7(args) -> str:
 
 def _run_fig8(args) -> str:
     result = fault_injection.run_fault_injection(
-        trials=args.trials, seed=args.seed)
+        trials=args.trials, seed=args.seed,
+        workers=getattr(args, "workers", None))
     return fault_injection.render_figure8(result)
 
 
@@ -170,7 +171,8 @@ def _run_recovery_soak(args) -> str:
     from . import recovery_soak
     result = recovery_soak.run_recovery_soak(
         kernels=[_get("sum_loop"), _get("strsearch"), _get("dispatch")],
-        trials=max(3, args.trials // 10), seed=args.seed)
+        trials=max(3, args.trials // 10), seed=args.seed,
+        workers=getattr(args, "workers", None))
     return recovery_soak.render_recovery_soak(result)
 
 
@@ -178,7 +180,8 @@ def _run_scorecard(args) -> str:
     from . import scorecard
     card = scorecard.build_scorecard(
         instructions=min(args.instructions, 150_000),
-        trials=min(args.trials, 15), seed=args.seed)
+        trials=min(args.trials, 15), seed=args.seed,
+        workers=getattr(args, "workers", None))
     return scorecard.render_scorecard(card)
 
 
@@ -213,13 +216,14 @@ EXPERIMENTS: Dict[str, Callable] = {
 
 def run_experiment(name: str, instructions: int =
                    DEFAULT_SYNTHETIC_INSTRUCTIONS,
-                   seed: int = DEFAULT_SEED, trials: int = 60) -> str:
+                   seed: int = DEFAULT_SEED, trials: int = 60,
+                   workers: Optional[object] = None) -> str:
     """Programmatic entry point: run one experiment, return its report."""
     if name not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {name!r}; available: {sorted(EXPERIMENTS)}")
     namespace = argparse.Namespace(
-        instructions=instructions, seed=seed, trials=trials)
+        instructions=instructions, seed=seed, trials=trials, workers=workers)
     return EXPERIMENTS[name](namespace)
 
 
@@ -238,6 +242,11 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("--trials", type=int, default=60,
                         help="fault injections per kernel (fig8)")
+    parser.add_argument("--workers", type=str, default=None,
+                        help="worker processes for campaign experiments "
+                             "(an integer, or 'auto' for one per CPU; "
+                             "default: serial). Campaign results are "
+                             "byte-identical at any worker count.")
     parser.add_argument("--out", type=str, default=None,
                         help="also write each report to <out>/<exp>.txt")
     args = parser.parse_args(argv)

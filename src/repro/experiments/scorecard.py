@@ -47,8 +47,13 @@ class Scorecard:
 
 
 def build_scorecard(instructions: int = 150_000, trials: int = 15,
-                    seed: int = 12345) -> Scorecard:
-    """Run the fast experiment variants and assemble the scorecard."""
+                    seed: int = 12345, workers=None) -> Scorecard:
+    """Run the fast experiment variants and assemble the scorecard.
+
+    ``workers`` fans the fault-injection campaign across worker
+    processes (int, ``"auto"``, or ``None`` for serial); the measured
+    numbers are identical either way.
+    """
     card = Scorecard()
 
     char = characterization.run_characterization(
@@ -94,7 +99,7 @@ def build_scorecard(instructions: int = 150_000, trials: int = 15,
     injection = fault_injection.run_fault_injection(
         kernels=[get_kernel("sum_loop"), get_kernel("strsearch"),
                  get_kernel("dispatch")],
-        trials=trials, observation_cycles=50_000)
+        trials=trials, observation_cycles=50_000, workers=workers)
     detected = 100.0 * injection.average_detected_by_itr()
     card.add("fig8", "faults detected through the ITR cache",
              "95.4%", f"{detected:.1f}%", detected > 75.0)

@@ -8,7 +8,9 @@ from .campaign import (
     SoakCampaignResult,
     SoakConfig,
     SoakTrialResult,
+    soak_trial_rng,
 )
+from .parallel import resolve_workers, shard_round_robin
 from .injector import (
     DecodeInjector,
     FaultSpec,
@@ -41,6 +43,9 @@ __all__ = [
     "SoakCampaignResult",
     "SoakConfig",
     "SoakTrialResult",
+    "soak_trial_rng",
+    "resolve_workers",
+    "shard_round_robin",
     "DecodeInjector",
     "FaultSpec",
     "FaultStrike",

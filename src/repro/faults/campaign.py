@@ -29,6 +29,8 @@ from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from ..arch.functional import CommitEffect, FunctionalSimulator
+from ..arch.oracle import golden_final_state
+from ..arch.state import ArchState
 from ..isa.decode_signals import DecodeSignals
 from ..uarch.config import PipelineConfig
 from ..uarch.pipeline import build_pipeline
@@ -48,6 +50,15 @@ class CampaignConfig:
     observation_cycles: int = 60_000  # window (paper: 1M cycles)
     verify_recovery: bool = False    # re-run with recovery on for R labels
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Determinism-relevant identity, recorded in JSON exports."""
+        return {
+            "trials": self.trials,
+            "seed": self.seed,
+            "observation_cycles": self.observation_cycles,
+            "verify_recovery": self.verify_recovery,
+        }
 
 
 class _LockstepComparator:
@@ -75,6 +86,39 @@ class CampaignResult:
 
     benchmark: str
     trials: List[TrialResult] = field(default_factory=list)
+    config_fingerprint: Optional[Dict[str, object]] = None
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (inverse of :meth:`from_dict`).
+
+        This is the serial/parallel equivalence contract: a campaign run
+        with any worker count must serialize byte-identically (via
+        ``json.dumps(..., sort_keys=True)``) to the serial run.
+        """
+        return {
+            "benchmark": self.benchmark,
+            "config": self.config_fingerprint,
+            "trials": [t.to_dict() for t in self.trials],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignResult":
+        return cls(
+            benchmark=data["benchmark"],
+            trials=[TrialResult.from_dict(t) for t in data["trials"]],
+            config_fingerprint=data.get("config"),
+        )
+
+    def aggregate(self) -> Dict[str, object]:
+        """Deterministic summary (counts, detection fraction, Fig 8 row)."""
+        return {
+            "benchmark": self.benchmark,
+            "config": self.config_fingerprint,
+            "trials": self.total,
+            "outcomes": dict(sorted(self.counts().items())),
+            "detected_by_itr": sum(t.detected_itr for t in self.trials),
+            "figure8_row": self.figure8_row(),
+        }
 
     @property
     def total(self) -> int:
@@ -119,18 +163,37 @@ class CampaignResult:
 
 
 class FaultCampaign:
-    """Runs a full campaign for one kernel."""
+    """Runs a full campaign for one kernel.
+
+    Construction performs the one-time per-kernel work (assemble, build
+    the pristine initial state, run the fault-free reference to size the
+    fault-site space); every trial then warm-starts from a copy-on-write
+    fork of that state instead of rebuilding it. Parallel workers pass
+    ``decode_count`` (measured once in the parent) to skip the reference
+    run entirely.
+    """
 
     def __init__(self, kernel: Kernel,
-                 config: Optional[CampaignConfig] = None):
+                 config: Optional[CampaignConfig] = None,
+                 decode_count: Optional[int] = None):
         self.kernel = kernel
         self.config = config or CampaignConfig()
         self._program = kernel.program()
+        # Pristine post-ABI-reset state, forked per trial (warm start).
+        self._initial_state = ArchState.from_program(self._program)
+        self.golden_instructions: Optional[int] = None
+        if decode_count is not None:
+            if decode_count < 1:
+                raise ValueError("decode_count must be >= 1")
+            self.decode_count = decode_count
+            return
         # Fault sites are drawn over the fault-free run's decode count
         # (wrong-path decodes included — hardware faults strike whatever is
         # in the decode stage).
         reference = build_pipeline(self._program, config=self.config.pipeline,
-                                   inputs=kernel.inputs)
+                                   inputs=kernel.inputs,
+                                   initial_state=self._initial_state
+                                   .cow_fork())
         reference.run(max_cycles=self.config.observation_cycles)
         self.decode_count = max(1, reference.stats.instructions_decoded)
         self.golden_instructions = reference.stats.instructions_committed
@@ -139,7 +202,9 @@ class FaultCampaign:
     def run_trial(self, trial_index: int, spec: FaultSpec) -> TrialResult:
         """Run and classify one injection (see module docstring)."""
         config = self.config
-        golden = FunctionalSimulator(self._program, inputs=self.kernel.inputs)
+        golden = FunctionalSimulator(self._program, inputs=self.kernel.inputs,
+                                     initial_state=self._initial_state
+                                     .cow_fork())
         comparator = _LockstepComparator(
             golden, max_steps=10 * config.observation_cycles)
         injector = DecodeInjector(spec)
@@ -150,6 +215,7 @@ class FaultCampaign:
             inputs=self.kernel.inputs,
             decode_tamper=injector,
             commit_listener=comparator,
+            initial_state=self._initial_state.cow_fork(),
         )
         run = pipeline.run(max_cycles=config.observation_cycles)
 
@@ -201,7 +267,9 @@ class FaultCampaign:
     def _verify_recovery(self, spec: FaultSpec) -> bool:
         """Re-run with recovery enabled: does the machine reconverge?"""
         config = self.config
-        golden = FunctionalSimulator(self._program, inputs=self.kernel.inputs)
+        golden = FunctionalSimulator(self._program, inputs=self.kernel.inputs,
+                                     initial_state=self._initial_state
+                                     .cow_fork())
         comparator = _LockstepComparator(
             golden, max_steps=10 * config.observation_cycles)
         pipeline = build_pipeline(
@@ -211,25 +279,47 @@ class FaultCampaign:
             inputs=self.kernel.inputs,
             decode_tamper=DecodeInjector(spec),
             commit_listener=comparator,
+            initial_state=self._initial_state.cow_fork(),
         )
         run = pipeline.run(max_cycles=2 * config.observation_cycles)
         return run.reason == "halted" and not comparator.diverged
 
     # ------------------------------------------------------------- all trials
-    def run(self) -> CampaignResult:
-        """Run the full deterministic fault plan for this kernel."""
-        plan = fault_plan(self.config.seed, self.kernel.name,
+    def plan(self) -> List[FaultSpec]:
+        """The campaign's deterministic fault plan.
+
+        Generated once from a single per-benchmark RNG stream, so the
+        trial -> fault-site mapping is fixed before any trial runs —
+        independent of worker count, sharding, or completion order.
+        """
+        return fault_plan(self.config.seed, self.kernel.name,
                           self.config.trials, self.decode_count)
-        result = CampaignResult(benchmark=self.kernel.name)
-        for index, spec in enumerate(plan):
-            result.trials.append(self.run_trial(index, spec))
+
+    def run(self, workers: Optional[object] = None) -> CampaignResult:
+        """Run the full deterministic fault plan for this kernel.
+
+        ``workers`` selects the execution engine: ``None`` runs trials
+        serially in-process; an integer >= 1 (or ``"auto"``) fans trials
+        out across that many worker processes via
+        :mod:`repro.faults.parallel`, with results reassembled in trial
+        order so the outcome is byte-identical to the serial run.
+        """
+        plan = self.plan()
+        result = CampaignResult(benchmark=self.kernel.name,
+                                config_fingerprint=self.config.fingerprint())
+        from .parallel import resolve_workers
+        pool_size = resolve_workers(workers)
+        if pool_size is None:
+            for index, spec in enumerate(plan):
+                result.trials.append(self.run_trial(index, spec))
+        else:
+            from .parallel import run_fault_trials
+            result.trials = run_fault_trials(self, plan, pool_size)
         return result
 
     def iter_trials(self) -> Iterator[TrialResult]:
         """Lazy trial stream (lets callers report progress)."""
-        plan = fault_plan(self.config.seed, self.kernel.name,
-                          self.config.trials, self.decode_count)
-        for index, spec in enumerate(plan):
+        for index, spec in enumerate(self.plan()):
             yield self.run_trial(index, spec)
 
 
@@ -243,6 +333,16 @@ _SOAK_CHUNK_CYCLES = 20_000
 #: Trial outcome labels (see :class:`SoakTrialResult.outcome`).
 SOAK_OUTCOMES = ("ok", "wrong_output", "aborted", "deadlock", "timeout",
                  "harness_error")
+
+
+def soak_trial_rng(seed: int, benchmark: str, trial: int):
+    """The soak campaign's trial -> RNG-stream derivation.
+
+    One independent stream per ``(seed, benchmark, trial)`` identity —
+    never a function of worker count, shard layout, or completion order.
+    This is the function the seed-derivation property test pins down.
+    """
+    return make_rng(seed, "soak", benchmark, trial)
 
 
 @dataclass
@@ -393,17 +493,22 @@ class SoakCampaign:
         self.kernel = kernel
         self.config = config or SoakConfig()
         self._program = kernel.program()
-        golden = FunctionalSimulator(self._program, inputs=kernel.inputs)
-        golden.run_silently(10 * self.config.max_cycles)
+        # Pristine post-ABI-reset state, forked per trial (warm start).
+        self._initial_state = ArchState.from_program(self._program)
+        # The golden final state comes from the per-process oracle cache,
+        # so a parallel worker running many campaigns of the same kernel
+        # (or many trials of one campaign) pays for the golden run once.
+        golden = golden_final_state(kernel,
+                                    max_steps=10 * self.config.max_cycles)
         self._golden_output = golden.output
-        self._golden_regs = golden.state.regs.snapshot()
-        self._golden_digest = golden.state.memory.page_digest()
+        self._golden_regs = golden.regs
+        self._golden_digest = golden.memory_digest
 
     # ------------------------------------------------------------- one trial
     def run_trial(self, trial: int) -> SoakTrialResult:
         """Run one Poisson-stream trial to completion or a budget limit."""
         config = self.config
-        rng = make_rng(config.seed, "soak", self.kernel.name, trial)
+        rng = soak_trial_rng(config.seed, self.kernel.name, trial)
         injector = PoissonInjector(rng, config.fault_rate)
         pipeline = build_pipeline(
             self._program,
@@ -411,6 +516,7 @@ class SoakCampaign:
             inputs=self.kernel.inputs,
             decode_tamper=injector,
             checkpointing=config.recovery,
+            initial_state=self._initial_state.cow_fork(),
         )
         deadline = time.monotonic() + config.trial_timeout_s
         while True:
@@ -470,23 +576,42 @@ class SoakCampaign:
 
     # ------------------------------------------------------------ all trials
     def run(self, save_path: Optional[str] = None, resume: bool = False,
-            progress=None) -> SoakCampaignResult:
-        """Run every trial, optionally checkpointing/resuming via JSON."""
+            progress=None,
+            workers: Optional[object] = None) -> SoakCampaignResult:
+        """Run every trial, optionally checkpointing/resuming via JSON.
+
+        ``workers`` selects the execution engine: ``None`` runs serially
+        in-process; an integer >= 1 (or ``"auto"``) fans the pending
+        trials across worker processes via :mod:`repro.faults.parallel`.
+        Trial RNG streams are derived purely from the trial identity
+        (:func:`soak_trial_rng`), so any worker count — and any mix of
+        interrupted/resumed execution — aggregates byte-identically to an
+        uninterrupted serial run. Partial results are persisted as each
+        trial completes, in either mode.
+        """
         config = self.config
         done: Dict[int, SoakTrialResult] = {}
         if resume and save_path is not None and os.path.exists(save_path):
             done = self._load_partial(save_path)
-        for trial in range(config.trials):
-            if trial in done:
-                continue
-            result = self._isolated_trial(trial)
-            done[trial] = result
+        pending = [t for t in range(config.trials) if t not in done]
+
+        def record(result: SoakTrialResult) -> None:
+            done[result.trial] = result
             # Persist before notifying observers: a crash (or interrupt)
             # raised from the progress callback must not lose the trial.
             if save_path is not None:
                 self._save_partial(save_path, done)
             if progress is not None:
                 progress(result)
+
+        from .parallel import resolve_workers
+        pool_size = resolve_workers(workers)
+        if pool_size is None:
+            for trial in pending:
+                record(self._isolated_trial(trial))
+        elif pending:
+            from .parallel import run_soak_trials
+            run_soak_trials(self, pending, pool_size, record)
         return SoakCampaignResult(
             benchmark=self.kernel.name,
             config_fingerprint=config.fingerprint(),

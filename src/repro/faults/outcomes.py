@@ -32,8 +32,8 @@ Undet+Mask         undetected, architecturally masked
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
 
 
 class Detection(enum.Enum):
@@ -139,3 +139,22 @@ class TrialResult:
     recovery_verified: Optional[bool] = None
     fault_pc: Optional[int] = None  # PC of the tampered instruction
                                     # (None when the fault never fired)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (enums as their string values).
+
+        Inverse of :meth:`from_dict`; also the pickle-stable shape the
+        parallel campaign engine ships across process boundaries for
+        byte-identical serial/parallel JSON exports.
+        """
+        data = asdict(self)
+        data["outcome"] = self.outcome.value
+        data["effect"] = self.effect.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TrialResult":
+        payload = dict(data)
+        payload["outcome"] = Outcome(payload["outcome"])
+        payload["effect"] = Effect(payload["effect"])
+        return cls(**payload)

@@ -1,0 +1,255 @@
+"""Parallel deterministic campaign execution engine.
+
+Fault-injection campaigns are embarrassingly parallel: every trial is a
+pure function of ``(program, config, seed, fault_spec)``. This module
+fans trials across a :class:`concurrent.futures.ProcessPoolExecutor`
+while keeping the results **bit-identical to a serial run**, which rests
+on three invariants:
+
+1. **Identity-derived randomness.** A trial's RNG stream (soak) or fault
+   spec (single-fault plan, generated once in the parent) is a pure
+   function of the trial's identity — never of worker count, shard
+   layout, or completion order.
+
+2. **Trial-order reassembly.** Workers may finish in any order; results
+   are reassembled by trial index before aggregation, so JSON exports
+   and resumable soak partials are byte-identical to serial output.
+
+3. **Warm-start workers.** Each worker process builds its campaign
+   context once (assemble the kernel, build the pristine
+   :class:`~repro.arch.state.ArchState`, compute or fetch the memoized
+   golden final state) and every trial warm-starts from a copy-on-write
+   fork of that state — the per-trial setup cost is paid per *worker*,
+   not per trial.
+
+Crash isolation extends across process boundaries for soak campaigns: a
+trial whose worker raises reports ``harness_error`` via the in-worker
+isolation wrapper, and a trial whose worker process *dies* (e.g. is
+killed) is blamed by isolation — a dead worker breaks its whole pool
+without saying which trial killed it, so every trial pending at the
+breakage is retried in its own single-trial pool, where a second death
+is unambiguous and classifies that trial ``harness_error`` while the
+innocent bystanders complete. In both cases the rest of the campaign
+completes and resumable partials stay valid.
+
+The unit of scheduling is a single trial, so "sharding" can never change
+results; :func:`shard_round_robin` exists for tests and callers that
+want a static decomposition to reason about.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+from .injector import FaultSpec
+from .outcomes import TrialResult
+
+T = TypeVar("T")
+
+#: Times a trial's worker process may die before the trial is classified
+#: ``harness_error``: the first death happens in a shared pool (where the
+#: killer is ambiguous), the second in a dedicated single-trial pool
+#: (where it is not).
+_MAX_WORKER_DEATHS = 2
+
+
+def _mp_context():
+    """The ``fork`` start method where available (Linux/macOS).
+
+    Forked workers inherit the parent's loaded modules — including any
+    test-applied monkeypatches — and make warm-start initialization
+    cheap. Falls back to the platform default elsewhere.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+def resolve_workers(workers: Optional[object]) -> Optional[int]:
+    """Normalize a ``--workers`` value to ``None`` (serial) or an int.
+
+    Accepts ``None``/``0``/``"serial"`` (serial in-process execution),
+    ``"auto"`` (one worker per available CPU), or a positive integer /
+    its string form (that many worker processes; ``1`` still exercises
+    the cross-process engine with a single worker).
+    """
+    if workers is None:
+        return None
+    if isinstance(workers, str):
+        text = workers.strip().lower()
+        if text in ("", "none", "serial"):
+            return None
+        if text == "auto":
+            return max(1, os.cpu_count() or 1)
+        workers = int(text)
+    count = int(workers)
+    if count == 0:
+        return None
+    if count < 0:
+        raise ValueError(f"workers must be >= 0, got {count}")
+    return count
+
+
+def shard_round_robin(items: Sequence[T], shards: int) -> List[List[T]]:
+    """Deterministic round-robin decomposition of a trial list.
+
+    Purely a reasoning/testing aid: the engine schedules single trials
+    dynamically, and because every trial's randomness derives from its
+    identity alone, *any* decomposition — including this one — yields
+    the same per-trial results.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return [list(items[shard::shards]) for shard in range(shards)]
+
+
+# ======================================================================
+# Worker-side warm contexts
+# ======================================================================
+#
+# Initializers run once per worker process and cache the campaign
+# context in a module global; task functions only ship the per-trial
+# payload (a trial index, plus the fault spec for single-fault trials).
+
+_FAULT_CONTEXT = None
+_SOAK_CONTEXT = None
+
+
+def _fault_worker_init(kernel, config, decode_count: int) -> None:
+    from .campaign import FaultCampaign
+    global _FAULT_CONTEXT
+    _FAULT_CONTEXT = FaultCampaign(kernel, config, decode_count=decode_count)
+
+
+def _fault_worker_trial(index: int, spec: FaultSpec) -> TrialResult:
+    return _FAULT_CONTEXT.run_trial(index, spec)
+
+
+def _soak_worker_init(kernel, config) -> None:
+    from .campaign import SoakCampaign
+    global _SOAK_CONTEXT
+    _SOAK_CONTEXT = SoakCampaign(kernel, config)
+
+
+def _soak_worker_trial(trial: int):
+    # In-worker crash isolation: an exception inside the trial becomes a
+    # picklable harness_error result instead of poisoning the pool.
+    return _SOAK_CONTEXT._isolated_trial(trial)
+
+
+# ======================================================================
+# Parent-side execution
+# ======================================================================
+
+def run_fault_trials(campaign, plan: Sequence[FaultSpec],
+                     workers: int) -> List[TrialResult]:
+    """Run a single-fault campaign's plan across worker processes.
+
+    The plan was generated in the parent from the per-benchmark RNG
+    stream; workers receive ``(trial_index, spec)`` pairs and a warm
+    context built once per worker (``decode_count`` shipped from the
+    parent so workers skip the fault-free reference run). Results come
+    back in trial order. A worker exception propagates, matching the
+    serial engine's behaviour.
+    """
+    if not plan:
+        return []
+    pool = ProcessPoolExecutor(
+        max_workers=min(workers, len(plan)),
+        mp_context=_mp_context(),
+        initializer=_fault_worker_init,
+        initargs=(campaign.kernel, campaign.config, campaign.decode_count),
+    )
+    try:
+        futures = [pool.submit(_fault_worker_trial, index, spec)
+                   for index, spec in enumerate(plan)]
+        results = [future.result() for future in futures]
+    except BaseException:
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return results
+
+
+def _soak_pool_round(campaign, trials: Sequence[int], workers: int,
+                     on_result: Callable,
+                     deaths: Dict[int, int]) -> List[int]:
+    """One pool's worth of soak trials; returns the trials to retry.
+
+    A completed trial is reported through ``on_result``; a trial whose
+    future raised (pool breakage from a dead worker) either increments
+    its death count and joins the returned retry list, or — at
+    ``_MAX_WORKER_DEATHS`` — is reported as ``harness_error``.
+    """
+    from .campaign import SoakTrialResult
+    pool = ProcessPoolExecutor(
+        max_workers=min(workers, len(trials)),
+        mp_context=_mp_context(),
+        initializer=_soak_worker_init,
+        initargs=(campaign.kernel, campaign.config),
+    )
+    survivors: List[int] = []
+    try:
+        futures = {pool.submit(_soak_worker_trial, trial): trial
+                   for trial in trials}
+        for future in as_completed(futures):
+            trial = futures[future]
+            try:
+                result = future.result()
+            except Exception as exc:  # noqa: BLE001 — pool breakage
+                deaths[trial] += 1
+                if deaths[trial] >= _MAX_WORKER_DEATHS:
+                    on_result(SoakTrialResult(
+                        trial=trial,
+                        outcome="harness_error",
+                        error=f"worker process failed "
+                              f"({type(exc).__name__}: {exc})",
+                    ))
+                else:
+                    survivors.append(trial)
+            else:
+                on_result(result)
+    except BaseException:
+        # Interrupt raised from on_result (or the parent): stop
+        # handing out work, abandon running trials, re-raise. The
+        # caller's partials hold everything recorded so far.
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return survivors
+
+
+def run_soak_trials(campaign, trials: Sequence[int], workers: int,
+                    on_result: Callable) -> None:
+    """Run soak trials across worker processes with full crash isolation.
+
+    ``on_result(SoakTrialResult)`` is invoked in completion order as each
+    trial finishes (the campaign uses it to persist resumable partials
+    and report progress); the caller reassembles by trial index.
+
+    A dead worker process breaks its whole pool without identifying the
+    trial that killed it, so blame is established by isolation: trials
+    that have never seen a breakage share a pool, while every trial
+    pending at a breakage is retried in its own dedicated single-trial
+    pool. There a second death is unambiguous — that trial is classified
+    ``harness_error`` — and innocent bystanders simply complete. The
+    loop terminates because each round either finishes a trial, moves it
+    to the isolated path, or classifies it.
+    """
+    pending = sorted(trials)
+    deaths = {trial: 0 for trial in pending}
+    while pending:
+        fresh = [t for t in pending if deaths[t] == 0]
+        suspects = [t for t in pending if deaths[t] > 0]
+        survivors: List[int] = []
+        if fresh:
+            survivors.extend(_soak_pool_round(
+                campaign, fresh, workers, on_result, deaths))
+        for trial in suspects:
+            survivors.extend(_soak_pool_round(
+                campaign, [trial], 1, on_result, deaths))
+        pending = sorted(survivors)

@@ -210,12 +210,25 @@ class DecodeSignals:
 
     # -- packing --------------------------------------------------------------
     def pack(self) -> int:
-        """Pack into the canonical 64-bit signal word."""
+        """Pack into the canonical 64-bit signal word.
+
+        Memoized per instance: the signature generator folds the packed
+        word of every decoded instruction into the running trace XOR, and
+        the pipeline hands it the *same* frozen vector for every dynamic
+        instance of a static instruction, so caching turns the hot path
+        into a dict lookup. (The instance is frozen; the cache can never
+        go stale, and only successful packs are cached so invalid vectors
+        still raise on every call.)
+        """
+        cached = self.__dict__.get("_packed_word")
+        if cached is not None:
+            return cached
         word = 0
         for field in FIELDS:
             value = getattr(self, field.name)
             check_fits(value, field.width, field.name)
             word = insert(word, field.offset, field.width, value)
+        object.__setattr__(self, "_packed_word", word)
         return word
 
     @classmethod

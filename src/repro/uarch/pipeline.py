@@ -188,7 +188,8 @@ class Pipeline:
                  commit_listener: Optional[CommitListener] = None,
                  fetch_tamper: Optional[FetchTamper] = None,
                  duplicate_frontend: bool = False,
-                 checkpointing: bool = False):
+                 checkpointing: bool = False,
+                 initial_state: Optional[ArchState] = None):
         self.program = program
         self.config = config
         self.itr = itr
@@ -202,7 +203,10 @@ class Pipeline:
         self.duplicate_frontend = duplicate_frontend
         self.frontend_dup_detections = 0
 
-        self.arch_state = ArchState.from_program(program)
+        # Warm-start reset hook: campaign workers build the pristine
+        # state once per kernel and pass a cow_fork() per trial.
+        self.arch_state = initial_state if initial_state is not None \
+            else ArchState.from_program(program)
         self.os = OsLayer(inputs=inputs, seed=os_seed)
         self.predictor = BranchPredictor(config.predictor)
         self.icache = TagCache(config.icache)
@@ -236,6 +240,11 @@ class Pipeline:
         self._free_phys: Deque[int] = deque(range(64, num_phys))
 
         self.fetch_pc = program.entry
+        #: Memoized clean decode-signal vectors, keyed by PC. ``decode``
+        #: is a pure function of the immutable instruction word, so the
+        #: cache is exact; tampering happens downstream on the returned
+        #: (shared, frozen) vector and never mutates a cached entry.
+        self._signals_cache: Dict[int, DecodeSignals] = {}
         self._fetch_queue: Deque[Tuple[int, Instruction, int]] = deque()
         self._rob: Deque[RobEntry] = deque()
         self._iq: List[RobEntry] = []
@@ -342,7 +351,7 @@ class Pipeline:
             if self.itr is not None and not self.itr.ready_for_decode():
                 return
             pc, instr, predicted_npc = self._fetch_queue[0]
-            signals = decode(instr)
+            signals = self._decode_at(pc, instr)
             tainted = False
             if self.decode_tamper is not None:
                 signals, tainted = self.decode_tamper(
@@ -353,7 +362,7 @@ class Pipeline:
                 # (Under a single-event-upset model exactly one copy is
                 # wrong, and a second fetch+decode arbitrates.)
                 self.frontend_dup_detections += 1
-                signals = decode(instr)
+                signals = self._decode_at(pc, instr)
                 tainted = False
             is_mem = signals.is_ld or signals.is_st
             if is_mem and len(self._lsq) >= self.config.lsq_entries:
@@ -402,6 +411,14 @@ class Pipeline:
                 self._waiting_serialize = True
                 self._fetch_queue.clear()
                 return
+
+    def _decode_at(self, pc: int, instr: Instruction) -> DecodeSignals:
+        """Clean decode of the instruction at ``pc`` (per-PC memoized)."""
+        signals = self._signals_cache.get(pc)
+        if signals is None:
+            signals = decode(instr)
+            self._signals_cache[pc] = signals
+        return signals
 
     def _rename(self, entry: RobEntry) -> None:
         signals = entry.signals
@@ -797,7 +814,8 @@ def build_pipeline(program: Program,
                    commit_listener: Optional[CommitListener] = None,
                    fetch_tamper: Optional[FetchTamper] = None,
                    duplicate_frontend: bool = False,
-                   checkpointing: bool = False
+                   checkpointing: bool = False,
+                   initial_state: Optional[ArchState] = None
                    ) -> Pipeline:
     """Convenience factory: build a pipeline with its ITR controller.
 
@@ -827,4 +845,5 @@ def build_pipeline(program: Program,
         fetch_tamper=fetch_tamper,
         duplicate_frontend=duplicate_frontend,
         checkpointing=checkpointing,
+        initial_state=initial_state,
     )

@@ -13,6 +13,19 @@ from typing import Iterable, List, Sequence, TypeVar
 T = TypeVar("T")
 
 
+def stream_material(seed: int, *stream: object) -> str:
+    """Canonical seed material for a named RNG stream.
+
+    The material is an injective encoding of ``(seed, *stream)``: every
+    component is ``repr``-quoted, so component boundaries survive (the
+    tuple ``("a:1", 2)`` can never collide with ``("a", 1, 2)``). This is
+    the determinism contract the parallel campaign engine relies on — a
+    trial's stream is a pure function of its identity, never of worker
+    count, shard boundaries, or completion order.
+    """
+    return f"{seed}:" + ":".join(repr(part) for part in stream)
+
+
 def make_rng(seed: int, *stream: object) -> random.Random:
     """Create an independent :class:`random.Random` for a named stream.
 
@@ -24,8 +37,7 @@ def make_rng(seed: int, *stream: object) -> random.Random:
     >>> make_rng(1, "gcc", 3).random() != make_rng(1, "gcc", 4).random()
     True
     """
-    material = f"{seed}:" + ":".join(repr(part) for part in stream)
-    return random.Random(material)
+    return random.Random(stream_material(seed, *stream))
 
 
 def split_seed(seed: int, *stream: object) -> int:

@@ -1,0 +1,106 @@
+"""Cross-process crash isolation for the parallel campaign engine.
+
+A trial that raises inside a worker, or whose worker process dies
+outright, must cost exactly that trial (``harness_error``) — the rest
+of the campaign completes, and the resumable partial stays valid.
+These tests rely on the engine's ``fork`` start method: monkeypatched
+methods propagate into freshly forked workers.
+"""
+
+import json
+import os
+import signal
+
+from repro.faults.campaign import SoakCampaign, SoakConfig
+from repro.workloads import get_kernel
+
+
+def crash_config():
+    return SoakConfig(trials=4, seed=99, fault_rate=1.0 / 2000.0,
+                      max_cycles=120_000)
+
+
+def test_worker_exception_isolated_to_one_trial(monkeypatch):
+    original = SoakCampaign.run_trial
+
+    def exploding(self, trial):
+        if trial == 1:
+            raise RuntimeError("injected harness bug")
+        return original(self, trial)
+
+    monkeypatch.setattr(SoakCampaign, "run_trial", exploding)
+    result = SoakCampaign(get_kernel("sum_loop"), crash_config()).run(
+        workers=2)
+
+    assert [t.trial for t in result.trials] == [0, 1, 2, 3]
+    assert result.trials[1].outcome == "harness_error"
+    assert "injected harness bug" in result.trials[1].error
+    for trial in (0, 2, 3):
+        assert result.trials[trial].outcome != "harness_error"
+
+
+def test_worker_death_isolated_to_one_trial(monkeypatch, tmp_path):
+    """SIGKILL breaks the whole pool; blame-by-isolation must converge
+    on the poison trial and let the bystanders finish."""
+    original = SoakCampaign.run_trial
+
+    def lethal(self, trial):
+        if trial == 2:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return original(self, trial)
+
+    monkeypatch.setattr(SoakCampaign, "run_trial", lethal)
+    save = tmp_path / "soak.partial.json"
+    result = SoakCampaign(get_kernel("sum_loop"), crash_config()).run(
+        save_path=str(save), workers=2)
+
+    assert result.total == 4
+    assert result.trials[2].outcome == "harness_error"
+    assert "worker process failed" in result.trials[2].error
+    for trial in (0, 1, 3):
+        assert result.trials[trial].outcome != "harness_error"
+
+    # Every trial — including the dead one — made it into the partial.
+    partial = json.loads(save.read_text())
+    assert sorted(partial["completed"], key=int) == ["0", "1", "2", "3"]
+
+
+def test_campaign_resumes_cleanly_after_worker_death(monkeypatch, tmp_path):
+    """A campaign whose worker died resumes and re-aggregates like any
+    other: completed trials are skipped, the result has every trial."""
+    original = SoakCampaign.run_trial
+
+    def lethal(self, trial):
+        if trial == 0:
+            os.kill(os.getpid(), signal.SIGKILL)
+        return original(self, trial)
+
+    save = tmp_path / "soak.partial.json"
+    monkeypatch.setattr(SoakCampaign, "run_trial", lethal)
+    first = SoakCampaign(get_kernel("sum_loop"), crash_config()).run(
+        save_path=str(save), workers=2)
+    assert first.trials[0].outcome == "harness_error"
+
+    monkeypatch.setattr(SoakCampaign, "run_trial", original)
+    resumed = SoakCampaign(get_kernel("sum_loop"), crash_config()).run(
+        save_path=str(save), resume=True, workers=2)
+    # Resume trusts the partial: the recorded harness_error is kept, the
+    # healthy trials are not re-run (their results round-trip verbatim).
+    assert [t.to_dict() for t in resumed.trials] \
+        == [t.to_dict() for t in first.trials]
+
+
+def test_serial_engine_unaffected_by_worker_machinery(monkeypatch):
+    """The serial path never forks: a trial exception is isolated by the
+    in-process wrapper exactly as before the parallel engine existed."""
+    original = SoakCampaign.run_trial
+
+    def exploding(self, trial):
+        if trial == 3:
+            raise ValueError("late failure")
+        return original(self, trial)
+
+    monkeypatch.setattr(SoakCampaign, "run_trial", exploding)
+    result = SoakCampaign(get_kernel("sum_loop"), crash_config()).run()
+    assert result.trials[3].outcome == "harness_error"
+    assert "late failure" in result.trials[3].error

@@ -1,0 +1,142 @@
+"""Serial/parallel equivalence: the contract of ``repro.faults.parallel``.
+
+A campaign run with *any* worker count must produce results that are
+byte-identical — as exported JSON and as deterministic aggregates — to
+the serial in-process run, for both single-fault campaigns and soak
+campaigns, including a soak campaign that is interrupted and resumed.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.campaign import (
+    CampaignConfig,
+    FaultCampaign,
+    SoakCampaign,
+    SoakConfig,
+)
+from repro.workloads import get_kernel
+
+KERNELS = ("sum_loop", "strsearch", "dispatch")
+WORKER_COUNTS = (1, 2, 4)
+
+
+def fault_config():
+    return CampaignConfig(trials=5, seed=1234, observation_cycles=15_000)
+
+
+def soak_config():
+    return SoakConfig(trials=4, seed=77, fault_rate=1.0 / 2000.0,
+                      max_cycles=150_000)
+
+
+def as_json(result):
+    """The byte-equality yardstick used by every test in this module."""
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def serial_fault_baseline():
+    return {name: FaultCampaign(get_kernel(name), fault_config()).run()
+            for name in KERNELS}
+
+
+@pytest.fixture(scope="module")
+def serial_soak_baseline():
+    return {name: SoakCampaign(get_kernel(name), soak_config()).run()
+            for name in KERNELS}
+
+
+class TestFaultCampaignEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_json_byte_identical(self, kernel, workers,
+                                 serial_fault_baseline):
+        parallel = FaultCampaign(
+            get_kernel(kernel), fault_config()).run(workers=workers)
+        assert as_json(parallel) == as_json(serial_fault_baseline[kernel])
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_aggregates_identical(self, kernel, serial_fault_baseline):
+        parallel = FaultCampaign(
+            get_kernel(kernel), fault_config()).run(workers=4)
+        assert parallel.aggregate() == serial_fault_baseline[kernel].aggregate()
+
+    def test_string_worker_counts_accepted(self, serial_fault_baseline):
+        parallel = FaultCampaign(
+            get_kernel("sum_loop"), fault_config()).run(workers="2")
+        assert as_json(parallel) == as_json(serial_fault_baseline["sum_loop"])
+
+
+class TestSoakCampaignEquivalence:
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_json_byte_identical(self, kernel, workers, serial_soak_baseline):
+        parallel = SoakCampaign(
+            get_kernel(kernel), soak_config()).run(workers=workers)
+        assert as_json(parallel) == as_json(serial_soak_baseline[kernel])
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_aggregates_identical(self, kernel, serial_soak_baseline):
+        parallel = SoakCampaign(
+            get_kernel(kernel), soak_config()).run(workers=4)
+        assert parallel.aggregate() == serial_soak_baseline[kernel].aggregate()
+
+    def test_partial_files_byte_identical(self, tmp_path,
+                                          serial_soak_baseline):
+        """The on-disk resumable partial matches serial byte for byte."""
+        serial_path = tmp_path / "serial.partial.json"
+        SoakCampaign(get_kernel("sum_loop"), soak_config()).run(
+            save_path=str(serial_path))
+        parallel_path = tmp_path / "parallel.partial.json"
+        SoakCampaign(get_kernel("sum_loop"), soak_config()).run(
+            save_path=str(parallel_path), workers=2)
+        assert parallel_path.read_bytes() == serial_path.read_bytes()
+
+
+class TestResumedSoakEquivalence:
+    def test_interrupted_then_parallel_resume_matches_serial(
+            self, tmp_path, serial_soak_baseline):
+        """Kill a campaign mid-flight, resume it on a pool: same bytes."""
+        save = tmp_path / "soak.partial.json"
+        seen = []
+
+        def interrupt_after_two(result):
+            seen.append(result.trial)
+            if len(seen) == 2:
+                raise KeyboardInterrupt
+
+        campaign = SoakCampaign(get_kernel("sum_loop"), soak_config())
+        with pytest.raises(KeyboardInterrupt):
+            campaign.run(save_path=str(save),
+                         progress=interrupt_after_two)
+        # The partial survived the interrupt with the completed trials.
+        partial = json.loads(save.read_text())
+        assert len(partial["completed"]) == 2
+
+        resumed = SoakCampaign(get_kernel("sum_loop"), soak_config()).run(
+            save_path=str(save), resume=True, workers=2)
+        baseline = serial_soak_baseline["sum_loop"]
+        assert as_json(resumed) == as_json(baseline)
+        assert resumed.aggregate() == baseline.aggregate()
+
+    def test_parallel_run_interrupted_then_resumed(self, tmp_path,
+                                                   serial_soak_baseline):
+        """Interrupting the *pooled* engine also leaves a valid partial."""
+        save = tmp_path / "soak.partial.json"
+        seen = []
+
+        def interrupt_after_one(result):
+            seen.append(result.trial)
+            if len(seen) == 1:
+                raise KeyboardInterrupt
+
+        campaign = SoakCampaign(get_kernel("strsearch"), soak_config())
+        with pytest.raises(KeyboardInterrupt):
+            campaign.run(save_path=str(save), workers=2,
+                         progress=interrupt_after_one)
+
+        resumed = SoakCampaign(get_kernel("strsearch"), soak_config()).run(
+            save_path=str(save), resume=True, workers=2)
+        assert as_json(resumed) == as_json(serial_soak_baseline["strsearch"])

@@ -1,0 +1,66 @@
+"""Differential conformance: functional vs. cycle simulator, fault-free.
+
+Every bundled kernel runs through both simulators with no faults
+injected; the cycle simulator must land on exactly the golden oracle's
+final architectural state — same console output, same register file,
+same touched-memory image, same committed-instruction count. This is
+the ground truth that every campaign (serial or parallel worker) judges
+reconvergence against, so the oracle itself is pinned here.
+"""
+
+import pytest
+
+from repro.arch.oracle import (
+    DEFAULT_MAX_STEPS,
+    clear_oracle_cache,
+    compute_golden_final_state,
+    golden_final_state,
+)
+from repro.uarch.pipeline import build_pipeline
+from repro.workloads.kernels import all_kernels, get_kernel
+
+KERNEL_NAMES = [kernel.name for kernel in all_kernels()]
+
+
+@pytest.mark.parametrize("name", KERNEL_NAMES)
+def test_cycle_simulator_matches_golden_oracle(name):
+    kernel = get_kernel(name)
+    golden = golden_final_state(kernel)
+    assert golden.halted, f"{name}: functional simulator did not halt"
+
+    pipeline = build_pipeline(kernel.program(), inputs=kernel.inputs)
+    run = pipeline.run(max_cycles=DEFAULT_MAX_STEPS)
+    assert run.reason == "halted", f"{name}: cycle simulator did not halt"
+    assert golden.matches_output(pipeline.output)
+    assert golden.matches_state(pipeline.arch_state)
+    assert pipeline.stats.instructions_committed == golden.instructions
+
+
+class TestOracleMemoization:
+    def test_same_kernel_returns_cached_object(self):
+        kernel = get_kernel("sum_loop")
+        clear_oracle_cache()
+        first = golden_final_state(kernel)
+        assert golden_final_state(kernel) is first
+
+    def test_cache_clear_recomputes_equal_state(self):
+        kernel = get_kernel("strsearch")
+        first = golden_final_state(kernel)
+        clear_oracle_cache()
+        again = golden_final_state(kernel)
+        assert again is not first
+        assert again == first
+
+    def test_max_steps_is_part_of_the_key(self):
+        kernel = get_kernel("sum_loop")
+        clear_oracle_cache()
+        short = golden_final_state(kernel, max_steps=100_000)
+        full = golden_final_state(kernel)
+        assert short is not full
+        assert short == full  # both halt, so the states agree
+
+    def test_memoized_equals_uncached_computation(self):
+        kernel = get_kernel("dispatch")
+        uncached = compute_golden_final_state(
+            kernel.program(), inputs=kernel.inputs)
+        assert golden_final_state(kernel) == uncached
