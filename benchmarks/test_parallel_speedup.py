@@ -12,6 +12,11 @@ engine:
    smoke runners are often 1-2 cores) the timing assertion is skipped
    but the determinism check still runs, and the measured numbers are
    written to ``benchmarks/results/parallel_speedup.txt`` either way.
+
+A third section records the *pruned* campaign's throughput: one
+representative trial per static equivalence class over an exhaustive
+slot window, so the effective site-coverage rate (sites/s) exceeds the
+raw trial rate by the measured prune ratio.
 """
 
 import json
@@ -24,6 +29,7 @@ from repro.workloads.kernels import get_kernel
 TRIALS = 200
 OBSERVATION_CYCLES = 12_000
 POOL = 4
+PRUNED_SLOTS = 200
 
 
 def _campaign():
@@ -47,14 +53,36 @@ def test_parallel_speedup(save_report):
 
     speedup = serial_s / pooled_s if pooled_s else float("inf")
     cpus = os.cpu_count() or 1
+
+    # Pruned campaign: one representative per equivalence class over an
+    # exhaustively covered slot window — the class weights make each
+    # trial stand in for every site in its class.
+    campaign = _campaign()
+    plan = campaign.pruning_plan(slot_range=(0, PRUNED_SLOTS))
+    start = time.perf_counter()
+    pruned = campaign.run_pruned(plan=plan, workers=POOL)
+    pruned_s = time.perf_counter() - start
+    assert pruned.injected_trials == len(plan.classes)
+    assert sum(cls["weight"] for cls in pruned.classes) == plan.raw_sites
+
     save_report("parallel_speedup", "\n".join([
         f"parallel campaign engine: {TRIALS} trials, sum_loop, "
         f"{OBSERVATION_CYCLES} observation cycles",
         f"  cpus available : {cpus}",
-        f"  serial         : {serial_s:.2f}s",
-        f"  {POOL} workers      : {pooled_s:.2f}s",
+        f"  serial         : {serial_s:.2f}s "
+        f"({TRIALS / serial_s:.1f} trials/s)",
+        f"  {POOL} workers      : {pooled_s:.2f}s "
+        f"({TRIALS / pooled_s:.1f} trials/s)",
         f"  speedup        : {speedup:.2f}x",
         f"  byte-identical : {pooled_json == serial_json}",
+        f"pruned campaign: slots [0, {PRUNED_SLOTS}) x 64 bits, "
+        f"sum_loop, same cycles",
+        f"  sites covered  : {pruned.raw_sites} in "
+        f"{pruned.injected_trials} trials "
+        f"({plan.prune_ratio:.1f}x fewer)",
+        f"  {POOL} workers      : {pruned_s:.2f}s "
+        f"({pruned.injected_trials / pruned_s:.1f} trials/s, "
+        f"{pruned.raw_sites / pruned_s:.1f} sites/s effective)",
     ]))
 
     if cpus >= POOL:

@@ -17,7 +17,14 @@ executing them:
 * :mod:`repro.analysis.distance` — same-set signature Hamming-distance
   audit across ITR cache geometries (ITR004),
 * :mod:`repro.analysis.coverage_cert` — per-bit fault maskability
-  (ITR003) and the protection certificate tying it all together.
+  (ITR003) and the protection certificate tying it all together,
+* :mod:`repro.analysis.fault_sites` — backward liveness (DF002
+  dead stores), per-bit inert/boundary/live classification and
+  reference-run instance roles,
+* :mod:`repro.analysis.pruning` — fault-site equivalence classes and
+  campaign pruning plans (imported as a submodule; it reads the fault
+  package's outcome labels, so the package root stays layered below
+  :mod:`repro.faults`).
 
 Command line: ``python -m repro.analysis <file.asm> [--certify]
 [--json]``, or ``--kernel NAME`` / ``--all-kernels`` for built-in
@@ -56,6 +63,16 @@ from .distance import (
     WeakPair,
     audit_signature_distances,
     hamming_distance,
+)
+from .fault_sites import (
+    DeadStore,
+    ReferenceProfile,
+    SlotRole,
+    StaticSiteSummary,
+    collect_reference_profile,
+    find_dead_stores,
+    live_after_map,
+    static_site_summary,
 )
 from .lints import run_lints
 from .loops import (
@@ -105,6 +122,14 @@ __all__ = [
     "WeakPair",
     "audit_signature_distances",
     "hamming_distance",
+    "DeadStore",
+    "ReferenceProfile",
+    "SlotRole",
+    "StaticSiteSummary",
+    "collect_reference_profile",
+    "find_dead_stores",
+    "live_after_map",
+    "static_site_summary",
     "run_lints",
     "LoopNest",
     "NaturalLoop",

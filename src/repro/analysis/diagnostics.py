@@ -15,11 +15,11 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Analyzer release identifier, embedded in every JSON report and
 #: certificate so archived results are comparable across PRs.
-ANALYZER_VERSION = "2.0.0"
+ANALYZER_VERSION = "2.1.0"
 
 #: Version of the diagnostic catalog / report JSON schema. Bump whenever
 #: a code is added or a documented JSON key changes meaning.
-CATALOG_SCHEMA_VERSION = 2
+CATALOG_SCHEMA_VERSION = 3
 
 
 class Severity(enum.IntEnum):
@@ -73,6 +73,9 @@ CF_NO_EXIT_LOOP = _register(
 DF_UNINIT_READ = _register(
     "DF001", Severity.ERROR,
     "register may be read before it is written")
+DF_DEAD_STORE = _register(
+    "DF002", Severity.WARNING,
+    "register is written but the value is never read on any path")
 
 # -- ITR-specific lints ------------------------------------------------------
 ITR_SIGNATURE_COLLISION = _register(

@@ -1,0 +1,642 @@
+"""Static fault-site enumeration: liveness, masking bits, instance roles.
+
+The campaign fault model injects one bit flip into one dynamic decode
+slot, so the raw fault-site population of a kernel is ``decode_count x
+64`` — thousands of sites even for small kernels, although most are
+provably equivalent. This module supplies the three ingredients the
+pruner (:mod:`repro.analysis.pruning`) folds over:
+
+1. **Backward liveness** over the CFG in the unified 64-register space
+   (the mirror image of :mod:`repro.analysis.dataflow`'s forward
+   may-uninit pass): per-PC live-after sets and the DF002 dead-store
+   findings built on them. Liveness facts are *reporting* facts — the
+   campaign's lockstep comparator flags any committed-effect difference,
+   so a wrong value written even to a dead register still classifies as
+   SDC — which is why dead destinations inform the lint and the site
+   annotations but never a masking verdict.
+
+2. **Per-bit static classification** of each instruction's 64 decode
+   signal bits, derived from the field consumption rules of
+   :mod:`repro.arch.semantics`: *inert* bits (``lat`` always; ``shamt``/
+   ``imm``/operand specifiers/``mem_size`` when the opcode provably
+   ignores them) leave the committed effect stream bit-identical, so any
+   flip is architecturally masked; *boundary* bits toggle ``ends_trace``
+   and reshape the trace itself; everything else is *live* per field
+   (flags per bit — each flag routes execution differently).
+
+3. **Instance roles** from one fault-free reference run: a passive
+   decode-stream recorder plus an :class:`~repro.itr.controller.ItrProbe`
+   reconstruct, per decode slot, the containing trace instance and how
+   its ITR access resolved (forward/hit/miss), whether it committed or
+   was squashed, and — for committed misses — the fate of the inserted
+   signature (re-checked later, overwritten cold, resident at window
+   end, or evicted). A fault at slot *i* cannot perturb the decode
+   stream before the end of its containing instance (intervening flushes
+   replay commits of older instructions), so the reference-run access
+   kind at the faulty dispatch is exact, not approximate.
+
+Loop context (:mod:`repro.analysis.loops`) annotates every static site:
+the slots-per-PC fan-in that makes instance folding pay off is exactly
+the loop-iteration repetition the nest predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..arch.state import ArchState, arch_reg
+from ..isa.decode_signals import (
+    FIELD_BY_NAME,
+    FIELDS,
+    TOTAL_WIDTH,
+    DecodeSignals,
+    decode,
+)
+from ..isa.instruction import INSTRUCTION_BYTES
+from ..isa.opcodes import FLAG_NAMES
+from ..isa.program import Program
+from ..isa.registers import ZERO
+from ..itr.controller import ItrProbe
+from ..itr.signature import TraceSignature
+from ..uarch.config import PipelineConfig
+from ..uarch.pipeline import build_pipeline
+from .cfg import ControlFlowGraph, resolve_syscall_service
+from .dataflow import (
+    registers_read,
+    registers_written,
+    unified_register_name,
+)
+from .loops import LoopNest
+
+_ALL_REGISTERS: FrozenSet[int] = frozenset(range(64))
+_ZERO_REG = arch_reg(ZERO, False)
+
+#: Opcodes whose ALU semantics consume the ``shamt`` field (sll/srl/sra;
+#: the variable shifts take the amount from an operand register instead).
+_SHIFT_IMM_OPCODES: FrozenSet[int] = frozenset((0x21, 0x22, 0x23))
+
+#: ALU opcodes whose semantics consume the ``imm`` field (addi..lui).
+_IMM_ALU_OPCODES: FrozenSet[int] = frozenset(range(0x28, 0x30))
+
+
+def _field_bits(name: str) -> Tuple[int, ...]:
+    spec = FIELD_BY_NAME[name]
+    return tuple(range(spec.offset, spec.offset + spec.width))
+
+
+def _compute_boundary_bits() -> FrozenSet[int]:
+    """Bits whose flip toggles ``ends_trace`` on a quiet vector.
+
+    Self-probed exactly like ``coverage_cert.BOUNDARY_BITS`` (kept local
+    to avoid a module cycle through :mod:`repro.analysis.report`).
+    """
+    quiet = DecodeSignals.unpack(0)
+    return frozenset(
+        bit for bit in range(TOTAL_WIDTH)
+        if quiet.with_bit_flipped(bit).ends_trace != quiet.ends_trace)
+
+
+#: Flag-bit positions that reshape trace boundaries when flipped.
+BOUNDARY_BITS: FrozenSet[int] = _compute_boundary_bits()
+
+
+# ======================================================================
+# Backward liveness and DF002 dead stores
+# ======================================================================
+
+def _trap_services(program: Program,
+                   cfg: ControlFlowGraph) -> Dict[int, Optional[int]]:
+    return {
+        pc: resolve_syscall_service(program, pc, cfg.join_points)
+        for block in cfg.blocks for pc in block.pcs()
+        if program.instruction_at(pc).is_trap}
+
+
+def _block_exit_pessimistic(cfg: ControlFlowGraph, end_pc: int) -> bool:
+    """Whether control can leave the analyzable graph at ``end_pc``.
+
+    Fall-off-text and out-of-text targets mean the liveness walk cannot
+    see what executes next; everything must be assumed live there.
+    """
+    if end_pc in cfg.fall_off_pcs:
+        return True
+    return any(pc == end_pc for pc, _ in cfg.bad_edges)
+
+
+def live_after_map(program: Program,
+                   cfg: Optional[ControlFlowGraph] = None
+                   ) -> Dict[int, FrozenSet[int]]:
+    """Per-PC live-after register sets (unified 64-register space).
+
+    Classic backward union-meet fixpoint over basic blocks. Exit states:
+    a block ending in a proven ``exit`` trap is live-nothing; a block
+    whose control can leave the text segment is live-everything (the
+    conservative direction for a dead-*store* report — extra liveness
+    can only suppress findings, never invent one). Indirect jumps use
+    the CFG's over-approximated edge set, which errs the same way.
+    """
+    if cfg is None:
+        cfg = ControlFlowGraph(program)
+    services = _trap_services(program, cfg)
+    decoded: Dict[int, DecodeSignals] = {}
+    for block in cfg.blocks:
+        for pc in block.pcs():
+            decoded[pc] = decode(program.instruction_at(pc))
+
+    def transfer_block(leader: int,
+                       live_out: FrozenSet[int]) -> FrozenSet[int]:
+        live = set(live_out)
+        block = cfg.block_at(leader)
+        for pc in reversed(list(block.pcs())):
+            signals = decoded[pc]
+            service = services.get(pc)
+            for reg in registers_written(signals, service):
+                live.discard(reg)
+            live.update(registers_read(signals, service))
+        return frozenset(live)
+
+    live_in: Dict[int, FrozenSet[int]] = {}
+    worklist = [block.start_pc for block in cfg.blocks]
+    while worklist:
+        leader = worklist.pop()
+        block = cfg.block_at(leader)
+        succs = cfg.successors.get(leader, ())
+        if _block_exit_pessimistic(cfg, block.end_pc):
+            live_out: FrozenSet[int] = _ALL_REGISTERS
+        else:
+            live_out = frozenset().union(
+                *(live_in.get(s, frozenset()) for s in succs)) \
+                if succs else frozenset()
+        new_in = transfer_block(leader, live_out)
+        if live_in.get(leader) != new_in:
+            live_in[leader] = new_in
+            worklist.extend(cfg.predecessors.get(leader, ()))
+
+    # Second pass: per-PC live-after from each block's (stable) exit.
+    result: Dict[int, FrozenSet[int]] = {}
+    for block in cfg.blocks:
+        succs = cfg.successors.get(block.start_pc, ())
+        if _block_exit_pessimistic(cfg, block.end_pc):
+            live: Set[int] = set(_ALL_REGISTERS)
+        else:
+            live = set().union(
+                *(live_in.get(s, frozenset()) for s in succs)) \
+                if succs else set()
+        for pc in reversed(list(block.pcs())):
+            result[pc] = frozenset(live)
+            signals = decoded[pc]
+            service = services.get(pc)
+            for reg in registers_written(signals, service):
+                live.discard(reg)
+            live.update(registers_read(signals, service))
+    return result
+
+
+@dataclass(frozen=True)
+class DeadStore:
+    """One register write whose value no path ever reads."""
+
+    pc: int
+    register: int
+    #: True when some reachable path overwrites the register before any
+    #: use (classic overwritten-before-use); False when the value is
+    #: simply never touched again before the program exits.
+    overwritten: bool
+
+    @property
+    def register_name(self) -> str:
+        return unified_register_name(self.register)
+
+
+def find_dead_stores(program: Program,
+                     cfg: Optional[ControlFlowGraph] = None
+                     ) -> List[DeadStore]:
+    """Every ``(pc, register)`` write that is dead at its program point.
+
+    Writes to ``$zero`` are exempt (hardwired — the canonical nop idiom)
+    and so are instructions in unreachable blocks (CF003's territory).
+    """
+    if cfg is None:
+        cfg = ControlFlowGraph(program)
+    live_after = live_after_map(program, cfg)
+    services = _trap_services(program, cfg)
+    reachable = cfg.reachable()
+    findings: List[DeadStore] = []
+    for block in cfg.blocks:
+        if block.start_pc not in reachable:
+            continue
+        for pc in block.pcs():
+            signals = decode(program.instruction_at(pc))
+            service = services.get(pc)
+            for reg in registers_written(signals, service):
+                if reg == _ZERO_REG or reg in live_after[pc]:
+                    continue
+                findings.append(DeadStore(
+                    pc=pc, register=reg,
+                    overwritten=_rewritten_later(program, cfg, services,
+                                                 pc, reg)))
+    return sorted(findings, key=lambda f: (f.pc, f.register))
+
+
+def _rewritten_later(program: Program, cfg: ControlFlowGraph,
+                     services: Dict[int, Optional[int]],
+                     pc: int, reg: int) -> bool:
+    """Whether any path from after ``pc`` writes ``reg`` again."""
+    block = next(b for b in cfg.blocks if pc in b)
+    follow = pc + INSTRUCTION_BYTES
+    seen: Set[int] = set()
+    stack: List[Tuple[int, int]] = []
+    if follow <= block.end_pc:
+        stack.append((block.start_pc, follow))
+    else:
+        stack.extend((s, s) for s in cfg.successors.get(block.start_pc, ()))
+    while stack:
+        leader, start = stack.pop()
+        if (leader, start) in seen:
+            continue
+        seen.add((leader, start))
+        current = cfg.block_at(leader)
+        scan = start
+        while scan <= current.end_pc:
+            signals = decode(program.instruction_at(scan))
+            if reg in registers_written(signals, services.get(scan)):
+                return True
+            scan += INSTRUCTION_BYTES
+        for succ in cfg.successors.get(leader, ()):
+            stack.append((succ, succ))
+    return False
+
+
+# ======================================================================
+# Static per-bit classification
+# ======================================================================
+
+#: Per-site verdict vocabulary.
+VERDICT_INERT = "inert"          # provably architecturally masked
+VERDICT_BOUNDARY = "boundary"    # reshapes the trace boundary
+VERDICT_XOR_MASKED = "xor_masked"  # boundary flip the XOR check misses
+VERDICT_LIVE = "live"            # consumed; outcome is data-dependent
+
+
+def inert_bits(signals: DecodeSignals) -> FrozenSet[int]:
+    """Bits the instruction's semantics provably never consume.
+
+    Flipping an inert bit changes the decode vector (and therefore the
+    trace signature — detection is unaffected) but leaves the committed
+    architectural effect stream bit-identical: ``lat`` is purely timing;
+    ``shamt``/``imm`` are dead unless the opcode uses them; operand
+    specifiers are gated by ``num_rsrc``/``num_rdst`` exactly as the
+    rename stage gates them; traps take everything from architectural
+    state at commit. ``num_rdst`` is never inert — even on a trap,
+    spuriously allocating a destination corrupts the retirement map.
+    """
+    bits: Set[int] = set(_field_bits("lat"))
+    trap = signals.is_trap
+    uses_shamt = (signals.opcode in _SHIFT_IMM_OPCODES
+                  and not (signals.is_ld or signals.is_st
+                           or signals.is_control or trap))
+    if not uses_shamt:
+        bits.update(_field_bits("shamt"))
+    uses_imm = (signals.is_ld or signals.is_st or signals.is_branch
+                or (signals.is_uncond and signals.is_direct)
+                or (not signals.is_control and not trap
+                    and signals.opcode in _IMM_ALU_OPCODES))
+    if not uses_imm:
+        bits.update(_field_bits("imm"))
+    if trap or signals.num_rsrc < 1:
+        bits.update(_field_bits("rsrc1"))
+    if trap or signals.num_rsrc < 2:
+        bits.update(_field_bits("rsrc2"))
+    if trap or signals.num_rdst == 0:
+        bits.update(_field_bits("rdst"))
+    if trap:
+        bits.update(_field_bits("num_rsrc"))
+    if not (signals.is_ld or signals.is_st):
+        bits.update(_field_bits("mem_size"))
+    return frozenset(bits)
+
+
+@dataclass(frozen=True)
+class BitGroup:
+    """One set of same-fate bits of one static instruction."""
+
+    label: str                 # "inert" | "flag:<name>" | "field:<name>"
+    bits: Tuple[int, ...]
+    verdict: str               # VERDICT_* (xor_masked applied per class)
+
+
+def bit_groups(signals: DecodeSignals) -> Tuple[BitGroup, ...]:
+    """Partition the 64 bits of one instruction into same-fate groups.
+
+    Inert bits merge into one group (provably identical fate); every
+    live bit stands alone — flag bits each route execution differently,
+    and within a consumed field, bit *k* perturbs the consumed value by
+    a different power of two than bit *k+1* (measured: merging field
+    bits costs ~12% representative/member outcome agreement). The fold
+    that makes pruning pay is the *dynamic* one — thousands of decode
+    slots of the same instruction collapsing onto these per-bit static
+    groups — so the census ratio stays far above the 3x floor.
+    """
+    inert = inert_bits(signals)
+    groups: List[BitGroup] = []
+    if inert:
+        groups.append(BitGroup("inert", tuple(sorted(inert)),
+                               VERDICT_INERT))
+    flags_offset = FIELD_BY_NAME["flags"].offset
+    for index, name in enumerate(FLAG_NAMES):
+        bit = flags_offset + index
+        verdict = VERDICT_BOUNDARY if bit in BOUNDARY_BITS else VERDICT_LIVE
+        groups.append(BitGroup(f"flag:{name}", (bit,), verdict))
+    for spec in FIELDS:
+        if spec.name == "flags":
+            continue
+        for offset, bit in enumerate(_field_bits(spec.name)):
+            if bit not in inert:
+                groups.append(BitGroup(f"field:{spec.name}[{offset}]",
+                                       (bit,), VERDICT_LIVE))
+    return tuple(groups)
+
+
+# ======================================================================
+# Reference profiling: decode slots -> trace-instance roles
+# ======================================================================
+
+@dataclass
+class TraceInstanceRecord:
+    """One dispatched trace instance observed in the reference run."""
+
+    seq: int
+    start_pc: int
+    start_slot: int
+    end_slot: int
+    length: int
+    source: str               # "forward" | "hit" | "miss"
+    committed: bool = False
+
+
+class ReferenceProfiler(ItrProbe):
+    """Combined decode-stream recorder and ITR probe (strictly passive).
+
+    Installed as the reference pipeline's ``decode_tamper`` (returns
+    every vector untouched) and as its controller's ``probe``; the
+    recorder side supplies the slot counter the probe side correlates
+    dispatches against — ``decode_tamper`` runs immediately before
+    ``on_decode`` for the same slot, so at dispatch time the newest
+    recorded slot is the trace's terminator.
+    """
+
+    def __init__(self) -> None:
+        self.pcs: List[int] = []
+        self.instances: List[TraceInstanceRecord] = []
+        self._by_seq: Dict[int, TraceInstanceRecord] = {}
+
+    # -- decode_tamper interface ------------------------------------------
+    def __call__(self, decode_index: int, pc: int,
+                 signals: DecodeSignals) -> Tuple[DecodeSignals, bool]:
+        if decode_index != len(self.pcs):
+            raise RuntimeError("decode-stream recorder out of sync")
+        self.pcs.append(pc)
+        return signals, False
+
+    # -- ItrProbe interface -----------------------------------------------
+    def on_trace_dispatch(self, seq: int, trace: TraceSignature,
+                          source: str) -> None:
+        end_slot = len(self.pcs) - 1
+        record = TraceInstanceRecord(
+            seq=seq, start_pc=trace.start_pc,
+            start_slot=end_slot - trace.length + 1, end_slot=end_slot,
+            length=trace.length, source=source)
+        self.instances.append(record)
+        self._by_seq[seq] = record
+
+    def on_trace_commit(self, seq: int) -> None:
+        record = self._by_seq.get(seq)
+        if record is not None:
+            record.committed = True
+
+
+@dataclass(frozen=True)
+class SlotRole:
+    """The dynamic fate shared by every fault bit at one decode slot."""
+
+    kind: str                  # "committed" | "wrongpath" | "squashed"
+    access: str                # "forward" | "hit" | "miss" | "none"
+    #: Committed misses only: fate of the inserted (tainted) signature.
+    #: "rechecked"  — a later committed instance compares against it,
+    #: "ghost_rechecked" — only squashed instances ever compare,
+    #: "recold"     — a later committed miss overwrites it unchecked,
+    #: "resident"   — still in the cache at window end,
+    #: "evicted"    — capacity-evicted unchecked. "-" otherwise.
+    followup: str
+    trace_start: Optional[int]  # containing instance start PC (squashed
+    #                             partials have no dispatched trace)
+
+    def key(self) -> str:
+        """Stable string form used in equivalence-class keys."""
+        start = (f"0x{self.trace_start:08x}"
+                 if self.trace_start is not None else "-")
+        return f"{self.kind}/{self.access}/{self.followup}/{start}"
+
+
+@dataclass
+class ReferenceProfile:
+    """Everything one fault-free run teaches about the fault-site space."""
+
+    decode_count: int
+    pcs: Tuple[int, ...]                       # slot -> PC
+    instances: List[TraceInstanceRecord]
+    final_resident_pcs: FrozenSet[int]         # trace starts in the cache
+    run_reason: str
+    roles: List[SlotRole] = field(default_factory=list)
+
+    def role_of(self, slot: int) -> SlotRole:
+        """The instance role of decode slot ``slot``."""
+        return self.roles[slot]
+
+
+def _followup_for(profile_instances: Sequence[TraceInstanceRecord],
+                  index: int,
+                  final_resident: FrozenSet[int]) -> str:
+    """Fate of the signature a committed miss at ``index`` inserts."""
+    me = profile_instances[index]
+    ghost_only = False
+    for later in profile_instances[index + 1:]:
+        if later.start_pc != me.start_pc:
+            continue
+        if later.source in ("hit", "forward"):
+            if later.committed:
+                return "rechecked"
+            ghost_only = True
+            continue
+        if later.committed:          # a committed re-miss: line was gone
+            return "recold"
+    if ghost_only:
+        return "ghost_rechecked"
+    return ("resident" if me.start_pc in final_resident else "evicted")
+
+
+def _derive_roles(profile: ReferenceProfile) -> List[SlotRole]:
+    roles: List[SlotRole] = [
+        SlotRole(kind="squashed", access="none", followup="-",
+                 trace_start=None)
+        for _ in range(profile.decode_count)]
+    for index, record in enumerate(profile.instances):
+        if record.committed:
+            kind = "committed"
+            if record.source == "miss":
+                followup = _followup_for(profile.instances, index,
+                                         profile.final_resident_pcs)
+            else:
+                followup = "-"
+        else:
+            kind, followup = "wrongpath", "-"
+        role = SlotRole(kind=kind, access=record.source,
+                        followup=followup, trace_start=record.start_pc)
+        for slot in range(record.start_slot, record.end_slot + 1):
+            if 0 <= slot < profile.decode_count:
+                roles[slot] = role
+    return roles
+
+
+def collect_reference_profile(
+        program: Program,
+        inputs: Sequence[int] = (),
+        pipeline_config: Optional[PipelineConfig] = None,
+        observation_cycles: int = 60_000,
+        initial_state: Optional[ArchState] = None) -> ReferenceProfile:
+    """Run the fault-free reference once and profile its decode stream.
+
+    The pipeline configuration and observation window must match the
+    campaign that will consume the profile — the slot numbering *is* the
+    campaign's fault-site coordinate system.
+    """
+    profiler = ReferenceProfiler()
+    pipeline = build_pipeline(
+        program,
+        config=pipeline_config or PipelineConfig(),
+        inputs=inputs,
+        decode_tamper=profiler,
+        initial_state=(initial_state.cow_fork()
+                       if initial_state is not None else None),
+    )
+    itr = pipeline.itr
+    if itr is None:
+        raise RuntimeError("reference profile requires the ITR pipeline")
+    itr.probe = profiler
+    run = pipeline.run(max_cycles=observation_cycles)
+    resident = frozenset(line.tag for line in itr.cache.valid_lines())
+    profile = ReferenceProfile(
+        decode_count=max(1, len(profiler.pcs)),
+        pcs=tuple(profiler.pcs),
+        instances=profiler.instances,
+        final_resident_pcs=resident,
+        run_reason=run.reason,
+    )
+    profile.roles = _derive_roles(profile)
+    return profile
+
+
+# ======================================================================
+# Static whole-program summary (report.py section)
+# ======================================================================
+
+@dataclass(frozen=True)
+class StaticSiteSummary:
+    """Static fault-site census of one program (no execution needed).
+
+    ``static_sites`` counts ``(static instruction, bit)`` pairs; the
+    dynamic population multiplies each instruction by its decode-slot
+    occurrences, so ``static_fold`` (sites per bit group) is a *lower*
+    bound on the prune ratio a campaign will see.
+    """
+
+    instructions: int
+    static_sites: int          # instructions * 64
+    inert_sites: int
+    boundary_sites: int
+    live_sites: int
+    bit_groups: int            # sum of per-instruction group counts
+    dead_stores: int
+    dead_store_pcs: Tuple[int, ...]
+    looped_instructions: int   # instructions inside some natural loop
+
+    @property
+    def static_fold(self) -> float:
+        if self.bit_groups == 0:
+            return 1.0
+        return self.static_sites / self.bit_groups
+
+    def to_json(self) -> Dict[str, object]:
+        """The report's ``fault_sites`` section (documented schema)."""
+        return {
+            "instructions": self.instructions,
+            "static_sites": self.static_sites,
+            "inert_sites": self.inert_sites,
+            "boundary_sites": self.boundary_sites,
+            "live_sites": self.live_sites,
+            "bit_groups": self.bit_groups,
+            "static_fold": round(self.static_fold, 4),
+            "dead_stores": self.dead_stores,
+            "dead_store_pcs": list(self.dead_store_pcs),
+            "looped_instructions": self.looped_instructions,
+        }
+
+
+def static_site_summary(program: Program,
+                        cfg: Optional[ControlFlowGraph] = None
+                        ) -> StaticSiteSummary:
+    """Census the static fault-site population of one program."""
+    if cfg is None:
+        cfg = ControlFlowGraph(program)
+    nest = LoopNest(cfg)
+    inert = boundary = live = groups = looped = 0
+    for index in range(len(program.instructions)):
+        pc = program.pc_of(index)
+        signals = decode(program.instruction_at(pc))
+        for group in bit_groups(signals):
+            groups += 1
+            width = len(group.bits)
+            if group.verdict == VERDICT_INERT:
+                inert += width
+            elif group.verdict == VERDICT_BOUNDARY:
+                boundary += width
+            else:
+                live += width
+        if nest.innermost_loop_of_pc(pc) is not None:
+            looped += 1
+    stores = find_dead_stores(program, cfg)
+    count = len(program.instructions)
+    return StaticSiteSummary(
+        instructions=count,
+        static_sites=count * TOTAL_WIDTH,
+        inert_sites=inert,
+        boundary_sites=boundary,
+        live_sites=live,
+        bit_groups=groups,
+        dead_stores=len(stores),
+        dead_store_pcs=tuple(sorted({s.pc for s in stores})),
+        looped_instructions=looped,
+    )
+
+
+__all__ = [
+    "BOUNDARY_BITS",
+    "BitGroup",
+    "DeadStore",
+    "ReferenceProfile",
+    "ReferenceProfiler",
+    "SlotRole",
+    "StaticSiteSummary",
+    "TraceInstanceRecord",
+    "VERDICT_BOUNDARY",
+    "VERDICT_INERT",
+    "VERDICT_LIVE",
+    "VERDICT_XOR_MASKED",
+    "bit_groups",
+    "collect_reference_profile",
+    "find_dead_stores",
+    "inert_bits",
+    "live_after_map",
+    "static_site_summary",
+]

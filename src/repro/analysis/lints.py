@@ -18,6 +18,7 @@ from .diagnostics import (
     CF_FALLS_OFF_TEXT,
     CF_NO_EXIT_LOOP,
     CF_UNREACHABLE,
+    DF_DEAD_STORE,
     DF_UNINIT_READ,
     ITR_CACHE_PRESSURE,
     ITR_SIGNATURE_COLLISION,
@@ -25,6 +26,7 @@ from .diagnostics import (
     diagnostic,
     sort_diagnostics,
 )
+from .fault_sites import find_dead_stores
 from .static_traces import StaticTrace, predict_cache_pressure
 from .static_traces import signature_collisions as find_collisions
 
@@ -118,6 +120,33 @@ def lint_uninitialized_reads(program: Program,
     return out
 
 
+def lint_dead_stores(program: Program,
+                     cfg: ControlFlowGraph) -> List[Diagnostic]:
+    """DF002: register writes whose value is never read on any path.
+
+    Powered by the backward-liveness pass of
+    :mod:`repro.analysis.fault_sites`. A dead store wastes an
+    instruction *and* a fault-injection site that looks protected but
+    whose destination value cannot matter; note the campaign's lockstep
+    comparator still counts a corrupted dead destination as SDC (any
+    committed-effect divergence is), so this is a code-quality finding,
+    never a masking claim. Writes to ``$zero`` are the conventional nop
+    idiom and exempt.
+    """
+    out: List[Diagnostic] = []
+    for store in find_dead_stores(program, cfg):
+        instr = program.instruction_at(store.pc)
+        fate = ("is overwritten before any read" if store.overwritten
+                else "is never read again before exit")
+        out.append(diagnostic(
+            DF_DEAD_STORE,
+            f"{instr.mnemonic} writes {store.register_name} but the value "
+            f"{fate}",
+            pc=store.pc, register=store.register,
+            overwritten=store.overwritten))
+    return out
+
+
 def lint_signature_collisions(
         traces: Sequence[StaticTrace]) -> List[Diagnostic]:
     """ITR001: distinct static traces whose XOR signatures alias.
@@ -173,6 +202,7 @@ def run_lints(program: Program, cfg: ControlFlowGraph,
     diagnostics += lint_unreachable(cfg)
     diagnostics += lint_no_exit_loops(cfg)
     diagnostics += lint_uninitialized_reads(program, cfg)
+    diagnostics += lint_dead_stores(program, cfg)
     diagnostics += lint_signature_collisions(traces)
     if cache_configs is not None:
         diagnostics += lint_cache_pressure(traces, cache_configs)

@@ -1,0 +1,282 @@
+"""Fault-site equivalence classes and campaign pruning plans.
+
+A campaign fault site is one ``(decode slot, bit)`` pair; the raw
+population is ``decode_count x 64``. This module folds that population
+into equivalence classes predicted to share one outcome, so a campaign
+can inject a single representative per class and reconstitute the
+full-population aggregate by class weight (see
+:meth:`repro.faults.campaign.FaultCampaign.run_pruned`).
+
+The class key combines one static and two dynamic coordinates:
+
+* the slot's **instruction** (PC) and its **bit group**
+  (:func:`repro.analysis.fault_sites.bit_groups`): all inert bits of an
+  instruction share one group; each flag bit stands alone; the remaining
+  live fields group per field;
+* the slot's **instance role** (:class:`~repro.analysis.fault_sites
+  .SlotRole`): whether the containing trace instance committed, how its
+  ITR access resolved, and — for committed misses — the fate of the
+  inserted signature. This is the loop-aware folding: iterations of a
+  hot loop body repeat the same ``(PC, role)`` coordinates thousands of
+  times and collapse to a handful of classes (first-touch misses vs.
+  steady-state hits).
+
+Verdict strength varies by group, and the pruned aggregate is honest
+about it: ``inert`` classes carry a *predicted outcome proved by
+construction* (the flipped bit is never consumed, so the committed
+effect stream is bit-identical; the ITR signature still differs, so
+detection follows mechanically from the role); ``boundary`` classes are
+refined against the certifier's XOR-maskability machinery
+(:mod:`repro.analysis.coverage_cert`) to mark the rare flips the
+signature check provably cannot see; ``live`` classes are extrapolated
+from their representative and cross-validated dynamically by
+:mod:`repro.experiments.pruning_validation`.
+
+Import layering: this module reads :mod:`repro.faults.outcomes` (labels
+only), so it is deliberately *not* re-exported from
+``repro.analysis.__init__`` — import it as ``repro.analysis.pruning``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..faults.outcomes import Outcome
+from ..isa.decode_signals import TOTAL_WIDTH, decode
+from ..isa.instruction import INSTRUCTION_BYTES
+from ..isa.program import Program
+from .cfg import ControlFlowGraph
+from .coverage_cert import MASKED, analyze_trace_maskability
+from .diagnostics import ANALYZER_VERSION, CATALOG_SCHEMA_VERSION
+from .fault_sites import (
+    VERDICT_BOUNDARY,
+    VERDICT_INERT,
+    VERDICT_XOR_MASKED,
+    BitGroup,
+    ReferenceProfile,
+    SlotRole,
+    bit_groups,
+)
+from .loops import LoopNest
+from .static_traces import walk_static_trace
+
+
+def predict_inert_outcome(role: SlotRole) -> str:
+    """The campaign outcome an inert-bit flip at this role must produce.
+
+    The committed effect stream is bit-identical by construction, so the
+    effect axis is Mask and the sequential-PC check stays quiet; only
+    the detection axis varies, and it follows from how (and whether) the
+    corrupted trace signature meets a comparison:
+
+    * a dispatched instance resolved by ROB forwarding or a cache hit
+      compares its (tainted) signature immediately — detected,
+      recoverable (``ITR+Mask``) — whether or not it later commits;
+    * a committed miss inserts the tainted signature: re-checked later
+      means detected via the store (``ITR+Mask``); still resident at
+      window end is the paper's latent-detection bucket
+      (``MayITR+Mask``); overwritten cold or evicted is undetectable
+      (``Undet+Mask``);
+    * a wrong-path miss never inserts, and a squashed partial never
+      dispatches — undetectable (``Undet+Mask``).
+    """
+    if role.kind == "squashed":
+        return Outcome.UNDET_MASK.value
+    if role.access in ("forward", "hit"):
+        return Outcome.ITR_MASK.value
+    # miss
+    if role.kind == "wrongpath":
+        return Outcome.UNDET_MASK.value
+    if role.followup in ("rechecked", "ghost_rechecked"):
+        return Outcome.ITR_MASK.value
+    if role.followup == "resident":
+        return Outcome.MAYITR_MASK.value
+    return Outcome.UNDET_MASK.value   # recold / evicted
+
+
+@dataclass(frozen=True)
+class SiteClass:
+    """One equivalence class of fault sites (same predicted fate)."""
+
+    index: int                 # position in the plan's class order
+    pc: int                    # fault-site PC (every member slot's PC)
+    role_key: str              # SlotRole.key() of every member slot
+    group_label: str           # BitGroup label ("inert", "flag:...", ...)
+    verdict: str               # inert | boundary | xor_masked | live
+    bits: Tuple[int, ...]      # member bits (sorted)
+    slots: Tuple[int, ...]     # member decode slots (sorted)
+    rep_slot: int              # representative site: min slot...
+    rep_bit: int               # ... and min bit of the group
+    predicted_outcome: Optional[str]   # inert classes only (proved)
+    loop_header: Optional[int]         # innermost loop containing pc
+    loop_depth: int
+
+    @property
+    def weight(self) -> int:
+        """Raw fault sites this class stands for."""
+        return len(self.slots) * len(self.bits)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON form carried inside pruned campaign results."""
+        return {
+            "index": self.index,
+            "pc": self.pc,
+            "role": self.role_key,
+            "group": self.group_label,
+            "verdict": self.verdict,
+            "bits": list(self.bits),
+            "slot_count": len(self.slots),
+            "weight": self.weight,
+            "rep_slot": self.rep_slot,
+            "rep_bit": self.rep_bit,
+            "predicted_outcome": self.predicted_outcome,
+            "loop_header": self.loop_header,
+            "loop_depth": self.loop_depth,
+        }
+
+
+@dataclass(frozen=True)
+class PruningPlan:
+    """The full fault-site census of one kernel, folded into classes.
+
+    ``prune_ratio`` is the census ratio raw sites / classes — the factor
+    by which representative injection shrinks the campaign at equal
+    population coverage.
+    """
+
+    benchmark: str
+    decode_count: int
+    slot_range: Tuple[int, int]        # [lo, hi) slots in scope
+    classes: Tuple[SiteClass, ...]
+
+    @property
+    def raw_sites(self) -> int:
+        lo, hi = self.slot_range
+        return (hi - lo) * TOTAL_WIDTH
+
+    @property
+    def prune_ratio(self) -> float:
+        if not self.classes:
+            return 1.0
+        return self.raw_sites / len(self.classes)
+
+    def class_of_site(self, slot: int, bit: int) -> SiteClass:
+        """The class containing fault site ``(slot, bit)``."""
+        for cls in self.classes:
+            if bit in cls.bits and slot in cls.slots:
+                return cls
+        raise KeyError(f"site (slot={slot}, bit={bit}) not in plan scope")
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Determinism-relevant identity, recorded in JSON exports."""
+        return {
+            "analyzer_version": ANALYZER_VERSION,
+            "schema_version": CATALOG_SCHEMA_VERSION,
+            "benchmark": self.benchmark,
+            "decode_count": self.decode_count,
+            "slot_range": list(self.slot_range),
+            "raw_sites": self.raw_sites,
+            "classes": len(self.classes),
+            "prune_ratio": round(self.prune_ratio, 4),
+        }
+
+    def to_json(self) -> Dict[str, object]:
+        """Fingerprint plus the full class list, JSON-serializable."""
+        payload = self.fingerprint()
+        payload["class_list"] = [cls.to_json() for cls in self.classes]
+        return payload
+
+
+def build_pruning_plan(program: Program,
+                       profile: ReferenceProfile,
+                       benchmark: str = "",
+                       cfg: Optional[ControlFlowGraph] = None,
+                       slot_range: Optional[Tuple[int, int]] = None,
+                       refine_xor: bool = True) -> PruningPlan:
+    """Fold a reference profile's fault-site population into classes.
+
+    ``slot_range`` restricts the census to ``[lo, hi)`` decode slots —
+    the validation experiment uses small windows so the matching
+    exhaustive campaign stays affordable. Output order (and therefore
+    representative trial order) is sorted by ``(pc, role, first bit)``,
+    independent of dict iteration or worker count.
+    """
+    if cfg is None:
+        cfg = ControlFlowGraph(program)
+    nest = LoopNest(cfg)
+    lo, hi = slot_range if slot_range is not None \
+        else (0, profile.decode_count)
+    if not 0 <= lo <= hi <= profile.decode_count:
+        raise ValueError(f"slot range [{lo}, {hi}) outside "
+                         f"0..{profile.decode_count}")
+
+    groups_by_pc: Dict[int, Tuple[BitGroup, ...]] = {}
+    members: Dict[Tuple[int, str, str], List[int]] = {}
+    meta: Dict[Tuple[int, str, str], Tuple[BitGroup, SlotRole]] = {}
+    for slot in range(lo, hi):
+        pc = profile.pcs[slot]
+        role = profile.role_of(slot)
+        if pc not in groups_by_pc:
+            groups_by_pc[pc] = bit_groups(decode(program.instruction_at(pc)))
+        for group in groups_by_pc[pc]:
+            key = (pc, role.key(), group.label)
+            members.setdefault(key, []).append(slot)
+            meta.setdefault(key, (group, role))
+
+    masked_cache: Dict[int, frozenset] = {}
+
+    def masked_positions(start_pc: int) -> frozenset:
+        if start_pc not in masked_cache:
+            trace = walk_static_trace(program, start_pc, cfg)
+            result = analyze_trace_maskability(program, trace)
+            masked_cache[start_pc] = frozenset(
+                (v.position, v.bit) for v in result.exceptional
+                if v.verdict == MASKED)
+        return masked_cache[start_pc]
+
+    classes: List[SiteClass] = []
+    for key in sorted(members, key=lambda k: (k[0], k[1],
+                                              meta[k][0].bits[0])):
+        pc, role_key, label = key
+        group, role = meta[key]
+        verdict = group.verdict
+        if (refine_xor and verdict == VERDICT_BOUNDARY
+                and role.trace_start is not None):
+            position = (pc - role.trace_start) // INSTRUCTION_BYTES
+            masked = masked_positions(role.trace_start)
+            if all((position, bit) in masked for bit in group.bits):
+                verdict = VERDICT_XOR_MASKED
+        slots = tuple(sorted(members[key]))
+        loop_header = nest.innermost_loop_of_pc(pc)
+        classes.append(SiteClass(
+            index=len(classes),
+            pc=pc,
+            role_key=role_key,
+            group_label=label,
+            verdict=verdict,
+            bits=group.bits,
+            slots=slots,
+            rep_slot=slots[0],
+            rep_bit=group.bits[0],
+            predicted_outcome=(predict_inert_outcome(role)
+                               if verdict == VERDICT_INERT else None),
+            loop_header=loop_header,
+            loop_depth=(nest.depth.get(loop_header, 0)
+                        if loop_header is not None else 0),
+        ))
+
+    return PruningPlan(
+        benchmark=benchmark,
+        decode_count=profile.decode_count,
+        slot_range=(lo, hi),
+        classes=tuple(classes),
+    )
+
+
+__all__ = [
+    "PruningPlan",
+    "SiteClass",
+    "build_pruning_plan",
+    "predict_inert_outcome",
+]

@@ -22,6 +22,7 @@ from .diagnostics import (
     Severity,
     worst_severity,
 )
+from .fault_sites import StaticSiteSummary, static_site_summary
 from .lints import run_lints
 from .static_traces import (
     CachePressure,
@@ -54,6 +55,7 @@ class AnalysisReport:
     traces: Tuple[StaticTrace, ...]
     cache_pressures: Tuple[CachePressure, ...]
     diagnostics: Tuple[Diagnostic, ...]
+    fault_sites: StaticSiteSummary
 
     # ------------------------------------------------------- trace metrics
     @property
@@ -160,6 +162,7 @@ class AnalysisReport:
                 }
                 for p in self.cache_pressures
             ],
+            "fault_sites": self.fault_sites.to_json(),
             "diagnostics": [d.to_json() for d in self.diagnostics],
             "status": self.status,
         }
@@ -187,6 +190,12 @@ class AnalysisReport:
                 f"  itr cache     {pressure.entries:>5} entries "
                 f"{pressure.label:>6}: working set "
                 f"{pressure.working_set}, {verdict}")
+        sites = self.fault_sites
+        lines.append(
+            f"  fault sites   {sites.static_sites} static "
+            f"({sites.inert_sites} inert, {sites.boundary_sites} boundary, "
+            f"{sites.live_sites} live) in {sites.bit_groups} bit group(s), "
+            f"static fold {sites.static_fold:.2f}x")
         if self.diagnostics:
             lines.append(f"  diagnostics   {len(self.diagnostics)} "
                          f"({self.status})")
@@ -228,4 +237,5 @@ def analyze_program(
         traces=traces,
         cache_pressures=pressures,
         diagnostics=diagnostics,
+        fault_sites=static_site_summary(program, cfg=cfg),
     )

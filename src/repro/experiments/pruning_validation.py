@@ -1,0 +1,397 @@
+"""Pruning validation: static equivalence classes vs. dynamic injection.
+
+The fourth mutually-checking layer (after the certifier, the conformance
+suites and the equivalence harness): the static fault-site analyzer
+(:mod:`repro.analysis.pruning`) *predicts* which injections share an
+outcome; this experiment *measures* it, per kernel, with four gates:
+
+1. **ratio** — the full-population prune ratio (raw sites / classes)
+   meets the throughput floor (default 3x; measured ratios run 25-800x);
+2. **prediction** — every inert class's injected representative lands
+   exactly on its constructively predicted outcome (zero tolerance:
+   these are proofs, so a miss is an analyzer bug);
+3. **aggregate** — over an exhaustively injected slot window, the
+   class-weight-reconstituted pruned aggregate matches the
+   site-by-site exhaustive aggregate within a documented bound
+   (default: 95% of window sites agree; inert classes are exact by
+   construction, ``live`` classes are extrapolated and may disagree on
+   data-dependent members);
+4. **members** — representatives of classes sampled across the *full*
+   population agree with a randomly drawn member of the same class
+   (default: >= 90% of sampled pairs).
+
+Run it::
+
+    python -m repro.experiments.pruning_validation \
+        --kernels sum_loop,strsearch,linked_list --window 4 \
+        --workers 2 --check
+
+``--check`` exits non-zero when any gate fails on any kernel (CI gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.fault_sites import collect_reference_profile
+from ..analysis.pruning import PruningPlan, build_pruning_plan
+from ..faults.campaign import CampaignConfig, FaultCampaign
+from ..faults.injector import FaultSpec
+from ..faults.parallel import resolve_workers, run_fault_trials
+from ..utils.rng import make_rng
+from ..utils.tables import render_table
+from ..workloads.kernels import Kernel, all_kernels, get_kernel
+from . import export
+
+#: Default per-run observation window (cycles). Small enough that the
+#: exhaustive window stays affordable; every default kernel halts well
+#: inside it, so decode counts match the standard 60k-cycle campaigns.
+DEFAULT_OBSERVATION_CYCLES = 12_000
+
+#: Default exhaustively injected slot window ([0, window) x 64 bits).
+DEFAULT_WINDOW = 4
+
+#: Default number of (representative, member) agreement samples.
+DEFAULT_MEMBER_SAMPLES = 24
+
+
+@dataclass
+class PruningKernelReport:
+    """Every gate's measurement for one kernel."""
+
+    benchmark: str
+    decode_count: int
+    raw_sites: int              # full population: decode_count x 64
+    classes: int                # full-population class count
+    prune_ratio: float
+    window: Tuple[int, int]     # [lo, hi) slots injected exhaustively
+    window_sites: int
+    window_classes: int
+    exhaustive_counts: Dict[str, int]
+    pruned_counts: Dict[str, int]   # weight-reconstituted, same window
+    prediction_mismatches: int      # inert classes off their prediction
+    member_samples: int
+    member_agreements: int
+
+    @property
+    def disagreeing_sites(self) -> int:
+        """Window sites whose reconstituted label misses (L1 / 2)."""
+        labels = set(self.exhaustive_counts) | set(self.pruned_counts)
+        l1 = sum(abs(self.exhaustive_counts.get(label, 0)
+                     - self.pruned_counts.get(label, 0))
+                 for label in labels)
+        return l1 // 2
+
+    @property
+    def window_agreement(self) -> float:
+        if not self.window_sites:
+            return 1.0
+        return 1.0 - self.disagreeing_sites / self.window_sites
+
+    @property
+    def member_agreement(self) -> float:
+        if not self.member_samples:
+            return 1.0
+        return self.member_agreements / self.member_samples
+
+    def holds(self, min_ratio: float, min_window_agreement: float,
+              min_member_agreement: float) -> bool:
+        """Whether every gate passes at the given thresholds."""
+        return (self.prune_ratio >= min_ratio
+                and self.prediction_mismatches == 0
+                and self.window_agreement >= min_window_agreement
+                and self.member_agreement >= min_member_agreement)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON form of one kernel's gate measurements."""
+        return {
+            "benchmark": self.benchmark,
+            "decode_count": self.decode_count,
+            "raw_sites": self.raw_sites,
+            "classes": self.classes,
+            "prune_ratio": round(self.prune_ratio, 4),
+            "window": list(self.window),
+            "window_sites": self.window_sites,
+            "window_classes": self.window_classes,
+            "exhaustive_counts": dict(sorted(
+                self.exhaustive_counts.items())),
+            "pruned_counts": dict(sorted(self.pruned_counts.items())),
+            "disagreeing_sites": self.disagreeing_sites,
+            "window_agreement": round(self.window_agreement, 6),
+            "prediction_mismatches": self.prediction_mismatches,
+            "member_samples": self.member_samples,
+            "member_agreements": self.member_agreements,
+            "member_agreement": round(self.member_agreement, 6),
+        }
+
+
+@dataclass
+class PruningValidationResult:
+    """All kernels' gate measurements plus the thresholds applied."""
+
+    min_ratio: float
+    min_window_agreement: float
+    min_member_agreement: float
+    reports: List[PruningKernelReport] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return all(r.holds(self.min_ratio, self.min_window_agreement,
+                           self.min_member_agreement)
+                   for r in self.reports)
+
+    @property
+    def mean_prune_ratio(self) -> float:
+        if not self.reports:
+            return 0.0
+        return (sum(r.prune_ratio for r in self.reports)
+                / len(self.reports))
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON form written by ``--out`` (parsed by the CI summary)."""
+        return {
+            "thresholds": {
+                "min_ratio": self.min_ratio,
+                "min_window_agreement": self.min_window_agreement,
+                "min_member_agreement": self.min_member_agreement,
+            },
+            "clean": self.clean,
+            "mean_prune_ratio": round(self.mean_prune_ratio, 4),
+            "kernels": [r.to_json() for r in self.reports],
+        }
+
+
+def _run_specs(campaign: FaultCampaign, specs: Sequence[FaultSpec],
+               pool_size: Optional[int]):
+    if pool_size is None:
+        return [campaign.run_trial(index, spec)
+                for index, spec in enumerate(specs)]
+    return run_fault_trials(campaign, specs, pool_size)
+
+
+def _sample_member_pairs(plan: PruningPlan, seed: int, benchmark: str,
+                         samples: int) -> List[Tuple[int, FaultSpec,
+                                                     FaultSpec]]:
+    """Deterministically draw (class, representative, member) triples.
+
+    Only classes with more than one site qualify, and the drawn member
+    is never the representative itself. Sampling is a pure function of
+    ``(seed, benchmark)`` — worker-count independent like every other
+    campaign identity.
+    """
+    rng = make_rng(seed, "pruning-members", benchmark)
+    eligible = [cls for cls in plan.classes
+                if len(cls.slots) * len(cls.bits) > 1]
+    pairs: List[Tuple[int, FaultSpec, FaultSpec]] = []
+    for cls in (rng.sample(eligible, min(samples, len(eligible)))
+                if eligible else []):
+        while True:
+            slot = cls.slots[rng.randrange(len(cls.slots))]
+            bit = cls.bits[rng.randrange(len(cls.bits))]
+            if (slot, bit) != (cls.rep_slot, cls.rep_bit):
+                break
+        pairs.append((
+            cls.index,
+            FaultSpec(decode_index=cls.rep_slot, bit=cls.rep_bit),
+            FaultSpec(decode_index=slot, bit=bit),
+        ))
+    return pairs
+
+
+def validate_kernel(kernel: Kernel, seed: int = 2007,
+                    observation_cycles: int = DEFAULT_OBSERVATION_CYCLES,
+                    window: int = DEFAULT_WINDOW,
+                    member_samples: int = DEFAULT_MEMBER_SAMPLES,
+                    workers: Optional[object] = None
+                    ) -> PruningKernelReport:
+    """Measure every gate for one kernel."""
+    config = CampaignConfig(trials=0, seed=seed,
+                            observation_cycles=observation_cycles)
+    campaign = FaultCampaign(kernel, config)
+    pool_size = resolve_workers(workers)
+
+    # One profiled reference run feeds both the full-population plan
+    # (ratio + member gates) and the windowed plan (aggregate gate).
+    program = kernel.program()
+    profile = collect_reference_profile(
+        program, inputs=kernel.inputs,
+        pipeline_config=config.pipeline,
+        observation_cycles=config.observation_cycles)
+    if profile.decode_count != campaign.decode_count:
+        raise RuntimeError(
+            f"{kernel.name}: profiled reference decoded "
+            f"{profile.decode_count} slots, campaign sized "
+            f"{campaign.decode_count}")
+    full_plan = build_pruning_plan(program, profile,
+                                   benchmark=kernel.name)
+    lo, hi = 0, min(window, profile.decode_count)
+    window_plan = build_pruning_plan(program, profile,
+                                     benchmark=kernel.name,
+                                     slot_range=(lo, hi))
+
+    # Aggregate gate: pruned (representatives, weight-reconstituted)
+    # vs. exhaustive (every site) over the same slot window.
+    pruned = campaign.run_pruned(plan=window_plan, workers=workers)
+    exhaustive_specs = [FaultSpec(decode_index=slot, bit=bit)
+                        for slot in range(lo, hi)
+                        for bit in range(64)]
+    exhaustive_counts: Dict[str, int] = {}
+    for trial in _run_specs(campaign, exhaustive_specs, pool_size):
+        label = trial.outcome.value
+        exhaustive_counts[label] = exhaustive_counts.get(label, 0) + 1
+
+    # Member gate: sampled representative/member pairs, full population.
+    pairs = _sample_member_pairs(full_plan, seed, kernel.name,
+                                 member_samples)
+    flat: List[FaultSpec] = [spec for _, rep, member in pairs
+                             for spec in (rep, member)]
+    outcomes = _run_specs(campaign, flat, pool_size)
+    agreements = sum(
+        outcomes[2 * i].outcome is outcomes[2 * i + 1].outcome
+        for i in range(len(pairs)))
+
+    return PruningKernelReport(
+        benchmark=kernel.name,
+        decode_count=profile.decode_count,
+        raw_sites=full_plan.raw_sites,
+        classes=len(full_plan.classes),
+        prune_ratio=full_plan.prune_ratio,
+        window=(lo, hi),
+        window_sites=window_plan.raw_sites,
+        window_classes=len(window_plan.classes),
+        exhaustive_counts=exhaustive_counts,
+        pruned_counts={label: count for label, count
+                       in sorted(pruned.weighted_counts().items())},
+        prediction_mismatches=len(pruned.prediction_mismatches()),
+        member_samples=len(pairs),
+        member_agreements=agreements,
+    )
+
+
+def run_pruning_validation(
+        kernels: Optional[Sequence[Kernel]] = None, seed: int = 2007,
+        observation_cycles: int = DEFAULT_OBSERVATION_CYCLES,
+        window: int = DEFAULT_WINDOW,
+        member_samples: int = DEFAULT_MEMBER_SAMPLES,
+        workers: Optional[object] = None,
+        min_ratio: float = 3.0,
+        min_window_agreement: float = 0.95,
+        min_member_agreement: float = 0.90) -> PruningValidationResult:
+    """Validate the pruning analyzer against injection ground truth."""
+    result = PruningValidationResult(
+        min_ratio=min_ratio,
+        min_window_agreement=min_window_agreement,
+        min_member_agreement=min_member_agreement)
+    for kernel in (kernels if kernels is not None else all_kernels()):
+        result.reports.append(validate_kernel(
+            kernel, seed=seed, observation_cycles=observation_cycles,
+            window=window, member_samples=member_samples,
+            workers=workers))
+    return result
+
+
+def render_pruning_validation(result: PruningValidationResult) -> str:
+    """Human-readable gate table."""
+    rows = []
+    for report in result.reports:
+        rows.append([
+            report.benchmark,
+            report.decode_count,
+            report.raw_sites,
+            report.classes,
+            f"{report.prune_ratio:.1f}x",
+            f"{report.window[1] - report.window[0]}",
+            f"{100 * report.window_agreement:.1f}%",
+            report.prediction_mismatches,
+            f"{report.member_agreements}/{report.member_samples}",
+            ("yes" if report.holds(result.min_ratio,
+                                   result.min_window_agreement,
+                                   result.min_member_agreement)
+             else "NO"),
+        ])
+    table = render_table(
+        ["kernel", "slots", "sites", "classes", "ratio", "win",
+         "agree", "predmiss", "members", "holds"],
+        rows,
+        title="Pruning validation: static equivalence classes vs. "
+              "exhaustive injection",
+    )
+    lines = [
+        table,
+        "",
+        f"thresholds: ratio >= {result.min_ratio}x, window agreement "
+        f">= {100 * result.min_window_agreement:.0f}%, member agreement "
+        f">= {100 * result.min_member_agreement:.0f}%, inert "
+        f"prediction mismatches == 0",
+        f"mean prune ratio: {result.mean_prune_ratio:.1f}x",
+        f"clean: {result.clean}",
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code (``--check``)."""
+    parser = argparse.ArgumentParser(
+        prog="pruning-validation",
+        description="Cross-validate the static fault-site pruning "
+                    "analyzer against exhaustive injection")
+    parser.add_argument("--kernels", type=str, default=None,
+                        help="comma-separated kernel names (default: all)")
+    parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument("--cycles", type=int,
+                        default=DEFAULT_OBSERVATION_CYCLES,
+                        help="observation window per trial (cycles)")
+    parser.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                        help="decode slots injected exhaustively")
+    parser.add_argument("--samples", type=int,
+                        default=DEFAULT_MEMBER_SAMPLES,
+                        help="representative/member agreement samples")
+    parser.add_argument("--min-ratio", type=float, default=3.0)
+    parser.add_argument("--min-agreement", type=float, default=0.95,
+                        help="window aggregate agreement floor")
+    parser.add_argument("--min-member-agreement", type=float, default=0.90)
+    parser.add_argument("--workers", type=str, default=None,
+                        help="worker processes (an integer, or 'auto'; "
+                             "default: serial). Results are "
+                             "byte-identical to serial runs.")
+    parser.add_argument("--out", type=str, default=None,
+                        help="directory for the JSON result")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 when any gate fails (CI gate)")
+    args = parser.parse_args(argv)
+
+    kernels = None
+    if args.kernels:
+        kernels = [get_kernel(name.strip())
+                   for name in args.kernels.split(",") if name.strip()]
+
+    result = run_pruning_validation(
+        kernels=kernels, seed=args.seed,
+        observation_cycles=args.cycles, window=args.window,
+        member_samples=args.samples, workers=args.workers,
+        min_ratio=args.min_ratio,
+        min_window_agreement=args.min_agreement,
+        min_member_agreement=args.min_member_agreement)
+    print(render_pruning_validation(result))
+
+    if args.out:
+        import pathlib
+        directory = pathlib.Path(args.out)
+        export.save_json(result.to_json(),
+                         directory / "pruning_validation.json")
+
+    if args.check and not result.clean:
+        print("pruning-validation check FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

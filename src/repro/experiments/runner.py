@@ -176,6 +176,16 @@ def _run_recovery_soak(args) -> str:
     return recovery_soak.render_recovery_soak(result)
 
 
+def _run_pruning_validation(args) -> str:
+    from ..workloads.kernels import get_kernel as _get
+    from . import pruning_validation
+    result = pruning_validation.run_pruning_validation(
+        kernels=[_get("sum_loop"), _get("strsearch"), _get("linked_list")],
+        seed=args.seed, window=2, member_samples=8,
+        workers=getattr(args, "workers", None))
+    return pruning_validation.render_pruning_validation(result)
+
+
 def _run_scorecard(args) -> str:
     from . import scorecard
     card = scorecard.build_scorecard(
@@ -210,6 +220,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "spectrum": _run_spectrum,
     "overhead": _run_overhead,
     "recovery-soak": _run_recovery_soak,
+    "pruning-validation": _run_pruning_validation,
     "scorecard": _run_scorecard,
 }
 

@@ -131,6 +131,17 @@ def build_scorecard(instructions: int = 150_000, trials: int = 15,
              f"reconverged={directed.output_matches}",
              directed.holds)
 
+    from .pruning_validation import run_pruning_validation
+    pruning = run_pruning_validation(
+        kernels=[get_kernel("sum_loop")], seed=seed, window=2,
+        member_samples=4, workers=workers)
+    prune_report = pruning.reports[0]
+    card.add("sec4", "equivalence pruning matches exhaustive injection",
+             "same aggregates, fewer trials",
+             f"{prune_report.prune_ratio:.0f}x fewer, "
+             f"{100 * prune_report.window_agreement:.0f}% window agree",
+             pruning.clean)
+
     return card
 
 

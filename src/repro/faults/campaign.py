@@ -162,6 +162,103 @@ class CampaignResult:
                 for outcome in FIGURE8_ORDER}
 
 
+@dataclass
+class PrunedCampaignResult:
+    """One pruned campaign: representative trials + class bookkeeping.
+
+    ``trials[i]`` is the injection of class ``classes[i]``'s
+    representative site; the full-population aggregate is reconstituted
+    by weighting each representative outcome by its class weight
+    (member slots x member bits). Like :class:`CampaignResult`, the
+    serialized form is byte-identical for any worker count.
+    """
+
+    benchmark: str
+    config_fingerprint: Optional[Dict[str, object]] = None
+    plan_fingerprint: Optional[Dict[str, object]] = None
+    classes: List[Dict[str, object]] = field(default_factory=list)
+    trials: List[TrialResult] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form (inverse of :meth:`from_dict`)."""
+        return {
+            "benchmark": self.benchmark,
+            "config": self.config_fingerprint,
+            "plan": self.plan_fingerprint,
+            "classes": self.classes,
+            "trials": [t.to_dict() for t in self.trials],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "PrunedCampaignResult":
+        return cls(
+            benchmark=data["benchmark"],
+            config_fingerprint=data.get("config"),
+            plan_fingerprint=data.get("plan"),
+            classes=list(data.get("classes", [])),
+            trials=[TrialResult.from_dict(t) for t in data["trials"]],
+        )
+
+    @property
+    def injected_trials(self) -> int:
+        return len(self.trials)
+
+    @property
+    def raw_sites(self) -> int:
+        return sum(int(cls["weight"]) for cls in self.classes)
+
+    def weighted_counts(self) -> Counter:
+        """Reconstituted outcome counts over the full site population."""
+        counter = Counter()
+        for cls, trial in zip(self.classes, self.trials):
+            counter.add(trial.outcome.value, int(cls["weight"]))
+        return counter
+
+    def weighted_detected_fraction(self) -> float:
+        """ITR-detection fraction over the full site population."""
+        total = self.raw_sites
+        if not total:
+            return 0.0
+        hits = sum(int(cls["weight"])
+                   for cls, trial in zip(self.classes, self.trials)
+                   if trial.detected_itr)
+        return hits / total
+
+    def figure8_row(self) -> Dict[str, float]:
+        """Weighted percentages per Figure 8 category, legend order."""
+        total = self.raw_sites
+        counts = self.weighted_counts()
+        return {outcome.value:
+                (100.0 * counts[outcome.value] / total if total else 0.0)
+                for outcome in FIGURE8_ORDER}
+
+    def prediction_mismatches(self) -> List[int]:
+        """Indices of classes whose proved prediction missed (self-check:
+        inert classes carry a constructively predicted outcome; any
+        disagreement with the injected representative is an analyzer
+        bug, not statistical noise)."""
+        return [index
+                for index, (cls, trial) in enumerate(
+                    zip(self.classes, self.trials))
+                if cls.get("predicted_outcome") is not None
+                and cls["predicted_outcome"] != trial.outcome.value]
+
+    def aggregate(self) -> Dict[str, object]:
+        """Deterministic summary mirroring :meth:`CampaignResult
+        .aggregate`, reconstituted over the full site population."""
+        return {
+            "benchmark": self.benchmark,
+            "config": self.config_fingerprint,
+            "plan": self.plan_fingerprint,
+            "injected_trials": self.injected_trials,
+            "raw_sites": self.raw_sites,
+            "outcomes": dict(sorted(self.weighted_counts().items())),
+            "detected_by_itr_fraction": self.weighted_detected_fraction(),
+            "prediction_mismatches": self.prediction_mismatches(),
+            "figure8_row": self.figure8_row(),
+        }
+
+
 class FaultCampaign:
     """Runs a full campaign for one kernel.
 
@@ -321,6 +418,64 @@ class FaultCampaign:
         """Lazy trial stream (lets callers report progress)."""
         for index, spec in enumerate(self.plan()):
             yield self.run_trial(index, spec)
+
+    # ----------------------------------------------------------- pruned mode
+    def pruning_plan(self, slot_range=None):
+        """Build this campaign's fault-site equivalence-class plan.
+
+        Costs one extra fault-free reference run (profiled this time) in
+        the same pipeline configuration and observation window, so the
+        plan's slot numbering is exactly the campaign's fault-site
+        coordinate system. Parent-only, like :meth:`plan` — workers
+        receive representative specs, never rebuild the plan.
+        """
+        from ..analysis.fault_sites import collect_reference_profile
+        from ..analysis.pruning import build_pruning_plan
+        profile = collect_reference_profile(
+            self._program,
+            inputs=self.kernel.inputs,
+            pipeline_config=self.config.pipeline,
+            observation_cycles=self.config.observation_cycles,
+            initial_state=self._initial_state,
+        )
+        if profile.decode_count != self.decode_count:
+            raise RuntimeError(
+                f"profiled reference decoded {profile.decode_count} "
+                f"slots but the campaign sized {self.decode_count}; "
+                f"pipeline configurations diverged")
+        return build_pruning_plan(self._program, profile,
+                                  benchmark=self.kernel.name,
+                                  slot_range=slot_range)
+
+    def run_pruned(self, workers: Optional[object] = None,
+                   slot_range=None, plan=None) -> PrunedCampaignResult:
+        """Inject one representative per equivalence class.
+
+        Covers the *entire* fault-site population (``decode_count x
+        64`` sites — or a ``slot_range`` window of it) at a fraction of
+        the trials: the returned result reconstitutes full-population
+        aggregates by class weight. Deterministic and byte-stable for
+        any ``workers`` value, exactly like :meth:`run`.
+        """
+        if plan is None:
+            plan = self.pruning_plan(slot_range)
+        specs = [FaultSpec(decode_index=cls.rep_slot, bit=cls.rep_bit)
+                 for cls in plan.classes]
+        from .parallel import resolve_workers
+        pool_size = resolve_workers(workers)
+        if pool_size is None:
+            trials = [self.run_trial(index, spec)
+                      for index, spec in enumerate(specs)]
+        else:
+            from .parallel import run_pruned_trials
+            trials = run_pruned_trials(self, specs, pool_size)
+        return PrunedCampaignResult(
+            benchmark=self.kernel.name,
+            config_fingerprint=self.config.fingerprint(),
+            plan_fingerprint=plan.fingerprint(),
+            classes=[cls.to_json() for cls in plan.classes],
+            trials=trials,
+        )
 
 
 # ======================================================================

@@ -175,6 +175,21 @@ def run_fault_trials(campaign, plan: Sequence[FaultSpec],
     return results
 
 
+def run_pruned_trials(campaign, representatives: Sequence[FaultSpec],
+                      workers: int) -> List[TrialResult]:
+    """Run a pruned campaign's representative trials across workers.
+
+    Identical engine to :func:`run_fault_trials` — representative specs
+    were chosen in the parent by :meth:`FaultCampaign.pruning_plan
+    <repro.faults.campaign.FaultCampaign.pruning_plan>`, and a trial is
+    a pure function of its spec, so class selection and trial execution
+    compose without any new determinism obligations. Exists as a named
+    entry point so the pruned mode's worker-count independence is
+    separately testable and its call sites are greppable.
+    """
+    return run_fault_trials(campaign, representatives, workers)
+
+
 def _soak_pool_round(campaign, trials: Sequence[int], workers: int,
                      on_result: Callable,
                      deaths: Dict[int, int]) -> List[int]:

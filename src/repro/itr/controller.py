@@ -88,6 +88,23 @@ class ItrStats:
         return self.machine_checks - self.rollbacks
 
 
+class ItrProbe:
+    """Passive observer of trace dispatch/commit (no behavioural effect).
+
+    The fault-site analyzer attaches one to a fault-free reference run to
+    learn, per dynamic trace instance, how the ITR access resolved
+    (``forward``/``hit``/``miss``) and whether the instance ultimately
+    committed — the dynamic facts its equivalence classes fold over.
+    """
+
+    def on_trace_dispatch(self, seq: int, trace: TraceSignature,
+                          source: str) -> None:
+        """A completed trace accessed the ITR machinery at decode."""
+
+    def on_trace_commit(self, seq: int) -> None:
+        """The trace at the ITR ROB head fully committed."""
+
+
 class ItrController:
     """Decode- and commit-side ITR machinery for one pipeline instance."""
 
@@ -102,6 +119,8 @@ class ItrController:
         self.recovery_enabled = recovery_enabled
         self.stats = ItrStats()
         self.events: List[MismatchEvent] = []
+        #: Optional passive observer (see :class:`ItrProbe`).
+        self.probe: Optional[ItrProbe] = None
         # Retry protocol state: start PC of the trace being re-executed
         # after a mismatch-triggered flush, or None.
         self._retry_pc: Optional[int] = None
@@ -158,11 +177,15 @@ class ItrController:
                                       stored_parity_ok=True)
             else:
                 older.confirmed_in_flight = True
+            if self.probe is not None:
+                self.probe.on_trace_dispatch(entry.seq, trace, "forward")
             return
         line = self.cache.lookup(trace.start_pc)
         if line is None:
             self.stats.cache_misses += 1
             entry.mark_miss()
+            if self.probe is not None:
+                self.probe.on_trace_dispatch(entry.seq, trace, "miss")
             return
         self.stats.cache_hits += 1
         entry.cached_signature = line.signature
@@ -176,6 +199,8 @@ class ItrController:
             self._record_mismatch(entry, trace, cycle,
                                   stored_tainted=line.tainted,
                                   stored_parity_ok=entry.cached_parity_ok)
+        if self.probe is not None:
+            self.probe.on_trace_dispatch(entry.seq, trace, "hit")
 
     def _record_mismatch(self, entry: ItrRobEntry, trace: TraceSignature,
                          cycle: int, stored_tainted: bool,
@@ -310,6 +335,8 @@ class ItrController:
                                   writer_commit=max(
                                       0, instructions
                                       - (head.trace.length - 1)))
+            if self.probe is not None:
+                self.probe.on_trace_commit(head.seq)
             self.rob.free_head()
 
     # -------------------------------------------------------------- rollback

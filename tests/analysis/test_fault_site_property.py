@@ -1,0 +1,55 @@
+"""Property test: sampled class members match their representative.
+
+Hypothesis draws (class, member site) pairs from a real pruning plan
+and injects both the member and the class representative. For ``inert``
+classes the analyzer's claim is a proof, so the property is strict: the
+member's campaign outcome must equal the representative's, and both
+must land on the constructively predicted outcome. (``live`` classes
+are only extrapolations; their agreement is measured statistically by
+``repro.experiments.pruning_validation``, not asserted here.)
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fault_sites import VERDICT_INERT
+from repro.faults.campaign import CampaignConfig, FaultCampaign
+from repro.faults.injector import FaultSpec
+from repro.workloads.kernels import get_kernel
+
+#: sum_loop halts well inside this window, so trials stay ~0.1s while
+#: the decode-slot population (and therefore the plan) is complete.
+OBSERVATION_CYCLES = 3_000
+
+
+@pytest.fixture(scope="module")
+def harness():
+    campaign = FaultCampaign(get_kernel("sum_loop"), CampaignConfig(
+        trials=0, seed=20_070_101,
+        observation_cycles=OBSERVATION_CYCLES))
+    plan = campaign.pruning_plan()
+    eligible = [cls for cls in plan.classes
+                if cls.verdict == VERDICT_INERT and cls.weight > 1]
+    assert eligible, "sum_loop must fold some inert classes"
+    return campaign, eligible, {}
+
+
+@settings(max_examples=8, deadline=None)
+@given(data=st.data())
+def test_inert_member_matches_representative(harness, data):
+    campaign, eligible, rep_outcomes = harness
+    cls = data.draw(st.sampled_from(eligible))
+    slot = data.draw(st.sampled_from(cls.slots))
+    bit = data.draw(st.sampled_from(cls.bits))
+
+    if cls.index not in rep_outcomes:
+        rep = campaign.run_trial(
+            0, FaultSpec(decode_index=cls.rep_slot, bit=cls.rep_bit))
+        rep_outcomes[cls.index] = rep.outcome
+    member = campaign.run_trial(1, FaultSpec(decode_index=slot, bit=bit))
+
+    assert member.outcome is rep_outcomes[cls.index], (
+        f"class {cls.index} ({cls.role_key}, {cls.group_label}): member "
+        f"(slot={slot}, bit={bit}) diverged from representative")
+    assert rep_outcomes[cls.index].value == cls.predicted_outcome

@@ -1,0 +1,247 @@
+"""Unit tests for the static fault-site analyzer (liveness, bit census).
+
+Covers the three static ingredients of the campaign pruner: the
+backward-liveness pass and its DF002 dead-store findings, the per-bit
+inert/boundary/live classification, and the whole-program site census
+that feeds the analysis report. The dynamic side (reference profiling)
+gets a cheap smoke here; its end-to-end validation lives in
+``repro.experiments.pruning_validation``.
+"""
+
+import pytest
+
+from repro.analysis import (
+    analyze_program,
+    find_dead_stores,
+    live_after_map,
+    static_site_summary,
+)
+from repro.analysis.fault_sites import (
+    BOUNDARY_BITS,
+    VERDICT_INERT,
+    VERDICT_LIVE,
+    bit_groups,
+    collect_reference_profile,
+    inert_bits,
+)
+from repro.arch.state import arch_reg
+from repro.isa import assemble
+from repro.isa.decode_signals import FIELD_BY_NAME, TOTAL_WIDTH, decode
+from repro.isa.instruction import make
+from repro.isa.program import Program
+from repro.workloads.kernels import all_kernels, get_kernel
+
+T0 = arch_reg(8, False)
+T1 = arch_reg(9, False)
+
+
+def field_set(name):
+    spec = FIELD_BY_NAME[name]
+    return frozenset(range(spec.offset, spec.offset + spec.width))
+
+
+def sig(mnemonic, **kwargs):
+    return decode(make(mnemonic, **kwargs))
+
+
+class TestInertBits:
+    def test_latency_is_always_inert(self):
+        for mnemonic in ("add", "addi", "sll", "lw", "sw", "beq", "j",
+                         "syscall"):
+            assert field_set("lat") <= inert_bits(sig(mnemonic))
+
+    def test_shamt_live_only_for_immediate_shifts(self):
+        assert not field_set("shamt") & inert_bits(sig("sll"))
+        # The variable shift takes its amount from a register operand.
+        assert field_set("shamt") <= inert_bits(sig("srlv"))
+        assert field_set("shamt") <= inert_bits(sig("add"))
+
+    def test_imm_live_only_when_consumed(self):
+        for mnemonic in ("addi", "lui", "lw", "sw", "beq", "j"):
+            assert not field_set("imm") & inert_bits(sig(mnemonic))
+        assert field_set("imm") <= inert_bits(sig("add"))
+        assert field_set("imm") <= inert_bits(sig("syscall"))
+
+    def test_operand_specifiers_gated_by_counts(self):
+        assert field_set("rsrc2") <= inert_bits(sig("addi"))
+        assert not field_set("rsrc2") & inert_bits(sig("add"))
+        assert field_set("rsrc1") <= inert_bits(sig("j"))
+        assert field_set("rdst") <= inert_bits(sig("sw"))
+        assert field_set("rdst") <= inert_bits(sig("beq"))
+        assert not field_set("rdst") & inert_bits(sig("add"))
+
+    def test_trap_operands_inert_but_num_rdst_never(self):
+        trap = inert_bits(sig("syscall"))
+        for name in ("rsrc1", "rsrc2", "rdst", "num_rsrc"):
+            assert field_set(name) <= trap
+        # A spurious destination allocation corrupts the retirement
+        # map even on a trap: num_rdst must never be folded away.
+        for mnemonic in ("add", "sw", "j", "syscall"):
+            assert not field_set("num_rdst") & inert_bits(sig(mnemonic))
+
+    def test_mem_size_live_only_for_memory_ops(self):
+        assert not field_set("mem_size") & inert_bits(sig("lw"))
+        assert not field_set("mem_size") & inert_bits(sig("sw"))
+        assert field_set("mem_size") <= inert_bits(sig("add"))
+        assert field_set("mem_size") <= inert_bits(sig("beq"))
+
+
+class TestBitGroups:
+    MNEMONICS = ("add", "addi", "sll", "srlv", "lw", "sw", "beq", "j",
+                 "lui", "syscall")
+
+    def test_groups_partition_all_64_bits(self):
+        for mnemonic in self.MNEMONICS:
+            groups = bit_groups(sig(mnemonic))
+            seen = [bit for group in groups for bit in group.bits]
+            assert sorted(seen) == list(range(TOTAL_WIDTH)), mnemonic
+
+    def test_inert_bits_merge_into_one_group(self):
+        for mnemonic in self.MNEMONICS:
+            signals = sig(mnemonic)
+            merged = [g for g in bit_groups(signals)
+                      if g.verdict == VERDICT_INERT]
+            assert len(merged) == 1
+            assert frozenset(merged[0].bits) == inert_bits(signals)
+            assert merged[0].label == "inert"
+
+    def test_live_groups_are_single_bit(self):
+        for mnemonic in self.MNEMONICS:
+            for group in bit_groups(sig(mnemonic)):
+                if group.verdict != VERDICT_INERT:
+                    assert len(group.bits) == 1, (mnemonic, group.label)
+
+    def test_boundary_flags_get_boundary_verdict(self):
+        assert BOUNDARY_BITS
+        for group in bit_groups(sig("add")):
+            if group.bits[0] in BOUNDARY_BITS:
+                assert group.label.startswith("flag:")
+                assert group.verdict == "boundary"
+            elif group.verdict == VERDICT_LIVE:
+                assert group.bits[0] not in BOUNDARY_BITS
+
+
+class TestDeadStores:
+    def test_overwritten_and_never_read_are_found(self):
+        program = assemble("""
+.text
+main:
+    li   $t0, 5
+    li   $t0, 7
+    add  $t1, $t0, $t0
+    li   $v0, 10
+    syscall
+""", name="dead")
+        stores = find_dead_stores(program)
+        assert [(s.register, s.overwritten) for s in stores] == [
+            (T0, True),    # li $t0, 5 — clobbered before any read
+            (T1, False),   # add $t1 — never read again before exit
+        ]
+        assert stores[0].pc < stores[1].pc
+
+    def test_read_then_redefined_is_not_dead(self):
+        program = assemble("""
+.text
+main:
+    li   $t0, 0
+    li   $t1, 5
+loop:
+    addi $t0, $t0, 1
+    bne  $t0, $t1, loop
+    li   $v0, 10
+    syscall
+""", name="loop")
+        assert find_dead_stores(program) == []
+
+    def test_zero_register_writes_are_exempt(self):
+        program = Program(instructions=[
+            make("add", rd=0, rs=0, rt=0),       # canonical nop idiom
+            make("addi", rd=2, rs=0, imm=10),    # $v0 = 10
+            make("syscall"),
+        ], name="nop")
+        assert find_dead_stores(program) == []
+
+    def test_df002_diagnostic_fires(self):
+        program = assemble("""
+.text
+main:
+    li   $t0, 5
+    li   $t0, 7
+    add  $t1, $t0, $t0
+    li   $v0, 10
+    syscall
+""", name="dead")
+        report = analyze_program(program)
+        df002 = [d for d in report.diagnostics if d.code == "DF002"]
+        assert len(df002) == 2
+        assert report.status == "warnings"
+        assert {d.data["overwritten"] for d in df002} == {True, False}
+
+    def test_live_after_map_covers_every_pc(self):
+        program = assemble("""
+.text
+main:
+    li   $t0, 5
+    li   $t0, 7
+    add  $t1, $t0, $t0
+    li   $v0, 10
+    syscall
+""", name="dead")
+        live_after = live_after_map(program)
+        pcs = [program.pc_of(i) for i in range(len(program.instructions))]
+        assert sorted(live_after) == pcs
+        # $t0 is dead after the first write, live after the second.
+        assert T0 not in live_after[pcs[0]]
+        assert T0 in live_after[pcs[1]]
+
+
+class TestStaticSiteSummary:
+    def test_census_is_consistent_on_every_kernel(self):
+        for kernel in all_kernels():
+            summary = static_site_summary(kernel.program())
+            assert summary.static_sites == summary.instructions * 64
+            total = (summary.inert_sites + summary.boundary_sites
+                     + summary.live_sites)
+            assert total == summary.static_sites, kernel.name
+            assert summary.static_fold >= 1.0
+            # The kernel suite stays DF002-clean (no fixes or waivers).
+            assert summary.dead_stores == 0, kernel.name
+            assert summary.dead_store_pcs == ()
+
+    def test_sum_loop_has_looped_instructions(self):
+        summary = static_site_summary(get_kernel("sum_loop").program())
+        assert summary.looped_instructions > 0
+
+    def test_to_json_keys_are_stable(self):
+        summary = static_site_summary(get_kernel("sum_loop").program())
+        assert set(summary.to_json()) == {
+            "instructions", "static_sites", "inert_sites",
+            "boundary_sites", "live_sites", "bit_groups", "static_fold",
+            "dead_stores", "dead_store_pcs", "looped_instructions"}
+
+
+class TestReferenceProfile:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        kernel = get_kernel("sum_loop")
+        return collect_reference_profile(
+            kernel.program(), inputs=kernel.inputs,
+            observation_cycles=3_000)
+
+    def test_slot_coordinates_are_dense(self, profile):
+        assert profile.decode_count == len(profile.pcs) >= 1
+        assert len(profile.roles) == profile.decode_count
+
+    def test_roles_use_the_documented_vocabulary(self, profile):
+        for slot in range(profile.decode_count):
+            role = profile.role_of(slot)
+            assert role.kind in ("committed", "wrongpath", "squashed")
+            assert role.access in ("forward", "hit", "miss", "none")
+            if role.trace_start is None:
+                assert role.kind == "squashed"
+
+    def test_committed_instances_exist_and_span_slots(self, profile):
+        committed = [r for r in profile.instances if r.committed]
+        assert committed
+        for record in committed:
+            assert record.end_slot - record.start_slot + 1 == record.length

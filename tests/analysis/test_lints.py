@@ -52,8 +52,8 @@ class TestDiagnosticType:
 
     def test_catalog_codes_are_stable(self):
         assert set(CATALOG) == {"CF001", "CF002", "CF003", "CF004",
-                                "DF001", "ITR001", "ITR002", "ITR003",
-                                "ITR004", "CV001"}
+                                "DF001", "DF002", "ITR001", "ITR002",
+                                "ITR003", "ITR004", "CV001"}
 
 
 class TestControlFlowLints:

@@ -50,7 +50,7 @@ class TestReport:
 
 # Keys required by docs/static_analysis.md — the stable JSON interface.
 TOP_KEYS = {"program", "analyzer", "entry", "text", "cfg", "traces",
-            "cache", "diagnostics", "status"}
+            "cache", "fault_sites", "diagnostics", "status"}
 ANALYZER_KEYS = {"version", "schema_version"}
 TEXT_KEYS = {"base", "end", "instructions"}
 CFG_KEYS = {"basic_blocks", "edges", "reachable_blocks"}

@@ -1,0 +1,92 @@
+"""Pruned campaign mode: determinism, weights, and self-checks.
+
+The contract mirrors the exhaustive engine's: the serialized result is
+byte-identical at any worker count, the class weights partition the raw
+site population exactly, and every proved (inert-class) prediction must
+match its injected representative.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.campaign import (
+    CampaignConfig,
+    FaultCampaign,
+    PrunedCampaignResult,
+)
+from repro.workloads.kernels import get_kernel
+
+OBSERVATION_CYCLES = 3_000
+WINDOW = (0, 1)
+
+
+def _campaign():
+    return FaultCampaign(get_kernel("sum_loop"), CampaignConfig(
+        trials=0, seed=20_070_625,
+        observation_cycles=OBSERVATION_CYCLES))
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return _campaign().run_pruned(slot_range=WINDOW)
+
+
+@pytest.fixture(scope="module")
+def pooled_result():
+    return _campaign().run_pruned(slot_range=WINDOW, workers=2)
+
+
+def test_pooled_run_is_byte_identical(serial_result, pooled_result):
+    serial_json = json.dumps(serial_result.to_dict(), sort_keys=True)
+    pooled_json = json.dumps(pooled_result.to_dict(), sort_keys=True)
+    assert pooled_json == serial_json
+
+
+def test_one_trial_per_class(serial_result):
+    assert serial_result.injected_trials == len(serial_result.classes)
+    assert serial_result.injected_trials > 0
+    for cls, trial in zip(serial_result.classes, serial_result.trials):
+        assert trial.decode_index == cls["rep_slot"]
+        assert trial.bit == cls["rep_bit"]
+
+
+def test_weights_reconstitute_the_window_population(serial_result):
+    lo, hi = WINDOW
+    assert serial_result.raw_sites == (hi - lo) * 64
+    counts = serial_result.weighted_counts()
+    assert sum(count for _, count in counts.items()) \
+        == serial_result.raw_sites
+    row = serial_result.figure8_row()
+    assert sum(row.values()) == pytest.approx(100.0)
+
+
+def test_inert_predictions_hold(serial_result):
+    assert serial_result.prediction_mismatches() == []
+    predicted = [cls for cls in serial_result.classes
+                 if cls["predicted_outcome"] is not None]
+    assert predicted, "window must contain some inert classes"
+    for cls in predicted:
+        assert cls["verdict"] == "inert"
+
+
+def test_roundtrips_through_dict(serial_result):
+    clone = PrunedCampaignResult.from_dict(
+        json.loads(json.dumps(serial_result.to_dict())))
+    assert json.dumps(clone.to_dict(), sort_keys=True) \
+        == json.dumps(serial_result.to_dict(), sort_keys=True)
+    assert clone.aggregate() == serial_result.aggregate()
+
+
+def test_plan_classes_partition_every_site():
+    campaign = _campaign()
+    plan = campaign.pruning_plan(slot_range=(0, 50))
+    assert sum(cls.weight for cls in plan.classes) == plan.raw_sites
+    lo, hi = plan.slot_range
+    for slot in range(lo, hi):
+        for bit in range(64):
+            cls = plan.class_of_site(slot, bit)
+            assert slot in cls.slots and bit in cls.bits
+    for cls in plan.classes:
+        assert cls.rep_slot == min(cls.slots)
+        assert cls.rep_bit == min(cls.bits)
