@@ -17,14 +17,21 @@ A third section records the *pruned* campaign's throughput: one
 representative trial per static equivalence class over an exhaustive
 slot window, so the effective site-coverage rate (sites/s) exceeds the
 raw trial rate by the measured prune ratio.
+
+Alongside the human-readable report, the measured rates are written to
+``benchmarks/results/BENCH_trials_per_sec.json`` so the performance
+trajectory is machine-comparable release-over-release.
 """
 
 import json
 import os
+import pathlib
 import time
 
 from repro.faults.campaign import CampaignConfig, FaultCampaign
 from repro.workloads.kernels import get_kernel
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 TRIALS = 200
 OBSERVATION_CYCLES = 12_000
@@ -84,6 +91,26 @@ def test_parallel_speedup(save_report):
         f"({pruned.injected_trials / pruned_s:.1f} trials/s, "
         f"{pruned.raw_sites / pruned_s:.1f} sites/s effective)",
     ]))
+
+    baseline = {
+        "benchmark": "sum_loop",
+        "trials": TRIALS,
+        "observation_cycles": OBSERVATION_CYCLES,
+        "pool": POOL,
+        "cpus": cpus,
+        "serial_trials_per_sec": round(TRIALS / serial_s, 2),
+        "pooled_trials_per_sec": round(TRIALS / pooled_s, 2),
+        "speedup": round(speedup, 2),
+        "pruned_slots": PRUNED_SLOTS,
+        "prune_ratio": round(plan.prune_ratio, 2),
+        "pruned_trials_per_sec":
+            round(pruned.injected_trials / pruned_s, 2),
+        "pruned_sites_per_sec": round(pruned.raw_sites / pruned_s, 2),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_trials_per_sec.json"
+    path.write_text(json.dumps(baseline, indent=2, sort_keys=True)
+                    + "\n")
 
     if cpus >= POOL:
         assert speedup >= 2.0, (

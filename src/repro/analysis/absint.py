@@ -1,0 +1,1044 @@
+"""Bit-precise abstract interpretation for static masking proofs.
+
+A forward fixpoint interpreter over the CFG in the unified 64-register
+space, running a *product domain* per register:
+
+* **known bits** — each of the 32 value bits is proven-0, proven-1 or
+  unknown (``known`` masks the proven positions, ``value`` holds their
+  values), and
+* **signed intervals** — ``lo <= to_signed(v) <= hi``.
+
+The two halves refine each other on construction (a singleton interval
+pins every bit; proven high bits clamp the interval), transfer functions
+mirror :mod:`repro.arch.semantics` opcode for opcode, and widening at
+natural-loop headers (:mod:`repro.analysis.loops`) forces termination.
+
+On top of the fixpoint sit three consumers:
+
+1. :func:`prove_masking` — the masking prover. For every *live* fault
+   site of :func:`repro.analysis.fault_sites.bit_groups` it asks: does
+   flipping this decode-signal bit provably leave the instruction's own
+   committed effect (value, memory access, control behavior) and every
+   pipeline-consumed control signal unchanged? If yes, the whole
+   committed effect stream is bit-identical — the same argument that
+   makes ``inert`` bits provable — and the site joins a ``proven_masked``
+   equivalence class (:mod:`repro.analysis.pruning`) with a
+   constructively predicted outcome. Proofs split into two tiers:
+   *consumption-derived* rules that hold for any register values (and
+   therefore any slot role, wrong-path and squashed included), and
+   *value-dependent* rules that rely on the abstract register state and
+   apply only to committed slots, where renamed operands equal the
+   functional architectural values. The stricter effect-identity bar —
+   rather than the weaker "corrupted value is overwritten before use" —
+   is deliberate: the campaign's lockstep comparator flags *any*
+   committed-effect divergence as SDC, even a wrong value written to a
+   dead register (see the DF002 notes in
+   :mod:`repro.analysis.fault_sites`).
+
+2. :func:`find_untaken_branches` / :func:`find_foldable_ops` — the
+   value-aware lint feeders (DF003 provably-untaken branch, DF004
+   constant-foldable op).
+
+3. :func:`static_sdc_bound` — a per-kernel static upper bound on the
+   campaign SDC rate: a fault site can produce silent data corruption
+   only if its slot commits and its bit is neither inert nor proven
+   masked, so ``max_pc (64 - inert - proven) / 64`` dominates the SDC
+   fraction of any uniformly drawn campaign. Emitted into protection
+   certificates (schema v4) and cross-validated against observed
+   campaign rates by :mod:`repro.experiments.absint_validation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..arch.semantics import _ALU, _BRANCH, execute, memory_access_size
+from ..arch.state import arch_reg
+from ..isa.decode_signals import TOTAL_WIDTH, DecodeSignals, decode
+from ..isa.program import Program
+from ..isa.registers import V0, ZERO
+from ..utils.bitops import sign_extend
+from .bit_catalog import IMM_ALU_OPCODES, field_bits, flag_bit
+from .cfg import ControlFlowGraph, resolve_syscall_service
+from .dataflow import _SERVICES_WRITING_V0
+from .fault_sites import inert_bits
+from .loops import LoopNest
+
+_WORD = 0xFFFFFFFF
+_SIGN = 0x80000000
+_INT32_MIN = -(1 << 31)
+_INT32_MAX = (1 << 31) - 1
+_ZERO_REG = arch_reg(ZERO, False)
+_V0_REG = arch_reg(V0, False)
+
+#: Joins at a loop header before widening kicks in.
+_WIDEN_AFTER_JOINS = 2
+#: Joins at *any* block before widening kicks in (termination backstop
+#: for irreducible cycles the natural-loop headers do not cover).
+_WIDEN_BACKSTOP_JOINS = 8
+
+
+def _to_signed(value: int) -> int:
+    return value - (1 << 32) if value & _SIGN else value
+
+
+def _to_unsigned(value: int) -> int:
+    return value & _WORD
+
+
+def _mask(width: int) -> int:
+    return (1 << width) - 1
+
+
+# ======================================================================
+# The product domain
+# ======================================================================
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """Known-bits x signed-interval abstraction of one 32-bit register.
+
+    Invariant: every concrete value ``v`` this abstracts satisfies
+    ``v & known == value`` and ``lo <= to_signed(v) <= hi``.
+    """
+
+    known: int   # mask of proven bit positions
+    value: int   # proven bit values (subset of ``known``)
+    lo: int      # signed lower bound
+    hi: int      # signed upper bound
+
+    @property
+    def is_const(self) -> bool:
+        return self.known == _WORD
+
+    @property
+    def const(self) -> int:
+        """The single concrete value (raw bits); ``is_const`` required."""
+        if not self.is_const:
+            raise ValueError("not a constant abstraction")
+        return self.value
+
+    def bit(self, position: int) -> Optional[int]:
+        """Proven value of one bit, or ``None`` when unknown."""
+        probe = 1 << position
+        if not self.known & probe:
+            return None
+        return 1 if self.value & probe else 0
+
+    def unsigned_bounds(self) -> Tuple[int, int]:
+        """Sound unsigned ``[umin, umax]`` for the abstracted values."""
+        if self.lo >= 0:
+            base_lo, base_hi = self.lo, self.hi
+        elif self.hi < 0:
+            base_lo = _to_unsigned(self.lo)
+            base_hi = _to_unsigned(self.hi)
+        else:
+            base_lo, base_hi = 0, _WORD
+        return (max(base_lo, self.value),
+                min(base_hi, self.value | (~self.known & _WORD)))
+
+    def contains(self, concrete: int) -> bool:
+        """Whether a concrete 32-bit value satisfies the invariant."""
+        concrete &= _WORD
+        return (concrete & self.known == self.value
+                and self.lo <= _to_signed(concrete) <= self.hi)
+
+
+TOP = AbstractValue(known=0, value=0, lo=_INT32_MIN, hi=_INT32_MAX)
+_BOOL = AbstractValue(known=_WORD & ~1, value=0, lo=0, hi=1)
+
+
+def abstract_const(value: int) -> AbstractValue:
+    """The singleton abstraction of one concrete raw value."""
+    value &= _WORD
+    signed = _to_signed(value)
+    return AbstractValue(known=_WORD, value=value, lo=signed, hi=signed)
+
+
+_CONST_ZERO = abstract_const(0)
+
+
+def make_abstract(known: int, value: int, lo: int, hi: int) -> AbstractValue:
+    """Build a normalized abstraction from raw (possibly loose) facts.
+
+    Each domain half is refined once from the other: known bits imply
+    unsigned extremes (and a sign when bit 31 is proven); a same-sign
+    interval pins the bits above its highest differing position. A
+    contradictory combination can only describe an unreachable path, so
+    it degrades to ``TOP`` (always sound for a may-analysis).
+    """
+    known &= _WORD
+    value &= known
+    lo = max(lo, _INT32_MIN)
+    hi = min(hi, _INT32_MAX)
+    umin = value
+    umax = value | (~known & _WORD)
+    if known & _SIGN:
+        if value & _SIGN:
+            known_lo, known_hi = umin - (1 << 32), umax - (1 << 32)
+        else:
+            known_lo, known_hi = umin, umax
+    else:
+        known_lo = _to_signed(umin | _SIGN)
+        known_hi = umax & ~_SIGN
+    lo = max(lo, known_lo)
+    hi = min(hi, known_hi)
+    if lo > hi:
+        return TOP
+    if lo == hi:
+        return abstract_const(_to_unsigned(lo))
+    if lo >= 0 or hi < 0:
+        unsigned_lo = _to_unsigned(lo)
+        unsigned_hi = _to_unsigned(hi)
+        width = (unsigned_lo ^ unsigned_hi).bit_length()
+        prefix = (_WORD & ~_mask(width)) & ~known
+        known |= prefix
+        value |= unsigned_lo & prefix
+    return AbstractValue(known=known, value=value, lo=lo, hi=hi)
+
+
+def join_values(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Least upper bound: keep only facts both sides agree on."""
+    agree = a.known & b.known & ~(a.value ^ b.value)
+    return make_abstract(agree, a.value & agree,
+                         min(a.lo, b.lo), max(a.hi, b.hi))
+
+
+def widen_values(old: AbstractValue, new: AbstractValue) -> AbstractValue:
+    """Widening: drop disagreeing bits, jump growing bounds to extremes."""
+    agree = old.known & new.known & ~(old.value ^ new.value)
+    lo = old.lo if new.lo >= old.lo else _INT32_MIN
+    hi = old.hi if new.hi <= old.hi else _INT32_MAX
+    return make_abstract(agree, old.value & agree, lo, hi)
+
+
+# ======================================================================
+# Abstract arithmetic (transfer-function helpers)
+# ======================================================================
+
+def _tri_bit(abstract: AbstractValue, position: int) -> Optional[int]:
+    return abstract.bit(position)
+
+
+def _tri_majority(a: Optional[int], b: Optional[int],
+                  c: Optional[int]) -> Optional[int]:
+    ones = (a == 1) + (b == 1) + (c == 1)
+    zeros = (a == 0) + (b == 0) + (c == 0)
+    if ones >= 2:
+        return 1
+    if zeros >= 2:
+        return 0
+    return None
+
+
+def _ripple_add(a: AbstractValue, b_known: int, b_value: int,
+                carry: Optional[int], lo: int, hi: int) -> AbstractValue:
+    """Known-bits ripple addition of ``a`` and raw bits ``(known, value)``.
+
+    ``carry`` seeds the carry chain (1 for subtraction via two's
+    complement). Interval bounds are supplied by the caller.
+    """
+    if lo < _INT32_MIN or hi > _INT32_MAX:
+        lo, hi = _INT32_MIN, _INT32_MAX
+    known = 0
+    value = 0
+    for position in range(32):
+        probe = 1 << position
+        a_bit = _tri_bit(a, position)
+        if b_known & probe:
+            b_bit = 1 if b_value & probe else 0
+        else:
+            b_bit = None
+        if a_bit is not None and b_bit is not None and carry is not None:
+            total = a_bit + b_bit + carry
+            known |= probe
+            if total & 1:
+                value |= probe
+            carry = 1 if total >= 2 else 0
+        else:
+            carry = _tri_majority(a_bit, b_bit, carry)
+    return make_abstract(known, value, lo, hi)
+
+
+def _abs_add(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    return _ripple_add(a, b.known, b.value, 0, a.lo + b.lo, a.hi + b.hi)
+
+
+def _abs_sub(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    inverted = (~b.value) & b.known
+    return _ripple_add(a, b.known, inverted, 1, a.lo - b.hi, a.hi - b.lo)
+
+
+def _abs_and(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    ones = (a.known & a.value) & (b.known & b.value)
+    zeros = (a.known & ~a.value) | (b.known & ~b.value)
+    lo, hi = _INT32_MIN, _INT32_MAX
+    if a.lo >= 0 or b.lo >= 0:
+        lo = 0
+        hi = min(a.hi if a.lo >= 0 else _INT32_MAX,
+                 b.hi if b.lo >= 0 else _INT32_MAX)
+    return make_abstract(ones | zeros, ones, lo, hi)
+
+
+def _abs_or(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    ones = (a.known & a.value) | (b.known & b.value)
+    zeros = (a.known & ~a.value) & (b.known & ~b.value)
+    lo, hi = _INT32_MIN, _INT32_MAX
+    if a.lo >= 0 and b.lo >= 0:
+        lo = max(a.lo, b.lo)
+    return make_abstract(ones | zeros, ones, lo, hi)
+
+
+def _abs_xor(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    known = a.known & b.known
+    return make_abstract(known, (a.value ^ b.value) & known,
+                         _INT32_MIN, _INT32_MAX)
+
+
+def _abs_nor(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    inner = _abs_or(a, b)
+    return make_abstract(inner.known, (~inner.value) & inner.known,
+                         -1 - inner.hi, -1 - inner.lo)
+
+
+def _abs_slt(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    if a.hi < b.lo:
+        return abstract_const(1)
+    if a.lo >= b.hi:
+        return abstract_const(0)
+    return _BOOL
+
+
+def _abs_sltu(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    a_lo, a_hi = a.unsigned_bounds()
+    b_lo, b_hi = b.unsigned_bounds()
+    if a_hi < b_lo:
+        return abstract_const(1)
+    if a_lo >= b_hi:
+        return abstract_const(0)
+    return _BOOL
+
+
+def _trailing_known(a: AbstractValue) -> int:
+    count = 0
+    while count < 32 and a.known & (1 << count):
+        count += 1
+    return count
+
+
+def _mult_low_bits(a: AbstractValue,
+                   b: AbstractValue) -> Tuple[int, int]:
+    """Low product bits derivable from low known bits of both factors."""
+    width = min(_trailing_known(a), _trailing_known(b))
+    if width == 0:
+        return 0, 0
+    low = _mask(width)
+    return low, (a.value & low) * (b.value & low) & low
+
+
+def _abs_mult(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    known, value = _mult_low_bits(a, b)
+    candidates = (a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi)
+    lo, hi = min(candidates), max(candidates)
+    if lo < _INT32_MIN or hi > _INT32_MAX:
+        lo, hi = _INT32_MIN, _INT32_MAX
+    return make_abstract(known, value, lo, hi)
+
+
+def _abs_multu(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    known, value = _mult_low_bits(a, b)
+    a_lo, a_hi = a.unsigned_bounds()
+    b_lo, b_hi = b.unsigned_bounds()
+    lo, hi = _INT32_MIN, _INT32_MAX
+    if a_hi * b_hi <= _INT32_MAX:
+        lo, hi = a_lo * b_lo, a_hi * b_hi
+    return make_abstract(known, value, lo, hi)
+
+
+def _abs_shift_left(a: AbstractValue, amount: int) -> AbstractValue:
+    if amount == 0:
+        return a
+    known = ((a.known << amount) | _mask(amount)) & _WORD
+    value = (a.value << amount) & _WORD
+    return make_abstract(known, value, _INT32_MIN, _INT32_MAX)
+
+
+def _abs_shift_right(a: AbstractValue, amount: int) -> AbstractValue:
+    if amount == 0:
+        return a
+    known = (a.known >> amount) | (_mask(amount) << (32 - amount))
+    value = a.value >> amount
+    return make_abstract(known & _WORD, value, _INT32_MIN, _INT32_MAX)
+
+
+def _abs_shift_right_arith(a: AbstractValue, amount: int) -> AbstractValue:
+    if amount == 0:
+        return a
+    known = a.known >> amount
+    value = a.value >> amount
+    if a.known & _SIGN:
+        fill = _mask(amount) << (32 - amount)
+        known |= fill
+        if a.value & _SIGN:
+            value |= fill
+    return make_abstract(known & _WORD, value & _WORD,
+                         a.lo >> amount, a.hi >> amount)
+
+
+def _shift_amount(b: AbstractValue) -> Optional[int]:
+    """The ``& 31``-clamped variable-shift amount, when proven."""
+    if b.known & 31 == 31:
+        return b.value & 31
+    return None
+
+
+def _abs_alu(signals: DecodeSignals, a: AbstractValue, b: AbstractValue,
+             pc: int) -> AbstractValue:
+    """Abstract counterpart of the ``_ALU`` dispatch in semantics."""
+    if a.is_const and b.is_const:
+        result = execute(signals, a.const, b.const, pc)
+        return abstract_const(result.value if result.value is not None
+                              else 0)
+    opcode = signals.opcode
+    if opcode in (0x10, 0x11):
+        return _abs_add(a, b)
+    if opcode in (0x12, 0x13):
+        return _abs_sub(a, b)
+    if opcode == 0x14:
+        return _abs_and(a, b)
+    if opcode == 0x15:
+        return _abs_or(a, b)
+    if opcode == 0x16:
+        return _abs_xor(a, b)
+    if opcode == 0x17:
+        return _abs_nor(a, b)
+    if opcode == 0x18:
+        return _abs_slt(a, b)
+    if opcode == 0x19:
+        return _abs_sltu(a, b)
+    if opcode == 0x1A:
+        return _abs_mult(a, b)
+    if opcode == 0x1B:
+        return _abs_multu(a, b)
+    if opcode in (0x1E, 0x1F, 0x20):
+        amount = _shift_amount(b)
+        if amount is None:
+            return TOP
+        if opcode == 0x1E:
+            return _abs_shift_left(a, amount)
+        if opcode == 0x1F:
+            return _abs_shift_right(a, amount)
+        return _abs_shift_right_arith(a, amount)
+    if opcode == 0x21:
+        return _abs_shift_left(a, signals.shamt)
+    if opcode == 0x22:
+        return _abs_shift_right(a, signals.shamt)
+    if opcode == 0x23:
+        return _abs_shift_right_arith(a, signals.shamt)
+    if opcode in (0x28, 0x29):
+        return _abs_add(a, abstract_const(sign_extend(signals.imm, 16)))
+    if opcode == 0x2A:
+        return _abs_and(a, abstract_const(signals.imm))
+    if opcode == 0x2B:
+        return _abs_or(a, abstract_const(signals.imm))
+    if opcode == 0x2C:
+        return _abs_xor(a, abstract_const(signals.imm))
+    if opcode == 0x2D:
+        return _abs_slt(a, abstract_const(sign_extend(signals.imm, 16)))
+    if opcode == 0x2E:
+        return _abs_sltu(a, abstract_const(sign_extend(signals.imm, 16)))
+    if opcode == 0x2F:
+        return abstract_const((signals.imm << 16) & _WORD)
+    if opcode == 0x56:
+        return a                      # mov.s: bit-identical copy
+    if opcode in (0x59, 0x5A, 0x5B):
+        return _BOOL                  # FP compares produce 0/1
+    if opcode not in _ALU:
+        return _CONST_ZERO            # unassigned opcode computes 0
+    return TOP
+
+
+def _abs_load(signals: DecodeSignals) -> AbstractValue:
+    """Sized bounds of a load result (memory contents untracked)."""
+    size = memory_access_size(signals)
+    if size == 0:
+        return _CONST_ZERO
+    if signals.mem_lr or size == 4:
+        return TOP
+    width = size * 8
+    if signals.is_signed:
+        return make_abstract(0, 0, -(1 << (width - 1)),
+                             (1 << (width - 1)) - 1)
+    return make_abstract(0, 0, 0, _mask(width))
+
+
+# ======================================================================
+# The fixpoint interpreter
+# ======================================================================
+
+#: One program point's register environment. Registers absent from the
+#: mapping are unconstrained (``TOP``); ``$zero`` is implicitly constant.
+AbstractState = Dict[int, AbstractValue]
+
+
+def _state_read(state: AbstractState, register: int) -> AbstractValue:
+    if register == _ZERO_REG:
+        return _CONST_ZERO
+    return state.get(register, TOP)
+
+
+def _state_write(state: AbstractState, register: int,
+                 value: AbstractValue) -> None:
+    if register == _ZERO_REG:
+        return
+    if value == TOP:
+        state.pop(register, None)
+    else:
+        state[register] = value
+
+
+def _join_states(a: AbstractState, b: AbstractState) -> AbstractState:
+    joined: AbstractState = {}
+    for register in a.keys() & b.keys():
+        value = join_values(a[register], b[register])
+        if value != TOP:
+            joined[register] = value
+    return joined
+
+
+def _widen_states(old: AbstractState, new: AbstractState) -> AbstractState:
+    widened: AbstractState = {}
+    for register in old.keys() & new.keys():
+        value = widen_values(old[register], new[register])
+        if value != TOP:
+            widened[register] = value
+    return widened
+
+
+def _gated_operands(signals: DecodeSignals, state: AbstractState
+                    ) -> Tuple[AbstractValue, AbstractValue]:
+    """Abstract source operands after ``num_rsrc`` gating."""
+    src1 = (_state_read(state, arch_reg(signals.rsrc1, signals.rsrc1_is_fp))
+            if signals.num_rsrc >= 1 else _CONST_ZERO)
+    src2 = (_state_read(state, arch_reg(signals.rsrc2, signals.rsrc2_is_fp))
+            if signals.num_rsrc >= 2 else _CONST_ZERO)
+    return src1, src2
+
+
+def _transfer(state: AbstractState, signals: DecodeSignals, pc: int,
+              service: Optional[int]) -> None:
+    """Apply one instruction's register effect to ``state`` in place."""
+    src1, src2 = _gated_operands(signals, state)
+    destination = arch_reg(signals.rdst, signals.rdst_is_fp)
+    if signals.is_ld:
+        if signals.num_rdst:
+            _state_write(state, destination, _abs_load(signals))
+        return
+    if signals.is_st or signals.is_branch:
+        return
+    if signals.is_uncond:
+        if signals.num_rdst:
+            _state_write(state, destination,
+                         abstract_const((pc + 4) & _WORD))
+        return
+    if signals.is_trap:
+        if service is None or service in _SERVICES_WRITING_V0:
+            _state_write(state, _V0_REG, TOP)
+        return
+    if signals.num_rdst:
+        _state_write(state, destination, _abs_alu(signals, src1, src2, pc))
+
+
+@dataclass
+class AbsintResult:
+    """Stable per-PC abstract register states of one program."""
+
+    program: Program
+    cfg: ControlFlowGraph
+    nest: LoopNest
+    in_states: Dict[int, AbstractState]   # PC -> state *before* the instr
+    block_transfers: int                  # fixpoint work measure
+
+    def state_at(self, pc: int) -> Optional[AbstractState]:
+        """Register state before ``pc`` (None when CFG-unreachable)."""
+        return self.in_states.get(pc)
+
+    def value_before(self, pc: int, register: int) -> AbstractValue:
+        """Abstraction of one register just before ``pc``."""
+        state = self.in_states.get(pc)
+        if state is None:
+            return TOP
+        return _state_read(state, register)
+
+    def operands_at(self, pc: int
+                    ) -> Optional[Tuple[AbstractValue, AbstractValue]]:
+        """Gated abstract source operands of the instruction at ``pc``."""
+        state = self.in_states.get(pc)
+        if state is None:
+            return None
+        return _gated_operands(
+            state, decode(self.program.instruction_at(pc)))
+
+
+def analyze_values(program: Program,
+                   cfg: Optional[ControlFlowGraph] = None,
+                   nest: Optional[LoopNest] = None) -> AbsintResult:
+    """Run the forward fixpoint and return per-PC abstract states.
+
+    The entry environment leaves every register unconstrained except the
+    hardwired ``$zero`` — sound for any initial architectural state and
+    any input sequence. Block in-states are joined across predecessors;
+    natural-loop headers widen after ``_WIDEN_AFTER_JOINS`` updates (and
+    every block widens after ``_WIDEN_BACKSTOP_JOINS``, which bounds the
+    chain length even for irreducible cycles under the CFG's
+    over-approximated indirect edges).
+    """
+    if cfg is None:
+        cfg = ControlFlowGraph(program)
+    if nest is None:
+        nest = LoopNest(cfg)
+    services: Dict[int, Optional[int]] = {}
+    decoded: Dict[int, DecodeSignals] = {}
+    for block in cfg.blocks:
+        for pc in block.pcs():
+            signals = decode(program.instruction_at(pc))
+            decoded[pc] = signals
+            if signals.is_trap:
+                services[pc] = resolve_syscall_service(
+                    program, pc, cfg.join_points)
+    headers = {loop.header for loop in nest.loops}
+    position = {block.start_pc: index
+                for index, block in enumerate(cfg.blocks)}
+
+    block_in: Dict[int, AbstractState] = {program.entry: {}}
+    join_count: Dict[int, int] = {}
+    pending: Set[int] = {program.entry}
+    transfers = 0
+    while pending:
+        leader = min(pending, key=lambda start: position[start])
+        pending.discard(leader)
+        block = cfg.block_at(leader)
+        state = dict(block_in[leader])
+        for pc in block.pcs():
+            _transfer(state, decoded[pc], pc, services.get(pc))
+        transfers += 1
+        for successor in cfg.successors.get(leader, ()):
+            previous = block_in.get(successor)
+            if previous is None:
+                block_in[successor] = dict(state)
+                pending.add(successor)
+                continue
+            merged = _join_states(previous, state)
+            joins = join_count.get(successor, 0) + 1
+            join_count[successor] = joins
+            threshold = (_WIDEN_AFTER_JOINS if successor in headers
+                         else _WIDEN_BACKSTOP_JOINS)
+            if joins > threshold:
+                merged = _widen_states(previous, merged)
+            if merged != previous:
+                block_in[successor] = merged
+                pending.add(successor)
+
+    in_states: Dict[int, AbstractState] = {}
+    for leader, entry_state in block_in.items():
+        state = dict(entry_state)
+        for pc in cfg.block_at(leader).pcs():
+            in_states[pc] = dict(state)
+            _transfer(state, decoded[pc], pc, services.get(pc))
+    return AbsintResult(program=program, cfg=cfg, nest=nest,
+                        in_states=in_states, block_transfers=transfers)
+
+
+# ======================================================================
+# The masking prover
+# ======================================================================
+
+_OPCODE_BITS = field_bits("opcode")
+_IMM_BITS = field_bits("imm")
+_SHAMT_BITS = field_bits("shamt")
+_MEM_SIZE_BITS = field_bits("mem_size")
+
+
+def _is_plain_alu(signals: DecodeSignals) -> bool:
+    return not (signals.is_ld or signals.is_st or signals.is_control
+                or signals.is_trap)
+
+
+def _consumption_proofs(signals: DecodeSignals) -> Set[int]:
+    """Bits provably unconsumed for *any* register values (any role).
+
+    Each rule is anchored in an exhaustively checked consumer census:
+    ``is_int``/``is_rr``/``is_disp`` have no runtime consumer at all;
+    ``is_signed`` is read only by sub-word non-``mem_lr`` loads;
+    ``mem_lr`` only inside ``perform_load``/``perform_store``;
+    ``is_direct`` only under ``is_uncond``; the ``opcode`` value is never
+    read by the pipeline itself and the semantics route jumps, traps and
+    non-``mem_lr`` memory ops without consulting it; ``mem_size`` is
+    consumed exclusively through the ``min(mem_size, 4)`` clamp; and a
+    destination-less plain ALU op discards its entire computation.
+    """
+    bits: Set[int] = {flag_bit["is_int"], flag_bit["is_rr"],
+                      flag_bit["is_disp"]}
+    size = memory_access_size(signals)
+    if not (signals.is_ld and not signals.mem_lr and 0 < size < 4):
+        bits.add(flag_bit["is_signed"])
+    if not (signals.is_ld or signals.is_st):
+        bits.add(flag_bit["mem_lr"])
+    if not signals.is_uncond:
+        bits.add(flag_bit["is_direct"])
+    if (signals.is_trap or signals.is_uncond
+            or ((signals.is_ld or signals.is_st) and not signals.mem_lr)):
+        bits.update(_OPCODE_BITS)
+    if signals.is_ld or signals.is_st:
+        for offset, bit in enumerate(_MEM_SIZE_BITS):
+            if min(signals.mem_size ^ (1 << offset), 4) == size:
+                bits.add(bit)
+    if _is_plain_alu(signals) and signals.num_rdst == 0:
+        bits.update(_OPCODE_BITS)
+        bits.update(_IMM_BITS)
+        bits.update(_SHAMT_BITS)
+    return bits
+
+
+def _branch_provably_untaken(opcode: int, a: AbstractValue,
+                             b: AbstractValue) -> bool:
+    """Whether the branch predicate is false for every abstracted state.
+
+    An opcode outside the ``_BRANCH`` table never takes (the semantics
+    default the predicate to false), which matters for flipped-opcode
+    proofs.
+    """
+    if opcode not in _BRANCH:
+        return True
+    if opcode == 0x40:                                    # beq
+        differ = a.known & b.known & (a.value ^ b.value)
+        return bool(differ) or a.hi < b.lo or b.hi < a.lo
+    if opcode == 0x41:                                    # bne
+        return a.is_const and b.is_const and a.const == b.const
+    if opcode == 0x42:                                    # blez
+        return a.lo > 0
+    if opcode == 0x43:                                    # bgtz
+        return a.hi <= 0
+    if opcode == 0x44:                                    # bltz
+        return a.lo >= 0
+    return a.hi < 0                                       # bgez
+
+
+def _window_same(a: AbstractValue, low: int, high: int,
+                 unsigned: bool) -> bool:
+    """Whether a compare against two thresholds provably agrees."""
+    if unsigned:
+        a_lo, a_hi = a.unsigned_bounds()
+    else:
+        a_lo, a_hi = a.lo, a.hi
+    return a_hi < low or a_lo >= high
+
+
+def _value_proofs(signals: DecodeSignals, pc: int,
+                  state: AbstractState,
+                  already: FrozenSet[int]) -> Set[int]:
+    """Value-dependent strong proofs (committed slots only).
+
+    Each rule shows the instruction's committed effect is identical with
+    the bit flipped, given operand abstractions that hold at this program
+    point on every fault-free path — which is exactly the renamed operand
+    values a committed instance reads.
+    """
+    proven: Set[int] = set()
+    src1, src2 = _gated_operands(signals, state)
+
+    if signals.is_branch:
+        if _branch_provably_untaken(signals.opcode, src1, src2):
+            proven.update(_IMM_BITS)
+            for offset, bit in enumerate(_OPCODE_BITS):
+                flipped = signals.opcode ^ (1 << offset)
+                if _branch_provably_untaken(flipped, src1, src2):
+                    proven.add(bit)
+        return proven
+
+    if not _is_plain_alu(signals) or signals.num_rdst == 0:
+        return proven
+
+    opcode = signals.opcode
+    if opcode in IMM_ALU_OPCODES:
+        threshold = sign_extend(signals.imm, 16)
+        for offset, bit in enumerate(_IMM_BITS):
+            if opcode == 0x2A and src1.bit(offset) == 0:    # andi lane
+                proven.add(bit)
+            elif opcode == 0x2B and src1.bit(offset) == 1:  # ori lane
+                proven.add(bit)
+            elif opcode in (0x2D, 0x2E):                    # slti window
+                other = sign_extend(signals.imm ^ (1 << offset), 16)
+                if opcode == 0x2E:
+                    low = min(_to_unsigned(threshold), _to_unsigned(other))
+                    high = max(_to_unsigned(threshold), _to_unsigned(other))
+                else:
+                    low, high = min(threshold, other), max(threshold, other)
+                if _window_same(src1, low, high, unsigned=opcode == 0x2E):
+                    proven.add(bit)
+
+    if src1.is_const and src2.is_const:
+        base = execute(signals, src1.const, src2.const, pc)
+        candidates = [bit for bit in (*_OPCODE_BITS, *_IMM_BITS,
+                                      *_SHAMT_BITS)
+                      if bit not in proven and bit not in already]
+        for bit in candidates:
+            tampered = signals.with_bit_flipped(bit)
+            replay = execute(tampered, src1.const, src2.const, pc)
+            if replay.value == base.value:
+                proven.add(bit)
+    return proven
+
+
+@dataclass(frozen=True)
+class MaskingProofs:
+    """Per-PC proven-masked bit sets, split by required slot role.
+
+    ``any_role`` bits are consumption-derived and hold for committed,
+    wrong-path and squashed instances alike; ``committed_extra`` bits
+    rely on abstract register values and hold only where the instance
+    commits (a non-committing instance cannot produce SDC anyway, so
+    both tiers feed the same SDC bound).
+    """
+
+    any_role: Dict[int, FrozenSet[int]]
+    committed_extra: Dict[int, FrozenSet[int]]
+
+    def bits_for(self, pc: int, committed: bool) -> FrozenSet[int]:
+        """Proven bits applicable to one ``(pc, role kind)`` class."""
+        bits = self.any_role.get(pc, frozenset())
+        if committed:
+            bits = bits | self.committed_extra.get(pc, frozenset())
+        return bits
+
+    @property
+    def static_site_count(self) -> int:
+        """Proven ``(instruction, bit)`` sites (committed-role view)."""
+        return sum(len(self.bits_for(pc, committed=True))
+                   for pc in self.any_role)
+
+
+def prove_masking(program: Program,
+                  result: Optional[AbsintResult] = None) -> MaskingProofs:
+    """Prove per-bit masking for every static instruction.
+
+    Returns only bits that are *live* under the syntactic census
+    (``inert_bits`` and the trace-boundary bits are excluded), so the
+    proofs compose directly with :func:`repro.analysis.fault_sites
+    .bit_groups`.
+    """
+    if result is None:
+        result = analyze_values(program)
+    any_role: Dict[int, FrozenSet[int]] = {}
+    committed: Dict[int, FrozenSet[int]] = {}
+    for index in range(len(program.instructions)):
+        pc = program.pc_of(index)
+        signals = decode(program.instruction_at(pc))
+        inert = inert_bits(signals)
+        independent = frozenset(_consumption_proofs(signals) - inert)
+        any_role[pc] = independent
+        state = result.state_at(pc)
+        if state is None:
+            committed[pc] = frozenset()
+            continue
+        committed[pc] = frozenset(
+            _value_proofs(signals, pc, state, independent) - inert
+            - independent)
+    return MaskingProofs(any_role=any_role, committed_extra=committed)
+
+
+# ======================================================================
+# Value-aware lint feeders (DF003 / DF004)
+# ======================================================================
+
+@dataclass(frozen=True)
+class UntakenBranch:
+    """One conditional branch the interpreter proves can never take."""
+
+    pc: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class FoldableOp:
+    """One ALU op whose operands (and result) are proven constants."""
+
+    pc: int
+    value: int
+
+
+def find_untaken_branches(program: Program,
+                          result: Optional[AbsintResult] = None
+                          ) -> List[UntakenBranch]:
+    """DF003 feeder: reachable branches with provably false predicates."""
+    if result is None:
+        result = analyze_values(program)
+    findings: List[UntakenBranch] = []
+    for index in range(len(program.instructions)):
+        pc = program.pc_of(index)
+        signals = decode(program.instruction_at(pc))
+        if not signals.is_branch:
+            continue
+        state = result.state_at(pc)
+        if state is None:
+            continue
+        src1, src2 = _gated_operands(signals, state)
+        if _branch_provably_untaken(signals.opcode, src1, src2):
+            detail = (f"operand abstractions [{src1.lo}, {src1.hi}] / "
+                      f"[{src2.lo}, {src2.hi}] refute the predicate")
+            findings.append(UntakenBranch(pc=pc, detail=detail))
+    return findings
+
+
+#: ``li``/``la``/``move`` idioms exempt from DF004 (materializing a
+#: constant *is* the instruction's purpose; flagging them would tag
+#: every literal and address the assembler expands).
+_LI_IDIOM_OPCODES = frozenset((0x28, 0x29, 0x2B))
+_MOVE_IDIOM_OPCODES = frozenset((0x10, 0x11, 0x15))
+
+
+def _is_constant_idiom(signals: DecodeSignals) -> bool:
+    opcode = signals.opcode
+    if opcode == 0x2F:                                  # lui
+        return True
+    if opcode in _LI_IDIOM_OPCODES and signals.num_rsrc >= 1:
+        if signals.rsrc1_is_fp:
+            return False
+        if signals.rsrc1 == ZERO:                       # li
+            return True
+        if signals.rsrc1 == signals.rdst:               # la low half
+            return True
+    if (opcode in _MOVE_IDIOM_OPCODES and signals.num_rsrc >= 2
+            and not signals.rsrc1_is_fp
+            and ZERO in (signals.rsrc1, signals.rsrc2)):
+        return True                                     # move
+    return False
+
+
+def find_foldable_ops(program: Program,
+                      result: Optional[AbsintResult] = None
+                      ) -> List[FoldableOp]:
+    """DF004 feeder: reachable non-idiom ALU ops with constant results."""
+    if result is None:
+        result = analyze_values(program)
+    findings: List[FoldableOp] = []
+    for index in range(len(program.instructions)):
+        pc = program.pc_of(index)
+        signals = decode(program.instruction_at(pc))
+        if not _is_plain_alu(signals) or signals.num_rdst == 0:
+            continue
+        if _is_constant_idiom(signals):
+            continue
+        if signals.num_rsrc == 0:
+            continue
+        state = result.state_at(pc)
+        if state is None:
+            continue
+        src1, src2 = _gated_operands(signals, state)
+        if not (src1.is_const and src2.is_const):
+            continue
+        executed = execute(signals, src1.const, src2.const, pc)
+        if executed.value is not None:
+            findings.append(FoldableOp(pc=pc, value=executed.value))
+    return findings
+
+
+# ======================================================================
+# Static SDC upper bound (protection-certificate section, schema v4)
+# ======================================================================
+
+@dataclass(frozen=True)
+class SdcBoundReport:
+    """Static per-kernel upper bound on the campaign SDC rate.
+
+    A fault site ``(slot, bit)`` can yield silent data corruption only
+    if its instance commits and its bit is neither inert nor proven
+    masked, so the worst per-instruction count of such bits, over 64,
+    dominates the SDC fraction of a campaign drawing sites uniformly —
+    whatever the dynamic slot mix.
+    """
+
+    instructions: int
+    possibly_sdc_by_pc: Dict[int, int]
+    inert_sites: int
+    proven_sites: int
+
+    @property
+    def sdc_rate_bound(self) -> float:
+        """``max_pc possibly_sdc_bits / 64`` — the certified bound."""
+        if not self.possibly_sdc_by_pc:
+            return 1.0
+        return max(self.possibly_sdc_by_pc.values()) / TOTAL_WIDTH
+
+    @property
+    def mean_possibly_sdc(self) -> float:
+        """Mean per-instruction possibly-SDC fraction (diagnostic)."""
+        if not self.possibly_sdc_by_pc:
+            return 1.0
+        counts = self.possibly_sdc_by_pc.values()
+        return sum(counts) / (len(counts) * TOTAL_WIDTH)
+
+    @property
+    def worst_pc(self) -> Optional[int]:
+        if not self.possibly_sdc_by_pc:
+            return None
+        return min(pc for pc, count in self.possibly_sdc_by_pc.items()
+                   if count == max(self.possibly_sdc_by_pc.values()))
+
+    def to_json(self) -> Dict[str, object]:
+        """The certificate's ``sdc_bound`` section (schema v4)."""
+        return {
+            "instructions": self.instructions,
+            "inert_sites": self.inert_sites,
+            "proven_masked_sites": self.proven_sites,
+            "sdc_rate_upper_bound": round(self.sdc_rate_bound, 6),
+            "mean_possibly_sdc_fraction": round(self.mean_possibly_sdc, 6),
+            "worst_pc": self.worst_pc,
+        }
+
+
+def static_sdc_bound(program: Program,
+                     proofs: Optional[MaskingProofs] = None,
+                     result: Optional[AbsintResult] = None
+                     ) -> SdcBoundReport:
+    """Compute the static SDC-vulnerability upper bound of a program."""
+    if proofs is None:
+        proofs = prove_masking(program, result)
+    per_pc: Dict[int, int] = {}
+    inert_total = 0
+    proven_total = 0
+    for index in range(len(program.instructions)):
+        pc = program.pc_of(index)
+        signals = decode(program.instruction_at(pc))
+        inert = inert_bits(signals)
+        proven = proofs.bits_for(pc, committed=True) - inert
+        inert_total += len(inert)
+        proven_total += len(proven)
+        per_pc[pc] = TOTAL_WIDTH - len(inert) - len(proven)
+    return SdcBoundReport(
+        instructions=len(program.instructions),
+        possibly_sdc_by_pc=per_pc,
+        inert_sites=inert_total,
+        proven_sites=proven_total,
+    )
+
+
+__all__ = [
+    "TOP",
+    "AbsintResult",
+    "AbstractValue",
+    "FoldableOp",
+    "MaskingProofs",
+    "SdcBoundReport",
+    "UntakenBranch",
+    "abstract_const",
+    "analyze_values",
+    "find_foldable_ops",
+    "find_untaken_branches",
+    "join_values",
+    "make_abstract",
+    "prove_masking",
+    "static_sdc_bound",
+    "widen_values",
+]

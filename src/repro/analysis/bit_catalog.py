@@ -1,0 +1,65 @@
+"""Shared decode-signal bit catalog for the static analyses.
+
+One place for the bit-level facts every fault-oriented analysis needs:
+which global bit positions a named field occupies, which flag bit
+carries which flag, which bits reshape trace boundaries when flipped,
+and which opcodes consume the ``shamt``/``imm`` fields. These tables
+were previously duplicated between :mod:`repro.analysis.fault_sites`
+and :mod:`repro.analysis.coverage_cert` (each kept a private
+``_compute_boundary_bits`` to avoid importing the other through
+:mod:`repro.analysis.report`); hoisting them into this leaf module —
+which imports only from :mod:`repro.isa` — removes both the duplication
+and the cycle risk, and gives the abstract-interpretation masking
+prover (:mod:`repro.analysis.absint`) the same single source of truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from ..isa.decode_signals import FIELD_BY_NAME, TOTAL_WIDTH, DecodeSignals
+from ..isa.opcodes import FLAG_NAMES
+
+#: Opcodes whose ALU semantics consume the ``shamt`` field (sll/srl/sra;
+#: the variable shifts take the amount from an operand register instead).
+SHIFT_IMM_OPCODES: FrozenSet[int] = frozenset((0x21, 0x22, 0x23))
+
+#: ALU opcodes whose semantics consume the ``imm`` field (addi..lui).
+IMM_ALU_OPCODES: FrozenSet[int] = frozenset(range(0x28, 0x30))
+
+
+def field_bits(name: str) -> Tuple[int, ...]:
+    """Global bit positions (LSB-first) of the named decode field."""
+    spec = FIELD_BY_NAME[name]
+    return tuple(range(spec.offset, spec.offset + spec.width))
+
+
+def _compute_boundary_bits() -> FrozenSet[int]:
+    """Derive the boundary bit set by probing the decode vector itself.
+
+    Self-checking: flip every bit of the all-zero vector and observe
+    which positions toggle ``ends_trace`` (a pure OR of three flag
+    bits). This cannot drift from the field layout.
+    """
+    quiet = DecodeSignals.unpack(0)
+    return frozenset(
+        bit for bit in range(TOTAL_WIDTH)
+        if quiet.with_bit_flipped(bit).ends_trace != quiet.ends_trace)
+
+
+#: Bit positions whose flip can change a trace boundary.
+BOUNDARY_BITS: FrozenSet[int] = _compute_boundary_bits()
+
+#: Global bit position of each named flag (``flag_bit["is_ld"]`` etc.).
+flag_bit: Dict[str, int] = {
+    name: FIELD_BY_NAME["flags"].offset + index
+    for index, name in enumerate(FLAG_NAMES)}
+
+
+__all__ = [
+    "BOUNDARY_BITS",
+    "IMM_ALU_OPCODES",
+    "SHIFT_IMM_OPCODES",
+    "field_bits",
+    "flag_bit",
+]

@@ -50,6 +50,7 @@ from ..isa.instruction import INSTRUCTION_BYTES
 from ..isa.program import Program
 from ..itr.itr_cache import ItrCacheConfig
 from ..itr.signature import MAX_TRACE_LENGTH
+from .bit_catalog import BOUNDARY_BITS as _BOUNDARY_BITS
 from .cfg import ControlFlowGraph
 from .diagnostics import (
     ANALYZER_VERSION,
@@ -84,23 +85,9 @@ TRUNCATION = "truncation"
 EXTENSION = "extension"
 
 
-def _compute_boundary_bits() -> Tuple[int, ...]:
-    """Derive the boundary bit set by probing the decode vector itself.
-
-    Self-checking: flip every bit of the all-zero vector and observe
-    which positions toggle ``ends_trace`` (a pure OR of three flag
-    bits). This cannot drift from the field layout.
-    """
-    quiet = DecodeSignals.unpack(0)
-    out = set()
-    for bit in range(TOTAL_WIDTH):
-        if quiet.with_bit_flipped(bit).ends_trace != quiet.ends_trace:
-            out.add(bit)
-    return tuple(sorted(out))
-
-
-#: Bit positions whose flip can change a trace boundary.
-BOUNDARY_BITS: Tuple[int, ...] = _compute_boundary_bits()
+#: Bit positions whose flip can change a trace boundary (self-probed
+#: once, in :mod:`repro.analysis.bit_catalog`, shared with fault_sites).
+BOUNDARY_BITS: Tuple[int, ...] = tuple(sorted(_BOUNDARY_BITS))
 
 
 @dataclass(frozen=True)
@@ -416,6 +403,7 @@ class ProtectionCertificate:
                 "schema_version": CATALOG_SCHEMA_VERSION,
             },
             "certified": self.certified,
+            "sdc_bound": self.report.sdc_bound.to_json(),
             "report": self.report.to_json(),
             "maskability": {
                 "single_flip_faults": self.maskability.total_faults,
@@ -517,6 +505,10 @@ class ProtectionCertificate:
             f"  cold window   {reuse.cold_window_instructions} "
             f"instruction(s) over {len(reuse.traces)} trace(s) "
             f"({reuse.single_shot_traces} never repeat)",
+            f"  sdc bound     static SDC rate <= "
+            f"{self.report.sdc_bound.sdc_rate_bound:.4f} "
+            f"({self.report.sdc_bound.proven_sites} proven-masked, "
+            f"{self.report.sdc_bound.inert_sites} inert site(s))",
         ]
         for exposure in reuse.exposures:
             bound = ("unbounded (thrash-exposed: "

@@ -15,11 +15,11 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Analyzer release identifier, embedded in every JSON report and
 #: certificate so archived results are comparable across PRs.
-ANALYZER_VERSION = "2.1.0"
+ANALYZER_VERSION = "2.2.0"
 
 #: Version of the diagnostic catalog / report JSON schema. Bump whenever
 #: a code is added or a documented JSON key changes meaning.
-CATALOG_SCHEMA_VERSION = 3
+CATALOG_SCHEMA_VERSION = 4
 
 
 class Severity(enum.IntEnum):
@@ -76,6 +76,12 @@ DF_UNINIT_READ = _register(
 DF_DEAD_STORE = _register(
     "DF002", Severity.WARNING,
     "register is written but the value is never read on any path")
+DF_UNTAKEN_BRANCH = _register(
+    "DF003", Severity.WARNING,
+    "branch predicate is provably false on every reachable path")
+DF_CONST_FOLDABLE = _register(
+    "DF004", Severity.INFO,
+    "operation always computes the same constant value")
 
 # -- ITR-specific lints ------------------------------------------------------
 ITR_SIGNATURE_COLLISION = _register(

@@ -43,7 +43,19 @@ the loop-iteration repetition the nest predicts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:
+    from .absint import MaskingProofs
 
 from ..arch.state import ArchState, arch_reg
 from ..isa.decode_signals import (
@@ -61,6 +73,12 @@ from ..itr.controller import ItrProbe
 from ..itr.signature import TraceSignature
 from ..uarch.config import PipelineConfig
 from ..uarch.pipeline import build_pipeline
+from .bit_catalog import (
+    BOUNDARY_BITS,
+    IMM_ALU_OPCODES,
+    SHIFT_IMM_OPCODES,
+    field_bits,
+)
 from .cfg import ControlFlowGraph, resolve_syscall_service
 from .dataflow import (
     registers_read,
@@ -72,33 +90,11 @@ from .loops import LoopNest
 _ALL_REGISTERS: FrozenSet[int] = frozenset(range(64))
 _ZERO_REG = arch_reg(ZERO, False)
 
-#: Opcodes whose ALU semantics consume the ``shamt`` field (sll/srl/sra;
-#: the variable shifts take the amount from an operand register instead).
-_SHIFT_IMM_OPCODES: FrozenSet[int] = frozenset((0x21, 0x22, 0x23))
-
-#: ALU opcodes whose semantics consume the ``imm`` field (addi..lui).
-_IMM_ALU_OPCODES: FrozenSet[int] = frozenset(range(0x28, 0x30))
-
-
-def _field_bits(name: str) -> Tuple[int, ...]:
-    spec = FIELD_BY_NAME[name]
-    return tuple(range(spec.offset, spec.offset + spec.width))
-
-
-def _compute_boundary_bits() -> FrozenSet[int]:
-    """Bits whose flip toggles ``ends_trace`` on a quiet vector.
-
-    Self-probed exactly like ``coverage_cert.BOUNDARY_BITS`` (kept local
-    to avoid a module cycle through :mod:`repro.analysis.report`).
-    """
-    quiet = DecodeSignals.unpack(0)
-    return frozenset(
-        bit for bit in range(TOTAL_WIDTH)
-        if quiet.with_bit_flipped(bit).ends_trace != quiet.ends_trace)
-
-
-#: Flag-bit positions that reshape trace boundaries when flipped.
-BOUNDARY_BITS: FrozenSet[int] = _compute_boundary_bits()
+# Shared bit-level tables live in the leaf catalog module; the local
+# aliases keep this module's historical names importable.
+_SHIFT_IMM_OPCODES = SHIFT_IMM_OPCODES
+_IMM_ALU_OPCODES = IMM_ALU_OPCODES
+_field_bits = field_bits
 
 
 # ======================================================================
@@ -276,6 +272,7 @@ def _rewritten_later(program: Program, cfg: ControlFlowGraph,
 VERDICT_INERT = "inert"          # provably architecturally masked
 VERDICT_BOUNDARY = "boundary"    # reshapes the trace boundary
 VERDICT_XOR_MASKED = "xor_masked"  # boundary flip the XOR check misses
+VERDICT_PROVEN = "proven_masked"   # masked by abstract-interpretation proof
 VERDICT_LIVE = "live"            # consumed; outcome is data-dependent
 
 
@@ -326,7 +323,9 @@ class BitGroup:
     verdict: str               # VERDICT_* (xor_masked applied per class)
 
 
-def bit_groups(signals: DecodeSignals) -> Tuple[BitGroup, ...]:
+def bit_groups(signals: DecodeSignals,
+               proven: FrozenSet[int] = frozenset()
+               ) -> Tuple[BitGroup, ...]:
     """Partition the 64 bits of one instruction into same-fate groups.
 
     Inert bits merge into one group (provably identical fate); every
@@ -337,22 +336,35 @@ def bit_groups(signals: DecodeSignals) -> Tuple[BitGroup, ...]:
     that makes pruning pay is the *dynamic* one — thousands of decode
     slots of the same instruction collapsing onto these per-bit static
     groups — so the census ratio stays far above the 3x floor.
+
+    ``proven`` carries bits the abstract-interpretation prover
+    (:mod:`repro.analysis.absint`) showed are masked for this class;
+    they merge into one ``proven_masked`` group exactly like inert bits
+    (the proofs establish an identical committed-effect stream, so all
+    proven bits of one class share one fate). Boundary bits are never
+    folded this way — trace-boundary reshaping stays per-bit.
     """
     inert = inert_bits(signals)
+    proven = (proven - inert) - BOUNDARY_BITS
     groups: List[BitGroup] = []
     if inert:
         groups.append(BitGroup("inert", tuple(sorted(inert)),
                                VERDICT_INERT))
+    if proven:
+        groups.append(BitGroup("proven", tuple(sorted(proven)),
+                               VERDICT_PROVEN))
     flags_offset = FIELD_BY_NAME["flags"].offset
     for index, name in enumerate(FLAG_NAMES):
         bit = flags_offset + index
+        if bit in proven:
+            continue
         verdict = VERDICT_BOUNDARY if bit in BOUNDARY_BITS else VERDICT_LIVE
         groups.append(BitGroup(f"flag:{name}", (bit,), verdict))
     for spec in FIELDS:
         if spec.name == "flags":
             continue
         for offset, bit in enumerate(_field_bits(spec.name)):
-            if bit not in inert:
+            if bit not in inert and bit not in proven:
                 groups.append(BitGroup(f"field:{spec.name}[{offset}]",
                                        (bit,), VERDICT_LIVE))
     return tuple(groups)
@@ -560,6 +572,7 @@ class StaticSiteSummary:
     dead_stores: int
     dead_store_pcs: Tuple[int, ...]
     looped_instructions: int   # instructions inside some natural loop
+    proven_sites: int = 0      # absint-proven masked (committed view)
 
     @property
     def static_fold(self) -> float:
@@ -575,6 +588,7 @@ class StaticSiteSummary:
             "inert_sites": self.inert_sites,
             "boundary_sites": self.boundary_sites,
             "live_sites": self.live_sites,
+            "proven_masked_sites": self.proven_sites,
             "bit_groups": self.bit_groups,
             "static_fold": round(self.static_fold, 4),
             "dead_stores": self.dead_stores,
@@ -584,23 +598,34 @@ class StaticSiteSummary:
 
 
 def static_site_summary(program: Program,
-                        cfg: Optional[ControlFlowGraph] = None
+                        cfg: Optional[ControlFlowGraph] = None,
+                        proofs: Optional["MaskingProofs"] = None
                         ) -> StaticSiteSummary:
-    """Census the static fault-site population of one program."""
+    """Census the static fault-site population of one program.
+
+    When ``proofs`` (from :func:`repro.analysis.absint.prove_masking`)
+    is supplied, absint-proven bits are counted separately from live
+    ones; the census uses the committed-role view, matching the SDC
+    bound.
+    """
     if cfg is None:
         cfg = ControlFlowGraph(program)
     nest = LoopNest(cfg)
-    inert = boundary = live = groups = looped = 0
+    inert = boundary = live = proven = groups = looped = 0
     for index in range(len(program.instructions)):
         pc = program.pc_of(index)
         signals = decode(program.instruction_at(pc))
-        for group in bit_groups(signals):
+        proven_bits = (proofs.bits_for(pc, committed=True)
+                       if proofs is not None else frozenset())
+        for group in bit_groups(signals, proven_bits):
             groups += 1
             width = len(group.bits)
             if group.verdict == VERDICT_INERT:
                 inert += width
             elif group.verdict == VERDICT_BOUNDARY:
                 boundary += width
+            elif group.verdict == VERDICT_PROVEN:
+                proven += width
             else:
                 live += width
         if nest.innermost_loop_of_pc(pc) is not None:
@@ -617,6 +642,7 @@ def static_site_summary(program: Program,
         dead_stores=len(stores),
         dead_store_pcs=tuple(sorted({s.pc for s in stores})),
         looped_instructions=looped,
+        proven_sites=proven,
     )
 
 
@@ -632,6 +658,7 @@ __all__ = [
     "VERDICT_BOUNDARY",
     "VERDICT_INERT",
     "VERDICT_LIVE",
+    "VERDICT_PROVEN",
     "VERDICT_XOR_MASKED",
     "bit_groups",
     "collect_reference_profile",

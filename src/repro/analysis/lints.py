@@ -11,6 +11,12 @@ from typing import Iterable, List, Optional, Sequence
 
 from ..isa.program import Program
 from ..itr.itr_cache import ItrCacheConfig
+from .absint import (
+    AbsintResult,
+    analyze_values,
+    find_foldable_ops,
+    find_untaken_branches,
+)
 from .cfg import ControlFlowGraph
 from .dataflow import find_uninitialized_reads
 from .diagnostics import (
@@ -18,8 +24,10 @@ from .diagnostics import (
     CF_FALLS_OFF_TEXT,
     CF_NO_EXIT_LOOP,
     CF_UNREACHABLE,
+    DF_CONST_FOLDABLE,
     DF_DEAD_STORE,
     DF_UNINIT_READ,
+    DF_UNTAKEN_BRANCH,
     ITR_CACHE_PRESSURE,
     ITR_SIGNATURE_COLLISION,
     Diagnostic,
@@ -147,6 +155,48 @@ def lint_dead_stores(program: Program,
     return out
 
 
+def lint_untaken_branches(program: Program,
+                          absint_result: AbsintResult) -> List[Diagnostic]:
+    """DF003: conditional branches no reachable state can take.
+
+    Powered by the abstract interpreter: the branch predicate is false
+    for every register state the fixpoint admits at the branch, so the
+    taken edge — and everything only it reaches — is dynamically dead.
+    Usually a stale guard or an off-by-one bound; it also silently
+    halves the branch's fault-site relevance, which is why the prover
+    credits the same fact as a masking proof.
+    """
+    out: List[Diagnostic] = []
+    for finding in find_untaken_branches(program, absint_result):
+        instr = program.instruction_at(finding.pc)
+        out.append(diagnostic(
+            DF_UNTAKEN_BRANCH,
+            f"{instr.mnemonic} can never be taken: {finding.detail}",
+            pc=finding.pc))
+    return out
+
+
+def lint_const_foldable(program: Program,
+                        absint_result: AbsintResult) -> List[Diagnostic]:
+    """DF004: ALU ops whose operands are constant on every path.
+
+    The interpreter proves both (gated) source operands constant, so
+    the instruction always computes the same value — a literal in
+    disguise. Assembler idioms that exist to materialize constants
+    (``li``/``la`` halves, ``move`` from ``$zero``) are exempt; what
+    remains is genuinely foldable arithmetic. Informational: constants
+    kept in registers across loops are often deliberate.
+    """
+    out: List[Diagnostic] = []
+    for finding in find_foldable_ops(program, absint_result):
+        instr = program.instruction_at(finding.pc)
+        out.append(diagnostic(
+            DF_CONST_FOLDABLE,
+            f"{instr.mnemonic} always computes 0x{finding.value:08x}",
+            pc=finding.pc, value=finding.value))
+    return out
+
+
 def lint_signature_collisions(
         traces: Sequence[StaticTrace]) -> List[Diagnostic]:
     """ITR001: distinct static traces whose XOR signatures alias.
@@ -194,8 +244,15 @@ def lint_cache_pressure(
 def run_lints(program: Program, cfg: ControlFlowGraph,
               traces: Sequence[StaticTrace],
               cache_configs: Optional[Iterable[ItrCacheConfig]] = None,
+              absint_result: Optional[AbsintResult] = None,
               ) -> List[Diagnostic]:
-    """Run every lint pass and return the sorted findings."""
+    """Run every lint pass and return the sorted findings.
+
+    ``absint_result`` reuses a caller's abstract-interpretation fixpoint
+    for the value-aware passes (DF003/DF004); computed here otherwise.
+    """
+    if absint_result is None:
+        absint_result = analyze_values(program, cfg)
     diagnostics: List[Diagnostic] = []
     diagnostics += lint_control_transfers(cfg)
     diagnostics += lint_fall_through(cfg)
@@ -203,6 +260,8 @@ def run_lints(program: Program, cfg: ControlFlowGraph,
     diagnostics += lint_no_exit_loops(cfg)
     diagnostics += lint_uninitialized_reads(program, cfg)
     diagnostics += lint_dead_stores(program, cfg)
+    diagnostics += lint_untaken_branches(program, absint_result)
+    diagnostics += lint_const_foldable(program, absint_result)
     diagnostics += lint_signature_collisions(traces)
     if cache_configs is not None:
         diagnostics += lint_cache_pressure(traces, cache_configs)

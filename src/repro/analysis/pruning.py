@@ -28,9 +28,13 @@ effect stream is bit-identical; the ITR signature still differs, so
 detection follows mechanically from the role); ``boundary`` classes are
 refined against the certifier's XOR-maskability machinery
 (:mod:`repro.analysis.coverage_cert`) to mark the rare flips the
-signature check provably cannot see; ``live`` classes are extrapolated
-from their representative and cross-validated dynamically by
-:mod:`repro.experiments.pruning_validation`.
+signature check provably cannot see; ``proven_masked`` classes carry
+bits the abstract-interpretation prover (:mod:`repro.analysis.absint`)
+showed leave the committed effect stream bit-identical, so — like inert
+classes — their outcome is predicted by construction; ``live`` classes
+are extrapolated from their representative and cross-validated
+dynamically by :mod:`repro.experiments.pruning_validation` (and the
+proofs themselves by :mod:`repro.experiments.absint_validation`).
 
 Import layering: this module reads :mod:`repro.faults.outcomes` (labels
 only), so it is deliberately *not* re-exported from
@@ -49,9 +53,11 @@ from ..isa.program import Program
 from .cfg import ControlFlowGraph
 from .coverage_cert import MASKED, analyze_trace_maskability
 from .diagnostics import ANALYZER_VERSION, CATALOG_SCHEMA_VERSION
+from .absint import MaskingProofs, analyze_values, prove_masking
 from .fault_sites import (
     VERDICT_BOUNDARY,
     VERDICT_INERT,
+    VERDICT_PROVEN,
     VERDICT_XOR_MASKED,
     BitGroup,
     ReferenceProfile,
@@ -103,7 +109,7 @@ class SiteClass:
     pc: int                    # fault-site PC (every member slot's PC)
     role_key: str              # SlotRole.key() of every member slot
     group_label: str           # BitGroup label ("inert", "flag:...", ...)
-    verdict: str               # inert | boundary | xor_masked | live
+    verdict: str       # inert | boundary | xor_masked | proven_masked | live
     bits: Tuple[int, ...]      # member bits (sorted)
     slots: Tuple[int, ...]     # member decode slots (sorted)
     rep_slot: int              # representative site: min slot...
@@ -193,7 +199,10 @@ def build_pruning_plan(program: Program,
                        benchmark: str = "",
                        cfg: Optional[ControlFlowGraph] = None,
                        slot_range: Optional[Tuple[int, int]] = None,
-                       refine_xor: bool = True) -> PruningPlan:
+                       refine_xor: bool = True,
+                       refine_absint: bool = True,
+                       proofs: Optional[MaskingProofs] = None
+                       ) -> PruningPlan:
     """Fold a reference profile's fault-site population into classes.
 
     ``slot_range`` restricts the census to ``[lo, hi)`` decode slots —
@@ -201,25 +210,44 @@ def build_pruning_plan(program: Program,
     exhaustive campaign stays affordable. Output order (and therefore
     representative trial order) is sorted by ``(pc, role, first bit)``,
     independent of dict iteration or worker count.
+
+    ``refine_absint`` folds the abstract-interpretation masking proofs
+    (:func:`repro.analysis.absint.prove_masking`) into the census: bits
+    proven masked for a ``(pc, role)`` class merge into one
+    ``proven_masked`` group whose outcome — like an inert group's — is
+    predicted by construction rather than extrapolated. Consumption
+    proofs apply to every role; value-dependent proofs only to committed
+    roles, whose renamed operands carry the architectural values the
+    abstract state bounds. Pass ``proofs`` to reuse a precomputed
+    result.
     """
     if cfg is None:
         cfg = ControlFlowGraph(program)
     nest = LoopNest(cfg)
+    if refine_absint and proofs is None:
+        proofs = prove_masking(program, analyze_values(program, cfg, nest))
+    elif not refine_absint:
+        proofs = None
     lo, hi = slot_range if slot_range is not None \
         else (0, profile.decode_count)
     if not 0 <= lo <= hi <= profile.decode_count:
         raise ValueError(f"slot range [{lo}, {hi}) outside "
                          f"0..{profile.decode_count}")
 
-    groups_by_pc: Dict[int, Tuple[BitGroup, ...]] = {}
+    cached_groups: Dict[Tuple[int, bool], Tuple[BitGroup, ...]] = {}
     members: Dict[Tuple[int, str, str], List[int]] = {}
     meta: Dict[Tuple[int, str, str], Tuple[BitGroup, SlotRole]] = {}
     for slot in range(lo, hi):
         pc = profile.pcs[slot]
         role = profile.role_of(slot)
-        if pc not in groups_by_pc:
-            groups_by_pc[pc] = bit_groups(decode(program.instruction_at(pc)))
-        for group in groups_by_pc[pc]:
+        committed = role.kind == "committed"
+        cache_key = (pc, committed)
+        if cache_key not in cached_groups:
+            proven = (proofs.bits_for(pc, committed=committed)
+                      if proofs is not None else frozenset())
+            cached_groups[cache_key] = bit_groups(
+                decode(program.instruction_at(pc)), proven)
+        for group in cached_groups[cache_key]:
             key = (pc, role.key(), group.label)
             members.setdefault(key, []).append(slot)
             meta.setdefault(key, (group, role))
@@ -260,7 +288,8 @@ def build_pruning_plan(program: Program,
             rep_slot=slots[0],
             rep_bit=group.bits[0],
             predicted_outcome=(predict_inert_outcome(role)
-                               if verdict == VERDICT_INERT else None),
+                               if verdict in (VERDICT_INERT,
+                                              VERDICT_PROVEN) else None),
             loop_header=loop_header,
             loop_depth=(nest.depth.get(loop_header, 0)
                         if loop_header is not None else 0),

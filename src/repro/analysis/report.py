@@ -14,6 +14,12 @@ from typing import Any, Dict, Optional, Sequence, Tuple
 from ..isa.program import Program
 from ..itr.itr_cache import ItrCacheConfig
 from ..itr.signature import MAX_TRACE_LENGTH
+from .absint import (
+    SdcBoundReport,
+    analyze_values,
+    prove_masking,
+    static_sdc_bound,
+)
 from .cfg import ControlFlowGraph
 from .diagnostics import (
     ANALYZER_VERSION,
@@ -56,6 +62,7 @@ class AnalysisReport:
     cache_pressures: Tuple[CachePressure, ...]
     diagnostics: Tuple[Diagnostic, ...]
     fault_sites: StaticSiteSummary
+    sdc_bound: SdcBoundReport
 
     # ------------------------------------------------------- trace metrics
     @property
@@ -163,6 +170,7 @@ class AnalysisReport:
                 for p in self.cache_pressures
             ],
             "fault_sites": self.fault_sites.to_json(),
+            "sdc_bound": self.sdc_bound.to_json(),
             "diagnostics": [d.to_json() for d in self.diagnostics],
             "status": self.status,
         }
@@ -194,8 +202,15 @@ class AnalysisReport:
         lines.append(
             f"  fault sites   {sites.static_sites} static "
             f"({sites.inert_sites} inert, {sites.boundary_sites} boundary, "
-            f"{sites.live_sites} live) in {sites.bit_groups} bit group(s), "
+            f"{sites.proven_sites} proven, {sites.live_sites} live) "
+            f"in {sites.bit_groups} bit group(s), "
             f"static fold {sites.static_fold:.2f}x")
+        bound = self.sdc_bound
+        lines.append(
+            f"  sdc bound     rate <= {bound.sdc_rate_bound:.4f} "
+            f"(mean possibly-SDC fraction "
+            f"{bound.mean_possibly_sdc:.4f}, "
+            f"{bound.proven_sites} proven-masked site(s))")
         if self.diagnostics:
             lines.append(f"  diagnostics   {len(self.diagnostics)} "
                          f"({self.status})")
@@ -222,8 +237,11 @@ def analyze_program(
                                            max_length=max_trace_length))
     pressures = tuple(predict_cache_pressure(traces, config)
                       for config in cache_configs)
+    absint_result = analyze_values(program, cfg)
+    proofs = prove_masking(program, absint_result)
     diagnostics = tuple(run_lints(program, cfg, traces,
-                                  cache_configs=cache_configs))
+                                  cache_configs=cache_configs,
+                                  absint_result=absint_result))
     edges = sum(len(succs) for succs in cfg.successors.values())
     return AnalysisReport(
         program_name=program.name,
@@ -237,5 +255,6 @@ def analyze_program(
         traces=traces,
         cache_pressures=pressures,
         diagnostics=diagnostics,
-        fault_sites=static_site_summary(program, cfg=cfg),
+        fault_sites=static_site_summary(program, cfg=cfg, proofs=proofs),
+        sdc_bound=static_sdc_bound(program, proofs),
     )

@@ -93,6 +93,16 @@ class FunctionalSimulator:
             self._signals_cache[pc] = signals
         return signals
 
+    def override_signals(self, pc: int, signals: DecodeSignals) -> None:
+        """Pin the decode vector of ``pc`` for the rest of this run.
+
+        Fault-replay oracles use this to execute *every* occurrence of
+        one static instruction with a tampered decode vector while the
+        rest of the program decodes normally. Overriding is sticky:
+        the memo cache is never invalidated.
+        """
+        self._signals_cache[pc] = signals
+
     def step(self) -> CommitEffect:
         """Execute and commit exactly one instruction."""
         if self.halted:

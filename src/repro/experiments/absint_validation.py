@@ -1,0 +1,418 @@
+"""Absint validation: abstract masking proofs vs. execution ground truth.
+
+The abstract-interpretation layer (:mod:`repro.analysis.absint`) makes
+three falsifiable promises, and this experiment attacks each one
+dynamically, per kernel:
+
+1. **oracle** — every ``proven_masked`` bit is replayed through the
+   functional oracle: the kernel re-executes with *every* occurrence of
+   the proven instruction decoding through the flipped vector, and the
+   committed effect stream (destinations, values, memory traffic,
+   control flow, output, halt) must be bit-identical to the fault-free
+   run. Zero tolerated mismatches — these are proofs, so one miss is an
+   analyzer bug. Replaying all occurrences at once is the *stronger*
+   form of the claim and is what the per-PC proofs actually establish
+   (each unchanged effect preserves the abstract invariant the next
+   occurrence relies on).
+2. **prediction** — a pruned campaign window injects the representative
+   of every class, and every ``proven_masked`` (and inert) class must
+   land exactly on its constructively predicted outcome; this covers
+   the wrong-path and squashed roles the functional oracle cannot see.
+3. **bound** — the static SDC-vulnerability upper bound emitted into
+   the schema-v4 certificates must dominate the campaign's observed
+   (weight-reconstituted) SDC rate over the injected window.
+
+The aggregate gate compares prune ratios with and without the absint
+refinement: the PR 5 syntactic baseline must be strictly improved on at
+least 75% of the validated kernels (12 of the 16 defaults).
+
+Run it::
+
+    python -m repro.experiments.absint_validation \
+        --kernels sum_loop,strsearch,linked_list --workers 2 --check
+
+``--check`` exits non-zero when any gate fails on any kernel (CI gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.absint import (
+    MaskingProofs,
+    analyze_values,
+    prove_masking,
+    static_sdc_bound,
+)
+from ..analysis.fault_sites import collect_reference_profile
+from ..analysis.pruning import build_pruning_plan
+from ..arch.functional import CommitEffect, FunctionalSimulator
+from ..arch.state import ArchState
+from ..isa.decode_signals import decode
+from ..isa.program import Program
+from ..utils.tables import render_table
+from ..workloads.kernels import Kernel, all_kernels, get_kernel
+from . import export
+
+#: Default per-trial observation window (cycles), matching the pruning
+#: validation experiment so decode counts line up with its campaigns.
+DEFAULT_OBSERVATION_CYCLES = 12_000
+
+#: Default pruned-campaign slot window ([0, window) x 64 bits).
+DEFAULT_WINDOW = 24
+
+#: Fraction of kernels whose prune ratio must strictly improve over the
+#: syntactic baseline (12 of the 16 default kernels).
+IMPROVED_FRACTION = 0.75
+
+
+@dataclass(frozen=True)
+class OracleMismatch:
+    """One proven bit whose functional replay diverged (analyzer bug)."""
+
+    pc: int
+    bit: int
+    step: int          # first diverging commit index (-1: run shape)
+    detail: str
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON form embedded in the per-kernel report."""
+        return {"pc": self.pc, "bit": self.bit, "step": self.step,
+                "detail": self.detail}
+
+
+def _functional_effects(program: Program, inputs: Sequence[int],
+                        pristine: ArchState, max_steps: int,
+                        override: Optional[Tuple[int, int]] = None
+                        ) -> Tuple[List[CommitEffect], bool]:
+    """One functional run's committed effect stream (and halt flag).
+
+    ``override=(pc, bit)`` re-decodes every occurrence of ``pc``
+    through the bit-flipped vector.
+    """
+    simulator = FunctionalSimulator(program, inputs=inputs,
+                                    initial_state=pristine.cow_fork())
+    if override is not None:
+        pc, bit = override
+        signals = decode(program.instruction_at(pc))
+        simulator.override_signals(pc, signals.with_bit_flipped(bit))
+    effects: List[CommitEffect] = []
+    for _ in range(max_steps):
+        if simulator.halted:
+            break
+        effects.append(simulator.step())
+    return effects, simulator.halted
+
+
+def replay_proofs(program: Program, inputs: Sequence[int],
+                  proofs: MaskingProofs, max_steps: int
+                  ) -> Tuple[int, List[OracleMismatch]]:
+    """Replay every committed-view proven bit through the oracle.
+
+    Returns ``(replayed_bits, mismatches)``; an empty mismatch list is
+    the experiment's zero-tolerance oracle gate.
+    """
+    pristine = ArchState.from_program(program)
+    baseline, halted = _functional_effects(program, inputs, pristine,
+                                           max_steps)
+    if not halted:
+        raise RuntimeError(
+            f"{program.name}: fault-free functional run did not halt "
+            f"within {max_steps} steps")
+    replayed = 0
+    mismatches: List[OracleMismatch] = []
+    for index in range(len(program.instructions)):
+        pc = program.pc_of(index)
+        for bit in sorted(proofs.bits_for(pc, committed=True)):
+            replayed += 1
+            effects, tampered_halted = _functional_effects(
+                program, inputs, pristine, max_steps, override=(pc, bit))
+            if tampered_halted != halted or len(effects) != len(baseline):
+                mismatches.append(OracleMismatch(
+                    pc=pc, bit=bit, step=-1,
+                    detail=f"run shape diverged: {len(effects)} commits "
+                           f"(halted={tampered_halted}) vs "
+                           f"{len(baseline)} (halted={halted})"))
+                continue
+            for step, (a, b) in enumerate(zip(baseline, effects)):
+                if a != b:
+                    mismatches.append(OracleMismatch(
+                        pc=pc, bit=bit, step=step,
+                        detail=f"commit {step} diverged at "
+                               f"pc=0x{b.pc:08x}"))
+                    break
+    return replayed, mismatches
+
+
+@dataclass
+class AbsintKernelReport:
+    """Every gate's measurement for one kernel."""
+
+    benchmark: str
+    instructions: int
+    decode_count: int
+    proven_static_sites: int     # committed-view proven (pc, bit) pairs
+    replayed_bits: int
+    oracle_mismatches: List[OracleMismatch]
+    sdc_bound: float             # static upper bound (certificate value)
+    mean_possibly_sdc: float
+    window: Tuple[int, int]
+    window_sites: int
+    observed_sdc_rate: float     # weight-reconstituted, same window
+    prediction_mismatches: int
+    ratio_baseline: float        # full-population, syntactic only (PR 5)
+    ratio_absint: float          # full-population, with masking proofs
+
+    @property
+    def ratio_improved(self) -> bool:
+        return self.ratio_absint > self.ratio_baseline
+
+    @property
+    def bound_dominates(self) -> bool:
+        return self.observed_sdc_rate <= self.sdc_bound + 1e-12
+
+    def holds(self) -> bool:
+        """Per-kernel gates (the ratio gate aggregates across kernels)."""
+        return (not self.oracle_mismatches
+                and self.prediction_mismatches == 0
+                and self.bound_dominates)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON form of one kernel's gates and measured rates."""
+        return {
+            "benchmark": self.benchmark,
+            "instructions": self.instructions,
+            "decode_count": self.decode_count,
+            "proven_static_sites": self.proven_static_sites,
+            "replayed_bits": self.replayed_bits,
+            "oracle_mismatches": [m.to_json()
+                                  for m in self.oracle_mismatches],
+            "sdc_bound": round(self.sdc_bound, 6),
+            "mean_possibly_sdc": round(self.mean_possibly_sdc, 6),
+            "window": list(self.window),
+            "window_sites": self.window_sites,
+            "observed_sdc_rate": round(self.observed_sdc_rate, 6),
+            "bound_dominates": self.bound_dominates,
+            "prediction_mismatches": self.prediction_mismatches,
+            "ratio_baseline": round(self.ratio_baseline, 4),
+            "ratio_absint": round(self.ratio_absint, 4),
+            "ratio_improved": self.ratio_improved,
+            "holds": self.holds(),
+        }
+
+
+@dataclass
+class AbsintValidationResult:
+    """All kernels' measurements plus the aggregate ratio gate."""
+
+    improved_fraction: float = IMPROVED_FRACTION
+    reports: List[AbsintKernelReport] = field(default_factory=list)
+
+    @property
+    def improved_kernels(self) -> int:
+        return sum(1 for r in self.reports if r.ratio_improved)
+
+    @property
+    def required_improved(self) -> int:
+        return math.ceil(self.improved_fraction * len(self.reports))
+
+    @property
+    def clean(self) -> bool:
+        return (all(r.holds() for r in self.reports)
+                and self.improved_kernels >= self.required_improved)
+
+    @property
+    def mean_ratio_gain(self) -> float:
+        if not self.reports:
+            return 1.0
+        return (sum(r.ratio_absint / r.ratio_baseline
+                    for r in self.reports) / len(self.reports))
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON form written by ``--out`` (parsed by the CI summary)."""
+        return {
+            "improved_fraction": self.improved_fraction,
+            "improved_kernels": self.improved_kernels,
+            "required_improved": self.required_improved,
+            "mean_ratio_gain": round(self.mean_ratio_gain, 4),
+            "clean": self.clean,
+            "kernels": [r.to_json() for r in self.reports],
+        }
+
+
+def validate_kernel(kernel: Kernel, seed: int = 2007,
+                    observation_cycles: int = DEFAULT_OBSERVATION_CYCLES,
+                    window: int = DEFAULT_WINDOW,
+                    workers: Optional[object] = None
+                    ) -> AbsintKernelReport:
+    """Measure every gate for one kernel."""
+    from ..faults.campaign import CampaignConfig, FaultCampaign
+
+    program = kernel.program()
+    absint_result = analyze_values(program)
+    proofs = prove_masking(program, absint_result)
+    bound = static_sdc_bound(program, proofs, absint_result)
+
+    replayed, mismatches = replay_proofs(
+        program, kernel.inputs, proofs,
+        max_steps=10 * observation_cycles)
+
+    config = CampaignConfig(trials=0, seed=seed,
+                            observation_cycles=observation_cycles)
+    campaign = FaultCampaign(kernel, config)
+    profile = collect_reference_profile(
+        program, inputs=kernel.inputs,
+        pipeline_config=config.pipeline,
+        observation_cycles=config.observation_cycles)
+    if profile.decode_count != campaign.decode_count:
+        raise RuntimeError(
+            f"{kernel.name}: profiled reference decoded "
+            f"{profile.decode_count} slots, campaign sized "
+            f"{campaign.decode_count}")
+
+    baseline_plan = build_pruning_plan(program, profile,
+                                       benchmark=kernel.name,
+                                       refine_absint=False)
+    absint_plan = build_pruning_plan(program, profile,
+                                     benchmark=kernel.name,
+                                     proofs=proofs)
+
+    lo, hi = 0, min(window, profile.decode_count)
+    window_plan = build_pruning_plan(program, profile,
+                                     benchmark=kernel.name,
+                                     slot_range=(lo, hi), proofs=proofs)
+    pruned = campaign.run_pruned(plan=window_plan, workers=workers)
+    counts = pruned.weighted_counts()
+    window_sites = window_plan.raw_sites
+    sdc_sites = sum(count for label, count in counts.items()
+                    if "SDC" in label)
+    observed = sdc_sites / window_sites if window_sites else 0.0
+
+    return AbsintKernelReport(
+        benchmark=kernel.name,
+        instructions=len(program.instructions),
+        decode_count=profile.decode_count,
+        proven_static_sites=proofs.static_site_count,
+        replayed_bits=replayed,
+        oracle_mismatches=mismatches,
+        sdc_bound=bound.sdc_rate_bound,
+        mean_possibly_sdc=bound.mean_possibly_sdc,
+        window=(lo, hi),
+        window_sites=window_sites,
+        observed_sdc_rate=observed,
+        prediction_mismatches=len(pruned.prediction_mismatches()),
+        ratio_baseline=baseline_plan.prune_ratio,
+        ratio_absint=absint_plan.prune_ratio,
+    )
+
+
+def run_absint_validation(
+        kernels: Optional[Sequence[Kernel]] = None, seed: int = 2007,
+        observation_cycles: int = DEFAULT_OBSERVATION_CYCLES,
+        window: int = DEFAULT_WINDOW,
+        workers: Optional[object] = None) -> AbsintValidationResult:
+    """Validate the masking prover against execution ground truth."""
+    result = AbsintValidationResult()
+    for kernel in (kernels if kernels is not None else all_kernels()):
+        result.reports.append(validate_kernel(
+            kernel, seed=seed, observation_cycles=observation_cycles,
+            window=window, workers=workers))
+    return result
+
+
+def render_absint_validation(result: AbsintValidationResult) -> str:
+    """Human-readable gate table."""
+    rows = []
+    for report in result.reports:
+        rows.append([
+            report.benchmark,
+            report.instructions,
+            report.proven_static_sites,
+            f"{report.replayed_bits}/{len(report.oracle_mismatches)}",
+            f"{report.sdc_bound:.3f}",
+            f"{report.observed_sdc_rate:.3f}",
+            report.prediction_mismatches,
+            f"{report.ratio_baseline:.1f}x",
+            f"{report.ratio_absint:.1f}x",
+            "yes" if report.holds() and report.ratio_improved else (
+                "yes*" if report.holds() else "NO"),
+        ])
+    table = render_table(
+        ["kernel", "insts", "proven", "replay/miss", "bound",
+         "sdc", "predmiss", "base", "absint", "holds"],
+        rows,
+        title="Absint validation: masking proofs and SDC bounds vs. "
+              "execution",
+    )
+    lines = [
+        table,
+        "",
+        "gates: zero oracle mismatches, zero prediction mismatches, "
+        "bound >= observed SDC rate ('yes*': holds but ratio not "
+        "improved)",
+        f"prune ratio improved on {result.improved_kernels}/"
+        f"{len(result.reports)} kernel(s) "
+        f"(required: {result.required_improved}), mean gain "
+        f"{result.mean_ratio_gain:.2f}x",
+        f"clean: {result.clean}",
+    ]
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code (``--check``)."""
+    parser = argparse.ArgumentParser(
+        prog="absint-validation",
+        description="Cross-validate the abstract-interpretation masking "
+                    "prover and static SDC bounds against execution")
+    parser.add_argument("--kernels", type=str, default=None,
+                        help="comma-separated kernel names (default: all)")
+    parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument("--cycles", type=int,
+                        default=DEFAULT_OBSERVATION_CYCLES,
+                        help="observation window per trial (cycles)")
+    parser.add_argument("--window", type=int, default=DEFAULT_WINDOW,
+                        help="decode slots in the pruned campaign window")
+    parser.add_argument("--workers", type=str, default=None,
+                        help="worker processes (an integer, or 'auto'; "
+                             "default: serial). Results are "
+                             "byte-identical to serial runs.")
+    parser.add_argument("--out", type=str, default=None,
+                        help="directory for the JSON result")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 when any gate fails (CI gate)")
+    args = parser.parse_args(argv)
+
+    kernels = None
+    if args.kernels:
+        kernels = [get_kernel(name.strip())
+                   for name in args.kernels.split(",") if name.strip()]
+
+    result = run_absint_validation(
+        kernels=kernels, seed=args.seed,
+        observation_cycles=args.cycles, window=args.window,
+        workers=args.workers)
+    print(render_absint_validation(result))
+
+    if args.out:
+        import pathlib
+        directory = pathlib.Path(args.out)
+        export.save_json(result.to_json(),
+                         directory / "absint_validation.json")
+
+    if args.check and not result.clean:
+        print("absint-validation check FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -186,6 +186,16 @@ def _run_pruning_validation(args) -> str:
     return pruning_validation.render_pruning_validation(result)
 
 
+def _run_absint_validation(args) -> str:
+    from ..workloads.kernels import get_kernel as _get
+    from . import absint_validation
+    result = absint_validation.run_absint_validation(
+        kernels=[_get("sum_loop"), _get("strsearch"), _get("linked_list")],
+        seed=args.seed, window=8,
+        workers=getattr(args, "workers", None))
+    return absint_validation.render_absint_validation(result)
+
+
 def _run_scorecard(args) -> str:
     from . import scorecard
     card = scorecard.build_scorecard(
@@ -221,6 +231,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "overhead": _run_overhead,
     "recovery-soak": _run_recovery_soak,
     "pruning-validation": _run_pruning_validation,
+    "absint-validation": _run_absint_validation,
     "scorecard": _run_scorecard,
 }
 

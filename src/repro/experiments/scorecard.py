@@ -142,6 +142,18 @@ def build_scorecard(instructions: int = 150_000, trials: int = 15,
              f"{100 * prune_report.window_agreement:.0f}% window agree",
              pruning.clean)
 
+    from .absint_validation import run_absint_validation
+    absint = run_absint_validation(
+        kernels=[get_kernel("sum_loop")], seed=seed, window=4,
+        workers=workers)
+    absint_report = absint.reports[0]
+    card.add("sec4", "abstract masking proofs hold under replay",
+             "proofs never falsified",
+             f"{absint_report.replayed_bits} proofs replayed, "
+             f"{len(absint_report.oracle_mismatches)} mismatch(es), "
+             f"SDC <= {absint_report.sdc_bound:.2f} bound",
+             absint.clean)
+
     return card
 
 

@@ -420,7 +420,7 @@ class FaultCampaign:
             yield self.run_trial(index, spec)
 
     # ----------------------------------------------------------- pruned mode
-    def pruning_plan(self, slot_range=None):
+    def pruning_plan(self, slot_range=None, refine_absint: bool = True):
         """Build this campaign's fault-site equivalence-class plan.
 
         Costs one extra fault-free reference run (profiled this time) in
@@ -428,6 +428,9 @@ class FaultCampaign:
         plan's slot numbering is exactly the campaign's fault-site
         coordinate system. Parent-only, like :meth:`plan` — workers
         receive representative specs, never rebuild the plan.
+        ``refine_absint=False`` skips the abstract-interpretation
+        masking proofs (the PR 5 syntactic-only census), which the
+        validation experiment uses as its baseline.
         """
         from ..analysis.fault_sites import collect_reference_profile
         from ..analysis.pruning import build_pruning_plan
@@ -445,7 +448,8 @@ class FaultCampaign:
                 f"pipeline configurations diverged")
         return build_pruning_plan(self._program, profile,
                                   benchmark=self.kernel.name,
-                                  slot_range=slot_range)
+                                  slot_range=slot_range,
+                                  refine_absint=refine_absint)
 
     def run_pruned(self, workers: Optional[object] = None,
                    slot_range=None, plan=None) -> PrunedCampaignResult:

@@ -1,0 +1,248 @@
+"""Unit tests for the bit-precise abstract interpreter.
+
+Covers the value lattice (normalization, join, widen), constant
+propagation through the fixpoint, the masking prover's two proof tiers,
+the DF003/DF004 lint feeders, the static SDC bound, and the
+``proven_masked`` equivalence-class kind in the fault-site grouper.
+"""
+
+import pytest
+
+from repro.analysis.absint import (
+    TOP,
+    MaskingProofs,
+    abstract_const,
+    analyze_values,
+    find_foldable_ops,
+    find_untaken_branches,
+    join_values,
+    make_abstract,
+    prove_masking,
+    static_sdc_bound,
+    widen_values,
+)
+from repro.analysis.fault_sites import (
+    VERDICT_PROVEN,
+    bit_groups,
+    inert_bits,
+)
+from repro.analysis.lints import lint_const_foldable, lint_untaken_branches
+from repro.isa import assemble
+from repro.isa.decode_signals import decode
+from repro.isa.registers import T0, ZERO
+
+WORD = 0xFFFFFFFF
+
+
+def program_of(*body):
+    """Assemble a main body followed by the exit idiom."""
+    lines = [".text", "main:"]
+    lines += [f"  {line}" for line in body]
+    lines += ["  ori $v0, $zero, 10", "  syscall"]
+    return assemble("\n".join(lines), name="absint_unit")
+
+
+class TestAbstractValue:
+    def test_const_roundtrip(self):
+        value = abstract_const(0x8000_0001)
+        assert value.is_const
+        assert value.const == 0x8000_0001
+        assert value.lo == value.hi == -0x7FFF_FFFF
+        assert value.contains(0x8000_0001)
+        assert not value.contains(0x8000_0000)
+
+    def test_bit_query(self):
+        value = make_abstract(0b101, 0b001, -(1 << 31), (1 << 31) - 1)
+        assert value.bit(0) == 1
+        assert value.bit(2) == 0
+        assert value.bit(1) is None
+
+    def test_known_bits_refine_interval(self):
+        # Bit 31 proven zero => value is non-negative.
+        value = make_abstract(1 << 31, 0, -(1 << 31), (1 << 31) - 1)
+        assert value.lo >= 0
+
+    def test_interval_refines_known_bits(self):
+        # [0, 3] pins every bit above position 1 to zero.
+        value = make_abstract(0, 0, 0, 3)
+        assert value.known == WORD & ~0b11
+        assert value.value == 0
+
+    def test_point_interval_collapses_to_const(self):
+        value = make_abstract(0, 0, 7, 7)
+        assert value.is_const and value.const == 7
+
+    def test_contradiction_degrades_to_top(self):
+        assert make_abstract(0, 0, 5, 4) == TOP
+
+    def test_unsigned_bounds_cover_members(self):
+        value = make_abstract(0, 0, -2, 1)
+        umin, umax = value.unsigned_bounds()
+        for member in (-2, -1, 0, 1):
+            assert umin <= member & WORD <= umax
+
+    def test_join_keeps_agreement_only(self):
+        joined = join_values(abstract_const(0b1100), abstract_const(0b1010))
+        assert joined.bit(3) == 1
+        assert joined.bit(0) == 0
+        assert joined.bit(1) is None
+        assert joined.lo <= 0b1010 and joined.hi >= 0b1100
+        assert joined.contains(0b1100) and joined.contains(0b1010)
+
+    def test_widen_jumps_growing_bound(self):
+        # Mixed-sign intervals so normalization cannot re-pin prefix
+        # bits and the interval half is on its own.
+        old = make_abstract(0, 0, -5, 10)
+        new = make_abstract(0, 0, -5, 11)
+        widened = widen_values(old, new)
+        assert widened.lo == -5               # stable bound kept
+        assert widened.hi == (1 << 31) - 1    # growing bound widened
+
+    def test_widen_is_stable_on_no_growth(self):
+        old = make_abstract(0, 0, 0, 10)
+        assert widen_values(old, old) == old
+
+
+class TestAnalyzeValues:
+    def test_constants_propagate(self):
+        program = program_of("ori $t0, $zero, 5", "addiu $t0, $t0, 3")
+        result = analyze_values(program)
+        final_pc = program.pc_of(2)  # the exit "ori $v0, ..."
+        assert result.value_before(final_pc, T0).const == 8
+
+    def test_zero_register_is_const_zero(self):
+        program = program_of("addu $t0, $zero, $zero")
+        result = analyze_values(program)
+        assert result.value_before(program.pc_of(0), ZERO).const == 0
+
+    def test_loop_counter_converges_with_widening(self):
+        program = program_of(
+            "ori $t0, $zero, 0",
+            "loop:",
+            "addiu $t0, $t0, 1",
+            "slti $t1, $t0, 10",
+            "bne $t1, $zero, loop",
+        )
+        result = analyze_values(program)
+        assert result.block_transfers > 0
+        # The widened counter still proves non-negativity is NOT
+        # claimed (it may wrap), but the slti result stays boolean.
+        branch_pc = program.pc_of(3)
+        t1 = result.value_before(branch_pc, T0 + 1)
+        assert t1.lo >= 0 and t1.hi <= 1
+
+    def test_unreachable_block_has_no_state(self):
+        program = program_of(
+            "j over",
+            "dead: addiu $t0, $t0, 1",
+            "over:",
+        )
+        result = analyze_values(program)
+        assert result.state_at(program.pc_of(1)) is None
+
+
+class TestMaskingProofs:
+    def test_proofs_exclude_inert_and_split_tiers(self):
+        program = program_of("ori $t0, $zero, 5", "addu $t1, $t0, $t0")
+        proofs = prove_masking(program)
+        assert proofs.static_site_count > 0
+        for pc, bits in proofs.any_role.items():
+            signals = decode(program.instruction_at(pc))
+            assert not bits & inert_bits(signals)
+            committed = proofs.bits_for(pc, committed=True)
+            uncommitted = proofs.bits_for(pc, committed=False)
+            assert uncommitted <= committed
+            assert uncommitted == bits
+
+    def test_committed_tier_proves_foldable_result_bits(self):
+        # andi with a known-zero source lane: flipping that imm lane
+        # cannot change the committed result.
+        program = program_of("ori $t0, $zero, 1", "andi $t1, $t0, 1")
+        proofs = prove_masking(program)
+        andi_pc = program.pc_of(1)
+        extra = proofs.committed_extra.get(andi_pc, frozenset())
+        assert extra, "value-dependent proofs expected on the andi"
+
+
+class TestLintFeeders:
+    def test_df003_on_provably_false_branch(self):
+        program = program_of(
+            "ori $t0, $zero, 1",
+            "beq $t0, $zero, never",
+            "addiu $t1, $zero, 2",
+            "never:",
+        )
+        findings = find_untaken_branches(program)
+        assert [f.pc for f in findings] == [program.pc_of(1)]
+        diagnostics = lint_untaken_branches(program, analyze_values(program))
+        assert [d.code for d in diagnostics] == ["DF003"]
+        assert diagnostics[0].pc == program.pc_of(1)
+
+    def test_df004_on_foldable_op(self):
+        program = program_of(
+            "ori $t0, $zero, 6",
+            "ori $t1, $zero, 7",
+            "addu $t2, $t0, $t1",
+        )
+        findings = find_foldable_ops(program)
+        fold_pc = program.pc_of(2)
+        assert any(f.pc == fold_pc and f.value == 13 for f in findings)
+        diagnostics = lint_const_foldable(program, analyze_values(program))
+        assert any(d.code == "DF004" and d.pc == fold_pc
+                   for d in diagnostics)
+
+    def test_df004_exempts_move_idiom(self):
+        program = program_of("ori $t0, $zero, 6", "addu $t2, $t0, $zero")
+        assert not any(f.pc == program.pc_of(1)
+                       for f in find_foldable_ops(program))
+
+
+class TestSdcBound:
+    def test_bound_shape_and_schema(self):
+        program = program_of("ori $t0, $zero, 5", "addu $t1, $t0, $t0")
+        report = static_sdc_bound(program)
+        assert 0.0 < report.sdc_rate_bound <= 1.0
+        assert 0.0 < report.mean_possibly_sdc <= 1.0
+        payload = report.to_json()
+        assert set(payload) == {
+            "instructions", "inert_sites", "proven_masked_sites",
+            "sdc_rate_upper_bound", "mean_possibly_sdc_fraction",
+            "worst_pc",
+        }
+        assert payload["instructions"] == len(program.instructions)
+
+    def test_proofs_tighten_the_bound(self):
+        program = program_of("ori $t0, $zero, 5", "addu $t1, $t0, $t0")
+        proved = static_sdc_bound(program)
+        empty = MaskingProofs(any_role={}, committed_extra={})
+        unproved = static_sdc_bound(program, proofs=empty)
+        assert proved.sdc_rate_bound < unproved.sdc_rate_bound
+        assert proved.proven_sites > 0 and unproved.proven_sites == 0
+
+
+class TestProvenBitGroups:
+    def test_proven_group_emitted_and_disjoint(self):
+        program = program_of("ori $t0, $zero, 5", "addu $t1, $t0, $t0")
+        proofs = prove_masking(program)
+        pc = program.pc_of(1)
+        signals = decode(program.instruction_at(pc))
+        proven = proofs.bits_for(pc, committed=True)
+        assert proven
+        groups = bit_groups(signals, proven)
+        by_verdict = {}
+        for group in groups:
+            for bit in group.bits:
+                assert bit not in by_verdict, "bit in two groups"
+                by_verdict[bit] = group.verdict
+        for bit in proven:
+            assert by_verdict[bit] == VERDICT_PROVEN
+
+    def test_no_proofs_no_proven_group(self):
+        program = program_of("ori $t0, $zero, 5")
+        signals = decode(program.instruction_at(program.pc_of(0)))
+        groups = bit_groups(signals)
+        assert all(g.verdict != VERDICT_PROVEN for g in groups)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))

@@ -170,9 +170,14 @@ class TestKernelCertificates:
                                waivers=tuple(kernel.waivers))
         payload = cert.to_json()
         assert set(payload) == {
-            "program", "analyzer", "certified", "report", "maskability",
-            "distance_audit", "loops", "reuse", "diagnostics",
-            "waived_diagnostics", "waivers"}
+            "program", "analyzer", "certified", "sdc_bound", "report",
+            "maskability", "distance_audit", "loops", "reuse",
+            "diagnostics", "waived_diagnostics", "waivers"}
+        assert set(payload["sdc_bound"]) == {
+            "instructions", "inert_sites", "proven_masked_sites",
+            "sdc_rate_upper_bound", "mean_possibly_sdc_fraction",
+            "worst_pc"}
+        assert 0.0 < payload["sdc_bound"]["sdc_rate_upper_bound"] <= 1.0
         assert set(payload["maskability"]) == {
             "single_flip_faults", "certified_detectable", "coverage_pct",
             "masked", "unresolved", "multi_flip_masked_windows",

@@ -216,8 +216,11 @@ class TestStaticSiteSummary:
         summary = static_site_summary(get_kernel("sum_loop").program())
         assert set(summary.to_json()) == {
             "instructions", "static_sites", "inert_sites",
-            "boundary_sites", "live_sites", "bit_groups", "static_fold",
-            "dead_stores", "dead_store_pcs", "looped_instructions"}
+            "boundary_sites", "live_sites", "proven_masked_sites",
+            "bit_groups", "static_fold", "dead_stores",
+            "dead_store_pcs", "looped_instructions"}
+        # Without a MaskingProofs argument nothing is proven.
+        assert summary.to_json()["proven_masked_sites"] == 0
 
 
 class TestReferenceProfile:

@@ -52,8 +52,9 @@ class TestDiagnosticType:
 
     def test_catalog_codes_are_stable(self):
         assert set(CATALOG) == {"CF001", "CF002", "CF003", "CF004",
-                                "DF001", "DF002", "ITR001", "ITR002",
-                                "ITR003", "ITR004", "CV001"}
+                                "DF001", "DF002", "DF003", "DF004",
+                                "ITR001", "ITR002", "ITR003", "ITR004",
+                                "CV001"}
 
 
 class TestControlFlowLints:
@@ -184,11 +185,35 @@ class TestKernelSuite:
         """
         for kernel in all_kernels():
             report = analyze_program(kernel.program())
-            codes = codes_of(report)
+            codes = [d.code for d in report.diagnostics
+                     if d.severity is not Severity.INFO]
             if kernel.name == "dispatch":
                 assert codes == ["ITR001"]
             else:
                 assert codes == [], kernel.name
+
+    def test_foldable_constants_are_the_only_suite_infos(self):
+        """Four kernels keep one foldable end-offset ``addi`` each.
+
+        The abstract interpreter proves the operand constant on every
+        path, so DF004 reports the instruction as a literal in
+        disguise. Informational by design: constants kept in registers
+        are often deliberate, and these four are left as the suite's
+        measured nonzero fold count.
+        """
+        flagged = {}
+        for kernel in all_kernels():
+            report = analyze_program(kernel.program())
+            infos = [d.code for d in report.diagnostics
+                     if d.severity is Severity.INFO]
+            if infos:
+                flagged[kernel.name] = infos
+        assert flagged == {
+            "binary_search": ["DF004"],
+            "bubble_sort": ["DF004"],
+            "fp_stencil": ["DF004"],
+            "quicksort": ["DF004"],
+        }
 
     def test_dispatch_waiver_is_structured(self):
         """The ITR001 acceptance is a Waiver record, not a comment."""

@@ -50,7 +50,8 @@ class TestReport:
 
 # Keys required by docs/static_analysis.md — the stable JSON interface.
 TOP_KEYS = {"program", "analyzer", "entry", "text", "cfg", "traces",
-            "cache", "fault_sites", "diagnostics", "status"}
+            "cache", "fault_sites", "sdc_bound", "diagnostics",
+            "status"}
 ANALYZER_KEYS = {"version", "schema_version"}
 TEXT_KEYS = {"base", "end", "instructions"}
 CFG_KEYS = {"basic_blocks", "edges", "reachable_blocks"}
@@ -61,6 +62,9 @@ INVENTORY_KEYS = {"start_pc", "length", "signature", "end_pc",
 CACHE_KEYS = {"label", "entries", "ways", "sets", "working_set",
               "max_set_occupancy", "oversubscribed_sets",
               "conflict_excess", "fits"}
+SDC_BOUND_KEYS = {"instructions", "inert_sites", "proven_masked_sites",
+                  "sdc_rate_upper_bound", "mean_possibly_sdc_fraction",
+                  "worst_pc"}
 
 
 def validate_schema(payload):
@@ -73,6 +77,8 @@ def validate_schema(payload):
         assert set(entry) == INVENTORY_KEYS
     for entry in payload["cache"]:
         assert set(entry) == CACHE_KEYS
+    assert set(payload["sdc_bound"]) == SDC_BOUND_KEYS
+    assert 0.0 < payload["sdc_bound"]["sdc_rate_upper_bound"] <= 1.0
     for diag in payload["diagnostics"]:
         assert {"code", "severity", "message"} <= set(diag)
     assert payload["status"] in ("clean", "info", "warnings", "errors")

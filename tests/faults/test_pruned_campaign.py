@@ -65,9 +65,10 @@ def test_inert_predictions_hold(serial_result):
     assert serial_result.prediction_mismatches() == []
     predicted = [cls for cls in serial_result.classes
                  if cls["predicted_outcome"] is not None]
-    assert predicted, "window must contain some inert classes"
-    for cls in predicted:
-        assert cls["verdict"] == "inert"
+    assert predicted, "window must contain some predicted classes"
+    verdicts = {cls["verdict"] for cls in predicted}
+    assert verdicts <= {"inert", "proven_masked"}
+    assert "inert" in verdicts
 
 
 def test_roundtrips_through_dict(serial_result):
