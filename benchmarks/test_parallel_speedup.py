@@ -29,6 +29,8 @@ import pathlib
 import time
 
 from repro.faults.campaign import CampaignConfig, FaultCampaign
+from repro.faults.merge import FaultAggregate
+from repro.faults.scheduler import EarlyStopConfig, SchedulerConfig
 from repro.workloads.kernels import get_kernel
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -72,6 +74,26 @@ def test_parallel_speedup(save_report):
     assert pruned.injected_trials == len(plan.classes)
     assert sum(cls["weight"] for cls in pruned.classes) == plan.raw_sites
 
+    # Scheduler mode: the same campaign through leased work units on the
+    # fork-pool backend, and once more with early stopping enabled to
+    # measure how many trials the Wilson rule saves at a 5% margin.
+    sched_campaign = _campaign()
+    start = time.perf_counter()
+    scheduled = sched_campaign.run_scheduled(SchedulerConfig(
+        backend="fork", workers=POOL, unit_trials=16))
+    scheduled_s = time.perf_counter() - start
+    assert scheduled.health.ledger_balanced()
+    serial_fold = FaultAggregate.fold("sum_loop", serial.trials)
+    assert json.dumps(scheduled.aggregate.to_dict(), sort_keys=True) \
+        == json.dumps(serial_fold.to_dict(), sort_keys=True)
+
+    start = time.perf_counter()
+    stopped = _campaign().run_scheduled(SchedulerConfig(
+        backend="fork", workers=POOL, unit_trials=16,
+        early_stop=EarlyStopConfig(margin=0.05, min_trials=48)))
+    stopped_s = time.perf_counter() - start
+    trials_saved = TRIALS - stopped.health.merged_trials
+
     save_report("parallel_speedup", "\n".join([
         f"parallel campaign engine: {TRIALS} trials, sum_loop, "
         f"{OBSERVATION_CYCLES} observation cycles",
@@ -90,6 +112,14 @@ def test_parallel_speedup(save_report):
         f"  {POOL} workers      : {pruned_s:.2f}s "
         f"({pruned.injected_trials / pruned_s:.1f} trials/s, "
         f"{pruned.raw_sites / pruned_s:.1f} sites/s effective)",
+        f"scheduler mode: leased work units, {POOL}-worker fork pool, "
+        f"16 trials/unit",
+        f"  full campaign  : {scheduled_s:.2f}s "
+        f"({TRIALS / scheduled_s:.1f} trials/s), "
+        f"byte-identical to serial fold",
+        f"  early stopping : merged {stopped.health.merged_trials}/"
+        f"{TRIALS} trials ({trials_saved} saved) in {stopped_s:.2f}s "
+        f"at 5% Wilson margin",
     ]))
 
     baseline = {
@@ -106,6 +136,11 @@ def test_parallel_speedup(save_report):
         "pruned_trials_per_sec":
             round(pruned.injected_trials / pruned_s, 2),
         "pruned_sites_per_sec": round(pruned.raw_sites / pruned_s, 2),
+        "scheduler_trials_per_sec": round(TRIALS / scheduled_s, 2),
+        "scheduler_unit_trials": 16,
+        "early_stop_margin": 0.05,
+        "early_stop_merged_trials": stopped.health.merged_trials,
+        "early_stop_trials_saved": trials_saved,
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / "BENCH_trials_per_sec.json"

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 
 from ..faults.campaign import CampaignConfig, CampaignResult, FaultCampaign
 from ..faults.outcomes import FIGURE8_ORDER, Outcome
+from ..faults.scheduler import ScheduledCampaignResult, SchedulerConfig
 from ..utils.tables import render_table
 from ..workloads.kernels import Kernel, all_kernels
 
@@ -67,6 +68,67 @@ def run_fault_injection(kernels: Optional[Sequence[Kernel]] = None,
         ))
         result.campaigns.append(campaign.run(workers=workers))
     return result
+
+
+def run_fault_injection_scheduled(
+        kernels: Optional[Sequence[Kernel]] = None,
+        trials: int = 100,
+        seed: int = 2007,
+        observation_cycles: int = 60_000,
+        scheduler: Optional[SchedulerConfig] = None,
+) -> List[ScheduledCampaignResult]:
+    """Figure 8 via the leased work-unit scheduler.
+
+    Streams constant-memory aggregates instead of per-trial lists; with
+    ``scheduler.early_stop`` set, each kernel's campaign stops once its
+    ITR-detection proportion is statistically pinned down. Aggregates
+    over the merged trial prefix are byte-identical to a serial fold.
+    """
+    kernels = list(kernels) if kernels is not None else all_kernels()
+    results: List[ScheduledCampaignResult] = []
+    for kernel in kernels:
+        campaign = FaultCampaign(kernel, CampaignConfig(
+            trials=trials,
+            seed=seed,
+            observation_cycles=observation_cycles,
+        ))
+        results.append(campaign.run_scheduled(scheduler))
+    return results
+
+
+def render_figure8_scheduled(
+        results: Sequence[ScheduledCampaignResult]) -> str:
+    """Figure 8 from streaming aggregates, plus scheduler health."""
+    headers = (["benchmark"] + [o.value for o in FIGURE8_ORDER]
+               + ["ITR det%", "merged", "planned"])
+    rows: List[List] = []
+    for result in results:
+        aggregate = result.aggregate
+        row: List = [result.benchmark]
+        figure8 = aggregate.figure8_row()
+        row.extend(figure8[outcome.value] for outcome in FIGURE8_ORDER)
+        row.append(100.0 * aggregate.detected_fraction())
+        row.append(result.health.merged_trials)
+        row.append(result.trials_planned)
+        rows.append(row)
+    table = render_table(
+        headers, rows,
+        title="Figure 8 (scheduler mode): fault injection outcomes "
+              "(% of merged trials)",
+        float_digits=1,
+    )
+    health_rows = [[r.benchmark, r.health.dispatches, r.health.retries,
+                    r.health.hedges, r.health.expired_leases,
+                    r.health.worker_deaths, r.health.degraded_trials,
+                    "yes" if r.health.early_stopped else "no"]
+                   for r in results]
+    health = render_table(
+        ["benchmark", "dispatch", "retry", "hedge", "expired", "death",
+         "degraded", "early-stop"],
+        health_rows,
+        title="Scheduler health (per campaign)",
+    )
+    return table + "\n\n" + health
 
 
 def render_figure8(result: Figure8Result) -> str:

@@ -207,6 +207,71 @@ def run_recovery_soak(kernels: Optional[Sequence[Kernel]] = None,
     return result
 
 
+def run_recovery_soak_scheduled(kernels: Optional[Sequence[Kernel]] = None,
+                                trials: int = 10,
+                                seed: int = 2007,
+                                fault_rate: float = 1.0 / 3000.0,
+                                max_cycles: int = 400_000,
+                                pipeline: Optional[PipelineConfig] = None,
+                                scheduler=None) -> List:
+    """Soak campaigns through the leased work-unit scheduler.
+
+    Returns one :class:`~repro.faults.scheduler.ScheduledCampaignResult`
+    per kernel. Aggregates are byte-identical to a serial fold of the
+    same trial prefix; the directed rollback scenario (which is a single
+    deterministic run, not a campaign) is run separately by the caller
+    when the ``--check`` gate needs it.
+    """
+    pipeline = pipeline or PipelineConfig()
+    results = []
+    for kernel in (kernels if kernels is not None else all_kernels()):
+        config = SoakConfig(trials=trials, seed=seed, fault_rate=fault_rate,
+                            max_cycles=max_cycles, pipeline=pipeline)
+        campaign = SoakCampaign(kernel, config)
+        results.append(campaign.run_scheduled(scheduler))
+    return results
+
+
+def scheduled_soak_clean(results: Sequence) -> bool:
+    """CI gate over scheduled aggregates: zero silent corruptions and
+    zero harness crashes (degraded work units land as harness_error, so
+    graceful degradation still fails the gate — visibly, not by hanging).
+    """
+    return all(r.aggregate.outcomes.get("wrong_output", 0) == 0
+               and r.aggregate.harness_errors() == 0 for r in results)
+
+
+def render_recovery_soak_scheduled(results: Sequence) -> str:
+    """ASCII report for scheduler-mode soak campaigns."""
+    rows = []
+    for result in results:
+        aggregate = result.aggregate
+        counts = aggregate.outcomes
+        health = result.health
+        rows.append([
+            result.benchmark,
+            aggregate.trials,
+            counts.get("ok", 0),
+            counts.get("wrong_output", 0),
+            counts.get("aborted", 0),
+            counts.get("deadlock", 0) + counts.get("timeout", 0),
+            counts.get("harness_error", 0),
+            aggregate.strikes,
+            aggregate.detections,
+            health.retries,
+            health.hedges,
+            health.degraded_trials,
+            "yes" if health.early_stopped else "no",
+        ])
+    return render_table(
+        ["kernel", "trials", "ok", "wrong", "abort", "stall", "harness",
+         "strikes", "detect", "retry", "hedge", "degraded", "early-stop"],
+        rows,
+        title="Multi-fault soak (scheduler mode: leased work units, "
+              "streaming merges)",
+    )
+
+
 def render_recovery_soak(result: RecoverySoakResult) -> str:
     """ASCII report: directed scenario, per-kernel soak, cross-check."""
     directed = result.directed
@@ -259,6 +324,50 @@ def render_recovery_soak(result: RecoverySoakResult) -> str:
 # CLI
 # ----------------------------------------------------------------------
 
+def _main_scheduled(args, kernels: Optional[List[Kernel]]) -> int:
+    """``--backend`` path of the CLI: scheduler-mode soak campaigns."""
+    from ..faults.parallel import resolve_workers
+    from ..faults.scheduler import EarlyStopConfig, SchedulerConfig
+    kwargs: dict = {
+        "backend": args.backend,
+        "workers": resolve_workers(args.workers) or 2,
+    }
+    if args.lease_timeout is not None:
+        kwargs["lease_timeout_s"] = args.lease_timeout
+    if args.early_stop is not None:
+        kwargs["early_stop"] = EarlyStopConfig(margin=args.early_stop)
+    scheduler = SchedulerConfig(**kwargs)
+
+    directed = run_directed_rollback()
+    results = run_recovery_soak_scheduled(
+        kernels=kernels, trials=args.trials, seed=args.seed,
+        fault_rate=args.fault_rate, max_cycles=args.max_cycles,
+        scheduler=scheduler)
+    print(render_recovery_soak_scheduled(results))
+    clean = scheduled_soak_clean(results)
+    print(f"clean (no wrong_output / harness_error): {clean}")
+    print(f"directed rollback claim holds: {directed.holds}")
+
+    if args.out:
+        import pathlib
+        directory = pathlib.Path(args.out)
+        for result in results:
+            export.save_json(
+                result.to_dict(),
+                directory / f"soak_{result.benchmark}.scheduled.json")
+        export.save_json(
+            {"directed_holds": directed.holds,
+             "clean": clean,
+             "scheduler": results[0].scheduler_fingerprint
+             if results else {}},
+            directory / "soak_summary.scheduled.json")
+
+    if args.check and not (clean and directed.holds):
+        print("recovery-soak check FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code (``--check`` gate)."""
     parser = argparse.ArgumentParser(
@@ -282,6 +391,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="worker processes per campaign (an integer, "
                              "or 'auto' for one per CPU; default: serial). "
                              "Results are byte-identical to serial runs.")
+    parser.add_argument("--backend", type=str, default=None,
+                        choices=["fork", "socket", "inline"],
+                        help="run soak campaigns through the leased "
+                             "work-unit scheduler on this executor backend "
+                             "(default: the plain pool/serial path)")
+    parser.add_argument("--lease-timeout", type=float, default=None,
+                        dest="lease_timeout",
+                        help="scheduler lease timeout in seconds before a "
+                             "work unit is presumed lost and retried")
+    parser.add_argument("--early-stop", type=float, default=None,
+                        dest="early_stop",
+                        help="stop each campaign once the 95%% Wilson "
+                             "half-width of its ok-fraction drops below "
+                             "this margin (e.g. 0.02)")
     parser.add_argument("--check", action="store_true",
                         help="exit 1 on any wrong_output or harness_error "
                              "(CI gate)")
@@ -293,6 +416,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                    for name in args.kernels.split(",") if name.strip()]
     if args.resume and not args.out:
         parser.error("--resume requires --out")
+
+    if args.backend is not None:
+        return _main_scheduled(args, kernels)
 
     result = run_recovery_soak(
         kernels=kernels, trials=args.trials, seed=args.seed,

@@ -68,7 +68,34 @@ def _run_fig7(args) -> str:
     return coverage_sweep.render_sweep(result, kind="recovery")
 
 
+def _scheduler_from_args(args):
+    """Build a SchedulerConfig from --backend/--lease-timeout/--early-stop.
+
+    Returns None when --backend was not given, which keeps every
+    experiment on its existing serial/pool path by default.
+    """
+    backend = getattr(args, "backend", None)
+    if backend is None:
+        return None
+    from ..faults.parallel import resolve_workers
+    from ..faults.scheduler import EarlyStopConfig, SchedulerConfig
+    workers = resolve_workers(getattr(args, "workers", None)) or 2
+    kwargs: Dict[str, object] = {"backend": backend, "workers": workers}
+    lease = getattr(args, "lease_timeout", None)
+    if lease is not None:
+        kwargs["lease_timeout_s"] = lease
+    margin = getattr(args, "early_stop", None)
+    if margin is not None:
+        kwargs["early_stop"] = EarlyStopConfig(margin=margin)
+    return SchedulerConfig(**kwargs)  # type: ignore[arg-type]
+
+
 def _run_fig8(args) -> str:
+    scheduler = _scheduler_from_args(args)
+    if scheduler is not None:
+        results = fault_injection.run_fault_injection_scheduled(
+            trials=args.trials, seed=args.seed, scheduler=scheduler)
+        return fault_injection.render_figure8_scheduled(results)
     result = fault_injection.run_fault_injection(
         trials=args.trials, seed=args.seed,
         workers=getattr(args, "workers", None))
@@ -269,6 +296,20 @@ def main(argv: Optional[list] = None) -> int:
                              "(an integer, or 'auto' for one per CPU; "
                              "default: serial). Campaign results are "
                              "byte-identical at any worker count.")
+    parser.add_argument("--backend", type=str, default=None,
+                        choices=["fork", "socket", "inline"],
+                        help="run campaign experiments through the leased "
+                             "work-unit scheduler on this executor backend "
+                             "(default: the plain pool/serial path)")
+    parser.add_argument("--lease-timeout", type=float, default=None,
+                        dest="lease_timeout",
+                        help="scheduler lease timeout in seconds before a "
+                             "work unit is presumed lost and retried")
+    parser.add_argument("--early-stop", type=float, default=None,
+                        dest="early_stop",
+                        help="stop each campaign once the 95%% Wilson "
+                             "half-width of its headline proportion drops "
+                             "below this margin (e.g. 0.02)")
     parser.add_argument("--out", type=str, default=None,
                         help="also write each report to <out>/<exp>.txt")
     args = parser.parse_args(argv)

@@ -142,6 +142,25 @@ def build_scorecard(instructions: int = 150_000, trials: int = 15,
              f"{100 * prune_report.window_agreement:.0f}% window agree",
              pruning.clean)
 
+    import json
+
+    from ..faults.campaign import CampaignConfig, FaultCampaign
+    from ..faults.merge import FaultAggregate
+    from ..faults.scheduler import SchedulerConfig
+    sched_campaign = FaultCampaign(get_kernel("sum_loop"), CampaignConfig(
+        trials=max(8, trials), seed=seed, observation_cycles=50_000))
+    scheduled = sched_campaign.run_scheduled(
+        SchedulerConfig(backend="inline", workers=1, unit_trials=3))
+    serial_fold = FaultAggregate.fold(
+        "sum_loop", sched_campaign.run().trials)
+    identical = (json.dumps(scheduled.aggregate.to_dict(), sort_keys=True)
+                 == json.dumps(serial_fold.to_dict(), sort_keys=True))
+    card.add("sched", "leased scheduler reproduces serial campaign",
+             "byte-identical aggregates",
+             f"identical={identical}, "
+             f"ledger_balanced={scheduled.health.ledger_balanced()}",
+             identical and scheduled.health.ledger_balanced())
+
     from .absint_validation import run_absint_validation
     absint = run_absint_validation(
         kernels=[get_kernel("sum_loop")], seed=seed, window=4,

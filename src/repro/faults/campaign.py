@@ -22,9 +22,11 @@ limits are parameters.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import time
+import warnings
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterator, List, Optional
 
@@ -43,12 +45,22 @@ from .outcomes import FIGURE8_ORDER, Effect, Outcome, TrialResult, classify
 
 @dataclass
 class CampaignConfig:
-    """Knobs of one fault-injection campaign."""
+    """Knobs of one fault-injection campaign.
+
+    ``trial_timeout_s`` is a harness guard, not an experiment knob: a
+    pathological decode tamper cannot stall a worker past its wall-clock
+    budget — the trial is cut off between simulation chunks and reported
+    as ``harness_error`` with a ``timeout`` reason. Wall-clock is
+    machine-dependent, so the budget is excluded from
+    :meth:`fingerprint` (mirroring :class:`SoakConfig`); at the default
+    (generous) budget no healthy trial ever hits it.
+    """
 
     trials: int = 100
     seed: int = 2007                 # DSN 2007
     observation_cycles: int = 60_000  # window (paper: 1M cycles)
     verify_recovery: bool = False    # re-run with recovery on for R labels
+    trial_timeout_s: float = 120.0   # per-trial wall-clock budget
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
 
     def fingerprint(self) -> Dict[str, object]:
@@ -59,6 +71,13 @@ class CampaignConfig:
             "observation_cycles": self.observation_cycles,
             "verify_recovery": self.verify_recovery,
         }
+
+
+#: Cycles simulated between wall-clock deadline checks. Chunking is
+#: behaviour-neutral: ``pipeline.run(max_cycles=...)`` takes an absolute
+#: cycle bound and reports cumulative instruction counts, so a run split
+#: into chunks commits exactly the instructions of a single call.
+_TRIAL_CHUNK_CYCLES = 20_000
 
 
 class _LockstepComparator:
@@ -314,7 +333,36 @@ class FaultCampaign:
             commit_listener=comparator,
             initial_state=self._initial_state.cow_fork(),
         )
-        run = pipeline.run(max_cycles=config.observation_cycles)
+        deadline = time.monotonic() + config.trial_timeout_s
+        while True:
+            limit = min(config.observation_cycles,
+                        pipeline.cycle + _TRIAL_CHUNK_CYCLES)
+            run = pipeline.run(max_cycles=limit)
+            if run.reason != "max_cycles" \
+                    or limit >= config.observation_cycles:
+                break
+            if time.monotonic() >= deadline:
+                # Harness failure, not a fault verdict: report the trial
+                # as harness_error instead of stalling the campaign.
+                return TrialResult(
+                    benchmark=self.kernel.name,
+                    trial=trial_index,
+                    decode_index=spec.decode_index,
+                    bit=spec.bit,
+                    field=spec.field_name,
+                    outcome=Outcome.HARNESS_ERROR,
+                    detected_itr=False,
+                    itr_recoverable=False,
+                    spc_fired=False,
+                    effect=Effect.MASK,
+                    faulty_signature_resident=False,
+                    run_reason="timeout",
+                    instructions_committed=run.instructions,
+                    fault_pc=injector.fault_pc,
+                    error=(f"timeout: trial exceeded "
+                           f"{config.trial_timeout_s:g}s wall-clock "
+                           f"budget at cycle {pipeline.cycle}"),
+                )
 
         mismatches = pipeline.itr.events
         detected_itr = bool(mismatches)
@@ -481,17 +529,53 @@ class FaultCampaign:
             trials=trials,
         )
 
+    # -------------------------------------------------------- scheduler mode
+    def run_scheduled(self, scheduler=None, chaos=None):
+        """Run the campaign through the leased work-unit scheduler.
+
+        Trades the per-trial result list of :meth:`run` for
+        constant-memory streaming aggregates, lease-based retry/hedging
+        robustness and optional Wilson-interval early stopping. Returns
+        a :class:`~repro.faults.scheduler.ScheduledCampaignResult` whose
+        aggregate is byte-identical to folding the serial trials through
+        :class:`~repro.faults.merge.FaultAggregate`.
+        """
+        from .scheduler import run_scheduled_fault
+        return run_scheduled_fault(self, scheduler, chaos=chaos)
+
+    def run_pruned_scheduled(self, scheduler=None, slot_range=None,
+                             plan=None, chaos=None):
+        """Scheduler-mode counterpart of :meth:`run_pruned` (one
+        representative per equivalence class, class-weighted streaming
+        aggregates)."""
+        if plan is None:
+            plan = self.pruning_plan(slot_range)
+        from .scheduler import run_scheduled_pruned
+        return run_scheduled_pruned(self, plan, scheduler, chaos=chaos)
+
 
 # ======================================================================
 # Multi-fault soak campaigns (recovery subsystem stress testing)
 # ======================================================================
 
-#: Cycles simulated between wall-clock deadline checks.
-_SOAK_CHUNK_CYCLES = 20_000
+#: Cycles simulated between wall-clock deadline checks (see
+#: :data:`_TRIAL_CHUNK_CYCLES`; both engines chunk identically).
+_SOAK_CHUNK_CYCLES = _TRIAL_CHUNK_CYCLES
 
 #: Trial outcome labels (see :class:`SoakTrialResult.outcome`).
 SOAK_OUTCOMES = ("ok", "wrong_output", "aborted", "deadlock", "timeout",
                  "harness_error")
+
+
+def _partial_checksum(payload: Dict[str, object]) -> str:
+    """Trailing checksum over a partial's canonical JSON body.
+
+    Computed over the payload *without* its ``checksum`` key, serialized
+    exactly as :meth:`SoakCampaign._save_partial` writes it — so a
+    truncated or bit-flipped file can never verify.
+    """
+    body = json.dumps(payload, indent=2, sort_keys=True)
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
 
 def soak_trial_rng(seed: int, benchmark: str, trial: int):
@@ -777,6 +861,14 @@ class SoakCampaign:
             trials=[done[i] for i in range(config.trials)],
         )
 
+    # -------------------------------------------------------- scheduler mode
+    def run_scheduled(self, scheduler=None, chaos=None):
+        """Run the soak campaign through the leased work-unit scheduler
+        (constant-memory streaming aggregates; see
+        :meth:`FaultCampaign.run_scheduled`)."""
+        from .scheduler import run_scheduled_soak
+        return run_scheduled_soak(self, scheduler, chaos=chaos)
+
     # ------------------------------------------------------------ persistence
     def _save_partial(self, path: str,
                       done: Dict[int, SoakTrialResult]) -> None:
@@ -786,14 +878,42 @@ class SoakCampaign:
             "completed": {str(k): v.to_dict()
                           for k, v in sorted(done.items())},
         }
+        payload["checksum"] = _partial_checksum(payload)
         tmp = path + ".tmp"
         with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
         os.replace(tmp, path)  # atomic: a killed save never corrupts
 
     def _load_partial(self, path: str) -> Dict[int, SoakTrialResult]:
+        """Load a resumable partial, quarantining corruption.
+
+        The atomic-rename save keeps the happy path safe, but a partial
+        can still arrive truncated or corrupt (copied mid-write, bad
+        disk, hand-edited). Such a file is *quarantined* — renamed to
+        ``<path>.corrupt`` — and an empty completion map is returned so
+        the affected trials simply re-run; only a well-formed partial
+        from a *different campaign* still raises, because silently
+        discarding a healthy file would mask a user mixup.
+        """
         with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
+            text = handle.read()
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("not a JSON object")
+            stored = payload.pop("checksum", None)
+            if stored is None:
+                raise ValueError("missing trailing checksum")
+            if stored != _partial_checksum(payload):
+                raise ValueError("trailing checksum mismatch")
+        except ValueError as exc:  # JSONDecodeError is a ValueError
+            quarantine = path + ".corrupt"
+            os.replace(path, quarantine)
+            warnings.warn(
+                f"resume file {path} is corrupt ({exc}); quarantined to "
+                f"{quarantine}; affected trials will re-run",
+                RuntimeWarning, stacklevel=2)
+            return {}
         if payload.get("benchmark") != self.kernel.name \
                 or payload.get("config") != self.config.fingerprint():
             raise ValueError(

@@ -1,0 +1,327 @@
+"""Constant-memory mergeable campaign aggregates.
+
+The campaign scheduler (:mod:`repro.faults.scheduler`) streams *partial
+aggregates* back from its workers instead of per-trial result lists, so
+a million-trial campaign costs O(work units) parent memory instead of
+O(trials). That only works if folding trials into partials and merging
+partials is **provably equivalent to the full per-trial reduction** —
+which is what this module guarantees by construction:
+
+* every aggregate field is a commutative-monoid accumulation (sums,
+  counts, min, max) over per-trial values, so ``fold`` then ``merge``
+  in *any* tree shape equals one flat fold (the Hypothesis property in
+  ``tests/faults/test_merge.py`` pins this down);
+* :meth:`to_dict` emits only integers and strings (means and fractions
+  are derived by readers), so ``json.dumps(..., sort_keys=True)`` of a
+  scheduler-mode aggregate is **byte-identical** to the serial
+  campaign's trials folded flat — the equivalence contract the chaos
+  suite asserts under worker kills, stalls and corrupt payloads.
+
+Two aggregate shapes cover the three campaign kinds: single-fault and
+pruned campaigns fold :class:`~repro.faults.outcomes.TrialResult`
+(pruned mode with class weights), soak campaigns fold
+:class:`~repro.faults.campaign.SoakTrialResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Sequence, Tuple
+
+from .outcomes import FIGURE8_ORDER, Outcome, TrialResult
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard (campaign
+    # imports nothing from here at module scope, but keep it one-way)
+    from .campaign import SoakTrialResult
+
+
+@dataclass
+class ScalarStat:
+    """Mergeable count/total/min/max over one per-trial scalar.
+
+    Deliberately integer-only (the tracked scalars — instructions,
+    cycles, rollback distances — are integers), so merge order can never
+    perturb the serialized bytes through float rounding.
+    """
+
+    count: int = 0
+    total: int = 0
+    minimum: Optional[int] = None
+    maximum: Optional[int] = None
+
+    def record(self, value: int, weight: int = 1) -> None:
+        """Fold one observation (``weight`` copies of ``value``)."""
+        if weight <= 0:
+            return
+        self.count += weight
+        self.total += weight * value
+        self.minimum = value if self.minimum is None \
+            else min(self.minimum, value)
+        self.maximum = value if self.maximum is None \
+            else max(self.maximum, value)
+
+    def merge(self, other: "ScalarStat") -> None:
+        """Accumulate another partial into this one (commutative)."""
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None:
+            self.minimum = other.minimum if self.minimum is None \
+                else min(self.minimum, other.minimum)
+        if other.maximum is not None:
+            self.maximum = other.maximum if self.maximum is None \
+                else max(self.maximum, other.maximum)
+
+    @property
+    def mean(self) -> float:
+        """Derived mean (not serialized; readers recompute)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON form: integers only, fixed key set."""
+        return {"count": self.count, "total": self.total,
+                "min": self.minimum, "max": self.maximum}
+
+
+def _bump(counter: Dict[str, int], key: str, amount: int = 1) -> None:
+    counter[key] = counter.get(key, 0) + amount
+
+
+def _merge_counts(into: Dict[str, int], other: Dict[str, int]) -> None:
+    for key, amount in other.items():
+        _bump(into, key, amount)
+
+
+def _sorted_counts(counter: Dict[str, int]) -> Dict[str, int]:
+    return dict(sorted(counter.items()))
+
+
+@dataclass
+class FaultAggregate:
+    """Streaming aggregate over single-fault (or pruned) campaign trials.
+
+    ``weight`` on :meth:`record` supports pruned campaigns, where one
+    representative trial stands in for every fault site in its
+    equivalence class.
+    """
+
+    benchmark: str
+    trials: int = 0
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    effects: Dict[str, int] = field(default_factory=dict)
+    detected_itr: int = 0
+    itr_recoverable: int = 0
+    spc_fired: int = 0
+    resident: int = 0
+    #: Coverage counters: injected / ITR-detected per decode-signal field.
+    field_injected: Dict[str, int] = field(default_factory=dict)
+    field_detected: Dict[str, int] = field(default_factory=dict)
+    #: Latency counters over committed instructions per trial.
+    instructions: ScalarStat = field(default_factory=ScalarStat)
+
+    # ------------------------------------------------------------- folding
+    def record(self, trial: TrialResult, weight: int = 1) -> None:
+        """Fold one :class:`~repro.faults.outcomes.TrialResult`."""
+        self.trials += weight
+        _bump(self.outcomes, trial.outcome.value, weight)
+        _bump(self.effects, trial.effect.value, weight)
+        if trial.detected_itr:
+            self.detected_itr += weight
+        if trial.itr_recoverable:
+            self.itr_recoverable += weight
+        if trial.spc_fired:
+            self.spc_fired += weight
+        if trial.faulty_signature_resident:
+            self.resident += weight
+        _bump(self.field_injected, trial.field, weight)
+        if trial.detected_itr:
+            _bump(self.field_detected, trial.field, weight)
+        self.instructions.record(trial.instructions_committed, weight)
+
+    def record_degraded(self, count: int) -> None:
+        """Fold ``count`` trials the scheduler could not run to a verdict
+        (every dispatch attempt failed): graceful degradation lands them
+        as ``harness_error`` instead of aborting the campaign."""
+        if count <= 0:
+            return
+        self.trials += count
+        _bump(self.outcomes, Outcome.HARNESS_ERROR.value, count)
+
+    def merge(self, other: "FaultAggregate") -> None:
+        """Accumulate another partial (commutative + associative)."""
+        if other.benchmark != self.benchmark:
+            raise ValueError(
+                f"cannot merge aggregates of different campaigns "
+                f"({self.benchmark!r} vs {other.benchmark!r})")
+        self.trials += other.trials
+        _merge_counts(self.outcomes, other.outcomes)
+        _merge_counts(self.effects, other.effects)
+        self.detected_itr += other.detected_itr
+        self.itr_recoverable += other.itr_recoverable
+        self.spc_fired += other.spc_fired
+        self.resident += other.resident
+        _merge_counts(self.field_injected, other.field_injected)
+        _merge_counts(self.field_detected, other.field_detected)
+        self.instructions.merge(other.instructions)
+
+    @classmethod
+    def fold(cls, benchmark: str, trials: Iterable[TrialResult],
+             weights: Optional[Sequence[int]] = None) -> "FaultAggregate":
+        """Flat per-trial reduction — the equivalence reference."""
+        aggregate = cls(benchmark=benchmark)
+        if weights is None:
+            for trial in trials:
+                aggregate.record(trial)
+        else:
+            for trial, weight in zip(trials, weights):
+                aggregate.record(trial, weight)
+        return aggregate
+
+    # ------------------------------------------------------------- reading
+    def detected_fraction(self) -> float:
+        """The paper's headline: fraction of faults ITR detects."""
+        return self.detected_itr / self.trials if self.trials else 0.0
+
+    def harness_errors(self) -> int:
+        """Trials the harness failed to run to a verdict."""
+        return self.outcomes.get(Outcome.HARNESS_ERROR.value, 0)
+
+    def figure8_row(self) -> Dict[str, float]:
+        """Percentages per Figure 8 category, legend order (derived)."""
+        return {outcome.value:
+                (100.0 * self.outcomes.get(outcome.value, 0) / self.trials
+                 if self.trials else 0.0)
+                for outcome in FIGURE8_ORDER}
+
+    def stop_statistic(self) -> Tuple[int, int]:
+        """(successes, total) the early-stopping rule watches."""
+        return self.detected_itr, self.trials
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON form: integer counters only, sorted keys."""
+        return {
+            "benchmark": self.benchmark,
+            "trials": self.trials,
+            "outcomes": _sorted_counts(self.outcomes),
+            "effects": _sorted_counts(self.effects),
+            "detected_itr": self.detected_itr,
+            "itr_recoverable": self.itr_recoverable,
+            "spc_fired": self.spc_fired,
+            "resident": self.resident,
+            "field_injected": _sorted_counts(self.field_injected),
+            "field_detected": _sorted_counts(self.field_detected),
+            "instructions": self.instructions.to_dict(),
+        }
+
+
+@dataclass
+class SoakAggregate:
+    """Streaming aggregate over multi-fault soak campaign trials.
+
+    Mirrors :meth:`SoakCampaignResult.aggregate
+    <repro.faults.campaign.SoakCampaignResult.aggregate>`'s event sums,
+    but replaces the unbounded ``rollback_distances`` list with a
+    :class:`ScalarStat` so the partial stays constant-size no matter how
+    many trials (or rollbacks) a work unit covers.
+    """
+
+    benchmark: str
+    trials: int = 0
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    strikes: int = 0
+    detections: int = 0
+    retries: int = 0
+    recoveries: int = 0
+    machine_checks: int = 0
+    rollbacks: int = 0
+    watchdog_rollbacks: int = 0
+    checkpoints: int = 0
+    instructions: ScalarStat = field(default_factory=ScalarStat)
+    cycles: ScalarStat = field(default_factory=ScalarStat)
+    rollback_distance: ScalarStat = field(default_factory=ScalarStat)
+
+    # ------------------------------------------------------------- folding
+    def record(self, trial: "SoakTrialResult") -> None:
+        """Fold one :class:`~repro.faults.campaign.SoakTrialResult`."""
+        self.trials += 1
+        _bump(self.outcomes, trial.outcome)
+        self.strikes += trial.strikes
+        self.detections += trial.detections
+        self.retries += trial.retries
+        self.recoveries += trial.recoveries
+        self.machine_checks += trial.machine_checks
+        self.watchdog_rollbacks += trial.watchdog_rollbacks
+        self.rollbacks += trial.rollbacks
+        self.checkpoints += trial.checkpoints
+        self.instructions.record(trial.instructions)
+        self.cycles.record(trial.cycles)
+        for distance in trial.rollback_distances:
+            self.rollback_distance.record(distance)
+
+    def record_degraded(self, count: int) -> None:
+        """Fold ``count`` permanently-failed trials as ``harness_error``."""
+        if count <= 0:
+            return
+        self.trials += count
+        _bump(self.outcomes, "harness_error", count)
+
+    def merge(self, other: "SoakAggregate") -> None:
+        """Accumulate another partial (commutative + associative)."""
+        if other.benchmark != self.benchmark:
+            raise ValueError(
+                f"cannot merge aggregates of different campaigns "
+                f"({self.benchmark!r} vs {other.benchmark!r})")
+        self.trials += other.trials
+        _merge_counts(self.outcomes, other.outcomes)
+        self.strikes += other.strikes
+        self.detections += other.detections
+        self.retries += other.retries
+        self.recoveries += other.recoveries
+        self.machine_checks += other.machine_checks
+        self.rollbacks += other.rollbacks
+        self.watchdog_rollbacks += other.watchdog_rollbacks
+        self.checkpoints += other.checkpoints
+        self.instructions.merge(other.instructions)
+        self.cycles.merge(other.cycles)
+        self.rollback_distance.merge(other.rollback_distance)
+
+    @classmethod
+    def fold(cls, benchmark: str,
+             trials: Iterable["SoakTrialResult"]) -> "SoakAggregate":
+        """Flat per-trial reduction — the equivalence reference."""
+        aggregate = cls(benchmark=benchmark)
+        for trial in trials:
+            aggregate.record(trial)
+        return aggregate
+
+    # ------------------------------------------------------------- reading
+    def ok_fraction(self) -> float:
+        """Fraction of trials that reconverged with golden."""
+        return self.outcomes.get("ok", 0) / self.trials if self.trials \
+            else 0.0
+
+    def harness_errors(self) -> int:
+        """Trials the harness failed to run to a verdict."""
+        return self.outcomes.get("harness_error", 0)
+
+    def stop_statistic(self) -> Tuple[int, int]:
+        """(successes, total) the early-stopping rule watches."""
+        return self.outcomes.get("ok", 0), self.trials
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON form: integer counters only, sorted keys."""
+        return {
+            "benchmark": self.benchmark,
+            "trials": self.trials,
+            "outcomes": _sorted_counts(self.outcomes),
+            "strikes": self.strikes,
+            "detections": self.detections,
+            "retries": self.retries,
+            "recoveries": self.recoveries,
+            "machine_checks": self.machine_checks,
+            "rollbacks": self.rollbacks,
+            "watchdog_rollbacks": self.watchdog_rollbacks,
+            "checkpoints": self.checkpoints,
+            "instructions": self.instructions.to_dict(),
+            "cycles": self.cycles.to_dict(),
+            "rollback_distance": self.rollback_distance.to_dict(),
+        }

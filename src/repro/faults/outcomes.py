@@ -27,6 +27,13 @@ Undet+wdog         undetected by ITR; the watchdog caught a deadlock
 Undet+SDC          undetected, silent data corruption
 Undet+Mask         undetected, architecturally masked
 =================  ====================================================
+
+One extra label sits outside the paper's taxonomy: ``harness_error``
+marks a trial the *harness* failed to run to a verdict — the worker
+exceeded its wall-clock budget or crashed — mirroring the soak
+campaign's label of the same name. It never appears in Figure 8 rows
+(:data:`FIGURE8_ORDER` excludes it) and :func:`classify` never returns
+it; only the campaign engines' budget/degradation paths produce it.
 """
 
 from __future__ import annotations
@@ -67,6 +74,9 @@ class Outcome(enum.Enum):
     UNDET_WDOG = "Undet+wdog"
     UNDET_SDC = "Undet+SDC"
     UNDET_MASK = "Undet+Mask"
+    #: Harness failure, not a fault verdict: the trial blew its
+    #: wall-clock budget or its worker died past the retry budget.
+    HARNESS_ERROR = "harness_error"
 
 
 #: Plot/report order matching the paper's Figure 8 legend.
@@ -139,6 +149,8 @@ class TrialResult:
     recovery_verified: Optional[bool] = None
     fault_pc: Optional[int] = None  # PC of the tampered instruction
                                     # (None when the fault never fired)
+    error: Optional[str] = None     # harness_error diagnostic (e.g. the
+                                    # exceeded wall-clock budget)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable form (enums as their string values).

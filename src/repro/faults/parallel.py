@@ -114,15 +114,33 @@ def shard_round_robin(items: Sequence[T], shards: int) -> List[List[T]]:
 # Initializers run once per worker process and cache the campaign
 # context in a module global; task functions only ship the per-trial
 # payload (a trial index, plus the fault spec for single-fault trials).
+# The same builders warm-start the scheduler's work-unit runners
+# (:mod:`repro.faults.scheduler`), so both engines share a single
+# definition of "a worker's campaign context".
 
 _FAULT_CONTEXT = None
 _SOAK_CONTEXT = None
 
 
-def _fault_worker_init(kernel, config, decode_count: int) -> None:
+def build_fault_context(kernel, config, decode_count: int):
+    """Build one worker's warm single-fault campaign context.
+
+    ``decode_count`` ships from the parent so the worker skips the
+    fault-free reference run entirely.
+    """
     from .campaign import FaultCampaign
+    return FaultCampaign(kernel, config, decode_count=decode_count)
+
+
+def build_soak_context(kernel, config):
+    """Build one worker's warm soak campaign context."""
+    from .campaign import SoakCampaign
+    return SoakCampaign(kernel, config)
+
+
+def _fault_worker_init(kernel, config, decode_count: int) -> None:
     global _FAULT_CONTEXT
-    _FAULT_CONTEXT = FaultCampaign(kernel, config, decode_count=decode_count)
+    _FAULT_CONTEXT = build_fault_context(kernel, config, decode_count)
 
 
 def _fault_worker_trial(index: int, spec: FaultSpec) -> TrialResult:
@@ -130,9 +148,8 @@ def _fault_worker_trial(index: int, spec: FaultSpec) -> TrialResult:
 
 
 def _soak_worker_init(kernel, config) -> None:
-    from .campaign import SoakCampaign
     global _SOAK_CONTEXT
-    _SOAK_CONTEXT = SoakCampaign(kernel, config)
+    _SOAK_CONTEXT = build_soak_context(kernel, config)
 
 
 def _soak_worker_trial(trial: int):

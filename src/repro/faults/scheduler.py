@@ -1,0 +1,1451 @@
+"""Fault-tolerant leased work-unit campaign scheduler.
+
+Grows the fork-pool engine (:mod:`repro.faults.parallel`) into a
+fleet-shaped scheduler: the trial population is sharded into fixed
+:class:`WorkUnit` blocks, each dispatched under a *lease* (deadline +
+heartbeat) over a pluggable :class:`ExecutorBackend`. The scheduler
+then survives the failure modes a long campaign actually meets:
+
+* **expired leases** (dead or stalled workers) are retried with
+  deterministic exponential backoff and jitter, up to a budget;
+* **stragglers** past a latency percentile are *hedged* — dispatched a
+  second time, first completion wins. Because a trial is a pure
+  function of its identity, every completion of a unit carries the
+  *same* aggregate, so the winner's identity cannot perturb results;
+* **permanently failing units** degrade gracefully into
+  ``harness_error`` trials with full accounting in the campaign-level
+  :class:`SchedulerHealth` report, instead of aborting the run;
+* workers stream constant-memory partial aggregates
+  (:mod:`repro.faults.merge`) instead of per-trial result lists, and
+  the scheduler merges them **in unit order at a frontier**, so the
+  running aggregate is always the fold of an exact trial prefix — which
+  makes Wilson-interval early stopping deterministic and keeps the
+  final aggregate byte-identical to a serial fold.
+
+Determinism contract: for a fixed campaign, the final aggregate's
+``json.dumps(..., sort_keys=True)`` bytes equal the serial per-trial
+fold — for any backend, worker count, retry/hedge schedule, or chaos
+injection that does not exhaust a unit's retry budget. The chaos suite
+(``tests/faults/test_scheduler_chaos.py``) pins this down under worker
+kills, stalls, duplicate completions, and corrupt/truncated payloads.
+
+Three backends share one event vocabulary (``result`` / ``corrupt`` /
+``error`` / ``death`` / ``heartbeat``):
+
+``socket``
+    The full reference implementation: one forked process per slot,
+    speaking length-prefixed pickled frames over a ``socketpair``, with
+    sha256-checksummed result payloads (detects corruption/truncation
+    in flight), in-band heartbeats, and replacement spawning when a
+    worker dies or its lease is released.
+``fork``
+    The existing :class:`~concurrent.futures.ProcessPoolExecutor` fork
+    pool behind the lease/retry/hedge layer; a broken pool maps to
+    ``death`` events and a rebuilt pool.
+``inline``
+    Synchronous in-process execution with *simulated* chaos (a ``kill``
+    becomes a ``death`` event, a ``stall`` simply never completes), for
+    fast deterministic tests of the scheduling policy itself.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import heapq
+import os
+import pickle
+import queue
+import select
+import signal
+import socket
+import struct
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from ..utils.rng import stream_uniform
+from ..utils.stats import percentile, wilson_halfwidth
+from .injector import FaultSpec
+from .merge import FaultAggregate, SoakAggregate
+from .parallel import _mp_context, build_fault_context, build_soak_context
+
+Aggregate = Union[FaultAggregate, SoakAggregate]
+HeartbeatFn = Optional[Callable[[], None]]
+
+
+class SchedulerStalled(RuntimeError):
+    """The campaign exceeded its absolute no-progress guard."""
+
+
+# ======================================================================
+# Work units
+# ======================================================================
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """A contiguous block of trial indices leased as one piece of work."""
+
+    unit_id: int
+    indices: Tuple[int, ...]
+
+    @property
+    def trials(self) -> int:
+        return len(self.indices)
+
+
+def shard_units(total_trials: int, unit_trials: int) -> List[WorkUnit]:
+    """Contiguous fixed-size decomposition of a trial population.
+
+    Contiguity matters: the scheduler merges completed units in
+    ``unit_id`` order, so the running aggregate is always the fold of
+    the trial prefix ``[0, merged_trials)`` — the property that makes
+    early stopping deterministic.
+    """
+    if unit_trials < 1:
+        raise ValueError(f"unit_trials must be >= 1, got {unit_trials}")
+    units: List[WorkUnit] = []
+    for start in range(0, total_trials, unit_trials):
+        stop = min(start + unit_trials, total_trials)
+        units.append(WorkUnit(unit_id=len(units),
+                              indices=tuple(range(start, stop))))
+    return units
+
+
+# ======================================================================
+# Chaos injection
+# ======================================================================
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One scheduled fault of the *harness* (not of the simulated CPU).
+
+    ``kind`` is one of:
+
+    ``kill``       worker SIGKILLs itself before running the unit
+    ``stall``      worker SIGSTOPs itself (a hard stall past the lease)
+    ``sleep``      worker sleeps ``seconds`` before running (silent
+                   stall: the lease may expire, the late result still
+                   arrives and must not double-count)
+    ``error``      worker reports a harness error instead of running
+    ``corrupt``    result payload is bit-flipped in flight (checksum
+                   mismatch at the parent)
+    ``truncate``   result frame is cut short and the worker dies
+    ``duplicate``  result frame is delivered twice
+    """
+
+    kind: str
+    seconds: float = 0.0
+
+
+_CHAOS_KINDS = ("kill", "stall", "sleep", "error", "corrupt", "truncate",
+                "duplicate")
+
+
+@dataclass
+class ChaosPlan:
+    """Chaos schedule keyed by ``(unit_id, attempt_no)``.
+
+    Keying by attempt ordinal makes schedules precise: chaos on attempt
+    0 with a retry budget of 2 *must* still produce byte-identical
+    aggregates; chaos on every attempt of a unit *must* degrade it.
+    """
+
+    actions: Dict[Tuple[int, int], ChaosAction] = field(
+        default_factory=dict)
+
+    def add(self, unit_id: int, attempt_no: int, kind: str,
+            seconds: float = 0.0) -> None:
+        """Schedule one fault against a specific (unit, attempt)."""
+        if kind not in _CHAOS_KINDS:
+            raise ValueError(f"unknown chaos kind {kind!r}")
+        self.actions[(unit_id, attempt_no)] = ChaosAction(kind, seconds)
+
+    def action(self, unit_id: int, attempt_no: int) -> Optional[ChaosAction]:
+        """The fault planned for this (unit, attempt), if any."""
+        return self.actions.get((unit_id, attempt_no))
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+# ======================================================================
+# Configuration
+# ======================================================================
+
+@dataclass
+class EarlyStopConfig:
+    """Wilson-interval statistical early stopping.
+
+    The campaign stops dispatching once the Wilson score interval of
+    the tracked outcome proportion (ITR-detection fraction for fault
+    campaigns, ``ok`` fraction for soak) has half-width <= ``margin``.
+    Because the scheduler merges at a unit-order frontier, the decision
+    is a pure function of the trial prefix — independent of worker
+    count, completion order, or chaos.
+    """
+
+    margin: float = 0.02
+    z: float = 1.96                 # 95% confidence
+    min_trials: int = 50            # never stop on a sliver of evidence
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Result-relevant identity (recorded in JSON exports)."""
+        return {"margin": self.margin, "z": self.z,
+                "min_trials": self.min_trials}
+
+
+@dataclass
+class SchedulerConfig:
+    """Knobs of the leased work-unit scheduler.
+
+    Only ``unit_trials`` and ``early_stop`` can change *which* trials
+    contribute to the final aggregate (via the early-stop prefix);
+    everything else — backend, workers, lease/retry/hedge policy —
+    affects wall-clock behaviour only, never results.
+    """
+
+    workers: int = 2
+    backend: str = "fork"            # fork | socket | inline
+    unit_trials: int = 8             # trials per work unit
+    lease_timeout_s: float = 30.0    # heartbeat-refreshed lease deadline
+    heartbeat_interval_s: float = 0.5
+    max_attempts: int = 3            # failed attempts before degradation
+    backoff_base_s: float = 0.05     # retry backoff: base * factor**k
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+    hedge_quantile: float = 0.95     # hedge past this completion quantile
+    hedge_factor: float = 2.0        # ... scaled by this factor
+    hedge_min_completions: int = 10  # observations before hedging starts
+    hedge_min_latency_s: float = 1.0  # never hedge faster than this
+    max_hedges: int = 8              # speculation budget per campaign
+    early_stop: Optional[EarlyStopConfig] = None
+    poll_interval_s: float = 0.05    # backend poll granularity
+    campaign_timeout_s: float = 600.0  # absolute no-hang guard
+    seed: int = 2007                 # jitter stream seed
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Result-relevant identity (recorded in JSON exports)."""
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "unit_trials": self.unit_trials,
+            "early_stop": (self.early_stop.fingerprint()
+                           if self.early_stop is not None else None),
+        }
+
+
+# ======================================================================
+# Health report
+# ======================================================================
+
+@dataclass
+class SchedulerHealth:
+    """Campaign-level accounting of every retry, hedge and degradation.
+
+    Ledger identity (asserted by the chaos suite): every dispatch
+    reaches exactly one terminal state, so
+
+        ``dispatches == accepted + superseded + failed + cancelled``.
+
+    ``expired_leases`` / ``corrupt_payloads`` / ``worker_deaths`` /
+    ``worker_errors`` classify *incidents* (an expired attempt is a
+    "zombie": not yet terminal, because its late result may still
+    arrive and win); ``late_results`` / ``duplicate_results`` count
+    deliveries the dedupe layer had to absorb.
+    """
+
+    units: int = 0
+    trials_planned: int = 0
+    dispatches: int = 0
+    retries: int = 0
+    hedges: int = 0
+    accepted: int = 0
+    superseded: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    expired_leases: int = 0
+    corrupt_payloads: int = 0
+    worker_deaths: int = 0
+    worker_errors: int = 0
+    late_results: int = 0
+    duplicate_results: int = 0
+    degraded_units: int = 0
+    degraded_trials: int = 0
+    merged_units: int = 0
+    merged_trials: int = 0
+    early_stopped: bool = False
+
+    def ledger_balanced(self) -> bool:
+        """Every dispatch accounted for exactly once."""
+        return self.dispatches == (self.accepted + self.superseded
+                                   + self.failed + self.cancelled)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable health ledger."""
+        return {
+            "units": self.units,
+            "trials_planned": self.trials_planned,
+            "dispatches": self.dispatches,
+            "retries": self.retries,
+            "hedges": self.hedges,
+            "accepted": self.accepted,
+            "superseded": self.superseded,
+            "failed": self.failed,
+            "cancelled": self.cancelled,
+            "expired_leases": self.expired_leases,
+            "corrupt_payloads": self.corrupt_payloads,
+            "worker_deaths": self.worker_deaths,
+            "worker_errors": self.worker_errors,
+            "late_results": self.late_results,
+            "duplicate_results": self.duplicate_results,
+            "degraded_units": self.degraded_units,
+            "degraded_trials": self.degraded_trials,
+            "merged_units": self.merged_units,
+            "merged_trials": self.merged_trials,
+            "early_stopped": self.early_stopped,
+        }
+
+
+# ======================================================================
+# Unit runners (worker-side)
+# ======================================================================
+
+class FaultUnitRunner:
+    """Runs blocks of single-fault (or pruned) trials into an aggregate.
+
+    Picklable (ships to pool workers) and fork-inheritable; the warm
+    campaign context is built lazily on first use, once per process,
+    via the same builder the fork-pool engine uses.
+    """
+
+    def __init__(self, benchmark: str, kernel: Any, config: Any,
+                 decode_count: int, specs: Sequence[FaultSpec],
+                 weights: Optional[Sequence[int]] = None):
+        self.kind = "pruned" if weights is not None else "fault"
+        self.benchmark = benchmark
+        self._kernel = kernel
+        self._config = config
+        self._decode_count = decode_count
+        self._specs = list(specs)
+        self._weights = list(weights) if weights is not None else None
+        self._context: Optional[Any] = None
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state["_context"] = None      # contexts never cross processes
+        return state
+
+    def _campaign(self) -> Any:
+        if self._context is None:
+            self._context = build_fault_context(
+                self._kernel, self._config, self._decode_count)
+        return self._context
+
+    def empty(self) -> FaultAggregate:
+        """A zero-trial aggregate (the merge identity)."""
+        return FaultAggregate(benchmark=self.benchmark)
+
+    def run_unit(self, indices: Sequence[int],
+                 heartbeat: HeartbeatFn = None) -> FaultAggregate:
+        """Run the unit's trials and fold them into one aggregate."""
+        campaign = self._campaign()
+        aggregate = self.empty()
+        for index in indices:
+            trial = campaign.run_trial(index, self._specs[index])
+            weight = 1 if self._weights is None else self._weights[index]
+            aggregate.record(trial, weight)
+            if heartbeat is not None:
+                heartbeat()
+        return aggregate
+
+    def degraded(self, indices: Sequence[int]) -> FaultAggregate:
+        """The unit's graceful-degradation aggregate (all harness_error,
+        class-weighted in pruned mode to keep population totals exact)."""
+        aggregate = self.empty()
+        if self._weights is None:
+            aggregate.record_degraded(len(indices))
+        else:
+            aggregate.record_degraded(
+                sum(self._weights[index] for index in indices))
+        return aggregate
+
+
+class SoakUnitRunner:
+    """Runs blocks of soak trials (with in-worker crash isolation)."""
+
+    kind = "soak"
+
+    def __init__(self, benchmark: str, kernel: Any, config: Any):
+        self.benchmark = benchmark
+        self._kernel = kernel
+        self._config = config
+        self._context: Optional[Any] = None
+
+    def __getstate__(self) -> Dict[str, object]:
+        state = dict(self.__dict__)
+        state["_context"] = None
+        return state
+
+    def _campaign(self) -> Any:
+        if self._context is None:
+            self._context = build_soak_context(self._kernel, self._config)
+        return self._context
+
+    def empty(self) -> SoakAggregate:
+        """A zero-trial aggregate (the merge identity)."""
+        return SoakAggregate(benchmark=self.benchmark)
+
+    def run_unit(self, indices: Sequence[int],
+                 heartbeat: HeartbeatFn = None) -> SoakAggregate:
+        """Run the unit's trials and fold them into one aggregate."""
+        campaign = self._campaign()
+        aggregate = self.empty()
+        for trial in indices:
+            aggregate.record(campaign._isolated_trial(trial))
+            if heartbeat is not None:
+                heartbeat()
+        return aggregate
+
+    def degraded(self, indices: Sequence[int]) -> SoakAggregate:
+        """The unit's graceful-degradation (all-harness_error) fold."""
+        aggregate = self.empty()
+        aggregate.record_degraded(len(indices))
+        return aggregate
+
+
+UnitRunner = Union[FaultUnitRunner, SoakUnitRunner]
+
+
+# ======================================================================
+# Backend event vocabulary
+# ======================================================================
+
+@dataclass(frozen=True)
+class BackendEvent:
+    """One observation from an executor backend.
+
+    ``kind`` is ``result`` (payload = the unit's aggregate), ``corrupt``
+    (payload failed its checksum), ``error`` (worker-reported harness
+    error; payload = message), ``death`` (the worker running
+    ``attempt_id`` died), or ``heartbeat`` (lease refresh).
+    """
+
+    kind: str
+    attempt_id: int
+    payload: Any = None
+
+
+class ExecutorBackend:
+    """Minimal lease-oblivious execution surface the scheduler drives.
+
+    Backends only run attempts and report events; leases, retries,
+    hedging and dedupe all live in :class:`CampaignScheduler`, so every
+    backend gets the same robustness policy for free.
+    """
+
+    def start(self) -> None:
+        """Bring up worker capacity."""
+        raise NotImplementedError
+
+    def free_slots(self) -> int:
+        """How many attempts can be dispatched right now."""
+        raise NotImplementedError
+
+    def dispatch(self, attempt_id: int, unit: WorkUnit,
+                 attempt_no: int) -> None:
+        """Hand one attempt of one unit to a free worker slot."""
+        raise NotImplementedError
+
+    def release(self, attempt_id: int) -> None:
+        """The scheduler expired this attempt's lease: restore capacity.
+
+        Best-effort — the attempt's late result may still be delivered
+        (and is deduped upstream).
+        """
+        raise NotImplementedError
+
+    def poll(self, timeout: float) -> List[BackendEvent]:
+        """Drain completion/heartbeat/death events, waiting <= timeout."""
+        raise NotImplementedError
+
+    def stop(self) -> None:
+        """Tear down all workers (must succeed even mid-chaos)."""
+        raise NotImplementedError
+
+
+# ======================================================================
+# Inline backend (synchronous; simulated chaos)
+# ======================================================================
+
+class InlineBackend(ExecutorBackend):
+    """Runs units synchronously in-process.
+
+    Chaos is *simulated* at the event layer (``kill`` -> ``death``
+    event, ``stall`` -> no completion so the lease expires, ``corrupt``
+    / ``truncate`` -> ``corrupt`` event, ``duplicate`` -> two results),
+    which exercises every scheduler policy path without real processes
+    — the fast deterministic substrate for policy tests.
+    """
+
+    def __init__(self, runner: UnitRunner,
+                 chaos: Optional[ChaosPlan] = None):
+        self._runner = runner
+        self._chaos = chaos
+        self._events: Deque[BackendEvent] = deque()
+
+    def start(self) -> None:
+        """Nothing to bring up: work runs in the calling process."""
+        pass
+
+    def free_slots(self) -> int:
+        """One synchronous slot."""
+        return 1
+
+    def dispatch(self, attempt_id: int, unit: WorkUnit,
+                 attempt_no: int) -> None:
+        """Run the attempt synchronously, simulating planned chaos."""
+        action = (self._chaos.action(unit.unit_id, attempt_no)
+                  if self._chaos is not None else None)
+        if action is not None:
+            if action.kind == "kill":
+                self._events.append(BackendEvent("death", attempt_id))
+                return
+            if action.kind == "stall":
+                return                # never completes; lease expires
+            if action.kind == "error":
+                self._events.append(BackendEvent(
+                    "error", attempt_id, "chaos: injected worker error"))
+                return
+            if action.kind == "sleep":
+                time.sleep(action.seconds)
+        try:
+            payload = self._runner.run_unit(unit.indices)
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            self._events.append(BackendEvent(
+                "error", attempt_id, f"{type(exc).__name__}: {exc}"))
+            return
+        if action is not None and action.kind in ("corrupt", "truncate"):
+            self._events.append(BackendEvent("corrupt", attempt_id))
+            return
+        self._events.append(BackendEvent("result", attempt_id, payload))
+        if action is not None and action.kind == "duplicate":
+            self._events.append(BackendEvent("result", attempt_id, payload))
+
+    def release(self, attempt_id: int) -> None:
+        pass
+
+    def poll(self, timeout: float) -> List[BackendEvent]:
+        """Drain events queued by the last dispatch."""
+        if self._events:
+            events = list(self._events)
+            self._events.clear()
+            return events
+        time.sleep(min(timeout, 0.01))
+        return []
+
+    def stop(self) -> None:
+        """Nothing to tear down."""
+        pass
+
+
+# ======================================================================
+# Fork-pool backend (ProcessPoolExecutor behind the lease layer)
+# ======================================================================
+
+_POOL_RUNNER: Any = None
+_POOL_CHAOS: Optional[ChaosPlan] = None
+
+
+def _pool_backend_init(runner: UnitRunner,
+                       chaos: Optional[ChaosPlan]) -> None:
+    global _POOL_RUNNER, _POOL_CHAOS
+    _POOL_RUNNER = runner
+    _POOL_CHAOS = chaos
+
+
+def _pool_run_unit(unit_id: int, attempt_no: int,
+                   indices: Tuple[int, ...]) -> Any:
+    action = (_POOL_CHAOS.action(unit_id, attempt_no)
+              if _POOL_CHAOS is not None else None)
+    if action is not None:
+        if action.kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif action.kind == "stall":
+            os.kill(os.getpid(), signal.SIGSTOP)
+        elif action.kind == "sleep":
+            time.sleep(action.seconds)
+        elif action.kind == "error":
+            raise RuntimeError("chaos: injected worker error")
+    return _POOL_RUNNER.run_unit(indices)
+
+
+class ForkPoolBackend(ExecutorBackend):
+    """The PR 4 fork pool driven through the scheduler's event loop.
+
+    ``release`` is bookkeeping-only (a pool worker cannot be preempted);
+    oversubscription after a lease expiry simply queues behind healthy
+    workers. A broken pool (dead worker) surfaces every in-flight
+    attempt as a ``death`` event and the pool is rebuilt. Frame-level
+    chaos kinds (corrupt/truncate/duplicate) do not exist at this layer
+    and run normally.
+    """
+
+    def __init__(self, runner: UnitRunner, workers: int,
+                 chaos: Optional[ChaosPlan] = None):
+        self._runner = runner
+        self._target = max(1, workers)
+        self._chaos = chaos
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._queue: "queue.Queue[Tuple[int, Any]]" = queue.Queue()
+        self._futures: Dict[int, Any] = {}
+        self._released: Set[int] = set()
+        self._stopping = False
+
+    def _make_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self._target,
+            mp_context=_mp_context(),
+            initializer=_pool_backend_init,
+            initargs=(self._runner, self._chaos),
+        )
+
+    def start(self) -> None:
+        """Build the process pool."""
+        self._pool = self._make_pool()
+
+    def free_slots(self) -> int:
+        """Pool capacity minus attempts still holding a slot."""
+        active = sum(1 for attempt_id in self._futures
+                     if attempt_id not in self._released)
+        return self._target - active
+
+    def _rebuild(self) -> None:
+        if self._stopping or self._pool is None:
+            return
+        self._kill_pool_processes()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = self._make_pool()
+
+    def _kill_pool_processes(self) -> None:
+        # A SIGSTOPped worker never exits on its own and would hang the
+        # interpreter's exit join; SIGKILL (delivered even to stopped
+        # processes) is the only safe teardown.
+        processes = getattr(self._pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:  # noqa: BLE001 — already dead is fine
+                pass
+
+    def dispatch(self, attempt_id: int, unit: WorkUnit,
+                 attempt_no: int) -> None:
+        """Submit the attempt to the pool (rebuilding it if broken)."""
+        assert self._pool is not None
+        try:
+            future = self._pool.submit(
+                _pool_run_unit, unit.unit_id, attempt_no, unit.indices)
+        except BrokenProcessPool:
+            self._rebuild()
+            assert self._pool is not None
+            future = self._pool.submit(
+                _pool_run_unit, unit.unit_id, attempt_no, unit.indices)
+        self._futures[attempt_id] = future
+        future.add_done_callback(
+            lambda done, attempt=attempt_id:
+            self._queue.put((attempt, done)))
+
+    def release(self, attempt_id: int) -> None:
+        self._released.add(attempt_id)
+
+    def poll(self, timeout: float) -> List[BackendEvent]:
+        """Translate finished futures into backend events."""
+        items: List[Tuple[int, Any]] = []
+        try:
+            items.append(self._queue.get(timeout=timeout))
+        except queue.Empty:
+            return []
+        while True:
+            try:
+                items.append(self._queue.get_nowait())
+            except queue.Empty:
+                break
+        events: List[BackendEvent] = []
+        rebuild = False
+        for attempt_id, future in items:
+            self._futures.pop(attempt_id, None)
+            self._released.discard(attempt_id)
+            if future.cancelled():
+                continue
+            exc = future.exception()
+            if exc is None:
+                events.append(BackendEvent(
+                    "result", attempt_id, future.result()))
+            elif isinstance(exc, BrokenProcessPool):
+                events.append(BackendEvent("death", attempt_id))
+                rebuild = True
+            else:
+                events.append(BackendEvent(
+                    "error", attempt_id,
+                    f"{type(exc).__name__}: {exc}"))
+        if rebuild:
+            self._rebuild()
+        return events
+
+    def stop(self) -> None:
+        """SIGKILL pool processes (stalled ones never exit) and shut down."""
+        self._stopping = True
+        if self._pool is not None:
+            self._kill_pool_processes()
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+
+# ======================================================================
+# Socket worker backend (reference implementation)
+# ======================================================================
+
+_FRAME_HEADER = struct.Struct("!I")
+
+
+def _encode_frame(message: object) -> bytes:
+    body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return _FRAME_HEADER.pack(len(body)) + body
+
+
+def _send_frame(sock: socket.socket, message: object) -> None:
+    sock.sendall(_encode_frame(message))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks = b""
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            return None
+        chunks += chunk
+    return chunks
+
+
+def _recv_frame(sock: socket.socket) -> Optional[Any]:
+    header = _recv_exact(sock, _FRAME_HEADER.size)
+    if header is None:
+        return None
+    (length,) = _FRAME_HEADER.unpack(header)
+    body = _recv_exact(sock, length)
+    if body is None:
+        return None
+    return pickle.loads(body)
+
+
+def _socket_worker_main(sock: socket.socket, runner: UnitRunner,
+                        chaos: Optional[ChaosPlan],
+                        heartbeat_interval_s: float) -> None:
+    """Socket worker loop: run units, stream heartbeats and results.
+
+    Runs in a forked child. Result payloads carry a sha256 digest so
+    the parent detects in-flight corruption; chaos actions are applied
+    *here*, worker-side, exactly where real faults would strike.
+    """
+    while True:
+        try:
+            message = _recv_frame(sock)
+        except OSError:
+            return
+        if message is None or message[0] == "exit":
+            return
+        _, attempt_id, unit_id, attempt_no, indices = message
+        action = (chaos.action(unit_id, attempt_no)
+                  if chaos is not None else None)
+        if action is not None:
+            if action.kind == "kill":
+                os.kill(os.getpid(), signal.SIGKILL)
+            elif action.kind == "stall":
+                os.kill(os.getpid(), signal.SIGSTOP)
+            elif action.kind == "sleep":
+                time.sleep(action.seconds)
+            elif action.kind == "error":
+                _send_frame(sock, ("error", attempt_id,
+                                   "chaos: injected worker error"))
+                continue
+
+        last_beat = [time.monotonic()]
+
+        def beat() -> None:
+            now = time.monotonic()
+            if now - last_beat[0] >= heartbeat_interval_s:
+                last_beat[0] = now
+                try:
+                    _send_frame(sock, ("heartbeat", attempt_id))
+                except OSError:
+                    pass
+
+        try:
+            aggregate = runner.run_unit(indices, heartbeat=beat)
+        except Exception as exc:  # noqa: BLE001 — worker never dies on
+            # a trial exception; it reports and lives on
+            _send_frame(sock, ("error", attempt_id,
+                               f"{type(exc).__name__}: {exc}"))
+            continue
+        blob = pickle.dumps(aggregate, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(blob).hexdigest()
+        if action is not None and action.kind == "corrupt":
+            blob = bytes([blob[0] ^ 0xFF]) + blob[1:]  # digest now stale
+        if action is not None and action.kind == "truncate":
+            raw = _encode_frame(("result", attempt_id, blob, digest))
+            sock.sendall(raw[:max(1, len(raw) // 2)])
+            os._exit(1)
+        _send_frame(sock, ("result", attempt_id, blob, digest))
+        if action is not None and action.kind == "duplicate":
+            _send_frame(sock, ("result", attempt_id, blob, digest))
+
+
+class _SocketWorker:
+    """Parent-side bookkeeping for one socket worker process."""
+
+    __slots__ = ("proc", "sock", "buffer", "attempt_id", "retired")
+
+    def __init__(self, proc: Any, sock: socket.socket):
+        self.proc = proc
+        self.sock = sock
+        self.buffer = b""
+        self.attempt_id: Optional[int] = None
+        self.retired = False
+
+
+class SocketWorkerBackend(ExecutorBackend):
+    """Forked workers over ``socketpair`` framed-message channels.
+
+    The full-featured reference backend: checksummed result payloads,
+    in-band heartbeats, EOF-as-death detection, and replacement
+    spawning both on death and on lease release (a released worker is
+    *retired* — kept alive so its late result can still be delivered
+    and deduped, but never dispatched to again).
+    """
+
+    def __init__(self, runner: UnitRunner, workers: int,
+                 chaos: Optional[ChaosPlan] = None,
+                 heartbeat_interval_s: float = 0.5):
+        self._runner = runner
+        self._target = max(1, workers)
+        self._chaos = chaos
+        self._interval = heartbeat_interval_s
+        self._workers: List[_SocketWorker] = []
+        self._stopping = False
+
+    def start(self) -> None:
+        """Fork one socket-connected worker process per slot."""
+        context = _mp_context()
+        if context.get_start_method() != "fork":
+            raise RuntimeError(
+                "the socket backend requires the fork start method; "
+                "use backend='fork' on this platform")
+        for _ in range(self._target):
+            self._spawn()
+
+    def _spawn(self) -> None:
+        context = _mp_context()
+        parent, child = socket.socketpair()
+        process = context.Process(
+            target=_socket_worker_main,
+            args=(child, self._runner, self._chaos, self._interval),
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        parent.setblocking(False)
+        self._workers.append(_SocketWorker(process, parent))
+
+    def free_slots(self) -> int:
+        """Workers that are alive, not retired, and idle."""
+        return sum(1 for worker in self._workers
+                   if not worker.retired and worker.attempt_id is None)
+
+    def dispatch(self, attempt_id: int, unit: WorkUnit,
+                 attempt_no: int) -> None:
+        """Send a run frame to the first idle worker."""
+        for worker in self._workers:
+            if not worker.retired and worker.attempt_id is None:
+                break
+        else:
+            raise RuntimeError("dispatch with no free socket worker")
+        worker.attempt_id = attempt_id
+        worker.sock.setblocking(True)
+        try:
+            _send_frame(worker.sock, ("run", attempt_id, unit.unit_id,
+                                      attempt_no, unit.indices))
+        except OSError:
+            pass                       # death surfaces via EOF in poll
+        finally:
+            worker.sock.setblocking(False)
+
+    def release(self, attempt_id: int) -> None:
+        for worker in self._workers:
+            if worker.attempt_id == attempt_id and not worker.retired:
+                worker.retired = True
+                if not self._stopping:
+                    self._spawn()      # restore capacity
+                return
+
+    def poll(self, timeout: float) -> List[BackendEvent]:
+        """select() over worker sockets; EOF means a worker died."""
+        live = [worker for worker in self._workers
+                if worker.sock is not None]
+        if not live:
+            time.sleep(min(timeout, 0.01))
+            return []
+        by_sock = {worker.sock: worker for worker in live}
+        try:
+            readable, _, _ = select.select(list(by_sock), [], [], timeout)
+        except OSError:
+            return []
+        events: List[BackendEvent] = []
+        for sock in readable:
+            worker = by_sock[sock]
+            try:
+                chunk = sock.recv(1 << 16)
+            except BlockingIOError:
+                continue
+            except OSError:
+                chunk = b""
+            if not chunk:
+                events.extend(self._on_eof(worker))
+                continue
+            worker.buffer += chunk
+            events.extend(self._drain_frames(worker))
+        return events
+
+    def _drain_frames(self, worker: _SocketWorker) -> List[BackendEvent]:
+        events: List[BackendEvent] = []
+        while True:
+            if len(worker.buffer) < _FRAME_HEADER.size:
+                return events
+            (length,) = _FRAME_HEADER.unpack(
+                worker.buffer[:_FRAME_HEADER.size])
+            end = _FRAME_HEADER.size + length
+            if len(worker.buffer) < end:
+                return events          # partial frame: wait (or EOF)
+            body = worker.buffer[_FRAME_HEADER.size:end]
+            worker.buffer = worker.buffer[end:]
+            try:
+                message = pickle.loads(body)
+            except Exception:  # noqa: BLE001 — garbled stream
+                events.extend(self._on_eof(worker, kill=True))
+                return events
+            events.extend(self._on_frame(worker, message))
+
+    def _on_frame(self, worker: _SocketWorker,
+                  message: Any) -> List[BackendEvent]:
+        kind = message[0]
+        if kind == "heartbeat":
+            return [BackendEvent("heartbeat", message[1])]
+        # Only a frame for the worker's *current* attempt frees its slot:
+        # a duplicated result frame for an earlier attempt must not mark
+        # a busy (or stalled) worker as idle.
+        if kind == "error":
+            if worker.attempt_id == message[1]:
+                worker.attempt_id = None
+            return [BackendEvent("error", message[1], message[2])]
+        if kind == "result":
+            _, attempt_id, blob, digest = message
+            if worker.attempt_id == attempt_id:
+                worker.attempt_id = None
+            if hashlib.sha256(blob).hexdigest() != digest:
+                return [BackendEvent("corrupt", attempt_id)]
+            try:
+                payload = pickle.loads(blob)
+            except Exception:  # noqa: BLE001 — corrupt payload body
+                return [BackendEvent("corrupt", attempt_id)]
+            return [BackendEvent("result", attempt_id, payload)]
+        return []
+
+    def _on_eof(self, worker: _SocketWorker,
+                kill: bool = False) -> List[BackendEvent]:
+        if kill:
+            try:
+                worker.proc.kill()
+            except Exception:  # noqa: BLE001
+                pass
+        try:
+            worker.sock.close()
+        except OSError:
+            pass
+        retired = worker.retired
+        attempt_id = worker.attempt_id
+        worker.attempt_id = None
+        if worker in self._workers:
+            self._workers.remove(worker)
+        if not retired and not self._stopping:
+            self._spawn()              # restore capacity
+        if attempt_id is None:
+            return []
+        return [BackendEvent("death", attempt_id)]
+
+    def stop(self) -> None:
+        """SIGKILL every worker (lands even on SIGSTOPped ones)."""
+        self._stopping = True
+        for worker in self._workers:
+            try:
+                worker.proc.kill()     # SIGKILL lands on stopped procs
+            except Exception:  # noqa: BLE001
+                pass
+        for worker in self._workers:
+            try:
+                worker.proc.join(timeout=5)
+            except Exception:  # noqa: BLE001
+                pass
+            try:
+                worker.sock.close()
+            except OSError:
+                pass
+        self._workers = []
+
+
+def make_backend(config: SchedulerConfig, runner: UnitRunner,
+                 chaos: Optional[ChaosPlan] = None) -> ExecutorBackend:
+    """Instantiate the configured executor backend."""
+    if config.backend == "inline":
+        return InlineBackend(runner, chaos)
+    if config.backend == "fork":
+        return ForkPoolBackend(runner, config.workers, chaos)
+    if config.backend == "socket":
+        return SocketWorkerBackend(runner, config.workers, chaos,
+                                   config.heartbeat_interval_s)
+    raise ValueError(f"unknown scheduler backend {config.backend!r}")
+
+
+# ======================================================================
+# The scheduler
+# ======================================================================
+
+class _Attempt:
+    """One dispatch of one work unit (lease state machine node)."""
+
+    __slots__ = ("attempt_id", "unit_id", "started", "deadline", "hedge",
+                 "expired", "delivered", "terminal")
+
+    def __init__(self, attempt_id: int, unit_id: int, started: float,
+                 deadline: float, hedge: bool):
+        self.attempt_id = attempt_id
+        self.unit_id = unit_id
+        self.started = started
+        self.deadline = deadline
+        self.hedge = hedge
+        self.expired = False           # lease blew its deadline (zombie)
+        self.delivered = False         # a result frame was consumed
+        self.terminal: Optional[str] = None
+
+
+class _UnitState:
+    """Scheduler-side state of one work unit."""
+
+    __slots__ = ("status", "attempts_made", "failures", "active",
+                 "result", "retry_pending")
+
+    def __init__(self) -> None:
+        self.status = "pending"        # pending | inflight | done
+        self.attempts_made = 0         # dispatch ordinal (chaos key)
+        self.failures = 0              # failed/expired attempts so far
+        self.active: Set[int] = set()  # non-terminal attempt ids
+        self.result: Optional[Aggregate] = None
+        self.retry_pending = False
+
+
+@dataclass
+class ScheduledCampaignResult:
+    """Outcome of one scheduler-mode campaign: a single constant-size
+    aggregate plus the health ledger (never a per-trial list)."""
+
+    benchmark: str
+    kind: str                          # fault | pruned | soak
+    config_fingerprint: Dict[str, object]
+    scheduler_fingerprint: Dict[str, object]
+    aggregate: Aggregate
+    health: SchedulerHealth
+    trials_planned: int
+
+    def to_dict(self) -> Dict[str, object]:
+        """Canonical JSON form; ``aggregate`` serializes byte-identically
+        to the serial fold of the merged trial prefix."""
+        return {
+            "benchmark": self.benchmark,
+            "kind": self.kind,
+            "config": self.config_fingerprint,
+            "scheduler": self.scheduler_fingerprint,
+            "trials_planned": self.trials_planned,
+            "aggregate": self.aggregate.to_dict(),
+            "health": self.health.to_dict(),
+        }
+
+
+class CampaignScheduler:
+    """Drives leased work units over a backend to a merged aggregate.
+
+    Lease lifecycle (see ``docs/architecture.md`` for the diagram):
+    PENDING -> LEASED (deadline, heartbeat-refreshed) -> one of
+    COMPLETED (result accepted), EXPIRED (deadline passed: capacity
+    released, retry scheduled with exponential backoff + deterministic
+    jitter; the expired attempt lingers as a *zombie* whose late result
+    is still accepted if the unit is not done), or FAILED (death /
+    harness error / corrupt payload). A unit whose failure count
+    reaches ``max_attempts`` with no live attempt DEGRADES into
+    ``harness_error`` trials. Completed units merge at a unit-order
+    frontier, making the running aggregate an exact trial prefix.
+    """
+
+    def __init__(self, runner: UnitRunner, units: Sequence[WorkUnit],
+                 config: SchedulerConfig,
+                 campaign_fingerprint: Dict[str, object],
+                 chaos: Optional[ChaosPlan] = None):
+        self._runner = runner
+        self._units = list(units)
+        self._config = config
+        self._chaos = chaos
+        self._campaign_fingerprint = campaign_fingerprint
+        self._health = SchedulerHealth(
+            units=len(self._units),
+            trials_planned=sum(unit.trials for unit in self._units),
+        )
+        self._states = [_UnitState() for _ in self._units]
+        self._attempts: Dict[int, _Attempt] = {}
+        self._next_attempt_id = 0
+        self._ready: Deque[int] = deque(range(len(self._units)))
+        self._retry_heap: List[Tuple[float, int]] = []
+        self._latencies: List[float] = []
+        self._frontier = 0
+        self._merged = self._runner.empty()
+        self._early_stopped = False
+
+    # -------------------------------------------------------------- driving
+    def run(self) -> ScheduledCampaignResult:
+        """Drive every unit to completion (or degradation) and return
+        the merged aggregate plus the campaign's health ledger."""
+        backend = make_backend(self._config, self._runner, self._chaos)
+        backend.start()
+        try:
+            self._loop(backend)
+        finally:
+            backend.stop()
+        self._cancel_remaining()
+        self._health.early_stopped = self._early_stopped
+        return ScheduledCampaignResult(
+            benchmark=self._runner.benchmark,
+            kind=self._runner.kind,
+            config_fingerprint=self._campaign_fingerprint,
+            scheduler_fingerprint=self._config.fingerprint(),
+            aggregate=self._merged,
+            health=self._health,
+            trials_planned=self._health.trials_planned,
+        )
+
+    def _loop(self, backend: ExecutorBackend) -> None:
+        start = time.monotonic()
+        while self._frontier < len(self._units) \
+                and not self._early_stopped:
+            now = time.monotonic()
+            if now - start > self._config.campaign_timeout_s:
+                raise SchedulerStalled(
+                    f"campaign made no full progress within "
+                    f"{self._config.campaign_timeout_s:g}s "
+                    f"(frontier {self._frontier}/{len(self._units)})")
+            self._pump_retries(now)
+            self._expire_leases(backend, now)
+            self._dispatch_ready(backend)
+            self._maybe_hedge(backend)
+            for event in backend.poll(self._config.poll_interval_s):
+                self._handle_event(event)
+                if self._early_stopped:
+                    break
+
+    # ------------------------------------------------------------- dispatch
+    def _pump_retries(self, now: float) -> None:
+        while self._retry_heap and self._retry_heap[0][0] <= now:
+            _, unit_id = heapq.heappop(self._retry_heap)
+            state = self._states[unit_id]
+            state.retry_pending = False
+            if state.status != "done":
+                self._ready.append(unit_id)
+
+    def _dispatch_ready(self, backend: ExecutorBackend) -> None:
+        while self._ready and backend.free_slots() > 0:
+            unit_id = self._ready.popleft()
+            if self._states[unit_id].status == "done":
+                continue
+            self._dispatch(backend, unit_id, hedge=False)
+
+    def _dispatch(self, backend: ExecutorBackend, unit_id: int,
+                  hedge: bool) -> None:
+        state = self._states[unit_id]
+        attempt_no = state.attempts_made
+        state.attempts_made += 1
+        attempt_id = self._next_attempt_id
+        self._next_attempt_id += 1
+        now = time.monotonic()
+        attempt = _Attempt(attempt_id, unit_id, now,
+                           now + self._config.lease_timeout_s, hedge)
+        self._attempts[attempt_id] = attempt
+        state.active.add(attempt_id)
+        state.status = "inflight"
+        self._health.dispatches += 1
+        if hedge:
+            self._health.hedges += 1
+        elif attempt_no > 0:
+            self._health.retries += 1
+        backend.dispatch(attempt_id, self._units[unit_id], attempt_no)
+
+    # ---------------------------------------------------------------- leases
+    def _expire_leases(self, backend: ExecutorBackend, now: float) -> None:
+        for attempt in list(self._attempts.values()):
+            if attempt.terminal is not None or attempt.expired:
+                continue
+            if now < attempt.deadline:
+                continue
+            attempt.expired = True
+            self._health.expired_leases += 1
+            self._states[attempt.unit_id].failures += 1
+            backend.release(attempt.attempt_id)
+            self._after_attempt_failure(attempt.unit_id)
+
+    def _backoff_delay(self, unit_id: int, failures: int) -> float:
+        exponent = max(0, failures - 1)
+        base = self._config.backoff_base_s \
+            * (self._config.backoff_factor ** exponent)
+        base = min(base, self._config.backoff_max_s)
+        jitter = stream_uniform(self._config.seed, "backoff",
+                                self._runner.benchmark, unit_id, failures)
+        return base * (0.5 + jitter)   # deterministic U[0.5x, 1.5x)
+
+    def _after_attempt_failure(self, unit_id: int) -> None:
+        state = self._states[unit_id]
+        if state.status == "done":
+            return
+        for attempt_id in state.active:
+            if not self._attempts[attempt_id].expired:
+                return                 # a live sibling is still running
+        if state.failures >= self._config.max_attempts:
+            self._degrade(unit_id)
+            return
+        if state.retry_pending:
+            return
+        delay = self._backoff_delay(unit_id, state.failures)
+        heapq.heappush(self._retry_heap,
+                       (time.monotonic() + delay, unit_id))
+        state.retry_pending = True
+        state.status = "pending"
+
+    # --------------------------------------------------------------- hedging
+    def _maybe_hedge(self, backend: ExecutorBackend) -> None:
+        config = self._config
+        if self._health.hedges >= config.max_hedges:
+            return
+        if len(self._latencies) < config.hedge_min_completions:
+            return
+        if self._ready or backend.free_slots() <= 0:
+            return                     # real work beats speculation
+        threshold = max(
+            config.hedge_min_latency_s,
+            config.hedge_factor
+            * percentile(self._latencies, config.hedge_quantile))
+        now = time.monotonic()
+        for unit_id, state in enumerate(self._states):
+            if state.status != "inflight":
+                continue
+            live = [self._attempts[attempt_id].started
+                    for attempt_id in state.active
+                    if not self._attempts[attempt_id].expired]
+            if not live or len(live) >= 2:
+                continue               # nothing running, or already hedged
+            if now - min(live) >= threshold:
+                self._dispatch(backend, unit_id, hedge=True)
+                return                 # at most one hedge per loop turn
+        return
+
+    # ---------------------------------------------------------------- events
+    def _handle_event(self, event: BackendEvent) -> None:
+        attempt = self._attempts.get(event.attempt_id)
+        if attempt is None:
+            return
+        if event.kind == "heartbeat":
+            if attempt.terminal is None:
+                attempt.deadline = (time.monotonic()
+                                    + self._config.lease_timeout_s)
+            return
+        if event.kind == "result":
+            self._on_result(attempt, event.payload)
+            return
+        if event.kind == "corrupt":
+            self._health.corrupt_payloads += 1
+        elif event.kind == "error":
+            self._health.worker_errors += 1
+        elif event.kind == "death":
+            self._health.worker_deaths += 1
+        else:
+            return
+        if attempt.terminal is None:
+            if not attempt.expired:
+                self._states[attempt.unit_id].failures += 1
+            self._finish_attempt(attempt, "failed")
+            self._after_attempt_failure(attempt.unit_id)
+
+    def _on_result(self, attempt: _Attempt, payload: Aggregate) -> None:
+        if attempt.delivered:
+            self._health.duplicate_results += 1
+            return
+        attempt.delivered = True
+        if attempt.expired:
+            self._health.late_results += 1
+        state = self._states[attempt.unit_id]
+        if state.status == "done":
+            self._finish_attempt(attempt, "superseded")
+            return
+        self._finish_attempt(attempt, "accepted")
+        self._latencies_insert(time.monotonic() - attempt.started)
+        self._complete_unit(attempt.unit_id, payload)
+
+    def _latencies_insert(self, value: float) -> None:
+        bisect.insort(self._latencies, value)
+
+    def _finish_attempt(self, attempt: _Attempt, outcome: str) -> None:
+        if attempt.terminal is not None:
+            return
+        attempt.terminal = outcome
+        if outcome == "accepted":
+            self._health.accepted += 1
+        elif outcome == "superseded":
+            self._health.superseded += 1
+        elif outcome == "failed":
+            self._health.failed += 1
+        else:
+            self._health.cancelled += 1
+        self._states[attempt.unit_id].active.discard(attempt.attempt_id)
+
+    # --------------------------------------------------------------- merging
+    def _complete_unit(self, unit_id: int, payload: Aggregate) -> None:
+        state = self._states[unit_id]
+        state.status = "done"
+        state.result = payload
+        self._advance_frontier()
+
+    def _degrade(self, unit_id: int) -> None:
+        state = self._states[unit_id]
+        state.status = "done"
+        state.result = self._runner.degraded(self._units[unit_id].indices)
+        self._health.degraded_units += 1
+        self._health.degraded_trials += self._units[unit_id].trials
+        self._advance_frontier()
+
+    def _advance_frontier(self) -> None:
+        early = self._config.early_stop
+        while self._frontier < len(self._units):
+            state = self._states[self._frontier]
+            if state.status != "done" or state.result is None:
+                break
+            self._merged.merge(state.result)
+            state.result = None        # constant memory: drop after merge
+            self._health.merged_units += 1
+            self._health.merged_trials += \
+                self._units[self._frontier].trials
+            self._frontier += 1
+            if early is not None and not self._early_stopped:
+                hits, total = self._merged.stop_statistic()
+                if total >= early.min_trials \
+                        and wilson_halfwidth(hits, total, early.z) \
+                        <= early.margin:
+                    self._early_stopped = True
+                    break
+
+    def _cancel_remaining(self) -> None:
+        for attempt in self._attempts.values():
+            if attempt.terminal is None:
+                self._finish_attempt(attempt, "cancelled")
+        self._ready.clear()
+        self._retry_heap = []
+
+
+# ======================================================================
+# Entry points
+# ======================================================================
+
+def run_scheduled_fault(campaign: Any,
+                        scheduler: Optional[SchedulerConfig] = None,
+                        chaos: Optional[ChaosPlan] = None
+                        ) -> ScheduledCampaignResult:
+    """Run a :class:`~repro.faults.campaign.FaultCampaign` through the
+    scheduler (constant-memory streaming aggregates)."""
+    config = scheduler if scheduler is not None else SchedulerConfig()
+    plan = campaign.plan()
+    runner = FaultUnitRunner(
+        benchmark=campaign.kernel.name,
+        kernel=campaign.kernel,
+        config=campaign.config,
+        decode_count=campaign.decode_count,
+        specs=plan,
+    )
+    units = shard_units(len(plan), config.unit_trials)
+    return CampaignScheduler(
+        runner, units, config,
+        campaign_fingerprint=dict(campaign.config.fingerprint()),
+        chaos=chaos,
+    ).run()
+
+
+def run_scheduled_pruned(campaign: Any, plan: Any,
+                         scheduler: Optional[SchedulerConfig] = None,
+                         chaos: Optional[ChaosPlan] = None
+                         ) -> ScheduledCampaignResult:
+    """Scheduler-mode pruned campaign: one representative injection per
+    equivalence class, class-weighted streaming aggregates."""
+    config = scheduler if scheduler is not None else SchedulerConfig()
+    specs = [FaultSpec(decode_index=cls.rep_slot, bit=cls.rep_bit)
+             for cls in plan.classes]
+    weights = [int(cls.weight) for cls in plan.classes]
+    runner = FaultUnitRunner(
+        benchmark=campaign.kernel.name,
+        kernel=campaign.kernel,
+        config=campaign.config,
+        decode_count=campaign.decode_count,
+        specs=specs,
+        weights=weights,
+    )
+    units = shard_units(len(specs), config.unit_trials)
+    fingerprint = dict(campaign.config.fingerprint())
+    fingerprint["plan"] = dict(plan.fingerprint())
+    return CampaignScheduler(
+        runner, units, config,
+        campaign_fingerprint=fingerprint,
+        chaos=chaos,
+    ).run()
+
+
+def run_scheduled_soak(campaign: Any,
+                       scheduler: Optional[SchedulerConfig] = None,
+                       chaos: Optional[ChaosPlan] = None
+                       ) -> ScheduledCampaignResult:
+    """Run a :class:`~repro.faults.campaign.SoakCampaign` through the
+    scheduler (constant-memory streaming aggregates)."""
+    config = scheduler if scheduler is not None else SchedulerConfig()
+    runner = SoakUnitRunner(
+        benchmark=campaign.kernel.name,
+        kernel=campaign.kernel,
+        config=campaign.config,
+    )
+    units = shard_units(campaign.config.trials, config.unit_trials)
+    return CampaignScheduler(
+        runner, units, config,
+        campaign_fingerprint=dict(campaign.config.fingerprint()),
+        chaos=chaos,
+    ).run()

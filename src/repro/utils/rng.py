@@ -45,6 +45,18 @@ def split_seed(seed: int, *stream: object) -> int:
     return make_rng(seed, *stream).getrandbits(63)
 
 
+def stream_uniform(seed: int, *stream: object) -> float:
+    """One deterministic ``U[0, 1)`` draw for a named stream.
+
+    Identity-derived like :func:`make_rng`: the value depends only on
+    ``(seed, *stream)``. The campaign scheduler uses this for retry
+    backoff jitter — every attempt of every work unit gets its own
+    jitter, reproducible across runs and independent of worker count or
+    completion order.
+    """
+    return make_rng(seed, *stream).random()
+
+
 def zipf_weights(n: int, alpha: float) -> List[float]:
     """Unnormalized Zipf weights ``1/rank**alpha`` for ranks ``1..n``.
 

@@ -211,6 +211,23 @@ def wilson_interval(successes: int, total: int,
     return max(0.0, center - margin), min(1.0, center + margin)
 
 
+def wilson_halfwidth(successes: int, total: int, z: float = 1.96) -> float:
+    """Half-width of the Wilson score interval for a proportion.
+
+    The campaign scheduler's statistical early-stopping rule: once the
+    half-width of the tracked outcome proportion drops below the
+    configured target, further trials cannot move the estimate outside
+    the interval, so the campaign stops dispatching work units.
+
+    >>> wilson_halfwidth(0, 0)
+    0.5
+    >>> round(wilson_halfwidth(30, 40), 3)
+    0.129
+    """
+    low, high = wilson_interval(successes, total, z)
+    return (high - low) / 2.0
+
+
 def percentile(sorted_values: Sequence[float], fraction: float) -> float:
     """Linear-interpolated percentile of an already-sorted sequence."""
     if not sorted_values:

@@ -74,3 +74,36 @@ class TestCampaign:
     def test_counts_match_trials(self, small_campaign_result):
         _, result = small_campaign_result
         assert result.counts().total() == result.total
+
+
+class TestTrialTimeout:
+    """Per-trial wall-clock budgets: a runaway trial becomes a visible
+    ``harness_error`` instead of wedging the whole campaign."""
+
+    def test_exhausted_budget_yields_harness_error(self, monkeypatch):
+        # Shrink the deadline-check granularity so the budget check runs
+        # before the (fast) kernel halts on its own.
+        import repro.faults.campaign as campaign_module
+        monkeypatch.setattr(campaign_module, "_TRIAL_CHUNK_CYCLES", 50)
+        campaign = FaultCampaign(get_kernel("sum_loop"), CampaignConfig(
+            trials=2, seed=3, observation_cycles=40_000,
+            trial_timeout_s=0.0))       # every chunk boundary is too late
+        from repro.faults.injector import FaultSpec
+        trial = campaign.run_trial(0, FaultSpec(decode_index=0, bit=0))
+        assert trial.outcome == Outcome.HARNESS_ERROR
+        assert trial.run_reason == "timeout"
+        assert "wall-clock budget" in trial.error
+
+    def test_default_budget_never_fires_on_healthy_trials(self):
+        config = CampaignConfig(trials=4, seed=3,
+                                observation_cycles=40_000)
+        result = FaultCampaign(get_kernel("sum_loop"), config).run()
+        assert all(t.outcome != Outcome.HARNESS_ERROR
+                   for t in result.trials)
+
+    def test_timeout_excluded_from_fingerprint(self):
+        """The budget is a harness guard, not campaign identity: two
+        configs differing only in budget resume each other's partials."""
+        fast = CampaignConfig(trials=2, seed=3, trial_timeout_s=1.0)
+        slow = CampaignConfig(trials=2, seed=3, trial_timeout_s=900.0)
+        assert fast.fingerprint() == slow.fingerprint()

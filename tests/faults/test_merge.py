@@ -1,0 +1,193 @@
+"""Streaming-merge equivalence: any merge tree equals one flat fold.
+
+The campaign scheduler depends on :mod:`repro.faults.merge` being a
+commutative monoid over trials: workers fold arbitrary contiguous unit
+slices, the parent merges the partials in frontier order, and the bytes
+must come out identical to folding every trial flat in one pass. The
+Hypothesis properties here generate random trial populations *and*
+random merge-tree shapes (random slice boundaries, recursively merged
+in random association order) and pin down that equivalence.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.campaign import SoakTrialResult
+from repro.faults.merge import FaultAggregate, ScalarStat, SoakAggregate
+from repro.faults.outcomes import Effect, Outcome, TrialResult
+
+
+# ----------------------------------------------------------------------
+# Strategies: synthetic trial populations and merge-tree shapes
+# ----------------------------------------------------------------------
+
+_FIELDS = ("opcode", "rsrc1", "rdst", "imm")
+
+
+@st.composite
+def fault_trials(draw, min_size=0, max_size=24):
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    trials = []
+    for index in range(count):
+        trials.append(TrialResult(
+            benchmark="synthetic",
+            trial=index,
+            decode_index=draw(st.integers(0, 500)),
+            bit=draw(st.integers(0, 63)),
+            field=draw(st.sampled_from(_FIELDS)),
+            outcome=draw(st.sampled_from(list(Outcome))),
+            detected_itr=draw(st.booleans()),
+            itr_recoverable=draw(st.booleans()),
+            spc_fired=draw(st.booleans()),
+            effect=draw(st.sampled_from(list(Effect))),
+            faulty_signature_resident=draw(st.booleans()),
+            run_reason="halted",
+            instructions_committed=draw(st.integers(0, 100_000)),
+        ))
+    return trials
+
+
+@st.composite
+def soak_trials(draw, min_size=0, max_size=24):
+    count = draw(st.integers(min_value=min_size, max_value=max_size))
+    trials = []
+    for index in range(count):
+        trials.append(SoakTrialResult(
+            trial=index,
+            outcome=draw(st.sampled_from(
+                ["ok", "wrong_output", "aborted", "deadlock", "timeout"])),
+            strikes=draw(st.integers(0, 20)),
+            detections=draw(st.integers(0, 20)),
+            retries=draw(st.integers(0, 20)),
+            recoveries=draw(st.integers(0, 20)),
+            machine_checks=draw(st.integers(0, 5)),
+            rollbacks=draw(st.integers(0, 5)),
+            watchdog_rollbacks=draw(st.integers(0, 5)),
+            checkpoints=draw(st.integers(0, 50)),
+            instructions=draw(st.integers(0, 500_000)),
+            cycles=draw(st.integers(0, 900_000)),
+            rollback_distances=draw(
+                st.lists(st.integers(0, 4000), max_size=4)),
+        ))
+    return trials
+
+
+def _slice_boundaries(draw, count):
+    """Random contiguous partition of range(count) into unit slices."""
+    cuts = draw(st.lists(st.integers(1, max(count, 1)),
+                         max_size=6, unique=True))
+    bounds = sorted(set(cut for cut in cuts if cut < count))
+    edges = [0] + bounds + [count]
+    return list(zip(edges[:-1], edges[1:]))
+
+
+def _merge_randomly(draw, partials):
+    """Merge a list of partials pairwise in a random association order."""
+    while len(partials) > 1:
+        index = draw(st.integers(0, len(partials) - 2))
+        left = partials.pop(index)
+        left.merge(partials.pop(index))
+        partials.insert(index, left)
+    return partials[0]
+
+
+def _bytes(aggregate):
+    return json.dumps(aggregate.to_dict(), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# The equivalence properties
+# ----------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_fault_merge_tree_equals_flat_fold(data):
+    trials = data.draw(fault_trials(min_size=1))
+    flat = FaultAggregate.fold("synthetic", trials)
+    slices = _slice_boundaries(data.draw, len(trials))
+    partials = [FaultAggregate.fold("synthetic", trials[lo:hi])
+                for lo, hi in slices]
+    merged = _merge_randomly(data.draw, partials)
+    assert _bytes(merged) == _bytes(flat)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_weighted_fault_merge_tree_equals_flat_fold(data):
+    """The pruned-campaign path: class weights ride through merges."""
+    trials = data.draw(fault_trials(min_size=1))
+    weights = data.draw(st.lists(st.integers(1, 64), min_size=len(trials),
+                                 max_size=len(trials)))
+    flat = FaultAggregate.fold("synthetic", trials, weights)
+    slices = _slice_boundaries(data.draw, len(trials))
+    partials = [FaultAggregate.fold("synthetic", trials[lo:hi],
+                                    weights[lo:hi])
+                for lo, hi in slices]
+    merged = _merge_randomly(data.draw, partials)
+    assert _bytes(merged) == _bytes(flat)
+    assert merged.trials == sum(weights)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.data())
+def test_soak_merge_tree_equals_flat_fold(data):
+    trials = data.draw(soak_trials(min_size=1))
+    flat = SoakAggregate.fold("synthetic", trials)
+    slices = _slice_boundaries(data.draw, len(trials))
+    partials = [SoakAggregate.fold("synthetic", trials[lo:hi])
+                for lo, hi in slices]
+    merged = _merge_randomly(data.draw, partials)
+    assert _bytes(merged) == _bytes(flat)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(-1000, 1000), st.integers(1, 8)),
+                min_size=1, max_size=30),
+       st.integers(1, 5))
+def test_scalar_stat_merge_equals_flat_record(observations, pieces):
+    flat = ScalarStat()
+    for value, weight in observations:
+        flat.record(value, weight)
+    partials = [ScalarStat() for _ in range(pieces)]
+    for index, (value, weight) in enumerate(observations):
+        partials[index % pieces].record(value, weight)
+    merged = ScalarStat()
+    for partial in partials:
+        merged.merge(partial)
+    assert merged.to_dict() == flat.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Edge behaviour the scheduler relies on
+# ----------------------------------------------------------------------
+
+def test_empty_aggregate_serializes_and_merges():
+    empty = FaultAggregate(benchmark="b")
+    other = FaultAggregate(benchmark="b")
+    empty.merge(other)
+    assert empty.trials == 0
+    assert empty.detected_fraction() == 0.0
+    assert empty.figure8_row()[Outcome.ITR_MASK.value] == 0.0
+    assert json.loads(_bytes(empty))["instructions"]["min"] is None
+
+
+def test_merge_rejects_foreign_benchmark():
+    with pytest.raises(ValueError, match="different campaigns"):
+        FaultAggregate(benchmark="a").merge(FaultAggregate(benchmark="b"))
+    with pytest.raises(ValueError, match="different campaigns"):
+        SoakAggregate(benchmark="a").merge(SoakAggregate(benchmark="b"))
+
+
+def test_degraded_trials_land_as_harness_error():
+    aggregate = FaultAggregate(benchmark="b")
+    aggregate.record_degraded(3)
+    aggregate.record_degraded(0)
+    assert aggregate.trials == 3
+    assert aggregate.harness_errors() == 3
+    soak = SoakAggregate(benchmark="b")
+    soak.record_degraded(2)
+    assert soak.harness_errors() == 2
+    assert soak.stop_statistic() == (0, 2)

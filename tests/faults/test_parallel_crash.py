@@ -5,13 +5,25 @@ outright, must cost exactly that trial (``harness_error``) — the rest
 of the campaign completes, and the resumable partial stays valid.
 These tests rely on the engine's ``fork`` start method: monkeypatched
 methods propagate into freshly forked workers.
+
+The scheduler-era additions cover *stalls*: a SIGSTOPped worker (never
+recovers; must not hang the campaign or the interpreter's exit) and a
+transiently slow worker whose lease expires but whose late result still
+arrives — and must be absorbed without double-counting.
 """
 
 import json
 import os
 import signal
 
-from repro.faults.campaign import SoakCampaign, SoakConfig
+from repro.faults.campaign import (
+    CampaignConfig,
+    FaultCampaign,
+    SoakCampaign,
+    SoakConfig,
+)
+from repro.faults.merge import FaultAggregate
+from repro.faults.scheduler import ChaosPlan, SchedulerConfig
 from repro.workloads import get_kernel
 
 
@@ -88,6 +100,68 @@ def test_campaign_resumes_cleanly_after_worker_death(monkeypatch, tmp_path):
     # healthy trials are not re-run (their results round-trip verbatim).
     assert [t.to_dict() for t in resumed.trials] \
         == [t.to_dict() for t in first.trials]
+
+
+def _chaos_fault_campaign(trials=16):
+    return FaultCampaign(get_kernel("sum_loop"), CampaignConfig(
+        trials=trials, seed=20_070_625, observation_cycles=4_000))
+
+
+def test_sigstopped_worker_is_isolated_by_lease_expiry():
+    """A hard stall (SIGSTOP: no exit, no EOF, no heartbeats) must cost
+    one lease, not the campaign: the lease expires, the unit retries on
+    a replacement worker, and shutdown reaps the frozen process."""
+    campaign = _chaos_fault_campaign(trials=8)
+    serial = FaultAggregate.fold("sum_loop", campaign.run().trials)
+
+    chaos = ChaosPlan()
+    chaos.add(0, 0, "stall")             # unit 0, first attempt freezes
+    scheduled = campaign.run_scheduled(SchedulerConfig(
+        backend="socket", workers=2, unit_trials=2,
+        lease_timeout_s=1.0, heartbeat_interval_s=0.2,
+        backoff_base_s=0.05, backoff_max_s=0.3,
+        campaign_timeout_s=60.0), chaos=chaos)
+
+    assert json.dumps(scheduled.aggregate.to_dict(), sort_keys=True) \
+        == json.dumps(serial.to_dict(), sort_keys=True)
+    health = scheduled.health
+    assert health.expired_leases >= 1
+    assert health.retries >= 1
+    assert health.degraded_trials == 0
+    assert health.merged_trials == 8
+    assert health.ledger_balanced()
+
+
+def test_late_result_after_lease_expiry_is_not_double_counted():
+    """A transiently slow worker: its lease expires and the unit is
+    retried, then the original (late) result arrives while the campaign
+    is still running. Exactly one copy of the unit may count."""
+    campaign = _chaos_fault_campaign(trials=16)
+    serial = FaultAggregate.fold("sum_loop", campaign.run().trials)
+
+    chaos = ChaosPlan()
+    chaos.add(0, 0, "sleep", seconds=1.2)  # outlives a 0.4s lease, not
+    scheduled = campaign.run_scheduled(SchedulerConfig(  # the campaign
+        backend="socket", workers=1, unit_trials=2,
+        lease_timeout_s=0.4, heartbeat_interval_s=0.1,
+        backoff_base_s=0.05, backoff_max_s=0.2,
+        campaign_timeout_s=60.0), chaos=chaos)
+
+    # Byte-identical aggregates ARE the no-double-count proof: had both
+    # the late and the retried copy of unit 0 merged, trials would be 18
+    # and every counter off.
+    assert json.dumps(scheduled.aggregate.to_dict(), sort_keys=True) \
+        == json.dumps(serial.to_dict(), sort_keys=True)
+    health = scheduled.health
+    assert health.expired_leases >= 1
+    # The zombie's result arrived after its lease expired and was
+    # absorbed exactly once — accepted if it beat the retry to the
+    # unit, superseded if the retry won the race. Either way the unit
+    # counted once: accepted == merged_units.
+    assert health.late_results >= 1
+    assert health.accepted == health.merged_units == 8
+    assert health.merged_trials == 16
+    assert health.ledger_balanced()
 
 
 def test_serial_engine_unaffected_by_worker_machinery(monkeypatch):

@@ -1,0 +1,180 @@
+"""Scheduler policy unit tests: sharding, backoff, leases, equivalence.
+
+Fast deterministic coverage of the leased work-unit scheduler on the
+inline backend (the chaos matrix with real processes lives in
+``test_scheduler_chaos.py``). The load-bearing contract everywhere:
+scheduler-mode aggregates serialize byte-identically to a flat serial
+fold of the same trial prefix.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.campaign import (
+    CampaignConfig,
+    FaultCampaign,
+    SoakCampaign,
+    SoakConfig,
+)
+from repro.faults.merge import FaultAggregate, SoakAggregate
+from repro.faults.scheduler import (
+    CampaignScheduler,
+    ChaosPlan,
+    EarlyStopConfig,
+    SchedulerConfig,
+    SoakUnitRunner,
+    shard_units,
+)
+from repro.workloads import get_kernel
+
+
+def fault_campaign(trials=12):
+    return FaultCampaign(get_kernel("sum_loop"), CampaignConfig(
+        trials=trials, seed=20_070_625, observation_cycles=4_000))
+
+
+def soak_campaign(trials=4):
+    return SoakCampaign(get_kernel("sum_loop"), SoakConfig(
+        trials=trials, seed=99, fault_rate=1.0 / 2000.0,
+        max_cycles=120_000))
+
+
+def inline(**overrides):
+    defaults = dict(backend="inline", workers=1, unit_trials=5,
+                    campaign_timeout_s=120.0)
+    defaults.update(overrides)
+    return SchedulerConfig(**defaults)
+
+
+def agg_bytes(aggregate):
+    return json.dumps(aggregate.to_dict(), sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Sharding
+# ----------------------------------------------------------------------
+
+def test_shard_units_partitions_contiguously():
+    units = shard_units(10, 4)
+    assert [u.unit_id for u in units] == [0, 1, 2]
+    assert [u.indices for u in units] \
+        == [(0, 1, 2, 3), (4, 5, 6, 7), (8, 9)]
+    assert sum(u.trials for u in units) == 10
+
+
+def test_shard_units_edge_cases():
+    assert shard_units(0, 8) == []
+    assert [u.indices for u in shard_units(3, 8)] == [(0, 1, 2)]
+    with pytest.raises(ValueError, match="unit_trials"):
+        shard_units(10, 0)
+
+
+def test_chaos_plan_rejects_unknown_kind():
+    plan = ChaosPlan()
+    plan.add(0, 0, "kill")
+    plan.add(1, 2, "sleep", seconds=0.5)
+    assert len(plan) == 2
+    assert plan.action(1, 2).seconds == 0.5
+    assert plan.action(5, 0) is None
+    with pytest.raises(ValueError, match="unknown chaos kind"):
+        plan.add(0, 0, "meteor")
+
+
+# ----------------------------------------------------------------------
+# Backoff policy
+# ----------------------------------------------------------------------
+
+def _policy_scheduler(**overrides):
+    runner = SoakUnitRunner("bench", None, None)
+    return CampaignScheduler(runner, [], inline(**overrides),
+                             campaign_fingerprint={})
+
+
+def test_backoff_is_deterministic_and_jittered():
+    scheduler = _policy_scheduler(backoff_base_s=0.1, backoff_factor=2.0,
+                                  backoff_max_s=1.0)
+    first = scheduler._backoff_delay(3, 1)
+    again = scheduler._backoff_delay(3, 1)
+    assert first == again                    # pure function of identity
+    assert 0.05 <= first < 0.15              # base * U[0.5, 1.5)
+    second = scheduler._backoff_delay(3, 2)
+    assert 0.1 <= second < 0.3               # base doubled
+    # The cap binds: huge failure counts never exceed 1.5 * max.
+    capped = scheduler._backoff_delay(3, 30)
+    assert capped < 1.5 * 1.0
+    # Different units draw different jitter from the same stream seed.
+    assert scheduler._backoff_delay(4, 1) != first
+
+
+# ----------------------------------------------------------------------
+# Equivalence on the inline backend (the policy substrate)
+# ----------------------------------------------------------------------
+
+def test_fault_scheduled_equals_serial_fold():
+    campaign = fault_campaign()
+    scheduled = campaign.run_scheduled(inline())
+    fold = FaultAggregate.fold("sum_loop", campaign.run().trials)
+    assert agg_bytes(scheduled.aggregate) == agg_bytes(fold)
+    assert scheduled.kind == "fault"
+    assert scheduled.health.ledger_balanced()
+    assert scheduled.health.merged_trials == 12
+    assert scheduled.health.merged_units == 3
+    assert scheduled.health.degraded_trials == 0
+
+
+def test_soak_scheduled_equals_serial_fold():
+    campaign = soak_campaign()
+    scheduled = campaign.run_scheduled(inline(unit_trials=3))
+    serial = soak_campaign().run()
+    fold = SoakAggregate.fold("sum_loop", serial.trials)
+    assert agg_bytes(scheduled.aggregate) == agg_bytes(fold)
+    assert scheduled.kind == "soak"
+    assert scheduled.health.ledger_balanced()
+
+
+def test_pruned_scheduled_equals_weighted_fold():
+    campaign = fault_campaign()
+    plan = campaign.pruning_plan(slot_range=(0, 6))
+    scheduled = campaign.run_pruned_scheduled(
+        inline(unit_trials=7), plan=plan)
+    serial = fault_campaign().run_pruned(plan=plan)
+    weights = [int(cls["weight"]) for cls in serial.classes]
+    fold = FaultAggregate.fold("sum_loop", serial.trials, weights)
+    assert agg_bytes(scheduled.aggregate) == agg_bytes(fold)
+    assert scheduled.kind == "pruned"
+    # Class weights reconstitute the full site population.
+    assert scheduled.aggregate.trials == plan.raw_sites
+    assert scheduled.health.ledger_balanced()
+
+
+def test_early_stop_merges_exact_prefix():
+    campaign = fault_campaign(trials=20)
+    scheduled = campaign.run_scheduled(inline(
+        unit_trials=4,
+        early_stop=EarlyStopConfig(margin=0.25, min_trials=8)))
+    assert scheduled.health.early_stopped
+    merged = scheduled.health.merged_trials
+    assert 8 <= merged < 20
+    assert merged % 4 == 0                   # whole units only
+    prefix = campaign.run().trials[:merged]
+    fold = FaultAggregate.fold("sum_loop", prefix)
+    assert agg_bytes(scheduled.aggregate) == agg_bytes(fold)
+    # The unmerged tail was cancelled, never silently dropped.
+    assert scheduled.health.ledger_balanced()
+
+
+def test_result_to_dict_round_trips_to_json():
+    scheduled = fault_campaign().run_scheduled(inline())
+    data = json.loads(json.dumps(scheduled.to_dict(), sort_keys=True))
+    assert data["benchmark"] == "sum_loop"
+    assert data["kind"] == "fault"
+    assert data["scheduler"]["backend"] == "inline"
+    assert data["trials_planned"] == 12
+    assert data["health"]["dispatches"] >= data["health"]["accepted"]
+    assert data["aggregate"]["trials"] == 12
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown scheduler backend"):
+        fault_campaign().run_scheduled(inline(backend="quantum"))

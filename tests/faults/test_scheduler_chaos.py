@@ -1,0 +1,294 @@
+"""Chaos harness for the leased work-unit campaign scheduler.
+
+Injects harness-level faults — worker SIGKILLs, SIGSTOP stalls, slow
+workers, harness errors, corrupted / truncated result payloads, and
+duplicated completions — into real campaigns on every backend, and
+asserts the scheduler's whole contract at once:
+
+* the final aggregate is **byte-identical** to the serial per-trial
+  fold, for fault / soak / pruned campaigns at 1, 2 and 4 workers;
+* the run **never hangs** (``campaign_timeout_s`` would raise
+  ``SchedulerStalled``; any test failing that way is a bug);
+* the health ledger **accounts for every dispatch exactly once**
+  (``dispatches == accepted + superseded + failed + cancelled``) and
+  every injected incident shows up in its counter.
+
+The chaos schedule is derived from ``ITR_CHAOS_SEED`` (default
+20070625) so CI runs are reproducible; set ``ITR_CHAOS_SUMMARY`` to a
+path to get a machine-readable retry/hedge/degradation table (the CI
+job renders it into the step summary).
+"""
+
+import json
+import os
+import pathlib
+import random
+
+import pytest
+
+from repro.faults.campaign import (
+    CampaignConfig,
+    FaultCampaign,
+    SoakCampaign,
+    SoakConfig,
+)
+from repro.faults.merge import FaultAggregate, SoakAggregate
+from repro.faults.scheduler import (
+    ChaosPlan,
+    EarlyStopConfig,
+    SchedulerConfig,
+)
+from repro.workloads import get_kernel
+from repro.workloads.kernels import all_kernels
+
+CHAOS_SEED = int(os.environ.get("ITR_CHAOS_SEED", "20070625"))
+
+TRIALS = 16
+UNIT_TRIALS = 2          # 8 units: every chaos kind hits a distinct unit
+OBSERVATION_CYCLES = 3_000
+
+_SUMMARY = []
+
+
+def _record(name, health):
+    _SUMMARY.append({"campaign": name, "seed": CHAOS_SEED,
+                     **health.to_dict()})
+
+
+@pytest.fixture(scope="session", autouse=True)
+def chaos_summary_file():
+    """Write the accumulated health table if ITR_CHAOS_SUMMARY is set."""
+    yield
+    target = os.environ.get("ITR_CHAOS_SUMMARY")
+    if target and _SUMMARY:
+        path = pathlib.Path(target)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(_SUMMARY, indent=2, sort_keys=True)
+                        + "\n")
+
+
+def fault_campaign():
+    return FaultCampaign(get_kernel("sum_loop"), CampaignConfig(
+        trials=TRIALS, seed=CHAOS_SEED,
+        observation_cycles=OBSERVATION_CYCLES))
+
+
+def chaos_scheduler(backend, workers, **overrides):
+    defaults = dict(
+        backend=backend, workers=workers, unit_trials=UNIT_TRIALS,
+        lease_timeout_s=2.0, heartbeat_interval_s=0.2,
+        backoff_base_s=0.05, backoff_max_s=0.5,
+        max_attempts=4, campaign_timeout_s=120.0, seed=CHAOS_SEED)
+    defaults.update(overrides)
+    return SchedulerConfig(**defaults)
+
+
+def all_kinds_plan(units):
+    """One of each chaos kind on attempt 0 of a distinct random unit."""
+    kinds = ["kill", "stall", "sleep", "error", "corrupt", "truncate",
+             "duplicate"]
+    targets = list(range(units))
+    random.Random(CHAOS_SEED).shuffle(targets)
+    plan = ChaosPlan()
+    for unit_id, kind in zip(targets, kinds):
+        plan.add(unit_id, 0, kind,
+                 seconds=0.5 if kind == "sleep" else 0.0)
+    return plan
+
+
+def agg_bytes(aggregate):
+    return json.dumps(aggregate.to_dict(), sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def serial_fault_fold():
+    return FaultAggregate.fold("sum_loop", fault_campaign().run().trials)
+
+
+# ----------------------------------------------------------------------
+# Fault campaigns: the full chaos-kind matrix on the socket backend
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_fault_chaos_all_kinds_socket(workers, serial_fault_fold):
+    plan = all_kinds_plan(units=TRIALS // UNIT_TRIALS)
+    scheduled = fault_campaign().run_scheduled(
+        chaos_scheduler("socket", workers), chaos=plan)
+    _record(f"fault/socket/w{workers}", scheduled.health)
+
+    assert agg_bytes(scheduled.aggregate) == agg_bytes(serial_fault_fold)
+    health = scheduled.health
+    assert health.ledger_balanced()
+    assert health.merged_trials == TRIALS
+    assert health.degraded_trials == 0
+    # Every injected incident is visible in its counter:
+    assert health.worker_deaths >= 2          # kill + truncate
+    assert health.expired_leases >= 1         # stall past the lease
+    assert health.worker_errors >= 1          # injected harness error
+    assert health.corrupt_payloads >= 1       # checksum mismatch
+    assert health.duplicate_results >= 1      # duplicated frame absorbed
+    # ... and every failed attempt earned a retry dispatch.
+    assert health.retries >= 4                # kill/stall/error/corrupt+
+    assert health.dispatches == TRIALS // UNIT_TRIALS + health.retries \
+        + health.hedges
+
+
+def test_fault_chaos_all_kinds_fork(serial_fault_fold):
+    """Fork backend: process-level chaos kinds (frame-level kinds run
+    normally there — there is no frame layer to corrupt)."""
+    plan = ChaosPlan()
+    plan.add(0, 0, "kill")
+    plan.add(3, 0, "error")
+    plan.add(5, 0, "sleep", seconds=0.3)
+    scheduled = fault_campaign().run_scheduled(
+        chaos_scheduler("fork", 2), chaos=plan)
+    _record("fault/fork/w2", scheduled.health)
+
+    assert agg_bytes(scheduled.aggregate) == agg_bytes(serial_fault_fold)
+    assert scheduled.health.ledger_balanced()
+    assert scheduled.health.merged_trials == TRIALS
+    assert scheduled.health.worker_deaths >= 1
+    assert scheduled.health.worker_errors >= 1
+    assert scheduled.health.retries >= 2
+
+
+def test_fault_chaos_all_kinds_inline(serial_fault_fold):
+    """Inline backend: the same policy decisions without processes."""
+    plan = all_kinds_plan(units=TRIALS // UNIT_TRIALS)
+    scheduled = fault_campaign().run_scheduled(
+        chaos_scheduler("inline", 1, lease_timeout_s=0.2), chaos=plan)
+    _record("fault/inline/w1", scheduled.health)
+
+    assert agg_bytes(scheduled.aggregate) == agg_bytes(serial_fault_fold)
+    assert scheduled.health.ledger_balanced()
+    assert scheduled.health.merged_trials == TRIALS
+    assert scheduled.health.corrupt_payloads >= 2  # corrupt + truncate
+    assert scheduled.health.duplicate_results >= 1
+
+
+# ----------------------------------------------------------------------
+# Soak and pruned campaigns under chaos
+# ----------------------------------------------------------------------
+
+def soak_campaign():
+    return SoakCampaign(get_kernel("sum_loop"), SoakConfig(
+        trials=6, seed=CHAOS_SEED, fault_rate=1.0 / 2000.0,
+        max_cycles=120_000))
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_soak_chaos_socket(workers):
+    serial = SoakAggregate.fold("sum_loop", soak_campaign().run().trials)
+    plan = ChaosPlan()
+    plan.add(0, 0, "kill")
+    plan.add(1, 0, "corrupt")
+    plan.add(2, 0, "duplicate")
+    scheduled = soak_campaign().run_scheduled(
+        chaos_scheduler("socket", workers), chaos=plan)
+    _record(f"soak/socket/w{workers}", scheduled.health)
+
+    assert agg_bytes(scheduled.aggregate) == agg_bytes(serial)
+    assert scheduled.health.ledger_balanced()
+    assert scheduled.health.merged_trials == 6
+    assert scheduled.health.worker_deaths >= 1
+    assert scheduled.health.corrupt_payloads >= 1
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_pruned_chaos_socket(workers):
+    campaign = fault_campaign()
+    plan = campaign.pruning_plan(slot_range=(0, 6))
+    serial = fault_campaign().run_pruned(plan=plan)
+    weights = [int(cls["weight"]) for cls in serial.classes]
+    fold = FaultAggregate.fold("sum_loop", serial.trials, weights)
+
+    chaos = ChaosPlan()
+    chaos.add(0, 0, "kill")
+    chaos.add(1, 0, "truncate")
+    scheduled = campaign.run_pruned_scheduled(
+        chaos_scheduler("socket", workers, unit_trials=7), plan=plan,
+        chaos=chaos)
+    _record(f"pruned/socket/w{workers}", scheduled.health)
+
+    assert agg_bytes(scheduled.aggregate) == agg_bytes(fold)
+    assert scheduled.aggregate.trials == plan.raw_sites
+    assert scheduled.health.ledger_balanced()
+    assert scheduled.health.worker_deaths >= 2
+
+
+# ----------------------------------------------------------------------
+# Graceful degradation: a unit whose every attempt dies
+# ----------------------------------------------------------------------
+
+def test_permanent_failure_degrades_instead_of_aborting():
+    plan = ChaosPlan()
+    for attempt_no in range(8):
+        plan.add(0, attempt_no, "kill")      # unit 0 can never succeed
+    scheduled = fault_campaign().run_scheduled(
+        chaos_scheduler("socket", 2, max_attempts=3), chaos=plan)
+    _record("fault/socket/degraded", scheduled.health)
+
+    health = scheduled.health
+    assert health.degraded_units == 1
+    assert health.degraded_trials == UNIT_TRIALS
+    assert health.merged_trials == TRIALS     # campaign still completed
+    assert health.ledger_balanced()
+    assert health.worker_deaths >= 3
+    # The dead unit's trials land as harness_error; the rest match the
+    # serial fold exactly.
+    aggregate = scheduled.aggregate
+    assert aggregate.harness_errors() == UNIT_TRIALS
+    healthy = fault_campaign().run().trials[UNIT_TRIALS:]
+    fold = FaultAggregate.fold("sum_loop", healthy)
+    fold.record_degraded(UNIT_TRIALS)
+    assert aggregate.trials == TRIALS
+    assert aggregate.detected_itr == fold.detected_itr
+    assert aggregate.outcomes == fold.outcomes
+
+
+def test_health_counters_are_monotone_and_complete():
+    """Chaos can only add incidents — no counter ever goes negative and
+    the ledger identity holds across every campaign this module ran."""
+    for entry in _SUMMARY:
+        for key, value in entry.items():
+            if isinstance(value, int):
+                assert value >= 0, (entry["campaign"], key)
+        assert entry["dispatches"] == (entry["accepted"]
+                                       + entry["superseded"]
+                                       + entry["failed"]
+                                       + entry["cancelled"]), \
+            entry["campaign"]
+
+
+# ----------------------------------------------------------------------
+# Early stopping: statistical acceptance across the whole kernel suite
+# ----------------------------------------------------------------------
+
+def test_early_stopping_confident_on_all_kernels():
+    """On every kernel, the Wilson-stopped estimate agrees with the
+    full-campaign proportion within the configured confidence, and the
+    stopped aggregate is byte-identical to the serial fold of its
+    merged prefix (determinism is what makes the statistics honest)."""
+    early = EarlyStopConfig(margin=0.25, z=1.96, min_trials=8)
+    config = SchedulerConfig(backend="inline", workers=1, unit_trials=4,
+                             early_stop=early, campaign_timeout_s=120.0)
+    for kernel in all_kernels():
+        campaign = FaultCampaign(kernel, CampaignConfig(
+            trials=TRIALS, seed=CHAOS_SEED,
+            observation_cycles=OBSERVATION_CYCLES))
+        scheduled = campaign.run_scheduled(config)
+        merged = scheduled.health.merged_trials
+        assert merged >= early.min_trials
+
+        trials = campaign.run().trials
+        prefix = FaultAggregate.fold(kernel.name, trials[:merged])
+        assert agg_bytes(scheduled.aggregate) == agg_bytes(prefix), \
+            kernel.name
+        full = FaultAggregate.fold(kernel.name, trials)
+        # The stop fired because the prefix interval half-width dropped
+        # below margin, so the full-campaign proportion must sit within
+        # twice that margin of the stopped estimate.
+        drift = abs(scheduled.aggregate.detected_fraction()
+                    - full.detected_fraction())
+        assert drift <= 2 * early.margin, (kernel.name, drift)
+        assert scheduled.health.ledger_balanced(), kernel.name

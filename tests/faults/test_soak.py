@@ -145,6 +145,57 @@ class TestSoakCampaign:
         other = SoakCampaign(kernel, soak_config(trials=2, seed=999))
         with pytest.raises(ValueError, match="different campaign"):
             other.run(save_path=save, resume=True)
+        # A well-formed foreign partial is an operator error, not file
+        # damage: it must NOT be quarantined.
+        assert not (tmp_path / "partial.json.corrupt").exists()
+
+
+class TestPartialQuarantine:
+    """Damaged resumable partials are quarantined and re-run, not fatal.
+
+    A crash mid-write (truncation), bit rot (checksum mismatch) or a
+    pre-checksum-era file (missing checksum) must cost a shard re-run —
+    never a crashed resume or silently wrong aggregates.
+    """
+
+    def _damaged_resume(self, kernel, tmp_path, damage):
+        config = soak_config(trials=3)
+        baseline = SoakCampaign(kernel, config).run()
+        save = tmp_path / "partial.json"
+        SoakCampaign(kernel, config).run(save_path=str(save))
+        damage(save)
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            resumed = SoakCampaign(kernel, config).run(
+                save_path=str(save), resume=True)
+        # The damaged file moved aside; a fresh, valid partial replaced
+        # it; the re-run aggregates are byte-identical to clean runs.
+        corrupt = tmp_path / "partial.json.corrupt"
+        assert corrupt.exists()
+        assert json.dumps(resumed.aggregate(), sort_keys=True) \
+            == json.dumps(baseline.aggregate(), sort_keys=True)
+        fresh = json.loads(save.read_text())
+        assert sorted(fresh["completed"], key=int) == ["0", "1", "2"]
+
+    def test_truncated_partial_is_quarantined(self, kernel, tmp_path):
+        def truncate(save):
+            text = save.read_text()
+            save.write_text(text[:len(text) // 2])
+        self._damaged_resume(kernel, tmp_path, truncate)
+
+    def test_checksum_mismatch_is_quarantined(self, kernel, tmp_path):
+        def flip_content(save):
+            payload = json.loads(save.read_text())
+            first = sorted(payload["completed"])[0]
+            payload["completed"][first]["strikes"] = 10_000
+            save.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        self._damaged_resume(kernel, tmp_path, flip_content)
+
+    def test_missing_checksum_is_quarantined(self, kernel, tmp_path):
+        def strip_checksum(save):
+            payload = json.loads(save.read_text())
+            del payload["checksum"]
+            save.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        self._damaged_resume(kernel, tmp_path, strip_checksum)
 
     def test_recovery_disabled_matches_monitorless_machine(self, kernel):
         """recovery=False builds the machine without a checkpoint unit;
