@@ -16,7 +16,9 @@ engine:
 A third section records the *pruned* campaign's throughput: one
 representative trial per static equivalence class over an exhaustive
 slot window, so the effective site-coverage rate (sites/s) exceeds the
-raw trial rate by the measured prune ratio.
+raw trial rate by the measured prune ratio. A fourth compares the
+static-profile plan (cache-model interpreter, zero warm-up profiling)
+against the dynamic-profile plan on both startup cost and trial rate.
 
 Alongside the human-readable report, the measured rates are written to
 ``benchmarks/results/BENCH_trials_per_sec.json`` so the performance
@@ -74,6 +76,25 @@ def test_parallel_speedup(save_report):
     assert pruned.injected_trials == len(plan.classes)
     assert sum(cls["weight"] for cls in pruned.classes) == plan.raw_sites
 
+    # Static-profile pruning: the cache-model interpreter derives the
+    # role profile offline, so plan construction skips the ItrProbe
+    # warm-up run entirely — the startup saving is the whole point.
+    dyn_campaign = _campaign()
+    start = time.perf_counter()
+    dyn_campaign.pruning_plan(slot_range=(0, PRUNED_SLOTS))
+    dynamic_plan_s = time.perf_counter() - start
+
+    static_campaign = _campaign()
+    start = time.perf_counter()
+    static_plan = static_campaign.pruning_plan(
+        slot_range=(0, PRUNED_SLOTS), profile_source="static")
+    static_plan_s = time.perf_counter() - start
+    start = time.perf_counter()
+    static_pruned = static_campaign.run_pruned(plan=static_plan,
+                                               workers=POOL)
+    static_pruned_s = time.perf_counter() - start
+    assert static_pruned.injected_trials == len(static_plan.classes)
+
     # Scheduler mode: the same campaign through leased work units on the
     # fork-pool backend, and once more with early stopping enabled to
     # measure how many trials the Wilson rule saves at a 5% margin.
@@ -112,6 +133,15 @@ def test_parallel_speedup(save_report):
         f"  {POOL} workers      : {pruned_s:.2f}s "
         f"({pruned.injected_trials / pruned_s:.1f} trials/s, "
         f"{pruned.raw_sites / pruned_s:.1f} sites/s effective)",
+        f"static-profile pruning: same window, zero-profiling startup",
+        f"  plan build     : {static_plan_s:.2f}s static vs "
+        f"{dynamic_plan_s:.2f}s dynamic "
+        f"({dynamic_plan_s / static_plan_s:.1f}x faster startup)",
+        f"  {POOL} workers      : {static_pruned_s:.2f}s "
+        f"({static_pruned.injected_trials / static_pruned_s:.1f} "
+        f"trials/s, "
+        f"{static_pruned.raw_sites / static_pruned_s:.1f} sites/s "
+        f"effective)",
         f"scheduler mode: leased work units, {POOL}-worker fork pool, "
         f"16 trials/unit",
         f"  full campaign  : {scheduled_s:.2f}s "
@@ -136,6 +166,12 @@ def test_parallel_speedup(save_report):
         "pruned_trials_per_sec":
             round(pruned.injected_trials / pruned_s, 2),
         "pruned_sites_per_sec": round(pruned.raw_sites / pruned_s, 2),
+        "static_plan_build_sec": round(static_plan_s, 3),
+        "dynamic_plan_build_sec": round(dynamic_plan_s, 3),
+        "static_pruned_trials_per_sec":
+            round(static_pruned.injected_trials / static_pruned_s, 2),
+        "static_pruned_sites_per_sec":
+            round(static_pruned.raw_sites / static_pruned_s, 2),
         "scheduler_trials_per_sec": round(TRIALS / scheduled_s, 2),
         "scheduler_unit_trials": 16,
         "early_stop_margin": 0.05,

@@ -64,6 +64,18 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit the protection certificate "
                              "(maskability, distance audit, reuse "
                              "prediction) instead of the plain report")
+    parser.add_argument("--prune", action="store_true",
+                        help="emit the fault-site pruning-plan summary "
+                             "(classes, ratio, fingerprint) instead of "
+                             "the plain report")
+    parser.add_argument("--profile-source", type=str, default="static",
+                        choices=["static", "dynamic"],
+                        dest="profile_source",
+                        help="--prune only: reference-profile source "
+                             "(default: static — the validated "
+                             "cache-model reconstruction, zero "
+                             "simulation; 'dynamic' runs the ItrProbe "
+                             "profiling pass)")
     parser.add_argument("--json", action="store_true",
                         help="emit the machine-readable JSON report")
     parser.add_argument("--verbose", action="store_true",
@@ -83,15 +95,16 @@ def build_parser() -> argparse.ArgumentParser:
 def _load_inputs(parser: argparse.ArgumentParser,
                  args: argparse.Namespace
                  ) -> List[Tuple[str, Optional[Program],
-                                 Tuple[Waiver, ...], Optional[str]]]:
-    """Resolve CLI inputs to (name, program, waivers, error) records."""
+                                 Tuple[Waiver, ...], Tuple[int, ...],
+                                 Optional[str]]]:
+    """Resolve CLI inputs to (name, program, waivers, inputs, error)."""
     chosen = sum(bool(x) for x in
                  (args.source, args.kernel, args.all_kernels))
     if chosen != 1:
         parser.error("give exactly one input: a source file, "
                      "--kernel NAME, or --all-kernels")
-    out: List[Tuple[str, Optional[Program],
-                    Tuple[Waiver, ...], Optional[str]]] = []
+    out: List[Tuple[str, Optional[Program], Tuple[Waiver, ...],
+                    Tuple[int, ...], Optional[str]]] = []
     if args.source:
         path = Path(args.source)
         try:
@@ -101,9 +114,9 @@ def _load_inputs(parser: argparse.ArgumentParser,
             raise SystemExit(2)
         try:
             out.append((path.stem, assemble(source, name=path.stem),
-                        (), None))
+                        (), (), None))
         except AssemblerError as exc:
-            out.append((path.stem, None, (), str(exc)))
+            out.append((path.stem, None, (), (), str(exc)))
         return out
     from ..workloads.kernels.base import all_kernels, get_kernel
     kernels = (all_kernels() if args.all_kernels
@@ -111,11 +124,73 @@ def _load_inputs(parser: argparse.ArgumentParser,
     for kernel in kernels:
         try:
             out.append((kernel.name, kernel.program(),
-                        tuple(kernel.waivers), None))
+                        tuple(kernel.waivers), tuple(kernel.inputs),
+                        None))
         except AssemblerError as exc:
             out.append((kernel.name, None, tuple(kernel.waivers),
-                        str(exc)))
+                        tuple(kernel.inputs), str(exc)))
     return out
+
+
+def _prune_summary(program: Program, inputs: Tuple[int, ...],
+                   profile_source: str) -> dict:
+    """Build a pruning plan and summarize it (the ``--prune`` mode).
+
+    ``static`` derives the reference profile from the cache-model
+    reconstruction in committed coordinates — no simulator involved;
+    ``dynamic`` runs the ItrProbe profiling pass under the default
+    pipeline configuration.
+    """
+    from .pruning import build_pruning_plan
+    if profile_source == "static":
+        from ..itr.itr_cache import ItrCacheConfig
+        from .cache_model import (
+            build_static_profile,
+            reconstruct_committed_schedule,
+            replay_cache,
+        )
+        schedule = reconstruct_committed_schedule(program, inputs=inputs)
+        replay = replay_cache(schedule, ItrCacheConfig())
+        profile = build_static_profile(schedule, replay)
+        plan = build_pruning_plan(program, profile,
+                                  benchmark=program.name,
+                                  population="committed",
+                                  canonical=True)
+    else:
+        from .fault_sites import collect_reference_profile
+        profile = collect_reference_profile(program, inputs=inputs)
+        plan = build_pruning_plan(program, profile,
+                                  benchmark=program.name)
+    verdicts: dict = {}
+    for cls in plan.classes:
+        verdicts[cls.verdict] = verdicts.get(cls.verdict, 0) + 1
+    return {
+        "program": program.name,
+        "profile_source": profile_source,
+        "run_reason": profile.run_reason,
+        "decode_count": profile.decode_count,
+        "raw_sites": plan.raw_sites,
+        "classes": len(plan.classes),
+        "prune_ratio": round(plan.prune_ratio, 4),
+        "verdicts": dict(sorted(verdicts.items())),
+        "fingerprint": plan.fingerprint(),
+    }
+
+
+def _render_prune_summary(summary: dict) -> str:
+    """Text form of one ``--prune`` summary."""
+    verdicts = ", ".join(f"{name}={count}" for name, count
+                         in summary["verdicts"].items())
+    return "\n".join([
+        f"{summary['program']}: pruning plan "
+        f"({summary['profile_source']} profile)",
+        f"  decode slots: {summary['decode_count']} "
+        f"({summary['run_reason']})",
+        f"  raw sites:    {summary['raw_sites']}",
+        f"  classes:      {summary['classes']} "
+        f"({summary['prune_ratio']:.1f}x fewer trials)",
+        f"  verdicts:     {verdicts}",
+    ])
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -129,6 +204,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(
             f"--distance-threshold must be >= 1, "
             f"got {args.distance_threshold}")
+    if args.prune and args.certify:
+        parser.error("--prune and --certify are mutually exclusive")
     try:
         inputs = _load_inputs(parser, args)
     except SystemExit as exc:
@@ -137,7 +214,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     exit_code = 0
     json_out: List[Any] = []
     rendered: List[str] = []
-    for name, program, waivers, error in inputs:
+    for name, program, waivers, kernel_inputs, error in inputs:
         if program is None:
             if args.json:
                 json_out.append({"program": name,
@@ -145,6 +222,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             else:
                 print(f"error: {name}: {error}", file=sys.stderr)
             exit_code = max(exit_code, 2)
+            continue
+        if args.prune:
+            summary = _prune_summary(program, kernel_inputs,
+                                     args.profile_source)
+            if args.json:
+                json_out.append(summary)
+            else:
+                rendered.append(_render_prune_summary(summary))
             continue
         if args.certify:
             cert = certify_program(

@@ -571,6 +571,24 @@ class AbsintResult:
             return TOP
         return _state_read(state, register)
 
+    def value_after(self, pc: int, register: int) -> AbstractValue:
+        """Abstraction of one register just *after* the instruction at
+        ``pc`` — the in-state pushed through that instruction's transfer
+        function (trap service resolution included, mirroring the
+        fixpoint). The cache model reads loop-entry values here: the
+        state after a preheader's last instruction is the value a loop's
+        first iteration observes, *before* the header join widens it."""
+        state = self.in_states.get(pc)
+        if state is None:
+            return TOP
+        signals = decode(self.program.instruction_at(pc))
+        service = (resolve_syscall_service(self.program, pc,
+                                           self.cfg.join_points)
+                   if signals.is_trap else None)
+        scratch = dict(state)
+        _transfer(scratch, signals, pc, service)
+        return _state_read(scratch, register)
+
     def operands_at(self, pc: int
                     ) -> Optional[Tuple[AbstractValue, AbstractValue]]:
         """Gated abstract source operands of the instruction at ``pc``."""
@@ -578,7 +596,7 @@ class AbsintResult:
         if state is None:
             return None
         return _gated_operands(
-            state, decode(self.program.instruction_at(pc)))
+            decode(self.program.instruction_at(pc)), state)
 
 
 def analyze_values(program: Program,

@@ -1,0 +1,1152 @@
+"""Static ITR-cache interpreter: offline trace roles and repeat distances.
+
+This module reconstructs — without running the cycle simulator — the
+per-trace-instance behavior the ITR cache exhibits on a kernel's
+fault-free run, per cache geometry. It is the fourth mutually-checking
+static layer (after the trace inventory, the coverage certifier and the
+abstract interpreter), and it feeds three consumers:
+
+* campaign pruning (:meth:`repro.faults.campaign.FaultCampaign
+  .run_pruned` with ``profile_source="static"``) — the dynamic
+  ``ItrProbe`` profiling run is replaced by a statically derived
+  profile;
+* the paper's Figs. 3-4 repeat-distance distributions, computed from
+  the reconstructed committed trace sequence;
+* the ``cache_model_validation`` experiment, which gates the static
+  schedules against dynamic ``ItrProbe`` observation.
+
+Coordinate system
+-----------------
+
+The static layer works in **committed (architectural) coordinates**:
+slot ``k`` is the ``k``-th committed instruction. Wrong-path fetch
+bursts are backend-timing artifacts (predictor state trains at commit
+but is read at fetch), so their decode-slot positions are not static
+properties; the committed stream is. Reconstruction drives the
+one-instruction-at-a-time functional executor and segments its commit
+stream at :func:`repro.analysis.static_traces.walk_static_trace`
+boundaries — valid because in a fault-free run every pipeline flush
+coincides with a trace-ending instruction, so the dynamic trace former
+observes exactly these segments. Every step is cross-validated against
+the static walk (PC-by-PC); a mismatch raises :class:`CacheModelError`.
+
+Exactness criterion
+-------------------
+
+Replaying the committed trace sequence through a real
+:class:`~repro.itr.itr_cache.ItrCache` reproduces the dynamic committed
+access kinds and signature fates **exactly** whenever no cache set's
+distinct committed-trace population exceeds its associativity:
+
+* wrong-path instances never *insert* (the write happens at trace
+  commit), so residency changes only through committed misses;
+* with per-set population <= ways, every committed insert lands in a
+  free way — zero evictions, ever — so speculative *lookups* (which
+  only touch LRU recency and checked bits) cannot perturb any victim
+  choice, and hit/miss is purely "was this start PC inserted before".
+
+Sets whose committed population exceeds the ways ("pressured") lose
+this guarantee: wrong-path lookups may reorder LRU state and change
+victims. There the model emits conservative role intervals and
+per-geometry exposure bounds instead of exact roles.
+
+Two dynamic phenomena remain outside static reach even when the replay
+is exact, and are handled by canonicalization:
+
+* **forward vs. hit** — whether a repeat instance compares against the
+  ITR ROB (writer still in flight) or the cache is a timing artifact;
+  both perform the same committed comparison, so the static access kind
+  for either is ``"checked"``;
+* **ghost re-checks** — a squashed wrong-path compare can confirm a
+  line whose writer never sees another *committed* compare; the dynamic
+  profiler reports ``ghost_rechecked`` where the static fate is
+  ``resident``/``evicted``. Each instance's ``may_followups`` carries
+  the dynamic possibilities, and the pruning layer's canonical role
+  projection folds both sides onto the same key.
+
+Trip counts
+-----------
+
+:func:`derive_trip_counts` proves loop trip counts from the abstract
+interpreter's signed-interval domain plus an affine-induction pattern:
+a single-latch loop whose unique exit branch compares an induction
+register (one writer, proven affine ``r += c``) against a
+loop-invariant constant. Where init and bound are abstract constants
+the count is iterated exactly; otherwise the interval width bounds it.
+Proven counts are cross-checked against the reconstruction's observed
+header visit counts — disagreement is an analyzer bug and raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import gcd
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..arch.functional import FunctionalSimulator
+from ..arch.semantics import execute
+from ..arch.state import arch_reg
+from ..isa.decode_signals import DecodeSignals, decode
+from ..isa.instruction import INSTRUCTION_BYTES
+from ..isa.program import Program
+from ..itr.itr_cache import ItrCache, ItrCacheConfig
+from ..itr.trace import TraceEvent, TraceProfile
+from .absint import AbsintResult, analyze_values
+from .cfg import ControlFlowGraph
+from .fault_sites import ReferenceProfile, SlotRole, TraceInstanceRecord
+from .loops import LoopNest, NaturalLoop, dominates, immediate_dominators
+from .static_traces import StaticTrace, walk_static_trace
+
+_WORD = 0xFFFFFFFF
+
+#: Canonical static access kinds ("checked" folds forward and hit).
+ACCESS_CHECKED = "checked"
+ACCESS_MISS = "miss"
+
+#: Default committed-instruction budget for schedule reconstruction.
+DEFAULT_MAX_INSTRUCTIONS = 500_000
+
+#: Iteration cap of the symbolic trip-count evaluation.
+_TRIP_ITERATION_CAP = 2_000_000
+
+
+class CacheModelError(RuntimeError):
+    """A static/dynamic cross-check inside the cache model failed."""
+
+
+# ======================================================================
+# Loop trip counts (absint signed-interval domain + affine induction)
+# ======================================================================
+
+@dataclass(frozen=True)
+class LoopTripCount:
+    """Static trip-count knowledge for one natural loop.
+
+    ``proven`` is the exact number of header visits per loop entry when
+    some tier closes it: ``tier == "affine"`` means the symbolic prover
+    (absint constants + affine induction) derived it with no reference
+    to any execution; ``tier == "replay"`` means the cross-validated
+    committed reconstruction (exact concrete interpretation of the
+    closed program) observed a uniform per-entry count. Loops whose
+    per-entry counts vary (e.g. triangular nests) or whose schedules
+    were budget-truncated keep ``proven is None``; ``bound_hi``
+    conservatively bounds the per-entry count where derivable and
+    ``reason`` says why the symbolic proof failed. ``total_visits`` /
+    ``entries`` carry the exact whole-run accounting on complete
+    schedules regardless of per-entry uniformity.
+    """
+
+    header: int
+    proven: Optional[int]
+    bound_hi: Optional[int]
+    reason: str
+    tier: str = "none"            # "affine" | "replay" | "none"
+    total_visits: Optional[int] = None
+    entries: Optional[int] = None
+
+    @property
+    def provable(self) -> bool:
+        """Whether the per-entry trip count carries a proof."""
+        return self.proven is not None
+
+    @property
+    def resolved(self) -> bool:
+        """Whether the loop's whole-run visit count is exactly known."""
+        return self.total_visits is not None or self.proven is not None
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable form for reports and exports."""
+        return {
+            "header": f"0x{self.header:08x}",
+            "proven": self.proven,
+            "bound_hi": self.bound_hi,
+            "reason": self.reason,
+            "tier": self.tier,
+            "total_visits": self.total_visits,
+            "entries": self.entries,
+        }
+
+
+def _affine_step(signals: DecodeSignals, pc: int, register: int,
+                 src2_const: Optional[int]) -> Optional[int]:
+    """Step constant ``c`` when the instruction acts as ``r <- r + c``.
+
+    Verified semantically (not by opcode table): the instruction must
+    be a pure ALU op reading and writing ``register`` — either
+    immediate-form (``addi r, r, c``) or register-form with a
+    loop-invariant abstract-constant second source (``src2_const``) —
+    and :func:`repro.arch.semantics.execute` must behave affinely on
+    probe points. Probes plus the structural requirements pin the
+    semantics for the ISA's ALU ops; any residual misclassification is
+    caught by the observed-visit cross-check.
+    """
+    if (signals.is_ld or signals.is_st or signals.is_control
+            or signals.is_trap or signals.num_rdst != 1
+            or signals.rdst_is_fp or signals.rsrc1_is_fp):
+        return None
+    if arch_reg(signals.rdst, False) != register:
+        return None
+    if arch_reg(signals.rsrc1, False) != register:
+        return None
+    if signals.num_rsrc == 1:
+        src2 = 0
+    elif signals.num_rsrc == 2 and src2_const is not None:
+        src2 = src2_const & _WORD
+    else:
+        return None
+    base = execute(signals, 0, src2, pc).value
+    if base is None:
+        return None
+    step = base & _WORD
+    for sample in (1, 7, 123456, 0x7FFFFFFB, 0xFFFFFFF0):
+        out = execute(signals, sample, src2, pc).value
+        if out is None or out & _WORD != (sample + step) & _WORD:
+            return None
+    return step if step else None
+
+
+def _unproven(header: int, reason: str,
+              bound_hi: Optional[int] = None) -> LoopTripCount:
+    return LoopTripCount(header=header, proven=None,
+                         bound_hi=bound_hi, reason=reason)
+
+
+class _Unprovable(Exception):
+    """Internal: the symbolic evaluation hit an undefined value."""
+
+
+#: Operand-spec tags of the symbolic exit-condition evaluator.
+_CONST = "const"
+_IND = "ind"
+_DERIVED = "derived"
+
+
+def _derive_one_trip_count(program: Program, cfg: ControlFlowGraph,
+                           nest: LoopNest, absres: AbsintResult,
+                           idom: Dict[int, Optional[int]],
+                           loop: NaturalLoop) -> LoopTripCount:
+    header = loop.header
+    if not loop.blocks.isdisjoint(nest.irreducible_blocks):
+        return _unproven(header, "intersects irreducible region")
+    for leader in loop.blocks:
+        for pc in cfg.block_at(leader).pcs():
+            if pc in cfg.halting_pcs:
+                return _unproven(header, "exit syscall inside body")
+
+    exits = [(leader, succ)
+             for leader in sorted(loop.blocks)
+             for succ in cfg.successors.get(leader, ())
+             if succ not in loop.blocks]
+    if len(exits) != 1:
+        return _unproven(header, f"{len(exits)} exit edges")
+    exit_leader = exits[0][0]
+
+    tails = sorted({tail for tail, _ in loop.back_edges})
+    if len(tails) != 1:
+        return _unproven(header, f"{len(tails)} back-edge tails")
+    latch = tails[0]
+    if exit_leader not in (latch, header):
+        return _unproven(header, "exit block is neither latch nor header")
+    exit_at_header = exit_leader == header and header != latch
+    exit_block = cfg.block_at(exit_leader)
+
+    branch_pc = exit_block.end_pc
+    instr = program.instruction_at(branch_pc)
+    signals = decode(instr)
+    if not signals.is_branch:
+        return _unproven(header, "exit is not a conditional branch")
+    taken_target = instr.branch_target(branch_pc)
+    fall_through = branch_pc + INSTRUCTION_BYTES
+    stay_taken = taken_target in loop.blocks
+    stay_fall = fall_through in loop.blocks
+    if stay_taken == stay_fall:
+        return _unproven(header, "branch successors ambiguous")
+
+    body_writers: Dict[int, List[int]] = {}
+    for leader in loop.blocks:
+        for pc in cfg.block_at(leader).pcs():
+            wsig = decode(program.instruction_at(pc))
+            if wsig.num_rdst:
+                dest = arch_reg(wsig.rdst, wsig.rdst_is_fp)
+                body_writers.setdefault(dest, []).append(pc)
+
+    # One affine induction register feeds the whole exit condition —
+    # read either by the branch itself or by a condition-producing ALU
+    # op (the assembler's slt/beq expansion of bge/blt-style branches).
+    ind_state: Dict[str, int] = {}
+
+    def classify_induction(reg: int, read_pc: int) -> Optional[str]:
+        pcs = body_writers.get(reg, [])
+        if len(pcs) != 1:
+            return "no unique affine induction"
+        writer_pc = pcs[0]
+        wsig = decode(program.instruction_at(writer_pc))
+        src2_const: Optional[int] = None
+        if wsig.num_rsrc == 2 and not wsig.rsrc2_is_fp:
+            value = absres.value_before(writer_pc,
+                                        arch_reg(wsig.rsrc2, False))
+            if value.is_const:
+                src2_const = value.const
+        step = _affine_step(wsig, writer_pc, reg, src2_const)
+        if step is None:
+            return "induction update not affine"
+        w_leader = nest.block_of_pc(writer_pc)
+        if (w_leader is None
+                or nest.innermost_loop_of_pc(writer_pc) != header
+                or not dominates(idom, w_leader, latch)):
+            return "induction update not once-per-iteration"
+        if ind_state:
+            return "induction read in multiple operands"
+        ind_state.update(reg=reg, step=step, writer_pc=writer_pc,
+                         w_leader=w_leader, read_pc=read_pc)
+        return None
+
+    def classify_operand(reg: int, is_fp: bool, read_pc: int,
+                         allow_derived: bool
+                         ) -> Tuple[Optional[Tuple], str]:
+        if is_fp:
+            return None, "fp-compared exit condition"
+        if reg == 0:
+            return (_CONST, 0), ""
+        if reg in body_writers:
+            error = classify_induction(reg, read_pc)
+            if error is None:
+                return (_IND,), ""
+        else:
+            error = "loop-invariant operand not an abstract constant"
+        value = absres.value_before(read_pc, reg)
+        if value.is_const:
+            return (_CONST, value.const & _WORD), ""
+        if allow_derived:
+            # Reaching definition inside the exit block: straight-line
+            # execution guarantees it overrides any other body writer,
+            # so the condition value is this op applied to *its* (also
+            # classified) operands. One level deep — covers the
+            # assembler's compare-then-branch expansions.
+            reaching: Optional[int] = None
+            for pc in exit_block.pcs():
+                if pc >= read_pc:
+                    break
+                wsig = decode(program.instruction_at(pc))
+                if (wsig.num_rdst
+                        and arch_reg(wsig.rdst,
+                                     wsig.rdst_is_fp) == reg):
+                    reaching = pc
+            if reaching is not None:
+                dsig = decode(program.instruction_at(reaching))
+                if (dsig.is_ld or dsig.is_st or dsig.is_control
+                        or dsig.is_trap or dsig.num_rdst != 1
+                        or dsig.rdst_is_fp):
+                    return None, "condition producer not a pure ALU op"
+                ops: List[Tuple] = []
+                if dsig.num_rsrc >= 1:
+                    spec, suberr = classify_operand(
+                        arch_reg(dsig.rsrc1, False), dsig.rsrc1_is_fp,
+                        reaching, allow_derived=False)
+                    if spec is None:
+                        return None, suberr
+                    ops.append(spec)
+                if dsig.num_rsrc >= 2:
+                    spec, suberr = classify_operand(
+                        arch_reg(dsig.rsrc2, False), dsig.rsrc2_is_fp,
+                        reaching, allow_derived=False)
+                    if spec is None:
+                        return None, suberr
+                    ops.append(spec)
+                return (_DERIVED, dsig, reaching, tuple(ops)), ""
+        return None, error
+
+    specs: List[Tuple] = []
+    for position in range(signals.num_rsrc):
+        if position == 0:
+            reg = arch_reg(signals.rsrc1, False)
+            is_fp = signals.rsrc1_is_fp
+        else:
+            reg = arch_reg(signals.rsrc2, False)
+            is_fp = signals.rsrc2_is_fp
+        spec, error = classify_operand(reg, is_fp, branch_pc,
+                                       allow_derived=True)
+        if spec is None:
+            bound = None
+            if ind_state:
+                bound = _interval_bound(absres, ind_state["read_pc"],
+                                        ind_state["reg"],
+                                        ind_state["step"])
+            return _unproven(header, error, bound_hi=bound)
+        specs.append(spec)
+    if not specs:
+        return _unproven(header, "exit branch reads no register")
+    if not ind_state:
+        return _unproven(header, "exit compares only invariants")
+
+    step = ind_state["step"]
+    preheaders = [p for p in cfg.predecessors.get(header, ())
+                  if p not in loop.blocks]
+    if not preheaders:
+        return _unproven(header, "no loop preheader")
+    inits: Set[int] = set()
+    for pre in preheaders:
+        value = absres.value_after(cfg.block_at(pre).end_pc,
+                                   ind_state["reg"])
+        if not value.is_const:
+            bound = _interval_bound(absres, ind_state["read_pc"],
+                                    ind_state["reg"], step)
+            return _unproven(header, "entry value not an abstract "
+                                     "constant", bound_hi=bound)
+        inits.add(value.const)
+    if len(inits) != 1:
+        bound = _interval_bound(absres, ind_state["read_pc"],
+                                ind_state["reg"], step)
+        return _unproven(header, "entry value differs across preheaders",
+                         bound_hi=bound)
+    init = inits.pop()
+
+    # Whether the induction update executes before the condition read
+    # within one iteration: in the same block it is program order; a
+    # header-positioned exit otherwise reads the previous iteration's
+    # value, a latch-positioned one always follows the body's update.
+    if ind_state["w_leader"] == exit_leader:
+        update_before_eval = ind_state["writer_pc"] < ind_state["read_pc"]
+    else:
+        update_before_eval = not exit_at_header
+
+    def operand_value(spec: Tuple, reg_value: int) -> int:
+        if spec[0] == _CONST:
+            return spec[1] & _WORD
+        return reg_value & _WORD
+
+    def stays(reg_value: int) -> bool:
+        values: List[int] = []
+        for spec in specs:
+            if spec[0] == _DERIVED:
+                _, dsig, dpc, ops = spec
+                src1 = operand_value(ops[0], reg_value) if ops else 0
+                src2 = (operand_value(ops[1], reg_value)
+                        if len(ops) > 1 else 0)
+                out = execute(dsig, src1, src2, dpc).value
+                if out is None:
+                    raise _Unprovable("condition producer value "
+                                      "undefined")
+                values.append(out & _WORD)
+            else:
+                values.append(operand_value(spec, reg_value))
+        src1 = values[0]
+        src2 = values[1] if len(values) > 1 else 0
+        taken = execute(signals, src1, src2, branch_pc).taken
+        return stay_taken if taken else stay_fall
+
+    value = init & _WORD
+    visits = 0
+    try:
+        while visits <= _TRIP_ITERATION_CAP:
+            visits += 1
+            if update_before_eval:
+                value = (value + step) & _WORD
+            if not stays(value):
+                return LoopTripCount(header=header, proven=visits,
+                                     bound_hi=visits,
+                                     reason="affine-exit",
+                                     tier="affine")
+            if not update_before_eval:
+                value = (value + step) & _WORD
+    except _Unprovable as exc:
+        return _unproven(header, str(exc))
+    return _unproven(header, "iteration cap exceeded")
+
+
+def _interval_bound(absres: AbsintResult, branch_pc: int, register: int,
+                    step: int) -> Optional[int]:
+    """Bound exit-branch evaluations from the induction interval width.
+
+    Sound for terminating runs: evaluation values are pairwise distinct
+    (a repeat would loop forever), all inside the abstract interval,
+    and spaced by multiples of ``gcd(step, 2**32)``.
+    """
+    value = absres.value_before(branch_pc, register)
+    width = value.hi - value.lo
+    if width >= _WORD:
+        return None
+    return width // gcd(step, 0x100000000) + 1
+
+
+def derive_trip_counts(program: Program,
+                       cfg: Optional[ControlFlowGraph] = None,
+                       nest: Optional[LoopNest] = None,
+                       absres: Optional[AbsintResult] = None
+                       ) -> Dict[int, LoopTripCount]:
+    """Trip-count knowledge for every natural loop, keyed by header."""
+    if cfg is None:
+        cfg = ControlFlowGraph(program)
+    if nest is None:
+        nest = LoopNest(cfg)
+    if absres is None:
+        absres = analyze_values(program, cfg, nest)
+    idom = immediate_dominators(cfg)
+    return {loop.header: _derive_one_trip_count(program, cfg, nest,
+                                                absres, idom, loop)
+            for loop in nest.loops}
+
+
+# ======================================================================
+# Committed-schedule reconstruction (functional replay, cross-checked)
+# ======================================================================
+
+@dataclass(frozen=True)
+class TraceOccurrence:
+    """One committed trace instance, in committed coordinates."""
+
+    seq: int
+    start_pc: int
+    start_slot: int
+    end_slot: int
+    length: int
+    signature: int
+
+
+@dataclass
+class CommittedSchedule:
+    """The committed trace sequence of one fault-free run.
+
+    Geometry-independent: this is the access *stream*; per-geometry
+    roles come from :func:`replay_cache`. ``run_reason`` is ``halted``
+    when the program finished inside the instruction budget, ``budget``
+    otherwise (the schedule is then a sound prefix).
+    """
+
+    occurrences: List[TraceOccurrence]
+    pcs: Tuple[int, ...]
+    run_reason: str
+    #: Per loop header: header visit counts of each activation, in
+    #: entry order (``[101, 101]`` = entered twice, 101 visits each).
+    header_entry_visits: Dict[int, List[int]]
+
+    @property
+    def header_visits(self) -> Dict[int, int]:
+        """Total header visit count per loop header, all entries."""
+        return {header: sum(per_entry) for header, per_entry
+                in self.header_entry_visits.items()}
+
+    @property
+    def header_entries(self) -> Dict[int, int]:
+        """Number of distinct loop activations per header."""
+        return {header: len(per_entry) for header, per_entry
+                in self.header_entry_visits.items()}
+
+    @property
+    def committed_instructions(self) -> int:
+        """Length of the committed schedule in dynamic instructions."""
+        return len(self.pcs)
+
+    def truncate(self, committed_limit: int) -> "CommittedSchedule":
+        """The schedule restricted to instances fully committed within
+        the first ``committed_limit`` committed instructions — the
+        window semantics of a bounded observation run (a trace cut by
+        the window never reaches its trace-commit, so it never inserts
+        and is not a committed instance)."""
+        if committed_limit >= len(self.pcs):
+            return self
+        kept = [occ for occ in self.occurrences
+                if occ.end_slot < committed_limit]
+        return CommittedSchedule(
+            occurrences=kept,
+            pcs=self.pcs[:committed_limit],
+            run_reason="window",
+            header_entry_visits={header: list(per_entry)
+                                 for header, per_entry
+                                 in self.header_entry_visits.items()},
+        )
+
+
+def reconstruct_committed_schedule(
+        program: Program,
+        inputs: Sequence[int] = (),
+        cfg: Optional[ControlFlowGraph] = None,
+        nest: Optional[LoopNest] = None,
+        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+        os_seed: int = 1) -> CommittedSchedule:
+    """Replay the committed stream and segment it into trace instances.
+
+    Drives :class:`~repro.arch.functional.FunctionalSimulator` (the
+    architectural oracle) trace-by-trace: each segment's PCs must match
+    the static walk instruction-for-instruction, so the static trace
+    inventory and the functional executor mutually check each other on
+    every instruction of the run.
+    """
+    if cfg is None:
+        cfg = ControlFlowGraph(program)
+    if nest is None:
+        nest = LoopNest(cfg)
+    loops_by_header = {loop.header: loop for loop in nest.loops}
+
+    trace_cache: Dict[int, StaticTrace] = {}
+    sim = FunctionalSimulator(program, inputs=inputs, os_seed=os_seed)
+    pcs: List[int] = []
+    occurrences: List[TraceOccurrence] = []
+    header_entry_visits: Dict[int, List[int]] = {
+        h: [] for h in loops_by_header}
+    previous_leader: Optional[int] = None
+    run_reason = "halted"
+
+    while not sim.halted:
+        start_pc = sim.state.pc
+        trace = trace_cache.get(start_pc)
+        if trace is None:
+            trace = walk_static_trace(program, start_pc, cfg=cfg)
+            trace_cache[start_pc] = trace
+        if len(pcs) + trace.length > max_instructions:
+            run_reason = "budget"
+            break
+        start_slot = len(pcs)
+        expected = start_pc
+        for position in range(trace.length):
+            if sim.state.pc != expected:
+                raise CacheModelError(
+                    f"functional stream diverged from static trace "
+                    f"0x{start_pc:08x} at position {position}: "
+                    f"expected 0x{expected:08x}, "
+                    f"functional at 0x{sim.state.pc:08x}")
+            pc = expected
+            leader = nest.block_of_pc(pc)
+            if leader == pc and leader in loops_by_header:
+                loop = loops_by_header[leader]
+                per_entry = header_entry_visits[leader]
+                if (previous_leader is None
+                        or previous_leader not in loop.blocks
+                        or not per_entry):
+                    per_entry.append(1)
+                else:
+                    per_entry[-1] += 1
+            if leader is not None:
+                previous_leader = leader
+            effect = sim.step()
+            pcs.append(effect.pc)
+            expected = effect.next_pc
+            if sim.halted:
+                if position != trace.length - 1:
+                    raise CacheModelError(
+                        f"program halted mid-trace at 0x{pc:08x} "
+                        f"(position {position} of trace "
+                        f"0x{start_pc:08x}) — the static walk missed "
+                        f"a terminator")
+        occurrences.append(TraceOccurrence(
+            seq=len(occurrences),
+            start_pc=start_pc,
+            start_slot=start_slot,
+            end_slot=len(pcs) - 1,
+            length=trace.length,
+            signature=trace.signature,
+        ))
+
+    return CommittedSchedule(
+        occurrences=occurrences,
+        pcs=tuple(pcs),
+        run_reason=run_reason,
+        header_entry_visits=header_entry_visits,
+    )
+
+
+def cross_check_trip_counts(schedule: CommittedSchedule,
+                            trip_counts: Dict[int, LoopTripCount]) -> None:
+    """Raise when a proven trip count contradicts the replayed visits.
+
+    Per-entry proofs scale by the observed entry count (a loop entered
+    ``n`` times with an invariant-constant bound runs the same count
+    each time). Only meaningful on complete (``halted``) schedules.
+    """
+    if schedule.run_reason != "halted":
+        return
+    for header, count in trip_counts.items():
+        if count.proven is None or count.tier != "affine":
+            continue
+        per_entry = schedule.header_entry_visits.get(header, [])
+        if any(visits != count.proven for visits in per_entry):
+            raise CacheModelError(
+                f"loop 0x{header:08x}: proven {count.proven} "
+                f"visits/entry contradicts observed activations "
+                f"{per_entry[:8]}")
+        bound = count.bound_hi
+        if bound is not None and any(v > bound for v in per_entry):
+            raise CacheModelError(
+                f"loop 0x{header:08x}: bound {bound} below observed "
+                f"activations {per_entry[:8]}")
+
+
+def finalize_trip_counts(schedule: CommittedSchedule,
+                         symbolic: Dict[int, LoopTripCount]
+                         ) -> Dict[int, LoopTripCount]:
+    """Fold replayed visit counts into the symbolic trip-count table.
+
+    The committed reconstruction is an exact concrete interpretation of
+    the closed program (fixed inputs, deterministic OS), instruction-
+    level cross-validated against the static trace inventory — so on
+    complete (``halted``) schedules it *resolves* every loop's visit
+    accounting exactly: uniform per-entry counts upgrade to a proven
+    constant (``tier="replay"``), varying ones keep the exact total
+    plus a per-entry ``bound_hi``. Symbolic (``affine``) proofs are
+    kept — they are input-independent and already cross-checked — and
+    only gain the observed totals. Budget-truncated schedules change
+    nothing.
+    """
+    out: Dict[int, LoopTripCount] = {}
+    complete = schedule.run_reason == "halted"
+    for header, count in symbolic.items():
+        per_entry = schedule.header_entry_visits.get(header, [])
+        if not complete:
+            out[header] = count
+            continue
+        total = sum(per_entry)
+        entries = len(per_entry)
+        if count.proven is not None:
+            out[header] = LoopTripCount(
+                header=header, proven=count.proven,
+                bound_hi=count.bound_hi, reason=count.reason,
+                tier=count.tier, total_visits=total, entries=entries)
+        elif not per_entry:
+            out[header] = LoopTripCount(
+                header=header, proven=None, bound_hi=count.bound_hi,
+                reason=f"replay-unentered ({count.reason})",
+                tier="replay", total_visits=0, entries=0)
+        elif len(set(per_entry)) == 1:
+            out[header] = LoopTripCount(
+                header=header, proven=per_entry[0],
+                bound_hi=per_entry[0],
+                reason=f"replay-exact ({count.reason})",
+                tier="replay", total_visits=total, entries=entries)
+        else:
+            observed_hi = max(per_entry)
+            bound = (min(count.bound_hi, observed_hi)
+                     if count.bound_hi is not None else observed_hi)
+            out[header] = LoopTripCount(
+                header=header, proven=None, bound_hi=bound,
+                reason=f"replay-varying ({count.reason})",
+                tier="replay", total_visits=total, entries=entries)
+    return out
+
+
+# ======================================================================
+# Per-geometry cache replay: roles, fates, exposure bounds
+# ======================================================================
+
+@dataclass(frozen=True)
+class InstanceOutcome:
+    """Static role of one committed trace instance under one geometry."""
+
+    seq: int
+    start_pc: int
+    start_slot: int
+    end_slot: int
+    length: int
+    access: str                    # "checked" | "miss"
+    followup: str                  # "-" | rechecked/recold/resident/evicted
+    #: Dynamic observations the static model admits: the singleton
+    #: exact role on pressure-free sets (plus ``ghost_rechecked`` for
+    #: last-cold fates, which only a squashed compare distinguishes);
+    #: the full alternative set on pressured sets.
+    may_accesses: Tuple[str, ...]
+    may_followups: Tuple[str, ...]
+    exact: bool
+
+
+_PRESSURED_FOLLOWUPS = ("-", "rechecked", "ghost_rechecked", "recold",
+                        "resident", "evicted")
+
+
+@dataclass
+class StaticCacheReplay:
+    """The ITR cache's statically replayed behavior for one geometry."""
+
+    config: ItrCacheConfig
+    outcomes: List[InstanceOutcome]
+    final_resident_pcs: FrozenSet[int]
+    cold_misses: int
+    evictions: int
+    unchecked_evictions: int
+    set_population: Dict[int, int]      # set index -> distinct committed PCs
+    pressured_sets: FrozenSet[int]
+    #: Conservative per-geometry exposure intervals; exact (lo == hi ==
+    #: the replayed value) when ``speculation_immune``.
+    cold_miss_bounds: Tuple[int, int]
+    unchecked_eviction_bounds: Tuple[int, int]
+
+    @property
+    def speculation_immune(self) -> bool:
+        """Whether the replay is provably exact (see module docstring)."""
+        return not self.pressured_sets
+
+    @property
+    def cold_window_instructions(self) -> int:
+        """Dynamic instructions inside first-instance (miss) windows —
+        the cold-exposure figure `coverage_cert` accounts per trace."""
+        return sum(outcome.length for outcome in self.outcomes
+                   if outcome.access == ACCESS_MISS)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable form for reports and exports."""
+        return {
+            "geometry": {
+                "entries": self.config.entries,
+                "assoc": self.config.assoc,
+                "label": self.config.label(),
+            },
+            "instances": len(self.outcomes),
+            "speculation_immune": self.speculation_immune,
+            "pressured_sets": len(self.pressured_sets),
+            "cold_misses": self.cold_misses,
+            "cold_miss_bounds": list(self.cold_miss_bounds),
+            "evictions": self.evictions,
+            "unchecked_evictions": self.unchecked_evictions,
+            "unchecked_eviction_bounds":
+                list(self.unchecked_eviction_bounds),
+            "cold_window_instructions": self.cold_window_instructions,
+        }
+
+
+def _set_index(start_pc: int, config: ItrCacheConfig) -> int:
+    return (start_pc // INSTRUCTION_BYTES) % config.num_sets
+
+
+def replay_cache(schedule: CommittedSchedule,
+                 config: ItrCacheConfig) -> StaticCacheReplay:
+    """Replay the committed trace sequence through a real ITR cache."""
+    cache = ItrCache(config)
+    accesses: List[str] = []
+    for occ in schedule.occurrences:
+        line = cache.lookup(occ.start_pc)
+        if line is None:
+            accesses.append(ACCESS_MISS)
+            cache.insert(occ.start_pc, occ.signature, occ.length)
+        else:
+            accesses.append(ACCESS_CHECKED)
+    final_resident = frozenset(line.tag for line in cache.valid_lines())
+
+    population: Dict[int, Set[int]] = {}
+    access_count: Dict[int, int] = {}
+    for occ in schedule.occurrences:
+        index = _set_index(occ.start_pc, config)
+        population.setdefault(index, set()).add(occ.start_pc)
+        access_count[index] = access_count.get(index, 0) + 1
+    pressured = frozenset(index for index, pcs in population.items()
+                          if len(pcs) > config.ways)
+
+    first_seen: Set[int] = set()
+    next_access: Dict[int, List[Tuple[int, str]]] = {}
+    for position, occ in enumerate(schedule.occurrences):
+        next_access.setdefault(occ.start_pc, []).append(
+            (position, accesses[position]))
+
+    def followup_of(position: int, start_pc: int) -> str:
+        for later, access in next_access[start_pc]:
+            if later <= position:
+                continue
+            return "rechecked" if access == ACCESS_CHECKED else "recold"
+        return ("resident" if start_pc in final_resident else "evicted")
+
+    outcomes: List[InstanceOutcome] = []
+    for position, occ in enumerate(schedule.occurrences):
+        access = accesses[position]
+        index = _set_index(occ.start_pc, config)
+        exact = index not in pressured
+        if access == ACCESS_MISS:
+            fate = followup_of(position, occ.start_pc)
+        else:
+            fate = "-"
+        if exact:
+            may_accesses = (access,)
+            if fate in ("resident", "evicted"):
+                may_followups: Tuple[str, ...] = (fate, "ghost_rechecked")
+            else:
+                may_followups = (fate,)
+        else:
+            if occ.start_pc in first_seen:
+                may_accesses = (ACCESS_CHECKED, ACCESS_MISS)
+            else:
+                may_accesses = (ACCESS_MISS,)
+            may_followups = _PRESSURED_FOLLOWUPS
+        first_seen.add(occ.start_pc)
+        outcomes.append(InstanceOutcome(
+            seq=occ.seq, start_pc=occ.start_pc,
+            start_slot=occ.start_slot, end_slot=occ.end_slot,
+            length=occ.length, access=access, followup=fate,
+            may_accesses=may_accesses, may_followups=may_followups,
+            exact=exact,
+        ))
+
+    cold_misses = sum(1 for access in accesses if access == ACCESS_MISS)
+    cold_lo = cold_hi = 0
+    evict_lo = evict_hi = 0
+    exact_misses: Dict[int, int] = {}
+    for position, occ in enumerate(schedule.occurrences):
+        if accesses[position] == ACCESS_MISS:
+            index = _set_index(occ.start_pc, config)
+            exact_misses[index] = exact_misses.get(index, 0) + 1
+    for index, pcs in population.items():
+        if index in pressured:
+            cold_lo += len(pcs)
+            cold_hi += access_count[index]
+            evict_lo += len(pcs) - config.ways
+            evict_hi += access_count[index] - min(config.ways, len(pcs))
+        else:
+            cold_lo += exact_misses.get(index, 0)
+            cold_hi += exact_misses.get(index, 0)
+
+    return StaticCacheReplay(
+        config=config,
+        outcomes=outcomes,
+        final_resident_pcs=final_resident,
+        cold_misses=cold_misses,
+        evictions=int(cache.stats["evictions"]),
+        unchecked_evictions=int(cache.stats["evictions_unchecked"]),
+        set_population={index: len(pcs)
+                        for index, pcs in population.items()},
+        pressured_sets=pressured,
+        cold_miss_bounds=(cold_lo, cold_hi),
+        unchecked_eviction_bounds=(evict_lo, evict_hi),
+    )
+
+
+# ======================================================================
+# Profiles: committed-coordinate and decode-coordinate projections
+# ======================================================================
+
+def build_static_profile(schedule: CommittedSchedule,
+                         replay: StaticCacheReplay) -> ReferenceProfile:
+    """A :class:`ReferenceProfile` in committed coordinates.
+
+    Byte-compatible with the dynamic profiler's structure: slot ``k``
+    is the ``k``-th *committed* instruction, every instance is
+    committed, and the access kind uses the canonical ``"checked"`` for
+    confirmed repeats (the dynamic forward/hit split is a timing
+    artifact; see module docstring).
+    """
+    instances = [
+        TraceInstanceRecord(
+            seq=outcome.seq, start_pc=outcome.start_pc,
+            start_slot=outcome.start_slot, end_slot=outcome.end_slot,
+            length=outcome.length, source=outcome.access, committed=True)
+        for outcome in replay.outcomes
+    ]
+    roles = _roles_from_outcomes(replay.outcomes,
+                                 len(schedule.pcs))
+    return ReferenceProfile(
+        decode_count=max(1, len(schedule.pcs)),
+        pcs=schedule.pcs,
+        instances=instances,
+        final_resident_pcs=replay.final_resident_pcs,
+        run_reason=schedule.run_reason,
+        roles=roles,
+        source="static",
+    )
+
+
+def _roles_from_outcomes(outcomes: Sequence[InstanceOutcome],
+                         slot_count: int,
+                         slot_of: Optional[Sequence[int]] = None
+                         ) -> List[SlotRole]:
+    """Slot roles from replay outcomes (identity or projected slots)."""
+    roles: List[SlotRole] = [
+        SlotRole(kind="squashed", access="none", followup="-",
+                 trace_start=None)
+        for _ in range(slot_count)]
+    for outcome in outcomes:
+        role = SlotRole(
+            kind="committed", access=outcome.access,
+            followup=(outcome.followup
+                      if outcome.access == ACCESS_MISS else "-"),
+            trace_start=outcome.start_pc)
+        for slot in range(outcome.start_slot, outcome.end_slot + 1):
+            mapped = slot_of[slot] if slot_of is not None else slot
+            if 0 <= mapped < slot_count:
+                roles[mapped] = role
+    return roles
+
+
+def project_to_decode_profile(schedule: CommittedSchedule,
+                              config: ItrCacheConfig,
+                              decode_count: int,
+                              commit_slots: Sequence[int]
+                              ) -> ReferenceProfile:
+    """Project the static schedule onto a campaign's decode coordinates.
+
+    ``commit_slots[k]`` is the decode slot of the ``k``-th committed
+    instruction, captured by the campaign's sizing run through the
+    pipeline's ``commit_slot_listener`` tap (no profiling run). The map
+    is order-preserving, so committed instance ``i``'s decode slots are
+    exactly ``commit_slots[start_slot..end_slot]`` — asserted
+    contiguous, which cross-checks the schedule against the pipeline's
+    committed stream. Slots outside the committed image keep the
+    default ``squashed`` role; the static pruning path restricts its
+    census to the committed population, so they are never read.
+    """
+    if len(commit_slots) > schedule.committed_instructions:
+        raise CacheModelError(
+            f"sizing run committed {len(commit_slots)} instructions "
+            f"but the static schedule reconstructed only "
+            f"{schedule.committed_instructions} "
+            f"({schedule.run_reason}); raise max_instructions")
+    window = schedule.truncate(len(commit_slots))
+    replay = replay_cache(window, config)
+
+    pcs = [0] * decode_count
+    for slot, pc in enumerate(window.pcs):
+        decode_slot = commit_slots[slot]
+        if not 0 <= decode_slot < decode_count:
+            raise CacheModelError(
+                f"commit slot map entry {decode_slot} outside "
+                f"decode range 0..{decode_count}")
+        pcs[decode_slot] = pc
+
+    instances = []
+    for outcome in replay.outcomes:
+        start = commit_slots[outcome.start_slot]
+        end = commit_slots[outcome.end_slot]
+        if end - start != outcome.end_slot - outcome.start_slot:
+            raise CacheModelError(
+                f"committed instance 0x{outcome.start_pc:08x} maps to "
+                f"non-contiguous decode slots [{start}, {end}] — "
+                f"static and dynamic committed streams disagree")
+        instances.append(TraceInstanceRecord(
+            seq=outcome.seq, start_pc=outcome.start_pc,
+            start_slot=start, end_slot=end,
+            length=outcome.length, source=outcome.access,
+            committed=True))
+
+    roles = _roles_from_outcomes(replay.outcomes, decode_count,
+                                 slot_of=commit_slots)
+    return ReferenceProfile(
+        decode_count=decode_count,
+        pcs=tuple(pcs),
+        instances=instances,
+        final_resident_pcs=replay.final_resident_pcs,
+        run_reason=window.run_reason,
+        roles=roles,
+        source="static",
+    )
+
+
+# ======================================================================
+# Repeat-distance distributions (paper Figs. 3-4, static variant)
+# ======================================================================
+
+def static_trace_profile(schedule: CommittedSchedule) -> TraceProfile:
+    """Fold the committed trace sequence into a :class:`TraceProfile`.
+
+    Repeat distances are measured in committed instructions between
+    successive occurrences of the same static trace — the paper's
+    Figs. 3-4 metric, derived here without simulation.
+    """
+    profile = TraceProfile()
+    for occ in schedule.occurrences:
+        profile.record(TraceEvent(start_pc=occ.start_pc,
+                                  length=occ.length,
+                                  signature=occ.signature))
+    return profile
+
+
+# ======================================================================
+# Whole-kernel bundle (CLI report / experiment input)
+# ======================================================================
+
+@dataclass
+class CacheModelReport:
+    """Everything the static cache model derives for one kernel."""
+
+    benchmark: str
+    schedule: CommittedSchedule
+    trip_counts: Dict[int, LoopTripCount]
+    replays: List[StaticCacheReplay]
+    repeat_profile: TraceProfile
+
+    @property
+    def loops_proven(self) -> int:
+        """Loops whose per-entry trip count carries a proof."""
+        return sum(1 for c in self.trip_counts.values() if c.provable)
+
+    @property
+    def loops_proven_affine(self) -> int:
+        """Loops proven by the input-independent symbolic tier alone."""
+        return sum(1 for c in self.trip_counts.values()
+                   if c.provable and c.tier == "affine")
+
+    @property
+    def all_loops_proven(self) -> bool:
+        """Whether every loop's per-entry trip count is proven."""
+        return all(c.provable for c in self.trip_counts.values())
+
+    @property
+    def all_loops_resolved(self) -> bool:
+        """Whether every loop's whole-run visit count is exact."""
+        return all(c.resolved for c in self.trip_counts.values())
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable form for reports and exports."""
+        cdf = self.repeat_profile.repeat_distance_cdf()
+        return {
+            "benchmark": self.benchmark,
+            "committed_instructions":
+                self.schedule.committed_instructions,
+            "committed_traces": len(self.schedule.occurrences),
+            "run_reason": self.schedule.run_reason,
+            "loops": len(self.trip_counts),
+            "loops_proven": self.loops_proven,
+            "loops_proven_affine": self.loops_proven_affine,
+            "all_loops_proven": self.all_loops_proven,
+            "all_loops_resolved": self.all_loops_resolved,
+            "trip_counts": [self.trip_counts[h].to_json()
+                            for h in sorted(self.trip_counts)],
+            "replays": [replay.to_json() for replay in self.replays],
+            "repeat_distance_cdf": [round(point, 6) for point in cdf],
+        }
+
+
+def analyze_cache_model(program: Program,
+                        inputs: Sequence[int] = (),
+                        geometries: Sequence[ItrCacheConfig] = (
+                            ItrCacheConfig(),),
+                        benchmark: str = "",
+                        max_instructions: int = DEFAULT_MAX_INSTRUCTIONS
+                        ) -> CacheModelReport:
+    """Run the full static cache model for one kernel.
+
+    Reconstructs the committed schedule, proves/bounds every loop trip
+    count (cross-checked against the reconstruction), and replays the
+    schedule through every requested geometry.
+    """
+    cfg = ControlFlowGraph(program)
+    nest = LoopNest(cfg)
+    schedule = reconstruct_committed_schedule(
+        program, inputs=inputs, cfg=cfg, nest=nest,
+        max_instructions=max_instructions)
+    symbolic = derive_trip_counts(program, cfg, nest)
+    cross_check_trip_counts(schedule, symbolic)
+    trip_counts = finalize_trip_counts(schedule, symbolic)
+    replays = [replay_cache(schedule, geometry)
+               for geometry in geometries]
+    return CacheModelReport(
+        benchmark=benchmark,
+        schedule=schedule,
+        trip_counts=trip_counts,
+        replays=replays,
+        repeat_profile=static_trace_profile(schedule),
+    )
+
+
+__all__ = [
+    "ACCESS_CHECKED",
+    "ACCESS_MISS",
+    "CacheModelError",
+    "CacheModelReport",
+    "CommittedSchedule",
+    "InstanceOutcome",
+    "LoopTripCount",
+    "StaticCacheReplay",
+    "TraceOccurrence",
+    "analyze_cache_model",
+    "build_static_profile",
+    "cross_check_trip_counts",
+    "derive_trip_counts",
+    "finalize_trip_counts",
+    "project_to_decode_profile",
+    "reconstruct_committed_schedule",
+    "replay_cache",
+    "static_trace_profile",
+]

@@ -15,11 +15,11 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Analyzer release identifier, embedded in every JSON report and
 #: certificate so archived results are comparable across PRs.
-ANALYZER_VERSION = "2.2.0"
+ANALYZER_VERSION = "2.3.0"
 
 #: Version of the diagnostic catalog / report JSON schema. Bump whenever
 #: a code is added or a documented JSON key changes meaning.
-CATALOG_SCHEMA_VERSION = 4
+CATALOG_SCHEMA_VERSION = 5
 
 
 class Severity(enum.IntEnum):
@@ -98,6 +98,10 @@ ITR_WEAK_DISTANCE_PAIR = _register(
     "ITR004", Severity.WARNING,
     "static traces sharing an ITR cache set sit below the minimum "
     "signature Hamming distance")
+ITR_SET_THRASH = _register(
+    "ITR005", Severity.INFO,
+    "traces alternating inside one cyclic region map to the same ITR "
+    "cache set and oversubscribe its ways (eviction ping-pong)")
 
 # -- coverage-prediction findings --------------------------------------------
 CV_COLD_WINDOW = _register(

@@ -383,7 +383,9 @@ class TraceInstanceRecord:
     start_slot: int
     end_slot: int
     length: int
-    source: str               # "forward" | "hit" | "miss"
+    #: Dynamic profiler: "forward" | "hit" | "miss". Static cache
+    #: model: "checked" (canonical forward/hit merge) | "miss".
+    source: str
     committed: bool = False
 
 
@@ -461,6 +463,9 @@ class ReferenceProfile:
     final_resident_pcs: FrozenSet[int]         # trace starts in the cache
     run_reason: str
     roles: List[SlotRole] = field(default_factory=list)
+    #: Which layer produced the profile: "dynamic" (ItrProbe reference
+    #: run) or "static" (analysis.cache_model reconstruction).
+    source: str = "dynamic"
 
     def role_of(self, slot: int) -> SlotRole:
         """The instance role of decode slot ``slot``."""

@@ -29,12 +29,14 @@ from .diagnostics import (
     DF_UNINIT_READ,
     DF_UNTAKEN_BRANCH,
     ITR_CACHE_PRESSURE,
+    ITR_SET_THRASH,
     ITR_SIGNATURE_COLLISION,
     Diagnostic,
     diagnostic,
     sort_diagnostics,
 )
 from .fault_sites import find_dead_stores
+from .loops import LoopNest
 from .static_traces import StaticTrace, predict_cache_pressure
 from .static_traces import signature_collisions as find_collisions
 
@@ -241,6 +243,55 @@ def lint_cache_pressure(
     return out
 
 
+def lint_same_set_thrash(
+        traces: Sequence[StaticTrace], cfg: ControlFlowGraph,
+        configs: Iterable[ItrCacheConfig],
+        nest: Optional[LoopNest] = None) -> List[Diagnostic]:
+    """ITR005: same-set trace groups alternating inside one loop.
+
+    Traces whose start blocks share a *cyclic* SCC re-execute together
+    every iteration; when more of them index into one ITR cache set
+    than it has ways, each iteration evicts a signature another
+    iteration is about to check — eviction ping-pong. The repeats stay
+    protected (the re-inserted signature is rechecked next time
+    around), so this is informational: it predicts recurring cold
+    windows and wasted insert energy, not lost coverage. Traces in
+    acyclic blocks are exempt — control never revisits them, so they
+    cannot alternate with anything.
+    """
+    from ..isa.instruction import INSTRUCTION_BYTES
+    if nest is None:
+        nest = LoopNest(cfg)
+    scc_of_block = nest.cyclic_scc_of_block()
+    out: List[Diagnostic] = []
+    for config in configs:
+        groups: dict = {}
+        for trace in traces:
+            leader = nest.block_of_pc(trace.start_pc)
+            if leader is None or leader not in scc_of_block:
+                continue
+            set_index = ((trace.start_pc // INSTRUCTION_BYTES)
+                         % config.num_sets)
+            key = (scc_of_block[leader], set_index)
+            groups.setdefault(key, set()).add(trace.start_pc)
+        for (_, set_index), start_pcs in sorted(groups.items()):
+            if len(start_pcs) <= config.ways:
+                continue
+            pcs = sorted(start_pcs)
+            listing = ", ".join(f"0x{pc:08x}" for pc in pcs)
+            out.append(diagnostic(
+                ITR_SET_THRASH,
+                f"{len(pcs)} traces ({listing}) alternate within one "
+                f"loop region and all map to set {set_index} of the "
+                f"{config.entries}-entry {config.label()} ITR cache "
+                f"({config.ways} way(s)): every iteration evicts a "
+                "signature the next one re-checks",
+                pc=pcs[0], set_index=set_index,
+                entries=config.entries, ways=config.ways,
+                start_pcs=pcs))
+    return out
+
+
 def run_lints(program: Program, cfg: ControlFlowGraph,
               traces: Sequence[StaticTrace],
               cache_configs: Optional[Iterable[ItrCacheConfig]] = None,
@@ -264,5 +315,7 @@ def run_lints(program: Program, cfg: ControlFlowGraph,
     diagnostics += lint_const_foldable(program, absint_result)
     diagnostics += lint_signature_collisions(traces)
     if cache_configs is not None:
+        cache_configs = list(cache_configs)
         diagnostics += lint_cache_pressure(traces, cache_configs)
+        diagnostics += lint_same_set_thrash(traces, cfg, cache_configs)
     return sort_diagnostics(diagnostics)

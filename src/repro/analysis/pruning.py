@@ -89,7 +89,7 @@ def predict_inert_outcome(role: SlotRole) -> str:
     """
     if role.kind == "squashed":
         return Outcome.UNDET_MASK.value
-    if role.access in ("forward", "hit"):
+    if role.access in ("forward", "hit", "checked"):
         return Outcome.ITR_MASK.value
     # miss
     if role.kind == "wrongpath":
@@ -99,6 +99,42 @@ def predict_inert_outcome(role: SlotRole) -> str:
     if role.followup == "resident":
         return Outcome.MAYITR_MASK.value
     return Outcome.UNDET_MASK.value   # recold / evicted
+
+
+def canonicalize_role(role: SlotRole,
+                      final_resident_pcs: frozenset) -> SlotRole:
+    """Timing-independent projection of a committed slot role.
+
+    Two dynamic distinctions are backend-timing artifacts the static
+    cache model cannot (and need not) reproduce, so plans built for
+    static-vs-dynamic byte-identity fold them away on both sides:
+
+    * ``forward`` vs ``hit`` — whether a repeat instance compares
+      against the ITR ROB or the cache depends on whether the writer is
+      still in flight; both run the same committed comparison, so both
+      become ``checked``;
+    * ``ghost_rechecked`` — a committed miss whose inserted line only a
+      *squashed* wrong-path compare ever confirms; statically that line
+      is simply ``resident``/``evicted`` (by final-residency), and the
+      squashed compare's existence is a timing artifact.
+
+    Idempotent, and the identity on statically-derived roles.
+    Non-committed roles pass through unchanged.
+    """
+    if role.kind != "committed":
+        return role
+    access = ("checked" if role.access in ("forward", "hit")
+              else role.access)
+    followup = role.followup
+    if followup == "ghost_rechecked":
+        followup = ("resident" if role.trace_start in final_resident_pcs
+                    else "evicted")
+    if access != "miss":
+        followup = "-"
+    if access == role.access and followup == role.followup:
+        return role
+    return SlotRole(kind=role.kind, access=access, followup=followup,
+                    trace_start=role.trace_start)
 
 
 @dataclass(frozen=True)
@@ -155,9 +191,20 @@ class PruningPlan:
     decode_count: int
     slot_range: Tuple[int, int]        # [lo, hi) slots in scope
     classes: Tuple[SiteClass, ...]
+    #: Census restriction: "all" covers every slot in range,
+    #: "committed" only slots inside committed trace instances (the
+    #: statically reconstructible population).
+    population: str = "all"
+    #: Whether roles were folded through :func:`canonicalize_role`.
+    canonical: bool = False
+    #: Slots actually in the census (differs from the range width under
+    #: ``population="committed"``).
+    census_slots: Optional[int] = None
 
     @property
     def raw_sites(self) -> int:
+        if self.census_slots is not None:
+            return self.census_slots * TOTAL_WIDTH
         lo, hi = self.slot_range
         return (hi - lo) * TOTAL_WIDTH
 
@@ -182,6 +229,8 @@ class PruningPlan:
             "benchmark": self.benchmark,
             "decode_count": self.decode_count,
             "slot_range": list(self.slot_range),
+            "population": self.population,
+            "canonical": self.canonical,
             "raw_sites": self.raw_sites,
             "classes": len(self.classes),
             "prune_ratio": round(self.prune_ratio, 4),
@@ -201,7 +250,9 @@ def build_pruning_plan(program: Program,
                        slot_range: Optional[Tuple[int, int]] = None,
                        refine_xor: bool = True,
                        refine_absint: bool = True,
-                       proofs: Optional[MaskingProofs] = None
+                       proofs: Optional[MaskingProofs] = None,
+                       population: str = "all",
+                       canonical: bool = False
                        ) -> PruningPlan:
     """Fold a reference profile's fault-site population into classes.
 
@@ -220,7 +271,19 @@ def build_pruning_plan(program: Program,
     roles, whose renamed operands carry the architectural values the
     abstract state bounds. Pass ``proofs`` to reuse a precomputed
     result.
+
+    ``population="committed"`` restricts the census to slots inside
+    committed trace instances — the coordinate system the static cache
+    model (:mod:`repro.analysis.cache_model`) can reconstruct without a
+    profiling run. ``canonical=True`` folds roles through
+    :func:`canonicalize_role` so a dynamic-profile plan and a
+    static-profile plan of the same run key identically; predicted
+    outcomes for canonical ``resident``/``evicted`` fates are dropped
+    (a folded-away ``ghost_rechecked`` member would detect via its
+    squashed compare, which the canonical fate no longer records).
     """
+    if population not in ("all", "committed"):
+        raise ValueError(f"unknown population {population!r}")
     if cfg is None:
         cfg = ControlFlowGraph(program)
     nest = LoopNest(cfg)
@@ -237,9 +300,15 @@ def build_pruning_plan(program: Program,
     cached_groups: Dict[Tuple[int, bool], Tuple[BitGroup, ...]] = {}
     members: Dict[Tuple[int, str, str], List[int]] = {}
     meta: Dict[Tuple[int, str, str], Tuple[BitGroup, SlotRole]] = {}
+    census_slots = 0
     for slot in range(lo, hi):
-        pc = profile.pcs[slot]
         role = profile.role_of(slot)
+        if population == "committed" and role.kind != "committed":
+            continue
+        if canonical:
+            role = canonicalize_role(role, profile.final_resident_pcs)
+        census_slots += 1
+        pc = profile.pcs[slot]
         committed = role.kind == "committed"
         cache_key = (pc, committed)
         if cache_key not in cached_groups:
@@ -277,6 +346,11 @@ def build_pruning_plan(program: Program,
                 verdict = VERDICT_XOR_MASKED
         slots = tuple(sorted(members[key]))
         loop_header = nest.innermost_loop_of_pc(pc)
+        predicted: Optional[str] = None
+        if verdict in (VERDICT_INERT, VERDICT_PROVEN):
+            predicted = predict_inert_outcome(role)
+            if canonical and role.followup in ("resident", "evicted"):
+                predicted = None
         classes.append(SiteClass(
             index=len(classes),
             pc=pc,
@@ -287,9 +361,7 @@ def build_pruning_plan(program: Program,
             slots=slots,
             rep_slot=slots[0],
             rep_bit=group.bits[0],
-            predicted_outcome=(predict_inert_outcome(role)
-                               if verdict in (VERDICT_INERT,
-                                              VERDICT_PROVEN) else None),
+            predicted_outcome=predicted,
             loop_header=loop_header,
             loop_depth=(nest.depth.get(loop_header, 0)
                         if loop_header is not None else 0),
@@ -300,6 +372,9 @@ def build_pruning_plan(program: Program,
         decode_count=profile.decode_count,
         slot_range=(lo, hi),
         classes=tuple(classes),
+        population=population,
+        canonical=canonical,
+        census_slots=census_slots,
     )
 
 
@@ -307,5 +382,6 @@ __all__ = [
     "PruningPlan",
     "SiteClass",
     "build_pruning_plan",
+    "canonicalize_role",
     "predict_inert_outcome",
 ]

@@ -1,0 +1,496 @@
+"""Cache-model validation: static ITR-cache interpreter vs. ItrProbe.
+
+The static cache model (:mod:`repro.analysis.cache_model`) claims it
+can reconstruct the dynamic profiler's trace-instance roles offline —
+exactly on speculation-immune geometries, and within proven bounds on
+pressured ones. This experiment measures that claim per kernel with
+five gates:
+
+1. **roles** — on every geometry, every committed trace instance's
+   statically replayed role matches the dynamic ``ItrProbe``
+   observation exactly where the replay is speculation-immune, and is
+   contained in the admitted alternative set elsewhere (zero
+   tolerance: a miss is a model bug);
+2. **bounds** — the static cold-miss interval contains the dynamic
+   cold-miss count on every geometry (exact on immune ones);
+3. **trip counts** — the fraction of kernels whose loops are all
+   resolved / proven / proven symbolically stays above the recorded
+   floors (regression gates on the two-tier prover);
+4. **plan** — the statically derived pruning plan serializes
+   byte-identically to the dynamic plan built in canonical committed
+   coordinates;
+5. **campaign** — ``run_pruned`` from the static plan is
+   byte-identical to the dynamic-plan run at every requested worker
+   count (the zero-warm-up pruning path changes nothing downstream).
+
+Run it::
+
+    python -m repro.experiments.cache_model_validation \
+        --kernels sum_loop,csv_parse,histogram \
+        --geometries 1024x2,16x1 --check
+
+``--check`` exits non-zero when any gate fails on any kernel (CI gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.cache_model import (
+    ACCESS_MISS,
+    analyze_cache_model,
+    replay_cache,
+)
+from ..analysis.fault_sites import collect_reference_profile
+from ..analysis.pruning import canonicalize_role
+from ..faults.campaign import CampaignConfig, FaultCampaign
+from ..itr.itr_cache import ItrCacheConfig
+from ..utils.tables import render_table
+from ..workloads.kernels import Kernel, all_kernels, get_kernel
+from . import export
+
+#: Observation window for the dynamic reference runs (cycles). Large
+#: enough that every default kernel halts inside it, so the dynamic
+#: observation covers the whole committed stream the model replays.
+DEFAULT_OBSERVATION_CYCLES = 60_000
+
+#: Geometries swept by default: the paper's default cache, a small
+#: set-pressured cache, and a direct-mapped corner.
+DEFAULT_GEOMETRIES: Tuple[ItrCacheConfig, ...] = (
+    ItrCacheConfig(),
+    ItrCacheConfig(entries=64, assoc=2),
+    ItrCacheConfig(entries=16, assoc=1),
+)
+
+#: Campaign-identity gate: slots in the pruned window and the worker
+#: counts whose runs must serialize identically.
+DEFAULT_CAMPAIGN_WINDOW = 1
+DEFAULT_CAMPAIGN_WORKERS: Tuple[int, ...] = (1, 2, 4)
+DEFAULT_CAMPAIGN_CYCLES = 3_000
+
+#: Trip-count regression floors (fractions of validated kernels). The
+#: full 16-kernel suite measures 16/16 resolved, 10/16 proven and
+#: 7/16 symbolically (affine) proven; the floors leave headroom for
+#: kernel additions without letting the prover silently regress.
+DEFAULT_MIN_RESOLVED = 0.75
+DEFAULT_MIN_PROVEN = 0.60
+DEFAULT_MIN_AFFINE = 0.40
+
+
+@dataclass
+class GeometryAgreement:
+    """Static-vs-dynamic agreement for one kernel on one geometry."""
+
+    label: str
+    instances: int
+    exact_instances: int
+    speculation_immune: bool
+    role_mismatches: int            # exact instances off the observation
+    containment_violations: int     # pressured instances outside bounds
+    dynamic_cold_misses: int
+    cold_miss_bounds: Tuple[int, int]
+
+    @property
+    def bounds_contain(self) -> bool:
+        lo, hi = self.cold_miss_bounds
+        return lo <= self.dynamic_cold_misses <= hi
+
+    @property
+    def clean(self) -> bool:
+        return (self.role_mismatches == 0
+                and self.containment_violations == 0
+                and self.bounds_contain)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable form for the ``--out`` report."""
+        return {
+            "geometry": self.label,
+            "instances": self.instances,
+            "exact_instances": self.exact_instances,
+            "speculation_immune": self.speculation_immune,
+            "role_mismatches": self.role_mismatches,
+            "containment_violations": self.containment_violations,
+            "dynamic_cold_misses": self.dynamic_cold_misses,
+            "cold_miss_bounds": list(self.cold_miss_bounds),
+            "bounds_contain": self.bounds_contain,
+        }
+
+
+@dataclass
+class CacheModelKernelReport:
+    """Every gate's measurement for one kernel."""
+
+    benchmark: str
+    committed_instructions: int
+    loops: int
+    loops_proven: int
+    loops_proven_affine: int
+    all_loops_resolved: bool
+    all_loops_proven: bool
+    geometries: List[GeometryAgreement]
+    plan_identical: bool
+    campaign_identical: bool
+    campaign_workers: Tuple[int, ...]
+    repeat_distance_cdf: List[float]
+
+    @property
+    def all_loops_affine(self) -> bool:
+        return self.loops_proven_affine == self.loops
+
+    @property
+    def clean(self) -> bool:
+        return (all(g.clean for g in self.geometries)
+                and self.plan_identical and self.campaign_identical)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serializable form for the ``--out`` report."""
+        return {
+            "benchmark": self.benchmark,
+            "committed_instructions": self.committed_instructions,
+            "loops": self.loops,
+            "loops_proven": self.loops_proven,
+            "loops_proven_affine": self.loops_proven_affine,
+            "all_loops_resolved": self.all_loops_resolved,
+            "all_loops_proven": self.all_loops_proven,
+            "geometries": [g.to_json() for g in self.geometries],
+            "plan_identical": self.plan_identical,
+            "campaign_identical": self.campaign_identical,
+            "campaign_workers": list(self.campaign_workers),
+            "repeat_distance_cdf": self.repeat_distance_cdf,
+        }
+
+
+@dataclass
+class CacheModelValidationResult:
+    """All kernels' measurements plus the thresholds applied."""
+
+    min_resolved_fraction: float
+    min_proven_fraction: float
+    min_affine_fraction: float
+    reports: List[CacheModelKernelReport] = field(default_factory=list)
+
+    def _fraction(self, predicate) -> float:
+        if not self.reports:
+            return 0.0
+        return (sum(1 for r in self.reports if predicate(r))
+                / len(self.reports))
+
+    @property
+    def resolved_fraction(self) -> float:
+        return self._fraction(lambda r: r.all_loops_resolved)
+
+    @property
+    def proven_fraction(self) -> float:
+        return self._fraction(lambda r: r.all_loops_proven)
+
+    @property
+    def affine_fraction(self) -> float:
+        return self._fraction(lambda r: r.all_loops_affine)
+
+    @property
+    def clean(self) -> bool:
+        return (all(r.clean for r in self.reports)
+                and self.resolved_fraction >= self.min_resolved_fraction
+                and self.proven_fraction >= self.min_proven_fraction
+                and self.affine_fraction >= self.min_affine_fraction)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON form written by ``--out`` (parsed by the CI summary)."""
+        return {
+            "thresholds": {
+                "min_resolved_fraction": self.min_resolved_fraction,
+                "min_proven_fraction": self.min_proven_fraction,
+                "min_affine_fraction": self.min_affine_fraction,
+            },
+            "clean": self.clean,
+            "resolved_fraction": round(self.resolved_fraction, 4),
+            "proven_fraction": round(self.proven_fraction, 4),
+            "affine_fraction": round(self.affine_fraction, 4),
+            "kernels": [r.to_json() for r in self.reports],
+        }
+
+
+def _compare_geometry(kernel: Kernel, schedule, geometry: ItrCacheConfig,
+                      observation_cycles: int) -> GeometryAgreement:
+    """Replay one geometry statically and diff it against ItrProbe."""
+    config = CampaignConfig(trials=0, observation_cycles=observation_cycles)
+    pipeline = dataclasses.replace(config.pipeline, itr_cache=geometry)
+    profile = collect_reference_profile(
+        kernel.program(), inputs=kernel.inputs,
+        pipeline_config=pipeline,
+        observation_cycles=observation_cycles)
+    committed_slots = [slot for slot in range(profile.decode_count)
+                       if profile.role_of(slot).kind == "committed"]
+    replay = replay_cache(schedule.truncate(len(committed_slots)),
+                          geometry)
+
+    mismatches = 0
+    violations = 0
+    for outcome in replay.outcomes:
+        for coord in range(outcome.start_slot, outcome.end_slot + 1):
+            role = canonicalize_role(
+                profile.role_of(committed_slots[coord]),
+                profile.final_resident_pcs)
+            if role.trace_start != outcome.start_pc:
+                mismatches += 1
+            elif outcome.exact:
+                if (role.access, role.followup) != (outcome.access,
+                                                    outcome.followup):
+                    mismatches += 1
+            elif (role.access not in outcome.may_accesses
+                    or role.followup not in outcome.may_followups):
+                violations += 1
+
+    dynamic_cold = sum(
+        1 for record in profile.instances
+        if record.committed and record.source == ACCESS_MISS)
+    return GeometryAgreement(
+        label=geometry.label(),
+        instances=len(replay.outcomes),
+        exact_instances=sum(1 for o in replay.outcomes if o.exact),
+        speculation_immune=replay.speculation_immune,
+        role_mismatches=mismatches,
+        containment_violations=violations,
+        dynamic_cold_misses=dynamic_cold,
+        cold_miss_bounds=replay.cold_miss_bounds,
+    )
+
+
+def _compare_campaigns(kernel: Kernel, seed: int, cycles: int,
+                       window: int, workers: Sequence[int]
+                       ) -> Tuple[bool, bool]:
+    """(plan byte-identity, campaign byte-identity) for one kernel."""
+    campaign = FaultCampaign(kernel, CampaignConfig(
+        trials=0, seed=seed, observation_cycles=cycles))
+    slot_range = (0, min(window, campaign.decode_count))
+    static_plan = campaign.pruning_plan(slot_range=slot_range,
+                                        profile_source="static")
+    dynamic_plan = campaign.pruning_plan(slot_range=slot_range,
+                                         profile_source="dynamic",
+                                         population="committed",
+                                         canonical=True)
+    plan_identical = (
+        static_plan.fingerprint() == dynamic_plan.fingerprint()
+        and json.dumps(static_plan.to_json(), sort_keys=True)
+        == json.dumps(dynamic_plan.to_json(), sort_keys=True))
+
+    blobs = []
+    for count in workers:
+        result = campaign.run_pruned(
+            plan=static_plan, workers=None if count <= 1 else count)
+        blobs.append(json.dumps(result.to_dict(), sort_keys=True))
+    dynamic_result = campaign.run_pruned(plan=dynamic_plan)
+    blobs.append(json.dumps(dynamic_result.to_dict(), sort_keys=True))
+    campaign_identical = all(blob == blobs[0] for blob in blobs)
+    return plan_identical, campaign_identical
+
+
+def validate_kernel(kernel: Kernel, seed: int = 2007,
+                    observation_cycles: int = DEFAULT_OBSERVATION_CYCLES,
+                    geometries: Sequence[ItrCacheConfig] =
+                    DEFAULT_GEOMETRIES,
+                    campaign_window: int = DEFAULT_CAMPAIGN_WINDOW,
+                    campaign_workers: Sequence[int] =
+                    DEFAULT_CAMPAIGN_WORKERS,
+                    campaign_cycles: int = DEFAULT_CAMPAIGN_CYCLES
+                    ) -> CacheModelKernelReport:
+    """Measure every gate for one kernel."""
+    report = analyze_cache_model(
+        kernel.program(), inputs=kernel.inputs,
+        geometries=geometries, benchmark=kernel.name)
+    agreements = [
+        _compare_geometry(kernel, report.schedule, geometry,
+                          observation_cycles)
+        for geometry in geometries]
+    if campaign_window > 0:
+        plan_identical, campaign_identical = _compare_campaigns(
+            kernel, seed, campaign_cycles, campaign_window,
+            campaign_workers)
+    else:
+        plan_identical = campaign_identical = True
+    return CacheModelKernelReport(
+        benchmark=kernel.name,
+        committed_instructions=report.schedule.committed_instructions,
+        loops=len(report.trip_counts),
+        loops_proven=report.loops_proven,
+        loops_proven_affine=report.loops_proven_affine,
+        all_loops_resolved=report.all_loops_resolved,
+        all_loops_proven=report.all_loops_proven,
+        geometries=agreements,
+        plan_identical=plan_identical,
+        campaign_identical=campaign_identical,
+        campaign_workers=tuple(campaign_workers),
+        repeat_distance_cdf=[
+            round(point, 6)
+            for point in report.repeat_profile.repeat_distance_cdf()],
+    )
+
+
+def run_cache_model_validation(
+        kernels: Optional[Sequence[Kernel]] = None, seed: int = 2007,
+        observation_cycles: int = DEFAULT_OBSERVATION_CYCLES,
+        geometries: Sequence[ItrCacheConfig] = DEFAULT_GEOMETRIES,
+        campaign_window: int = DEFAULT_CAMPAIGN_WINDOW,
+        campaign_workers: Sequence[int] = DEFAULT_CAMPAIGN_WORKERS,
+        campaign_cycles: int = DEFAULT_CAMPAIGN_CYCLES,
+        min_resolved_fraction: float = DEFAULT_MIN_RESOLVED,
+        min_proven_fraction: float = DEFAULT_MIN_PROVEN,
+        min_affine_fraction: float = DEFAULT_MIN_AFFINE
+        ) -> CacheModelValidationResult:
+    """Validate the static cache model against the dynamic profiler."""
+    result = CacheModelValidationResult(
+        min_resolved_fraction=min_resolved_fraction,
+        min_proven_fraction=min_proven_fraction,
+        min_affine_fraction=min_affine_fraction)
+    for kernel in (kernels if kernels is not None else all_kernels()):
+        result.reports.append(validate_kernel(
+            kernel, seed=seed, observation_cycles=observation_cycles,
+            geometries=geometries, campaign_window=campaign_window,
+            campaign_workers=campaign_workers,
+            campaign_cycles=campaign_cycles))
+    return result
+
+
+def render_cache_model_validation(
+        result: CacheModelValidationResult) -> str:
+    """Human-readable agreement table."""
+    rows = []
+    for report in result.reports:
+        mismatches = sum(g.role_mismatches for g in report.geometries)
+        violations = sum(g.containment_violations
+                         for g in report.geometries)
+        immune = sum(1 for g in report.geometries
+                     if g.speculation_immune)
+        rows.append([
+            report.benchmark,
+            report.committed_instructions,
+            f"{report.loops_proven}/{report.loops}",
+            f"{report.loops_proven_affine}/{report.loops}",
+            "yes" if report.all_loops_resolved else "NO",
+            f"{immune}/{len(report.geometries)}",
+            mismatches,
+            violations,
+            "yes" if report.plan_identical else "NO",
+            "yes" if report.campaign_identical else "NO",
+            "yes" if report.clean else "NO",
+        ])
+    table = render_table(
+        ["kernel", "committed", "proven", "affine", "resolved",
+         "immune", "rolemiss", "containviol", "plan==", "camp==",
+         "holds"],
+        rows,
+        title="Cache-model validation: static interpreter vs. dynamic "
+              "ItrProbe",
+    )
+    lines = [
+        table,
+        "",
+        f"trip-count coverage: resolved "
+        f"{100 * result.resolved_fraction:.0f}% "
+        f"(floor {100 * result.min_resolved_fraction:.0f}%), proven "
+        f"{100 * result.proven_fraction:.0f}% "
+        f"(floor {100 * result.min_proven_fraction:.0f}%), affine "
+        f"{100 * result.affine_fraction:.0f}% "
+        f"(floor {100 * result.min_affine_fraction:.0f}%)",
+        f"clean: {result.clean}",
+    ]
+    return "\n".join(lines)
+
+
+def _parse_geometries(spec: str) -> Tuple[ItrCacheConfig, ...]:
+    """Parse ``1024x2,16x1`` into cache configurations."""
+    geometries = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        entries, _, assoc = token.partition("x")
+        geometries.append(ItrCacheConfig(entries=int(entries),
+                                         assoc=int(assoc or 0)))
+    if not geometries:
+        raise ValueError(f"no geometries in {spec!r}")
+    return tuple(geometries)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code (``--check``)."""
+    parser = argparse.ArgumentParser(
+        prog="cache-model-validation",
+        description="Cross-validate the static ITR-cache interpreter "
+                    "against the dynamic profiler")
+    parser.add_argument("--kernels", type=str, default=None,
+                        help="comma-separated kernel names (default: all)")
+    parser.add_argument("--seed", type=int, default=2007)
+    parser.add_argument("--cycles", type=int,
+                        default=DEFAULT_OBSERVATION_CYCLES,
+                        help="dynamic reference observation window")
+    parser.add_argument("--geometries", type=str, default=None,
+                        help="comma-separated ENTRIESxASSOC list "
+                             "(default: 1024x2,64x2,16x1)")
+    parser.add_argument("--campaign-window", type=int,
+                        default=DEFAULT_CAMPAIGN_WINDOW,
+                        help="slots in the campaign-identity window "
+                             "(0 skips the campaign gate)")
+    parser.add_argument("--campaign-workers", type=str, default=None,
+                        help="comma-separated worker counts for the "
+                             "campaign-identity gate (default: 1,2,4)")
+    parser.add_argument("--campaign-cycles", type=int,
+                        default=DEFAULT_CAMPAIGN_CYCLES,
+                        help="observation window of the campaign gate")
+    parser.add_argument("--min-resolved", type=float,
+                        default=DEFAULT_MIN_RESOLVED)
+    parser.add_argument("--min-proven", type=float,
+                        default=DEFAULT_MIN_PROVEN)
+    parser.add_argument("--min-affine", type=float,
+                        default=DEFAULT_MIN_AFFINE)
+    parser.add_argument("--out", type=str, default=None,
+                        help="directory for the JSON result")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 when any gate fails (CI gate)")
+    args = parser.parse_args(argv)
+
+    kernels = None
+    if args.kernels:
+        kernels = [get_kernel(name.strip())
+                   for name in args.kernels.split(",") if name.strip()]
+    geometries = (DEFAULT_GEOMETRIES if args.geometries is None
+                  else _parse_geometries(args.geometries))
+    workers = (DEFAULT_CAMPAIGN_WORKERS if args.campaign_workers is None
+               else tuple(int(token)
+                          for token in args.campaign_workers.split(",")
+                          if token.strip()))
+
+    result = run_cache_model_validation(
+        kernels=kernels, seed=args.seed,
+        observation_cycles=args.cycles, geometries=geometries,
+        campaign_window=args.campaign_window,
+        campaign_workers=workers,
+        campaign_cycles=args.campaign_cycles,
+        min_resolved_fraction=args.min_resolved,
+        min_proven_fraction=args.min_proven,
+        min_affine_fraction=args.min_affine)
+    print(render_cache_model_validation(result))
+
+    if args.out:
+        import pathlib
+        directory = pathlib.Path(args.out)
+        export.save_json(result.to_json(),
+                         directory / "cache_model_validation.json")
+
+    if args.check and not result.clean:
+        print("cache-model-validation check FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,11 @@ from typing import List, Optional, Sequence
 from ..isa.decode_signals import TOTAL_WIDTH, signal_table_rows
 from ..itr.trace import TraceProfile
 from ..utils.tables import render_table
-from ..workloads.spec_profiles import PAPER_STATIC_TRACES
+from ..workloads.spec_profiles import (
+    PAPER_STATIC_TRACES,
+    all_profiles,
+    static_repeat_distance_cdf,
+)
 from ..workloads.suite import (
     DEFAULT_SEED,
     DEFAULT_SYNTHETIC_INSTRUCTIONS,
@@ -108,6 +112,88 @@ def run_characterization(
     return result
 
 
+# ------------------------------------------------- static (offline) path
+@dataclass
+class StaticDistanceRecord:
+    """One Figures 3-4 row derived without running anything.
+
+    ``source`` is ``"kernel"`` for assembly kernels replayed through the
+    static cache model's committed-schedule reconstruction, ``"model"``
+    for the calibrated SPEC phased-region profiles folded analytically.
+    """
+
+    name: str
+    category: str
+    source: str
+    committed_instructions: int
+    repeat_distance_cdf: List[float]
+
+    def within_distance(self, distance: int) -> float:
+        """% of dynamic instructions repeating within ``distance``."""
+        index = min(distance // DISTANCE_BIN,
+                    len(self.repeat_distance_cdf)) - 1
+        if index < 0:
+            return 0.0
+        return 100.0 * self.repeat_distance_cdf[index]
+
+
+@dataclass
+class StaticCharacterizationResult:
+    records: List[StaticDistanceRecord] = field(default_factory=list)
+
+    def by_name(self, name: str) -> StaticDistanceRecord:
+        """The record for benchmark ``name``."""
+        for record in self.records:
+            if record.name == name:
+                return record
+        raise KeyError(f"benchmark {name!r} not in result")
+
+    def source(self, source: str) -> List[StaticDistanceRecord]:
+        """Records filtered to one source (kernel / model)."""
+        return [r for r in self.records if r.source == source]
+
+
+def run_static_characterization(
+        kernels: Optional[Sequence[str]] = None
+) -> StaticCharacterizationResult:
+    """Figures 3-4 from the static path alone — no profiling run.
+
+    Every assembly kernel goes through the static cache model (committed
+    schedule reconstruction, exact repeat distances); every calibrated
+    SPEC profile goes through the closed-form phased-region CDF.
+    """
+    from ..analysis.cache_model import analyze_cache_model
+    from ..workloads.kernels import all_kernels, get_kernel
+
+    result = StaticCharacterizationResult()
+    if kernels is None:
+        kernel_list = all_kernels()
+    else:
+        kernel_list = [get_kernel(name) for name in kernels]
+    for kernel in kernel_list:
+        report = analyze_cache_model(
+            kernel.program(), inputs=tuple(kernel.inputs),
+            geometries=(), benchmark=kernel.name)
+        result.records.append(StaticDistanceRecord(
+            name=kernel.name,
+            category=kernel.category,
+            source="kernel",
+            committed_instructions=report.schedule.committed_instructions,
+            repeat_distance_cdf=report.repeat_profile.repeat_distance_cdf(
+                bin_width=DISTANCE_BIN, num_bins=DISTANCE_BINS),
+        ))
+    for profile in all_profiles():
+        result.records.append(StaticDistanceRecord(
+            name=profile.name,
+            category=profile.category,
+            source="model",
+            committed_instructions=0,
+            repeat_distance_cdf=static_repeat_distance_cdf(
+                profile, bin_width=DISTANCE_BIN, num_bins=DISTANCE_BINS),
+        ))
+    return result
+
+
 # --------------------------------------------------------------- rendering
 def render_fig1_fig2(result: CharacterizationResult, category: str) -> str:
     """Figure 1 (int) / Figure 2 (fp): coverage vs top-k static traces."""
@@ -143,6 +229,36 @@ def render_fig3_fig4(result: CharacterizationResult, category: str) -> str:
                f"repeating within distance ({category})"),
         float_digits=1,
     )
+
+
+def render_fig3_fig4_static(result: StaticCharacterizationResult,
+                            source: str) -> str:
+    """Figures 3-4, static methodology: one table per source.
+
+    ``source="kernel"`` tabulates the assembly kernels' exact committed
+    repeat distances from the static cache model; ``source="model"``
+    tabulates the SPEC profiles' closed-form phased-region CDFs.
+    """
+    checkpoints = (500, 1000, 1500, 2000, 5000, 10000)
+    if source == "kernel":
+        title = ("Figures 3-4 (static cache model): % of committed "
+                 "instructions from traces repeating within distance")
+        headers = (["benchmark", "class", "committed"]
+                   + [f"<{d}" for d in checkpoints])
+        rows: List[Sequence] = [
+            [r.name, r.category, r.committed_instructions]
+            + [r.within_distance(d) for d in checkpoints]
+            for r in result.source("kernel")]
+    else:
+        title = ("Figures 3-4 (analytical SPEC models): % of dynamic "
+                 "instructions from traces repeating within distance")
+        headers = (["benchmark", "class"]
+                   + [f"<{d}" for d in checkpoints])
+        rows = [
+            [r.name, r.category]
+            + [r.within_distance(d) for d in checkpoints]
+            for r in result.source("model")]
+    return render_table(headers, rows, title=title, float_digits=1)
 
 
 def render_table1(result: CharacterizationResult) -> str:

@@ -13,7 +13,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from ..faults.campaign import CampaignConfig, CampaignResult, FaultCampaign
+from ..faults.campaign import (
+    CampaignConfig,
+    CampaignResult,
+    FaultCampaign,
+    PrunedCampaignResult,
+)
 from ..faults.outcomes import FIGURE8_ORDER, Outcome
 from ..faults.scheduler import ScheduledCampaignResult, SchedulerConfig
 from ..utils.tables import render_table
@@ -94,6 +99,62 @@ def run_fault_injection_scheduled(
         ))
         results.append(campaign.run_scheduled(scheduler))
     return results
+
+
+def run_fault_injection_pruned(
+        kernels: Optional[Sequence[Kernel]] = None,
+        seed: int = 2007,
+        observation_cycles: int = 60_000,
+        window: Optional[int] = None,
+        workers: Optional[object] = None,
+        profile_source: str = "static",
+) -> List[PrunedCampaignResult]:
+    """Figure 8 via pruned campaigns (one trial per equivalence class).
+
+    Instead of sampling ``trials`` random sites, injects each class
+    representative once and weight-reconstitutes the full-population
+    outcome distribution. With ``profile_source="static"`` the
+    reference profile comes from the static cache model, so the whole
+    figure needs *zero* warm-up profiling. ``window`` bounds the
+    injected decode-slot range (``None`` = the full population, which
+    is exact but expensive).
+    """
+    kernels = list(kernels) if kernels is not None else all_kernels()
+    results: List[PrunedCampaignResult] = []
+    for kernel in kernels:
+        campaign = FaultCampaign(kernel, CampaignConfig(
+            trials=0,
+            seed=seed,
+            observation_cycles=observation_cycles,
+        ))
+        slot_range = (None if window is None
+                      else (0, min(window, campaign.decode_count)))
+        results.append(campaign.run_pruned(
+            slot_range=slot_range, workers=workers,
+            profile_source=profile_source))
+    return results
+
+
+def render_figure8_pruned(results: Sequence[PrunedCampaignResult],
+                          profile_source: str = "static") -> str:
+    """Figure 8 from weight-reconstituted pruned campaigns."""
+    headers = (["benchmark"] + [o.value for o in FIGURE8_ORDER]
+               + ["ITR det%", "classes", "sites"])
+    rows: List[List] = []
+    for result in results:
+        row: List = [result.benchmark]
+        figure8 = result.figure8_row()
+        row.extend(figure8[outcome.value] for outcome in FIGURE8_ORDER)
+        row.append(100.0 * result.weighted_detected_fraction())
+        row.append(len(result.classes))
+        row.append(result.raw_sites)
+        rows.append(row)
+    return render_table(
+        headers, rows,
+        title=f"Figure 8 (pruned mode, {profile_source} profile): "
+              "fault outcomes (% of site population)",
+        float_digits=1,
+    )
 
 
 def render_figure8_scheduled(

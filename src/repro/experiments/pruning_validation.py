@@ -36,7 +36,6 @@ import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..analysis.fault_sites import collect_reference_profile
 from ..analysis.pruning import PruningPlan, build_pruning_plan
 from ..faults.campaign import CampaignConfig, FaultCampaign
 from ..faults.injector import FaultSpec
@@ -205,38 +204,50 @@ def validate_kernel(kernel: Kernel, seed: int = 2007,
                     observation_cycles: int = DEFAULT_OBSERVATION_CYCLES,
                     window: int = DEFAULT_WINDOW,
                     member_samples: int = DEFAULT_MEMBER_SAMPLES,
-                    workers: Optional[object] = None
+                    workers: Optional[object] = None,
+                    profile_source: str = "dynamic"
                     ) -> PruningKernelReport:
-    """Measure every gate for one kernel."""
+    """Measure every gate for one kernel.
+
+    ``profile_source`` selects where the reference profile comes from:
+    ``"dynamic"`` runs the ItrProbe profiling pass (the default: this
+    experiment is the ground-truth check of that pass), ``"static"``
+    uses the zero-warm-up cache-model reconstruction, restricting the
+    exhaustively injected window to the committed population the
+    static plan prunes over.
+    """
     config = CampaignConfig(trials=0, seed=seed,
                             observation_cycles=observation_cycles)
     campaign = FaultCampaign(kernel, config)
     pool_size = resolve_workers(workers)
 
-    # One profiled reference run feeds both the full-population plan
+    # One reference profile feeds both the full-population plan
     # (ratio + member gates) and the windowed plan (aggregate gate).
     program = kernel.program()
-    profile = collect_reference_profile(
-        program, inputs=kernel.inputs,
-        pipeline_config=config.pipeline,
-        observation_cycles=config.observation_cycles)
-    if profile.decode_count != campaign.decode_count:
-        raise RuntimeError(
-            f"{kernel.name}: profiled reference decoded "
-            f"{profile.decode_count} slots, campaign sized "
-            f"{campaign.decode_count}")
+    profile = campaign.reference_profile(profile_source=profile_source)
+    population = "committed" if profile_source == "static" else "all"
+    canonical = profile_source == "static"
     full_plan = build_pruning_plan(program, profile,
-                                   benchmark=kernel.name)
+                                   benchmark=kernel.name,
+                                   population=population,
+                                   canonical=canonical)
     lo, hi = 0, min(window, profile.decode_count)
     window_plan = build_pruning_plan(program, profile,
                                      benchmark=kernel.name,
-                                     slot_range=(lo, hi))
+                                     slot_range=(lo, hi),
+                                     population=population,
+                                     canonical=canonical)
 
     # Aggregate gate: pruned (representatives, weight-reconstituted)
-    # vs. exhaustive (every site) over the same slot window.
+    # vs. exhaustive (every site) over the same slot window. A static
+    # plan prunes the committed population only, so the exhaustive
+    # side injects the same sites.
+    window_slots = [slot for slot in range(lo, hi)
+                    if population == "all"
+                    or profile.role_of(slot).kind == "committed"]
     pruned = campaign.run_pruned(plan=window_plan, workers=workers)
     exhaustive_specs = [FaultSpec(decode_index=slot, bit=bit)
-                        for slot in range(lo, hi)
+                        for slot in window_slots
                         for bit in range(64)]
     exhaustive_counts: Dict[str, int] = {}
     for trial in _run_specs(campaign, exhaustive_specs, pool_size):
@@ -279,7 +290,8 @@ def run_pruning_validation(
         workers: Optional[object] = None,
         min_ratio: float = 3.0,
         min_window_agreement: float = 0.95,
-        min_member_agreement: float = 0.90) -> PruningValidationResult:
+        min_member_agreement: float = 0.90,
+        profile_source: str = "dynamic") -> PruningValidationResult:
     """Validate the pruning analyzer against injection ground truth."""
     result = PruningValidationResult(
         min_ratio=min_ratio,
@@ -289,7 +301,7 @@ def run_pruning_validation(
         result.reports.append(validate_kernel(
             kernel, seed=seed, observation_cycles=observation_cycles,
             window=window, member_samples=member_samples,
-            workers=workers))
+            workers=workers, profile_source=profile_source))
     return result
 
 
@@ -361,6 +373,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="worker processes (an integer, or 'auto'; "
                              "default: serial). Results are "
                              "byte-identical to serial runs.")
+    parser.add_argument("--profile-source", type=str, default="dynamic",
+                        choices=["static", "dynamic"],
+                        dest="profile_source",
+                        help="reference-profile source for the pruning "
+                             "plans (default: dynamic — this experiment "
+                             "is the ground-truth check of the dynamic "
+                             "profiler; 'static' exercises the "
+                             "zero-warm-up cache-model path)")
     parser.add_argument("--out", type=str, default=None,
                         help="directory for the JSON result")
     parser.add_argument("--check", action="store_true",
@@ -378,7 +398,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         member_samples=args.samples, workers=args.workers,
         min_ratio=args.min_ratio,
         min_window_agreement=args.min_agreement,
-        min_member_agreement=args.min_member_agreement)
+        min_member_agreement=args.min_member_agreement,
+        profile_source=args.profile_source)
     print(render_pruning_validation(result))
 
     if args.out:

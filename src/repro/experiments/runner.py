@@ -46,6 +46,14 @@ def _run_fig4(args) -> str:
     return characterization.render_fig3_fig4(result, "fp")
 
 
+def _run_fig34_static(args) -> str:
+    result = characterization.run_static_characterization()
+    return "\n\n".join([
+        characterization.render_fig3_fig4_static(result, "kernel"),
+        characterization.render_fig3_fig4_static(result, "model"),
+    ])
+
+
 def _run_tab1(args) -> str:
     result = characterization.run_characterization(
         instructions=args.instructions, seed=args.seed)
@@ -91,6 +99,14 @@ def _scheduler_from_args(args):
 
 
 def _run_fig8(args) -> str:
+    if getattr(args, "pruned", False):
+        source = getattr(args, "profile_source", None) or "static"
+        results = fault_injection.run_fault_injection_pruned(
+            seed=args.seed,
+            window=getattr(args, "prune_window", None) or 2,
+            workers=getattr(args, "workers", None),
+            profile_source=source)
+        return fault_injection.render_figure8_pruned(results, source)
     scheduler = _scheduler_from_args(args)
     if scheduler is not None:
         results = fault_injection.run_fault_injection_scheduled(
@@ -209,8 +225,20 @@ def _run_pruning_validation(args) -> str:
     result = pruning_validation.run_pruning_validation(
         kernels=[_get("sum_loop"), _get("strsearch"), _get("linked_list")],
         seed=args.seed, window=2, member_samples=8,
-        workers=getattr(args, "workers", None))
+        workers=getattr(args, "workers", None),
+        profile_source=(getattr(args, "profile_source", None)
+                        or "dynamic"))
     return pruning_validation.render_pruning_validation(result)
+
+
+def _run_cache_model_validation(args) -> str:
+    from ..workloads.kernels import get_kernel as _get
+    from . import cache_model_validation
+    result = cache_model_validation.run_cache_model_validation(
+        kernels=[_get("sum_loop"), _get("csv_parse"), _get("histogram")],
+        seed=args.seed,
+        campaign_workers=(1, 2))
+    return cache_model_validation.render_cache_model_validation(result)
 
 
 def _run_absint_validation(args) -> str:
@@ -237,6 +265,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "fig2": _run_fig2,
     "fig3": _run_fig3,
     "fig4": _run_fig4,
+    "fig34-static": _run_fig34_static,
     "tab1": _run_tab1,
     "tab2": _run_tab2,
     "fig6": _run_fig6,
@@ -259,6 +288,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "recovery-soak": _run_recovery_soak,
     "pruning-validation": _run_pruning_validation,
     "absint-validation": _run_absint_validation,
+    "cache-model-validation": _run_cache_model_validation,
     "scorecard": _run_scorecard,
 }
 
@@ -296,6 +326,22 @@ def main(argv: Optional[list] = None) -> int:
                              "(an integer, or 'auto' for one per CPU; "
                              "default: serial). Campaign results are "
                              "byte-identical at any worker count.")
+    parser.add_argument("--pruned", action="store_true",
+                        help="fig8: inject class representatives and "
+                             "weight-reconstitute the population instead "
+                             "of sampling --trials random sites")
+    parser.add_argument("--prune-window", type=int, default=None,
+                        dest="prune_window",
+                        help="fig8 --pruned: decode slots injected per "
+                             "kernel (default: 2; larger windows are "
+                             "exact over more of the population)")
+    parser.add_argument("--profile-source", type=str, default=None,
+                        choices=["static", "dynamic"],
+                        dest="profile_source",
+                        help="reference-profile source for pruning "
+                             "paths (fig8 --pruned defaults to the "
+                             "validated static cache model; "
+                             "pruning-validation defaults to dynamic)")
     parser.add_argument("--backend", type=str, default=None,
                         choices=["fork", "socket", "inline"],
                         help="run campaign experiments through the leased "

@@ -161,6 +161,20 @@ def build_scorecard(instructions: int = 150_000, trials: int = 15,
              f"ledger_balanced={scheduled.health.ledger_balanced()}",
              identical and scheduled.health.ledger_balanced())
 
+    from .cache_model_validation import run_cache_model_validation
+    model = run_cache_model_validation(
+        kernels=[get_kernel("sum_loop")], seed=seed,
+        campaign_workers=(1, 2))
+    model_report = model.reports[0]
+    model_misses = sum(g.role_mismatches + g.containment_violations
+                      for g in model_report.geometries)
+    card.add("sec4", "static cache model reproduces dynamic roles",
+             "zero warm-up profiling",
+             f"{model_misses} role mismatch(es), "
+             f"plan_identical={model_report.plan_identical}, "
+             f"campaign_identical={model_report.campaign_identical}",
+             model.clean)
+
     from .absint_validation import run_absint_validation
     absint = run_absint_validation(
         kernels=[get_kernel("sum_loop")], seed=seed, window=4,

@@ -298,6 +298,11 @@ class FaultCampaign:
         # Pristine post-ABI-reset state, forked per trial (warm start).
         self._initial_state = ArchState.from_program(self._program)
         self.golden_instructions: Optional[int] = None
+        # Decode slot of every committed instruction, in commit order —
+        # captured from the sizing run below; the static profile path
+        # projects committed-coordinate roles through it. None in
+        # workers (which never build plans).
+        self._commit_slots: Optional[List[int]] = None
         if decode_count is not None:
             if decode_count < 1:
                 raise ValueError("decode_count must be >= 1")
@@ -306,13 +311,16 @@ class FaultCampaign:
         # Fault sites are drawn over the fault-free run's decode count
         # (wrong-path decodes included — hardware faults strike whatever is
         # in the decode stage).
+        commit_slots: List[int] = []
         reference = build_pipeline(self._program, config=self.config.pipeline,
                                    inputs=kernel.inputs,
                                    initial_state=self._initial_state
-                                   .cow_fork())
+                                   .cow_fork(),
+                                   commit_slot_listener=commit_slots.append)
         reference.run(max_cycles=self.config.observation_cycles)
         self.decode_count = max(1, reference.stats.instructions_decoded)
         self.golden_instructions = reference.stats.instructions_committed
+        self._commit_slots = commit_slots
 
     # ------------------------------------------------------------- one trial
     def run_trial(self, trial_index: int, spec: FaultSpec) -> TrialResult:
@@ -468,39 +476,100 @@ class FaultCampaign:
             yield self.run_trial(index, spec)
 
     # ----------------------------------------------------------- pruned mode
-    def pruning_plan(self, slot_range=None, refine_absint: bool = True):
+    def reference_profile(self, profile_source: str = "dynamic"):
+        """This campaign's slot-role profile, dynamic or static.
+
+        ``"dynamic"`` costs one extra fault-free reference run (profiled
+        this time) in the same pipeline configuration and observation
+        window, so the profile's slot numbering is exactly the
+        campaign's fault-site coordinate system. ``"static"`` costs *no*
+        pipeline run: the committed schedule is reconstructed by
+        :mod:`repro.analysis.cache_model` and projected onto decode
+        slots through the commit-slot map the sizing run already
+        captured.
+        """
+        if profile_source == "dynamic":
+            from ..analysis.fault_sites import collect_reference_profile
+            profile = collect_reference_profile(
+                self._program,
+                inputs=self.kernel.inputs,
+                pipeline_config=self.config.pipeline,
+                observation_cycles=self.config.observation_cycles,
+                initial_state=self._initial_state,
+            )
+            if profile.decode_count != self.decode_count:
+                raise RuntimeError(
+                    f"profiled reference decoded {profile.decode_count} "
+                    f"slots but the campaign sized {self.decode_count}; "
+                    f"pipeline configurations diverged")
+            return profile
+        if profile_source != "static":
+            raise ValueError(
+                f"unknown profile_source {profile_source!r} "
+                f"(expected 'static' or 'dynamic')")
+        if self._commit_slots is None:
+            raise RuntimeError(
+                "static profiles need the sizing run's commit-slot map; "
+                "this campaign was constructed with an explicit "
+                "decode_count (worker mode)")
+        from ..analysis.cache_model import (
+            DEFAULT_MAX_INSTRUCTIONS,
+            project_to_decode_profile,
+            reconstruct_committed_schedule,
+        )
+        budget = DEFAULT_MAX_INSTRUCTIONS
+        if self.golden_instructions is not None:
+            budget = max(budget, self.golden_instructions + 64)
+        schedule = reconstruct_committed_schedule(
+            self._program, inputs=self.kernel.inputs,
+            max_instructions=budget)
+        return project_to_decode_profile(
+            schedule, self.config.pipeline.itr_cache,
+            self.decode_count, self._commit_slots)
+
+    def pruning_plan(self, slot_range=None, refine_absint: bool = True,
+                     profile_source: str = "dynamic",
+                     population: Optional[str] = None,
+                     canonical: Optional[bool] = None):
         """Build this campaign's fault-site equivalence-class plan.
 
-        Costs one extra fault-free reference run (profiled this time) in
-        the same pipeline configuration and observation window, so the
-        plan's slot numbering is exactly the campaign's fault-site
-        coordinate system. Parent-only, like :meth:`plan` — workers
-        receive representative specs, never rebuild the plan.
-        ``refine_absint=False`` skips the abstract-interpretation
-        masking proofs (the PR 5 syntactic-only census), which the
-        validation experiment uses as its baseline.
+        See :meth:`reference_profile` for the two profile sources.
+        Parent-only, like :meth:`plan` — workers receive representative
+        specs, never rebuild the plan. ``refine_absint=False`` skips the
+        abstract-interpretation masking proofs (the PR 5 syntactic-only
+        census), which the validation experiment uses as its baseline.
+
+        Static profiles cover only the committed population with
+        canonical roles (the statically reconstructible coordinate
+        system), so ``population``/``canonical`` default to
+        ``"committed"``/``True`` there and to the full-census
+        ``"all"``/``False`` for dynamic profiles; pass them explicitly
+        to build a dynamic plan in the static coordinate system for
+        byte-identity comparison.
         """
-        from ..analysis.fault_sites import collect_reference_profile
         from ..analysis.pruning import build_pruning_plan
-        profile = collect_reference_profile(
-            self._program,
-            inputs=self.kernel.inputs,
-            pipeline_config=self.config.pipeline,
-            observation_cycles=self.config.observation_cycles,
-            initial_state=self._initial_state,
-        )
-        if profile.decode_count != self.decode_count:
-            raise RuntimeError(
-                f"profiled reference decoded {profile.decode_count} "
-                f"slots but the campaign sized {self.decode_count}; "
-                f"pipeline configurations diverged")
+        if population is None:
+            population = ("committed" if profile_source == "static"
+                          else "all")
+        if canonical is None:
+            canonical = profile_source == "static"
+        if profile_source == "static" and (
+                population != "committed" or not canonical):
+            raise ValueError(
+                "static profiles only support the canonical committed "
+                "census (population='committed', canonical=True)")
+        profile = self.reference_profile(profile_source)
         return build_pruning_plan(self._program, profile,
                                   benchmark=self.kernel.name,
                                   slot_range=slot_range,
-                                  refine_absint=refine_absint)
+                                  refine_absint=refine_absint,
+                                  population=population,
+                                  canonical=canonical)
 
     def run_pruned(self, workers: Optional[object] = None,
-                   slot_range=None, plan=None) -> PrunedCampaignResult:
+                   slot_range=None, plan=None,
+                   profile_source: str = "dynamic"
+                   ) -> PrunedCampaignResult:
         """Inject one representative per equivalence class.
 
         Covers the *entire* fault-site population (``decode_count x
@@ -508,9 +577,12 @@ class FaultCampaign:
         the trials: the returned result reconstitutes full-population
         aggregates by class weight. Deterministic and byte-stable for
         any ``workers`` value, exactly like :meth:`run`.
+        ``profile_source="static"`` derives the plan without the
+        profiling run (see :meth:`reference_profile`).
         """
         if plan is None:
-            plan = self.pruning_plan(slot_range)
+            plan = self.pruning_plan(slot_range,
+                                     profile_source=profile_source)
         specs = [FaultSpec(decode_index=cls.rep_slot, bit=cls.rep_bit)
                  for cls in plan.classes]
         from .parallel import resolve_workers
@@ -544,12 +616,14 @@ class FaultCampaign:
         return run_scheduled_fault(self, scheduler, chaos=chaos)
 
     def run_pruned_scheduled(self, scheduler=None, slot_range=None,
-                             plan=None, chaos=None):
+                             plan=None, chaos=None,
+                             profile_source: str = "dynamic"):
         """Scheduler-mode counterpart of :meth:`run_pruned` (one
         representative per equivalence class, class-weighted streaming
         aggregates)."""
         if plan is None:
-            plan = self.pruning_plan(slot_range)
+            plan = self.pruning_plan(slot_range,
+                                     profile_source=profile_source)
         from .scheduler import run_scheduled_pruned
         return run_scheduled_pruned(self, plan, scheduler, chaos=chaos)
 

@@ -186,6 +186,7 @@ class Pipeline:
                  enable_spc: bool = True,
                  decode_tamper: Optional[DecodeTamper] = None,
                  commit_listener: Optional[CommitListener] = None,
+                 commit_slot_listener: Optional[Callable[[int], None]] = None,
                  fetch_tamper: Optional[FetchTamper] = None,
                  duplicate_frontend: bool = False,
                  checkpointing: bool = False,
@@ -195,6 +196,12 @@ class Pipeline:
         self.itr = itr
         self.decode_tamper = decode_tamper
         self.commit_listener = commit_listener
+        #: Lightweight commit-order tap: called with the *decode slot*
+        #: (``RobEntry.seq``, which equals the decode index — both
+        #: counters advance together at dispatch and never reset) of
+        #: every committed instruction, in commit order. Static pruning
+        #: uses it to map committed-coordinate sites onto decode slots.
+        self.commit_slot_listener = commit_slot_listener
         self.fetch_tamper = fetch_tamper
         #: IBM S/390 G5-style structural duplication of the I-unit
         #: (paper Section 5's expensive baseline): every instruction is
@@ -683,6 +690,8 @@ class Pipeline:
                 raise RuntimeError("LSQ commit order violated")
 
         self.stats.instructions_committed += 1
+        if self.commit_slot_listener is not None:
+            self.commit_slot_listener(entry.seq)
         if halted:
             self.halted = True
 
@@ -812,6 +821,8 @@ def build_pipeline(program: Program,
                    enable_spc: bool = True,
                    decode_tamper: Optional[DecodeTamper] = None,
                    commit_listener: Optional[CommitListener] = None,
+                   commit_slot_listener: Optional[
+                       Callable[[int], None]] = None,
                    fetch_tamper: Optional[FetchTamper] = None,
                    duplicate_frontend: bool = False,
                    checkpointing: bool = False,
@@ -842,6 +853,7 @@ def build_pipeline(program: Program,
         enable_spc=enable_spc,
         decode_tamper=decode_tamper,
         commit_listener=commit_listener,
+        commit_slot_listener=commit_slot_listener,
         fetch_tamper=fetch_tamper,
         duplicate_frontend=duplicate_frontend,
         checkpointing=checkpointing,

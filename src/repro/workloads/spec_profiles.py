@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..errors import WorkloadError
+from ..utils.stats import Histogram
 
 
 @dataclass(frozen=True)
@@ -126,6 +127,60 @@ FIGURE67_BENCHMARKS = ("gap", "gcc", "parser", "perl", "twolf", "vortex",
 
 #: Benchmarks the paper calls out as having negligible coverage loss.
 NEGLIGIBLE_LOSS_BENCHMARKS = ("bzip", "gzip", "art", "mgrid", "wupwise")
+
+
+def static_repeat_distance_cdf(profile: SpecProfile,
+                               bin_width: int = 500,
+                               num_bins: int = 20) -> List[float]:
+    """Closed-form repeat-distance CDF of one phased-region model.
+
+    The paper's Figures 3-4 metric (cumulative fraction of dynamic
+    instructions contributed by trace repeats within a distance),
+    derived analytically from the model parameters — no random walk,
+    no simulation. With per-region hot set ``h``, ``T`` loop trips per
+    visit, mean trace length ``L``, ``R`` Zipf(``s``)-popular regions
+    and cold-touch probability ``c``:
+
+    * one loop revolution spans ``h * L`` instructions, so the
+      ``h * (T - 1)`` hot repeats inside a visit all land at that
+      distance;
+    * region ``k`` (popularity ``p_k``) is revisited after an expected
+      ``1 / p_k`` other visits, so its cross-visit hot repeats land at
+      ``visit_length / p_k``;
+    * a cold trace is only touched every ``1 / c`` visits of its
+      region, stretching its repeats to ``visit_length / (p_k * c)``.
+
+    Each repeat is weighted by the instructions it contributes
+    (``L``), matching ``TraceProfile.repeat_distance_cdf``.
+    """
+    region_traces = profile.static_traces / profile.regions
+    hot = min(profile.hot_traces_per_region, region_traces)
+    cold = max(0.0, region_traces - hot)
+    length = profile.mean_trace_length
+    trips = max(1.0, profile.mean_visit_iterations)
+    visit_length = (trips * hot * length
+                    + profile.cold_visit_fraction * cold * length)
+
+    weights = [1.0 / (k ** profile.region_zipf)
+               for k in range(1, profile.regions + 1)]
+    total = sum(weights)
+
+    histogram = Histogram(bin_width=bin_width, num_bins=num_bins)
+    hot_revolution = hot * length
+    # Within-visit hot repeats: identical for every region, so the
+    # popularity weights integrate out.
+    if trips > 1:
+        histogram.record(hot_revolution, hot * (trips - 1) * length)
+    for weight in weights:
+        popularity = weight / total
+        revisit_gap = visit_length / popularity
+        histogram.record(revisit_gap, popularity * hot * length)
+        if cold and profile.cold_visit_fraction:
+            cold_gap = revisit_gap / profile.cold_visit_fraction
+            histogram.record(
+                cold_gap,
+                popularity * profile.cold_visit_fraction * cold * length)
+    return histogram.cumulative_fraction()
 
 
 def get_profile(name: str) -> SpecProfile:

@@ -1,0 +1,262 @@
+"""Tests for the static ITR-cache interpreter (``analysis.cache_model``).
+
+The module's central claims, each exercised here:
+
+* loop trip counts are proven symbolically where the absint domain and
+  affine induction close them, and resolved exactly by cross-validated
+  replay elsewhere;
+* the committed schedule reconstruction reproduces the committed trace
+  stream of the reference run (cross-checked PC-by-PC internally);
+* the per-geometry replay is exact on eviction-free geometries and
+  yields containing bounds on pressured ones.
+"""
+
+import pytest
+
+from repro.analysis.cache_model import (
+    ACCESS_CHECKED,
+    ACCESS_MISS,
+    CacheModelError,
+    CommittedSchedule,
+    LoopTripCount,
+    analyze_cache_model,
+    cross_check_trip_counts,
+    derive_trip_counts,
+    finalize_trip_counts,
+    reconstruct_committed_schedule,
+    replay_cache,
+)
+from repro.analysis.fault_sites import SlotRole
+from repro.analysis.pruning import canonicalize_role
+from repro.isa import assemble
+from repro.isa.program import TEXT_BASE
+from repro.itr.itr_cache import ItrCacheConfig
+from repro.workloads.kernels import get_kernel
+
+COUNTED_LOOP = """
+.text
+main:
+    li   $t0, 0
+    li   $t1, 5
+loop:
+    addi $t0, $t0, 1
+    bne  $t0, $t1, loop
+    li   $v0, 10
+    syscall
+"""
+
+# The exit condition reads a value loaded from memory: no symbolic tier
+# can close this, but the replay tier resolves it exactly.
+DATA_LOOP = """
+.text
+main:
+    li   $t0, 0
+    li   $t2, 0x10000000
+    li   $t3, 7
+    sw   $t3, 0($t2)
+    lw   $t1, 0($t2)
+loop:
+    addi $t0, $t0, 1
+    bne  $t0, $t1, loop
+    li   $v0, 10
+    syscall
+"""
+
+# Many distinct trace-start PCs in a straight line: with a tiny cache
+# they collide in the same sets and force capacity pressure.
+STRAIGHT_LINE = """
+.text
+main:
+    b    a
+a:
+    b    bb
+bb:
+    b    c
+c:
+    b    d
+d:
+    b    e
+e:
+    li   $v0, 10
+    syscall
+"""
+
+
+def _loop_program():
+    return assemble(COUNTED_LOOP, name="counted")
+
+
+class TestTripCounts:
+    def test_counted_loop_proven_affine(self):
+        program = _loop_program()
+        counts = derive_trip_counts(program)
+        assert len(counts) == 1
+        (count,) = counts.values()
+        assert count.tier == "affine"
+        assert count.proven == 5
+        assert count.provable and count.resolved
+
+    def test_data_dependent_loop_needs_replay(self):
+        program = assemble(DATA_LOOP, name="data")
+        symbolic = derive_trip_counts(program)
+        (count,) = symbolic.values()
+        assert not count.provable
+        schedule = reconstruct_committed_schedule(program)
+        final = finalize_trip_counts(schedule, symbolic)
+        (count,) = final.values()
+        assert count.tier == "replay"
+        assert count.proven == 7
+        assert count.total_visits == 7 and count.entries == 1
+
+    def test_budget_truncation_keeps_symbolic_knowledge_only(self):
+        program = assemble(DATA_LOOP, name="data")
+        symbolic = derive_trip_counts(program)
+        schedule = reconstruct_committed_schedule(
+            program, max_instructions=8)
+        assert schedule.run_reason == "budget"
+        final = finalize_trip_counts(schedule, symbolic)
+        (count,) = final.values()
+        # A truncated run observes a prefix; replay must not "prove"
+        # from it.
+        assert not count.provable
+        assert count.total_visits is None
+
+    def test_cross_check_rejects_contradicting_observation(self):
+        program = _loop_program()
+        symbolic = derive_trip_counts(program)
+        (header,) = symbolic
+        fake = CommittedSchedule(
+            occurrences=[], pcs=(program.entry,), run_reason="halted",
+            header_entry_visits={header: [4]})
+        with pytest.raises(CacheModelError):
+            cross_check_trip_counts(fake, symbolic)
+
+    def test_trip_count_json_shape(self):
+        count = LoopTripCount(
+            header=TEXT_BASE, proven=3, bound_hi=3,
+            reason="affine-exit", tier="affine")
+        blob = count.to_json()
+        assert blob["header"] == f"0x{TEXT_BASE:08x}"
+        assert blob["proven"] == 3 and blob["tier"] == "affine"
+
+
+class TestReconstruction:
+    def test_schedule_covers_the_committed_stream(self):
+        program = _loop_program()
+        schedule = reconstruct_committed_schedule(program)
+        assert schedule.run_reason == "halted"
+        # li, li + 5 * (addi, bne) + li, syscall
+        assert schedule.committed_instructions == 14
+        # Occurrences tile the committed stream contiguously.
+        slot = 0
+        for occ in schedule.occurrences:
+            assert occ.start_slot == slot
+            assert occ.length == occ.end_slot - occ.start_slot + 1
+            slot = occ.end_slot + 1
+        assert slot == schedule.committed_instructions
+        header = TEXT_BASE + 16
+        assert schedule.header_entry_visits[header] == [5]
+
+    def test_truncate_window_semantics(self):
+        program = _loop_program()
+        schedule = reconstruct_committed_schedule(program)
+        window = schedule.truncate(5)
+        assert window.run_reason == "window"
+        assert window.committed_instructions == 5
+        # A trace cut by the window never commits, so it never counts.
+        assert all(occ.end_slot < 5 for occ in window.occurrences)
+        assert len(window.occurrences) < len(schedule.occurrences)
+
+    def test_truncate_beyond_run_is_identity(self):
+        program = _loop_program()
+        schedule = reconstruct_committed_schedule(program)
+        assert schedule.truncate(10_000) is schedule
+
+
+class TestReplay:
+    def test_eviction_free_replay_is_exact(self):
+        program = _loop_program()
+        schedule = reconstruct_committed_schedule(program)
+        replay = replay_cache(schedule, ItrCacheConfig())
+        assert replay.speculation_immune
+        assert not replay.pressured_sets
+        assert replay.evictions == 0
+        assert replay.cold_miss_bounds == (
+            replay.cold_misses, replay.cold_misses)
+        accesses = [outcome.access for outcome in replay.outcomes]
+        # First visit of each of the three static traces misses; the
+        # four loop re-executions are checked.
+        assert accesses.count(ACCESS_MISS) == 3
+        assert accesses.count(ACCESS_CHECKED) == len(accesses) - 3
+        assert all(outcome.exact for outcome in replay.outcomes)
+
+    def test_pressured_set_yields_containing_bounds(self):
+        program = assemble(STRAIGHT_LINE, name="straight")
+        schedule = reconstruct_committed_schedule(program)
+        tiny = ItrCacheConfig(entries=2, assoc=1, parity=False)
+        replay = replay_cache(schedule, tiny)
+        assert not replay.speculation_immune
+        lo, hi = replay.cold_miss_bounds
+        assert lo <= replay.cold_misses <= hi
+        lo, hi = replay.unchecked_eviction_bounds
+        assert lo <= replay.unchecked_evictions <= hi
+        pressured = [outcome for outcome in replay.outcomes
+                     if not outcome.exact]
+        assert pressured
+        for outcome in pressured:
+            assert outcome.access in outcome.may_accesses
+            assert outcome.followup in outcome.may_followups
+
+    def test_cold_window_instructions_counts_miss_lengths(self):
+        program = _loop_program()
+        schedule = reconstruct_committed_schedule(program)
+        replay = replay_cache(schedule, ItrCacheConfig())
+        expected = sum(outcome.length for outcome in replay.outcomes
+                       if outcome.access == ACCESS_MISS)
+        assert replay.cold_window_instructions == expected
+
+
+class TestCanonicalRoles:
+    def test_timing_dependent_accesses_fold_to_checked(self):
+        for access in ("forward", "hit"):
+            role = SlotRole(kind="committed", access=access,
+                            followup="-", trace_start=TEXT_BASE)
+            folded = canonicalize_role(role, frozenset())
+            assert folded.access == "checked"
+            assert folded.followup == "-"
+
+    def test_ghost_rechecked_folds_by_final_residency(self):
+        role = SlotRole(kind="committed", access="miss",
+                        followup="ghost_rechecked",
+                        trace_start=TEXT_BASE)
+        resident = canonicalize_role(role, frozenset({TEXT_BASE}))
+        evicted = canonicalize_role(role, frozenset())
+        assert resident.followup == "resident"
+        assert evicted.followup == "evicted"
+
+    def test_canonical_roles_are_fixpoints(self):
+        role = SlotRole(kind="committed", access="checked",
+                        followup="-", trace_start=TEXT_BASE)
+        assert canonicalize_role(role, frozenset()) is role
+
+
+class TestFullModel:
+    def test_sum_loop_end_to_end(self):
+        kernel = get_kernel("sum_loop")
+        report = analyze_cache_model(
+            kernel.program(), inputs=kernel.inputs,
+            geometries=(ItrCacheConfig(),
+                        ItrCacheConfig(entries=64, assoc=2)),
+            benchmark=kernel.name)
+        assert report.schedule.run_reason == "halted"
+        assert report.all_loops_resolved
+        assert report.loops_proven >= 1
+        assert len(report.replays) == 2
+        for replay in report.replays:
+            assert replay.speculation_immune
+        cdf = report.repeat_profile.repeat_distance_cdf()
+        assert all(0.0 <= point <= 1.0 for point in cdf)
+        assert cdf == sorted(cdf)
+        blob = report.to_json()
+        assert blob["benchmark"] == "sum_loop"
+        assert blob["all_loops_resolved"] is True

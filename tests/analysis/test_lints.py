@@ -54,7 +54,7 @@ class TestDiagnosticType:
         assert set(CATALOG) == {"CF001", "CF002", "CF003", "CF004",
                                 "DF001", "DF002", "DF003", "DF004",
                                 "ITR001", "ITR002", "ITR003", "ITR004",
-                                "CV001"}
+                                "ITR005", "CV001"}
 
 
 class TestControlFlowLints:
@@ -225,3 +225,78 @@ class TestKernelSuite:
         for waiver in kernel.waivers:
             assert waiver.reason
             assert waiver.pcs
+
+
+THRASH_SOURCE = """
+.text
+main:
+    li   $t0, 0
+    li   $t1, 5
+loop:
+    addi $t0, $t0, 1
+    b    step
+step:
+    bne  $t0, $t1, loop
+    li   $v0, 10
+    syscall
+"""
+
+
+class TestSameSetThrash:
+    """ITR005: same-set trace groups alternating inside one loop."""
+
+    def _traces_and_cfg(self):
+        from repro.analysis.cfg import ControlFlowGraph
+        from repro.analysis.static_traces import enumerate_static_traces
+        program = assemble(THRASH_SOURCE, name="thrash")
+        cfg = ControlFlowGraph(program)
+        return program, cfg, enumerate_static_traces(program)
+
+    def test_direct_mapped_tiny_cache_thrashes(self):
+        from repro.analysis.lints import lint_same_set_thrash
+        from repro.itr.itr_cache import ItrCacheConfig
+        _, cfg, traces = self._traces_and_cfg()
+        tiny = ItrCacheConfig(entries=2, assoc=1, parity=False)
+        findings = lint_same_set_thrash(traces, cfg, [tiny])
+        assert findings
+        (finding,) = findings
+        assert finding.code == "ITR005"
+        assert finding.severity is Severity.INFO
+        # The alternating loop traces, not the straight-line ones.
+        assert len(finding.data["start_pcs"]) > tiny.ways
+
+    def test_default_geometry_is_quiet(self):
+        from repro.analysis.lints import lint_same_set_thrash
+        from repro.itr.itr_cache import ItrCacheConfig
+        _, cfg, traces = self._traces_and_cfg()
+        findings = lint_same_set_thrash(
+            traces, cfg, [ItrCacheConfig(entries=1024, assoc=2)])
+        assert findings == []
+
+    def test_acyclic_traces_never_flagged(self):
+        from repro.analysis.lints import lint_same_set_thrash
+        from repro.analysis.cfg import ControlFlowGraph
+        from repro.analysis.static_traces import enumerate_static_traces
+        from repro.itr.itr_cache import ItrCacheConfig
+        source = """
+.text
+main:
+    li   $t0, 1
+    b    a
+a:
+    li   $t1, 2
+    b    b2
+b2:
+    li   $v0, 10
+    syscall
+"""
+        program = assemble(source, name="acyclic")
+        cfg = ControlFlowGraph(program)
+        traces = enumerate_static_traces(program)
+        tiny = ItrCacheConfig(entries=1, assoc=1, parity=False)
+        assert lint_same_set_thrash(traces, cfg, [tiny]) == []
+
+    def test_suite_kernels_stay_quiet_at_default_geometries(self):
+        for kernel in all_kernels():
+            report = analyze_program(kernel.program())
+            assert "ITR005" not in codes_of(report), kernel.name

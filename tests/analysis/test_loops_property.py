@@ -1,0 +1,211 @@
+"""Property tests for the loop analyses on adversarial control flow.
+
+Hypothesis generates random branchy programs — self-loops, multi-entry
+(irreducible) cycles and deep jumps included — and every structural
+invariant the rest of the analyzer stack leans on must hold:
+
+* a natural loop's header dominates every block of its body, and the
+  body sits inside a single cyclic SCC;
+* ``cyclic_scc_of_block`` maps exactly the blocks on some CFG cycle
+  (self-loop singletons in, acyclic singletons out);
+* ``irreducible_blocks`` are cyclic blocks no natural loop covers,
+  disjoint from every loop body.
+
+The deterministic cases at the bottom pin the three edge shapes the
+issue calls out: self-loops, an irreducible two-entry region, and a
+multi-entry SCC around a natural loop.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.loops import (
+    LoopNest,
+    dominates,
+    immediate_dominators,
+)
+from repro.isa import assemble
+
+
+@st.composite
+def branchy_program(draw):
+    """A random program of N labelled blocks with arbitrary jumps.
+
+    Terminators are drawn per block: conditional branch (falls
+    through), unconditional jump, or plain fall-through — targets are
+    arbitrary labels, so self-loops, back edges into block middles of
+    nests, and multi-entry cycles all occur. The last block exits. The
+    programs are analyzed, never executed, so non-termination is fine.
+    """
+    count = draw(st.integers(min_value=2, max_value=8))
+    labels = [f"blk{i}" for i in range(count)]
+    lines = [".text", "main:", "  li $t0, 1", "  li $t1, 2"]
+    for index, label in enumerate(labels):
+        lines.append(f"{label}:")
+        lines.append(f"  addi $t0, $t0, {index + 1}")
+        last = index == count - 1
+        kind = draw(st.sampled_from(
+            ("fall", "branch", "jump") if not last else ("exit",)))
+        target = draw(st.sampled_from(labels))
+        if kind == "branch":
+            lines.append(f"  bne $t0, $t1, {target}")
+        elif kind == "jump":
+            lines.append(f"  b {target}")
+    lines.append("  li $v0, 10")
+    lines.append("  syscall")
+    return assemble("\n".join(lines), name="loops_property")
+
+
+def check_structure(program):
+    """Assert every structural invariant over one program's CFG."""
+    cfg = ControlFlowGraph(program)
+    nest = LoopNest(cfg)
+    idom = immediate_dominators(cfg)
+    scc_of = nest.cyclic_scc_of_block()
+
+    covered = set()
+    for loop in nest.loops:
+        covered |= loop.blocks
+
+    for loop in nest.loops:
+        assert loop.header in loop.blocks
+        assert loop.back_edges
+        for tail, head in loop.back_edges:
+            assert head == loop.header
+            assert tail in loop.blocks
+        for leader in loop.blocks:
+            assert dominates(idom, loop.header, leader)
+        # The whole body lies in one cyclic SCC.
+        ids = {scc_of.get(leader) for leader in loop.blocks}
+        assert len(ids) == 1 and None not in ids
+        # Nesting: the parent strictly contains the loop; depth counts
+        # the parent chain.
+        parent = nest.parent[loop.header]
+        depth = nest.depth[loop.header]
+        if parent is None:
+            assert depth == 1
+        else:
+            parent_loop = nest.loop(parent)
+            assert loop.blocks < parent_loop.blocks
+            assert depth == nest.depth[parent] + 1
+        # innermost_loop_of_pc on the header resolves to a loop that
+        # contains it and is no bigger than this one.
+        inner = nest.innermost_loop_of_pc(loop.header)
+        assert inner is not None
+        inner_loop = nest.loop(inner)
+        assert loop.header in inner_loop.blocks
+        assert len(inner_loop.blocks) <= len(loop.blocks)
+
+    # cyclic_scc_of_block: multi-block components and self-loop
+    # singletons are mapped (one id per component), acyclic singletons
+    # are not.
+    for component in cfg.strongly_connected_components():
+        ids = {scc_of.get(leader) for leader in component}
+        if len(component) > 1:
+            assert len(ids) == 1 and None not in ids
+        else:
+            (leader,) = component
+            if leader in cfg.successors.get(leader, ()):
+                assert leader in scc_of
+            else:
+                assert leader not in scc_of
+
+    # Irreducible blocks: reachable, cyclic, uncovered by any loop.
+    reachable = cfg.reachable()
+    for leader in nest.irreducible_blocks:
+        assert leader in reachable
+        assert leader in scc_of
+        assert leader not in covered
+    return cfg, nest
+
+
+@settings(max_examples=60, deadline=None)
+@given(branchy_program())
+def test_structural_invariants_hold(program):
+    check_structure(program)
+
+
+SELF_LOOP = """
+.text
+main:
+    li   $t0, 0
+spin:
+    addi $t0, $t0, 1
+    bne  $t0, $t1, spin
+    li   $v0, 10
+    syscall
+"""
+
+# Two mutually-jumping blocks entered from both sides: neither
+# dominates the other, so no natural loop exists — the canonical
+# irreducible region.
+IRREDUCIBLE = """
+.text
+main:
+    bne  $t0, $t1, right
+left:
+    addi $t0, $t0, 1
+    b    right
+right:
+    addi $t1, $t1, 1
+    bne  $t0, $t1, left
+    li   $v0, 10
+    syscall
+"""
+
+# An outer multi-entry cycle (main can enter at head or tail) wrapped
+# around an inner self-loop: the SCC has two entries while the
+# self-loop is still a proper natural loop inside it.
+MULTI_ENTRY = """
+.text
+main:
+    bne  $t0, $t1, tail
+head:
+    addi $t0, $t0, 1
+inner:
+    addi $t2, $t2, 1
+    bne  $t2, $t1, inner
+tail:
+    addi $t1, $t1, 1
+    bne  $t0, $t1, head
+    li   $v0, 10
+    syscall
+"""
+
+
+class TestEdgeShapes:
+    def test_self_loop_is_a_single_block_natural_loop(self):
+        program = assemble(SELF_LOOP, name="selfloop")
+        cfg, nest = check_structure(program)
+        spin = [loop for loop in nest.loops
+                if len(loop.blocks) == 1]
+        assert spin, "self-loop not recognized as a natural loop"
+        (loop,) = spin
+        assert loop.header in cfg.successors[loop.header]
+        assert loop.header in nest.cyclic_scc_of_block()
+
+    def test_irreducible_region_has_no_loop_but_is_cyclic(self):
+        program = assemble(IRREDUCIBLE, name="irreducible")
+        _, nest = check_structure(program)
+        assert nest.loops == []
+        assert len(nest.irreducible_blocks) >= 2
+        scc_of = nest.cyclic_scc_of_block()
+        ids = {scc_of[leader] for leader in nest.irreducible_blocks}
+        assert len(ids) == 1
+
+    def test_multi_entry_scc_keeps_inner_natural_loop(self):
+        program = assemble(MULTI_ENTRY, name="multientry")
+        _, nest = check_structure(program)
+        # The inner self-loop survives as a natural loop even though
+        # the enclosing cycle is multi-entry (irreducible).
+        assert len(nest.loops) == 1
+        (inner,) = nest.loops
+        assert len(inner.blocks) == 1
+        assert nest.irreducible_blocks
+        scc_of = nest.cyclic_scc_of_block()
+        # The inner loop shares the outer cycle's SCC: everything on
+        # the big cycle is mutually reachable.
+        outer_ids = {scc_of[leader]
+                     for leader in nest.irreducible_blocks}
+        assert scc_of[inner.header] in outer_ids

@@ -63,6 +63,17 @@ class TestCrossValidation:
                 record.static_cold_window, record.kernel
             assert record.cold_window_bounds_observed
 
+    def test_cache_model_pins_cold_window_exactly(self, subset_result):
+        """The static replay tightens the inventory bound to equality:
+        on eviction-free kernels the cache model's cold window *is* the
+        observed first-instance window."""
+        for record in subset_result.kernels:
+            assert record.model_cold_window_consistent, record.kernel
+            assert record.model_cold_window_exact, record.kernel
+            assert record.model_cold_window == \
+                record.observed_cold_window, record.kernel
+            assert record.model_cold_window <= record.static_cold_window
+
     def test_maskability_samples_all_agree(self, subset_result):
         for record in subset_result.kernels:
             mask = record.maskability

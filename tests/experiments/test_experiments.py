@@ -59,6 +59,51 @@ class TestCharacterization:
         assert "opcode" in text
 
 
+class TestStaticCharacterization:
+    """Figures 3-4 from the static path: cache model + analytic CDFs."""
+
+    @pytest.fixture(scope="class")
+    def static_result(self):
+        return characterization.run_static_characterization(
+            kernels=["sum_loop", "saxpy"])
+
+    def test_records_cover_kernels_and_models(self, static_result):
+        assert len(static_result.source("kernel")) == 2
+        assert len(static_result.source("model")) == 16
+
+    def test_within_distance_monotone(self, static_result):
+        for record in static_result.records:
+            assert record.within_distance(500) <= \
+                record.within_distance(10000) + 1e-9
+
+    def test_kernel_cdf_matches_dynamic_ground_truth(self):
+        """The static committed-schedule CDF is byte-for-byte the CDF a
+        functional run produces — the Figures 3-4 equivalent of the
+        role-schedule agreement gate."""
+        from repro.workloads.kernel_traces import kernel_trace_profile
+        result = characterization.run_static_characterization(
+            kernels=["sum_loop", "csv_parse"])
+        for name in ("sum_loop", "csv_parse"):
+            dynamic = kernel_trace_profile(get_kernel(name))
+            static = result.by_name(name)
+            assert static.repeat_distance_cdf == \
+                dynamic.repeat_distance_cdf(
+                    bin_width=characterization.DISTANCE_BIN,
+                    num_bins=characterization.DISTANCE_BINS)
+            assert static.committed_instructions == \
+                dynamic.dynamic_instructions
+
+    def test_render_both_sources(self, static_result):
+        kernel_text = characterization.render_fig3_fig4_static(
+            static_result, "kernel")
+        model_text = characterization.render_fig3_fig4_static(
+            static_result, "model")
+        assert "static cache model" in kernel_text
+        assert "sum_loop" in kernel_text
+        assert "analytical SPEC models" in model_text
+        assert "vortex" in model_text
+
+
 class TestCoverageSweep:
     def test_grid_complete(self, sweep_result):
         # 11 benchmarks x 3 sizes x 6 associativities

@@ -24,6 +24,12 @@ class TestCli:
         assert main(["tab1", "--instructions", "20000"]) == 0
         assert "24017" in capsys.readouterr().out
 
+    def test_fig34_static_renders_both_tables(self, capsys):
+        assert main(["fig34-static"]) == 0
+        out = capsys.readouterr().out
+        assert "static cache model" in out
+        assert "analytical SPEC models" in out
+
     def test_every_registered_experiment_has_runner(self):
         for name, fn in EXPERIMENTS.items():
             assert callable(fn), name

@@ -1,0 +1,115 @@
+"""Static-profile pruning: zero warm-up profiling, identical campaigns.
+
+The static cache model replaces the dynamic ``ItrProbe`` profiling run
+as the source of the pruning plan's reference profile. The contract is
+byte-identity, not mere agreement: on speculation-immune geometries the
+statically derived plan must serialize identically to the dynamic plan
+built in canonical committed coordinates, and the pruned campaign run
+from it must serialize identically at any worker count.
+"""
+
+import json
+
+import pytest
+
+from repro.faults.campaign import CampaignConfig, FaultCampaign
+from repro.workloads.kernels import get_kernel
+
+OBSERVATION_CYCLES = 3_000
+WINDOW = (0, 1)
+
+
+def _campaign():
+    return FaultCampaign(get_kernel("sum_loop"), CampaignConfig(
+        trials=0, seed=20_070_625,
+        observation_cycles=OBSERVATION_CYCLES))
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return _campaign()
+
+
+@pytest.fixture(scope="module")
+def static_plan(campaign):
+    return campaign.pruning_plan(slot_range=WINDOW,
+                                 profile_source="static")
+
+
+@pytest.fixture(scope="module")
+def dynamic_plan(campaign):
+    return campaign.pruning_plan(slot_range=WINDOW,
+                                 profile_source="dynamic",
+                                 population="committed",
+                                 canonical=True)
+
+
+@pytest.fixture(scope="module")
+def static_result(campaign, static_plan):
+    return campaign.run_pruned(plan=static_plan)
+
+
+class TestPlanEquality:
+    def test_plans_are_byte_identical(self, static_plan, dynamic_plan):
+        static_blob = json.dumps(static_plan.to_json(), sort_keys=True)
+        dynamic_blob = json.dumps(dynamic_plan.to_json(),
+                                  sort_keys=True)
+        assert static_blob == dynamic_blob
+
+    def test_fingerprints_agree(self, static_plan, dynamic_plan):
+        assert static_plan.fingerprint() == dynamic_plan.fingerprint()
+
+    def test_static_plan_is_canonical_committed(self, static_plan):
+        assert static_plan.population == "committed"
+        assert static_plan.canonical
+        for cls in static_plan.classes:
+            assert "/forward/" not in cls.role_key
+            assert "/hit/" not in cls.role_key
+            assert "ghost_rechecked" not in cls.role_key
+
+    def test_static_profile_source_is_labeled(self, campaign):
+        profile = campaign.reference_profile(profile_source="static")
+        assert profile.source == "static"
+        assert profile.decode_count == campaign.decode_count
+
+
+class TestCampaignEquality:
+    def test_static_matches_dynamic_campaign(self, campaign,
+                                             static_result,
+                                             dynamic_plan):
+        dynamic_result = _campaign().run_pruned(plan=dynamic_plan)
+        assert json.dumps(static_result.to_dict(), sort_keys=True) \
+            == json.dumps(dynamic_result.to_dict(), sort_keys=True)
+
+    def test_static_pooled_run_is_byte_identical(self, static_plan,
+                                                 static_result):
+        pooled = _campaign().run_pruned(plan=static_plan, workers=2)
+        assert json.dumps(static_result.to_dict(), sort_keys=True) \
+            == json.dumps(pooled.to_dict(), sort_keys=True)
+
+    def test_profile_source_flag_is_sufficient(self, campaign,
+                                               static_result):
+        rerun = _campaign().run_pruned(slot_range=WINDOW,
+                                       profile_source="static")
+        assert json.dumps(static_result.to_dict(), sort_keys=True) \
+            == json.dumps(rerun.to_dict(), sort_keys=True)
+
+    def test_inert_predictions_hold(self, static_result):
+        assert static_result.aggregate()["prediction_mismatches"] == []
+
+
+class TestValidation:
+    def test_unknown_profile_source_rejected(self, campaign):
+        with pytest.raises(ValueError):
+            campaign.pruning_plan(slot_range=WINDOW,
+                                  profile_source="oracle")
+
+    def test_static_requires_canonical_committed(self, campaign):
+        with pytest.raises(ValueError):
+            campaign.pruning_plan(slot_range=WINDOW,
+                                  profile_source="static",
+                                  canonical=False)
+        with pytest.raises(ValueError):
+            campaign.pruning_plan(slot_range=WINDOW,
+                                  profile_source="static",
+                                  population="all")

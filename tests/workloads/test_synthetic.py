@@ -14,6 +14,7 @@ from repro.workloads.spec_profiles import (
     FIGURE67_BENCHMARKS,
     NEGLIGIBLE_LOSS_BENCHMARKS,
     SpecProfile,
+    static_repeat_distance_cdf,
 )
 from repro.workloads.synthetic import SyntheticWorkload
 
@@ -142,3 +143,44 @@ class TestCalibratedBehaviour:
             events = synthetic_workload(name).event_list(100_000)
             result = measure_coverage(events, config)
             assert result.detection_loss_pct <= result.recovery_loss_pct
+
+
+class TestStaticRepeatDistanceCdf:
+    """Closed-form Figures 3-4 CDFs, no random walk involved."""
+
+    def test_shape_and_monotonicity(self):
+        for profile in all_profiles():
+            cdf = static_repeat_distance_cdf(profile)
+            assert len(cdf) == 20
+            assert all(0.0 <= point <= 1.0 + 1e-9 for point in cdf)
+            assert all(later >= earlier - 1e-12
+                       for earlier, later in zip(cdf, cdf[1:]))
+
+    def test_custom_binning(self):
+        cdf = static_repeat_distance_cdf(get_profile("parser"),
+                                         bin_width=1000, num_bins=5)
+        assert len(cdf) == 5
+
+    def test_paper_proximity_ordering(self):
+        """vortex worst, perl second-worst (Figures 3 and 6-7)."""
+        at_500 = {p.name: static_repeat_distance_cdf(p)[0]
+                  for p in all_profiles()}
+        worst = sorted(at_500, key=at_500.get)
+        assert worst[0] == "vortex"
+        assert worst[1] == "perl"
+
+    def test_negligible_loss_benchmarks_repeat_close(self):
+        """The paper's negligible-loss set repeats almost entirely
+        within 500 instructions."""
+        for name in NEGLIGIBLE_LOSS_BENCHMARKS:
+            cdf = static_repeat_distance_cdf(get_profile(name))
+            assert cdf[0] > 0.9, name
+
+    def test_matches_random_walk_qualitatively(self):
+        """Analytical and simulated CDFs agree on the headline facts:
+        both put bzip's 1000-instruction proximity above 0.9 and
+        vortex's below 0.75 (the calibration the simulation tests pin).
+        """
+        for name, lo, hi in (("bzip", 0.9, 1.0), ("vortex", 0.0, 0.75)):
+            cdf = static_repeat_distance_cdf(get_profile(name))
+            assert lo <= cdf[1] <= hi, name
